@@ -1,0 +1,308 @@
+//! Program representation: functions made of items, data objects, and the
+//! toolchain options that shape code generation.
+
+use avr_core::{Insn, Reg};
+
+/// Toolchain options modelling the GCC flags the paper tunes (§VI-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToolchainOptions {
+    /// Linker relaxation: replace `call`/`jmp` with the short-ranged
+    /// relative `rcall`/`rjmp` where the target is in reach. GCC does this
+    /// by default; MAVR requires `--no-relax` (i.e. `relax = false`) because
+    /// relaxed cross-function branches break when function blocks move.
+    pub relax: bool,
+    /// GCC's `-mcall-prologues`: route function prologues/epilogues through
+    /// a shared push/pop blob instead of inlining them. MAVR requires this
+    /// off (`-mno-call-prologues`) — including in libc/libgcc — because the
+    /// blob concentrates gadgets and its location leaks through hundreds of
+    /// call sites.
+    pub call_prologues: bool,
+}
+
+impl ToolchainOptions {
+    /// The stock toolchain: relaxation and call-prologues on, as a
+    /// size-optimized embedded build would ship.
+    pub fn stock() -> Self {
+        ToolchainOptions {
+            relax: true,
+            call_prologues: true,
+        }
+    }
+
+    /// The MAVR custom toolchain: `--no-relax` and `-mno-call-prologues`.
+    pub fn mavr() -> Self {
+        ToolchainOptions {
+            relax: false,
+            call_prologues: false,
+        }
+    }
+}
+
+impl Default for ToolchainOptions {
+    fn default() -> Self {
+        ToolchainOptions::mavr()
+    }
+}
+
+/// One element of a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A concrete instruction with no link-time fixup.
+    Insn(Insn),
+    /// Definition of a local label (zero width).
+    Label(String),
+    /// Call a global function by name. Becomes `call` (2 words) or, with
+    /// relaxation, `rcall` (1 word) when in reach.
+    CallSym(String),
+    /// Jump to a global function by name (`jmp`/`rjmp` under relaxation).
+    JmpSym(String),
+    /// Jump to `name + byte_offset` — the switch-statement trampoline shape
+    /// the paper's patcher must resolve by binary search because the target
+    /// is *inside* a function block (§VI-B3). Always a long `jmp`.
+    JmpSymOffset {
+        /// Target symbol.
+        name: String,
+        /// Byte offset into the symbol.
+        byte_offset: u32,
+    },
+    /// Unconditional relative jump to a local label (always `rjmp`).
+    RjmpLabel(String),
+    /// Conditional branch (`brbs`/`brbc`) to a local label.
+    Branch {
+        /// SREG bit index.
+        s: u8,
+        /// Branch when the bit is set (`brbs`) or clear (`brbc`).
+        when_set: bool,
+        /// Target label.
+        label: String,
+    },
+    /// Load one byte of a **data/rodata** symbol's flash byte address into a
+    /// register (for `elpm` sequences). The linker refuses this for
+    /// function symbols — C compilers encode those as call/jmp instead, and
+    /// MAVR relies on that (§VI-B2).
+    LdiSymByte {
+        /// Destination register (r16..r31).
+        d: Reg,
+        /// Symbol whose address is taken.
+        sym: String,
+        /// Byte offset added to the symbol address before extraction.
+        offset: u32,
+        /// Which byte of the 24-bit address: 0 = low, 1 = mid, 2 = high.
+        byte: u8,
+    },
+    /// Raw 16-bit word emitted verbatim (inline constants).
+    Word(u16),
+}
+
+/// A named function block — the unit of MAVR randomization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Body items.
+    pub items: Vec<Item>,
+    /// Whether MAVR may move this block. Interrupt vector targets and the
+    /// bootloader are pinned (`false`).
+    pub movable: bool,
+}
+
+impl Function {
+    /// New movable function.
+    pub fn new(name: impl Into<String>) -> Self {
+        Function {
+            name: name.into(),
+            items: Vec::new(),
+            movable: true,
+        }
+    }
+}
+
+/// A read-only data object placed after the text section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataObject {
+    /// Symbol name.
+    pub name: String,
+    /// Raw contents (padded to even length by the linker).
+    pub bytes: Vec<u8>,
+    /// `(byte_offset, function_name)` pairs: at `byte_offset` within this
+    /// object, store the 16-bit **word address** of the named function.
+    /// These are the vtable/call-routing-array slots MAVR must update.
+    pub fn_ptrs: Vec<(usize, String)>,
+}
+
+impl DataObject {
+    /// New data object with plain contents.
+    pub fn new(name: impl Into<String>, bytes: Vec<u8>) -> Self {
+        DataObject {
+            name: name.into(),
+            bytes,
+            fn_ptrs: Vec::new(),
+        }
+    }
+
+    /// New function-pointer table: `len = 2 * targets.len()` bytes, each
+    /// slot holding the word address of the corresponding function.
+    pub fn fn_table(name: impl Into<String>, targets: &[&str]) -> Self {
+        DataObject {
+            name: name.into(),
+            bytes: vec![0; targets.len() * 2],
+            fn_ptrs: targets
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i * 2, t.to_string()))
+                .collect(),
+        }
+    }
+}
+
+/// A whole program, ready to link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Target device.
+    pub device: avr_core::device::Device,
+    /// Interrupt vector handlers; index 0 is the reset vector. `None`
+    /// entries point at `__bad_interrupt` (generated automatically).
+    pub vectors: Vec<Option<String>>,
+    /// All functions, in link order.
+    pub functions: Vec<Function>,
+    /// All data objects, in link order (placed after text).
+    pub rodata: Vec<DataObject>,
+    /// Toolchain behaviour.
+    pub toolchain: ToolchainOptions,
+}
+
+impl Program {
+    /// An empty program for `device` with `n_vectors` interrupt vectors
+    /// (the ATmega2560 has 57).
+    pub fn new(device: avr_core::device::Device, n_vectors: usize) -> Self {
+        Program {
+            device,
+            vectors: vec![None; n_vectors],
+            functions: Vec::new(),
+            rodata: Vec::new(),
+            toolchain: ToolchainOptions::default(),
+        }
+    }
+
+    /// Add a function, returning `&mut self` for chaining.
+    pub fn push_function(&mut self, f: Function) -> &mut Self {
+        self.functions.push(f);
+        self
+    }
+
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// Fluent builder for function bodies.
+///
+/// ```
+/// use avr_asm::FnBuilder;
+/// use avr_core::{Insn, Reg};
+///
+/// let f = FnBuilder::new("blink")
+///     .insn(Insn::Ldi { d: Reg::R24, k: 1 })
+///     .label("again")
+///     .call("delay_ms")
+///     .rjmp("again")
+///     .build();
+/// assert_eq!(f.name, "blink");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FnBuilder {
+    f: Function,
+}
+
+impl FnBuilder {
+    /// Start a new movable function.
+    pub fn new(name: impl Into<String>) -> Self {
+        FnBuilder {
+            f: Function::new(name),
+        }
+    }
+
+    /// Mark the function as pinned (not movable by MAVR).
+    pub fn fixed(mut self) -> Self {
+        self.f.movable = false;
+        self
+    }
+
+    /// Append a concrete instruction.
+    pub fn insn(mut self, i: Insn) -> Self {
+        self.f.items.push(Item::Insn(i));
+        self
+    }
+
+    /// Append several concrete instructions.
+    pub fn insns(mut self, is: impl IntoIterator<Item = Insn>) -> Self {
+        self.f.items.extend(is.into_iter().map(Item::Insn));
+        self
+    }
+
+    /// Define a local label.
+    pub fn label(mut self, l: impl Into<String>) -> Self {
+        self.f.items.push(Item::Label(l.into()));
+        self
+    }
+
+    /// Call a global function.
+    pub fn call(mut self, name: impl Into<String>) -> Self {
+        self.f.items.push(Item::CallSym(name.into()));
+        self
+    }
+
+    /// Jump to a global function.
+    pub fn jmp(mut self, name: impl Into<String>) -> Self {
+        self.f.items.push(Item::JmpSym(name.into()));
+        self
+    }
+
+    /// Relative jump to a local label.
+    pub fn rjmp(mut self, l: impl Into<String>) -> Self {
+        self.f.items.push(Item::RjmpLabel(l.into()));
+        self
+    }
+
+    /// `breq label`.
+    pub fn breq(self, l: impl Into<String>) -> Self {
+        self.br(avr_core::sreg::Z, true, l)
+    }
+
+    /// `brne label`.
+    pub fn brne(self, l: impl Into<String>) -> Self {
+        self.br(avr_core::sreg::Z, false, l)
+    }
+
+    /// `brcc label`.
+    pub fn brcc(self, l: impl Into<String>) -> Self {
+        self.br(avr_core::sreg::C, false, l)
+    }
+
+    /// `brcs label`.
+    pub fn brcs(self, l: impl Into<String>) -> Self {
+        self.br(avr_core::sreg::C, true, l)
+    }
+
+    /// Generic conditional branch on SREG bit `s`.
+    pub fn br(mut self, s: u8, when_set: bool, l: impl Into<String>) -> Self {
+        self.f.items.push(Item::Branch {
+            s,
+            when_set,
+            label: l.into(),
+        });
+        self
+    }
+
+    /// Append a raw item.
+    pub fn item(mut self, item: Item) -> Self {
+        self.f.items.push(item);
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> Function {
+        self.f
+    }
+}

@@ -1,0 +1,131 @@
+//! Assembler / linker substrate for the MAVR reproduction.
+//!
+//! The paper operates on binaries produced by a custom GCC 4.5.4 + Binutils
+//! toolchain (§VI-B1). We do not re-implement GCC; instead this crate is a
+//! small assembler and linker whose **output has exactly the structural
+//! properties MAVR depends on**:
+//!
+//! * programs are collections of named [`Function`] blocks plus read-only
+//!   data objects, laid out as `[vector table][.text functions][.rodata]`,
+//! * cross-function control transfers are symbolic ([`Item::CallSym`] /
+//!   [`Item::JmpSym`]) and resolve to either long absolute `call`/`jmp` or
+//!   short relative `rcall`/`rjmp` depending on
+//!   [`ToolchainOptions::relax`] — the paper's `--no-relax` flag,
+//! * [`ToolchainOptions::call_prologues`] emits the shared
+//!   push/pop prologue–epilogue blob of GCC's `-mcall-prologues`, which the
+//!   paper had to disable because it concentrates gadgets and leaks its
+//!   location through hundreds of references,
+//! * function pointers stored in data (C++ vtables, call-routing arrays)
+//!   are emitted as 16-bit **word addresses** and their flash locations are
+//!   recorded in [`FirmwareImage::fn_ptr_locs`] for the preprocessor,
+//! * the linker produces a [`FirmwareImage`] with the full (pre-strip)
+//!   symbol table, which is what the MAVR preprocessing phase consumes.
+//!
+//! [`FirmwareImage`]: avr_core::image::FirmwareImage
+//! [`FirmwareImage::fn_ptr_locs`]: avr_core::image::FirmwareImage::fn_ptr_locs
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod item;
+mod link;
+pub mod parse;
+
+pub use item::{DataObject, FnBuilder, Function, Item, Program, ToolchainOptions};
+pub use link::link;
+pub use parse::parse_program;
+
+use avr_core::EncodeError;
+
+/// Errors from assembling and linking a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A referenced symbol is not defined anywhere in the program.
+    UndefinedSymbol {
+        /// The missing symbol.
+        name: String,
+    },
+    /// Two functions or data objects share a name.
+    DuplicateSymbol {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A local label was defined twice within one function.
+    DuplicateLabel {
+        /// Function name.
+        function: String,
+        /// The duplicated label.
+        label: String,
+    },
+    /// A local label referenced by a branch does not exist.
+    UndefinedLabel {
+        /// Function name.
+        function: String,
+        /// The missing label.
+        label: String,
+    },
+    /// A conditional branch target is beyond the ±64-word reach.
+    BranchOutOfRange {
+        /// Function name.
+        function: String,
+        /// The label that is out of reach.
+        label: String,
+        /// Actual distance in words.
+        distance: i64,
+    },
+    /// `ldi` of a function address was requested. The C compiler never
+    /// encodes function pointers as immediates (§VI-B2), and MAVR could not
+    /// patch them if it did; the linker refuses.
+    LdiOfFunctionAddress {
+        /// The function whose address was requested.
+        name: String,
+    },
+    /// The linked image exceeds the device flash.
+    ImageTooLarge {
+        /// Required bytes.
+        required: u32,
+        /// Available flash bytes.
+        available: u32,
+    },
+    /// An instruction operand could not be encoded.
+    Encode(EncodeError),
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UndefinedSymbol { name } => write!(f, "undefined symbol `{name}`"),
+            AsmError::DuplicateSymbol { name } => write!(f, "duplicate symbol `{name}`"),
+            AsmError::DuplicateLabel { function, label } => {
+                write!(f, "duplicate label `{label}` in `{function}`")
+            }
+            AsmError::UndefinedLabel { function, label } => {
+                write!(f, "undefined label `{label}` in `{function}`")
+            }
+            AsmError::BranchOutOfRange {
+                function,
+                label,
+                distance,
+            } => write!(
+                f,
+                "branch to `{label}` in `{function}` out of range ({distance} words)"
+            ),
+            AsmError::LdiOfFunctionAddress { name } => {
+                write!(f, "refusing to encode function address of `{name}` as immediate")
+            }
+            AsmError::ImageTooLarge {
+                required,
+                available,
+            } => write!(f, "image needs {required} bytes, flash has {available}"),
+            AsmError::Encode(e) => write!(f, "encoding error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<EncodeError> for AsmError {
+    fn from(e: EncodeError) -> Self {
+        AsmError::Encode(e)
+    }
+}

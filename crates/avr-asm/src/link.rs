@@ -1,0 +1,644 @@
+//! The linker: lays out vectors, functions and rodata, resolves symbols and
+//! relaxation, and emits a [`FirmwareImage`].
+
+use std::collections::HashMap;
+
+use avr_core::encode::encode;
+use avr_core::image::{FirmwareImage, Symbol, SymbolKind};
+use avr_core::Insn;
+
+use crate::item::{Function, Item, Program};
+use crate::AsmError;
+
+const BAD_INTERRUPT: &str = "__bad_interrupt";
+
+/// Per-call-site state during relaxation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SiteWidth {
+    Short, // rcall/rjmp, 1 word
+    Long,  // call/jmp, 2 words
+}
+
+/// Link a [`Program`] into a [`FirmwareImage`].
+///
+/// Layout is `[vector table][functions, in order][rodata, in order]` with
+/// `text_end` at the start of rodata. Relaxation (when
+/// [`ToolchainOptions::relax`](crate::ToolchainOptions::relax) is set)
+/// iterates monotonically: every cross-function call/jump starts short and
+/// is widened until all short sites are in range.
+pub fn link(program: &Program) -> Result<FirmwareImage, AsmError> {
+    let mut program = program.clone();
+    ensure_bad_interrupt(&mut program);
+    check_duplicates(&program)?;
+
+    let relax = program.toolchain.relax;
+    // Width assignment per function, per item index.
+    let mut widths: HashMap<(usize, usize), SiteWidth> = HashMap::new();
+    for (fi, f) in program.functions.iter().enumerate() {
+        for (ii, item) in f.items.iter().enumerate() {
+            if matches!(item, Item::CallSym(_) | Item::JmpSym(_)) {
+                widths.insert(
+                    (fi, ii),
+                    if relax { SiteWidth::Short } else { SiteWidth::Long },
+                );
+            }
+        }
+    }
+
+    // Iterate layout until no short site needs widening.
+    let layout = loop {
+        let layout = compute_layout(&program, &widths)?;
+        if !relax {
+            break layout;
+        }
+        let mut changed = false;
+        for (fi, f) in program.functions.iter().enumerate() {
+            for (ii, item) in f.items.iter().enumerate() {
+                let (Item::CallSym(target) | Item::JmpSym(target)) = item else {
+                    continue;
+                };
+                if widths[&(fi, ii)] == SiteWidth::Long {
+                    continue;
+                }
+                let site = layout.item_addr[&(fi, ii)];
+                let dest = *layout
+                    .fn_addr
+                    .get(target.as_str())
+                    .ok_or_else(|| AsmError::UndefinedSymbol {
+                        name: target.clone(),
+                    })?;
+                let delta = i64::from(dest) - (i64::from(site) + 1);
+                if !(-2048..=2047).contains(&delta) {
+                    widths.insert((fi, ii), SiteWidth::Long);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break compute_layout(&program, &widths)?;
+        }
+    };
+
+    emit(&program, &widths, &layout)
+}
+
+fn ensure_bad_interrupt(program: &mut Program) {
+    let needed = program.vectors.iter().any(Option::is_none);
+    let defined = program.functions.iter().any(|f| f.name == BAD_INTERRUPT);
+    if needed && !defined {
+        // jmp 0 — restart through the reset vector, like avr-libc.
+        program.functions.push(Function {
+            name: BAD_INTERRUPT.to_string(),
+            items: vec![Item::Insn(Insn::Jmp { k: 0 })],
+            movable: true,
+        });
+    }
+}
+
+fn check_duplicates(program: &Program) -> Result<(), AsmError> {
+    let mut seen = std::collections::HashSet::new();
+    for name in program
+        .functions
+        .iter()
+        .map(|f| f.name.as_str())
+        .chain(program.rodata.iter().map(|d| d.name.as_str()))
+    {
+        if !seen.insert(name) {
+            return Err(AsmError::DuplicateSymbol {
+                name: name.to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+struct Layout {
+    /// Word address of each function by name.
+    fn_addr: HashMap<String, u32>,
+    /// Word size of each function by index.
+    fn_words: Vec<u32>,
+    /// Word address of each item site.
+    item_addr: HashMap<(usize, usize), u32>,
+    /// Byte address of each rodata object by name.
+    data_addr: HashMap<String, u32>,
+    /// Byte offset where text ends / rodata begins.
+    text_end: u32,
+    /// Total image size in bytes.
+    total_bytes: u32,
+}
+
+fn item_words(item: &Item, width: Option<SiteWidth>) -> u32 {
+    match item {
+        Item::Label(_) => 0,
+        Item::Insn(i) => i.words(),
+        Item::CallSym(_) | Item::JmpSym(_) => match width {
+            Some(SiteWidth::Short) => 1,
+            _ => 2,
+        },
+        Item::JmpSymOffset { .. } => 2,
+        Item::RjmpLabel(_) | Item::Branch { .. } | Item::LdiSymByte { .. } | Item::Word(_) => 1,
+    }
+}
+
+fn compute_layout(
+    program: &Program,
+    widths: &HashMap<(usize, usize), SiteWidth>,
+) -> Result<Layout, AsmError> {
+    let vec_words = program.vectors.len() as u32 * 2;
+    let mut fn_addr = HashMap::new();
+    let mut fn_words = Vec::new();
+    let mut item_addr = HashMap::new();
+    let mut pc = vec_words;
+    for (fi, f) in program.functions.iter().enumerate() {
+        fn_addr.insert(f.name.clone(), pc);
+        let mut len = 0u32;
+        for (ii, item) in f.items.iter().enumerate() {
+            item_addr.insert((fi, ii), pc + len);
+            len += item_words(item, widths.get(&(fi, ii)).copied());
+        }
+        fn_words.push(len);
+        pc += len;
+    }
+    let text_end = pc * 2;
+    let mut data_addr = HashMap::new();
+    let mut byte = text_end;
+    for d in &program.rodata {
+        data_addr.insert(d.name.clone(), byte);
+        let mut sz = d.bytes.len() as u32;
+        if !sz.is_multiple_of(2) {
+            sz += 1;
+        }
+        byte += sz;
+    }
+    Ok(Layout {
+        fn_addr,
+        fn_words,
+        item_addr,
+        data_addr,
+        text_end,
+        total_bytes: byte,
+    })
+}
+
+fn emit(
+    program: &Program,
+    widths: &HashMap<(usize, usize), SiteWidth>,
+    layout: &Layout,
+) -> Result<FirmwareImage, AsmError> {
+    if layout.total_bytes > program.device.flash_bytes {
+        return Err(AsmError::ImageTooLarge {
+            required: layout.total_bytes,
+            available: program.device.flash_bytes,
+        });
+    }
+    let mut bytes = vec![0u8; layout.total_bytes as usize];
+    fn put_at(bytes: &mut [u8], word_addr: u32, insn: &Insn) -> Result<(), AsmError> {
+        let ws = encode(insn)?;
+        let mut a = (word_addr * 2) as usize;
+        for w in ws {
+            bytes[a..a + 2].copy_from_slice(&w.to_le_bytes());
+            a += 2;
+        }
+        Ok(())
+    }
+    macro_rules! put {
+        ($addr:expr, $insn:expr $(,)?) => {
+            put_at(&mut bytes, $addr, $insn)
+        };
+    }
+
+    // Vector table.
+    for (i, v) in program.vectors.iter().enumerate() {
+        let target = v.as_deref().unwrap_or(BAD_INTERRUPT);
+        let dest = *layout
+            .fn_addr
+            .get(target)
+            .ok_or_else(|| AsmError::UndefinedSymbol {
+                name: target.to_string(),
+            })?;
+        put!(i as u32 * 2, &Insn::Jmp { k: dest })?;
+    }
+
+    // Functions.
+    for (fi, f) in program.functions.iter().enumerate() {
+        // Local labels -> word addresses.
+        let mut labels: HashMap<&str, u32> = HashMap::new();
+        for (ii, item) in f.items.iter().enumerate() {
+            if let Item::Label(l) = item {
+                if labels
+                    .insert(l.as_str(), layout.item_addr[&(fi, ii)])
+                    .is_some()
+                {
+                    return Err(AsmError::DuplicateLabel {
+                        function: f.name.clone(),
+                        label: l.clone(),
+                    });
+                }
+            }
+        }
+        let lookup_label = |label: &str| -> Result<u32, AsmError> {
+            labels
+                .get(label)
+                .copied()
+                .ok_or_else(|| AsmError::UndefinedLabel {
+                    function: f.name.clone(),
+                    label: label.to_string(),
+                })
+        };
+        let lookup_fn = |name: &str| -> Result<u32, AsmError> {
+            layout
+                .fn_addr
+                .get(name)
+                .copied()
+                .ok_or_else(|| AsmError::UndefinedSymbol {
+                    name: name.to_string(),
+                })
+        };
+
+        for (ii, item) in f.items.iter().enumerate() {
+            let site = layout.item_addr[&(fi, ii)];
+            match item {
+                Item::Label(_) => {}
+                Item::Insn(i) => put!(site, i)?,
+                Item::CallSym(name) | Item::JmpSym(name) => {
+                    let dest = lookup_fn(name)?;
+                    let call = matches!(item, Item::CallSym(_));
+                    match widths[&(fi, ii)] {
+                        SiteWidth::Long => put!(
+                            site,
+                            &if call { Insn::Call { k: dest } } else { Insn::Jmp { k: dest } },
+                        )?,
+                        SiteWidth::Short => {
+                            let delta = i64::from(dest) - (i64::from(site) + 1);
+                            let k = i16::try_from(delta).map_err(|_| {
+                                AsmError::BranchOutOfRange {
+                                    function: f.name.clone(),
+                                    label: name.clone(),
+                                    distance: delta,
+                                }
+                            })?;
+                            put!(
+                                site,
+                                &if call { Insn::Rcall { k } } else { Insn::Rjmp { k } },
+                            )?;
+                        }
+                    }
+                }
+                Item::JmpSymOffset { name, byte_offset } => {
+                    let dest = lookup_fn(name)? + byte_offset / 2;
+                    put!(site, &Insn::Jmp { k: dest })?;
+                }
+                Item::RjmpLabel(label) => {
+                    let dest = lookup_label(label)?;
+                    let delta = i64::from(dest) - (i64::from(site) + 1);
+                    let k =
+                        i16::try_from(delta)
+                            .ok()
+                            .filter(|k| (-2048..=2047).contains(k))
+                            .ok_or_else(|| AsmError::BranchOutOfRange {
+                                function: f.name.clone(),
+                                label: label.clone(),
+                                distance: delta,
+                            })?;
+                    put!(site, &Insn::Rjmp { k })?;
+                }
+                Item::Branch { s, when_set, label } => {
+                    let dest = lookup_label(label)?;
+                    let delta = i64::from(dest) - (i64::from(site) + 1);
+                    let k = i8::try_from(delta)
+                        .ok()
+                        .filter(|k| (-64..=63).contains(k))
+                        .ok_or_else(|| AsmError::BranchOutOfRange {
+                            function: f.name.clone(),
+                            label: label.clone(),
+                            distance: delta,
+                        })?;
+                    put!(
+                        site,
+                        &if *when_set {
+                            Insn::Brbs { s: *s, k }
+                        } else {
+                            Insn::Brbc { s: *s, k }
+                        },
+                    )?;
+                }
+                Item::LdiSymByte { d, sym, offset, byte } => {
+                    if layout.fn_addr.contains_key(sym.as_str()) {
+                        return Err(AsmError::LdiOfFunctionAddress { name: sym.clone() });
+                    }
+                    let addr = *layout.data_addr.get(sym.as_str()).ok_or_else(|| {
+                        AsmError::UndefinedSymbol { name: sym.clone() }
+                    })? + offset;
+                    let k = ((addr >> (byte * 8)) & 0xff) as u8;
+                    put!(site, &Insn::Ldi { d: *d, k })?;
+                }
+                Item::Word(w) => {
+                    let a = (site * 2) as usize;
+                    bytes[a..a + 2].copy_from_slice(&w.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    // Rodata + function-pointer slots.
+    let mut fn_ptr_locs = Vec::new();
+    for d in &program.rodata {
+        let base = layout.data_addr[&d.name] as usize;
+        bytes[base..base + d.bytes.len()].copy_from_slice(&d.bytes);
+        for (off, target) in &d.fn_ptrs {
+            let dest = *layout
+                .fn_addr
+                .get(target.as_str())
+                .ok_or_else(|| AsmError::UndefinedSymbol {
+                    name: target.clone(),
+                })?;
+            let word_addr = dest as u16; // AVR function pointers are word addresses
+            bytes[base + off..base + off + 2].copy_from_slice(&word_addr.to_le_bytes());
+            fn_ptr_locs.push((base + off) as u32);
+        }
+    }
+
+    // Symbol table, address-sorted.
+    let mut symbols = Vec::new();
+    symbols.push(Symbol {
+        name: "__vectors".to_string(),
+        addr: 0,
+        size: program.vectors.len() as u32 * 4,
+        kind: SymbolKind::Fixed,
+    });
+    for (fi, f) in program.functions.iter().enumerate() {
+        symbols.push(Symbol {
+            name: f.name.clone(),
+            addr: layout.fn_addr[&f.name] * 2,
+            size: layout.fn_words[fi] * 2,
+            kind: if f.movable {
+                SymbolKind::Function
+            } else {
+                SymbolKind::Fixed
+            },
+        });
+    }
+    for d in &program.rodata {
+        let mut sz = d.bytes.len() as u32;
+        if !sz.is_multiple_of(2) {
+            sz += 1;
+        }
+        symbols.push(Symbol {
+            name: d.name.clone(),
+            addr: layout.data_addr[&d.name],
+            size: sz,
+            kind: SymbolKind::Object,
+        });
+    }
+    symbols.sort_by_key(|s| s.addr);
+
+    let image = FirmwareImage {
+        device: program.device,
+        bytes,
+        symbols,
+        text_end: layout.text_end,
+        fn_ptr_locs,
+    };
+    debug_assert!(image.validate().is_ok(), "{:?}", image.validate());
+    Ok(image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::{DataObject, FnBuilder, ToolchainOptions};
+    use avr_core::device::ATMEGA2560;
+    use avr_core::Reg;
+
+    fn tiny_program(toolchain: ToolchainOptions) -> Program {
+        let mut p = Program::new(ATMEGA2560, 4);
+        p.toolchain = toolchain;
+        p.vectors[0] = Some("main".to_string());
+        p.push_function(
+            FnBuilder::new("main")
+                .insn(Insn::Ldi { d: Reg::R24, k: 1 })
+                .call("helper")
+                .label("spin")
+                .rjmp("spin")
+                .build(),
+        );
+        p.push_function(
+            FnBuilder::new("helper")
+                .insn(Insn::Inc { d: Reg::R24 })
+                .insn(Insn::Ret)
+                .build(),
+        );
+        p
+    }
+
+    #[test]
+    fn links_and_runs() {
+        let img = link(&tiny_program(ToolchainOptions::mavr())).unwrap();
+        img.validate().unwrap();
+        let mut m = avr_sim_smoke(&img);
+        m.run(100);
+        assert_eq!(m.reg(Reg::R24), 2);
+    }
+
+    fn avr_sim_smoke(img: &FirmwareImage) -> avr_sim::Machine {
+        let mut m = avr_sim::Machine::new_atmega2560();
+        m.load_flash(0, &img.bytes);
+        m
+    }
+
+    #[test]
+    fn no_relax_forces_long_calls() {
+        let img = link(&tiny_program(ToolchainOptions::mavr())).unwrap();
+        let main = img.symbol("main").unwrap();
+        // ldi (1 word) + call (2 words) + rjmp (1 word) = 8 bytes.
+        assert_eq!(main.size, 8);
+    }
+
+    #[test]
+    fn relax_shrinks_nearby_calls() {
+        let img = link(&tiny_program(ToolchainOptions::stock())).unwrap();
+        let main = img.symbol("main").unwrap();
+        // call relaxed to rcall: 6 bytes.
+        assert_eq!(main.size, 6);
+        // And it still runs correctly.
+        let mut m = avr_sim_smoke(&img);
+        m.run(100);
+        assert_eq!(m.reg(Reg::R24), 2);
+    }
+
+    #[test]
+    fn relax_keeps_far_calls_long() {
+        let mut p = Program::new(ATMEGA2560, 1);
+        p.toolchain = ToolchainOptions::stock();
+        p.vectors[0] = Some("main".to_string());
+        // A 3000-word pad function between main and helper pushes helper
+        // out of rcall range from main's call site.
+        p.push_function(FnBuilder::new("main").call("helper").label("x").rjmp("x").build());
+        let mut b = FnBuilder::new("pad");
+        for _ in 0..3000 {
+            b = b.insn(Insn::Nop);
+        }
+        b = b.insn(Insn::Ret);
+        p.push_function(b.build());
+        p.push_function(FnBuilder::new("helper").insn(Insn::Ret).build());
+        let img = link(&p).unwrap();
+        // main: long call (2 words) + rjmp (1 word).
+        assert_eq!(img.symbol("main").unwrap().size, (2 + 1) * 2);
+        let mut m = avr_sim_smoke(&img);
+        let exit = m.run(10_000);
+        assert!(exit.is_healthy(), "{exit:?}");
+    }
+
+    #[test]
+    fn vectors_point_at_bad_interrupt_by_default() {
+        let img = link(&tiny_program(ToolchainOptions::mavr())).unwrap();
+        let bad = img.symbol("__bad_interrupt").unwrap();
+        // Vector 1 (unset) must be jmp __bad_interrupt.
+        let w0 = img.read_word(4);
+        let w1 = img.read_word(6);
+        let (insn, _) = avr_core::decode::decode(&[w0, w1]);
+        assert_eq!(insn, Insn::Jmp { k: bad.addr / 2 });
+    }
+
+    #[test]
+    fn fn_pointer_tables_hold_word_addresses() {
+        let mut p = tiny_program(ToolchainOptions::mavr());
+        p.rodata
+            .push(DataObject::fn_table("handlers", &["helper", "main"]));
+        let img = link(&p).unwrap();
+        let tbl = img.symbol("handlers").unwrap();
+        assert_eq!(tbl.kind, SymbolKind::Object);
+        assert!(tbl.addr >= img.text_end);
+        let helper = img.symbol("helper").unwrap();
+        let main = img.symbol("main").unwrap();
+        assert_eq!(u32::from(img.read_word(tbl.addr)), helper.addr / 2);
+        assert_eq!(u32::from(img.read_word(tbl.addr + 2)), main.addr / 2);
+        assert_eq!(img.fn_ptr_locs, vec![tbl.addr, tbl.addr + 2]);
+    }
+
+    #[test]
+    fn jmp_sym_offset_targets_inside_function() {
+        let mut p = tiny_program(ToolchainOptions::mavr());
+        p.push_function(
+            FnBuilder::new("tramp")
+                .item(Item::JmpSymOffset {
+                    name: "helper".to_string(),
+                    byte_offset: 2,
+                })
+                .build(),
+        );
+        let img = link(&p).unwrap();
+        let helper = img.symbol("helper").unwrap();
+        let tramp = img.symbol("tramp").unwrap();
+        let (insn, _) =
+            avr_core::decode::decode(&[img.read_word(tramp.addr), img.read_word(tramp.addr + 2)]);
+        assert_eq!(insn, Insn::Jmp { k: (helper.addr + 2) / 2 });
+    }
+
+    #[test]
+    fn undefined_symbol_rejected() {
+        let mut p = tiny_program(ToolchainOptions::mavr());
+        p.push_function(FnBuilder::new("broken").call("nowhere").build());
+        assert_eq!(
+            link(&p).unwrap_err(),
+            AsmError::UndefinedSymbol {
+                name: "nowhere".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_symbol_rejected() {
+        let mut p = tiny_program(ToolchainOptions::mavr());
+        p.push_function(FnBuilder::new("main").insn(Insn::Ret).build());
+        assert!(matches!(
+            link(&p).unwrap_err(),
+            AsmError::DuplicateSymbol { .. }
+        ));
+    }
+
+    #[test]
+    fn ldi_of_function_address_rejected() {
+        let mut p = tiny_program(ToolchainOptions::mavr());
+        p.push_function(
+            FnBuilder::new("leaker")
+                .item(Item::LdiSymByte {
+                    d: Reg::R30,
+                    sym: "helper".to_string(),
+                    offset: 0,
+                    byte: 0,
+                })
+                .build(),
+        );
+        assert!(matches!(
+            link(&p).unwrap_err(),
+            AsmError::LdiOfFunctionAddress { .. }
+        ));
+    }
+
+    #[test]
+    fn ldi_of_rodata_address_works() {
+        let mut p = tiny_program(ToolchainOptions::mavr());
+        p.rodata.push(DataObject::new("blob", vec![0xaa, 0xbb]));
+        p.push_function(
+            FnBuilder::new("reader")
+                .item(Item::LdiSymByte {
+                    d: Reg::R30,
+                    sym: "blob".to_string(),
+                    offset: 0,
+                    byte: 0,
+                })
+                .item(Item::LdiSymByte {
+                    d: Reg::R31,
+                    sym: "blob".to_string(),
+                    offset: 0,
+                    byte: 1,
+                })
+                .insn(Insn::Ret)
+                .build(),
+        );
+        let img = link(&p).unwrap();
+        let blob = img.symbol("blob").unwrap();
+        let reader = img.symbol("reader").unwrap();
+        let (lo, _) = avr_core::decode::decode(&[img.read_word(reader.addr)]);
+        assert_eq!(lo, Insn::Ldi { d: Reg::R30, k: (blob.addr & 0xff) as u8 });
+    }
+
+    #[test]
+    fn branch_out_of_range_rejected() {
+        let mut p = Program::new(ATMEGA2560, 1);
+        p.vectors[0] = Some("main".to_string());
+        let mut b = FnBuilder::new("main").label("top");
+        for _ in 0..100 {
+            b = b.insn(Insn::Nop);
+        }
+        p.push_function(b.breq("top").build());
+        assert!(matches!(
+            link(&p).unwrap_err(),
+            AsmError::BranchOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn symbols_are_sorted_and_gapless_text() {
+        let img = link(&tiny_program(ToolchainOptions::mavr())).unwrap();
+        let mut prev_end = 0;
+        for s in &img.symbols {
+            assert_eq!(s.addr, prev_end, "no gaps between symbols");
+            prev_end = s.end();
+        }
+        assert_eq!(prev_end, img.code_size());
+    }
+
+    #[test]
+    fn image_too_large_rejected() {
+        let mut p = Program::new(ATMEGA2560, 1);
+        p.vectors[0] = Some("main".to_string());
+        p.push_function(FnBuilder::new("main").insn(Insn::Ret).build());
+        p.rodata.push(DataObject::new(
+            "huge",
+            vec![0; ATMEGA2560.flash_bytes as usize],
+        ));
+        assert!(matches!(link(&p).unwrap_err(), AsmError::ImageTooLarge { .. }));
+    }
+}

@@ -1,0 +1,659 @@
+//! A text assembler: parse a small `.s`-style dialect into a [`Program`].
+//!
+//! The dialect covers what the rest of this workspace needs — functions,
+//! labels, the full instruction set via the standard mnemonics, symbolic
+//! `call`/`jmp`, rodata blobs and function-pointer tables:
+//!
+//! ```text
+//! .device atmega2560
+//! .vectors 4
+//! .vector 0 main
+//!
+//! .func main
+//!     ldi r24, 0x21
+//!     out 0x3e, r24
+//!     ldi r24, 0xff
+//!     out 0x3d, r24
+//! again:
+//!     call blink
+//!     rjmp again
+//! .endfunc
+//!
+//! .func blink
+//!     in r24, 0x05
+//!     ldi r25, 0x20
+//!     eor r24, r25
+//!     out 0x05, r24
+//!     ret
+//! .endfunc
+//!
+//! .rodata table
+//!     .byte 0x01, 0x02, 0xff
+//! .endrodata
+//!
+//! .fntable handlers blink main
+//! ```
+//!
+//! Numbers accept `0x…` hex or decimal; registers are `r0`–`r31`; branch
+//! conditions use the avr-gcc aliases (`breq label`, `brne label`, …).
+
+use std::collections::HashMap;
+
+use avr_core::device::{ATMEGA1284P, ATMEGA2560};
+use avr_core::{Insn, PtrReg, Reg, YZ};
+
+use crate::item::{DataObject, Function, Item, Program};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse assembly text into a linkable [`Program`].
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut device = ATMEGA2560;
+    let mut n_vectors = 1usize;
+    let mut vectors: HashMap<usize, String> = HashMap::new();
+    let mut functions: Vec<Function> = Vec::new();
+    let mut rodata: Vec<DataObject> = Vec::new();
+
+    enum Ctx {
+        Top,
+        Func(Function),
+        Rodata(DataObject),
+    }
+    let mut ctx = Ctx::Top;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let code = raw.split(';').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        let (head, rest) = match code.split_once(char::is_whitespace) {
+            Some((h, r)) => (h, r.trim()),
+            None => (code, ""),
+        };
+
+        match (&mut ctx, head) {
+            (Ctx::Top, ".device") => {
+                device = match rest.to_ascii_lowercase().as_str() {
+                    "atmega2560" => ATMEGA2560,
+                    "atmega1284p" => ATMEGA1284P,
+                    other => return Err(err(line, format!("unknown device `{other}`"))),
+                };
+            }
+            (Ctx::Top, ".vectors") => {
+                n_vectors = parse_num(rest, line)? as usize;
+            }
+            (Ctx::Top, ".vector") => {
+                let (idx, name) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| err(line, ".vector needs `index name`"))?;
+                vectors.insert(parse_num(idx.trim(), line)? as usize, name.trim().to_string());
+            }
+            (Ctx::Top, ".func") => {
+                if rest.is_empty() {
+                    return Err(err(line, ".func needs a name"));
+                }
+                ctx = Ctx::Func(Function::new(rest));
+            }
+            (Ctx::Top, ".rodata") => {
+                if rest.is_empty() {
+                    return Err(err(line, ".rodata needs a name"));
+                }
+                ctx = Ctx::Rodata(DataObject::new(rest, Vec::new()));
+            }
+            (Ctx::Top, ".fntable") => {
+                let mut parts = rest.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err(line, ".fntable needs `name fn...`"))?;
+                let targets: Vec<&str> = parts.collect();
+                if targets.is_empty() {
+                    return Err(err(line, ".fntable needs at least one function"));
+                }
+                rodata.push(DataObject::fn_table(name, &targets));
+            }
+            (Ctx::Top, other) => {
+                return Err(err(line, format!("unexpected `{other}` outside .func")));
+            }
+
+            (Ctx::Func(f), ".endfunc") => {
+                functions.push(std::mem::replace(f, Function::new("")));
+                ctx = Ctx::Top;
+            }
+            (Ctx::Func(f), ".fixed") => f.movable = false,
+            (Ctx::Func(f), _) => {
+                let item = parse_item(code, line)?;
+                f.items.push(item);
+            }
+
+            (Ctx::Rodata(d), ".endrodata") => {
+                rodata.push(std::mem::replace(d, DataObject::new("", Vec::new())));
+                ctx = Ctx::Top;
+            }
+            (Ctx::Rodata(d), ".byte") => {
+                for tok in rest.split(',') {
+                    d.bytes.push(parse_num(tok.trim(), line)? as u8);
+                }
+            }
+            (Ctx::Rodata(d), ".word") => {
+                for tok in rest.split(',') {
+                    let w = parse_num(tok.trim(), line)? as u16;
+                    d.bytes.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            (Ctx::Rodata(_), other) => {
+                return Err(err(line, format!("unexpected `{other}` in .rodata")));
+            }
+        }
+    }
+    match ctx {
+        Ctx::Top => {}
+        Ctx::Func(f) => return Err(err(text.lines().count(), format!("unterminated .func {}", f.name))),
+        Ctx::Rodata(d) => {
+            return Err(err(text.lines().count(), format!("unterminated .rodata {}", d.name)))
+        }
+    }
+
+    let mut p = Program::new(device, n_vectors.max(1));
+    for (idx, name) in vectors {
+        if idx >= p.vectors.len() {
+            return Err(err(0, format!("vector {idx} out of range")));
+        }
+        p.vectors[idx] = Some(name);
+    }
+    p.functions = functions;
+    p.rodata.extend(rodata);
+    Ok(p)
+}
+
+fn parse_num(s: &str, line: usize) -> Result<i64, ParseError> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    }
+    .map_err(|_| err(line, format!("bad number `{s}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, ParseError> {
+    let n = s
+        .strip_prefix(['r', 'R'])
+        .and_then(|t| t.parse::<u8>().ok())
+        .filter(|&n| n <= 31)
+        .ok_or_else(|| err(line, format!("bad register `{s}`")))?;
+    Ok(Reg::new(n))
+}
+
+fn operands(rest: &str) -> Vec<&str> {
+    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+}
+
+/// Parse one body line: a label definition or an instruction.
+fn parse_item(code: &str, line: usize) -> Result<Item, ParseError> {
+    if let Some(label) = code.strip_suffix(':') {
+        let label = label.trim();
+        if label.is_empty() || label.contains(char::is_whitespace) {
+            return Err(err(line, "bad label"));
+        }
+        return Ok(Item::Label(label.to_string()));
+    }
+    let (m, rest) = match code.split_once(char::is_whitespace) {
+        Some((m, r)) => (m.to_ascii_lowercase(), r.trim()),
+        None => (code.to_ascii_lowercase(), ""),
+    };
+    let ops = operands(rest);
+    let one = |i: Insn| Ok(Item::Insn(i));
+
+    // Branch aliases -> Item::Branch.
+    let branch = |s: u8, when_set: bool| -> Result<Item, ParseError> {
+        let label = ops
+            .first()
+            .ok_or_else(|| err(line, format!("{m} needs a label")))?;
+        Ok(Item::Branch {
+            s,
+            when_set,
+            label: label.to_string(),
+        })
+    };
+    use avr_core::sreg;
+    match m.as_str() {
+        "breq" => return branch(sreg::Z, true),
+        "brne" => return branch(sreg::Z, false),
+        "brcs" | "brlo" => return branch(sreg::C, true),
+        "brcc" | "brsh" => return branch(sreg::C, false),
+        "brmi" => return branch(sreg::N, true),
+        "brpl" => return branch(sreg::N, false),
+        "brvs" => return branch(sreg::V, true),
+        "brvc" => return branch(sreg::V, false),
+        "brlt" => return branch(sreg::S, true),
+        "brge" => return branch(sreg::S, false),
+        "brts" => return branch(sreg::T, true),
+        "brtc" => return branch(sreg::T, false),
+        _ => {}
+    }
+
+    let need = |n: usize| -> Result<(), ParseError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, format!("{m} expects {n} operand(s), got {}", ops.len())))
+        }
+    };
+    let reg = |i: usize| parse_reg(ops[i], line);
+    let num = |i: usize| parse_num(ops[i], line);
+
+    match m.as_str() {
+        // zero-operand
+        "nop" => one(Insn::Nop),
+        "ret" => one(Insn::Ret),
+        "reti" => one(Insn::Reti),
+        "icall" => one(Insn::Icall),
+        "eicall" => one(Insn::Eicall),
+        "ijmp" => one(Insn::Ijmp),
+        "eijmp" => one(Insn::Eijmp),
+        "sleep" => one(Insn::Sleep),
+        "break" => one(Insn::Break),
+        "wdr" => one(Insn::Wdr),
+        "sei" => one(Insn::Bset { s: sreg::I }),
+        "cli" => one(Insn::Bclr { s: sreg::I }),
+        "sec" => one(Insn::Bset { s: sreg::C }),
+        "clc" => one(Insn::Bclr { s: sreg::C }),
+        "clr" => {
+            need(1)?;
+            let d = reg(0)?;
+            one(Insn::Eor { d, r: d })
+        }
+        "tst" => {
+            need(1)?;
+            let d = reg(0)?;
+            one(Insn::And { d, r: d })
+        }
+        "lsl" => {
+            need(1)?;
+            let d = reg(0)?;
+            one(Insn::Add { d, r: d })
+        }
+        "rol" => {
+            need(1)?;
+            let d = reg(0)?;
+            one(Insn::Adc { d, r: d })
+        }
+
+        // two-register
+        "add" | "adc" | "sub" | "sbc" | "and" | "or" | "eor" | "cp" | "cpc" | "cpse" | "mov"
+        | "mul" | "movw" | "muls" | "mulsu" | "fmul" | "fmuls" | "fmulsu" => {
+            need(2)?;
+            let d = reg(0)?;
+            let r = reg(1)?;
+            one(match m.as_str() {
+                "add" => Insn::Add { d, r },
+                "adc" => Insn::Adc { d, r },
+                "sub" => Insn::Sub { d, r },
+                "sbc" => Insn::Sbc { d, r },
+                "and" => Insn::And { d, r },
+                "or" => Insn::Or { d, r },
+                "eor" => Insn::Eor { d, r },
+                "cp" => Insn::Cp { d, r },
+                "cpc" => Insn::Cpc { d, r },
+                "cpse" => Insn::Cpse { d, r },
+                "mov" => Insn::Mov { d, r },
+                "mul" => Insn::Mul { d, r },
+                "movw" => Insn::Movw { d, r },
+                "muls" => Insn::Muls { d, r },
+                "mulsu" => Insn::Mulsu { d, r },
+                "fmul" => Insn::Fmul { d, r },
+                "fmuls" => Insn::Fmuls { d, r },
+                _ => Insn::Fmulsu { d, r },
+            })
+        }
+
+        // register + immediate
+        "ldi" | "cpi" | "subi" | "sbci" | "ori" | "andi" => {
+            need(2)?;
+            let d = reg(0)?;
+            let k = num(1)? as u8;
+            one(match m.as_str() {
+                "ldi" => Insn::Ldi { d, k },
+                "cpi" => Insn::Cpi { d, k },
+                "subi" => Insn::Subi { d, k },
+                "sbci" => Insn::Sbci { d, k },
+                "ori" => Insn::Ori { d, k },
+                _ => Insn::Andi { d, k },
+            })
+        }
+
+        // one-register
+        "com" | "neg" | "swap" | "inc" | "dec" | "asr" | "lsr" | "ror" | "push" | "pop" => {
+            need(1)?;
+            let d = reg(0)?;
+            one(match m.as_str() {
+                "com" => Insn::Com { d },
+                "neg" => Insn::Neg { d },
+                "swap" => Insn::Swap { d },
+                "inc" => Insn::Inc { d },
+                "dec" => Insn::Dec { d },
+                "asr" => Insn::Asr { d },
+                "lsr" => Insn::Lsr { d },
+                "ror" => Insn::Ror { d },
+                "push" => Insn::Push { r: d },
+                _ => Insn::Pop { d },
+            })
+        }
+
+        "adiw" | "sbiw" => {
+            need(2)?;
+            let d = reg(0)?;
+            let k = num(1)? as u8;
+            one(if m == "adiw" {
+                Insn::Adiw { d, k }
+            } else {
+                Insn::Sbiw { d, k }
+            })
+        }
+
+        // memory
+        "lds" => {
+            need(2)?;
+            one(Insn::Lds { d: reg(0)?, k: num(1)? as u16 })
+        }
+        "sts" => {
+            need(2)?;
+            one(Insn::Sts { k: num(0)? as u16, r: reg(1)? })
+        }
+        "ld" => {
+            need(2)?;
+            let d = reg(0)?;
+            one(match ops[1] {
+                "x" | "X" => Insn::Ld { d, ptr: PtrReg::X },
+                "x+" | "X+" => Insn::Ld { d, ptr: PtrReg::XPostInc },
+                "-x" | "-X" => Insn::Ld { d, ptr: PtrReg::XPreDec },
+                "y" | "Y" => Insn::Ldd { d, idx: YZ::Y, q: 0 },
+                "y+" | "Y+" => Insn::Ld { d, ptr: PtrReg::YPostInc },
+                "-y" | "-Y" => Insn::Ld { d, ptr: PtrReg::YPreDec },
+                "z" | "Z" => Insn::Ldd { d, idx: YZ::Z, q: 0 },
+                "z+" | "Z+" => Insn::Ld { d, ptr: PtrReg::ZPostInc },
+                "-z" | "-Z" => Insn::Ld { d, ptr: PtrReg::ZPreDec },
+                other => return Err(err(line, format!("bad pointer `{other}`"))),
+            })
+        }
+        "st" => {
+            need(2)?;
+            let r = reg(1)?;
+            one(match ops[0] {
+                "x" | "X" => Insn::St { ptr: PtrReg::X, r },
+                "x+" | "X+" => Insn::St { ptr: PtrReg::XPostInc, r },
+                "-x" | "-X" => Insn::St { ptr: PtrReg::XPreDec, r },
+                "y" | "Y" => Insn::Std { idx: YZ::Y, q: 0, r },
+                "y+" | "Y+" => Insn::St { ptr: PtrReg::YPostInc, r },
+                "-y" | "-Y" => Insn::St { ptr: PtrReg::YPreDec, r },
+                "z" | "Z" => Insn::Std { idx: YZ::Z, q: 0, r },
+                "z+" | "Z+" => Insn::St { ptr: PtrReg::ZPostInc, r },
+                "-z" | "-Z" => Insn::St { ptr: PtrReg::ZPreDec, r },
+                other => return Err(err(line, format!("bad pointer `{other}`"))),
+            })
+        }
+        "ldd" => {
+            need(2)?;
+            let d = reg(0)?;
+            let (idx, q) = parse_displaced(ops[1], line)?;
+            one(Insn::Ldd { d, idx, q })
+        }
+        "std" => {
+            need(2)?;
+            let (idx, q) = parse_displaced(ops[0], line)?;
+            one(Insn::Std { idx, q, r: reg(1)? })
+        }
+        "lpm" => {
+            need(2)?;
+            let d = reg(0)?;
+            one(Insn::Lpm { d, post_inc: ops[1].ends_with('+') })
+        }
+        "elpm" => {
+            need(2)?;
+            let d = reg(0)?;
+            one(Insn::Elpm { d, post_inc: ops[1].ends_with('+') })
+        }
+        "in" => {
+            need(2)?;
+            one(Insn::In { d: reg(0)?, a: num(1)? as u8 })
+        }
+        "out" => {
+            need(2)?;
+            one(Insn::Out { a: num(0)? as u8, r: reg(1)? })
+        }
+
+        // bit ops
+        "bst" | "bld" | "sbrc" | "sbrs" => {
+            need(2)?;
+            let r = reg(0)?;
+            let b = num(1)? as u8;
+            one(match m.as_str() {
+                "bst" => Insn::Bst { d: r, b },
+                "bld" => Insn::Bld { d: r, b },
+                "sbrc" => Insn::Sbrc { r, b },
+                _ => Insn::Sbrs { r, b },
+            })
+        }
+        "sbi" | "cbi" | "sbic" | "sbis" => {
+            need(2)?;
+            let a = num(0)? as u8;
+            let b = num(1)? as u8;
+            one(match m.as_str() {
+                "sbi" => Insn::Sbi { a, b },
+                "cbi" => Insn::Cbi { a, b },
+                "sbic" => Insn::Sbic { a, b },
+                _ => Insn::Sbis { a, b },
+            })
+        }
+
+        // symbolic control flow
+        "call" => {
+            need(1)?;
+            Ok(Item::CallSym(ops[0].to_string()))
+        }
+        "jmp" => {
+            need(1)?;
+            // `jmp symbol+offset` is the switch-trampoline form.
+            if let Some((sym, off)) = ops[0].split_once('+') {
+                Ok(Item::JmpSymOffset {
+                    name: sym.to_string(),
+                    byte_offset: parse_num(off, line)? as u32,
+                })
+            } else {
+                Ok(Item::JmpSym(ops[0].to_string()))
+            }
+        }
+        "rjmp" => {
+            need(1)?;
+            Ok(Item::RjmpLabel(ops[0].to_string()))
+        }
+
+        other => Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+/// Parse `y+3` / `z+12` displacement operands.
+fn parse_displaced(s: &str, line: usize) -> Result<(YZ, u8), ParseError> {
+    let lower = s.to_ascii_lowercase();
+    let (base, off) = lower
+        .split_once('+')
+        .ok_or_else(|| err(line, format!("bad displaced operand `{s}`")))?;
+    let idx = match base.trim() {
+        "y" => YZ::Y,
+        "z" => YZ::Z,
+        other => return Err(err(line, format!("bad base register `{other}`"))),
+    };
+    let q = parse_num(off.trim(), line)? as u8;
+    Ok((idx, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link;
+    use avr_sim::Machine;
+
+    const BLINKER: &str = r#"
+; A minimal blinker with a helper call.
+.device atmega2560
+.vectors 4
+.vector 0 main
+
+.func main
+    ldi r24, 0x21
+    out 0x3e, r24
+    ldi r24, 0xff
+    out 0x3d, r24
+    ldi r20, 0
+again:
+    call bump
+    cpi r20, 5
+    brne again
+    break
+.endfunc
+
+.func bump
+    inc r20
+    ret
+.endfunc
+"#;
+
+    #[test]
+    fn parses_and_runs() {
+        let p = parse_program(BLINKER).unwrap();
+        assert_eq!(p.functions.len(), 2);
+        let img = link(&p).unwrap();
+        let mut m = Machine::new_atmega2560();
+        m.load_flash(0, &img.bytes);
+        m.run(10_000);
+        assert_eq!(m.reg(Reg::R20), 5);
+    }
+
+    #[test]
+    fn parses_rodata_and_tables() {
+        let src = r#"
+.device atmega2560
+.vectors 1
+.vector 0 main
+.func main
+halt:
+    rjmp halt
+.endfunc
+.rodata blob
+    .byte 0x01, 2, 0xff
+    .word 0x1234
+.endrodata
+.fntable handlers main
+"#;
+        let p = parse_program(src).unwrap();
+        let img = link(&p).unwrap();
+        let blob = img.symbol("blob").unwrap();
+        assert_eq!(&img.bytes[blob.addr as usize..blob.addr as usize + 5], &[1, 2, 0xff, 0x34, 0x12]);
+        assert_eq!(img.fn_ptr_locs.len(), 1);
+    }
+
+    #[test]
+    fn parses_displaced_and_pointer_modes() {
+        let src = r#"
+.device atmega2560
+.vectors 1
+.vector 0 f
+.func f
+    ldd r24, y+3
+    std z+12, r24
+    ld r25, x+
+    st -y, r25
+    lpm r0, z+
+    break
+.endfunc
+"#;
+        let p = parse_program(src).unwrap();
+        let f = &p.functions[0];
+        assert_eq!(f.items[0], Item::Insn(Insn::Ldd { d: Reg::R24, idx: YZ::Y, q: 3 }));
+        assert_eq!(f.items[1], Item::Insn(Insn::Std { idx: YZ::Z, q: 12, r: Reg::R24 }));
+        assert_eq!(f.items[2], Item::Insn(Insn::Ld { d: Reg::R25, ptr: PtrReg::XPostInc }));
+        assert_eq!(f.items[3], Item::Insn(Insn::St { ptr: PtrReg::YPreDec, r: Reg::R25 }));
+    }
+
+    #[test]
+    fn trampoline_jump_syntax() {
+        let src = ".device atmega2560\n.func f\n    jmp g+8\n.endfunc\n.func g\n    ret\n.endfunc\n";
+        let p = parse_program(src).unwrap();
+        assert_eq!(
+            p.functions[0].items[0],
+            Item::JmpSymOffset { name: "g".to_string(), byte_offset: 8 }
+        );
+    }
+
+    #[test]
+    fn fixed_directive_pins_function() {
+        let src = ".device atmega2560\n.func bl\n.fixed\n    ret\n.endfunc\n";
+        let p = parse_program(src).unwrap();
+        assert!(!p.functions[0].movable);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = ".device atmega2560\n.func f\n    frobnicate r1\n.endfunc\n";
+        let e = parse_program(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobnicate"));
+
+        assert!(parse_program(".func f\n    ret\n").unwrap_err().message.contains("unterminated"));
+        assert!(parse_program(".device z80\n").is_err());
+        assert!(parse_program(".func f\n    ldi r24\n.endfunc\n")
+            .unwrap_err()
+            .message
+            .contains("expects 2"));
+        assert!(parse_program("ret\n").unwrap_err().message.contains("outside .func"));
+    }
+
+    #[test]
+    fn comments_and_aliases() {
+        let src = r#"
+.device atmega2560
+.func f
+    clr r20      ; zero it
+    tst r20
+    breq done
+    lsl r20
+done:
+    sei
+    cli
+    ret
+.endfunc
+"#;
+        let p = parse_program(src).unwrap();
+        let f = &p.functions[0];
+        assert_eq!(f.items[0], Item::Insn(Insn::Eor { d: Reg::R20, r: Reg::R20 }));
+        assert_eq!(f.items[1], Item::Insn(Insn::And { d: Reg::R20, r: Reg::R20 }));
+        assert!(matches!(f.items[2], Item::Branch { when_set: true, .. }));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests over the linker: randomly shaped programs must link under
+//! both toolchains, produce structurally valid images, and *execute
+//! identically* regardless of relaxation (relaxation is an encoding
+//! optimization, not a semantic change).
+
+use avr_asm::{link, FnBuilder, Program, ToolchainOptions};
+use avr_core::device::ATMEGA2560;
+use avr_core::{Insn, Reg};
+use avr_sim::Machine;
+use proptest::prelude::*;
+
+/// Build a random program: `n` leaf functions doing deterministic
+/// arithmetic, and a main that calls a subset of them, accumulating into
+/// SRAM, then breaks.
+fn random_program(
+    n_leaves: usize,
+    leaf_ops: &[u8],
+    call_order: &[usize],
+    pad_words: usize,
+) -> Program {
+    let mut p = Program::new(ATMEGA2560, 4);
+    p.vectors[0] = Some("main".to_string());
+
+    let mut main = FnBuilder::new("main")
+        .insn(Insn::Ldi { d: Reg::R24, k: 0x21 })
+        .insn(Insn::Out { a: 0x3e, r: Reg::R24 })
+        .insn(Insn::Ldi { d: Reg::R24, k: 0xff })
+        .insn(Insn::Out { a: 0x3d, r: Reg::R24 })
+        .insn(Insn::Ldi { d: Reg::R20, k: 0 });
+    for &c in call_order {
+        main = main.call(format!("leaf_{}", c % n_leaves));
+        // Accumulate each leaf's result (returned in r24).
+        main = main.insn(Insn::Add { d: Reg::R20, r: Reg::R24 });
+    }
+    main = main
+        .insn(Insn::Sts { k: 0x0400, r: Reg::R20 })
+        .insn(Insn::Break);
+    p.push_function(main.build());
+
+    for i in 0..n_leaves {
+        let mut b = FnBuilder::new(format!("leaf_{i}"))
+            .insn(Insn::Ldi { d: Reg::R24, k: (i as u8).wrapping_mul(13) });
+        let op = leaf_ops[i % leaf_ops.len()];
+        for _ in 0..(op % 5) {
+            b = b.insn(Insn::Inc { d: Reg::R24 });
+        }
+        // Optional distance padding to force long calls under relaxation.
+        if i == n_leaves / 2 {
+            for _ in 0..pad_words {
+                b = b.insn(Insn::Nop);
+            }
+        }
+        p.push_function(b.insn(Insn::Ret).build());
+    }
+    p
+}
+
+fn run_to_break(image_bytes: &[u8]) -> Option<u8> {
+    let mut m = Machine::new_atmega2560();
+    m.load_flash(0, image_bytes);
+    match m.run(1_000_000) {
+        avr_sim::RunExit::Faulted(avr_sim::Fault::Break { .. }) => Some(m.peek_data(0x0400)),
+        _ => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn both_toolchains_link_and_agree(
+        n_leaves in 2usize..20,
+        leaf_ops in proptest::collection::vec(any::<u8>(), 1..20),
+        call_order in proptest::collection::vec(0usize..20, 1..12),
+        pad in prop_oneof![Just(0usize), Just(10), Just(3000)],
+    ) {
+        let mut prog = random_program(n_leaves, &leaf_ops, &call_order, pad);
+
+        prog.toolchain = ToolchainOptions::mavr();
+        let long = link(&prog).unwrap();
+        long.validate().unwrap();
+
+        prog.toolchain = ToolchainOptions::stock();
+        let relaxed = link(&prog).unwrap();
+        relaxed.validate().unwrap();
+
+        // Relaxation never grows the image.
+        prop_assert!(relaxed.code_size() <= long.code_size());
+
+        // Same observable behaviour.
+        let a = run_to_break(&long.bytes);
+        let b = run_to_break(&relaxed.bytes);
+        prop_assert!(a.is_some(), "no-relax build must reach break");
+        prop_assert_eq!(a, b, "relaxation must not change semantics");
+    }
+
+    #[test]
+    fn symbol_table_is_exact_partition(
+        n_leaves in 2usize..16,
+        call_order in proptest::collection::vec(0usize..16, 1..8),
+    ) {
+        let prog = random_program(n_leaves, &[3], &call_order, 0);
+        let img = link(&prog).unwrap();
+        // Symbols tile the image exactly: sorted, gapless, ending at size.
+        let mut cursor = 0;
+        for s in &img.symbols {
+            prop_assert_eq!(s.addr, cursor, "gap before {}", s.name);
+            cursor = s.end();
+        }
+        prop_assert_eq!(cursor, img.code_size());
+        // Every call target in the emitted code lands on a symbol start or
+        // inside a symbol (no dangling targets).
+        let mut off = 0u32;
+        while off + 1 < img.text_end {
+            let Some((insn, w)) = avr_core::decode::decode_at(&img.bytes, off as usize) else {
+                break;
+            };
+            if let Insn::Call { k } | Insn::Jmp { k } = insn {
+                prop_assert!(
+                    img.symbol_containing(k * 2).is_some(),
+                    "dangling target {:#x} at {:#x}",
+                    k * 2,
+                    off
+                );
+            }
+            off += w * 2;
+        }
+    }
+
+    #[test]
+    fn linking_is_deterministic(
+        n_leaves in 2usize..12,
+        call_order in proptest::collection::vec(0usize..12, 1..8),
+    ) {
+        let prog = random_program(n_leaves, &[7], &call_order, 0);
+        let a = link(&prog).unwrap();
+        let b = link(&prog).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

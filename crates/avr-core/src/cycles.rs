@@ -1,0 +1,110 @@
+//! Instruction timing for the AVRe+ core.
+//!
+//! Cycle counts follow the *AVR Instruction Set Manual* for parts with
+//! more than 128 KiB of flash (the ATmega2560): `call`/`rcall`/`icall` take
+//! one extra cycle because three PC bytes are pushed, and `ret`/`reti` take
+//! 5 cycles. Branch/skip instructions cost one extra cycle when taken; that
+//! dynamic component is added by the simulator, not here.
+
+use crate::Insn;
+
+/// Base (not-taken / fall-through) cycle count of `insn` on an ATmega2560.
+pub fn base_cycles(insn: &Insn) -> u64 {
+    match insn {
+        Insn::Nop
+        | Insn::Add { .. }
+        | Insn::Adc { .. }
+        | Insn::Sub { .. }
+        | Insn::Sbc { .. }
+        | Insn::And { .. }
+        | Insn::Or { .. }
+        | Insn::Eor { .. }
+        | Insn::Cp { .. }
+        | Insn::Cpc { .. }
+        | Insn::Mov { .. }
+        | Insn::Movw { .. }
+        | Insn::Ldi { .. }
+        | Insn::Cpi { .. }
+        | Insn::Subi { .. }
+        | Insn::Sbci { .. }
+        | Insn::Ori { .. }
+        | Insn::Andi { .. }
+        | Insn::Com { .. }
+        | Insn::Neg { .. }
+        | Insn::Swap { .. }
+        | Insn::Inc { .. }
+        | Insn::Dec { .. }
+        | Insn::Asr { .. }
+        | Insn::Lsr { .. }
+        | Insn::Ror { .. }
+        | Insn::Bset { .. }
+        | Insn::Bclr { .. }
+        | Insn::Bst { .. }
+        | Insn::Bld { .. }
+        | Insn::In { .. }
+        | Insn::Out { .. }
+        | Insn::Sleep
+        | Insn::Wdr
+        | Insn::Break => 1,
+
+        // Skips cost 1 when not skipping; the simulator adds 1–2 when the
+        // skip is taken (2 when skipping a two-word instruction).
+        Insn::Cpse { .. } | Insn::Sbrc { .. } | Insn::Sbrs { .. } => 1,
+        Insn::Sbic { .. } | Insn::Sbis { .. } => 1,
+
+        Insn::Mul { .. }
+        | Insn::Muls { .. }
+        | Insn::Mulsu { .. }
+        | Insn::Fmul { .. }
+        | Insn::Fmuls { .. }
+        | Insn::Fmulsu { .. }
+        | Insn::Adiw { .. }
+        | Insn::Sbiw { .. }
+        | Insn::Sbi { .. }
+        | Insn::Cbi { .. } => 2,
+
+        Insn::Ld { .. } | Insn::Ldd { .. } | Insn::Lds { .. } => 2,
+        Insn::St { .. } | Insn::Std { .. } | Insn::Sts { .. } => 2,
+        Insn::Push { .. } => 2,
+        Insn::Pop { .. } => 2,
+
+        Insn::Lpm { .. } | Insn::Lpm0 | Insn::Elpm { .. } | Insn::Elpm0 => 3,
+        Insn::Spm | Insn::SpmZPostInc => 1, // completion time modelled by flash controller
+
+        Insn::Rjmp { .. } | Insn::Ijmp => 2,
+        Insn::Eijmp => 2,
+        Insn::Jmp { .. } => 3,
+
+        // 22-bit-PC devices: one extra cycle over the 16-bit-PC figures.
+        Insn::Rcall { .. } => 4,
+        Insn::Icall | Insn::Eicall => 4,
+        Insn::Call { .. } => 5,
+        Insn::Ret | Insn::Reti => 5,
+
+        // Conditional branches: 1 if not taken (+1 taken, added dynamically).
+        Insn::Brbs { .. } | Insn::Brbc { .. } => 1,
+
+        // Executing garbage still consumes time; model as 1 cycle before the
+        // core faults.
+        Insn::Invalid(_) => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn representative_timings() {
+        assert_eq!(base_cycles(&Insn::Nop), 1);
+        assert_eq!(base_cycles(&Insn::Push { r: Reg::R0 }), 2);
+        assert_eq!(base_cycles(&Insn::Pop { d: Reg::R0 }), 2);
+        assert_eq!(base_cycles(&Insn::Call { k: 0 }), 5);
+        assert_eq!(base_cycles(&Insn::Ret), 5);
+        assert_eq!(base_cycles(&Insn::Jmp { k: 0 }), 3);
+        assert_eq!(base_cycles(&Insn::Rjmp { k: 0 }), 2);
+        assert_eq!(base_cycles(&Insn::Lpm0), 3);
+        assert_eq!(base_cycles(&Insn::Mul { d: Reg::R0, r: Reg::R1 }), 2);
+    }
+}

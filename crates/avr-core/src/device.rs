@@ -1,0 +1,94 @@
+//! Device parameters for the AVR parts used by the MAVR platform.
+
+/// Static description of one AVR microcontroller model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Device {
+    /// Human-readable part name.
+    pub name: &'static str,
+    /// Program flash size in bytes.
+    pub flash_bytes: u32,
+    /// First data-space address of physical SRAM (registers and I/O are
+    /// mapped below it).
+    pub sram_start: u16,
+    /// SRAM size in bytes.
+    pub sram_bytes: u16,
+    /// EEPROM size in bytes.
+    pub eeprom_bytes: u16,
+    /// Bytes pushed per return address (3 on parts with >128 KiB flash).
+    pub pc_bytes: u8,
+    /// Flash page size in bytes (granularity of self-programming).
+    pub flash_page_bytes: u16,
+    /// Endurance of the program flash in write/erase cycles. The paper
+    /// (§VI-A) cites the 10,000-cycle limit as the reason randomization must
+    /// be periodic rather than per-boot.
+    pub flash_endurance_cycles: u32,
+}
+
+impl Device {
+    /// Program flash size in 16-bit words.
+    pub const fn flash_words(&self) -> u32 {
+        self.flash_bytes / 2
+    }
+
+    /// Highest valid data-space address (`RAMEND`).
+    pub const fn ramend(&self) -> u16 {
+        self.sram_start + self.sram_bytes - 1
+    }
+
+    /// Whether `addr` (a byte address) lies inside program flash.
+    pub const fn in_flash(&self, addr: u32) -> bool {
+        addr < self.flash_bytes
+    }
+}
+
+/// The application processor on the APM 2.5: Atmel ATmega2560.
+///
+/// 256 KiB flash (128 Kwords, so 3-byte return addresses), 8 KiB SRAM
+/// starting at data address `0x0200`, 4 KiB EEPROM — the memory map of the
+/// paper's Fig. 1.
+pub const ATMEGA2560: Device = Device {
+    name: "ATmega2560",
+    flash_bytes: 256 * 1024,
+    sram_start: 0x0200,
+    sram_bytes: 8 * 1024,
+    eeprom_bytes: 4 * 1024,
+    pc_bytes: 3,
+    flash_page_bytes: 256,
+    flash_endurance_cycles: 10_000,
+};
+
+/// The MAVR master processor: Atmel ATmega1284P (§VI-A).
+///
+/// 128 KiB flash (2-byte return addresses), 16 KiB SRAM, 4 KiB EEPROM.
+pub const ATMEGA1284P: Device = Device {
+    name: "ATmega1284P",
+    flash_bytes: 128 * 1024,
+    sram_start: 0x0100,
+    sram_bytes: 16 * 1024,
+    eeprom_bytes: 4 * 1024,
+    pc_bytes: 2,
+    flash_page_bytes: 256,
+    flash_endurance_cycles: 10_000,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atmega2560_memory_map_matches_fig1() {
+        assert_eq!(ATMEGA2560.flash_bytes, 262_144);
+        assert_eq!(ATMEGA2560.flash_words(), 131_072);
+        assert_eq!(ATMEGA2560.sram_start, 0x0200);
+        assert_eq!(ATMEGA2560.ramend(), 0x21ff);
+        assert_eq!(ATMEGA2560.pc_bytes, 3);
+        assert!(ATMEGA2560.in_flash(0x3ffff));
+        assert!(!ATMEGA2560.in_flash(0x40000));
+    }
+
+    #[test]
+    fn master_is_smaller_part() {
+        const { assert!(ATMEGA1284P.flash_bytes < ATMEGA2560.flash_bytes) };
+        assert_eq!(ATMEGA1284P.pc_bytes, 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! Disassembly: `Display` for [`Insn`] and listing generation in the style
+//! of the paper's gadget figures (Figs. 4 and 5).
+
+use std::fmt;
+
+use crate::decode::decode_at;
+use crate::{Insn, PtrReg, YZ};
+
+impl fmt::Display for PtrReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PtrReg::X => "X",
+            PtrReg::XPostInc => "X+",
+            PtrReg::XPreDec => "-X",
+            PtrReg::YPostInc => "Y+",
+            PtrReg::YPreDec => "-Y",
+            PtrReg::ZPostInc => "Z+",
+            PtrReg::ZPreDec => "-Z",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for YZ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            YZ::Y => "Y",
+            YZ::Z => "Z",
+        })
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.mnemonic();
+        match *self {
+            Insn::Nop
+            | Insn::Ret
+            | Insn::Reti
+            | Insn::Icall
+            | Insn::Eicall
+            | Insn::Ijmp
+            | Insn::Eijmp
+            | Insn::Sleep
+            | Insn::Break
+            | Insn::Wdr
+            | Insn::Spm
+            | Insn::SpmZPostInc
+            | Insn::Lpm0
+            | Insn::Elpm0 => f.write_str(m),
+
+            Insn::Add { d, r }
+            | Insn::Adc { d, r }
+            | Insn::Sub { d, r }
+            | Insn::Sbc { d, r }
+            | Insn::And { d, r }
+            | Insn::Or { d, r }
+            | Insn::Eor { d, r }
+            | Insn::Cp { d, r }
+            | Insn::Cpc { d, r }
+            | Insn::Cpse { d, r }
+            | Insn::Mov { d, r }
+            | Insn::Mul { d, r }
+            | Insn::Movw { d, r }
+            | Insn::Muls { d, r }
+            | Insn::Mulsu { d, r }
+            | Insn::Fmul { d, r }
+            | Insn::Fmuls { d, r }
+            | Insn::Fmulsu { d, r } => write!(f, "{m} {d}, {r}"),
+
+            Insn::Ldi { d, k }
+            | Insn::Cpi { d, k }
+            | Insn::Subi { d, k }
+            | Insn::Sbci { d, k }
+            | Insn::Ori { d, k }
+            | Insn::Andi { d, k } => write!(f, "{m} {d}, {k:#04x}"),
+
+            Insn::Com { d }
+            | Insn::Neg { d }
+            | Insn::Swap { d }
+            | Insn::Inc { d }
+            | Insn::Dec { d }
+            | Insn::Asr { d }
+            | Insn::Lsr { d }
+            | Insn::Ror { d }
+            | Insn::Pop { d } => write!(f, "{m} {d}"),
+
+            Insn::Push { r } => write!(f, "{m} {r}"),
+
+            Insn::Adiw { d, k } | Insn::Sbiw { d, k } => write!(f, "{m} {d}, {k:#04x}"),
+
+            Insn::Ld { d, ptr } => write!(f, "ld {d}, {ptr}"),
+            Insn::St { ptr, r } => write!(f, "st {ptr}, {r}"),
+            Insn::Ldd { d, idx, q } => {
+                if q == 0 {
+                    write!(f, "ld {d}, {idx}")
+                } else {
+                    write!(f, "ldd {d}, {idx}+{q}")
+                }
+            }
+            Insn::Std { idx, q, r } => {
+                if q == 0 {
+                    write!(f, "st {idx}, {r}")
+                } else {
+                    write!(f, "std {idx}+{q}, {r}")
+                }
+            }
+            Insn::Lds { d, k } => write!(f, "lds {d}, {k:#06x}"),
+            Insn::Sts { k, r } => write!(f, "sts {k:#06x}, {r}"),
+            Insn::Lpm { d, post_inc } | Insn::Elpm { d, post_inc } => {
+                write!(f, "{m} {d}, Z{}", if post_inc { "+" } else { "" })
+            }
+
+            Insn::In { d, a } => write!(f, "in {d}, {a:#04x}"),
+            Insn::Out { a, r } => write!(f, "out {a:#04x}, {r}"),
+
+            // Word addresses shown as byte addresses / byte offsets, matching
+            // avr-objdump and the paper's listings.
+            Insn::Jmp { k } => write!(f, "jmp {:#x}", k * 2),
+            Insn::Call { k } => write!(f, "call {:#x}", k * 2),
+            Insn::Rjmp { k } => write!(f, "rjmp .{:+}", i32::from(k) * 2 + 2),
+            Insn::Rcall { k } => write!(f, "rcall .{:+}", i32::from(k) * 2 + 2),
+            Insn::Brbs { s, k } => write!(f, "{} .{:+}", brbs_alias(s, true), i32::from(k) * 2 + 2),
+            Insn::Brbc { s, k } => {
+                write!(f, "{} .{:+}", brbs_alias(s, false), i32::from(k) * 2 + 2)
+            }
+
+            Insn::Bset { s } => write!(f, "bset {s}"),
+            Insn::Bclr { s } => write!(f, "bclr {s}"),
+            Insn::Bst { d, b } => write!(f, "bst {d}, {b}"),
+            Insn::Bld { d, b } => write!(f, "bld {d}, {b}"),
+            Insn::Sbrc { r, b } => write!(f, "sbrc {r}, {b}"),
+            Insn::Sbrs { r, b } => write!(f, "sbrs {r}, {b}"),
+            Insn::Sbi { a, b } => write!(f, "sbi {a:#04x}, {b}"),
+            Insn::Cbi { a, b } => write!(f, "cbi {a:#04x}, {b}"),
+            Insn::Sbic { a, b } => write!(f, "sbic {a:#04x}, {b}"),
+            Insn::Sbis { a, b } => write!(f, "sbis {a:#04x}, {b}"),
+
+            Insn::Invalid(w) => write!(f, ".word {w:#06x}"),
+        }
+    }
+}
+
+fn brbs_alias(s: u8, set: bool) -> &'static str {
+    match (s, set) {
+        (0, true) => "brcs",
+        (0, false) => "brcc",
+        (1, true) => "breq",
+        (1, false) => "brne",
+        (2, true) => "brmi",
+        (2, false) => "brpl",
+        (3, true) => "brvs",
+        (3, false) => "brvc",
+        (4, true) => "brlt",
+        (4, false) => "brge",
+        (5, true) => "brhs",
+        (5, false) => "brhc",
+        (6, true) => "brts",
+        (6, false) => "brtc",
+        (_, true) => "brie",
+        (_, false) => "brid",
+    }
+}
+
+/// One line of a disassembly listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// Byte address of the instruction in program memory.
+    pub addr: u32,
+    /// The decoded instruction.
+    pub insn: Insn,
+}
+
+impl fmt::Display for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:6x}\t{}", self.addr, self.insn)
+    }
+}
+
+/// Disassemble `len` bytes of `image` starting at byte address `start`.
+///
+/// Decoding proceeds linearly, the way the paper's gadget listings are read;
+/// a trailing half-instruction at the end of the range is dropped.
+pub fn disassemble(image: &[u8], start: u32, len: u32) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut addr = start;
+    let end = start.saturating_add(len).min(image.len() as u32);
+    while addr + 1 < end {
+        match decode_at(image, addr as usize) {
+            Some((insn, words)) => {
+                out.push(Line { addr, insn });
+                addr += words * 2;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_to_bytes;
+    use crate::Reg;
+
+    #[test]
+    fn formats_match_paper_style() {
+        assert_eq!(Insn::Out { a: 0x3e, r: Reg::R29 }.to_string(), "out 0x3e, r29");
+        assert_eq!(Insn::Pop { d: Reg::R28 }.to_string(), "pop r28");
+        assert_eq!(
+            Insn::Std { idx: YZ::Y, q: 1, r: Reg::R5 }.to_string(),
+            "std Y+1, r5"
+        );
+        assert_eq!(Insn::Ret.to_string(), "ret");
+        assert_eq!(Insn::Ldi { d: Reg::R22, k: 0xe8 }.to_string(), "ldi r22, 0xe8");
+        assert_eq!(Insn::Rcall { k: 455 }.to_string(), "rcall .+912");
+        assert_eq!(Insn::Brbs { s: 1, k: -3 }.to_string(), "breq .-4");
+        assert_eq!(Insn::Jmp { k: 0x100 }.to_string(), "jmp 0x200");
+        assert_eq!(Insn::Ldd { d: Reg::R4, idx: YZ::Z, q: 0 }.to_string(), "ld r4, Z");
+        assert_eq!(Insn::Invalid(0xffff).to_string(), ".word 0xffff");
+    }
+
+    #[test]
+    fn listing_walks_mixed_widths() {
+        let bytes = encode_to_bytes(&[
+            Insn::Push { r: Reg::R28 },
+            Insn::Call { k: 0x1234 },
+            Insn::Ret,
+        ])
+        .unwrap();
+        let lines = disassemble(&bytes, 0, bytes.len() as u32);
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].addr, 0);
+        assert_eq!(lines[1].addr, 2);
+        assert_eq!(lines[2].addr, 6);
+        assert_eq!(lines[2].insn, Insn::Ret);
+        assert_eq!(lines[1].to_string(), "     2\tcall 0x2468");
+    }
+
+    #[test]
+    fn listing_stops_at_range_end() {
+        let bytes = encode_to_bytes(&[Insn::Nop, Insn::Nop]).unwrap();
+        assert_eq!(disassemble(&bytes, 0, 2).len(), 1);
+        assert_eq!(disassemble(&bytes, 0, 3).len(), 1);
+        assert!(disassemble(&bytes, 10, 4).is_empty());
+    }
+}

@@ -1,0 +1,416 @@
+//! Binary encoding of [`Insn`] into 16-bit program-memory words.
+//!
+//! Encodings follow the *AVR Instruction Set Manual*; every path is covered
+//! by the decode round-trip property test in [`crate::decode`].
+
+use crate::{EncodeError, Insn, PtrReg, Reg, YZ};
+
+type Result<T> = std::result::Result<T, EncodeError>;
+
+fn two_reg(op: u16, d: Reg, r: Reg) -> u16 {
+    let d = u16::from(d.num());
+    let r = u16::from(r.num());
+    op | ((r & 0x10) << 5) | (d << 4) | (r & 0x0f)
+}
+
+fn imm(op: u16, mnemonic: &'static str, d: Reg, k: u8) -> Result<u16> {
+    if !d.is_upper() {
+        return Err(EncodeError::BadRegister { mnemonic, reg: d });
+    }
+    let k = u16::from(k);
+    let d = u16::from(d.num() - 16);
+    Ok(op | ((k & 0xf0) << 4) | (d << 4) | (k & 0x0f))
+}
+
+fn one_reg(op4: u16, d: Reg) -> u16 {
+    0x9400 | (u16::from(d.num()) << 4) | op4
+}
+
+fn adiw_like(op: u16, mnemonic: &'static str, d: Reg, k: u8) -> Result<u16> {
+    if !matches!(d, Reg::R24 | Reg::R26 | Reg::R28 | Reg::R30) {
+        return Err(EncodeError::BadRegister { mnemonic, reg: d });
+    }
+    if k > 63 {
+        return Err(EncodeError::OperandRange {
+            mnemonic,
+            operand: "K",
+            value: i64::from(k),
+        });
+    }
+    let dd = u16::from((d.num() - 24) / 2);
+    let k = u16::from(k);
+    Ok(op | ((k & 0x30) << 2) | (dd << 4) | (k & 0x0f))
+}
+
+fn displaced(st: bool, idx: YZ, q: u8, reg: Reg, mnemonic: &'static str) -> Result<u16> {
+    if q > 63 {
+        return Err(EncodeError::OperandRange {
+            mnemonic,
+            operand: "q",
+            value: i64::from(q),
+        });
+    }
+    let q = u16::from(q);
+    let mut w = 0x8000 | (u16::from(reg.num()) << 4);
+    w |= (q & 0x20) << 8; // q5 -> bit 13
+    w |= (q & 0x18) << 7; // q4:q3 -> bits 11:10
+    w |= q & 0x07;
+    if st {
+        w |= 0x0200;
+    }
+    if idx == YZ::Y {
+        w |= 0x0008;
+    }
+    Ok(w)
+}
+
+fn ld_st_mode(ptr: PtrReg) -> u16 {
+    match ptr {
+        PtrReg::ZPostInc => 0b0001,
+        PtrReg::ZPreDec => 0b0010,
+        PtrReg::YPostInc => 0b1001,
+        PtrReg::YPreDec => 0b1010,
+        PtrReg::X => 0b1100,
+        PtrReg::XPostInc => 0b1101,
+        PtrReg::XPreDec => 0b1110,
+    }
+}
+
+fn io_bits(op: u16, a: u8, reg: Reg, mnemonic: &'static str) -> Result<u16> {
+    if a > 63 {
+        return Err(EncodeError::OperandRange {
+            mnemonic,
+            operand: "A",
+            value: i64::from(a),
+        });
+    }
+    let a = u16::from(a);
+    Ok(op | ((a & 0x30) << 5) | (u16::from(reg.num()) << 4) | (a & 0x0f))
+}
+
+fn bit_io(op: u16, a: u8, b: u8, mnemonic: &'static str) -> Result<u16> {
+    if a > 31 {
+        return Err(EncodeError::OperandRange {
+            mnemonic,
+            operand: "A",
+            value: i64::from(a),
+        });
+    }
+    if b > 7 {
+        return Err(EncodeError::OperandRange {
+            mnemonic,
+            operand: "b",
+            value: i64::from(b),
+        });
+    }
+    Ok(op | (u16::from(a) << 3) | u16::from(b))
+}
+
+fn reg_bit(op: u16, r: Reg, b: u8, mnemonic: &'static str) -> Result<u16> {
+    if b > 7 {
+        return Err(EncodeError::OperandRange {
+            mnemonic,
+            operand: "b",
+            value: i64::from(b),
+        });
+    }
+    Ok(op | (u16::from(r.num()) << 4) | u16::from(b))
+}
+
+fn check_sreg_bit(s: u8, mnemonic: &'static str) -> Result<u16> {
+    if s > 7 {
+        Err(EncodeError::OperandRange {
+            mnemonic,
+            operand: "s",
+            value: i64::from(s),
+        })
+    } else {
+        Ok(u16::from(s))
+    }
+}
+
+fn narrow_pair(
+    op: u16,
+    d: Reg,
+    r: Reg,
+    lo: u8,
+    hi: u8,
+    mnemonic: &'static str,
+) -> Result<u16> {
+    for reg in [d, r] {
+        if reg.num() < lo || reg.num() > hi {
+            return Err(EncodeError::BadRegister { mnemonic, reg });
+        }
+    }
+    Ok(op | (u16::from(d.num() - lo) << 4) | u16::from(r.num() - lo))
+}
+
+/// Encode one instruction into one or two 16-bit words.
+///
+/// Multi-word instructions (`jmp`, `call`, `lds`, `sts`) return two words;
+/// everything else returns one. The words are in program-memory order (the
+/// opcode word first).
+pub fn encode(insn: &Insn) -> Result<Vec<u16>> {
+    let one = |w: u16| Ok(vec![w]);
+    match *insn {
+        Insn::Nop => one(0x0000),
+        Insn::Ret => one(0x9508),
+        Insn::Reti => one(0x9518),
+        Insn::Icall => one(0x9509),
+        Insn::Eicall => one(0x9519),
+        Insn::Ijmp => one(0x9409),
+        Insn::Eijmp => one(0x9419),
+        Insn::Sleep => one(0x9588),
+        Insn::Break => one(0x9598),
+        Insn::Wdr => one(0x95a8),
+        Insn::Spm => one(0x95e8),
+        Insn::SpmZPostInc => one(0x95f8),
+        Insn::Lpm0 => one(0x95c8),
+        Insn::Elpm0 => one(0x95d8),
+
+        Insn::Cpc { d, r } => one(two_reg(0x0400, d, r)),
+        Insn::Sbc { d, r } => one(two_reg(0x0800, d, r)),
+        Insn::Add { d, r } => one(two_reg(0x0c00, d, r)),
+        Insn::Cpse { d, r } => one(two_reg(0x1000, d, r)),
+        Insn::Cp { d, r } => one(two_reg(0x1400, d, r)),
+        Insn::Sub { d, r } => one(two_reg(0x1800, d, r)),
+        Insn::Adc { d, r } => one(two_reg(0x1c00, d, r)),
+        Insn::And { d, r } => one(two_reg(0x2000, d, r)),
+        Insn::Eor { d, r } => one(two_reg(0x2400, d, r)),
+        Insn::Or { d, r } => one(two_reg(0x2800, d, r)),
+        Insn::Mov { d, r } => one(two_reg(0x2c00, d, r)),
+        Insn::Mul { d, r } => one(two_reg(0x9c00, d, r)),
+
+        Insn::Movw { d, r } => {
+            for reg in [d, r] {
+                if reg.num() % 2 != 0 {
+                    return Err(EncodeError::BadRegister {
+                        mnemonic: "movw",
+                        reg,
+                    });
+                }
+            }
+            one(0x0100 | (u16::from(d.num() / 2) << 4) | u16::from(r.num() / 2))
+        }
+        Insn::Muls { d, r } => one(narrow_pair(0x0200, d, r, 16, 31, "muls")?),
+        Insn::Mulsu { d, r } => one(narrow_pair(0x0300, d, r, 16, 23, "mulsu")?),
+        Insn::Fmul { d, r } => one(narrow_pair(0x0308, d, r, 16, 23, "fmul")?),
+        Insn::Fmuls { d, r } => one(narrow_pair(0x0380, d, r, 16, 23, "fmuls")?),
+        Insn::Fmulsu { d, r } => one(narrow_pair(0x0388, d, r, 16, 23, "fmulsu")?),
+
+        Insn::Cpi { d, k } => one(imm(0x3000, "cpi", d, k)?),
+        Insn::Sbci { d, k } => one(imm(0x4000, "sbci", d, k)?),
+        Insn::Subi { d, k } => one(imm(0x5000, "subi", d, k)?),
+        Insn::Ori { d, k } => one(imm(0x6000, "ori", d, k)?),
+        Insn::Andi { d, k } => one(imm(0x7000, "andi", d, k)?),
+        Insn::Ldi { d, k } => one(imm(0xe000, "ldi", d, k)?),
+
+        Insn::Com { d } => one(one_reg(0x0, d)),
+        Insn::Neg { d } => one(one_reg(0x1, d)),
+        Insn::Swap { d } => one(one_reg(0x2, d)),
+        Insn::Inc { d } => one(one_reg(0x3, d)),
+        Insn::Asr { d } => one(one_reg(0x5, d)),
+        Insn::Lsr { d } => one(one_reg(0x6, d)),
+        Insn::Ror { d } => one(one_reg(0x7, d)),
+        Insn::Dec { d } => one(one_reg(0xa, d)),
+
+        Insn::Adiw { d, k } => one(adiw_like(0x9600, "adiw", d, k)?),
+        Insn::Sbiw { d, k } => one(adiw_like(0x9700, "sbiw", d, k)?),
+
+        Insn::Ldd { d, idx, q } => one(displaced(false, idx, q, d, "ldd")?),
+        Insn::Std { idx, q, r } => one(displaced(true, idx, q, r, "std")?),
+
+        Insn::Ld { d, ptr } => one(0x9000 | (u16::from(d.num()) << 4) | ld_st_mode(ptr)),
+        Insn::St { ptr, r } => one(0x9200 | (u16::from(r.num()) << 4) | ld_st_mode(ptr)),
+
+        Insn::Lds { d, k } => Ok(vec![0x9000 | (u16::from(d.num()) << 4), k]),
+        Insn::Sts { k, r } => Ok(vec![0x9200 | (u16::from(r.num()) << 4), k]),
+
+        Insn::Lpm { d, post_inc } => one(0x9004
+            | (u16::from(d.num()) << 4)
+            | if post_inc { 0b0101 } else { 0b0100 }),
+        Insn::Elpm { d, post_inc } => one(0x9004
+            | (u16::from(d.num()) << 4)
+            | if post_inc { 0b0111 } else { 0b0110 }),
+
+        Insn::Push { r } => one(0x920f | (u16::from(r.num()) << 4)),
+        Insn::Pop { d } => one(0x900f | (u16::from(d.num()) << 4)),
+
+        Insn::In { d, a } => one(io_bits(0xb000, a, d, "in")?),
+        Insn::Out { a, r } => one(io_bits(0xb800, a, r, "out")?),
+
+        Insn::Jmp { k } => encode_long(0x940c, k, "jmp"),
+        Insn::Call { k } => encode_long(0x940e, k, "call"),
+
+        Insn::Rjmp { k } => one(rel12(0xc000, k, "rjmp")?),
+        Insn::Rcall { k } => one(rel12(0xd000, k, "rcall")?),
+
+        Insn::Brbs { s, k } => one(branch(0xf000, s, k, "brbs")?),
+        Insn::Brbc { s, k } => one(branch(0xf400, s, k, "brbc")?),
+
+        Insn::Bset { s } => one(0x9408 | (check_sreg_bit(s, "bset")? << 4)),
+        Insn::Bclr { s } => one(0x9488 | (check_sreg_bit(s, "bclr")? << 4)),
+        Insn::Bst { d, b } => one(reg_bit(0xfa00, d, b, "bst")?),
+        Insn::Bld { d, b } => one(reg_bit(0xf800, d, b, "bld")?),
+        Insn::Sbrc { r, b } => one(reg_bit(0xfc00, r, b, "sbrc")?),
+        Insn::Sbrs { r, b } => one(reg_bit(0xfe00, r, b, "sbrs")?),
+        Insn::Sbi { a, b } => one(bit_io(0x9a00, a, b, "sbi")?),
+        Insn::Cbi { a, b } => one(bit_io(0x9800, a, b, "cbi")?),
+        Insn::Sbic { a, b } => one(bit_io(0x9900, a, b, "sbic")?),
+        Insn::Sbis { a, b } => one(bit_io(0x9b00, a, b, "sbis")?),
+
+        Insn::Invalid(w) => one(w),
+    }
+}
+
+fn encode_long(op: u16, k: u32, mnemonic: &'static str) -> Result<Vec<u16>> {
+    if k > 0x3f_ffff {
+        return Err(EncodeError::OperandRange {
+            mnemonic,
+            operand: "k",
+            value: i64::from(k),
+        });
+    }
+    let hi = ((k >> 17) & 0x1f) as u16;
+    let bit16 = ((k >> 16) & 1) as u16;
+    Ok(vec![op | (hi << 4) | bit16, (k & 0xffff) as u16])
+}
+
+fn rel12(op: u16, k: i16, mnemonic: &'static str) -> Result<u16> {
+    if !(-2048..=2047).contains(&k) {
+        return Err(EncodeError::OperandRange {
+            mnemonic,
+            operand: "k",
+            value: i64::from(k),
+        });
+    }
+    Ok(op | (k as u16 & 0x0fff))
+}
+
+fn branch(op: u16, s: u8, k: i8, mnemonic: &'static str) -> Result<u16> {
+    if s > 7 {
+        return Err(EncodeError::OperandRange {
+            mnemonic,
+            operand: "s",
+            value: i64::from(s),
+        });
+    }
+    if !(-64..=63).contains(&k) {
+        return Err(EncodeError::OperandRange {
+            mnemonic,
+            operand: "k",
+            value: i64::from(k),
+        });
+    }
+    Ok(op | ((k as u16 & 0x7f) << 3) | u16::from(s))
+}
+
+/// Encode a sequence of instructions into a little-endian byte vector, as the
+/// words are laid out in AVR flash.
+pub fn encode_to_bytes(insns: &[Insn]) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(insns.len() * 2);
+    for insn in insns {
+        for w in encode(insn)? {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn known_encodings() {
+        // Values cross-checked against avr-gcc disassembly conventions.
+        assert_eq!(encode(&Insn::Nop).unwrap(), vec![0x0000]);
+        assert_eq!(encode(&Insn::Ret).unwrap(), vec![0x9508]);
+        assert_eq!(encode(&Insn::Reti).unwrap(), vec![0x9518]);
+        // out 0x3e, r29 -> 1011 1011 1101 1110 = 0xbfde
+        assert_eq!(
+            encode(&Insn::Out { a: 0x3e, r: Reg::R29 }).unwrap(),
+            vec![0xbfde]
+        );
+        // out 0x3d, r28 -> 0xbfcd
+        assert_eq!(
+            encode(&Insn::Out { a: 0x3d, r: Reg::R28 }).unwrap(),
+            vec![0xbfcd]
+        );
+        // pop r28 = 0x91cf, push r28 = 0x93cf
+        assert_eq!(encode(&Insn::Pop { d: Reg::R28 }).unwrap(), vec![0x91cf]);
+        assert_eq!(encode(&Insn::Push { r: Reg::R28 }).unwrap(), vec![0x93cf]);
+        // ldi r22, 0x01 -> 0xe061
+        assert_eq!(
+            encode(&Insn::Ldi { d: Reg::R22, k: 1 }).unwrap(),
+            vec![0xe061]
+        );
+        // std Y+1, r5 -> 1000 0010 0101 1001 = 0x8259
+        assert_eq!(
+            encode(&Insn::Std { idx: YZ::Y, q: 1, r: Reg::R5 }).unwrap(),
+            vec![0x8259]
+        );
+        // jmp 0x200 (word addr) -> 0x940c 0x0200
+        assert_eq!(encode(&Insn::Jmp { k: 0x200 }).unwrap(), vec![0x940c, 0x0200]);
+        // call across the 128 Kword boundary exercises bit 16.
+        assert_eq!(
+            encode(&Insn::Call { k: 0x1_0002 }).unwrap(),
+            vec![0x940f, 0x0002]
+        );
+        // rjmp .+2 (k = 1 word) -> 0xc001 ; rjmp .-2 -> 0xcfff
+        assert_eq!(encode(&Insn::Rjmp { k: 1 }).unwrap(), vec![0xc001]);
+        assert_eq!(encode(&Insn::Rjmp { k: -1 }).unwrap(), vec![0xcfff]);
+        // breq .+4 = brbs 1, .+4 -> 0xf011
+        assert_eq!(encode(&Insn::Brbs { s: 1, k: 2 }).unwrap(), vec![0xf011]);
+        // movw r24, r30 -> 0x01cf
+        assert_eq!(
+            encode(&Insn::Movw { d: Reg::R24, r: Reg::R30 }).unwrap(),
+            vec![0x01cf]
+        );
+        // adiw r28, 1 -> 0x9621
+        assert_eq!(
+            encode(&Insn::Adiw { d: Reg::R28, k: 1 }).unwrap(),
+            vec![0x9621]
+        );
+        // lds r24, 0x0200 -> 0x9180 0x0200
+        assert_eq!(
+            encode(&Insn::Lds { d: Reg::R24, k: 0x200 }).unwrap(),
+            vec![0x9180, 0x0200]
+        );
+        // sts 0x0200, r24 -> 0x9380 0x0200
+        assert_eq!(
+            encode(&Insn::Sts { k: 0x200, r: Reg::R24 }).unwrap(),
+            vec![0x9380, 0x0200]
+        );
+    }
+
+    #[test]
+    fn operand_validation() {
+        assert!(matches!(
+            encode(&Insn::Ldi { d: Reg::R5, k: 1 }),
+            Err(EncodeError::BadRegister { mnemonic: "ldi", .. })
+        ));
+        assert!(matches!(
+            encode(&Insn::Adiw { d: Reg::R25, k: 1 }),
+            Err(EncodeError::BadRegister { .. })
+        ));
+        assert!(encode(&Insn::Adiw { d: Reg::R24, k: 64 }).is_err());
+        assert!(encode(&Insn::Rjmp { k: 2048 }).is_err());
+        assert!(encode(&Insn::Rjmp { k: -2049 }).is_err());
+        assert!(encode(&Insn::Brbs { s: 8, k: 0 }).is_err());
+        assert!(encode(&Insn::Brbs { s: 0, k: 64 }).is_err());
+        assert!(encode(&Insn::Jmp { k: 0x40_0000 }).is_err());
+        assert!(encode(&Insn::Movw { d: Reg::R1, r: Reg::R2 }).is_err());
+        assert!(encode(&Insn::Std { idx: YZ::Y, q: 64, r: Reg::R0 }).is_err());
+        assert!(encode(&Insn::In { d: Reg::R0, a: 64 }).is_err());
+        assert!(encode(&Insn::Sbi { a: 32, b: 0 }).is_err());
+        assert!(encode(&Insn::Mulsu { d: Reg::R24, r: Reg::R16 }).is_err());
+    }
+
+    #[test]
+    fn encode_to_bytes_is_little_endian() {
+        let bytes = encode_to_bytes(&[Insn::Ret, Insn::Jmp { k: 0x1234 }]).unwrap();
+        assert_eq!(bytes, vec![0x08, 0x95, 0x0c, 0x94, 0x34, 0x12]);
+    }
+}

@@ -1,0 +1,356 @@
+//! The AVRe+ instruction set as a typed enum.
+
+use crate::Reg;
+
+/// Pointer-register addressing mode for `ld`/`st`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PtrReg {
+    /// `X` (r27:r26), no displacement.
+    X,
+    /// `X+` post-increment.
+    XPostInc,
+    /// `-X` pre-decrement.
+    XPreDec,
+    /// `Y+` post-increment (plain `Y` is `ldd`/`std` with q = 0).
+    YPostInc,
+    /// `-Y` pre-decrement.
+    YPreDec,
+    /// `Z+` post-increment (plain `Z` is `ldd`/`std` with q = 0).
+    ZPostInc,
+    /// `-Z` pre-decrement.
+    ZPreDec,
+}
+
+impl PtrReg {
+    /// Lowest register of the pointer pair this mode uses.
+    pub fn base(self) -> Reg {
+        match self {
+            PtrReg::X | PtrReg::XPostInc | PtrReg::XPreDec => Reg::R26,
+            PtrReg::YPostInc | PtrReg::YPreDec => Reg::R28,
+            PtrReg::ZPostInc | PtrReg::ZPreDec => Reg::R30,
+        }
+    }
+}
+
+/// Base register selector for displacement loads/stores (`ldd`/`std`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YZ {
+    /// `Y` (r29:r28) — the frame pointer in the avr-gcc ABI; the paper's
+    /// `write_mem_gadget` stores through `Y` (Fig. 5).
+    Y,
+    /// `Z` (r31:r30).
+    Z,
+}
+
+impl YZ {
+    /// Lowest register of the pair.
+    pub fn base(self) -> Reg {
+        match self {
+            YZ::Y => Reg::R28,
+            YZ::Z => Reg::R30,
+        }
+    }
+}
+
+/// One decoded AVR instruction.
+///
+/// Addresses held by control-flow instructions (`Jmp`, `Call`, `Rjmp`,
+/// `Rcall`, `Brbs`, `Brbc`) are in **words**, matching the hardware: flash is
+/// word-addressed and the PC counts words. `Lds`/`Sts` addresses are in the
+/// byte-addressed data space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Insn {
+    // ---- no-operand / misc ----
+    Nop,
+    Ret,
+    Reti,
+    Icall,
+    Eicall,
+    Ijmp,
+    Eijmp,
+    Sleep,
+    Break,
+    Wdr,
+    Spm,
+    SpmZPostInc,
+    /// `lpm` short form: loads into r0 from Z.
+    Lpm0,
+    /// `elpm` short form: loads into r0 from RAMPZ:Z.
+    Elpm0,
+
+    // ---- two-register ALU ----
+    Add { d: Reg, r: Reg },
+    Adc { d: Reg, r: Reg },
+    Sub { d: Reg, r: Reg },
+    Sbc { d: Reg, r: Reg },
+    And { d: Reg, r: Reg },
+    Or { d: Reg, r: Reg },
+    Eor { d: Reg, r: Reg },
+    Cp { d: Reg, r: Reg },
+    Cpc { d: Reg, r: Reg },
+    Cpse { d: Reg, r: Reg },
+    Mov { d: Reg, r: Reg },
+    Mul { d: Reg, r: Reg },
+    /// `movw`: move register pair; `d` and `r` must be even.
+    Movw { d: Reg, r: Reg },
+    /// `muls`: signed multiply, registers r16..r31.
+    Muls { d: Reg, r: Reg },
+    /// `mulsu`: signed × unsigned, registers r16..r23.
+    Mulsu { d: Reg, r: Reg },
+    /// `fmul`: fractional multiply, registers r16..r23.
+    Fmul { d: Reg, r: Reg },
+    Fmuls { d: Reg, r: Reg },
+    Fmulsu { d: Reg, r: Reg },
+
+    // ---- register + immediate (upper bank r16..r31) ----
+    Ldi { d: Reg, k: u8 },
+    Cpi { d: Reg, k: u8 },
+    Subi { d: Reg, k: u8 },
+    Sbci { d: Reg, k: u8 },
+    Ori { d: Reg, k: u8 },
+    Andi { d: Reg, k: u8 },
+
+    // ---- single-register ALU ----
+    Com { d: Reg },
+    Neg { d: Reg },
+    Swap { d: Reg },
+    Inc { d: Reg },
+    Dec { d: Reg },
+    Asr { d: Reg },
+    Lsr { d: Reg },
+    Ror { d: Reg },
+
+    // ---- word immediate on pairs r24/r26/r28/r30 ----
+    /// `adiw`: add immediate (0..63) to word; `d` ∈ {24, 26, 28, 30}.
+    Adiw { d: Reg, k: u8 },
+    Sbiw { d: Reg, k: u8 },
+
+    // ---- data transfer ----
+    /// Indirect load with pre-dec/post-inc addressing.
+    Ld { d: Reg, ptr: PtrReg },
+    /// Indirect store with pre-dec/post-inc addressing.
+    St { ptr: PtrReg, r: Reg },
+    /// Load with displacement, `ldd Rd, Y+q` / `ldd Rd, Z+q` (q in 0..=63).
+    /// `q == 0` is the plain `ld Rd, Y` / `ld Rd, Z` form.
+    Ldd { d: Reg, idx: YZ, q: u8 },
+    /// Store with displacement, `std Y+q, Rr` — the paper's
+    /// `write_mem_gadget` opens with three of these (Fig. 5).
+    Std { idx: YZ, q: u8, r: Reg },
+    /// Direct load from data space (32-bit encoding).
+    Lds { d: Reg, k: u16 },
+    /// Direct store to data space (32-bit encoding).
+    Sts { k: u16, r: Reg },
+    /// Load from program memory at Z.
+    Lpm { d: Reg, post_inc: bool },
+    /// Extended load from program memory at RAMPZ:Z.
+    Elpm { d: Reg, post_inc: bool },
+    Push { r: Reg },
+    Pop { d: Reg },
+    In { d: Reg, a: u8 },
+    Out { a: u8, r: Reg },
+
+    // ---- control flow ----
+    /// Absolute jump to a 22-bit word address (32-bit encoding).
+    Jmp { k: u32 },
+    /// Absolute call to a 22-bit word address (32-bit encoding).
+    Call { k: u32 },
+    /// Relative jump, signed word offset −2048..=2047.
+    Rjmp { k: i16 },
+    /// Relative call, signed word offset −2048..=2047.
+    Rcall { k: i16 },
+    /// Branch if SREG bit `s` set, signed word offset −64..=63.
+    Brbs { s: u8, k: i8 },
+    /// Branch if SREG bit `s` clear.
+    Brbc { s: u8, k: i8 },
+
+    // ---- bit and SREG ----
+    Bset { s: u8 },
+    Bclr { s: u8 },
+    Bst { d: Reg, b: u8 },
+    Bld { d: Reg, b: u8 },
+    Sbrc { r: Reg, b: u8 },
+    Sbrs { r: Reg, b: u8 },
+    Sbi { a: u8, b: u8 },
+    Cbi { a: u8, b: u8 },
+    Sbic { a: u8, b: u8 },
+    Sbis { a: u8, b: u8 },
+
+    /// A word that does not decode to any AVRe+ instruction. Executing one
+    /// is the "executing garbage" failure mode the paper's master processor
+    /// detects after a failed ROP attempt.
+    Invalid(u16),
+}
+
+impl Insn {
+    /// Width of this instruction in 16-bit words (1 or 2).
+    pub fn words(&self) -> u32 {
+        match self {
+            Insn::Jmp { .. } | Insn::Call { .. } | Insn::Lds { .. } | Insn::Sts { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Width of this instruction in bytes (2 or 4).
+    pub fn bytes(&self) -> u32 {
+        self.words() * 2
+    }
+
+    /// Whether this is a return (`ret`/`reti`) — the terminator the gadget
+    /// scanner looks for.
+    pub fn is_return(&self) -> bool {
+        matches!(self, Insn::Ret | Insn::Reti)
+    }
+
+    /// Whether this instruction transfers control unconditionally.
+    pub fn is_unconditional_branch(&self) -> bool {
+        matches!(
+            self,
+            Insn::Jmp { .. }
+                | Insn::Rjmp { .. }
+                | Insn::Ijmp
+                | Insn::Eijmp
+                | Insn::Ret
+                | Insn::Reti
+        )
+    }
+
+    /// Whether this is any call instruction.
+    pub fn is_call(&self) -> bool {
+        matches!(
+            self,
+            Insn::Call { .. } | Insn::Rcall { .. } | Insn::Icall | Insn::Eicall
+        )
+    }
+
+    /// Whether this instruction may skip the next one (`cpse`, `sbrc`,
+    /// `sbrs`, `sbic`, `sbis`).
+    pub fn is_skip(&self) -> bool {
+        matches!(
+            self,
+            Insn::Cpse { .. }
+                | Insn::Sbrc { .. }
+                | Insn::Sbrs { .. }
+                | Insn::Sbic { .. }
+                | Insn::Sbis { .. }
+        )
+    }
+
+    /// The mnemonic, lower-case, without operands.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Insn::Nop => "nop",
+            Insn::Ret => "ret",
+            Insn::Reti => "reti",
+            Insn::Icall => "icall",
+            Insn::Eicall => "eicall",
+            Insn::Ijmp => "ijmp",
+            Insn::Eijmp => "eijmp",
+            Insn::Sleep => "sleep",
+            Insn::Break => "break",
+            Insn::Wdr => "wdr",
+            Insn::Spm => "spm",
+            Insn::SpmZPostInc => "spm z+",
+            Insn::Lpm0 => "lpm",
+            Insn::Elpm0 => "elpm",
+            Insn::Add { .. } => "add",
+            Insn::Adc { .. } => "adc",
+            Insn::Sub { .. } => "sub",
+            Insn::Sbc { .. } => "sbc",
+            Insn::And { .. } => "and",
+            Insn::Or { .. } => "or",
+            Insn::Eor { .. } => "eor",
+            Insn::Cp { .. } => "cp",
+            Insn::Cpc { .. } => "cpc",
+            Insn::Cpse { .. } => "cpse",
+            Insn::Mov { .. } => "mov",
+            Insn::Mul { .. } => "mul",
+            Insn::Movw { .. } => "movw",
+            Insn::Muls { .. } => "muls",
+            Insn::Mulsu { .. } => "mulsu",
+            Insn::Fmul { .. } => "fmul",
+            Insn::Fmuls { .. } => "fmuls",
+            Insn::Fmulsu { .. } => "fmulsu",
+            Insn::Ldi { .. } => "ldi",
+            Insn::Cpi { .. } => "cpi",
+            Insn::Subi { .. } => "subi",
+            Insn::Sbci { .. } => "sbci",
+            Insn::Ori { .. } => "ori",
+            Insn::Andi { .. } => "andi",
+            Insn::Com { .. } => "com",
+            Insn::Neg { .. } => "neg",
+            Insn::Swap { .. } => "swap",
+            Insn::Inc { .. } => "inc",
+            Insn::Dec { .. } => "dec",
+            Insn::Asr { .. } => "asr",
+            Insn::Lsr { .. } => "lsr",
+            Insn::Ror { .. } => "ror",
+            Insn::Adiw { .. } => "adiw",
+            Insn::Sbiw { .. } => "sbiw",
+            Insn::Ld { .. } => "ld",
+            Insn::St { .. } => "st",
+            Insn::Ldd { .. } => "ldd",
+            Insn::Std { .. } => "std",
+            Insn::Lds { .. } => "lds",
+            Insn::Sts { .. } => "sts",
+            Insn::Lpm { .. } => "lpm",
+            Insn::Elpm { .. } => "elpm",
+            Insn::Push { .. } => "push",
+            Insn::Pop { .. } => "pop",
+            Insn::In { .. } => "in",
+            Insn::Out { .. } => "out",
+            Insn::Jmp { .. } => "jmp",
+            Insn::Call { .. } => "call",
+            Insn::Rjmp { .. } => "rjmp",
+            Insn::Rcall { .. } => "rcall",
+            Insn::Brbs { .. } => "brbs",
+            Insn::Brbc { .. } => "brbc",
+            Insn::Bset { .. } => "bset",
+            Insn::Bclr { .. } => "bclr",
+            Insn::Bst { .. } => "bst",
+            Insn::Bld { .. } => "bld",
+            Insn::Sbrc { .. } => "sbrc",
+            Insn::Sbrs { .. } => "sbrs",
+            Insn::Sbi { .. } => "sbi",
+            Insn::Cbi { .. } => "cbi",
+            Insn::Sbic { .. } => "sbic",
+            Insn::Sbis { .. } => "sbis",
+            Insn::Invalid(_) => ".word",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(Insn::Nop.words(), 1);
+        assert_eq!(Insn::Jmp { k: 0 }.words(), 2);
+        assert_eq!(Insn::Call { k: 0 }.words(), 2);
+        assert_eq!(Insn::Lds { d: Reg::R0, k: 0 }.words(), 2);
+        assert_eq!(Insn::Sts { k: 0, r: Reg::R0 }.words(), 2);
+        assert_eq!(Insn::Rcall { k: -1 }.bytes(), 2);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Insn::Ret.is_return());
+        assert!(Insn::Reti.is_return());
+        assert!(!Insn::Rjmp { k: 0 }.is_return());
+        assert!(Insn::Rjmp { k: 0 }.is_unconditional_branch());
+        assert!(Insn::Call { k: 5 }.is_call());
+        assert!(Insn::Sbrc { r: Reg::R1, b: 3 }.is_skip());
+        assert!(!Insn::Brbs { s: 1, k: 2 }.is_unconditional_branch());
+    }
+
+    #[test]
+    fn ptr_bases() {
+        assert_eq!(PtrReg::XPostInc.base(), Reg::R26);
+        assert_eq!(PtrReg::YPreDec.base(), Reg::R28);
+        assert_eq!(PtrReg::ZPostInc.base(), Reg::R30);
+        assert_eq!(YZ::Y.base(), Reg::R28);
+        assert_eq!(YZ::Z.base(), Reg::R30);
+    }
+}

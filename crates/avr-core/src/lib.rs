@@ -1,0 +1,89 @@
+//! AVR 8-bit instruction-set model for the MAVR reproduction.
+//!
+//! This crate models the AVR *enhanced* core as found on the Atmel
+//! ATmega2560 used by the ArduPilot Mega 2.5 board targeted in the paper
+//! (Habibi et al., *MAVR: Code Reuse Stealthy Attacks and Mitigation on
+//! Unmanned Aerial Vehicles*, ICDCS 2015). It provides:
+//!
+//! * [`Insn`] — a typed representation of every instruction in the AVRe+
+//!   instruction set (the set implemented by the ATmega2560),
+//! * [`encode`](encode::encode) / [`decode`](decode::decode) — exact binary
+//!   encoders and decoders that round-trip,
+//! * a disassembler ([`Insn`]'s `Display` impl and [`disasm`]) used by the
+//!   gadget scanner and by the harness that regenerates the paper's gadget
+//!   listings (Figs. 4 and 5),
+//! * [`cycles`] — instruction timing used by the cycle-accurate simulator,
+//! * [`image`] — the `FirmwareImage`/`Symbol` vocabulary shared by the
+//!   assembler, the randomizer and the attack library.
+//!
+//! The ATmega2560 has 256 KiB of flash, so its program counter is wider than
+//! 16 bits: `CALL`/`JMP` carry a 22-bit word address and the hardware pushes
+//! **3-byte** return addresses. Those device parameters live in [`device`].
+//!
+//! # Example
+//!
+//! ```
+//! use avr_core::{Insn, Reg, encode::encode, decode::decode};
+//!
+//! let insn = Insn::Out { a: 0x3e, r: Reg::R29 }; // the head of stk_move (Fig. 4)
+//! let words = encode(&insn).unwrap();
+//! let (back, width) = decode(&words);
+//! assert_eq!(back, insn);
+//! assert_eq!(width, 1);
+//! assert_eq!(insn.to_string(), "out 0x3e, r29");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cycles;
+pub mod decode;
+pub mod device;
+pub mod disasm;
+pub mod encode;
+pub mod image;
+mod insn;
+mod reg;
+
+pub use insn::{Insn, PtrReg, YZ};
+pub use reg::{io, sreg, Reg};
+
+/// Errors produced when encoding an [`Insn`] whose operands are out of range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A register operand is not valid for this instruction
+    /// (e.g. `ldi` requires r16..r31).
+    BadRegister {
+        /// Instruction mnemonic.
+        mnemonic: &'static str,
+        /// The offending register.
+        reg: Reg,
+    },
+    /// An immediate, displacement, bit index or address operand is out of the
+    /// encodable range.
+    OperandRange {
+        /// Instruction mnemonic.
+        mnemonic: &'static str,
+        /// Description of the operand.
+        operand: &'static str,
+        /// The offending value.
+        value: i64,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::BadRegister { mnemonic, reg } => {
+                write!(f, "{mnemonic}: register {reg} not encodable")
+            }
+            EncodeError::OperandRange {
+                mnemonic,
+                operand,
+                value,
+            } => write!(f, "{mnemonic}: {operand} = {value} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}

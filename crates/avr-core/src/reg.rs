@@ -1,0 +1,159 @@
+//! General-purpose registers, the status register, and well-known I/O
+//! addresses of the ATmega2560.
+
+use std::fmt;
+
+/// One of the 32 general-purpose registers `r0`..`r31`.
+///
+/// AVR registers are memory mapped into the bottom of the data address space
+/// (`r0` at data address `0x0000`, …, `r31` at `0x001F`) — a property the
+/// paper's attacks exploit directly: `stk_move` rewrites the stack pointer
+/// via `out` and `write_mem_gadget` repairs registers by popping from a
+/// crafted stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10, R11, R12, R13, R14, R15,
+    R16, R17, R18, R19, R20, R21, R22, R23, R24, R25, R26, R27, R28, R29,
+    R30, R31,
+}
+
+impl Reg {
+    /// All 32 registers in ascending order.
+    pub const ALL: [Reg; 32] = Reg::ALL_BY_NUM;
+
+    /// Construct from a register number `0..=31`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 31`.
+    pub fn new(n: u8) -> Reg {
+        Reg::try_new(n).unwrap_or_else(|| panic!("register number {n} out of range"))
+    }
+
+    /// Construct from a register number, returning `None` if `n > 31`.
+    pub const fn try_new(n: u8) -> Option<Reg> {
+        if n <= 31 {
+            Some(Reg::ALL_BY_NUM[n as usize])
+        } else {
+            None
+        }
+    }
+
+    const ALL_BY_NUM: [Reg; 32] = [
+        Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6,
+        Reg::R7, Reg::R8, Reg::R9, Reg::R10, Reg::R11, Reg::R12, Reg::R13,
+        Reg::R14, Reg::R15, Reg::R16, Reg::R17, Reg::R18, Reg::R19, Reg::R20,
+        Reg::R21, Reg::R22, Reg::R23, Reg::R24, Reg::R25, Reg::R26, Reg::R27,
+        Reg::R28, Reg::R29, Reg::R30, Reg::R31,
+    ];
+
+    /// The register number `0..=31`.
+    pub const fn num(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether this register is in the "upper" bank `r16..r31` addressable by
+    /// immediate instructions (`ldi`, `cpi`, `subi`, …).
+    pub const fn is_upper(self) -> bool {
+        self.num() >= 16
+    }
+
+    /// The data-space address this register is memory mapped at.
+    pub const fn data_address(self) -> u16 {
+        self.num() as u16
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.num())
+    }
+}
+
+/// SREG flag bit indices, for `bset`/`bclr`/`brbs`/`brbc` operands.
+pub mod sreg {
+    /// Carry.
+    pub const C: u8 = 0;
+    /// Zero.
+    pub const Z: u8 = 1;
+    /// Negative.
+    pub const N: u8 = 2;
+    /// Two's-complement overflow.
+    pub const V: u8 = 3;
+    /// Sign (N ^ V).
+    pub const S: u8 = 4;
+    /// Half carry.
+    pub const H: u8 = 5;
+    /// Bit copy storage.
+    pub const T: u8 = 6;
+    /// Global interrupt enable.
+    pub const I: u8 = 7;
+}
+
+/// Well-known I/O-space addresses (the `A` operand of `in`/`out`).
+///
+/// The corresponding *data-space* address is `0x20` higher.
+pub mod io {
+    /// Stack pointer low byte. `out 0x3d, r28` is the tail of the paper's
+    /// `stk_move` gadget (Fig. 4).
+    pub const SPL: u8 = 0x3d;
+    /// Stack pointer high byte.
+    pub const SPH: u8 = 0x3e;
+    /// Status register.
+    pub const SREG: u8 = 0x3f;
+    /// RAMPZ — extended Z pointer for `elpm` on >64 KiB-flash devices.
+    pub const RAMPZ: u8 = 0x3b;
+    /// EIND — extended indirect-jump register for `eijmp`/`eicall`.
+    pub const EIND: u8 = 0x3c;
+
+    /// Offset between an I/O address and its data-space alias.
+    pub const DATA_SPACE_OFFSET: u16 = 0x20;
+
+    /// Convert an I/O address to its data-space address.
+    pub const fn to_data_address(a: u8) -> u16 {
+        a as u16 + DATA_SPACE_OFFSET
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_numbering_round_trips() {
+        for n in 0..=31u8 {
+            let r = Reg::new(n);
+            assert_eq!(r.num(), n);
+            assert_eq!(Reg::try_new(n), Some(r));
+        }
+        assert_eq!(Reg::try_new(32), None);
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R28.to_string(), "r28");
+        assert_eq!(Reg::R31.to_string(), "r31");
+    }
+
+    #[test]
+    fn upper_bank() {
+        assert!(!Reg::R15.is_upper());
+        assert!(Reg::R16.is_upper());
+    }
+
+    #[test]
+    fn memory_mapped_addresses() {
+        assert_eq!(Reg::R28.data_address(), 28);
+        assert_eq!(io::to_data_address(io::SPL), 0x5d);
+        assert_eq!(io::to_data_address(io::SPH), 0x5e);
+        assert_eq!(io::to_data_address(io::SREG), 0x5f);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_new_panics_out_of_range() {
+        let _ = Reg::new(40);
+    }
+}

@@ -1,0 +1,317 @@
+//! ALU flag semantics, implemented per the AVR Instruction Set Manual.
+//!
+//! Each helper returns `(result, sreg)` where `sreg` is the new status
+//! register computed from the old one — callers never need per-flag logic.
+
+use avr_core::sreg;
+
+pub const C: u8 = 1 << sreg::C;
+pub const Z: u8 = 1 << sreg::Z;
+pub const N: u8 = 1 << sreg::N;
+pub const V: u8 = 1 << sreg::V;
+pub const S: u8 = 1 << sreg::S;
+pub const H: u8 = 1 << sreg::H;
+pub const T: u8 = 1 << sreg::T;
+
+fn bit(v: u8, i: u8) -> bool {
+    v & (1 << i) != 0
+}
+
+fn set(flags: &mut u8, mask: u8, cond: bool) {
+    if cond {
+        *flags |= mask;
+    } else {
+        *flags &= !mask;
+    }
+}
+
+/// Derive S = N ^ V and Z/N from the result, in-place.
+fn nzs(flags: &mut u8, r: u8) {
+    set(flags, Z, r == 0);
+    set(flags, N, bit(r, 7));
+    let s = (*flags & N != 0) ^ (*flags & V != 0);
+    set(flags, S, s);
+}
+
+/// `add`/`adc`: returns (result, new SREG).
+pub fn add8(rd: u8, rr: u8, carry_in: bool, mut f: u8) -> (u8, u8) {
+    let c = u16::from(carry_in);
+    let full = u16::from(rd) + u16::from(rr) + c;
+    let r = full as u8;
+    set(&mut f, C, full > 0xff);
+    set(
+        &mut f,
+        H,
+        (rd & 0x0f) + (rr & 0x0f) + carry_in as u8 > 0x0f,
+    );
+    set(
+        &mut f,
+        V,
+        (bit(rd, 7) && bit(rr, 7) && !bit(r, 7)) || (!bit(rd, 7) && !bit(rr, 7) && bit(r, 7)),
+    );
+    nzs(&mut f, r);
+    (r, f)
+}
+
+/// `sub`/`subi`/`cp`/`cpi` (and with `carry_in`, `sbc`/`sbci`/`cpc`).
+///
+/// `z_sticky` selects the SBC/CPC behaviour where Z can only be cleared.
+pub fn sub8(rd: u8, rr: u8, carry_in: bool, z_sticky: bool, mut f: u8) -> (u8, u8) {
+    let c = u16::from(carry_in);
+    let full = u16::from(rd).wrapping_sub(u16::from(rr)).wrapping_sub(c);
+    let r = full as u8;
+    set(
+        &mut f,
+        C,
+        u16::from(rr) + c > u16::from(rd),
+    );
+    set(
+        &mut f,
+        H,
+        (rr & 0x0f) + carry_in as u8 > (rd & 0x0f),
+    );
+    set(
+        &mut f,
+        V,
+        (bit(rd, 7) && !bit(rr, 7) && !bit(r, 7)) || (!bit(rd, 7) && bit(rr, 7) && bit(r, 7)),
+    );
+    let z_prev = f & Z != 0;
+    nzs(&mut f, r);
+    if z_sticky {
+        set(&mut f, Z, r == 0 && z_prev);
+        let s = (f & N != 0) ^ (f & V != 0);
+        set(&mut f, S, s);
+    }
+    (r, f)
+}
+
+/// `and`/`andi`/`or`/`ori`/`eor`: logical result flags (V cleared).
+pub fn logic8(r: u8, mut f: u8) -> (u8, u8) {
+    set(&mut f, V, false);
+    nzs(&mut f, r);
+    (r, f)
+}
+
+/// `com`: one's complement. C is set.
+pub fn com8(rd: u8, mut f: u8) -> (u8, u8) {
+    let r = !rd;
+    set(&mut f, C, true);
+    set(&mut f, V, false);
+    nzs(&mut f, r);
+    (r, f)
+}
+
+/// `neg`: two's complement (flags as `sub 0, Rd`).
+pub fn neg8(rd: u8, f: u8) -> (u8, u8) {
+    sub8(0, rd, false, false, f)
+}
+
+/// `inc`: C and H untouched, V set on 0x7f -> 0x80.
+pub fn inc8(rd: u8, mut f: u8) -> (u8, u8) {
+    let r = rd.wrapping_add(1);
+    set(&mut f, V, rd == 0x7f);
+    nzs(&mut f, r);
+    (r, f)
+}
+
+/// `dec`: C and H untouched, V set on 0x80 -> 0x7f.
+pub fn dec8(rd: u8, mut f: u8) -> (u8, u8) {
+    let r = rd.wrapping_sub(1);
+    set(&mut f, V, rd == 0x80);
+    nzs(&mut f, r);
+    (r, f)
+}
+
+/// `lsr`: logical shift right.
+pub fn lsr8(rd: u8, mut f: u8) -> (u8, u8) {
+    let r = rd >> 1;
+    set(&mut f, C, bit(rd, 0));
+    set(&mut f, N, false);
+    set(&mut f, Z, r == 0);
+    let v = f & C != 0; // V = N ^ C = C since N = 0
+    set(&mut f, V, v);
+    let s = (f & N != 0) ^ (f & V != 0);
+    set(&mut f, S, s);
+    (r, f)
+}
+
+/// `ror`: rotate right through carry.
+pub fn ror8(rd: u8, mut f: u8) -> (u8, u8) {
+    let carry_in = f & C != 0;
+    let r = (rd >> 1) | if carry_in { 0x80 } else { 0 };
+    set(&mut f, C, bit(rd, 0));
+    set(&mut f, Z, r == 0);
+    set(&mut f, N, bit(r, 7));
+    let v = (f & N != 0) ^ (f & C != 0);
+    set(&mut f, V, v);
+    let s = (f & N != 0) ^ (f & V != 0);
+    set(&mut f, S, s);
+    (r, f)
+}
+
+/// `asr`: arithmetic shift right (sign preserved).
+pub fn asr8(rd: u8, mut f: u8) -> (u8, u8) {
+    let r = (rd >> 1) | (rd & 0x80);
+    set(&mut f, C, bit(rd, 0));
+    set(&mut f, Z, r == 0);
+    set(&mut f, N, bit(r, 7));
+    let v = (f & N != 0) ^ (f & C != 0);
+    set(&mut f, V, v);
+    let s = (f & N != 0) ^ (f & V != 0);
+    set(&mut f, S, s);
+    (r, f)
+}
+
+/// `adiw`: 16-bit add of a 6-bit immediate.
+pub fn adiw16(rd: u16, k: u8, mut f: u8) -> (u16, u8) {
+    let r = rd.wrapping_add(u16::from(k));
+    set(&mut f, C, !bit16(r, 15) && bit16(rd, 15));
+    set(&mut f, V, !bit16(rd, 15) && bit16(r, 15));
+    set(&mut f, Z, r == 0);
+    set(&mut f, N, bit16(r, 15));
+    let s = (f & N != 0) ^ (f & V != 0);
+    set(&mut f, S, s);
+    (r, f)
+}
+
+/// `sbiw`: 16-bit subtract of a 6-bit immediate.
+pub fn sbiw16(rd: u16, k: u8, mut f: u8) -> (u16, u8) {
+    let r = rd.wrapping_sub(u16::from(k));
+    set(&mut f, C, bit16(r, 15) && !bit16(rd, 15));
+    set(&mut f, V, bit16(rd, 15) && !bit16(r, 15));
+    set(&mut f, Z, r == 0);
+    set(&mut f, N, bit16(r, 15));
+    let s = (f & N != 0) ^ (f & V != 0);
+    set(&mut f, S, s);
+    (r, f)
+}
+
+/// Unsigned, signed and mixed multiplies. Returns (16-bit product, SREG).
+pub fn mul16(rd: u8, rr: u8, signed_d: bool, signed_r: bool, fractional: bool, mut f: u8) -> (u16, u8) {
+    let a: i32 = if signed_d { i32::from(rd as i8) } else { i32::from(rd) };
+    let b: i32 = if signed_r { i32::from(rr as i8) } else { i32::from(rr) };
+    let p = (a * b) as u32 & 0xffff;
+    let c = bit16(p as u16, 15);
+    let r = if fractional { ((p << 1) & 0xffff) as u16 } else { p as u16 };
+    set(&mut f, C, c);
+    set(&mut f, Z, r == 0);
+    (r, f)
+}
+
+fn bit16(v: u16, i: u8) -> bool {
+    v & (1 << i) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_flags() {
+        let (r, f) = add8(0x80, 0x80, false, 0);
+        assert_eq!(r, 0);
+        assert!(f & C != 0, "carry out");
+        assert!(f & Z != 0);
+        assert!(f & V != 0, "signed overflow: -128 + -128");
+        assert!(f & N == 0);
+
+        let (r, f) = add8(0x0f, 0x01, false, 0);
+        assert_eq!(r, 0x10);
+        assert!(f & H != 0, "half carry");
+        assert!(f & C == 0);
+
+        let (r, f) = add8(0xff, 0x00, true, 0);
+        assert_eq!(r, 0);
+        assert!(f & C != 0);
+    }
+
+    #[test]
+    fn sub_flags() {
+        let (r, f) = sub8(0x10, 0x20, false, false, 0);
+        assert_eq!(r, 0xf0);
+        assert!(f & C != 0, "borrow");
+        assert!(f & N != 0);
+
+        let (r, f) = sub8(0x80, 0x01, false, false, 0);
+        assert_eq!(r, 0x7f);
+        assert!(f & V != 0, "signed overflow: -128 - 1");
+
+        // Z is sticky for sbc: stays clear if previously clear.
+        let (_, f) = sub8(0x01, 0x01, false, true, 0);
+        assert!(f & Z == 0, "sticky Z must not be set when previous Z clear");
+        let (_, f) = sub8(0x01, 0x01, false, true, Z);
+        assert!(f & Z != 0);
+    }
+
+    #[test]
+    fn logic_clears_v() {
+        let (_, f) = logic8(0x00, V | N);
+        assert!(f & V == 0);
+        assert!(f & Z != 0);
+        assert!(f & N == 0);
+    }
+
+    #[test]
+    fn inc_dec_preserve_carry() {
+        let (_, f) = inc8(0xff, C);
+        assert!(f & C != 0);
+        let (r, f) = inc8(0x7f, 0);
+        assert_eq!(r, 0x80);
+        assert!(f & V != 0);
+        let (r, f) = dec8(0x80, 0);
+        assert_eq!(r, 0x7f);
+        assert!(f & V != 0);
+        let (_, f) = dec8(0x01, 0);
+        assert!(f & Z != 0);
+    }
+
+    #[test]
+    fn shifts() {
+        let (r, f) = lsr8(0x01, 0);
+        assert_eq!(r, 0);
+        assert!(f & C != 0 && f & Z != 0);
+        let (r, f) = ror8(0x01, C);
+        assert_eq!(r, 0x80);
+        assert!(f & C != 0 && f & N != 0);
+        let (r, _) = asr8(0x82, 0);
+        assert_eq!(r, 0xc1);
+    }
+
+    #[test]
+    fn word_ops() {
+        let (r, f) = adiw16(0xffff, 1, 0);
+        assert_eq!(r, 0);
+        assert!(f & C != 0 && f & Z != 0);
+        let (r, f) = sbiw16(0x0000, 1, 0);
+        assert_eq!(r, 0xffff);
+        assert!(f & C != 0 && f & N != 0);
+    }
+
+    #[test]
+    fn multiplies() {
+        let (r, f) = mul16(200, 200, false, false, false, 0);
+        assert_eq!(r, 40000);
+        assert!(f & C != 0, "bit 15 of product");
+        let (r, _) = mul16(0xff, 2, true, false, false, 0); // -1 * 2
+        assert_eq!(r, 0xfffe);
+        let (r, _) = mul16(0x40, 0x40, false, false, true, 0); // fmul 0.5*0.5
+        assert_eq!(r, 0x2000);
+        let (_, f) = mul16(0, 5, false, false, false, 0);
+        assert!(f & Z != 0);
+    }
+
+    #[test]
+    fn com_neg() {
+        let (r, f) = com8(0x55, 0);
+        assert_eq!(r, 0xaa);
+        assert!(f & C != 0);
+        let (r, f) = neg8(0x01, 0);
+        assert_eq!(r, 0xff);
+        assert!(f & C != 0);
+        let (r, f) = neg8(0x80, 0);
+        assert_eq!(r, 0x80);
+        assert!(f & V != 0, "neg of -128 overflows");
+        let (_, f) = neg8(0, 0);
+        assert!(f & Z != 0 && f & C == 0);
+    }
+}

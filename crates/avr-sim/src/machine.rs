@@ -1,0 +1,1291 @@
+//! The machine: CPU, Harvard memories, and memory-mapped peripherals.
+
+use std::collections::HashSet;
+
+use avr_core::decode::decode;
+use avr_core::device::{Device, ATMEGA2560};
+use avr_core::{cycles::base_cycles, io, Insn, PtrReg, Reg};
+
+use crate::alu;
+use crate::fault::{Fault, RunExit};
+use crate::periph::{Heartbeat, Uart, Watchdog, PORTB_ADDR, UCSR0A_ADDR, UDR0_ADDR};
+use crate::eeprom::{Eeprom, EEARH_ADDR, EECR_ADDR};
+use crate::timer::{self, Timer0, TCCR0B_ADDR, TCNT0_ADDR, TIFR0_ADDR, TIMSK0_ADDR};
+
+/// PORTB bit used as the heartbeat signal to the MAVR master processor.
+pub const HEARTBEAT_BIT: u8 = 5;
+
+const SPL_DATA: u16 = io::to_data_address(io::SPL);
+const SPH_DATA: u16 = io::to_data_address(io::SPH);
+const SREG_DATA: u16 = io::to_data_address(io::SREG);
+const RAMPZ_DATA: u16 = io::to_data_address(io::RAMPZ);
+const EIND_DATA: u16 = io::to_data_address(io::EIND);
+
+/// Ring buffer of recently executed instructions, for post-mortem analysis
+/// of crashed (attacked) machines.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    entries: Vec<(u32, u16)>, // (pc bytes, sp)
+    head: usize,
+    capacity: usize,
+}
+
+impl Trace {
+    fn new(capacity: usize) -> Self {
+        Trace {
+            entries: Vec::with_capacity(capacity),
+            head: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn record(&mut self, pc_bytes: u32, sp: u16) {
+        if self.entries.len() < self.capacity {
+            self.entries.push((pc_bytes, sp));
+        } else {
+            self.entries[self.head] = (pc_bytes, sp);
+        }
+        self.head = (self.head + 1) % self.capacity;
+    }
+
+    /// The recorded `(pc_bytes, sp)` pairs, oldest first.
+    pub fn entries(&self) -> Vec<(u32, u16)> {
+        if self.entries.len() < self.capacity {
+            self.entries.clone()
+        } else {
+            let mut out = self.entries[self.head..].to_vec();
+            out.extend_from_slice(&self.entries[..self.head]);
+            out
+        }
+    }
+
+    /// The most recently executed PC (bytes).
+    pub fn last_pc(&self) -> Option<u32> {
+        let idx = (self.head + self.capacity - 1) % self.capacity;
+        self.entries.get(idx.min(self.entries.len().saturating_sub(1))).map(|e| e.0)
+    }
+}
+
+/// A simulated AVR microcontroller.
+///
+/// Program memory, the linear data space (registers + I/O + SRAM) and the
+/// EEPROM are physically separate, exactly as on the part (Fig. 1 of the
+/// paper): nothing in the data space is ever executed, and flash can only be
+/// changed by the host (playing the role of the programmer/bootloader).
+#[derive(Debug, Clone)]
+pub struct Machine {
+    device: Device,
+    flash: Vec<u8>,
+    data: Vec<u8>,
+    /// The EEPROM and its register interface (persistent configuration;
+    /// unaffected by MAVR reflashes).
+    pub eeprom: Eeprom,
+    pc: u32,
+    cycles: u64,
+    fault: Option<Fault>,
+    breakpoints: HashSet<u32>,
+    /// One-instruction interrupt suppression after SREG writes / reti, as
+    /// on real silicon ("the instruction following SEI will be executed
+    /// before any pending interrupts").
+    irq_delay: bool,
+    trace: Option<Trace>,
+    /// USART0 — the telemetry link to the ground station.
+    pub uart0: Uart,
+    /// The heartbeat monitor fed by PORTB writes.
+    pub heartbeat: Heartbeat,
+    /// Watchdog timer (disabled unless enabled by the host).
+    pub watchdog: Watchdog,
+    /// Timer/Counter0 (overflow interrupt support).
+    pub timer0: Timer0,
+}
+
+impl Machine {
+    /// Create a machine for the given device, flash erased to `0xff`.
+    pub fn new(device: Device) -> Self {
+        let mut m = Machine {
+            device,
+            flash: vec![0xff; device.flash_bytes as usize],
+            data: vec![0; device.sram_start as usize + device.sram_bytes as usize],
+            eeprom: Eeprom::new(device.eeprom_bytes as usize),
+            pc: 0,
+            cycles: 0,
+            fault: None,
+            breakpoints: HashSet::new(),
+            irq_delay: false,
+            trace: None,
+            uart0: Uart::default(),
+            heartbeat: Heartbeat::default(),
+            watchdog: Watchdog::default(),
+            timer0: Timer0::default(),
+        };
+        m.set_sp(device.ramend());
+        m
+    }
+
+    /// Create an ATmega2560 — the APM 2.5 application processor.
+    pub fn new_atmega2560() -> Self {
+        Machine::new(ATMEGA2560)
+    }
+
+    /// The device description.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Copy `bytes` into flash at byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the flash size.
+    pub fn load_flash(&mut self, addr: u32, bytes: &[u8]) {
+        let a = addr as usize;
+        self.flash[a..a + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Read back flash (the *debug/ISP* view — the MAVR readout-protection
+    /// fuse is modelled one level up, in the board crate).
+    pub fn flash(&self) -> &[u8] {
+        &self.flash
+    }
+
+    /// Erase all of flash to `0xff`.
+    pub fn erase_flash(&mut self) {
+        self.flash.fill(0xff);
+    }
+
+    /// Reset the CPU: PC to the reset vector, SP to RAMEND, SREG cleared,
+    /// fault cleared. SRAM contents are preserved, as on real silicon.
+    pub fn reset(&mut self) {
+        self.pc = 0;
+        self.fault = None;
+        self.data[..32].fill(0);
+        self.write_data(SREG_DATA, 0);
+        self.set_sp(self.device.ramend());
+        self.watchdog = Watchdog::default();
+        self.timer0 = Timer0::default();
+    }
+
+    // ---- register / flag accessors ----
+
+    /// Read a general-purpose register.
+    pub fn reg(&self, r: Reg) -> u8 {
+        self.data[r.num() as usize]
+    }
+
+    /// Write a general-purpose register.
+    pub fn set_reg(&mut self, r: Reg, v: u8) {
+        self.data[r.num() as usize] = v;
+    }
+
+    /// Read a register pair as little-endian u16 (`low` must be the lower
+    /// register of the pair).
+    pub fn reg_pair(&self, low: Reg) -> u16 {
+        u16::from_le_bytes([self.reg(low), self.data[low.num() as usize + 1]])
+    }
+
+    /// Write a register pair.
+    pub fn set_reg_pair(&mut self, low: Reg, v: u16) {
+        let [lo, hi] = v.to_le_bytes();
+        self.data[low.num() as usize] = lo;
+        self.data[low.num() as usize + 1] = hi;
+    }
+
+    /// Current stack pointer.
+    pub fn sp(&self) -> u16 {
+        u16::from_le_bytes([
+            self.data[SPL_DATA as usize],
+            self.data[SPH_DATA as usize],
+        ])
+    }
+
+    /// Set the stack pointer.
+    pub fn set_sp(&mut self, sp: u16) {
+        let [lo, hi] = sp.to_le_bytes();
+        self.data[SPL_DATA as usize] = lo;
+        self.data[SPH_DATA as usize] = hi;
+    }
+
+    /// Current SREG.
+    pub fn sreg(&self) -> u8 {
+        self.data[SREG_DATA as usize]
+    }
+
+    /// Set SREG.
+    pub fn set_sreg(&mut self, v: u8) {
+        self.data[SREG_DATA as usize] = v;
+    }
+
+    /// Current program counter, in words.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Current program counter, in bytes (as listings show it).
+    pub fn pc_bytes(&self) -> u32 {
+        self.pc * 2
+    }
+
+    /// Jump the PC to a byte address.
+    pub fn set_pc_bytes(&mut self, addr: u32) {
+        self.pc = addr / 2;
+    }
+
+    /// Total executed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The sticky fault, if the machine has crashed.
+    pub fn fault(&self) -> Option<Fault> {
+        self.fault
+    }
+
+    // ---- data space ----
+
+    /// Read a data-space byte (with I/O side effects, e.g. reading `UDR0`
+    /// consumes a received byte).
+    pub fn read_data(&mut self, addr: u16) -> u8 {
+        match addr {
+            UCSR0A_ADDR => self.uart0.status(),
+            UDR0_ADDR => self.uart0.read_data(),
+            EECR_ADDR..=EEARH_ADDR => self.eeprom.read_reg(addr),
+            TCNT0_ADDR => self.timer0.tcnt,
+            TCCR0B_ADDR => self.timer0.tccr_b,
+            TIMSK0_ADDR => self.timer0.timsk,
+            TIFR0_ADDR => self.timer0.tifr,
+            _ => self.data.get(addr as usize).copied().unwrap_or(0),
+        }
+    }
+
+    /// Inspect a data-space byte with **no** side effects (host/debugger
+    /// view, used for the paper's stack dumps in Fig. 6).
+    pub fn peek_data(&self, addr: u16) -> u8 {
+        self.data.get(addr as usize).copied().unwrap_or(0)
+    }
+
+    /// Inspect a range of the data space without side effects.
+    pub fn peek_range(&self, addr: u16, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.peek_data(addr.wrapping_add(i as u16)))
+            .collect()
+    }
+
+    /// Write a data-space byte (with I/O side effects: PORTB writes feed the
+    /// heartbeat monitor, `UDR0` writes transmit).
+    pub fn write_data(&mut self, addr: u16, v: u8) {
+        match addr {
+            UDR0_ADDR => self.uart0.write_data(v),
+            EECR_ADDR..=EEARH_ADDR => self.eeprom.write_reg(addr, v),
+            TCNT0_ADDR => self.timer0.tcnt = v,
+            TCCR0B_ADDR => self.timer0.tccr_b = v,
+            TIMSK0_ADDR => self.timer0.timsk = v,
+            // Writing 1 to a TIFR bit clears it, as on real hardware.
+            TIFR0_ADDR => self.timer0.tifr &= !v,
+            PORTB_ADDR => {
+                self.heartbeat.observe(v, HEARTBEAT_BIT, self.cycles);
+                self.data[addr as usize] = v;
+            }
+            _ => {
+                if (addr as usize) < self.data.len() {
+                    self.data[addr as usize] = v;
+                }
+            }
+        }
+    }
+
+    /// Host-side poke with no side effects.
+    pub fn poke_data(&mut self, addr: u16, v: u8) {
+        if (addr as usize) < self.data.len() {
+            self.data[addr as usize] = v;
+        }
+    }
+
+    fn data_in_bounds(&self, addr: u16) -> bool {
+        (addr as usize) < self.data.len()
+    }
+
+    // ---- breakpoints ----
+
+    /// Set a breakpoint at a byte address.
+    pub fn add_breakpoint(&mut self, byte_addr: u32) {
+        self.breakpoints.insert(byte_addr / 2);
+    }
+
+    /// Remove a breakpoint at a byte address.
+    pub fn remove_breakpoint(&mut self, byte_addr: u32) {
+        self.breakpoints.remove(&(byte_addr / 2));
+    }
+
+    // ---- stack ----
+
+    fn push8(&mut self, v: u8) -> Result<(), Fault> {
+        let sp = self.sp();
+        if !self.data_in_bounds(sp) {
+            return Err(Fault::StackOutOfBounds { sp });
+        }
+        self.data[sp as usize] = v;
+        self.set_sp(sp.wrapping_sub(1));
+        Ok(())
+    }
+
+    fn pop8(&mut self) -> Result<u8, Fault> {
+        let sp = self.sp().wrapping_add(1);
+        if !self.data_in_bounds(sp) {
+            return Err(Fault::StackOutOfBounds { sp });
+        }
+        self.set_sp(sp);
+        Ok(self.data[sp as usize])
+    }
+
+    fn push_pc(&mut self, pc: u32) -> Result<(), Fault> {
+        // Low byte first, so the return address sits big-endian in memory.
+        self.push8((pc & 0xff) as u8)?;
+        self.push8(((pc >> 8) & 0xff) as u8)?;
+        if self.device.pc_bytes == 3 {
+            self.push8(((pc >> 16) & 0xff) as u8)?;
+        }
+        Ok(())
+    }
+
+    fn pop_pc(&mut self) -> Result<u32, Fault> {
+        let mut pc = 0u32;
+        if self.device.pc_bytes == 3 {
+            pc = u32::from(self.pop8()?) << 16;
+        }
+        pc |= u32::from(self.pop8()?) << 8;
+        pc |= u32::from(self.pop8()?);
+        Ok(pc)
+    }
+
+    // ---- execution ----
+
+    fn fetch(&self) -> Result<(Insn, u32), Fault> {
+        if self.pc >= self.device.flash_words() {
+            return Err(Fault::PcOutOfBounds { pc: self.pc });
+        }
+        let a = (self.pc * 2) as usize;
+        let w0 = u16::from_le_bytes([self.flash[a], self.flash[a + 1]]);
+        let words: &[u16] = if a + 4 <= self.flash.len() {
+            &[w0, u16::from_le_bytes([self.flash[a + 2], self.flash[a + 3]])]
+        } else {
+            &[w0]
+        };
+        Ok(decode(words))
+    }
+
+    /// Width in words of the instruction at word address `pc` (for skips).
+    fn width_at(&self, pc: u32) -> u32 {
+        if pc >= self.device.flash_words() {
+            return 1;
+        }
+        let a = (pc * 2) as usize;
+        let w0 = u16::from_le_bytes([self.flash[a], self.flash[a + 1]]);
+        decode(&[w0, 0]).1
+    }
+
+    /// Execute one instruction. Returns the fault if the machine crashed;
+    /// the fault is sticky and subsequent calls return it again.
+    pub fn step(&mut self) -> Result<(), Fault> {
+        if let Some(f) = self.fault {
+            return Err(f);
+        }
+        if self.watchdog.expired(self.cycles) {
+            return self.fail(Fault::WatchdogTimeout);
+        }
+        // Interrupt dispatch: with I set and TIMER0_OVF pending, vector —
+        // unless the previous instruction wrote SREG (hardware executes one
+        // more instruction first; the frame epilogue's `out SREG` relies on
+        // this to protect the following `out SPL`).
+        let suppressed = std::mem::replace(&mut self.irq_delay, false);
+        if !suppressed
+            && self.sreg() & (1 << avr_core::sreg::I) != 0
+            && self.timer0.irq_pending()
+        {
+            self.timer0.ack();
+            if let Err(f) = self.push_pc(self.pc) {
+                return self.fail(f);
+            }
+            let f = self.sreg() & !(1 << avr_core::sreg::I);
+            self.set_sreg(f);
+            self.pc = timer::TIMER0_OVF_VECTOR * 2; // 4-byte vector slots
+            self.cycles += 5;
+        }
+        let (insn, width) = match self.fetch() {
+            Ok(v) => v,
+            Err(f) => return self.fail(f),
+        };
+        if let Some(t) = &mut self.trace {
+            let sp = u16::from_le_bytes([
+                self.data[SPL_DATA as usize],
+                self.data[SPH_DATA as usize],
+            ]);
+            t.record(self.pc * 2, sp);
+        }
+        let pc0 = self.pc;
+        self.pc += width;
+        let c0 = self.cycles;
+        self.cycles += base_cycles(&insn);
+        let result = self.exec(insn, pc0, width);
+        self.timer0.advance(self.cycles - c0);
+        match result {
+            Ok(()) => Ok(()),
+            Err(f) => self.fail(f),
+        }
+    }
+
+    fn fail(&mut self, f: Fault) -> Result<(), Fault> {
+        self.fault = Some(f);
+        Err(f)
+    }
+
+    /// Run until the cycle budget is exhausted, a fault occurs, or a
+    /// breakpoint is hit.
+    pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        let limit = self.cycles.saturating_add(max_cycles);
+        while self.cycles < limit {
+            if self.breakpoints.contains(&self.pc) {
+                return RunExit::Breakpoint { addr: self.pc * 2 };
+            }
+            if let Err(f) = self.step() {
+                return RunExit::Faulted(f);
+            }
+        }
+        RunExit::CyclesExhausted
+    }
+
+    /// Run until `pred` returns true (checked after every instruction), a
+    /// fault occurs, or the cycle budget is exhausted.
+    pub fn run_until(
+        &mut self,
+        max_cycles: u64,
+        mut pred: impl FnMut(&Machine) -> bool,
+    ) -> RunExit {
+        let limit = self.cycles.saturating_add(max_cycles);
+        while self.cycles < limit {
+            if let Err(f) = self.step() {
+                return RunExit::Faulted(f);
+            }
+            if pred(self) {
+                return RunExit::Breakpoint { addr: self.pc * 2 };
+            }
+        }
+        RunExit::CyclesExhausted
+    }
+
+    fn skip_next(&mut self) {
+        let w = self.width_at(self.pc);
+        self.pc += w;
+        self.cycles += u64::from(w);
+    }
+
+    fn exec(&mut self, insn: Insn, pc0: u32, width: u32) -> Result<(), Fault> {
+        let next = pc0 + width;
+        match insn {
+            Insn::Nop | Insn::Sleep | Insn::Spm | Insn::SpmZPostInc => {}
+            Insn::Wdr => self.watchdog.pet(self.cycles),
+            Insn::Break => return Err(Fault::Break { addr: pc0 * 2 }),
+            Insn::Invalid(word) => {
+                return Err(Fault::InvalidOpcode {
+                    addr: pc0 * 2,
+                    word,
+                })
+            }
+
+            // ---- ALU, two-register ----
+            Insn::Add { d, r } => self.alu2(d, r, |a, b, f| alu::add8(a, b, false, f)),
+            Insn::Adc { d, r } => {
+                let c = self.sreg() & alu::C != 0;
+                self.alu2(d, r, move |a, b, f| alu::add8(a, b, c, f))
+            }
+            Insn::Sub { d, r } => self.alu2(d, r, |a, b, f| alu::sub8(a, b, false, false, f)),
+            Insn::Sbc { d, r } => {
+                let c = self.sreg() & alu::C != 0;
+                self.alu2(d, r, move |a, b, f| alu::sub8(a, b, c, true, f))
+            }
+            Insn::And { d, r } => self.alu2(d, r, |a, b, f| alu::logic8(a & b, f)),
+            Insn::Or { d, r } => self.alu2(d, r, |a, b, f| alu::logic8(a | b, f)),
+            Insn::Eor { d, r } => self.alu2(d, r, |a, b, f| alu::logic8(a ^ b, f)),
+            Insn::Cp { d, r } => {
+                let (_, f) = alu::sub8(self.reg(d), self.reg(r), false, false, self.sreg());
+                self.set_sreg(f);
+            }
+            Insn::Cpc { d, r } => {
+                let c = self.sreg() & alu::C != 0;
+                let (_, f) = alu::sub8(self.reg(d), self.reg(r), c, true, self.sreg());
+                self.set_sreg(f);
+            }
+            Insn::Mov { d, r } => {
+                let v = self.reg(r);
+                self.set_reg(d, v);
+            }
+            Insn::Movw { d, r } => {
+                let v = self.reg_pair(r);
+                self.set_reg_pair(d, v);
+            }
+
+            // ---- immediates ----
+            Insn::Ldi { d, k } => self.set_reg(d, k),
+            Insn::Cpi { d, k } => {
+                let (_, f) = alu::sub8(self.reg(d), k, false, false, self.sreg());
+                self.set_sreg(f);
+            }
+            Insn::Subi { d, k } => self.alu1(d, |a, f| alu::sub8(a, k, false, false, f)),
+            Insn::Sbci { d, k } => {
+                let c = self.sreg() & alu::C != 0;
+                self.alu1(d, move |a, f| alu::sub8(a, k, c, true, f))
+            }
+            Insn::Ori { d, k } => self.alu1(d, move |a, f| alu::logic8(a | k, f)),
+            Insn::Andi { d, k } => self.alu1(d, move |a, f| alu::logic8(a & k, f)),
+
+            // ---- single register ----
+            Insn::Com { d } => self.alu1(d, alu::com8),
+            Insn::Neg { d } => self.alu1(d, alu::neg8),
+            Insn::Swap { d } => {
+                let v = self.reg(d);
+                self.set_reg(d, v.rotate_right(4));
+            }
+            Insn::Inc { d } => self.alu1(d, alu::inc8),
+            Insn::Dec { d } => self.alu1(d, alu::dec8),
+            Insn::Asr { d } => self.alu1(d, alu::asr8),
+            Insn::Lsr { d } => self.alu1(d, alu::lsr8),
+            Insn::Ror { d } => self.alu1(d, alu::ror8),
+
+            // ---- multiplies ----
+            Insn::Mul { d, r } => self.do_mul(d, r, false, false, false),
+            Insn::Muls { d, r } => self.do_mul(d, r, true, true, false),
+            Insn::Mulsu { d, r } => self.do_mul(d, r, true, false, false),
+            Insn::Fmul { d, r } => self.do_mul(d, r, false, false, true),
+            Insn::Fmuls { d, r } => self.do_mul(d, r, true, true, true),
+            Insn::Fmulsu { d, r } => self.do_mul(d, r, true, false, true),
+
+            // ---- word immediate ----
+            Insn::Adiw { d, k } => {
+                let (r, f) = alu::adiw16(self.reg_pair(d), k, self.sreg());
+                self.set_reg_pair(d, r);
+                self.set_sreg(f);
+            }
+            Insn::Sbiw { d, k } => {
+                let (r, f) = alu::sbiw16(self.reg_pair(d), k, self.sreg());
+                self.set_reg_pair(d, r);
+                self.set_sreg(f);
+            }
+
+            // ---- loads & stores ----
+            Insn::Ld { d, ptr } => {
+                let addr = self.ptr_address(ptr);
+                let v = self.read_data(addr);
+                self.set_reg(d, v);
+            }
+            Insn::St { ptr, r } => {
+                let v = self.reg(r);
+                let addr = self.ptr_address(ptr);
+                self.write_data(addr, v);
+            }
+            Insn::Ldd { d, idx, q } => {
+                let base = self.reg_pair(idx.base());
+                let v = self.read_data(base.wrapping_add(u16::from(q)));
+                self.set_reg(d, v);
+            }
+            Insn::Std { idx, q, r } => {
+                let base = self.reg_pair(idx.base());
+                let v = self.reg(r);
+                self.write_data(base.wrapping_add(u16::from(q)), v);
+            }
+            Insn::Lds { d, k } => {
+                let v = self.read_data(k);
+                self.set_reg(d, v);
+            }
+            Insn::Sts { k, r } => {
+                let v = self.reg(r);
+                self.write_data(k, v);
+                if k == SREG_DATA {
+                    self.irq_delay = true;
+                }
+            }
+            Insn::Lpm { d, post_inc } => {
+                let z = self.reg_pair(Reg::R30);
+                let v = self.flash_byte(u32::from(z));
+                self.set_reg(d, v);
+                if post_inc {
+                    self.set_reg_pair(Reg::R30, z.wrapping_add(1));
+                }
+            }
+            Insn::Lpm0 => {
+                let z = self.reg_pair(Reg::R30);
+                let v = self.flash_byte(u32::from(z));
+                self.set_reg(Reg::R0, v);
+            }
+            Insn::Elpm { d, post_inc } => {
+                let addr = self.rampz_z();
+                let v = self.flash_byte(addr);
+                self.set_reg(d, v);
+                if post_inc {
+                    self.bump_rampz_z();
+                }
+            }
+            Insn::Elpm0 => {
+                let addr = self.rampz_z();
+                let v = self.flash_byte(addr);
+                self.set_reg(Reg::R0, v);
+            }
+            Insn::Push { r } => {
+                let v = self.reg(r);
+                self.push8(v)?;
+            }
+            Insn::Pop { d } => {
+                let v = self.pop8()?;
+                self.set_reg(d, v);
+            }
+            Insn::In { d, a } => {
+                let v = self.read_data(io::to_data_address(a));
+                self.set_reg(d, v);
+            }
+            Insn::Out { a, r } => {
+                let v = self.reg(r);
+                self.write_data(io::to_data_address(a), v);
+                if a == io::SREG {
+                    self.irq_delay = true;
+                }
+            }
+
+            // ---- control flow ----
+            Insn::Jmp { k } => self.pc = k,
+            Insn::Rjmp { k } => self.pc = next.wrapping_add_signed(i32::from(k)),
+            Insn::Ijmp => self.pc = u32::from(self.reg_pair(Reg::R30)),
+            Insn::Eijmp => {
+                let eind = u32::from(self.peek_data(EIND_DATA) & 1);
+                self.pc = (eind << 16) | u32::from(self.reg_pair(Reg::R30));
+            }
+            Insn::Call { k } => {
+                self.push_pc(next)?;
+                self.pc = k;
+            }
+            Insn::Rcall { k } => {
+                self.push_pc(next)?;
+                self.pc = next.wrapping_add_signed(i32::from(k));
+            }
+            Insn::Icall => {
+                self.push_pc(next)?;
+                self.pc = u32::from(self.reg_pair(Reg::R30));
+            }
+            Insn::Eicall => {
+                self.push_pc(next)?;
+                let eind = u32::from(self.peek_data(EIND_DATA) & 1);
+                self.pc = (eind << 16) | u32::from(self.reg_pair(Reg::R30));
+            }
+            Insn::Ret => self.pc = self.pop_pc()?,
+            Insn::Reti => {
+                self.pc = self.pop_pc()?;
+                let f = self.sreg() | (1 << avr_core::sreg::I);
+                self.set_sreg(f);
+                self.irq_delay = true;
+            }
+            Insn::Brbs { s, k } => {
+                if self.sreg() & (1 << s) != 0 {
+                    self.pc = next.wrapping_add_signed(i32::from(k));
+                    self.cycles += 1;
+                }
+            }
+            Insn::Brbc { s, k } => {
+                if self.sreg() & (1 << s) == 0 {
+                    self.pc = next.wrapping_add_signed(i32::from(k));
+                    self.cycles += 1;
+                }
+            }
+            Insn::Cpse { d, r } => {
+                if self.reg(d) == self.reg(r) {
+                    self.skip_next();
+                }
+            }
+            Insn::Sbrc { r, b } => {
+                if self.reg(r) & (1 << b) == 0 {
+                    self.skip_next();
+                }
+            }
+            Insn::Sbrs { r, b } => {
+                if self.reg(r) & (1 << b) != 0 {
+                    self.skip_next();
+                }
+            }
+            Insn::Sbic { a, b } => {
+                if self.read_data(io::to_data_address(a)) & (1 << b) == 0 {
+                    self.skip_next();
+                }
+            }
+            Insn::Sbis { a, b } => {
+                if self.read_data(io::to_data_address(a)) & (1 << b) != 0 {
+                    self.skip_next();
+                }
+            }
+
+            // ---- bit ops ----
+            Insn::Bset { s } => {
+                let f = self.sreg() | (1 << s);
+                self.set_sreg(f);
+                if s == avr_core::sreg::I {
+                    self.irq_delay = true;
+                }
+            }
+            Insn::Bclr { s } => {
+                let f = self.sreg() & !(1 << s);
+                self.set_sreg(f);
+            }
+            Insn::Bst { d, b } => {
+                let t = self.reg(d) & (1 << b) != 0;
+                let mut f = self.sreg() & !alu::T;
+                if t {
+                    f |= alu::T;
+                }
+                self.set_sreg(f);
+            }
+            Insn::Bld { d, b } => {
+                let mut v = self.reg(d) & !(1 << b);
+                if self.sreg() & alu::T != 0 {
+                    v |= 1 << b;
+                }
+                self.set_reg(d, v);
+            }
+            Insn::Sbi { a, b } => {
+                let addr = io::to_data_address(a);
+                let v = self.read_data(addr) | (1 << b);
+                self.write_data(addr, v);
+            }
+            Insn::Cbi { a, b } => {
+                let addr = io::to_data_address(a);
+                let v = self.read_data(addr) & !(1 << b);
+                self.write_data(addr, v);
+            }
+        }
+        Ok(())
+    }
+
+    fn alu2(&mut self, d: Reg, r: Reg, op: impl FnOnce(u8, u8, u8) -> (u8, u8)) {
+        let (res, f) = op(self.reg(d), self.reg(r), self.sreg());
+        self.set_reg(d, res);
+        self.set_sreg(f);
+    }
+
+    fn alu1(&mut self, d: Reg, op: impl FnOnce(u8, u8) -> (u8, u8)) {
+        let (res, f) = op(self.reg(d), self.sreg());
+        self.set_reg(d, res);
+        self.set_sreg(f);
+    }
+
+    fn do_mul(&mut self, d: Reg, r: Reg, sd: bool, sr: bool, fract: bool) {
+        let (p, f) = alu::mul16(self.reg(d), self.reg(r), sd, sr, fract, self.sreg());
+        self.set_reg_pair(Reg::R0, p);
+        self.set_sreg(f);
+    }
+
+    fn ptr_address(&mut self, ptr: PtrReg) -> u16 {
+        let base = ptr.base();
+        match ptr {
+            PtrReg::X => self.reg_pair(base),
+            PtrReg::XPostInc | PtrReg::YPostInc | PtrReg::ZPostInc => {
+                let a = self.reg_pair(base);
+                self.set_reg_pair(base, a.wrapping_add(1));
+                a
+            }
+            PtrReg::XPreDec | PtrReg::YPreDec | PtrReg::ZPreDec => {
+                let a = self.reg_pair(base).wrapping_sub(1);
+                self.set_reg_pair(base, a);
+                a
+            }
+        }
+    }
+
+    fn flash_byte(&self, byte_addr: u32) -> u8 {
+        self.flash
+            .get(byte_addr as usize)
+            .copied()
+            .unwrap_or(0xff)
+    }
+
+    fn rampz_z(&self) -> u32 {
+        (u32::from(self.peek_data(RAMPZ_DATA)) << 16) | u32::from(self.reg_pair(Reg::R30))
+    }
+
+    fn bump_rampz_z(&mut self) {
+        let a = self.rampz_z().wrapping_add(1);
+        self.set_reg_pair(Reg::R30, (a & 0xffff) as u16);
+        self.poke_data(RAMPZ_DATA, ((a >> 16) & 0xff) as u8);
+    }
+
+    /// Enable instruction tracing with a ring buffer of `capacity` entries.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// Disable tracing and drop the buffer.
+    pub fn disable_trace(&mut self) {
+        self.trace = None;
+    }
+
+    /// The trace buffer, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avr_core::encode::encode_to_bytes;
+
+    fn machine_with(prog: &[Insn]) -> Machine {
+        let mut m = Machine::new_atmega2560();
+        m.load_flash(0, &encode_to_bytes(prog).unwrap());
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_store() {
+        let mut m = machine_with(&[
+            Insn::Ldi { d: Reg::R24, k: 40 },
+            Insn::Ldi { d: Reg::R25, k: 2 },
+            Insn::Add { d: Reg::R24, r: Reg::R25 },
+            Insn::Sts { k: 0x0300, r: Reg::R24 },
+            Insn::Break,
+        ]);
+        let exit = m.run(100);
+        assert!(matches!(exit, RunExit::Faulted(Fault::Break { .. })));
+        assert_eq!(m.peek_data(0x0300), 42);
+    }
+
+    #[test]
+    fn call_ret_uses_three_byte_frames() {
+        // 0: call 4 ; 2: break ; 3: (pad) ; 4: ret
+        let mut m = machine_with(&[
+            Insn::Call { k: 3 },
+            Insn::Break,
+            Insn::Ret,
+        ]);
+        let sp0 = m.sp();
+        assert_eq!(sp0, 0x21ff);
+        m.step().unwrap(); // call
+        assert_eq!(m.sp(), sp0 - 3, "ATmega2560 pushes 3 PC bytes");
+        // Return address 2 sits big-endian at SP+1..SP+3.
+        assert_eq!(m.peek_data(m.sp() + 1), 0);
+        assert_eq!(m.peek_data(m.sp() + 2), 0);
+        assert_eq!(m.peek_data(m.sp() + 3), 2);
+        m.step().unwrap(); // ret
+        assert_eq!(m.pc(), 2);
+        assert_eq!(m.sp(), sp0);
+    }
+
+    #[test]
+    fn stack_pointer_is_memory_mapped() {
+        // The stk_move gadget primitive: out 0x3e/0x3d rewrites SP.
+        let mut m = machine_with(&[
+            Insn::Ldi { d: Reg::R29, k: 0x20 },
+            Insn::Ldi { d: Reg::R28, k: 0x80 },
+            Insn::Out { a: io::SPH, r: Reg::R29 },
+            Insn::Out { a: io::SPL, r: Reg::R28 },
+            Insn::Break,
+        ]);
+        m.run(100);
+        assert_eq!(m.sp(), 0x2080);
+    }
+
+    #[test]
+    fn registers_are_memory_mapped() {
+        // sts into address 5 writes r5 — the paper leans on this.
+        let mut m = machine_with(&[
+            Insn::Ldi { d: Reg::R24, k: 0xab },
+            Insn::Sts { k: 0x0005, r: Reg::R24 },
+            Insn::Break,
+        ]);
+        m.run(100);
+        assert_eq!(m.reg(Reg::R5), 0xab);
+    }
+
+    #[test]
+    fn invalid_opcode_faults() {
+        let mut m = Machine::new_atmega2560();
+        m.load_flash(0, &[0x01, 0x00]); // 0x0001 is reserved
+        let exit = m.run(10);
+        assert_eq!(
+            exit,
+            RunExit::Faulted(Fault::InvalidOpcode { addr: 0, word: 0x0001 })
+        );
+        // Fault is sticky.
+        assert!(m.step().is_err());
+    }
+
+    #[test]
+    fn erased_flash_faults_immediately() {
+        // 0xffff is a reserved encoding (sbrs with bit 3 set); executing
+        // erased flash is exactly the "executing garbage" crash of §V-D.
+        let mut m = Machine::new_atmega2560();
+        let exit = m.run(600_000);
+        assert_eq!(
+            exit,
+            RunExit::Faulted(Fault::InvalidOpcode { addr: 0, word: 0xffff })
+        );
+    }
+
+    #[test]
+    fn pc_runs_off_flash_end() {
+        // A nop sled to the very end of flash runs the PC out of bounds.
+        let mut m = Machine::new_atmega2560();
+        let words = m.device().flash_words();
+        m.load_flash(0, &vec![0u8; (words * 2) as usize]);
+        m.set_pc_bytes(words * 2 - 2);
+        let exit = m.run(10);
+        assert_eq!(exit, RunExit::Faulted(Fault::PcOutOfBounds { pc: words }));
+    }
+
+    #[test]
+    fn branches_and_loops() {
+        // Count r24 from 0 to 5: ldi r24,0 ; inc ; cpi 5 ; brne .-6 ; break
+        let mut m = machine_with(&[
+            Insn::Ldi { d: Reg::R24, k: 0 },
+            Insn::Inc { d: Reg::R24 },
+            Insn::Cpi { d: Reg::R24, k: 5 },
+            Insn::Brbc { s: 1, k: -3 },
+            Insn::Break,
+        ]);
+        m.run(1000);
+        assert_eq!(m.reg(Reg::R24), 5);
+    }
+
+    #[test]
+    fn skip_over_two_word_insn() {
+        // sbrs r24,0 (r24=1 -> skip) over a jmp; lands on ldi.
+        let mut m = machine_with(&[
+            Insn::Ldi { d: Reg::R24, k: 1 },
+            Insn::Sbrs { r: Reg::R24, b: 0 },
+            Insn::Jmp { k: 0x100 },
+            Insn::Ldi { d: Reg::R25, k: 7 },
+            Insn::Break,
+        ]);
+        m.run(100);
+        assert_eq!(m.reg(Reg::R25), 7);
+    }
+
+    #[test]
+    fn uart_round_trip() {
+        // Poll RXC, read UDR0, add 1, write UDR0.
+        let mut m = machine_with(&[
+            // in r24, UCSR0A(io 0xa0? no—use lds since 0xc0 is ext IO)
+            Insn::Lds { d: Reg::R24, k: UCSR0A_ADDR },
+            Insn::Sbrs { r: Reg::R24, b: 7 },
+            Insn::Rjmp { k: -3 },
+            Insn::Lds { d: Reg::R24, k: UDR0_ADDR },
+            Insn::Inc { d: Reg::R24 },
+            Insn::Sts { k: UDR0_ADDR, r: Reg::R24 },
+            Insn::Break,
+        ]);
+        m.uart0.inject(&[41]);
+        m.run(1000);
+        assert_eq!(m.uart0.take_tx(), vec![42]);
+    }
+
+    #[test]
+    fn heartbeat_toggles_recorded() {
+        let mut m = machine_with(&[
+            Insn::Ldi { d: Reg::R24, k: 1 << HEARTBEAT_BIT },
+            Insn::Sts { k: PORTB_ADDR, r: Reg::R24 },
+            Insn::Ldi { d: Reg::R24, k: 0 },
+            Insn::Sts { k: PORTB_ADDR, r: Reg::R24 },
+            Insn::Break,
+        ]);
+        m.run(100);
+        assert_eq!(m.heartbeat.toggles().len(), 2);
+    }
+
+    #[test]
+    fn watchdog_fires_without_wdr() {
+        let mut m = machine_with(&[Insn::Rjmp { k: -1 }]); // tight idle loop
+        m.watchdog.enable(100, 0);
+        let exit = m.run(10_000);
+        assert_eq!(exit, RunExit::Faulted(Fault::WatchdogTimeout));
+
+        let mut m = machine_with(&[Insn::Wdr, Insn::Rjmp { k: -2 }]);
+        m.watchdog.enable(100, 0);
+        let exit = m.run(10_000);
+        assert_eq!(exit, RunExit::CyclesExhausted);
+    }
+
+    #[test]
+    fn lpm_reads_flash() {
+        let mut m = machine_with(&[
+            Insn::Ldi { d: Reg::R30, k: 0x10 },
+            Insn::Ldi { d: Reg::R31, k: 0x00 },
+            Insn::Lpm { d: Reg::R24, post_inc: true },
+            Insn::Lpm { d: Reg::R25, post_inc: false },
+            Insn::Break,
+        ]);
+        m.load_flash(0x10, &[0xde, 0xad]);
+        m.run(100);
+        assert_eq!(m.reg(Reg::R24), 0xde);
+        assert_eq!(m.reg(Reg::R25), 0xad);
+        assert_eq!(m.reg_pair(Reg::R30), 0x11);
+    }
+
+    #[test]
+    fn elpm_reads_high_flash() {
+        let mut m = machine_with(&[
+            Insn::Ldi { d: Reg::R24, k: 3 },
+            Insn::Sts { k: RAMPZ_DATA, r: Reg::R24 },
+            Insn::Ldi { d: Reg::R30, k: 0x00 },
+            Insn::Ldi { d: Reg::R31, k: 0x00 },
+            Insn::Elpm { d: Reg::R24, post_inc: false },
+            Insn::Break,
+        ]);
+        m.load_flash(0x30000, &[0x5a]);
+        m.run(100);
+        assert_eq!(m.reg(Reg::R24), 0x5a);
+    }
+
+    #[test]
+    fn ijmp_uses_z() {
+        let mut m = machine_with(&[
+            Insn::Ldi { d: Reg::R30, k: 4 },
+            Insn::Ldi { d: Reg::R31, k: 0 },
+            Insn::Ijmp,
+            Insn::Break, // skipped
+            Insn::Ldi { d: Reg::R20, k: 9 },
+            Insn::Break,
+        ]);
+        m.run(100);
+        assert_eq!(m.reg(Reg::R20), 9);
+    }
+
+    #[test]
+    fn breakpoints_pause_without_fault() {
+        let mut m = machine_with(&[
+            Insn::Ldi { d: Reg::R24, k: 1 },
+            Insn::Ldi { d: Reg::R25, k: 2 },
+            Insn::Break,
+        ]);
+        m.add_breakpoint(2);
+        let exit = m.run(100);
+        assert_eq!(exit, RunExit::Breakpoint { addr: 2 });
+        assert_eq!(m.reg(Reg::R24), 1);
+        assert_eq!(m.reg(Reg::R25), 0);
+        m.remove_breakpoint(2);
+        assert!(matches!(m.run(100), RunExit::Faulted(Fault::Break { .. })));
+    }
+
+    #[test]
+    fn reset_preserves_sram() {
+        let mut m = machine_with(&[
+            Insn::Ldi { d: Reg::R24, k: 0x77 },
+            Insn::Sts { k: 0x0500, r: Reg::R24 },
+            Insn::Break,
+        ]);
+        m.run(100);
+        assert!(m.fault().is_some());
+        m.reset();
+        assert!(m.fault().is_none());
+        assert_eq!(m.pc(), 0);
+        assert_eq!(m.sp(), 0x21ff);
+        assert_eq!(m.peek_data(0x0500), 0x77, "SRAM survives reset");
+    }
+
+    #[test]
+    fn push_pop_round_trip_pairs() {
+        let mut m = machine_with(&[
+            Insn::Ldi { d: Reg::R24, k: 0xaa },
+            Insn::Push { r: Reg::R24 },
+            Insn::Pop { d: Reg::R0 },
+            Insn::Break,
+        ]);
+        m.run(100);
+        assert_eq!(m.reg(Reg::R0), 0xaa);
+        assert_eq!(m.sp(), 0x21ff);
+    }
+
+    #[test]
+    fn timer0_interrupt_vectors_and_returns() {
+        use crate::timer::{TCCR0B_ADDR, TIMER0_OVF_VECTOR, TIMSK0_ADDR};
+        // Vector table: slot 23 jumps to the ISR; main enables the timer
+        // and interrupts, then spins incrementing r20. The ISR increments
+        // a counter at 0x0400 and returns.
+        let isr_word = 0x80u32; // ISR at byte 0x100
+        let main_word = 0x100u32; // main at byte 0x200
+        let mut m = Machine::new_atmega2560();
+        let jmp_isr = encode_to_bytes(&[Insn::Jmp { k: isr_word }]).unwrap();
+        m.load_flash(TIMER0_OVF_VECTOR * 4, &jmp_isr);
+        m.load_flash(0, &encode_to_bytes(&[Insn::Jmp { k: main_word }]).unwrap());
+        let isr = encode_to_bytes(&[
+            Insn::Push { r: Reg::R24 },
+            Insn::In { d: Reg::R24, a: io::SREG },
+            Insn::Push { r: Reg::R24 },
+            Insn::Lds { d: Reg::R24, k: 0x0400 },
+            Insn::Inc { d: Reg::R24 },
+            Insn::Sts { k: 0x0400, r: Reg::R24 },
+            Insn::Pop { d: Reg::R24 },
+            Insn::Out { a: io::SREG, r: Reg::R24 },
+            Insn::Pop { d: Reg::R24 },
+            Insn::Reti,
+        ])
+        .unwrap();
+        m.load_flash(isr_word * 2, &isr);
+        let main = encode_to_bytes(&[
+            Insn::Ldi { d: Reg::R24, k: 1 }, // prescale /1
+            Insn::Sts { k: TCCR0B_ADDR, r: Reg::R24 },
+            Insn::Ldi { d: Reg::R24, k: 1 }, // TOIE0
+            Insn::Sts { k: TIMSK0_ADDR, r: Reg::R24 },
+            Insn::Bset { s: avr_core::sreg::I }, // sei
+            // spin
+            Insn::Inc { d: Reg::R20 },
+            Insn::Rjmp { k: -2 },
+        ])
+        .unwrap();
+        m.load_flash(main_word * 2, &main);
+        let exit = m.run(3_000);
+        assert_eq!(exit, RunExit::CyclesExhausted, "{:?}", m.fault());
+        // ~3000 cycles at /1 prescale = ~11 overflows.
+        let isr_count = m.peek_data(0x0400);
+        assert!(
+            (5..=15).contains(&isr_count),
+            "ISR ran {isr_count} times in 3000 cycles"
+        );
+        // Main kept making progress between interrupts.
+        assert!(m.reg(Reg::R20) > 100);
+        // SP balanced (no leaked interrupt frames).
+        assert_eq!(m.sp(), 0x21ff);
+    }
+
+    #[test]
+    fn interrupts_masked_when_i_clear() {
+        use crate::timer::{TCCR0B_ADDR, TIMSK0_ADDR};
+        let mut m = machine_with(&[
+            Insn::Ldi { d: Reg::R24, k: 1 },
+            Insn::Sts { k: TCCR0B_ADDR, r: Reg::R24 },
+            Insn::Sts { k: TIMSK0_ADDR, r: Reg::R24 },
+            // I never set: spin.
+            Insn::Inc { d: Reg::R20 },
+            Insn::Rjmp { k: -2 },
+        ]);
+        m.run(3_000);
+        assert!(m.fault().is_none());
+        assert_eq!(m.sp(), 0x21ff, "no interrupt frames without sei");
+        assert!(m.timer0.tifr & crate::timer::TOV0 != 0, "flag still pends");
+    }
+
+    #[test]
+    fn eeprom_register_interface_via_instructions() {
+        use crate::eeprom::{EEARL_ADDR, EECR_ADDR, EEDR_ADDR, EEMPE, EEPE, EERE};
+        // Write 0x42 to EEPROM[5], read it back — through in/out as
+        // firmware does it.
+        let mut m = machine_with(&[
+            Insn::Ldi { d: Reg::R24, k: 5 },
+            Insn::Sts { k: EEARL_ADDR, r: Reg::R24 },
+            Insn::Ldi { d: Reg::R24, k: 0x42 },
+            Insn::Sts { k: EEDR_ADDR, r: Reg::R24 },
+            Insn::Ldi { d: Reg::R24, k: EEMPE },
+            Insn::Sts { k: EECR_ADDR, r: Reg::R24 },
+            Insn::Ldi { d: Reg::R24, k: EEPE },
+            Insn::Sts { k: EECR_ADDR, r: Reg::R24 },
+            // Clear the data register, then read back.
+            Insn::Ldi { d: Reg::R24, k: 0 },
+            Insn::Sts { k: EEDR_ADDR, r: Reg::R24 },
+            Insn::Ldi { d: Reg::R24, k: EERE },
+            Insn::Sts { k: EECR_ADDR, r: Reg::R24 },
+            Insn::Lds { d: Reg::R20, k: EEDR_ADDR },
+            Insn::Break,
+        ]);
+        m.run(1_000);
+        assert_eq!(m.eeprom.bytes()[5], 0x42);
+        assert_eq!(m.reg(Reg::R20), 0x42);
+        assert_eq!(m.eeprom.writes, 1);
+    }
+
+    #[test]
+    fn trace_records_execution_path() {
+        let mut m = machine_with(&[
+            Insn::Ldi { d: Reg::R24, k: 1 },
+            Insn::Call { k: 4 },
+            Insn::Break,
+            Insn::Ret, // word 4
+        ]);
+        m.enable_trace(16);
+        m.run(100);
+        let pcs: Vec<u32> = m.trace().unwrap().entries().iter().map(|e| e.0).collect();
+        assert_eq!(pcs, vec![0, 2, 8, 6], "ldi, call, ret (at byte 8), break");
+        assert_eq!(m.trace().unwrap().last_pc(), Some(6));
+    }
+
+    #[test]
+    fn trace_ring_wraps() {
+        let mut m = machine_with(&[Insn::Inc { d: Reg::R24 }, Insn::Rjmp { k: -2 }]);
+        m.enable_trace(4);
+        m.run(100);
+        let entries = m.trace().unwrap().entries();
+        assert_eq!(entries.len(), 4);
+        // Only the loop's two addresses appear.
+        assert!(entries.iter().all(|(pc, _)| *pc == 0 || *pc == 2));
+        m.disable_trace();
+        assert!(m.trace().is_none());
+    }
+
+    #[test]
+    fn cpse_skips_two_word_instruction() {
+        let mut m = machine_with(&[
+            Insn::Ldi { d: Reg::R24, k: 7 },
+            Insn::Ldi { d: Reg::R25, k: 7 },
+            Insn::Cpse { d: Reg::R24, r: Reg::R25 },
+            Insn::Sts { k: 0x0400, r: Reg::R24 }, // two words, skipped
+            Insn::Ldi { d: Reg::R20, k: 1 },
+            Insn::Break,
+        ]);
+        m.run(100);
+        assert_eq!(m.peek_data(0x0400), 0, "sts skipped");
+        assert_eq!(m.reg(Reg::R20), 1);
+    }
+
+    #[test]
+    fn bst_bld_move_bits_through_t() {
+        let mut m = machine_with(&[
+            Insn::Ldi { d: Reg::R24, k: 0b0000_1000 },
+            Insn::Bst { d: Reg::R24, b: 3 },
+            Insn::Ldi { d: Reg::R25, k: 0 },
+            Insn::Bld { d: Reg::R25, b: 6 },
+            Insn::Break,
+        ]);
+        m.run(100);
+        assert_eq!(m.reg(Reg::R25), 0b0100_0000);
+    }
+
+    #[test]
+    fn sbic_skips_on_clear_io_bit() {
+        // TIFR0 (io 0x15) starts clear -> sbic skips; after setting TOV0
+        // via the timer, sbis skips instead.
+        let mut m = machine_with(&[
+            Insn::Sbic { a: 0x15, b: 0 },
+            Insn::Ldi { d: Reg::R20, k: 1 }, // skipped
+            Insn::Ldi { d: Reg::R21, k: 2 },
+            Insn::Break,
+        ]);
+        m.run(100);
+        assert_eq!(m.reg(Reg::R20), 0);
+        assert_eq!(m.reg(Reg::R21), 2);
+    }
+
+    #[test]
+    fn swap_and_com() {
+        let mut m = machine_with(&[
+            Insn::Ldi { d: Reg::R24, k: 0xa5 },
+            Insn::Swap { d: Reg::R24 },
+            Insn::Com { d: Reg::R24 },
+            Insn::Break,
+        ]);
+        m.run(100);
+        assert_eq!(m.reg(Reg::R24), !0x5au8);
+    }
+
+    #[test]
+    fn cycle_accounting() {
+        let mut m = machine_with(&[Insn::Nop, Insn::Call { k: 3 }, Insn::Ret]);
+        m.step().unwrap();
+        assert_eq!(m.cycles(), 1);
+        m.step().unwrap();
+        assert_eq!(m.cycles(), 6, "call on 2560 is 5 cycles");
+        m.step().unwrap();
+        assert_eq!(m.cycles(), 11, "ret on 2560 is 5 cycles");
+    }
+}

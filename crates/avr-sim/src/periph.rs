@@ -1,0 +1,215 @@
+//! Peripheral models: UART, heartbeat GPIO, watchdog timer.
+
+use std::collections::VecDeque;
+
+/// Data-space address of `UCSR0A` (USART0 control/status A) on the
+/// ATmega2560.
+pub const UCSR0A_ADDR: u16 = 0xc0;
+/// Data-space address of `UDR0` (USART0 data register).
+pub const UDR0_ADDR: u16 = 0xc6;
+/// `RXC0` bit of `UCSR0A`: receive complete.
+pub const RXC0: u8 = 1 << 7;
+/// `UDRE0` bit of `UCSR0A`: data register empty (we model an always-ready
+/// transmitter).
+pub const UDRE0: u8 = 1 << 5;
+
+/// Data-space address of `PORTB` — the heartbeat pin lives here.
+pub const PORTB_ADDR: u16 = 0x25;
+
+/// A byte-oriented, polled UART.
+///
+/// The ground station (or the MAVR master, on the programming link) feeds
+/// [`Uart::inject`]; firmware polls `UCSR0A.RXC0` and reads `UDR0`.
+/// Transmitted bytes accumulate in [`Uart::take_tx`] for the host to drain.
+#[derive(Debug, Default, Clone)]
+pub struct Uart {
+    rx: VecDeque<u8>,
+    tx: Vec<u8>,
+}
+
+impl Uart {
+    /// Queue bytes for the firmware to receive.
+    pub fn inject(&mut self, bytes: &[u8]) {
+        self.rx.extend(bytes.iter().copied());
+    }
+
+    /// Number of bytes waiting to be received.
+    pub fn rx_pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Status byte as seen at `UCSR0A`.
+    pub fn status(&self) -> u8 {
+        let mut s = UDRE0;
+        if !self.rx.is_empty() {
+            s |= RXC0;
+        }
+        s
+    }
+
+    /// Firmware-side read of `UDR0`. Reading with an empty queue returns 0,
+    /// like reading the data register with no reception on real silicon.
+    pub fn read_data(&mut self) -> u8 {
+        self.rx.pop_front().unwrap_or(0)
+    }
+
+    /// Firmware-side write of `UDR0`.
+    pub fn write_data(&mut self, byte: u8) {
+        self.tx.push(byte);
+    }
+
+    /// Drain everything the firmware has transmitted so far.
+    pub fn take_tx(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.tx)
+    }
+
+    /// Peek at the transmitted bytes without draining them.
+    pub fn tx_buffer(&self) -> &[u8] {
+        &self.tx
+    }
+
+    /// Discard any unread receive bytes (used on reset).
+    pub fn clear(&mut self) {
+        self.rx.clear();
+        self.tx.clear();
+    }
+}
+
+/// Records transitions of the heartbeat pin, with cycle timestamps.
+///
+/// The paper's master processor "listens to the application processor and
+/// performs simple timing analysis to determine whether a failed attack has
+/// occurred" (§V-A2). This model gives it the raw signal: every toggle of
+/// the heartbeat bit on PORTB, timestamped in CPU cycles.
+#[derive(Debug, Default, Clone)]
+pub struct Heartbeat {
+    toggles: Vec<u64>,
+    last_level: bool,
+}
+
+impl Heartbeat {
+    /// Observe a write of `value` to PORTB at time `cycle`.
+    pub fn observe(&mut self, value: u8, bit: u8, cycle: u64) {
+        let level = value & (1 << bit) != 0;
+        if level != self.last_level {
+            self.last_level = level;
+            self.toggles.push(cycle);
+        }
+    }
+
+    /// Cycle timestamps of every toggle seen so far.
+    pub fn toggles(&self) -> &[u64] {
+        &self.toggles
+    }
+
+    /// Cycle timestamp of the most recent toggle.
+    pub fn last_toggle(&self) -> Option<u64> {
+        self.toggles.last().copied()
+    }
+
+    /// Largest gap (in cycles) between consecutive toggles after `from`,
+    /// including the gap from the final toggle to `now`. `None` if no toggle
+    /// has been seen after `from`.
+    pub fn max_gap(&self, from: u64, now: u64) -> Option<u64> {
+        let mut prev = None;
+        let mut max = 0u64;
+        for &t in self.toggles.iter().filter(|&&t| t >= from) {
+            if let Some(p) = prev {
+                max = max.max(t - p);
+            }
+            prev = Some(t);
+        }
+        let last = prev?;
+        Some(max.max(now.saturating_sub(last)))
+    }
+
+    /// Forget all history (used on reset).
+    pub fn clear(&mut self) {
+        self.toggles.clear();
+        self.last_level = false;
+    }
+}
+
+/// A watchdog timer. Disabled by default; when enabled, the machine faults
+/// if `timeout` cycles pass without a `wdr` instruction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Watchdog {
+    timeout: Option<u64>,
+    last_reset: u64,
+}
+
+impl Watchdog {
+    /// Enable with the given timeout in cycles.
+    pub fn enable(&mut self, timeout_cycles: u64, now: u64) {
+        self.timeout = Some(timeout_cycles);
+        self.last_reset = now;
+    }
+
+    /// Disable the watchdog.
+    pub fn disable(&mut self) {
+        self.timeout = None;
+    }
+
+    /// Called when the CPU executes `wdr`.
+    pub fn pet(&mut self, now: u64) {
+        self.last_reset = now;
+    }
+
+    /// Whether the watchdog has expired at time `now`.
+    pub fn expired(&self, now: u64) -> bool {
+        match self.timeout {
+            Some(t) => now.saturating_sub(self.last_reset) > t,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uart_queues() {
+        let mut u = Uart::default();
+        assert_eq!(u.status() & RXC0, 0);
+        assert_ne!(u.status() & UDRE0, 0);
+        u.inject(&[1, 2, 3]);
+        assert_ne!(u.status() & RXC0, 0);
+        assert_eq!(u.read_data(), 1);
+        assert_eq!(u.read_data(), 2);
+        assert_eq!(u.rx_pending(), 1);
+        u.write_data(9);
+        u.write_data(8);
+        assert_eq!(u.take_tx(), vec![9, 8]);
+        assert!(u.take_tx().is_empty());
+        assert_eq!(u.read_data(), 3);
+        assert_eq!(u.read_data(), 0, "empty queue reads zero");
+    }
+
+    #[test]
+    fn heartbeat_gap_analysis() {
+        let mut hb = Heartbeat::default();
+        hb.observe(0x20, 5, 100); // low -> high
+        hb.observe(0x20, 5, 150); // no change
+        hb.observe(0x00, 5, 200); // high -> low
+        hb.observe(0x20, 5, 350);
+        assert_eq!(hb.toggles(), &[100, 200, 350]);
+        assert_eq!(hb.max_gap(0, 400), Some(150));
+        // Silence after the last toggle dominates.
+        assert_eq!(hb.max_gap(0, 1000), Some(650));
+        assert_eq!(hb.max_gap(500, 1000), None);
+    }
+
+    #[test]
+    fn watchdog_expiry() {
+        let mut w = Watchdog::default();
+        assert!(!w.expired(1_000_000));
+        w.enable(100, 0);
+        assert!(!w.expired(100));
+        assert!(w.expired(101));
+        w.pet(90);
+        assert!(!w.expired(150));
+        w.disable();
+        assert!(!w.expired(u64::MAX));
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests driving the *machine* (not the ALU helpers directly):
+//! instruction semantics, stack discipline, and memory-mapping invariants
+//! that the attacks depend on.
+
+use avr_core::encode::encode_to_bytes;
+use avr_core::{sreg, Insn, Reg};
+use avr_sim::Machine;
+use proptest::prelude::*;
+
+fn run_prog(prog: &[Insn]) -> Machine {
+    let mut m = Machine::new_atmega2560();
+    let mut p = prog.to_vec();
+    p.push(Insn::Break);
+    m.load_flash(0, &encode_to_bytes(&p).unwrap());
+    m.run(10_000);
+    m
+}
+
+fn flag(m: &Machine, bit: u8) -> bool {
+    m.sreg() & (1 << bit) != 0
+}
+
+proptest! {
+    #[test]
+    fn add_semantics(a in any::<u8>(), b in any::<u8>()) {
+        let m = run_prog(&[
+            Insn::Ldi { d: Reg::R24, k: a },
+            Insn::Ldi { d: Reg::R25, k: b },
+            Insn::Add { d: Reg::R24, r: Reg::R25 },
+        ]);
+        prop_assert_eq!(m.reg(Reg::R24), a.wrapping_add(b));
+        prop_assert_eq!(flag(&m, sreg::C), (u16::from(a) + u16::from(b)) > 0xff);
+        prop_assert_eq!(flag(&m, sreg::Z), a.wrapping_add(b) == 0);
+        prop_assert_eq!(flag(&m, sreg::N), a.wrapping_add(b) & 0x80 != 0);
+        let signed = (a as i8).checked_add(b as i8).is_none();
+        prop_assert_eq!(flag(&m, sreg::V), signed);
+        prop_assert_eq!(flag(&m, sreg::S), flag(&m, sreg::N) != flag(&m, sreg::V));
+    }
+
+    #[test]
+    fn sub_and_cp_agree_on_flags(a in any::<u8>(), b in any::<u8>()) {
+        let sub = run_prog(&[
+            Insn::Ldi { d: Reg::R24, k: a },
+            Insn::Ldi { d: Reg::R25, k: b },
+            Insn::Sub { d: Reg::R24, r: Reg::R25 },
+        ]);
+        let cp = run_prog(&[
+            Insn::Ldi { d: Reg::R24, k: a },
+            Insn::Ldi { d: Reg::R25, k: b },
+            Insn::Cp { d: Reg::R24, r: Reg::R25 },
+        ]);
+        prop_assert_eq!(sub.sreg(), cp.sreg(), "cp is sub without writeback");
+        prop_assert_eq!(sub.reg(Reg::R24), a.wrapping_sub(b));
+        prop_assert_eq!(cp.reg(Reg::R24), a, "cp must not write");
+        prop_assert_eq!(flag(&sub, sreg::C), b > a);
+    }
+
+    #[test]
+    fn adc_chain_implements_16bit_add(a in any::<u16>(), b in any::<u16>()) {
+        let [al, ah] = a.to_le_bytes();
+        let [bl, bh] = b.to_le_bytes();
+        let m = run_prog(&[
+            Insn::Ldi { d: Reg::R24, k: al },
+            Insn::Ldi { d: Reg::R25, k: ah },
+            Insn::Ldi { d: Reg::R22, k: bl },
+            Insn::Ldi { d: Reg::R23, k: bh },
+            Insn::Add { d: Reg::R24, r: Reg::R22 },
+            Insn::Adc { d: Reg::R25, r: Reg::R23 },
+        ]);
+        let sum = a.wrapping_add(b);
+        prop_assert_eq!(m.reg_pair(Reg::R24), sum);
+        prop_assert_eq!(flag(&m, sreg::C), u32::from(a) + u32::from(b) > 0xffff);
+    }
+
+    #[test]
+    fn sbc_chain_implements_16bit_sub_with_sticky_z(a in any::<u16>(), b in any::<u16>()) {
+        let [al, ah] = a.to_le_bytes();
+        let [bl, bh] = b.to_le_bytes();
+        let m = run_prog(&[
+            Insn::Ldi { d: Reg::R24, k: al },
+            Insn::Ldi { d: Reg::R25, k: ah },
+            Insn::Ldi { d: Reg::R22, k: bl },
+            Insn::Ldi { d: Reg::R23, k: bh },
+            Insn::Sub { d: Reg::R24, r: Reg::R22 },
+            Insn::Sbc { d: Reg::R25, r: Reg::R23 },
+        ]);
+        prop_assert_eq!(m.reg_pair(Reg::R24), a.wrapping_sub(b));
+        prop_assert_eq!(flag(&m, sreg::C), b > a);
+        // Sticky Z: the 16-bit result is zero iff Z survived both halves.
+        prop_assert_eq!(flag(&m, sreg::Z), a == b);
+    }
+
+    #[test]
+    fn mul_is_16bit_product(a in any::<u8>(), b in any::<u8>()) {
+        let m = run_prog(&[
+            Insn::Ldi { d: Reg::R24, k: a },
+            Insn::Ldi { d: Reg::R25, k: b },
+            Insn::Mul { d: Reg::R24, r: Reg::R25 },
+        ]);
+        prop_assert_eq!(m.reg_pair(Reg::R0), u16::from(a) * u16::from(b));
+    }
+
+    #[test]
+    fn push_pop_is_lifo(values in proptest::collection::vec(any::<u8>(), 1..16)) {
+        // Push all the values from r24, then pop them back into r24 and
+        // store each; memory ends up reversed.
+        let mut prog = Vec::new();
+        for &v in &values {
+            prog.push(Insn::Ldi { d: Reg::R24, k: v });
+            prog.push(Insn::Push { r: Reg::R24 });
+        }
+        for i in 0..values.len() {
+            prog.push(Insn::Pop { d: Reg::R24 });
+            prog.push(Insn::Sts { k: 0x0400 + i as u16, r: Reg::R24 });
+        }
+        let m = run_prog(&prog);
+        let popped: Vec<u8> = (0..values.len())
+            .map(|i| m.peek_data(0x0400 + i as u16))
+            .collect();
+        let mut reversed = values.clone();
+        reversed.reverse();
+        prop_assert_eq!(popped, reversed);
+        prop_assert_eq!(m.sp(), 0x21ff, "stack balanced");
+    }
+
+    #[test]
+    fn registers_alias_low_data_space(r in 2u8..=31, v in any::<u8>()) {
+        // Store through data space into a register address; read the
+        // register — the aliasing the paper's gadgets rely on.
+        let m = run_prog(&[
+            Insn::Ldi { d: Reg::R24, k: v },
+            Insn::Sts { k: u16::from(r), r: Reg::R24 },
+        ]);
+        if r != 24 {
+            prop_assert_eq!(m.reg(Reg::new(r)), v);
+        }
+        prop_assert_eq!(m.peek_data(u16::from(r)), m.reg(Reg::new(r)));
+    }
+
+    #[test]
+    fn sp_writes_via_out_take_effect(sp in 0x0200u16..0x2100) {
+        let [lo, hi] = sp.to_le_bytes();
+        let m = run_prog(&[
+            Insn::Ldi { d: Reg::R28, k: lo },
+            Insn::Ldi { d: Reg::R29, k: hi },
+            Insn::Out { a: 0x3e, r: Reg::R29 },
+            Insn::Out { a: 0x3d, r: Reg::R28 },
+        ]);
+        prop_assert_eq!(m.sp(), sp);
+    }
+
+    #[test]
+    fn call_ret_round_trip_any_target(target_word in 0x40u32..0x1000) {
+        // call <target>; (at target) ret; returns to the next instruction.
+        let mut m = Machine::new_atmega2560();
+        m.load_flash(
+            0,
+            &encode_to_bytes(&[Insn::Call { k: target_word }, Insn::Break]).unwrap(),
+        );
+        m.load_flash(target_word * 2, &encode_to_bytes(&[Insn::Ret]).unwrap());
+        let exit = m.run(10_000);
+        let returned_to_next =
+            matches!(exit, avr_sim::RunExit::Faulted(avr_sim::Fault::Break { addr: 4 }));
+        prop_assert!(returned_to_next, "exit was {exit:?}");
+        prop_assert_eq!(m.sp(), 0x21ff);
+    }
+
+    #[test]
+    fn lsr_ror_pair_shifts_16bit(v in any::<u16>()) {
+        let [lo, hi] = v.to_le_bytes();
+        let m = run_prog(&[
+            Insn::Ldi { d: Reg::R25, k: hi },
+            Insn::Ldi { d: Reg::R24, k: lo },
+            Insn::Lsr { d: Reg::R25 },
+            Insn::Ror { d: Reg::R24 },
+        ]);
+        prop_assert_eq!(m.reg_pair(Reg::R24), v >> 1);
+        prop_assert_eq!(flag(&m, sreg::C), v & 1 != 0);
+    }
+}

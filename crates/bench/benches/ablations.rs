@@ -1,0 +1,151 @@
+//! Ablations for the design choices the paper argues for:
+//!
+//! * `--no-relax` (§VI-B1): force-randomizing a relax-built image breaks it;
+//! * `-mno-call-prologues` (§VI-B1): the shared blob concentrates gadget
+//!   bytes and leaks its location through hundreds of call sites;
+//! * randomization frequency vs the 10,000-cycle flash endurance (§V-C);
+//! * random inter-function padding (§VIII-B): entropy gain the paper
+//!   deemed unnecessary.
+
+use avr_core::decode::decode_at;
+use avr_core::Insn;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mavr::policy::RandomizationPolicy;
+use mavr::{randomize, RandomizeOptions};
+use synth_firmware::{apps, build, BuildOptions};
+
+fn relax_ablation() {
+    let img = build(&apps::tiny_test_app(), &BuildOptions::safe_stock())
+        .unwrap()
+        .image;
+    // Default: rejected.
+    let err = randomize(&img, &mut mavr::seeded_rng(1), &RandomizeOptions::default()).unwrap_err();
+    println!("Ablation --no-relax: relax-built image rejected ({err})");
+    // Forced: broken.
+    let opts = RandomizeOptions {
+        ignore_relaxed_branches: true,
+        ..Default::default()
+    };
+    let mut deaths = 0;
+    let trials = 10;
+    for seed in 0..trials {
+        let r = randomize(&img, &mut mavr::seeded_rng(seed), &opts).unwrap();
+        let mut m = avr_sim::Machine::new_atmega2560();
+        m.load_flash(0, &r.image.bytes);
+        let exit = m.run(2_000_000);
+        if !exit.is_healthy() || m.heartbeat.toggles().len() < 5 {
+            deaths += 1;
+        }
+    }
+    println!(
+        "Ablation --no-relax: force-randomized relax builds died {deaths}/{trials} times"
+    );
+}
+
+fn call_prologue_ablation() {
+    use rop::scanner::{scan, ScanOptions};
+    let spec = apps::tiny_test_app();
+    let stock = build(&spec, &BuildOptions::safe_stock()).unwrap().image;
+    let mavr_img = build(&spec, &BuildOptions::safe_mavr()).unwrap().image;
+
+    // References to the shared blobs: the location leak the paper warns
+    // about — every caller encodes the blob's address, whether as a long
+    // `call` or a relaxed `rcall`.
+    let blobs: Vec<(u32, u32)> = ["__prologue_saves__", "__epilogue_restores__"]
+        .iter()
+        .map(|n| {
+            let s = stock.symbol(n).expect("stock build has the blob");
+            (s.addr, s.end())
+        })
+        .collect();
+    let in_blobs = |byte: u32| blobs.iter().any(|&(a, e)| byte >= a && byte < e);
+    let mut refs = 0;
+    let mut off = 0u32;
+    while off + 1 < stock.text_end {
+        let Some((insn, words)) = decode_at(&stock.bytes, off as usize) else {
+            break;
+        };
+        let target = match insn {
+            Insn::Call { k } | Insn::Jmp { k } => Some(k * 2),
+            Insn::Rcall { k } | Insn::Rjmp { k } => {
+                Some(off.wrapping_add(2).wrapping_add_signed(i32::from(k) * 2))
+            }
+            _ => None,
+        };
+        if target.map(in_blobs).unwrap_or(false) {
+            refs += 1;
+        }
+        off += words * 2;
+    }
+
+    // Register-restore gadget concentration: the blob hosts long pop runs
+    // that flow (through its return trampoline) into ret; per-function
+    // epilogues scatter the equivalent gadgets across the whole image.
+    let opts = ScanOptions {
+        max_insns: 24,
+        dedup: false,
+    };
+    let stock_gadgets = scan(&stock, &opts);
+    let in_blob = stock_gadgets.iter().filter(|g| in_blobs(g.addr)).count();
+    let pops = |g: &rop::Gadget| g.insns.iter().filter(|i| matches!(i, Insn::Pop { .. })).count();
+    let stock_restore = stock_gadgets.iter().filter(|g| pops(g) >= 4).count();
+    let mavr_restore = scan(&mavr_img, &opts).iter().filter(|g| pops(g) >= 4).count();
+    println!(
+        "Ablation -mcall-prologues: {refs} call sites reference the shared blobs \
+         ({in_blob} gadget start addresses inside them); register-restore gadgets: \
+         {stock_restore} (stock, concentrated) vs {mavr_restore} (MAVR toolchain, scattered)"
+    );
+    assert!(refs > 10, "the blob must be referenced from many call sites");
+    assert!(mavr_restore > stock_restore, "per-function epilogues scatter the gadgets");
+}
+
+fn wear_ablation() {
+    let endurance = avr_core::device::ATMEGA2560.flash_endurance_cycles;
+    println!("Ablation randomization frequency vs flash endurance ({endurance} cycles):");
+    for n in [1u32, 5, 10, 50, 100] {
+        let p = RandomizationPolicy {
+            every_n_boots: n,
+            on_attack: true,
+        };
+        println!(
+            "  every {n:>3} boots -> lifetime {:>9.0} boots (no attacks), {:>9.0} (1% attack rate)",
+            p.lifetime_boots(endurance, 0.0),
+            p.lifetime_boots(endurance, 0.01)
+        );
+    }
+}
+
+fn padding_ablation() {
+    println!("Ablation inter-function padding (§VIII-B):");
+    for pad_choices in [1u64, 4, 16, 64] {
+        println!(
+            "  800 fns, {pad_choices:>2} pad choices -> {:.0} bits (baseline {:.0})",
+            mavr::math::entropy_bits_with_padding(800, pad_choices),
+            mavr::math::entropy_bits(800)
+        );
+    }
+    println!("  -> the baseline is already computationally secure; padding unnecessary.");
+}
+
+fn bench(c: &mut Criterion) {
+    relax_ablation();
+    call_prologue_ablation();
+    wear_ablation();
+    padding_ablation();
+
+    // Micro-benchmark: the constraint-repair path of the randomizer on a
+    // big image (SynthRover crosses the 128 KiB icall boundary).
+    let img = build(&apps::synth_rover(), &BuildOptions::safe_mavr())
+        .unwrap()
+        .image;
+    let mut g = c.benchmark_group("randomize_constrained");
+    g.sample_size(10);
+    g.bench_function("synth_rover", |b| {
+        let mut rng = mavr::seeded_rng(3);
+        b.iter(|| randomize(&img, &mut rng, &RandomizeOptions::default()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E5 / §V-D and E6 / §VIII-B — brute-force effort and entropy: Monte-Carlo
+//! vs closed form, and exact log2(n!) for the paper's applications.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // §V-D: empirical means against theory for a simulable N.
+    for n in [3usize, 4, 5] {
+        let (mf, ef, mr, er) = mavr_bench::bruteforce(n, 30_000);
+        println!(
+            "Brute force n={n}: fixed {mf:.2} (theory {ef:.2}), re-randomized {mr:.2} (theory {er:.2})"
+        );
+    }
+    // §VIII-B: entropy for the real apps.
+    for spec in synth_firmware::apps::all_paper_apps() {
+        println!(
+            "Entropy: {:<12} log2({}!) = {:.0} bits",
+            spec.name,
+            spec.functions,
+            mavr::math::entropy_bits(spec.functions as u64)
+        );
+    }
+    println!(
+        "Entropy: 800 functions -> {:.0} bits (paper: 6567)",
+        mavr::math::entropy_bits(800)
+    );
+
+    c.bench_function("entropy_bits/800", |b| {
+        b.iter(|| mavr::math::entropy_bits(std::hint::black_box(800)))
+    });
+    c.bench_function("simulate_rerandomized/n=4", |b| {
+        let mut rng = rop::brute::seeded_rng(1);
+        b.iter(|| rop::brute::simulate_rerandomized(4, &mut rng))
+    });
+    c.bench_function("simulate_mechanistic_fixed/n=4", |b| {
+        let mut rng = rop::brute::seeded_rng(2);
+        b.iter(|| rop::brute::simulate_mechanistic_fixed(4, &mut rng))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E4 / §VII-A — effectiveness: gadget population of the paper-scale
+//! target, attack success against unprotected vs randomized images, and the
+//! cost of the scanner, the randomizer and one attack round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mavr::{randomize, RandomizeOptions};
+use rop::scanner::{classify, scan, ScanOptions};
+use synth_firmware::{apps, build, BuildOptions};
+
+fn bench(c: &mut Criterion) {
+    let fw = build(&apps::synth_plane(), &BuildOptions::vulnerable_mavr()).unwrap();
+    let unique = scan(&fw.image, &ScanOptions::default());
+    let all = scan(
+        &fw.image,
+        &ScanOptions {
+            dedup: false,
+            ..Default::default()
+        },
+    );
+    println!(
+        "Effectiveness: {} unique gadgets / {} start addresses in SynthPlane (paper: 953 gadgets)",
+        unique.len(),
+        all.len()
+    );
+    let st = rop::scanner::stats(&unique);
+    println!(
+        "Gadget stats: {} with pops, {} with stores, {} stack-pivot capable",
+        st.with_pops, st.with_stores, st.with_sp_writes
+    );
+    assert!(classify(&fw.image).is_some(), "attack gadgets present");
+
+    // Attack outcome summary on the small app (fast enough to repeat).
+    let e = mavr_bench::effectiveness(&apps::tiny_test_app(), 8);
+    println!(
+        "Effectiveness: stealthy attack {}/{} vs unprotected, {}/{} vs randomized, {}/{} detected",
+        e.stock_successes,
+        e.stock_attempts,
+        e.randomized_successes,
+        e.randomized_attempts,
+        e.randomized_detected,
+        e.randomized_attempts,
+    );
+    assert_eq!(e.randomized_successes, 0);
+
+    let mut g = c.benchmark_group("paper_scale");
+    g.sample_size(10);
+    g.bench_function("gadget_scan/synth_plane", |b| {
+        b.iter(|| scan(std::hint::black_box(&fw.image), &ScanOptions::default()).len())
+    });
+    g.bench_function("randomize_and_patch/synth_plane", |b| {
+        let mut rng = mavr::seeded_rng(7);
+        b.iter(|| randomize(&fw.image, &mut rng, &RandomizeOptions::default()).unwrap())
+    });
+    g.finish();
+
+    let tiny = build(&apps::tiny_test_app(), &BuildOptions::vulnerable_mavr()).unwrap();
+    c.bench_function("attack_discovery/tiny", |b| {
+        b.iter(|| rop::attack::AttackContext::discover(&tiny.image).unwrap())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Substrate microbenchmarks: simulator throughput, protocol codec rates,
+//! and container round-trip cost — the "how fast is the lab equipment"
+//! numbers behind every experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mavlink_lite::{GroundStation, Parser};
+use synth_firmware::{apps, build, BuildOptions};
+
+fn bench(c: &mut Criterion) {
+    let fw = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).unwrap();
+
+    // Simulated CPU cycles per second of host time.
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("run_1M_cycles/tiny_firmware", |b| {
+        b.iter_batched(
+            || {
+                let mut m = avr_sim::Machine::new_atmega2560();
+                m.load_flash(0, &fw.image.bytes);
+                m
+            },
+            |mut m| {
+                m.run(1_000_000);
+                m
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+
+    // MAVLink parse throughput over a realistic telemetry stream.
+    let mut m = avr_sim::Machine::new_atmega2560();
+    m.load_flash(0, &fw.image.bytes);
+    m.run(2_000_000);
+    let stream = m.uart0.take_tx();
+    assert!(!stream.is_empty());
+    let mut g = c.benchmark_group("mavlink");
+    g.throughput(Throughput::Bytes(stream.len() as u64));
+    g.bench_function("parse_telemetry_stream", |b| {
+        b.iter(|| {
+            let mut p = Parser::new();
+            p.push_all(std::hint::black_box(&stream)).len()
+        })
+    });
+    g.finish();
+
+    // Ground-station encode rate.
+    c.bench_function("encode_param_set", |b| {
+        let mut gcs = GroundStation::new();
+        b.iter(|| gcs.param_set(b"RATE_RLL_P", 1.25))
+    });
+
+    // Container serialize/parse on a full-size app.
+    let rover = build(&apps::synth_rover(), &BuildOptions::safe_mavr()).unwrap();
+    let container = mavr::preprocess(&rover.image).unwrap();
+    let text = container.to_text();
+    let mut g = c.benchmark_group("container");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("serialize/synth_rover", |b| b.iter(|| container.to_text().len()));
+    g.bench_function("parse/synth_rover", |b| {
+        b.iter(|| hexfile::MavrContainer::parse(&text).unwrap().image.code_size())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

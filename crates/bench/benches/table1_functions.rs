@@ -1,0 +1,38 @@
+//! E1 / Table I — build the calibrated applications and count their
+//! randomizable function symbols; benchmarks the preprocessing pipeline
+//! (symbol extraction + container encode) the paper's host phase runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use synth_firmware::{apps, build, BuildOptions};
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the table once, printed alongside the measurements.
+    for spec in apps::all_paper_apps() {
+        let fw = build(&spec, &BuildOptions::safe_mavr()).unwrap();
+        println!(
+            "Table I: {:<12} {:>5} functions (paper: {})",
+            spec.name,
+            fw.image.function_count(),
+            spec.functions
+        );
+        assert_eq!(fw.image.function_count(), spec.functions);
+    }
+
+    let fw = build(&apps::synth_rover(), &BuildOptions::safe_mavr()).unwrap();
+    c.bench_function("count_functions/synth_rover", |b| {
+        b.iter(|| std::hint::black_box(&fw.image).function_count())
+    });
+    c.bench_function("preprocess_container/synth_rover", |b| {
+        b.iter(|| mavr::preprocess(std::hint::black_box(&fw.image)).unwrap())
+    });
+
+    let mut g = c.benchmark_group("build_calibrated_app");
+    g.sample_size(10);
+    g.bench_function("synth_rover", |b| {
+        b.iter(|| build(&apps::synth_rover(), &BuildOptions::safe_mavr()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E2 / Table II — startup overhead: the full master boot path
+//! (read container, randomize, patch, program) measured in host time, and
+//! the modelled on-board milliseconds the paper reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mavr::policy::RandomizationPolicy;
+use mavr_board::{AppProcessor, ExternalFlash, MasterProcessor, SerialLink};
+use synth_firmware::{apps, build, BuildOptions};
+
+fn bench(c: &mut Criterion) {
+    // The paper's table, from the timing model.
+    let link = SerialLink::prototype();
+    for spec in apps::all_paper_apps() {
+        let fw = build(&spec, &BuildOptions::safe_mavr()).unwrap();
+        println!(
+            "Table II: {:<12} {:>6.0} ms at 115200 baud (paper: see table)",
+            spec.name,
+            link.transfer_ms(fw.image.code_size())
+        );
+    }
+
+    // Host-side cost of one full randomized boot (rover = smallest app).
+    let fw = build(&apps::synth_rover(), &BuildOptions::safe_mavr()).unwrap();
+    let container = mavr::preprocess(&fw.image).unwrap();
+    let mut chip = ExternalFlash::new();
+    chip.upload(&container).unwrap();
+
+    let mut g = c.benchmark_group("master_boot");
+    g.sample_size(10);
+    g.bench_function("randomize_and_program/synth_rover", |b| {
+        b.iter(|| {
+            let mut master = MasterProcessor::new(1, RandomizationPolicy::default());
+            let mut app = AppProcessor::new();
+            master.boot(&chip, &mut app, false).unwrap()
+        })
+    });
+    g.finish();
+
+    c.bench_function("timing_model/transfer_ms", |b| {
+        b.iter(|| link.transfer_ms(std::hint::black_box(221_294)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

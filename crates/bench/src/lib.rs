@@ -1,0 +1,437 @@
+//! Experiment drivers that regenerate every table and figure of the
+//! paper's evaluation (§VII), shared by the `tables` binary and the
+//! Criterion benches.
+//!
+//! | Experiment | Paper artifact | Driver |
+//! |---|---|---|
+//! | E1 | Table I — number of functions | [`table1`] |
+//! | E2 | Table II — startup overhead | [`table2`] |
+//! | E3 | Table III — code size change | [`table3`] |
+//! | E4 | §VII-A — effectiveness (953 gadgets; attacks fail) | [`effectiveness`] |
+//! | E5 | §V-D — brute-force effort | [`bruteforce`] |
+//! | E6 | §VIII-B — entropy | [`entropy`] |
+//! | F1 | Fig. 2 — MAVLink packet structure | [`fig2`] |
+//! | F2 | Figs. 4–5 — gadget listings | [`gadget_listings`] |
+//! | F3 | Fig. 6 — stack progression during the stealthy attack | [`fig6`] |
+
+#![forbid(unsafe_code)]
+
+use avr_core::image::FirmwareImage;
+use mavlink_lite::GroundStation;
+use mavr::policy::RandomizationPolicy;
+use mavr_board::{MavrBoard, SerialLink};
+use rop::attack::AttackContext;
+use rop::scanner::{self, ScanOptions};
+use synth_firmware::{apps, build, layout as l, AppSpec, BuildOptions, FirmwareBuild};
+
+/// One row of a numeric table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Application name.
+    pub app: String,
+    /// Values, column order per experiment.
+    pub values: Vec<f64>,
+}
+
+/// Render rows with a header, paper-style.
+pub fn render(title: &str, columns: &[&str], rows: &[Row]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "== {title} ==").unwrap();
+    write!(out, "{:<14}", "Application").unwrap();
+    for c in columns {
+        write!(out, "{c:>20}").unwrap();
+    }
+    out.push('\n');
+    for r in rows {
+        write!(out, "{:<14}", r.app).unwrap();
+        for v in &r.values {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                write!(out, "{:>20}", *v as i64).unwrap();
+            } else {
+                write!(out, "{v:>20.1}").unwrap();
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Build the calibrated paper apps under a given option set. Building a
+/// full app takes ~0.5 s; callers should reuse the results.
+pub fn paper_builds(options: &BuildOptions) -> Vec<FirmwareBuild> {
+    apps::all_paper_apps()
+        .iter()
+        .map(|spec| build(spec, options).expect("calibrated app builds"))
+        .collect()
+}
+
+/// **Table I** — number of randomizable function symbols per application.
+/// Paper: ArduPlane 917, ArduCopter 1030, ArduRover 800 (avg 915.67,
+/// median 917).
+pub fn table1() -> Vec<Row> {
+    paper_builds(&BuildOptions::safe_mavr())
+        .iter()
+        .map(|fw| Row {
+            app: fw.spec.name.to_string(),
+            values: vec![fw.image.function_count() as f64],
+        })
+        .collect()
+}
+
+/// **Table II** — startup overhead in ms when the application is
+/// randomized and reprogrammed at boot. Paper: 19209 / 21206 / 15412
+/// (avg 18609, median 19209) at 115200 baud.
+pub fn table2() -> Vec<Row> {
+    let link = SerialLink::prototype();
+    paper_builds(&BuildOptions::safe_mavr())
+        .iter()
+        .map(|fw| Row {
+            app: fw.spec.name.to_string(),
+            values: vec![link.transfer_ms(fw.image.code_size()).round()],
+        })
+        .collect()
+}
+
+/// **Table II (production estimate)** — §VII-B1's ~4 s figure on a
+/// production PCB where flash page writes are the bottleneck.
+pub fn table2_production() -> Vec<Row> {
+    let link = SerialLink::production();
+    paper_builds(&BuildOptions::safe_mavr())
+        .iter()
+        .map(|fw| Row {
+            app: fw.spec.name.to_string(),
+            values: vec![link.programming_ms(fw.image.code_size()).round()],
+        })
+        .collect()
+}
+
+/// **Table III** — code size, stock toolchain vs MAVR custom toolchain.
+/// Paper: 221608→221294, 244532→244292, 177870→177556.
+pub fn table3() -> Vec<Row> {
+    let stock = paper_builds(&BuildOptions::safe_stock());
+    let mavr = paper_builds(&BuildOptions::safe_mavr());
+    stock
+        .iter()
+        .zip(&mavr)
+        .map(|(s, m)| Row {
+            app: s.spec.name.to_string(),
+            values: vec![
+                f64::from(s.image.code_size()),
+                f64::from(m.image.code_size()),
+            ],
+        })
+        .collect()
+}
+
+/// Outcome of the §VII-A effectiveness experiment.
+#[derive(Debug, Clone)]
+pub struct Effectiveness {
+    /// Unique gadgets found in the unprotected target (paper: 953).
+    pub gadgets_unique: usize,
+    /// Total ret-reaching start addresses (no dedup).
+    pub gadgets_total: usize,
+    /// Attack attempts against the *unprotected* image.
+    pub stock_attempts: usize,
+    /// … of which succeeded (sensor set, no crash).
+    pub stock_successes: usize,
+    /// Attack attempts against *randomized* images (fresh permutation each).
+    pub randomized_attempts: usize,
+    /// … of which succeeded. The paper's result: none.
+    pub randomized_successes: usize,
+    /// … of which crashed visibly and were detected + reflashed by the
+    /// master.
+    pub randomized_detected: usize,
+    /// Gadget addresses from the unprotected image that still host the same
+    /// gadget after one randomization (should be near zero).
+    pub gadget_survivors: usize,
+}
+
+/// **§VII-A effectiveness**: scan the target for gadgets, run the stealthy
+/// V2 attack against the unprotected image (expect success) and against
+/// `trials` freshly randomized boards (expect zero successes; majority
+/// detected and recovered).
+///
+/// Pass [`apps::tiny_test_app`] for fast runs, [`apps::synth_plane`] for
+/// the paper-scale target.
+pub fn effectiveness(spec: &AppSpec, trials: u64) -> Effectiveness {
+    let fw = build(spec, &BuildOptions::vulnerable_mavr()).expect("build");
+    let scan = scanner::scan(&fw.image, &ScanOptions::default());
+    let scan_all = scanner::scan(
+        &fw.image,
+        &ScanOptions {
+            dedup: false,
+            ..Default::default()
+        },
+    );
+    let one_shuffle = mavr::randomize(
+        &fw.image,
+        &mut mavr::seeded_rng(0x5caa),
+        &mavr::RandomizeOptions::default(),
+    )
+    .expect("randomize");
+    let gadget_survivors = scanner::survivors(&fw.image, &one_shuffle.image, &ScanOptions::default());
+    let ctx = AttackContext::discover(&fw.image).expect("attack discovery");
+    let payload = ctx
+        .v2_payload(&[(l::GYRO + 3, [0xde, 0xad, 0x42])])
+        .expect("payload");
+
+    // Against the unprotected binary.
+    let mut stock_successes = 0;
+    {
+        let mut m = avr_sim::Machine::new_atmega2560();
+        m.load_flash(0, &fw.image.bytes);
+        m.run(200_000);
+        let mut gcs = GroundStation::new();
+        m.uart0.inject(&gcs.exploit_packet(&payload).unwrap());
+        let exit = m.run(2_000_000);
+        if exit.is_healthy() && m.peek_range(l::GYRO + 3, 3) == vec![0xde, 0xad, 0x42] {
+            stock_successes = 1;
+        }
+    }
+
+    // Against randomized boards.
+    let mut randomized_successes = 0;
+    let mut randomized_detected = 0;
+    for seed in 0..trials {
+        let mut board = MavrBoard::provision(&fw.image, seed, RandomizationPolicy::default())
+            .expect("provision");
+        board.run(300_000).expect("run");
+        let mut gcs = GroundStation::new();
+        board.uplink(&gcs.exploit_packet(&payload).unwrap());
+        board.run(6_000_000).expect("run");
+        if board.app.machine.peek_range(l::GYRO + 3, 3) == vec![0xde, 0xad, 0x42] {
+            randomized_successes += 1;
+        }
+        if board.recoveries() >= 1 {
+            randomized_detected += 1;
+        }
+    }
+    Effectiveness {
+        gadgets_unique: scan.len(),
+        gadgets_total: scan_all.len(),
+        stock_attempts: 1,
+        stock_successes,
+        randomized_attempts: trials as usize,
+        randomized_successes,
+        randomized_detected,
+        gadget_survivors,
+    }
+}
+
+/// **§V-D brute force**: Monte-Carlo means vs the closed forms for a small
+/// function count where simulation is feasible. Returns
+/// `(sim_fixed, theory_fixed, sim_rerandomized, theory_rerandomized)`.
+pub fn bruteforce(n_functions: usize, trials: u64) -> (f64, f64, f64, f64) {
+    let mut rng = rop::brute::seeded_rng(0x5eed);
+    let mean_fixed = (0..trials)
+        .map(|_| rop::brute::simulate_fixed(n_functions, &mut rng) as f64)
+        .sum::<f64>()
+        / trials as f64;
+    let mean_rerand = (0..trials)
+        .map(|_| rop::brute::simulate_rerandomized(n_functions, &mut rng) as f64)
+        .sum::<f64>()
+        / trials as f64;
+    let n_perms = mavr::math::factorial_f64(n_functions as u64);
+    (
+        mean_fixed,
+        mavr::math::expected_attempts_fixed(n_perms),
+        mean_rerand,
+        mavr::math::expected_attempts_rerandomized(n_perms),
+    )
+}
+
+/// **§VIII-B entropy** — bits of permutation entropy per application.
+pub fn entropy() -> Vec<Row> {
+    apps::all_paper_apps()
+        .iter()
+        .map(|a| Row {
+            app: a.name.to_string(),
+            values: vec![mavr::math::entropy_bits(a.functions as u64).round()],
+        })
+        .collect()
+}
+
+/// **Fig. 2** — encode a minimum packet and describe its structure.
+pub fn fig2() -> String {
+    let mut gcs = GroundStation::new();
+    let wire = gcs.heartbeat();
+    let mut out = String::from("MAVLink packet structure (Fig. 2), minimum 17-byte HEARTBEAT:\n");
+    let fields = [
+        ("magic", 1usize),
+        ("payload length", 1),
+        ("sequence", 1),
+        ("sender system id", 1),
+        ("sender component id", 1),
+        ("message id", 1),
+        ("payload", wire.len() - 8),
+        ("checksum", 2),
+    ];
+    let mut off = 0;
+    for (name, len) in fields {
+        let bytes: Vec<String> = wire[off..off + len]
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect();
+        out.push_str(&format!("  {name:<22} {}\n", bytes.join(" ")));
+        off += len;
+    }
+    out
+}
+
+/// **Figs. 4–5** — disassemble the classified gadgets from a target image,
+/// in the figures' listing format.
+pub fn gadget_listings(image: &FirmwareImage) -> String {
+    let map = scanner::classify(image).expect("gadgets present");
+    let stk = avr_core::disasm::disassemble(&image.bytes, map.stk_move, 14);
+    let wm = avr_core::disasm::disassemble(&image.bytes, map.write_mem_std, 40);
+    let mut out = String::from("Gadget 1: stk_move (Fig. 4)\n");
+    for line in stk.iter().take(7) {
+        out.push_str(&format!("  {line}\n"));
+    }
+    out.push_str("Gadget 2: write_mem_gadget (Fig. 5)\n");
+    for line in wm.iter().take(20) {
+        out.push_str(&format!("  {line}\n"));
+    }
+    out
+}
+
+/// One stack snapshot for Fig. 6.
+#[derive(Debug, Clone)]
+pub struct StackSnapshot {
+    /// Stage label from the figure.
+    pub label: &'static str,
+    /// SP at snapshot time.
+    pub sp: u16,
+    /// Bytes from `base` upward.
+    pub base: u16,
+    /// The raw bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl StackSnapshot {
+    /// Hexdump in the figure's style.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = format!("({}) SP={:#06x}\n", self.label, self.sp);
+        for (i, chunk) in self.bytes.chunks(8).enumerate() {
+            write!(out, "  {:#06x}:", self.base as usize + i * 8).unwrap();
+            for b in chunk {
+                write!(out, " 0x{b:02X}").unwrap();
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// **Fig. 6** — run the V2 stealthy attack with instrumentation and capture
+/// the stack at each stage of the figure.
+pub fn fig6(spec: &AppSpec) -> Vec<StackSnapshot> {
+    let fw = build(spec, &BuildOptions::vulnerable_mavr()).expect("build");
+    let ctx = AttackContext::discover(&fw.image).expect("discover");
+    let payload = ctx
+        .v2_payload(&[(l::GYRO + 3, [0x11, 0x22, 0x33])])
+        .expect("payload");
+
+    let mut m = avr_sim::Machine::new_atmega2560();
+    m.load_flash(0, &fw.image.bytes);
+    m.run(200_000);
+
+    let frame_base = ctx.y_frame;
+    let window = 48usize;
+    // Show the top of the frame: locals tail, saved regs, return address.
+    let base = frame_base + synth_firmware::layout::HANDLER_FRAME - 24;
+    let snap = |m: &avr_sim::Machine, label| StackSnapshot {
+        label,
+        sp: m.sp(),
+        base,
+        bytes: m.peek_range(base, window),
+    };
+
+    let mut snaps = Vec::new();
+    let handler = fw.image.symbol("handle_param_set").unwrap().addr;
+    m.add_breakpoint(handler);
+    let mut gcs = GroundStation::new();
+    m.uart0.inject(&gcs.exploit_packet(&payload).unwrap());
+    m.run(4_000_000);
+    snaps.push(snap(&m, "i: clean stack at handler entry"));
+    m.remove_breakpoint(handler);
+
+    // Ride the attack: breakpoints on the two gadgets.
+    m.add_breakpoint(ctx.gadgets.stk_move);
+    m.run(4_000_000);
+    snaps.push(snap(&m, "ii: dirty stack after payload injection (at stk_move)"));
+    m.remove_breakpoint(ctx.gadgets.stk_move);
+    m.add_breakpoint(ctx.gadgets.write_mem_pop);
+    m.run(100_000);
+    snaps.push(snap(&m, "iii: SP moved into the buffer (gadget 1 done)"));
+    m.remove_breakpoint(ctx.gadgets.write_mem_pop);
+    m.add_breakpoint(ctx.gadgets.write_mem_std);
+    m.run(100_000);
+    snaps.push(snap(&m, "iv: payload write about to execute"));
+    m.run(100_000);
+    snaps.push(snap(&m, "v: stack before frame repair (gadget 2)"));
+    m.remove_breakpoint(ctx.gadgets.write_mem_std);
+    m.add_breakpoint(ctx.gadgets.stk_move);
+    m.run(100_000);
+    snaps.push(snap(&m, "vi: moving SP back to the original frame"));
+    m.remove_breakpoint(ctx.gadgets.stk_move);
+    // Return point: the original return address inside mavlink_rx_poll.
+    let ret = (u32::from(ctx.orig_ret[0]) << 16)
+        | (u32::from(ctx.orig_ret[1]) << 8)
+        | u32::from(ctx.orig_ret[2]);
+    m.add_breakpoint(ret * 2);
+    m.run(100_000);
+    snaps.push(snap(&m, "vii: repaired stack, execution continues"));
+    snaps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shows_min_packet() {
+        let s = fig2();
+        assert!(s.contains("magic"));
+        assert!(s.contains("fe"));
+        assert!(s.contains("checksum"));
+    }
+
+    #[test]
+    fn effectiveness_small_scale() {
+        let e = effectiveness(&apps::tiny_test_app(), 3);
+        assert!(e.gadgets_unique > 50);
+        assert_eq!(e.stock_successes, 1, "attack works on unprotected image");
+        assert_eq!(e.randomized_successes, 0, "attack never works when randomized");
+    }
+
+    #[test]
+    fn bruteforce_matches_theory() {
+        let (mf, ef, mr, er) = bruteforce(4, 4_000);
+        assert!((mf - ef).abs() / ef < 0.1);
+        assert!((mr - er).abs() / er < 0.1);
+    }
+
+    #[test]
+    fn fig6_progression_shows_repair() {
+        let snaps = fig6(&apps::tiny_test_app());
+        assert_eq!(snaps.len(), 7);
+        // Window base is y_frame + FRAME - 24, so the 3-byte return address
+        // (at y_frame + FRAME + 4) sits at offsets 28..31.
+        let ret = 28..31;
+        let i = &snaps[0].bytes[ret.clone()];
+        let vii = &snaps[6].bytes[ret.clone()];
+        assert_eq!(i, vii, "repaired return address must match the original");
+        // Stage ii: the return address is smashed (points at stk_move).
+        assert_ne!(&snaps[1].bytes[ret.clone()], i);
+        // The saved registers (offsets 25..28) are repaired too: stages v
+        // and vii hold the values the prologue pushed (stage ii holds the
+        // attacker's pivot bytes instead).
+        assert_ne!(&snaps[1].bytes[25..28], &snaps[6].bytes[25..28]);
+        for s in &snaps {
+            assert!(!s.dump().is_empty());
+        }
+    }
+}

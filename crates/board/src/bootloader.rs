@@ -1,0 +1,272 @@
+//! The serial programming protocol between the master and the application
+//! processor's bootloader (§VI-B4).
+//!
+//! "The ATmega2560 processor is commonly fitted with a boot loading
+//! functionality that works over its primary asynchronous serial port …
+//! invoked by briefly asserting the RESET line and sending a specific byte
+//! sequence within a few milliseconds after boot. The randomized binary is
+//! then incrementally transferred; the bootloader performs the work of
+//! writing the data to the non-volatile program memory."
+//!
+//! The framing follows the STK500v2 shape (start byte, sequence number,
+//! length, token, body, XOR checksum); the command set is the subset the
+//! MAVR master needs: sign-on, chip erase, load-address, program-page,
+//! set-lock-fuse, leave-progmode.
+
+use crate::app::AppProcessor;
+
+/// Frame start byte (`MESSAGE_START`).
+pub const MESSAGE_START: u8 = 0x1b;
+/// Frame token byte.
+pub const TOKEN: u8 = 0x0e;
+
+/// Command ids (STK500v2-inspired).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Command {
+    SignOn = 0x01,
+    ChipErase = 0x12,
+    LoadAddress = 0x06,
+    ProgramPage = 0x13,
+    SetLockFuse = 0x20,
+    LeaveProgmode = 0x11,
+}
+
+/// Errors from the app-side decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A frame checksum failed.
+    BadChecksum {
+        /// Sequence number of the offending frame.
+        seq: u8,
+    },
+    /// Unknown command byte.
+    UnknownCommand(u8),
+    /// A page write was attempted without a prior load-address.
+    NoAddress,
+    /// A page write ran past the end of flash.
+    AddressOutOfRange {
+        /// Offending byte address.
+        addr: u32,
+    },
+    /// The stream ended mid-frame.
+    Truncated,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::BadChecksum { seq } => write!(f, "frame {seq}: checksum mismatch"),
+            ProtocolError::UnknownCommand(c) => write!(f, "unknown command {c:#04x}"),
+            ProtocolError::NoAddress => write!(f, "program-page before load-address"),
+            ProtocolError::AddressOutOfRange { addr } => {
+                write!(f, "page write at {addr:#x} past end of flash")
+            }
+            ProtocolError::Truncated => write!(f, "stream truncated mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn frame(seq: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 6);
+    out.push(MESSAGE_START);
+    out.push(seq);
+    out.push((body.len() >> 8) as u8);
+    out.push((body.len() & 0xff) as u8);
+    out.push(TOKEN);
+    out.extend_from_slice(body);
+    let checksum = out.iter().fold(0u8, |a, &b| a ^ b);
+    out.push(checksum);
+    out
+}
+
+/// Master side: build the complete programming byte stream for `binary`.
+///
+/// Pages stream in address order; the lock fuse is set after the last page,
+/// then the bootloader is told to leave and run the application — the exact
+/// sequence of §VI (flash, fuse, release).
+pub fn programming_stream(binary: &[u8], page_size: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut seq = 0u8;
+    let mut push = |body: &[u8], seq: &mut u8| {
+        let f = frame(*seq, body);
+        *seq = seq.wrapping_add(1);
+        f
+    };
+    out.extend(push(&[Command::SignOn as u8], &mut seq));
+    out.extend(push(&[Command::ChipErase as u8], &mut seq));
+    for (i, page) in binary.chunks(page_size).enumerate() {
+        let addr = (i * page_size) as u32;
+        let mut body = vec![Command::LoadAddress as u8];
+        body.extend_from_slice(&addr.to_be_bytes());
+        out.extend(push(&body, &mut seq));
+        let mut body = vec![Command::ProgramPage as u8];
+        body.extend_from_slice(page);
+        out.extend(push(&body, &mut seq));
+    }
+    out.extend(push(&[Command::SetLockFuse as u8], &mut seq));
+    out.extend(push(&[Command::LeaveProgmode as u8], &mut seq));
+    out
+}
+
+/// Application side: consume a programming stream and apply it to the
+/// processor. Returns the number of pages written.
+pub fn apply_stream(app: &mut AppProcessor, stream: &[u8]) -> Result<usize, ProtocolError> {
+    let mut pos = 0usize;
+    let mut address: Option<u32> = None;
+    let mut pages = 0usize;
+    let mut staged: Vec<(u32, Vec<u8>)> = Vec::new();
+    let mut erased = false;
+    let mut lock = false;
+    while pos < stream.len() {
+        if stream.len() - pos < 6 {
+            return Err(ProtocolError::Truncated);
+        }
+        if stream[pos] != MESSAGE_START {
+            return Err(ProtocolError::UnknownCommand(stream[pos]));
+        }
+        let seq = stream[pos + 1];
+        let len = ((stream[pos + 2] as usize) << 8) | stream[pos + 3] as usize;
+        let end = pos + 5 + len;
+        if end + 1 > stream.len() {
+            return Err(ProtocolError::Truncated);
+        }
+        let checksum = stream[pos..end].iter().fold(0u8, |a, &b| a ^ b);
+        if checksum != stream[end] {
+            return Err(ProtocolError::BadChecksum { seq });
+        }
+        let body = &stream[pos + 5..end];
+        pos = end + 1;
+
+        match body.first().copied() {
+            Some(c) if c == Command::SignOn as u8 => {}
+            Some(c) if c == Command::ChipErase as u8 => {
+                erased = true;
+                staged.clear();
+            }
+            Some(c) if c == Command::LoadAddress as u8 => {
+                let mut a = [0u8; 4];
+                a.copy_from_slice(&body[1..5]);
+                address = Some(u32::from_be_bytes(a));
+            }
+            Some(c) if c == Command::ProgramPage as u8 => {
+                let addr = address.ok_or(ProtocolError::NoAddress)?;
+                let flash_size = app.machine.device().flash_bytes;
+                if addr as usize + (body.len() - 1) > flash_size as usize {
+                    return Err(ProtocolError::AddressOutOfRange { addr });
+                }
+                staged.push((addr, body[1..].to_vec()));
+                pages += 1;
+                address = None;
+            }
+            Some(c) if c == Command::SetLockFuse as u8 => lock = true,
+            Some(c) if c == Command::LeaveProgmode as u8 => {
+                // Commit: erase, write all staged pages, fuse, reset.
+                if erased {
+                    app.chip_erase();
+                }
+                let flat: Vec<(u32, Vec<u8>)> = std::mem::take(&mut staged);
+                for (addr, data) in &flat {
+                    app.machine.load_flash(*addr, data);
+                }
+                if lock {
+                    app.set_lock_fuse();
+                }
+                app.machine.reset();
+                app.machine.uart0.clear();
+                app.machine.heartbeat.clear();
+            }
+            Some(other) => return Err(ProtocolError::UnknownCommand(other)),
+            None => return Err(ProtocolError::Truncated),
+        }
+    }
+    Ok(pages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synth_firmware::{apps, build, BuildOptions};
+
+    #[test]
+    fn stream_round_trip_programs_the_part() {
+        let fw = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).unwrap();
+        let stream = programming_stream(&fw.image.bytes, 256);
+        let mut app = AppProcessor::new();
+        let pages = apply_stream(&mut app, &stream).unwrap();
+        assert_eq!(pages, fw.image.bytes.len().div_ceil(256));
+        assert_eq!(
+            &app.machine.flash()[..fw.image.bytes.len()],
+            &fw.image.bytes[..]
+        );
+        assert!(app.locked(), "lock fuse set by the stream");
+        // And it boots.
+        app.machine.run(1_000_000);
+        assert!(app.machine.fault().is_none());
+        assert!(app.machine.heartbeat.toggles().len() > 10);
+    }
+
+    #[test]
+    fn framing_overhead_is_small() {
+        let binary = vec![0u8; 64 * 1024];
+        let stream = programming_stream(&binary, 256);
+        let overhead = stream.len() as f64 / binary.len() as f64;
+        assert!(
+            overhead < 1.08,
+            "framing overhead {overhead:.3} should stay under 8%"
+        );
+    }
+
+    #[test]
+    fn corrupt_frame_rejected() {
+        let fw = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).unwrap();
+        let mut stream = programming_stream(&fw.image.bytes, 256);
+        let n = stream.len();
+        stream[n / 2] ^= 0xff;
+        let mut app = AppProcessor::new();
+        let err = apply_stream(&mut app, &stream).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::BadChecksum { .. }
+                | ProtocolError::UnknownCommand(_)
+                | ProtocolError::Truncated
+                | ProtocolError::AddressOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn page_write_requires_address() {
+        let body = [Command::ProgramPage as u8, 1, 2, 3];
+        let stream = frame(0, &body);
+        let mut app = AppProcessor::new();
+        assert_eq!(
+            apply_stream(&mut app, &stream).unwrap_err(),
+            ProtocolError::NoAddress
+        );
+    }
+
+    #[test]
+    fn oversized_binary_rejected_by_decoder() {
+        let too_big = vec![0u8; 257 * 1024];
+        let stream = programming_stream(&too_big, 256);
+        let mut app = AppProcessor::new();
+        assert!(matches!(
+            apply_stream(&mut app, &stream).unwrap_err(),
+            ProtocolError::AddressOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let fw = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).unwrap();
+        let stream = programming_stream(&fw.image.bytes, 256);
+        let mut app = AppProcessor::new();
+        assert_eq!(
+            apply_stream(&mut app, &stream[..stream.len() - 3]).unwrap_err(),
+            ProtocolError::Truncated
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! The external flash chip (§V-A1): an M95M02-class 256 KiB SPI EEPROM
+//! holding the unrandomized binary and its symbol table.
+//!
+//! "This flash chip serves as the only entry point to introduce new code
+//! onto the MAVR system. The randomized binary is never stored on this
+//! external flash memory and the application processor never reads from
+//! this flash memory."
+
+use hexfile::MavrContainer;
+
+/// Capacity of the prototype part (matches the application processor's
+/// program memory, per §V-A1).
+pub const CAPACITY_BYTES: usize = 256 * 1024;
+
+/// Errors from the external flash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashError {
+    /// The uploaded container does not fit the chip.
+    TooLarge {
+        /// Bytes required.
+        required: usize,
+    },
+    /// Read of an empty chip.
+    Empty,
+    /// The stored container failed to parse (corruption).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for FlashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlashError::TooLarge { required } => write!(
+                f,
+                "container needs {required} bytes, chip holds {CAPACITY_BYTES}"
+            ),
+            FlashError::Empty => write!(f, "external flash is empty"),
+            FlashError::Corrupt(why) => write!(f, "stored container corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+/// The chip: stores the MAVR container verbatim, as `avrdude` would upload
+/// it (§VI-B2: "receives the HEX file and stores it verbatim").
+#[derive(Debug, Clone, Default)]
+pub struct ExternalFlash {
+    contents: Option<Vec<u8>>,
+}
+
+impl ExternalFlash {
+    /// An erased chip.
+    pub fn new() -> Self {
+        ExternalFlash::default()
+    }
+
+    /// Upload a container (the flashing step on the host).
+    ///
+    /// The paper warns about exactly this failure mode: the chip is sized
+    /// to the application flash, and the symbol table rides on top, so "a
+    /// binary that is perilously close to the maximum allowable size" can
+    /// exhaust the chip (§VI-B2).
+    pub fn upload(&mut self, container: &MavrContainer) -> Result<(), FlashError> {
+        // The chip stores the *binary* content the container denotes:
+        // symbol directives + program bytes. Model the footprint as the
+        // program bytes plus the encoded directive text.
+        let text = container.to_text();
+        let directive_bytes: usize = text
+            .lines()
+            .filter(|l| l.starts_with(';'))
+            .map(|l| l.len() + 1)
+            .sum();
+        let required = container.image.bytes.len() + directive_bytes;
+        if required > CAPACITY_BYTES {
+            return Err(FlashError::TooLarge { required });
+        }
+        self.contents = Some(text.into_bytes());
+        Ok(())
+    }
+
+    /// Master-side read of the whole stored container.
+    pub fn read(&self) -> Result<MavrContainer, FlashError> {
+        let bytes = self.contents.as_ref().ok_or(FlashError::Empty)?;
+        let text = std::str::from_utf8(bytes)
+            .map_err(|e| FlashError::Corrupt(e.to_string()))?;
+        MavrContainer::parse(text).map_err(|e| FlashError::Corrupt(e.to_string()))
+    }
+
+    /// Random-access byte read (the streaming interface of §VI-B3; `None`
+    /// past the end or when empty).
+    pub fn read_byte(&self, offset: usize) -> Option<u8> {
+        self.contents.as_ref()?.get(offset).copied()
+    }
+
+    /// Whether anything is stored.
+    pub fn is_programmed(&self) -> bool {
+        self.contents.is_some()
+    }
+
+    /// Erase the chip.
+    pub fn erase(&mut self) {
+        self.contents = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synth_firmware::{apps, build, BuildOptions};
+
+    #[test]
+    fn upload_read_round_trip() {
+        let fw = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).unwrap();
+        let container = mavr::preprocess(&fw.image).unwrap();
+        let mut chip = ExternalFlash::new();
+        assert!(!chip.is_programmed());
+        chip.upload(&container).unwrap();
+        assert!(chip.is_programmed());
+        let back = chip.read().unwrap();
+        assert_eq!(back.image, fw.image);
+        assert!(chip.read_byte(0).is_some());
+    }
+
+    #[test]
+    fn empty_chip_errors() {
+        let chip = ExternalFlash::new();
+        assert_eq!(chip.read().unwrap_err(), FlashError::Empty);
+        assert_eq!(chip.read_byte(0), None);
+    }
+
+    #[test]
+    fn erase_clears() {
+        let fw = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).unwrap();
+        let mut chip = ExternalFlash::new();
+        chip.upload(&mavr::preprocess(&fw.image).unwrap()).unwrap();
+        chip.erase();
+        assert!(!chip.is_programmed());
+    }
+
+    #[test]
+    fn oversized_container_rejected() {
+        // A full-size app (221 KiB) plus its symbol table is fine on the
+        // 256 KiB chip; force failure with a near-capacity fake image.
+        use avr_core::device::ATMEGA2560;
+        use avr_core::image::{FirmwareImage, Symbol, SymbolKind};
+        let mut img = FirmwareImage::new(ATMEGA2560);
+        img.bytes = vec![0; 255 * 1024];
+        img.text_end = 255 * 1024;
+        img.symbols = (0..2000u32)
+            .map(|i| Symbol {
+                name: format!("very_long_function_symbol_name_{i:08}"),
+                addr: i * 2,
+                size: 2,
+                kind: SymbolKind::Function,
+            })
+            .collect();
+        let container = MavrContainer::new(img);
+        let mut chip = ExternalFlash::new();
+        assert!(matches!(
+            chip.upload(&container),
+            Err(FlashError::TooLarge { .. })
+        ));
+    }
+}

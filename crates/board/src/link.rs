@@ -1,0 +1,117 @@
+//! The master↔application serial programming link with baud-accurate
+//! timing (§VII-B1).
+//!
+//! "For our prototype design, we are limited to 115200 baud rate which
+//! allows for a maximum of 11 bytes per millisecond transfer rate. In a
+//! full production PCB … the bottleneck becomes how fast we can write the
+//! randomized binary to the application processor's internal flash."
+
+/// Bits on the wire per byte (8N1 framing).
+pub const BITS_PER_BYTE: f64 = 10.0;
+
+/// The prototype's UART rate.
+pub const PROTOTYPE_BAUD: u32 = 115_200;
+
+/// ATmega2560 flash page programming time (ms per 256-byte page, from the
+/// datasheet's ~4.5 ms page write).
+pub const PAGE_PROGRAM_MS: f64 = 4.5;
+
+/// Page size of the application flash.
+pub const PAGE_BYTES: u32 = 256;
+
+/// A point-to-point serial link model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SerialLink {
+    /// Baud rate in bits/s.
+    pub baud: u32,
+}
+
+impl SerialLink {
+    /// The prototype link (115200 baud).
+    pub fn prototype() -> Self {
+        SerialLink {
+            baud: PROTOTYPE_BAUD,
+        }
+    }
+
+    /// A production link fast enough that flash page programming becomes
+    /// the bottleneck (the paper's "mega-baud rates" with impedance
+    /// control).
+    pub fn production() -> Self {
+        SerialLink { baud: 4_000_000 }
+    }
+
+    /// Bytes per millisecond (the paper quotes "11 bytes per millisecond"
+    /// for the prototype; exactly 11.52).
+    pub fn bytes_per_ms(&self) -> f64 {
+        self.baud as f64 / BITS_PER_BYTE / 1000.0
+    }
+
+    /// Time to ship `bytes` over the link, in milliseconds.
+    pub fn transfer_ms(&self, bytes: u32) -> f64 {
+        f64::from(bytes) * BITS_PER_BYTE * 1000.0 / self.baud as f64
+    }
+
+    /// Total programming time: the transfer and the page writes are
+    /// pipelined (the bootloader writes page `k` while page `k+1` streams),
+    /// so the wall time is the slower of the two plus one page latency.
+    pub fn programming_ms(&self, bytes: u32) -> f64 {
+        let transfer = self.transfer_ms(bytes);
+        let pages = bytes.div_ceil(PAGE_BYTES);
+        let program = f64::from(pages) * PAGE_PROGRAM_MS;
+        transfer.max(program) + PAGE_PROGRAM_MS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_rate_matches_paper() {
+        let link = SerialLink::prototype();
+        // "a maximum of 11 bytes per millisecond"
+        assert!((link.bytes_per_ms() - 11.52).abs() < 0.001);
+    }
+
+    #[test]
+    fn table2_times_come_from_transfer() {
+        let link = SerialLink::prototype();
+        // The paper's Table II values are the serial-transfer times of the
+        // MAVR-toolchain images to within a millisecond.
+        for (bytes, paper_ms) in [
+            (221_294u32, 19_209.0),
+            (244_292, 21_206.0),
+            (177_556, 15_412.0),
+        ] {
+            let t = link.transfer_ms(bytes);
+            assert!(
+                (t - paper_ms).abs() <= 1.0,
+                "{bytes} bytes -> {t:.1} ms, paper {paper_ms}"
+            );
+        }
+    }
+
+    #[test]
+    fn production_startup_near_four_seconds() {
+        // §VII-B1: "A conservative estimate on a production PCB … would be
+        // 4 seconds as the bottleneck becomes how fast we can write the
+        // randomized binary to the internal flash."
+        let link = SerialLink::production();
+        let t = link.programming_ms(221_294);
+        assert!(
+            (3_000.0..=5_000.0).contains(&t),
+            "production startup {t:.0} ms should be ~4 s"
+        );
+        // And the page writes, not the wire, set the pace.
+        assert!(link.transfer_ms(221_294) < t);
+    }
+
+    #[test]
+    fn prototype_is_transfer_bound() {
+        let link = SerialLink::prototype();
+        let t = link.programming_ms(221_294);
+        let wire = link.transfer_ms(221_294);
+        assert!(t >= wire && t < wire + 2.0 * PAGE_PROGRAM_MS);
+    }
+}

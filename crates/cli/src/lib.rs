@@ -1,0 +1,582 @@
+//! Command implementations behind the `mavr-cli` binary.
+//!
+//! Each subcommand is a function from parsed arguments to an output string,
+//! so the whole surface is unit-testable without spawning processes. The
+//! thin `src/bin/mavr.rs` wrapper does I/O and exit codes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use avr_core::image::FirmwareImage;
+use hexfile::MavrContainer;
+use synth_firmware::{apps, AppSpec, BuildOptions};
+
+/// CLI errors, rendered to stderr by the binary.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad usage; the string is the message to print along with help.
+    Usage(String),
+    /// Anything that went wrong running the command.
+    Failed(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Failed(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn fail(e: impl std::fmt::Display) -> CliError {
+    CliError::Failed(e.to_string())
+}
+
+/// Parsed `--key value` / flag arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// Positional arguments, in order.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    pub options: std::collections::HashMap<String, String>,
+    /// Bare `--flag`s.
+    pub flags: std::collections::HashSet<String>,
+}
+
+/// Options that take a value (everything else with `--` is a flag).
+const VALUED: &[&str] = &[
+    "-o", "--out", "--seed", "--cycles", "--max-insns", "--start", "--len", "--target",
+    "--values", "--variant", "--toolchain",
+];
+
+/// Split raw arguments into positionals, options and flags.
+pub fn parse_args(raw: &[String]) -> Result<Args, CliError> {
+    let mut args = Args::default();
+    let mut it = raw.iter().peekable();
+    while let Some(a) = it.next() {
+        if VALUED.contains(&a.as_str()) {
+            let v = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("{a} needs a value")))?;
+            args.options.insert(a.clone(), v.clone());
+        } else if let Some(stripped) = a.strip_prefix("--") {
+            args.flags.insert(stripped.to_string());
+        } else {
+            args.positional.push(a.clone());
+        }
+    }
+    Ok(args)
+}
+
+fn app_by_name(name: &str) -> Result<AppSpec, CliError> {
+    match name {
+        "plane" | "synthplane" => Ok(apps::synth_plane()),
+        "copter" | "synthcopter" => Ok(apps::synth_copter()),
+        "rover" | "synthrover" => Ok(apps::synth_rover()),
+        "tiny" => Ok(apps::tiny_test_app()),
+        other => Err(CliError::Usage(format!(
+            "unknown app `{other}` (plane, copter, rover, tiny)"
+        ))),
+    }
+}
+
+/// Load a firmware image from a MAVR container or plain Intel HEX file.
+pub fn load_image(path: &str) -> Result<FirmwareImage, CliError> {
+    let text = std::fs::read_to_string(path).map_err(fail)?;
+    if text.lines().any(|l| l.starts_with(";MAVR")) {
+        Ok(MavrContainer::parse(&text).map_err(fail)?.image)
+    } else {
+        let (base, bytes) = hexfile::parse_ihex(&text).map_err(fail)?;
+        if base != 0 {
+            return Err(CliError::Failed(format!(
+                "image must load at 0, found base {base:#x}"
+            )));
+        }
+        let len = bytes.len() as u32;
+        Ok(FirmwareImage {
+            device: avr_core::device::ATMEGA2560,
+            bytes,
+            symbols: Vec::new(),
+            text_end: len,
+            fn_ptr_locs: Vec::new(),
+        })
+    }
+}
+
+/// `mavr build <app> [--toolchain stock|mavr] [--vulnerable] [-o file]`
+pub fn cmd_build(args: &Args) -> Result<String, CliError> {
+    let name = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Usage("build needs an app name".into()))?;
+    let spec = app_by_name(name)?;
+    let toolchain = match args.options.get("--toolchain").map(String::as_str) {
+        None | Some("mavr") => avr_asm::ToolchainOptions::mavr(),
+        Some("stock") => avr_asm::ToolchainOptions::stock(),
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown toolchain `{other}` (stock, mavr)"
+            )))
+        }
+    };
+    let options = BuildOptions {
+        toolchain,
+        vulnerable: args.flags.contains("vulnerable"),
+        serial_bootloader: args.flags.contains("bootloader"),
+    };
+    let fw = synth_firmware::build(&spec, &options).map_err(fail)?;
+    let container = mavr::preprocess(&fw.image).map_err(fail)?;
+    let text = container.to_text();
+    let mut out = format!(
+        "built {}: {} bytes, {} functions, {} pointer slots{}\n",
+        spec.name,
+        fw.image.code_size(),
+        fw.image.function_count(),
+        fw.image.fn_ptr_locs.len(),
+        if options.vulnerable {
+            " (VULNERABLE build)"
+        } else {
+            ""
+        }
+    );
+    if let Some(path) = args.options.get("-o").or(args.options.get("--out")) {
+        std::fs::write(path, &text).map_err(fail)?;
+        out.push_str(&format!("wrote MAVR container to {path}\n"));
+    } else {
+        out.push_str("(pass -o FILE to write the MAVR container)\n");
+    }
+    Ok(out)
+}
+
+/// `mavr assemble <file.s> [-o FILE]` — assemble the `.s` dialect, link,
+/// preprocess, and write a MAVR container.
+pub fn cmd_assemble(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Usage("assemble needs a source file".into()))?;
+    let src = std::fs::read_to_string(path).map_err(fail)?;
+    let program = avr_asm::parse_program(&src).map_err(fail)?;
+    let image = avr_asm::link(&program).map_err(fail)?;
+    let mut out = format!(
+        "assembled {}: {} bytes, {} functions
+",
+        path,
+        image.code_size(),
+        image.function_count()
+    );
+    if let Some(dst) = args.options.get("-o").or(args.options.get("--out")) {
+        let container = mavr::preprocess(&image).map_err(fail)?;
+        std::fs::write(dst, container.to_text()).map_err(fail)?;
+        out.push_str(&format!("wrote MAVR container to {dst}
+"));
+    }
+    Ok(out)
+}
+
+/// `mavr info <file>`
+pub fn cmd_info(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Usage("info needs a file".into()))?;
+    let img = load_image(path)?;
+    let mut out = format!(
+        "device      {}\ncode size   {} bytes\ntext end    {:#x}\nfunctions   {}\nsymbols     {}\nfn pointers {}\n",
+        img.device.name,
+        img.code_size(),
+        img.text_end,
+        img.function_count(),
+        img.symbols.len(),
+        img.fn_ptr_locs.len(),
+    );
+    if img.function_count() > 0 {
+        out.push_str(&format!(
+            "entropy     {:.0} bits (log2 n!)\n",
+            mavr::math::entropy_bits(img.function_count() as u64)
+        ));
+    }
+    Ok(out)
+}
+
+/// `mavr randomize <file> [--seed N] [-o file]`
+pub fn cmd_randomize(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Usage("randomize needs a container file".into()))?;
+    let img = load_image(path)?;
+    if img.function_count() == 0 {
+        return Err(CliError::Failed(
+            "no symbols — randomize needs a MAVR container, not plain HEX".into(),
+        ));
+    }
+    let seed: u64 = args
+        .options
+        .get("--seed")
+        .map(|s| s.parse().map_err(|_| CliError::Usage("bad --seed".into())))
+        .transpose()?
+        .unwrap_or(0x2015);
+    let mut rng = mavr::seeded_rng(seed);
+    let r = mavr::randomize(&img, &mut rng, &mavr::RandomizeOptions::default()).map_err(fail)?;
+    let moved = img
+        .functions()
+        .filter(|s| r.image.symbol(&s.name).unwrap().addr != s.addr)
+        .count();
+    let mut out = format!(
+        "randomized with seed {seed}: {moved}/{} functions moved\n",
+        img.function_count()
+    );
+    if let Some(dst) = args.options.get("-o").or(args.options.get("--out")) {
+        // The application processor receives a plain binary — write ihex.
+        std::fs::write(dst, hexfile::write_ihex(&r.image.bytes, 0)).map_err(fail)?;
+        out.push_str(&format!("wrote randomized Intel HEX to {dst}\n"));
+    }
+    if args.flags.contains("verify") {
+        let mut m = avr_sim::Machine::new_atmega2560();
+        m.load_flash(0, &r.image.bytes);
+        let exit = m.run(1_500_000);
+        out.push_str(&format!(
+            "verify: {exit:?}, {} heartbeat toggles\n",
+            m.heartbeat.toggles().len()
+        ));
+        if m.fault().is_some() || m.heartbeat.toggles().len() < 5 {
+            return Err(CliError::Failed(
+                "verification failed: randomized image does not fly".into(),
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// `mavr survivors <original> <randomized>` — how many gadget addresses
+/// from the original image still host the same gadget.
+pub fn cmd_survivors(args: &Args) -> Result<String, CliError> {
+    let (a, b) = match args.positional.as_slice() {
+        [a, b, ..] => (a, b),
+        _ => return Err(CliError::Usage("survivors needs two files".into())),
+    };
+    let orig = load_image(a)?;
+    let rand = load_image(b)?;
+    let opts = rop::ScanOptions::default();
+    let total = rop::scan(
+        &orig,
+        &rop::ScanOptions {
+            dedup: false,
+            ..opts
+        },
+    )
+    .len();
+    let alive = rop::scanner::survivors(&orig, &rand, &opts);
+    Ok(format!(
+        "gadget start addresses: {total}; still valid after randomization: {alive} ({:.2}%)\n",
+        100.0 * alive as f64 / total.max(1) as f64
+    ))
+}
+
+/// `mavr scan <file> [--max-insns N] [--no-dedup]`
+pub fn cmd_scan(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Usage("scan needs a file".into()))?;
+    let img = load_image(path)?;
+    let opts = rop::ScanOptions {
+        max_insns: args
+            .options
+            .get("--max-insns")
+            .map(|s| s.parse().map_err(|_| CliError::Usage("bad --max-insns".into())))
+            .transpose()?
+            .unwrap_or(6),
+        dedup: !args.flags.contains("no-dedup"),
+    };
+    let gadgets = rop::scan(&img, &opts);
+    let mut out = format!(
+        "{} gadgets (max {} insns, dedup {})\n",
+        gadgets.len(),
+        opts.max_insns,
+        opts.dedup
+    );
+    match rop::scanner::classify(&img) {
+        Some(map) => {
+            out.push_str(&format!(
+                "stk_move at {:#x}, write_mem_gadget at {:#x} — attack-capable\n",
+                map.stk_move, map.write_mem_std
+            ));
+        }
+        None => out.push_str("paper gadget pair not found\n"),
+    }
+    if args.flags.contains("listing") {
+        for g in gadgets.iter().take(25) {
+            out.push_str(&g.listing());
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+/// `mavr disasm <file> [--start ADDR] [--len BYTES]`
+pub fn cmd_disasm(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Usage("disasm needs a file".into()))?;
+    let img = load_image(path)?;
+    let start = parse_num(args.options.get("--start"), 0)?;
+    let len = parse_num(args.options.get("--len"), 64)?;
+    let mut out = String::new();
+    for line in avr_core::disasm::disassemble(&img.bytes, start, len) {
+        if let Some(sym) = img.symbol_containing(line.addr) {
+            if sym.addr == line.addr {
+                out.push_str(&format!("\n<{}>:\n", sym.name));
+            }
+        }
+        out.push_str(&format!("{line}\n"));
+    }
+    Ok(out)
+}
+
+fn parse_num(v: Option<&String>, default: u32) -> Result<u32, CliError> {
+    match v {
+        None => Ok(default),
+        Some(s) => {
+            let parsed = if let Some(hex) = s.strip_prefix("0x") {
+                u32::from_str_radix(hex, 16)
+            } else {
+                s.parse()
+            };
+            parsed.map_err(|_| CliError::Usage(format!("bad number `{s}`")))
+        }
+    }
+}
+
+/// `mavr simulate <file> [--cycles N]`
+pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Usage("simulate needs a file".into()))?;
+    let img = load_image(path)?;
+    let cycles = u64::from(parse_num(args.options.get("--cycles"), 2_000_000)?);
+    let mut m = avr_sim::Machine::new_atmega2560();
+    m.load_flash(0, &img.bytes);
+    let exit = m.run(cycles);
+    let mut gcs = mavlink_lite::GroundStation::new();
+    gcs.ingest(&m.uart0.take_tx());
+    Ok(format!(
+        "ran {} cycles ({:.1} ms at 16 MHz)\nexit        {:?}\nheartbeats  {} toggles on the pin, {} MAVLink heartbeats decoded\npackets     {} total, {} checksum errors\n",
+        m.cycles(),
+        m.cycles() as f64 / 16_000.0,
+        exit,
+        m.heartbeat.toggles().len(),
+        gcs.heartbeats.len(),
+        gcs.received.len(),
+        gcs.bad_checksums(),
+    ))
+}
+
+/// `mavr attack <file> --target ADDR --values a,b,c [--variant v1|v2]`
+pub fn cmd_attack(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Usage("attack needs a container file".into()))?;
+    let img = load_image(path)?;
+    let target = parse_num(args.options.get("--target"), u32::from(synth_firmware::layout::GYRO + 3))? as u16;
+    let values: Vec<u8> = args
+        .options
+        .get("--values")
+        .map(String::as_str)
+        .unwrap_or("de,ad,42")
+        .split(',')
+        .map(|s| u8::from_str_radix(s.trim(), 16))
+        .collect::<Result<_, _>>()
+        .map_err(|_| CliError::Usage("bad --values (hex bytes, comma separated)".into()))?;
+    if values.len() != 3 {
+        return Err(CliError::Usage("--values needs exactly 3 bytes".into()));
+    }
+    let vals = [values[0], values[1], values[2]];
+    let ctx = rop::attack::AttackContext::discover(&img).map_err(fail)?;
+    let payload = match args.options.get("--variant").map(String::as_str) {
+        Some("v1") => ctx.v1_payload(target, vals),
+        None | Some("v2") => ctx.v2_payload(&[(target, vals)]).map_err(fail)?,
+        Some(other) => return Err(CliError::Usage(format!("unknown variant `{other}`"))),
+    };
+    let mut gcs = mavlink_lite::GroundStation::new();
+    let wire = gcs.exploit_packet(&payload).map_err(fail)?;
+    let hex: Vec<String> = wire.iter().map(|b| format!("{b:02x}")).collect();
+    Ok(format!(
+        "gadgets: stk_move {:#x}, write_mem {:#x}\nbuffer {:#06x}, original ret {:02x?}\npayload {} bytes, wire {} bytes\n{}\n",
+        ctx.gadgets.stk_move,
+        ctx.gadgets.write_mem_std,
+        ctx.buffer,
+        ctx.orig_ret,
+        payload.len(),
+        wire.len(),
+        hex.join("")
+    ))
+}
+
+/// Help text.
+pub const HELP: &str = "mavr-cli — tools for the MAVR (ICDCS 2015) reproduction
+
+USAGE: mavr-cli <command> [args]
+
+COMMANDS:
+  build <app> [--toolchain stock|mavr] [--vulnerable] [--bootloader] [-o FILE]
+        Build a synthetic autopilot (plane|copter|rover|tiny) and write the
+        preprocessed MAVR container.
+  assemble <file.s> [-o FILE]
+        Assemble the .s dialect into a preprocessed MAVR container.
+  info <file>        Summarize a container / HEX image.
+  randomize <file> [--seed N] [-o FILE] [--verify]
+        Shuffle function blocks and patch the binary (what the master does);
+        --verify boots the result on the simulator.
+  survivors <original> <randomized>
+        Count gadget addresses that survived a randomization.
+  scan <file> [--max-insns N] [--no-dedup] [--listing]
+        Gadget census and classification (Figs. 4-5).
+  disasm <file> [--start ADDR] [--len BYTES]
+        Disassemble, annotated with symbols when present.
+  simulate <file> [--cycles N]
+        Boot the image on the ATmega2560 simulator and report health.
+  attack <file> [--target ADDR] [--values a,b,c] [--variant v1|v2]
+        Build the paper's ROP exploit packet against the image.
+";
+
+/// Dispatch a command line (without the program name).
+pub fn run(raw: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = raw.split_first() else {
+        return Ok(HELP.to_string());
+    };
+    let args = parse_args(rest)?;
+    match cmd.as_str() {
+        "build" => cmd_build(&args),
+        "assemble" => cmd_assemble(&args),
+        "info" => cmd_info(&args),
+        "randomize" => cmd_randomize(&args),
+        "survivors" => cmd_survivors(&args),
+        "scan" => cmd_scan(&args),
+        "disasm" => cmd_disasm(&args),
+        "simulate" => cmd_simulate(&args),
+        "attack" => cmd_attack(&args),
+        "help" | "--help" | "-h" => Ok(HELP.to_string()),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mavr-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn parse_args_splits_correctly() {
+        let a = parse_args(&s(&["file.hex", "--seed", "9", "--vulnerable", "-o", "out"])).unwrap();
+        assert_eq!(a.positional, vec!["file.hex"]);
+        assert_eq!(a.options["--seed"], "9");
+        assert_eq!(a.options["-o"], "out");
+        assert!(a.flags.contains("vulnerable"));
+        assert!(parse_args(&s(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn build_info_randomize_pipeline() {
+        let container = tmp("tiny.mavrhex");
+        let out = run(&s(&["build", "tiny", "--vulnerable", "-o", &container])).unwrap();
+        assert!(out.contains("VULNERABLE"));
+        let info = run(&s(&["info", &container])).unwrap();
+        assert!(info.contains("functions   60"));
+        let rand_out = tmp("tiny-rand.hex");
+        let out = run(&s(&["randomize", &container, "--seed", "5", "-o", &rand_out])).unwrap();
+        assert!(out.contains("functions moved"));
+        // The randomized plain HEX simulates fine but cannot be randomized.
+        let sim = run(&s(&["simulate", &rand_out, "--cycles", "500000"])).unwrap();
+        assert!(sim.contains("CyclesExhausted"), "{sim}");
+        assert!(run(&s(&["randomize", &rand_out])).is_err());
+    }
+
+    #[test]
+    fn scan_and_disasm() {
+        let container = tmp("tiny2.mavrhex");
+        run(&s(&["build", "tiny", "-o", &container])).unwrap();
+        let scan = run(&s(&["scan", &container])).unwrap();
+        assert!(scan.contains("attack-capable"));
+        let dis = run(&s(&["disasm", &container, "--start", "0x0", "--len", "16"])).unwrap();
+        assert!(dis.contains("jmp"), "{dis}");
+        assert!(dis.contains("<__vectors>"));
+    }
+
+    #[test]
+    fn attack_emits_wire_packet() {
+        let container = tmp("tiny3.mavrhex");
+        run(&s(&["build", "tiny", "--vulnerable", "-o", &container])).unwrap();
+        let out = run(&s(&["attack", &container, "--values", "01,02,03"])).unwrap();
+        assert!(out.contains("payload 198 bytes"));
+        assert!(out.contains("fe"), "wire dump present");
+        // v1 variant too.
+        let out = run(&s(&["attack", &container, "--variant", "v1"])).unwrap();
+        assert!(out.contains("payload"));
+    }
+
+    #[test]
+    fn randomize_verify_and_survivors() {
+        let container = tmp("tiny4.mavrhex");
+        run(&s(&["build", "tiny", "-o", &container])).unwrap();
+        let rand_out = tmp("tiny4-rand.hex");
+        let out = run(&s(&[
+            "randomize", &container, "--seed", "4", "-o", &rand_out, "--verify",
+        ]))
+        .unwrap();
+        assert!(out.contains("verify: CyclesExhausted"), "{out}");
+        let surv = run(&s(&["survivors", &container, &rand_out])).unwrap();
+        assert!(surv.contains("still valid"), "{surv}");
+    }
+
+    #[test]
+    fn assemble_pipeline() {
+        let src_path = tmp("prog.s");
+        std::fs::write(
+            &src_path,
+            ".device atmega2560
+.vectors 2
+.vector 0 main
+.func main
+halt:
+    rjmp halt
+.endfunc
+",
+        )
+        .unwrap();
+        let container = tmp("prog.mavrhex");
+        let out = run(&s(&["assemble", &src_path, "-o", &container])).unwrap();
+        assert!(out.contains("functions"));
+        let info = run(&s(&["info", &container])).unwrap();
+        assert!(info.contains("functions   "));
+        // A randomize of a 1-function program is a no-move but must work.
+        assert!(run(&s(&["randomize", &container])).is_ok());
+    }
+
+    #[test]
+    fn bad_usage_is_reported() {
+        assert!(matches!(run(&s(&["frobnicate"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&s(&["build"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&s(&["build", "x-wing"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(run(&s(&[])).unwrap().contains("USAGE"));
+    }
+}

@@ -1,0 +1,104 @@
+//! The calibrated application specs matching the paper's evaluation targets.
+
+use crate::AppSpec;
+
+/// SynthPlane — calibrated to ArduPlane 2.7.4 (Tables I and III: 917
+/// functions; 221608 bytes stock, 221294 bytes MAVR toolchain).
+pub fn synth_plane() -> AppSpec {
+    AppSpec {
+        name: "SynthPlane",
+        functions: 917,
+        stock_size: Some(221_608),
+        mavr_size: Some(221_294),
+        seed: 0x0917_2015,
+        vehicle_type: 1,
+    }
+}
+
+/// SynthCopter — calibrated to ArduCopter (1030 functions; 244532 / 244292
+/// bytes).
+pub fn synth_copter() -> AppSpec {
+    AppSpec {
+        name: "SynthCopter",
+        functions: 1030,
+        stock_size: Some(244_532),
+        mavr_size: Some(244_292),
+        seed: 0x1030_2015,
+        vehicle_type: 2,
+    }
+}
+
+/// SynthRover — calibrated to ArduRover (800 functions; 177870 / 177556
+/// bytes).
+pub fn synth_rover() -> AppSpec {
+    AppSpec {
+        name: "SynthRover",
+        functions: 800,
+        stock_size: Some(177_870),
+        mavr_size: Some(177_556),
+        seed: 0x0800_2015,
+        vehicle_type: 10,
+    }
+}
+
+/// The three applications of the paper's evaluation, in Table I order.
+pub fn all_paper_apps() -> Vec<AppSpec> {
+    vec![synth_plane(), synth_copter(), synth_rover()]
+}
+
+/// SynthSensorNode — the paper's future-work claim (§X) is that MAVR fits
+/// "any networked embedded systems utilizing a real time operating
+/// system"; this profile models a sensor-network node: small code base,
+/// fewer functions, same MAVLink-style uplink and the same attack surface.
+pub fn synth_sensor_node() -> AppSpec {
+    AppSpec {
+        name: "SynthSensorNode",
+        functions: 220,
+        stock_size: None,
+        mavr_size: None,
+        seed: 0x5e45_0e,
+        vehicle_type: 18, // MAV_TYPE_ONBOARD_CONTROLLER-ish
+    }
+}
+
+/// A small, fast-to-link application for unit and attack tests. Uncalibrated
+/// (no size targets), 60 functions.
+pub fn tiny_test_app() -> AppSpec {
+    AppSpec {
+        name: "TinyTest",
+        functions: 60,
+        stock_size: None,
+        mavr_size: None,
+        seed: 0x7e57,
+        vehicle_type: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_apps_match_table_values() {
+        let apps = all_paper_apps();
+        assert_eq!(
+            apps.iter().map(|a| a.functions).collect::<Vec<_>>(),
+            vec![917, 1030, 800]
+        );
+        assert_eq!(
+            apps.iter().map(|a| a.stock_size.unwrap()).collect::<Vec<_>>(),
+            vec![221_608, 244_532, 177_870]
+        );
+        assert_eq!(
+            apps.iter().map(|a| a.mavr_size.unwrap()).collect::<Vec<_>>(),
+            vec![221_294, 244_292, 177_556]
+        );
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let apps = all_paper_apps();
+        assert_ne!(apps[0].seed, apps[1].seed);
+        assert_ne!(apps[1].seed, apps[2].seed);
+    }
+}

@@ -1,0 +1,814 @@
+//! The hand-written core of the synthetic autopilot, expressed as
+//! `avr_asm` functions: startup, main loop, sensor pipeline, MAVLink
+//! transmit/receive, and the (optionally vulnerable) PARAM_SET handler.
+//!
+//! Two functions double as the paper's gadget carriers:
+//!
+//! * [`nav_update`] is an ordinary avr-gcc-style *frame function*; its
+//!   epilogue is byte-for-byte the `stk_move` gadget of Fig. 4,
+//! * [`imu_commit_sample`] saves r4–r17/r28/r29 and stores three staged
+//!   bytes through Y; its tail is byte-for-byte the `write_mem_gadget` of
+//!   Fig. 5.
+
+use avr_asm::{FnBuilder, Function};
+use avr_core::io;
+use avr_core::Insn::{self, *};
+use avr_core::Reg::{self, *};
+use avr_core::YZ;
+
+use crate::layout as l;
+
+// UART data-space addresses (see avr-sim::periph).
+const UCSR0A: u16 = 0xc0;
+const UDR0: u16 = 0xc6;
+const RXC_BIT: u8 = 7;
+// Timer0 data-space addresses (see avr-sim::timer).
+const TCCR0B: u16 = 0x45;
+const TIMSK0: u16 = 0x6e;
+// EEPROM register data-space addresses (see avr-sim::eeprom).
+const EECR: u16 = 0x3f;
+const EEDR: u16 = 0x40;
+const EEARL: u16 = 0x41;
+const EEARH: u16 = 0x42;
+const EERE: u8 = 1;
+const EEPE: u8 = 2;
+const EEMPE: u8 = 4;
+
+fn ldi(d: Reg, k: u8) -> Insn {
+    Ldi { d, k }
+}
+
+fn lds(d: Reg, k: u16) -> Insn {
+    Lds { d, k }
+}
+
+fn sts(k: u16, r: Reg) -> Insn {
+    Sts { k, r }
+}
+
+/// `__init`: set up SP, the zero register, the heartbeat pin direction,
+/// and the globals; then jump to the main loop.
+pub fn init(gyro_init: [u8; 6]) -> Function {
+    let mut b = FnBuilder::new("__init")
+        // SP = RAMEND (0x21ff).
+        .insn(ldi(R24, 0x21))
+        .insn(Out { a: io::SPH, r: R24 })
+        .insn(ldi(R24, 0xff))
+        .insn(Out { a: io::SPL, r: R24 })
+        // r1 = 0 (the avr-gcc zero register).
+        .insn(Eor { d: R1, r: R1 })
+        // DDRB: heartbeat pin as output.
+        .insn(ldi(R24, 1 << avr_sim_heartbeat_bit()))
+        .insn(Out { a: 0x04, r: R24 });
+    // Zero the control/parser globals.
+    for addr in [
+        l::TICK,
+        l::TICK + 1,
+        l::RX_STATE,
+        l::RX_LEN,
+        l::RX_CNT,
+        l::TX_SEQ,
+        l::BAD_CRC_COUNT,
+        l::PARAM_SET_COUNT,
+        l::COMMAND_COUNT,
+    ] {
+        b = b.insn(sts(addr, R1));
+    }
+    // Seed the sensor blocks.
+    for (i, v) in gyro_init.iter().enumerate() {
+        b = b.insn(ldi(R24, *v)).insn(sts(l::GYRO + i as u16, R24));
+    }
+    for i in 0..6u16 {
+        b = b
+            .insn(ldi(R24, 0x10 + i as u8))
+            .insn(sts(l::ACC + i, R24))
+            .insn(ldi(R24, 0x80 - i as u8))
+            .insn(sts(l::MAG + i, R24));
+    }
+    // Timer0: /64 prescale, overflow interrupt on; global interrupts on.
+    b = b
+        .insn(ldi(R24, 3))
+        .insn(sts(TCCR0B, R24))
+        .insn(ldi(R24, 1))
+        .insn(sts(TIMSK0, R24))
+        .insn(sts(l::SOFT_CLOCK, R1))
+        .insn(sts(l::SOFT_CLOCK + 1, R1))
+        .insn(Bset { s: avr_core::sreg::I });
+    b = b.call("param_load");
+    b.jmp("main_loop").build()
+}
+
+/// The TIMER0 overflow ISR: increments the 16-bit soft clock. Entered via
+/// interrupt vector 23, which MAVR must keep patched when the ISR moves.
+pub fn timer0_ovf_isr() -> Function {
+    FnBuilder::new("timer0_ovf_isr")
+        .insn(Push { r: R0 })
+        .insn(In { d: R0, a: io::SREG })
+        .insn(Push { r: R0 })
+        .insn(Push { r: R24 })
+        .insn(lds(R24, l::SOFT_CLOCK))
+        .insn(Inc { d: R24 })
+        .insn(sts(l::SOFT_CLOCK, R24))
+        .brne("isr_done")
+        .insn(lds(R24, l::SOFT_CLOCK + 1))
+        .insn(Inc { d: R24 })
+        .insn(sts(l::SOFT_CLOCK + 1, R24))
+        .label("isr_done")
+        .insn(Pop { d: R24 })
+        .insn(Pop { d: R0 })
+        .insn(Out { a: io::SREG, r: R0 })
+        .insn(Pop { d: R0 })
+        .insn(Reti)
+        .build()
+}
+
+const fn avr_sim_heartbeat_bit() -> u8 {
+    // Kept in sync with avr_sim::HEARTBEAT_BIT by an integration test.
+    5
+}
+
+/// The main control loop: heartbeat, sensors, telemetry, command handling,
+/// and filler workload — forever.
+pub fn main_loop() -> Function {
+    FnBuilder::new("main_loop")
+        .label("top")
+        .call("heartbeat_toggle")
+        .call("read_sensors")
+        .call("nav_update")
+        .call("send_heartbeat")
+        .call("send_raw_imu")
+        // SYS_STATUS once every 8 ticks.
+        .insn(lds(R24, l::TICK))
+        .insn(Andi { d: R24, k: 0x07 })
+        .brne("skip_sys_status")
+        .call("send_sys_status")
+        .label("skip_sys_status")
+        .call("mavlink_rx_poll")
+        .call("run_tasks")
+        .call("busy_work")
+        .rjmp("top")
+        .build()
+}
+
+/// Toggle the heartbeat bit on PORTB.
+pub fn heartbeat_toggle() -> Function {
+    FnBuilder::new("heartbeat_toggle")
+        .insn(In { d: R24, a: 0x05 })
+        .insn(ldi(R25, 1 << avr_sim_heartbeat_bit()))
+        .insn(Eor { d: R24, r: R25 })
+        .insn(Out { a: 0x05, r: R24 })
+        .insn(Ret)
+        .build()
+}
+
+/// `crc_update(crc: r25:r24, byte: r22) -> r25:r24` — the MAVLink X25
+/// accumulate step. Clobbers r22, r23.
+pub fn crc_update() -> Function {
+    FnBuilder::new("crc_update")
+        // tmp = byte ^ lo(crc)
+        .insn(Eor { d: R22, r: R24 })
+        // tmp ^= tmp << 4
+        .insn(Mov { d: R23, r: R22 })
+        .insn(Swap { d: R23 })
+        .insn(Andi { d: R23, k: 0xf0 })
+        .insn(Eor { d: R22, r: R23 })
+        // crc >>= 8
+        .insn(Mov { d: R24, r: R25 })
+        .insn(ldi(R25, 0))
+        // crc ^= tmp << 8
+        .insn(Eor { d: R25, r: R22 })
+        // crc ^= tmp << 3 (lo: tmp<<3, hi: tmp>>5)
+        .insn(Mov { d: R23, r: R22 })
+        .insn(Add { d: R23, r: R23 })
+        .insn(Add { d: R23, r: R23 })
+        .insn(Add { d: R23, r: R23 })
+        .insn(Eor { d: R24, r: R23 })
+        .insn(Mov { d: R23, r: R22 })
+        .insn(Lsr { d: R23 })
+        .insn(Lsr { d: R23 })
+        .insn(Lsr { d: R23 })
+        .insn(Lsr { d: R23 })
+        .insn(Lsr { d: R23 })
+        .insn(Eor { d: R25, r: R23 })
+        // crc ^= tmp >> 4
+        .insn(Mov { d: R23, r: R22 })
+        .insn(Swap { d: R23 })
+        .insn(Andi { d: R23, k: 0x0f })
+        .insn(Eor { d: R24, r: R23 })
+        .insn(Ret)
+        .build()
+}
+
+/// `rx_crc_feed(byte: r22)`: run the receive CRC held in SRAM through one
+/// accumulate step. Clobbers r22–r25.
+pub fn rx_crc_feed() -> Function {
+    FnBuilder::new("rx_crc_feed")
+        .insn(lds(R24, l::RX_CRC_L))
+        .insn(lds(R25, l::RX_CRC_H))
+        .call("crc_update")
+        .insn(sts(l::RX_CRC_L, R24))
+        .insn(sts(l::RX_CRC_H, R25))
+        .insn(Ret)
+        .build()
+}
+
+/// `tx_frame`: transmit the frame assembled in `TX_BUF` (header + payload
+/// of `TX_LEN` bytes), computing and appending the X25 checksum seeded with
+/// `TX_CRC_EXTRA`.
+pub fn tx_frame() -> Function {
+    FnBuilder::new("tx_frame")
+        .insn(lds(R20, l::TX_LEN))
+        .insn(Subi { d: R20, k: 0xfa }) // r20 += 6 (header)
+        .insn(ldi(R26, (l::TX_BUF & 0xff) as u8))
+        .insn(ldi(R27, (l::TX_BUF >> 8) as u8))
+        // Magic byte: transmitted, not CRC'd.
+        .insn(Ld { d: R21, ptr: avr_core::PtrReg::XPostInc })
+        .insn(sts(UDR0, R21))
+        .insn(Dec { d: R20 })
+        .insn(ldi(R24, 0xff))
+        .insn(ldi(R25, 0xff))
+        .label("tx_loop")
+        .insn(And { d: R20, r: R20 })
+        .breq("tx_done")
+        .insn(Ld { d: R21, ptr: avr_core::PtrReg::XPostInc })
+        .insn(Mov { d: R22, r: R21 })
+        .call("crc_update")
+        .insn(sts(UDR0, R21))
+        .insn(Dec { d: R20 })
+        .rjmp("tx_loop")
+        .label("tx_done")
+        .insn(lds(R22, l::TX_CRC_EXTRA))
+        .call("crc_update")
+        .insn(sts(UDR0, R24))
+        .insn(sts(UDR0, R25))
+        .insn(Ret)
+        .build()
+}
+
+fn stage_header(mut b: FnBuilder, payload_len: u8, msgid: u8) -> FnBuilder {
+    b = b
+        .insn(ldi(R24, 0xfe))
+        .insn(sts(l::TX_BUF, R24))
+        .insn(ldi(R24, payload_len))
+        .insn(sts(l::TX_BUF + 1, R24))
+        .insn(lds(R24, l::TX_SEQ))
+        .insn(sts(l::TX_BUF + 2, R24))
+        .insn(Inc { d: R24 })
+        .insn(sts(l::TX_SEQ, R24))
+        .insn(ldi(R24, 1)) // sysid 1 = the UAV
+        .insn(sts(l::TX_BUF + 3, R24))
+        .insn(ldi(R24, 1)) // compid
+        .insn(sts(l::TX_BUF + 4, R24))
+        .insn(ldi(R24, msgid))
+        .insn(sts(l::TX_BUF + 5, R24))
+        .insn(ldi(R24, payload_len))
+        .insn(sts(l::TX_LEN, R24));
+    b
+}
+
+/// `send_heartbeat`: assemble and transmit a HEARTBEAT with the tick
+/// counter in `custom_mode`.
+pub fn send_heartbeat(vehicle_type: u8) -> Function {
+    let mut b = stage_header(FnBuilder::new("send_heartbeat"), 9, 0);
+    // custom_mode = tick (zero-extended u32)
+    b = b
+        .insn(lds(R24, l::TICK))
+        .insn(sts(l::TX_BUF + 6, R24))
+        .insn(lds(R24, l::TICK + 1))
+        .insn(sts(l::TX_BUF + 7, R24))
+        .insn(sts(l::TX_BUF + 8, R1))
+        .insn(sts(l::TX_BUF + 9, R1));
+    for (off, val) in [
+        (10u16, vehicle_type),
+        (11, 3),  // autopilot = ArduPilotMega
+        (12, 81), // base_mode
+        (13, 4),  // system_status = active
+        (14, 3),  // mavlink_version
+    ] {
+        b = b.insn(ldi(R24, val)).insn(sts(l::TX_BUF + off, R24));
+    }
+    b.insn(ldi(R24, 50)) // crc_extra(HEARTBEAT)
+        .insn(sts(l::TX_CRC_EXTRA, R24))
+        .call("tx_frame")
+        .insn(Ret)
+        .build()
+}
+
+/// `send_raw_imu`: transmit a RAW_IMU frame with the live sensor blocks —
+/// including the gyro words the attacks overwrite, so the ground station
+/// sees the effect.
+pub fn send_raw_imu() -> Function {
+    let mut b = stage_header(FnBuilder::new("send_raw_imu"), 26, 27);
+    // time_usec: tick in the low two bytes, zeros above.
+    b = b
+        .insn(lds(R24, l::TICK))
+        .insn(sts(l::TX_BUF + 6, R24))
+        .insn(lds(R24, l::TICK + 1))
+        .insn(sts(l::TX_BUF + 7, R24));
+    for off in 8..14u16 {
+        b = b.insn(sts(l::TX_BUF + off, R1));
+    }
+    // acc, gyro, mag blocks (6 bytes each), in RAW_IMU field order.
+    for (i, src) in [(0u16, l::ACC), (6, l::GYRO), (12, l::MAG)] {
+        for j in 0..6u16 {
+            b = b
+                .insn(lds(R24, src + j))
+                .insn(sts(l::TX_BUF + 14 + i + j, R24));
+        }
+    }
+    b.insn(ldi(R24, 144)) // crc_extra(RAW_IMU)
+        .insn(sts(l::TX_CRC_EXTRA, R24))
+        .call("tx_frame")
+        .insn(Ret)
+        .build()
+}
+
+/// `send_sys_status`: transmit a SYS_STATUS frame reporting the §III CPU
+/// load figure (96.0% => 960) and nominal battery numbers.
+pub fn send_sys_status() -> Function {
+    let mut b = stage_header(FnBuilder::new("send_sys_status"), 31, 1);
+    // sensors present / enabled / health: gyro|acc|mag = 0x0000_0007.
+    for base in [6u16, 10, 14] {
+        b = b
+            .insn(ldi(R24, 0x07))
+            .insn(sts(l::TX_BUF + base, R24))
+            .insn(sts(l::TX_BUF + base + 1, R1))
+            .insn(sts(l::TX_BUF + base + 2, R1))
+            .insn(sts(l::TX_BUF + base + 3, R1));
+    }
+    // load = 960 (0x03c0) — "about 96% CPU usage" (§III).
+    b = b
+        .insn(ldi(R24, 0xc0))
+        .insn(sts(l::TX_BUF + 18, R24))
+        .insn(ldi(R24, 0x03))
+        .insn(sts(l::TX_BUF + 19, R24))
+        // voltage 11100 mV (0x2b5c)
+        .insn(ldi(R24, 0x5c))
+        .insn(sts(l::TX_BUF + 20, R24))
+        .insn(ldi(R24, 0x2b))
+        .insn(sts(l::TX_BUF + 21, R24));
+    // current, drop rate, errors_comm, errors_count[4]: zeros.
+    for off in 22..36u16 {
+        b = b.insn(sts(l::TX_BUF + off, R1));
+    }
+    // battery_remaining = 80%.
+    b = b
+        .insn(ldi(R24, 80))
+        .insn(sts(l::TX_BUF + 36, R24))
+        .insn(ldi(R24, 124)) // crc_extra(SYS_STATUS)
+        .insn(sts(l::TX_CRC_EXTRA, R24))
+        .call("tx_frame")
+        .insn(Ret);
+    b.build()
+}
+
+/// `read_sensors`: advance the tick, stage the new gyro sample and commit
+/// it through [`imu_commit_sample`]; drift the accelerometer.
+///
+/// The staged pattern is deterministic: `gyro[0] = lo(tick)`,
+/// `gyro[1] = hi(tick)`, `gyro[2] = lo(tick) ^ hi(tick)`. Bytes
+/// `gyro[3..6]` are set at init and never rewritten — they are the
+/// persistent sensor state the attacks target.
+pub fn read_sensors() -> Function {
+    FnBuilder::new("read_sensors")
+        .insn(lds(R24, l::TICK))
+        .insn(lds(R25, l::TICK + 1))
+        .insn(Adiw { d: R24, k: 1 })
+        .insn(sts(l::TICK, R24))
+        .insn(sts(l::TICK + 1, R25))
+        .insn(sts(l::STAGE, R24))
+        .insn(sts(l::STAGE + 1, R25))
+        .insn(Mov { d: R23, r: R24 })
+        .insn(Eor { d: R23, r: R25 })
+        .insn(sts(l::STAGE + 2, R23))
+        // commit to GYRO: pass &GYRO - 1 so Y+1..Y+3 hit GYRO..GYRO+2.
+        .insn(ldi(R24, ((l::GYRO - 1) & 0xff) as u8))
+        .insn(ldi(R25, ((l::GYRO - 1) >> 8) as u8))
+        .call("imu_commit_sample")
+        // acc[0] += 1
+        .insn(lds(R24, l::ACC))
+        .insn(Subi { d: R24, k: 0xff })
+        .insn(sts(l::ACC, R24))
+        .insn(Ret)
+        .build()
+}
+
+/// `imu_commit_sample(dest: r25:r24)`: store the three staged bytes at
+/// `dest+1..dest+3`.
+///
+/// The callee-save epilogue of this function is, instruction for
+/// instruction, the paper's `write_mem_gadget` (Fig. 5):
+/// `std Y+1,r5 ; std Y+2,r6 ; std Y+3,r7 ; pop r29 ; pop r28 ;
+/// pop r17 … pop r4 ; ret`.
+pub fn imu_commit_sample() -> Function {
+    let mut b = FnBuilder::new("imu_commit_sample");
+    // Save r4..r17 then r28, r29 (so pops run r29, r28, r17..r4).
+    for r in 4..=17u8 {
+        b = b.insn(Push { r: Reg::new(r) });
+    }
+    b = b.insn(Push { r: R28 }).insn(Push { r: R29 });
+    b = b
+        .insn(Movw { d: R28, r: R24 })
+        .insn(lds(R5, l::STAGE))
+        .insn(lds(R6, l::STAGE + 1))
+        .insn(lds(R7, l::STAGE + 2))
+        // ---- write_mem_gadget starts here ----
+        .insn(Std { idx: YZ::Y, q: 1, r: R5 })
+        .insn(Std { idx: YZ::Y, q: 2, r: R6 })
+        .insn(Std { idx: YZ::Y, q: 3, r: R7 })
+        .insn(Pop { d: R29 })
+        .insn(Pop { d: R28 });
+    for r in (4..=17u8).rev() {
+        b = b.insn(Pop { d: Reg::new(r) });
+    }
+    b.insn(Ret).build()
+}
+
+/// Emit an avr-gcc frame-function prologue: save r16/r29/r28, copy SP to Y,
+/// allocate `frame` bytes. Frames over 63 bytes use the `subi`/`sbci`
+/// idiom, exactly as avr-gcc does.
+pub fn frame_prologue(mut b: FnBuilder, frame: u16) -> FnBuilder {
+    b = b
+        .insn(Push { r: R16 })
+        .insn(Push { r: R29 })
+        .insn(Push { r: R28 })
+        .insn(In { d: R28, a: io::SPL })
+        .insn(In { d: R29, a: io::SPH });
+    if frame <= 63 {
+        b = b.insn(Sbiw { d: R28, k: frame as u8 });
+    } else {
+        b = b
+            .insn(Subi { d: R28, k: (frame & 0xff) as u8 })
+            .insn(Sbci { d: R29, k: (frame >> 8) as u8 });
+    }
+    b = b
+        .insn(In { d: R0, a: io::SREG })
+        .insn(Bclr { s: avr_core::sreg::I }) // cli, as avr-gcc emits
+        .insn(Out { a: io::SPH, r: R29 })
+        .insn(Out { a: io::SREG, r: R0 })
+        .insn(Out { a: io::SPL, r: R28 });
+    b
+}
+
+/// Emit the matching epilogue. From the `out 0x3e, r29` on, this is the
+/// paper's `stk_move` gadget (Fig. 4).
+pub fn frame_epilogue(mut b: FnBuilder, frame: u16) -> FnBuilder {
+    if frame <= 63 {
+        b = b.insn(Adiw { d: R28, k: frame as u8 });
+    } else {
+        let neg = frame.wrapping_neg();
+        b = b
+            .insn(Subi { d: R28, k: (neg & 0xff) as u8 })
+            .insn(Sbci { d: R29, k: (neg >> 8) as u8 });
+    }
+    b = b
+        .insn(In { d: R0, a: io::SREG })
+        .insn(Bclr { s: avr_core::sreg::I }) // cli
+        // ---- stk_move gadget starts here ----
+        .insn(Out { a: io::SPH, r: R29 })
+        .insn(Out { a: io::SREG, r: R0 })
+        .insn(Out { a: io::SPL, r: R28 })
+        .insn(Pop { d: R28 })
+        .insn(Pop { d: R29 })
+        .insn(Pop { d: R16 })
+        .insn(Ret);
+    b
+}
+
+/// `nav_update`: a frame function doing some navigation-ish arithmetic in
+/// its 16-byte stack frame. Exists to be a realistic `stk_move` carrier on
+/// the hot path.
+pub fn nav_update() -> Function {
+    let mut b = frame_prologue(FnBuilder::new("nav_update"), 16);
+    b = b
+        .insn(lds(R24, l::GYRO))
+        .insn(lds(R25, l::GYRO + 1))
+        .insn(Std { idx: YZ::Y, q: 1, r: R24 })
+        .insn(Std { idx: YZ::Y, q: 2, r: R25 })
+        .insn(Ldd { d: R16, idx: YZ::Y, q: 1 })
+        .insn(Add { d: R16, r: R25 })
+        .insn(Std { idx: YZ::Y, q: 3, r: R16 });
+    frame_epilogue(b, 16).insn(Ret).build()
+}
+
+/// The MAVLink receive pump: drain every available UART byte through the
+/// parser state machine; on a checksum-valid frame, dispatch by message id.
+pub fn mavlink_rx_poll() -> Function {
+    let mut b = FnBuilder::new("mavlink_rx_poll")
+        .label("poll_again")
+        .insn(lds(R24, UCSR0A))
+        .insn(Sbrs { r: R24, b: RXC_BIT })
+        .rjmp("poll_done")
+        .insn(lds(R24, UDR0))
+        .insn(lds(R25, l::RX_STATE));
+    // Dispatch ladder: cpi/brne/rjmp triplets keep every conditional branch
+    // within reach.
+    for (state, target) in [
+        (0u8, "st_idle"),
+        (1, "st_len"),
+        (2, "st_seq"),
+        (3, "st_sys"),
+        (4, "st_comp"),
+        (5, "st_msgid"),
+        (6, "st_payload"),
+        (7, "st_crc1"),
+        (8, "st_crc2"),
+    ] {
+        let skip = format!("lad_{state}");
+        b = b
+            .insn(Cpi { d: R25, k: state })
+            .brne(skip.clone())
+            .rjmp(target)
+            .label(skip);
+    }
+    // Unknown state: reset.
+    b = b
+        .insn(sts(l::RX_STATE, R1))
+        .rjmp("poll_again")
+        // -- idle: wait for the magic byte --
+        .label("st_idle")
+        .insn(Cpi { d: R24, k: 0xfe })
+        .brne("hop_a")
+        .insn(ldi(R22, 0xff))
+        .insn(sts(l::RX_CRC_L, R22))
+        .insn(sts(l::RX_CRC_H, R22))
+        .insn(ldi(R25, 1))
+        .insn(sts(l::RX_STATE, R25))
+        .label("hop_a")
+        .rjmp("poll_again")
+        // -- length --
+        .label("st_len")
+        .insn(sts(l::RX_LEN, R24))
+        .insn(Mov { d: R22, r: R24 })
+        .call("rx_crc_feed")
+        .insn(ldi(R25, 2))
+        .insn(sts(l::RX_STATE, R25))
+        .rjmp("poll_again");
+    // -- seq / sysid / compid: CRC only --
+    for (label, next) in [("st_seq", 3u8), ("st_sys", 4), ("st_comp", 5)] {
+        b = b
+            .label(label)
+            .insn(Mov { d: R22, r: R24 })
+            .call("rx_crc_feed")
+            .insn(ldi(R25, next))
+            .insn(sts(l::RX_STATE, R25))
+            .rjmp("poll_again");
+    }
+    b = b
+        // -- message id --
+        .label("st_msgid")
+        .insn(sts(l::RX_MSGID, R24))
+        .insn(Mov { d: R22, r: R24 })
+        .call("rx_crc_feed")
+        .insn(sts(l::RX_CNT, R1))
+        .insn(ldi(R22, (l::RX_BUF & 0xff) as u8))
+        .insn(sts(l::RX_PTR_L, R22))
+        .insn(ldi(R22, (l::RX_BUF >> 8) as u8))
+        .insn(sts(l::RX_PTR_H, R22))
+        .insn(lds(R22, l::RX_LEN))
+        .insn(And { d: R22, r: R22 })
+        .brne("msgid_pl")
+        .insn(ldi(R25, 7))
+        .insn(sts(l::RX_STATE, R25))
+        .rjmp("poll_again")
+        .label("msgid_pl")
+        .insn(ldi(R25, 6))
+        .insn(sts(l::RX_STATE, R25))
+        .rjmp("poll_again")
+        // -- payload --
+        .label("st_payload")
+        .insn(lds(R26, l::RX_PTR_L))
+        .insn(lds(R27, l::RX_PTR_H))
+        .insn(St { ptr: avr_core::PtrReg::XPostInc, r: R24 })
+        .insn(sts(l::RX_PTR_L, R26))
+        .insn(sts(l::RX_PTR_H, R27))
+        .insn(Mov { d: R22, r: R24 })
+        .call("rx_crc_feed")
+        .insn(lds(R22, l::RX_CNT))
+        .insn(Inc { d: R22 })
+        .insn(sts(l::RX_CNT, R22))
+        .insn(lds(R23, l::RX_LEN))
+        .insn(Cp { d: R22, r: R23 })
+        .brne("hop_b")
+        .insn(ldi(R25, 7))
+        .insn(sts(l::RX_STATE, R25))
+        .label("hop_b")
+        .rjmp("poll_again")
+        // -- first checksum byte --
+        .label("st_crc1")
+        .insn(sts(l::RX_RCV_CRC_L, R24))
+        .insn(ldi(R25, 8))
+        .insn(sts(l::RX_STATE, R25))
+        .rjmp("poll_again")
+        // -- second checksum byte: verify and dispatch --
+        .label("st_crc2")
+        .insn(Mov { d: R20, r: R24 }) // received CRC high
+        // r22 = crc_extra(msgid)
+        .insn(lds(R25, l::RX_MSGID));
+    for (id, extra) in [(0u8, 50u8), (23, 168), (27, 144), (30, 39), (76, 152)] {
+        let skip = format!("ce_{id}");
+        b = b
+            .insn(Cpi { d: R25, k: id })
+            .brne(skip.clone())
+            .insn(ldi(R22, extra))
+            .rjmp("ce_done")
+            .label(skip);
+    }
+    b = b
+        .insn(ldi(R22, 0))
+        .label("ce_done")
+        .call("rx_crc_feed")
+        .insn(sts(l::RX_STATE, R1))
+        .insn(lds(R24, l::RX_CRC_L))
+        .insn(lds(R25, l::RX_RCV_CRC_L))
+        .insn(Cp { d: R24, r: R25 })
+        .brne("crc_bad")
+        .insn(lds(R24, l::RX_CRC_H))
+        .insn(Cp { d: R24, r: R20 })
+        .brne("crc_bad")
+        // dispatch
+        .insn(lds(R24, l::RX_MSGID))
+        .insn(Cpi { d: R24, k: 23 })
+        .brne("not_ps")
+        .call("handle_param_set")
+        .rjmp("poll_again")
+        .label("not_ps")
+        .insn(Cpi { d: R24, k: 76 })
+        .brne("no_disp")
+        .call("handle_command")
+        .label("no_disp")
+        .rjmp("poll_again")
+        .label("crc_bad")
+        .insn(lds(R24, l::BAD_CRC_COUNT))
+        .insn(Inc { d: R24 })
+        .insn(sts(l::BAD_CRC_COUNT, R24))
+        .rjmp("poll_again")
+        .label("poll_done")
+        .insn(Ret);
+    b.build()
+}
+
+/// The PARAM_SET handler. Copies the received payload from the global
+/// receive buffer into a 30-byte stack buffer, then commits the first four
+/// bytes as the new parameter value.
+///
+/// With `vulnerable = true` the length check is disabled — the copy runs
+/// for the full received length (up to 255 bytes), smashing the saved
+/// registers and return address exactly as in §IV-B. With
+/// `vulnerable = false` the copy is clamped to the buffer size.
+pub fn handle_param_set(vulnerable: bool) -> Function {
+    let mut b = frame_prologue(FnBuilder::new("handle_param_set"), l::HANDLER_FRAME);
+    b = b.insn(lds(R16, l::RX_LEN));
+    if !vulnerable {
+        // if (len > HANDLER_BUF) len = HANDLER_BUF;
+        b = b
+            .insn(Cpi { d: R16, k: l::HANDLER_BUF + 1 })
+            .brcs("len_ok")
+            .insn(ldi(R16, l::HANDLER_BUF))
+            .label("len_ok");
+        // ldi targets r16..r31: R16 is fine.
+    }
+    b = b
+        // Z = Y + 1 (destination), X = RX_BUF (source).
+        .insn(Movw { d: R30, r: R28 })
+        .insn(Adiw { d: R30, k: 1 })
+        .insn(ldi(R26, (l::RX_BUF & 0xff) as u8))
+        .insn(ldi(R27, (l::RX_BUF >> 8) as u8))
+        .label("copy")
+        .insn(And { d: R16, r: R16 })
+        .breq("copied")
+        .insn(Ld { d: R24, ptr: avr_core::PtrReg::XPostInc })
+        .insn(St { ptr: avr_core::PtrReg::ZPostInc, r: R24 })
+        .insn(Dec { d: R16 })
+        .rjmp("copy")
+        .label("copied");
+    // Commit param_value = buffer[0..4].
+    for i in 0..4u8 {
+        b = b
+            .insn(Ldd { d: R24, idx: YZ::Y, q: 1 + i })
+            .insn(sts(l::PARAM_VALUE + u16::from(i), R24));
+    }
+    b = b
+        .insn(lds(R24, l::PARAM_SET_COUNT))
+        .insn(Inc { d: R24 })
+        .insn(sts(l::PARAM_SET_COUNT, R24))
+        .call("param_save");
+    frame_epilogue(b, l::HANDLER_FRAME).build()
+}
+
+/// `task_beacon`: the observable task in the RTOS-style dispatch table —
+/// bumps a counter every schedule round. The paper's §X positions MAVR for
+/// RTOS-based systems; the task table is exactly the "global arrays of
+/// functions used … for call routing" its preprocessor must track (§VI-B2).
+pub fn task_beacon() -> Function {
+    FnBuilder::new("task_beacon")
+        .insn(lds(R24, l::TASK_TICK))
+        .insn(Inc { d: R24 })
+        .insn(sts(l::TASK_TICK, R24))
+        .insn(Ret)
+        .build()
+}
+
+/// A second, always-safe handler: counts COMMAND packets.
+pub fn handle_command() -> Function {
+    FnBuilder::new("handle_command")
+        .insn(lds(R24, l::COMMAND_COUNT))
+        .insn(Inc { d: R24 })
+        .insn(sts(l::COMMAND_COUNT, R24))
+        .insn(Ret)
+        .build()
+}
+
+/// `param_save`: persist the 4-byte parameter value to EEPROM[0..4] —
+/// tuned configuration survives reboots *and MAVR reflashes*, since
+/// randomization rewrites program flash only (Fig. 1's persistent store).
+pub fn param_save() -> Function {
+    FnBuilder::new("param_save")
+        .insn(ldi(R26, (l::PARAM_VALUE & 0xff) as u8))
+        .insn(ldi(R27, (l::PARAM_VALUE >> 8) as u8))
+        .insn(ldi(R20, 0))
+        .insn(ldi(R21, 4))
+        .label("save_loop")
+        .insn(sts(EEARL, R20))
+        .insn(sts(EEARH, R1))
+        .insn(Ld { d: R24, ptr: avr_core::PtrReg::XPostInc })
+        .insn(sts(EEDR, R24))
+        .insn(ldi(R24, EEMPE))
+        .insn(sts(EECR, R24))
+        .insn(ldi(R24, EEPE))
+        .insn(sts(EECR, R24))
+        .insn(Inc { d: R20 })
+        .insn(Dec { d: R21 })
+        .brne("save_loop")
+        .insn(Ret)
+        .build()
+}
+
+/// `param_load`: restore the persisted parameter value at boot.
+pub fn param_load() -> Function {
+    FnBuilder::new("param_load")
+        .insn(ldi(R26, (l::PARAM_VALUE & 0xff) as u8))
+        .insn(ldi(R27, (l::PARAM_VALUE >> 8) as u8))
+        .insn(ldi(R20, 0))
+        .insn(ldi(R21, 4))
+        .label("load_loop")
+        .insn(sts(EEARL, R20))
+        .insn(sts(EEARH, R1))
+        .insn(ldi(R24, EERE))
+        .insn(sts(EECR, R24))
+        .insn(lds(R24, EEDR))
+        .insn(St { ptr: avr_core::PtrReg::XPostInc, r: R24 })
+        .insn(Inc { d: R20 })
+        .insn(Dec { d: R21 })
+        .brne("load_loop")
+        .insn(Ret)
+        .build()
+}
+
+/// A serial bootloader stub, pinned at a fixed location (its position is
+/// dictated by the boot fuse configuration on real parts). Not reachable
+/// from the application, but its `ret`-terminated code is scannable — the
+/// fixed-address ROP surface the paper warns about in §VI-B4.
+pub fn serial_bootloader() -> Function {
+    FnBuilder::new("__bootloader")
+        .fixed()
+        // Poll for the programmer's sync byte; bail to the application
+        // when it never arrives (heavily simplified STK500v2 shape).
+        .insn(lds(R24, UCSR0A))
+        .insn(Sbrs { r: R24, b: RXC_BIT })
+        .rjmp("bl_done")
+        .insn(lds(R24, UDR0))
+        .insn(Cpi { d: R24, k: 0x1b }) // STK500v2 MESSAGE_START
+        .brne("bl_done")
+        // (page programming elided — the board crate models it.)
+        .label("bl_done")
+        .insn(ldi(R24, 0x53)) // 'S' sign-on byte in r24
+        .insn(Ret)
+        .build()
+}
+
+/// All core functions in link order (excluding `busy_work`, which the
+/// filler generator provides).
+pub fn core_functions(vehicle_type: u8, vulnerable: bool) -> Vec<Function> {
+    vec![
+        init([0x64, 0x00, 0x64, 0x1e, 0x28, 0x32]),
+        main_loop(),
+        heartbeat_toggle(),
+        crc_update(),
+        rx_crc_feed(),
+        tx_frame(),
+        send_heartbeat(vehicle_type),
+        send_raw_imu(),
+        send_sys_status(),
+        read_sensors(),
+        imu_commit_sample(),
+        nav_update(),
+        mavlink_rx_poll(),
+        handle_param_set(vulnerable),
+        handle_command(),
+        timer0_ovf_isr(),
+        param_save(),
+        param_load(),
+        task_beacon(),
+    ]
+}

@@ -1,0 +1,464 @@
+//! Deterministic filler-function generation.
+//!
+//! Real autopilot firmware is hundreds of functions of control math,
+//! drivers and protocol glue. The fillers stand in for that mass: seeded,
+//! deterministic, **executable** functions in six shapes chosen to exercise
+//! every structural feature MAVR must handle — ordinary leaves, frame
+//! functions (whose epilogues are `stk_move` gadgets), callee-save writers
+//! (whose epilogues are `write_mem` gadgets), call sites (long/short under
+//! relaxation), switch-statement trampolines (`jmp function+offset`,
+//! resolved by MAVR's binary search), and vtable-style indirect dispatch
+//! through a function-pointer table in rodata (patched by MAVR's pointer
+//! pass).
+
+use avr_asm::{DataObject, FnBuilder, Function, Item, ToolchainOptions};
+use avr_core::Insn::*;
+use avr_core::Reg::{self, *};
+use avr_core::YZ;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::corefn::{frame_epilogue, frame_prologue};
+use crate::layout;
+
+/// Number of "case ladder" functions at the front of the filler set; they
+/// are both the switch-trampoline targets and the indirect-dispatch
+/// targets, and being first they stay in low flash where `icall` (16-bit Z)
+/// can reach them.
+pub const N_LADDER: usize = 8;
+
+/// Cases per ladder function (each case is `ldi r24, k ; ret`, 4 bytes).
+pub const LADDER_CASES: u32 = 8;
+
+/// Name of the rodata function-pointer table.
+pub const DISPATCH_TABLE: &str = "dispatch_table";
+
+/// Output of the filler generator.
+#[derive(Debug, Clone)]
+pub struct FillerSet {
+    /// All filler functions, including `busy_work` and (under
+    /// `-mcall-prologues`) the shared prologue/epilogue blobs.
+    pub functions: Vec<Function>,
+    /// Rodata objects referenced by the fillers.
+    pub rodata: Vec<DataObject>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Ladder,
+    LeafAlu,
+    Frame,
+    Saver,
+    Caller,
+    Switch,
+    Indirect,
+}
+
+fn filler_name(i: usize) -> String {
+    format!("filler_{i:04}")
+}
+
+/// Generate `n` fillers plus `busy_work`.
+///
+/// `avg_body_words` scales the random ALU padding so the natural code size
+/// lands near the calibration target.
+pub fn generate(
+    n: usize,
+    seed: u64,
+    toolchain: ToolchainOptions,
+    avg_body_words: u32,
+) -> FillerSet {
+    assert!(n > N_LADDER + 4, "need at least {} fillers", N_LADDER + 5);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Assign kinds first so call sites know their targets' shapes.
+    let mut kinds = Vec::with_capacity(n);
+    for i in 0..n {
+        if i < N_LADDER {
+            kinds.push(Kind::Ladder);
+            continue;
+        }
+        let roll: f64 = rng.random();
+        kinds.push(match roll {
+            r if r < 0.35 => Kind::LeafAlu,
+            r if r < 0.55 => Kind::Frame,
+            r if r < 0.70 => Kind::Saver,
+            r if r < 0.85 => Kind::Caller,
+            r if r < 0.925 => Kind::Switch,
+            _ => Kind::Indirect,
+        });
+    }
+    let leaves: Vec<usize> = (0..n)
+        .filter(|&i| matches!(kinds[i], Kind::LeafAlu | Kind::Frame | Kind::Saver))
+        .collect();
+
+    let mut functions = Vec::with_capacity(n + 3);
+    for (i, &kind) in kinds.iter().enumerate() {
+        let body = avg_body_words / 2 + rng.random_range(0..=avg_body_words.max(1));
+        functions.push(match kind {
+            Kind::Ladder => ladder(i),
+            Kind::LeafAlu => leaf_alu(i, body, &mut rng),
+            Kind::Frame => frame_fn(i, body, toolchain, &mut rng),
+            Kind::Saver => saver_fn(i, body, toolchain, &mut rng),
+            Kind::Caller => caller_fn(i, body, &kinds, &leaves, &mut rng),
+            Kind::Switch => switch_fn(i, body, &mut rng),
+            Kind::Indirect => indirect_fn(i, body, &mut rng),
+        });
+    }
+    functions.push(busy_work(&kinds, &leaves, &mut rng));
+    if toolchain.call_prologues {
+        functions.push(prologue_saves_blob());
+        functions.push(epilogue_restores_blob());
+    }
+
+    // The RTOS-style scheduler: a task table in rodata (function pointers
+    // MAVR must patch) walked with elpm + icall every main-loop round.
+    let tasks = ["task_beacon", &filler_name(0), &filler_name(1), &filler_name(2)];
+    functions.push(run_tasks(&tasks));
+
+    let mut rodata = Vec::new();
+    rodata.push(DataObject::fn_table(TASK_TABLE, &tasks));
+    let ladder_names: Vec<String> = (0..N_LADDER).map(filler_name).collect();
+    let ladder_refs: Vec<&str> = ladder_names.iter().map(String::as_str).collect();
+    rodata.push(DataObject::fn_table(DISPATCH_TABLE, &ladder_refs));
+    // A couple of constant blobs for realism.
+    for b in 0..3 {
+        let bytes: Vec<u8> = (0..64).map(|_| rng.random()).collect();
+        rodata.push(DataObject::new(format!("const_blob_{b}"), bytes));
+    }
+
+    FillerSet { functions, rodata }
+}
+
+/// Random linear ALU padding on the call-clobbered registers r18–r25.
+fn alu_block(b: FnBuilder, words: u32, slot: u16, rng: &mut StdRng) -> FnBuilder {
+    let mut b = b;
+    let mut emitted = 0u32;
+    while emitted < words {
+        let d = Reg::new(rng.random_range(18..=25));
+        let r = Reg::new(rng.random_range(18..=25));
+        let insn = match rng.random_range(0..14u8) {
+            0 => Add { d, r },
+            1 => Sub { d, r },
+            2 => And { d, r },
+            3 => Or { d, r },
+            4 => Eor { d, r },
+            5 => Mov { d, r },
+            6 => Inc { d },
+            7 => Dec { d },
+            8 => Lsr { d },
+            9 => Swap { d },
+            10 => Com { d },
+            11 => Ldi { d, k: rng.random() },
+            12 => Subi { d, k: rng.random() },
+            13 => {
+                // A scratch-slot store/load pair (2 two-word insns).
+                b = b
+                    .insn(Sts { k: slot, r: d })
+                    .insn(Lds { d: r, k: slot });
+                emitted += 4;
+                continue;
+            }
+            _ => unreachable!(),
+        };
+        emitted += insn.words();
+        b = b.insn(insn);
+    }
+    b
+}
+
+/// A case ladder: `LADDER_CASES` blocks of `ldi r24, k ; ret`, each 4 bytes,
+/// so `jmp ladder+4*case` lands on a case boundary.
+fn ladder(i: usize) -> Function {
+    let mut b = FnBuilder::new(filler_name(i));
+    for case in 0..LADDER_CASES {
+        b = b
+            .insn(Ldi {
+                d: R24,
+                k: (i as u8).wrapping_mul(8).wrapping_add(case as u8),
+            })
+            .insn(Ret);
+    }
+    b.build()
+}
+
+fn leaf_alu(i: usize, body: u32, rng: &mut StdRng) -> Function {
+    let slot = layout::filler_slot(i);
+    let b = FnBuilder::new(filler_name(i));
+    alu_block(b, body, slot, rng).insn(Ret).build()
+}
+
+/// A frame function; its inline epilogue is a `stk_move` gadget. Under
+/// `-mcall-prologues` the register saves route through the shared blob.
+fn frame_fn(i: usize, body: u32, toolchain: ToolchainOptions, rng: &mut StdRng) -> Function {
+    let slot = layout::filler_slot(i);
+    let frame = u16::from(rng.random_range(4..=28u8)) * 2;
+    let mut b = FnBuilder::new(filler_name(i));
+    if toolchain.call_prologues {
+        b = b.call("__prologue_saves__");
+        b = b
+            .insn(In { d: R28, a: avr_core::io::SPL })
+            .insn(In { d: R29, a: avr_core::io::SPH })
+            .insn(Sbiw { d: R28, k: frame as u8 })
+            .insn(In { d: R0, a: avr_core::io::SREG })
+            .insn(Out { a: avr_core::io::SPH, r: R29 })
+            .insn(Out { a: avr_core::io::SREG, r: R0 })
+            .insn(Out { a: avr_core::io::SPL, r: R28 });
+    } else {
+        b = frame_prologue(b, frame);
+    }
+    // Touch some locals through Y.
+    for _ in 0..rng.random_range(2..6) {
+        let q = rng.random_range(1..=frame as u8);
+        let r = Reg::new(rng.random_range(18..=25));
+        b = b
+            .insn(Std { idx: YZ::Y, q, r })
+            .insn(Ldd { d: r, idx: YZ::Y, q });
+    }
+    b = alu_block(b, body, slot, rng);
+    if toolchain.call_prologues {
+        b = b
+            .insn(Adiw { d: R28, k: frame as u8 })
+            .insn(In { d: R0, a: avr_core::io::SREG })
+            .insn(Out { a: avr_core::io::SPH, r: R29 })
+            .insn(Out { a: avr_core::io::SREG, r: R0 })
+            .insn(Out { a: avr_core::io::SPL, r: R28 })
+            .call("__epilogue_restores__")
+            .insn(Ret);
+    } else {
+        b = frame_epilogue(b, frame);
+    }
+    b.build()
+}
+
+/// A callee-save writer: takes a destination in r25:r24, stores three bytes
+/// through Y. Its inline epilogue is a `write_mem` gadget.
+fn saver_fn(i: usize, body: u32, toolchain: ToolchainOptions, rng: &mut StdRng) -> Function {
+    let slot = layout::filler_slot(i);
+    let mut b = FnBuilder::new(filler_name(i));
+    if toolchain.call_prologues {
+        b = b.call("__prologue_saves__");
+    } else {
+        for r in 4..=17u8 {
+            b = b.insn(Push { r: Reg::new(r) });
+        }
+        b = b.insn(Push { r: R28 }).insn(Push { r: R29 });
+    }
+    b = b
+        .insn(Movw { d: R28, r: R24 })
+        .insn(Lds { d: R5, k: slot })
+        .insn(Lds { d: R6, k: slot + 1 })
+        .insn(Lds { d: R7, k: slot + 2 });
+    b = alu_block(b, body, slot, rng);
+    b = b
+        .insn(Std { idx: YZ::Y, q: 1, r: R5 })
+        .insn(Std { idx: YZ::Y, q: 2, r: R6 })
+        .insn(Std { idx: YZ::Y, q: 3, r: R7 });
+    if toolchain.call_prologues {
+        b = b.call("__epilogue_restores__").insn(Ret);
+    } else {
+        b = b.insn(Pop { d: R29 }).insn(Pop { d: R28 });
+        for r in (4..=17u8).rev() {
+            b = b.insn(Pop { d: Reg::new(r) });
+        }
+        b = b.insn(Ret);
+    }
+    b.build()
+}
+
+/// Set up the argument registers for a call to `callee` (savers need their
+/// scratch-slot address in r25:r24; `+1` so the Y+1..Y+3 stores stay inside
+/// the 4-byte slot... the stores cover slot+2..slot+4, so pass `slot - 1`).
+fn call_with_args(b: FnBuilder, callee: usize, kinds: &[Kind]) -> FnBuilder {
+    let mut b = b;
+    if kinds[callee] == Kind::Saver {
+        let dest = layout::filler_slot(callee) - 1; // stores land on slot..slot+2
+        b = b
+            .insn(Ldi { d: R24, k: (dest & 0xff) as u8 })
+            .insn(Ldi { d: R25, k: (dest >> 8) as u8 });
+    }
+    b.call(filler_name(callee))
+}
+
+fn caller_fn(
+    i: usize,
+    body: u32,
+    kinds: &[Kind],
+    leaves: &[usize],
+    rng: &mut StdRng,
+) -> Function {
+    let slot = layout::filler_slot(i);
+    let mut b = FnBuilder::new(filler_name(i));
+    let n_calls = rng.random_range(1..=3usize);
+    let per_segment = body / (n_calls as u32 + 1);
+    for _ in 0..n_calls {
+        b = alu_block(b, per_segment, slot, rng);
+        let callee = leaves[rng.random_range(0..leaves.len())];
+        b = call_with_args(b, callee, kinds);
+    }
+    b = alu_block(b, per_segment, slot, rng);
+    b.insn(Ret).build()
+}
+
+/// A switch-statement trampoline: `jmp ladder_fn + 4*case` — the jump into
+/// the middle of a function block that MAVR's patcher resolves by binary
+/// search (§VI-B3).
+fn switch_fn(i: usize, body: u32, rng: &mut StdRng) -> Function {
+    let slot = layout::filler_slot(i);
+    let target = rng.random_range(0..N_LADDER);
+    let case = rng.random_range(0..LADDER_CASES);
+    let b = FnBuilder::new(filler_name(i));
+    alu_block(b, body, slot, rng)
+        .item(Item::JmpSymOffset {
+            name: filler_name(target),
+            byte_offset: 4 * case,
+        })
+        .build()
+}
+
+/// A vtable-style indirect call: load a function pointer (16-bit word
+/// address) from the rodata dispatch table with `elpm`, then `icall`.
+fn indirect_fn(i: usize, body: u32, rng: &mut StdRng) -> Function {
+    let slot = layout::filler_slot(i);
+    let entry = rng.random_range(0..N_LADDER) as u32;
+    let mut b = FnBuilder::new(filler_name(i));
+    b = alu_block(b, body, slot, rng);
+    b = b
+        // RAMPZ:Z = &dispatch_table[entry]
+        .item(Item::LdiSymByte {
+            d: R24,
+            sym: DISPATCH_TABLE.into(),
+            offset: entry * 2,
+            byte: 2,
+        })
+        .insn(Out { a: avr_core::io::RAMPZ, r: R24 })
+        .item(Item::LdiSymByte {
+            d: R30,
+            sym: DISPATCH_TABLE.into(),
+            offset: entry * 2,
+            byte: 0,
+        })
+        .item(Item::LdiSymByte {
+            d: R31,
+            sym: DISPATCH_TABLE.into(),
+            offset: entry * 2,
+            byte: 1,
+        })
+        .insn(Elpm { d: R24, post_inc: true })
+        .insn(Elpm { d: R25, post_inc: false })
+        .insn(Movw { d: R30, r: R24 })
+        .insn(Icall)
+        .insn(Ret);
+    b.build()
+}
+
+/// The main loop's workload hook: a spread of calls across the filler space
+/// so distant code actually executes every iteration.
+fn busy_work(kinds: &[Kind], leaves: &[usize], rng: &mut StdRng) -> Function {
+    let n = kinds.len();
+    let mut b = FnBuilder::new("busy_work");
+    // Two ladder dispatches, two callers, four leaves spread over the image.
+    let mut targets: Vec<usize> = vec![rng.random_range(0..N_LADDER)];
+    if let Some(&c) = kinds
+        .iter()
+        .enumerate()
+        .filter(|(_, k)| **k == Kind::Caller)
+        .map(|(i, _)| i)
+        .collect::<Vec<_>>()
+        .first()
+    {
+        targets.push(c);
+    }
+    for frac in [0.2, 0.5, 0.8, 0.98] {
+        let want = (n as f64 * frac) as usize;
+        // Nearest leaf at or after `want`.
+        let leaf = leaves
+            .iter()
+            .copied()
+            .find(|&l| l >= want)
+            .unwrap_or(leaves[leaves.len() - 1]);
+        targets.push(leaf);
+    }
+    for t in targets {
+        b = call_with_args(b, t, kinds);
+    }
+    b.insn(Ret).build()
+}
+
+/// Name of the RTOS task table in rodata.
+pub const TASK_TABLE: &str = "task_table";
+
+/// The scheduler: dispatch every entry of the task table through
+/// `elpm` + `icall`, one full round per call.
+fn run_tasks(tasks: &[&str]) -> Function {
+    let mut b = FnBuilder::new("run_tasks");
+    for (i, _) in tasks.iter().enumerate() {
+        let off = (i * 2) as u32;
+        b = b
+            .item(Item::LdiSymByte {
+                d: R24,
+                sym: TASK_TABLE.into(),
+                offset: off,
+                byte: 2,
+            })
+            .insn(Out { a: avr_core::io::RAMPZ, r: R24 })
+            .item(Item::LdiSymByte {
+                d: R30,
+                sym: TASK_TABLE.into(),
+                offset: off,
+                byte: 0,
+            })
+            .item(Item::LdiSymByte {
+                d: R31,
+                sym: TASK_TABLE.into(),
+                offset: off,
+                byte: 1,
+            })
+            .insn(Elpm { d: R24, post_inc: true })
+            .insn(Elpm { d: R25, post_inc: false })
+            .insn(Movw { d: R30, r: R24 })
+            .insn(Icall);
+    }
+    b.insn(Ret).build()
+}
+
+/// The shared `-mcall-prologues` save blob: pops its own return address,
+/// pushes r2–r17/r28/r29, then returns through the re-pushed address.
+/// Self-contained (no code-address immediates), so it works anywhere in the
+/// 256 KiB flash — and it is the gadget-concentration hazard the paper
+/// describes.
+fn prologue_saves_blob() -> Function {
+    let mut b = FnBuilder::new("__prologue_saves__")
+        .insn(Pop { d: R0 })
+        .insn(Pop { d: R31 })
+        .insn(Pop { d: R30 });
+    for r in 2..=17u8 {
+        b = b.insn(Push { r: Reg::new(r) });
+    }
+    b = b.insn(Push { r: R28 }).insn(Push { r: R29 });
+    b = b
+        .insn(Push { r: R30 })
+        .insn(Push { r: R31 })
+        .insn(Push { r: R0 })
+        .insn(Ret);
+    b.build()
+}
+
+/// The matching restore blob.
+fn epilogue_restores_blob() -> Function {
+    let mut b = FnBuilder::new("__epilogue_restores__")
+        .insn(Pop { d: R0 })
+        .insn(Pop { d: R31 })
+        .insn(Pop { d: R30 })
+        .insn(Pop { d: R29 })
+        .insn(Pop { d: R28 });
+    for r in (2..=17u8).rev() {
+        b = b.insn(Pop { d: Reg::new(r) });
+    }
+    b = b
+        .insn(Push { r: R30 })
+        .insn(Push { r: R31 })
+        .insn(Push { r: R0 })
+        .insn(Ret);
+    b.build()
+}

@@ -1,0 +1,158 @@
+//! SRAM layout of the synthetic firmware: every global the generated code
+//! touches, at a fixed, documented address.
+//!
+//! These addresses are "known to the attacker" in exactly the paper's sense:
+//! they are visible in the unprotected binary's `lds`/`sts` instructions,
+//! which the attacker is assumed to possess (§IV-A). MAVR randomization
+//! moves *code*, not data, so none of these move.
+
+/// First SRAM address on the ATmega2560.
+pub const SRAM_START: u16 = 0x0200;
+
+// ---- control state ----
+/// 16-bit loop tick counter (low byte first).
+pub const TICK: u16 = 0x0200;
+/// Gyroscope sample block: X, Y, Z as little-endian i16 (6 bytes).
+/// **This is the sensor value the paper's attack V1 overwrites.**
+pub const GYRO: u16 = 0x0202;
+/// Accelerometer block (6 bytes).
+pub const ACC: u16 = 0x0208;
+/// Magnetometer block (6 bytes).
+pub const MAG: u16 = 0x020e;
+/// 3-byte staging area for the IMU commit path (feeds r5/r6/r7 of the
+/// `write_mem` epilogue function).
+pub const STAGE: u16 = 0x0214;
+/// Last PARAM_SET value received (4 bytes, f32).
+pub const PARAM_VALUE: u16 = 0x0218;
+/// Count of dispatched PARAM_SET packets.
+pub const PARAM_SET_COUNT: u16 = 0x021c;
+/// Count of dispatched COMMAND packets.
+pub const COMMAND_COUNT: u16 = 0x021d;
+/// 16-bit soft clock incremented by the TIMER0 overflow ISR.
+pub const SOFT_CLOCK: u16 = 0x021e;
+/// Counter incremented by the RTOS-style task dispatcher's beacon task.
+pub const TASK_TICK: u16 = 0x027a;
+
+// ---- MAVLink transmit ----
+/// Outgoing frame assembly buffer (6-byte header + up to 64 payload).
+pub const TX_BUF: u16 = 0x0220;
+/// Payload length of the frame in `TX_BUF`.
+pub const TX_LEN: u16 = 0x0262;
+/// Transmit sequence counter.
+pub const TX_SEQ: u16 = 0x0263;
+/// `crc_extra` byte for the frame in `TX_BUF`.
+pub const TX_CRC_EXTRA: u16 = 0x0264;
+
+// ---- MAVLink receive ----
+/// Parser state (0 = idle … 8 = crc2).
+pub const RX_STATE: u16 = 0x0270;
+/// Declared payload length of the frame being received.
+pub const RX_LEN: u16 = 0x0271;
+/// Payload bytes received so far.
+pub const RX_CNT: u16 = 0x0272;
+/// Message id of the frame being received.
+pub const RX_MSGID: u16 = 0x0273;
+/// Running CRC, low byte.
+pub const RX_CRC_L: u16 = 0x0274;
+/// Running CRC, high byte.
+pub const RX_CRC_H: u16 = 0x0275;
+/// Received CRC low byte (awaiting the high byte).
+pub const RX_RCV_CRC_L: u16 = 0x0276;
+/// Write cursor into `RX_BUF`, low byte.
+pub const RX_PTR_L: u16 = 0x0277;
+/// Write cursor into `RX_BUF`, high byte.
+pub const RX_PTR_H: u16 = 0x0278;
+/// Count of frames dropped for bad checksum.
+pub const BAD_CRC_COUNT: u16 = 0x0279;
+
+/// Received-payload buffer (256 bytes). The MAVLink *receive* buffer is
+/// heap/global; the vulnerable copy is from here into the handler's stack
+/// buffer.
+pub const RX_BUF: u16 = 0x0300;
+
+/// Base of the per-filler scratch region; filler `i` owns four bytes at
+/// `FILLER_SCRATCH + 4 * (i % FILLER_SCRATCH_SLOTS)`.
+pub const FILLER_SCRATCH: u16 = 0x0400;
+/// Number of four-byte scratch slots.
+pub const FILLER_SCRATCH_SLOTS: u16 = 512;
+
+/// Scratch slot address for filler `i`.
+pub fn filler_slot(i: usize) -> u16 {
+    FILLER_SCRATCH + 4 * (i as u16 % FILLER_SCRATCH_SLOTS)
+}
+
+/// Stack-buffer size in the PARAM_SET handler (the declared object the
+/// copy is *supposed* to stay within; the frame is larger because the
+/// handler keeps other locals too).
+pub const HANDLER_BUF: u8 = 30;
+/// Stack frame size of the PARAM_SET handler. Larger than 63 bytes, so the
+/// prologue/epilogue use the avr-gcc `subi`/`sbci` frame idiom rather than
+/// `sbiw`/`adiw`. The frame is also the room an attacker has for a gadget
+/// chain placed *inside* the buffer (the paper moves SP "to the beginning
+/// of the buffer", §IV-D).
+pub const HANDLER_FRAME: u16 = 192;
+
+/// Offset from the start of the handler's stack buffer to the saved return
+/// address (3 bytes, stored big-endian). Layout above the buffer:
+/// `HANDLER_FRAME` bytes of locals, then saved r28, r29, r16, then the
+/// return address.
+pub const RET_ADDR_OFFSET: usize = HANDLER_FRAME as usize + 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        // (start, len) of every fixed region.
+        let regions: &[(u16, u16)] = &[
+            (TICK, 2),
+            (GYRO, 6),
+            (ACC, 6),
+            (MAG, 6),
+            (STAGE, 3),
+            (PARAM_VALUE, 4),
+            (PARAM_SET_COUNT, 1),
+            (COMMAND_COUNT, 1),
+            (SOFT_CLOCK, 2),
+            (TX_BUF, 0x42),
+            (TX_LEN, 1),
+            (TX_SEQ, 1),
+            (TX_CRC_EXTRA, 1),
+            (RX_STATE, 1),
+            (RX_LEN, 1),
+            (RX_CNT, 1),
+            (RX_MSGID, 1),
+            (RX_CRC_L, 1),
+            (RX_CRC_H, 1),
+            (RX_RCV_CRC_L, 1),
+            (RX_PTR_L, 1),
+            (RX_PTR_H, 1),
+            (BAD_CRC_COUNT, 1),
+            (TASK_TICK, 1),
+            (RX_BUF, 256),
+            (FILLER_SCRATCH, 4 * FILLER_SCRATCH_SLOTS),
+        ];
+        for (i, &(a, al)) in regions.iter().enumerate() {
+            assert!(a >= SRAM_START);
+            for &(b, bl) in &regions[i + 1..] {
+                assert!(
+                    a + al <= b || b + bl <= a,
+                    "regions {a:#x}+{al} and {b:#x}+{bl} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_stays_clear_of_stack() {
+        // Leave at least 6 KiB of headroom for the stack.
+        assert!(FILLER_SCRATCH + 4 * FILLER_SCRATCH_SLOTS <= 0x0c00);
+    }
+
+    #[test]
+    fn ret_addr_offset_matches_frame_shape() {
+        assert_eq!(RET_ADDR_OFFSET, 195);
+        assert!(u16::from(HANDLER_BUF) < HANDLER_FRAME);
+    }
+}

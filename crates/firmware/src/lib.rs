@@ -1,0 +1,68 @@
+//! Synthetic autopilot firmware generator.
+//!
+//! The paper evaluates MAVR on ArduPlane, ArduCopter and ArduRover — large
+//! AVR applications we cannot compile here. This crate builds the closest
+//! synthetic equivalents: **runnable** ATmega2560 firmware images, emitted
+//! through the [`avr_asm`] substrate, with exactly the structural properties
+//! the attacks and the defense depend on:
+//!
+//! * a main control loop that toggles the heartbeat pin the MAVR master
+//!   watches, updates gyroscope/accelerometer/magnetometer state in SRAM,
+//!   and streams MAVLink HEARTBEAT + RAW_IMU telemetry over the UART;
+//! * a byte-at-a-time MAVLink receive state machine with CRC checking, and
+//!   a PARAM_SET handler that copies the payload into a fixed 30-byte stack
+//!   buffer — with the length check **disabled** when
+//!   [`BuildOptions::vulnerable`] is set, reproducing the injected
+//!   vulnerability of §IV-B;
+//! * the two gadget shapes of Figs. 4 and 5 arising naturally from
+//!   function epilogues: the frame-teardown `stk_move` sequence
+//!   (`out 0x3e,r29 ; out 0x3f,r0 ; out 0x3d,r28 ; pop pop pop ; ret`) and
+//!   the `write_mem` sequence (`std Y+1..Y+3 ; pop r29 ... pop r4 ; ret`);
+//! * hundreds of deterministic, seeded filler functions (leaf arithmetic,
+//!   frame functions, callee-save writers, callers, switch trampolines and
+//!   vtable-style indirect dispatch) that give the image the function count
+//!   of the paper's Table I and — after calibration padding — the code
+//!   sizes of Table III;
+//! * both toolchain variants of §VI-B1 (`stock` = relaxation +
+//!   call-prologues; `mavr` = `--no-relax` + `-mno-call-prologues`).
+//!
+//! # Example
+//!
+//! ```
+//! use synth_firmware::{apps, build, BuildOptions};
+//!
+//! let spec = apps::tiny_test_app(); // small app for fast tests
+//! let fw = build(&spec, &BuildOptions::vulnerable_mavr()).unwrap();
+//! assert!(fw.image.function_count() > 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+mod builder;
+mod corefn;
+mod filler;
+pub mod layout;
+
+pub use builder::{build, BuildOptions, FirmwareBuild};
+
+/// Specification of one synthetic application, calibrated against the
+/// paper's reported numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppSpec {
+    /// Application name (e.g. "SynthPlane").
+    pub name: &'static str,
+    /// Target number of randomizable function symbols (Table I).
+    pub functions: usize,
+    /// Target code size in bytes when built with the stock toolchain
+    /// (Table III "Stock Code Size"). `None` disables calibration padding.
+    pub stock_size: Option<u32>,
+    /// Target code size in bytes when built with the MAVR toolchain
+    /// (Table III "MAVR Code Size").
+    pub mavr_size: Option<u32>,
+    /// RNG seed for deterministic filler generation.
+    pub seed: u64,
+    /// HEARTBEAT vehicle-type byte (1 = plane, 2 = copter, 10 = rover).
+    pub vehicle_type: u8,
+}

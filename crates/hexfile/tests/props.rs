@@ -1,0 +1,106 @@
+//! Property tests: Intel HEX and MAVR container round-trips, and parser
+//! robustness against arbitrary input.
+
+use avr_core::device::ATMEGA2560;
+use avr_core::image::{FirmwareImage, Symbol, SymbolKind};
+use hexfile::{parse_ihex, write_ihex, MavrContainer};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ihex_round_trips(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                        base in 0u32..0x3_0000) {
+        let text = write_ihex(&data, base);
+        let (got_base, got) = parse_ihex(&text).unwrap();
+        if data.is_empty() {
+            prop_assert!(got.is_empty());
+        } else {
+            prop_assert_eq!(got_base, base);
+            prop_assert_eq!(got, data);
+        }
+    }
+
+    #[test]
+    fn ihex_output_is_ascii_records(data in proptest::collection::vec(any::<u8>(), 1..256)) {
+        let text = write_ihex(&data, 0);
+        for line in text.lines() {
+            prop_assert!(line.starts_with(':'));
+            prop_assert!(line[1..].bytes().all(|b| b.is_ascii_hexdigit()));
+            // Record length: 1 count + 2 addr + 1 type + payload + 1 checksum.
+            prop_assert!(line.len() >= 11);
+        }
+        prop_assert!(text.ends_with(":00000001FF\n"));
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&noise).into_owned();
+        let _ = parse_ihex(&text); // must not panic
+        let _ = MavrContainer::parse(&text); // must not panic
+    }
+
+    #[test]
+    fn corrupting_one_hex_digit_is_detected(
+        data in proptest::collection::vec(any::<u8>(), 16..64),
+        pos in 0usize..200,
+        delta in 1u8..15,
+    ) {
+        let text = write_ihex(&data, 0);
+        let bytes = text.as_bytes();
+        // Find a hex digit to corrupt (skip ':' and newlines).
+        let candidates: Vec<usize> = bytes
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_ascii_hexdigit())
+            .map(|(i, _)| i)
+            .collect();
+        let idx = candidates[pos % candidates.len()];
+        let orig = (bytes[idx] as char).to_digit(16).unwrap() as u8;
+        let new = (orig + delta) % 16;
+        let mut corrupted = text.clone().into_bytes();
+        corrupted[idx] = char::from_digit(u32::from(new), 16).unwrap() as u8;
+        let corrupted = String::from_utf8(corrupted).unwrap();
+        // Either the checksum rejects it, or the corruption hit a length /
+        // address / checksum field and a structural error fires; silently
+        // returning the original data is the one unacceptable outcome.
+        if let Ok((_, parsed)) = parse_ihex(&corrupted) { prop_assert_ne!(parsed, data) }
+    }
+
+    #[test]
+    fn container_round_trips(
+        n_funcs in 1usize..20,
+        sizes in proptest::collection::vec(1u32..40, 1..20),
+        ptr_count in 0usize..4,
+    ) {
+        let n = n_funcs.min(sizes.len());
+        let mut img = FirmwareImage::new(ATMEGA2560);
+        let mut addr = 0u32;
+        for (i, sz) in sizes.iter().take(n).enumerate() {
+            let size = sz * 2;
+            img.symbols.push(Symbol {
+                name: format!("f{i}"),
+                addr,
+                size,
+                kind: SymbolKind::Function,
+            });
+            addr += size;
+        }
+        img.text_end = addr;
+        // A pointer table after text.
+        img.symbols.push(Symbol {
+            name: "tbl".into(),
+            addr,
+            size: 8,
+            kind: SymbolKind::Object,
+        });
+        img.bytes = vec![0x5a; (addr + 8) as usize];
+        for i in 0..ptr_count.min(4) {
+            img.fn_ptr_locs.push(addr + (i as u32) * 2);
+        }
+        img.validate().unwrap();
+
+        let text = MavrContainer::new(img.clone()).to_text();
+        let parsed = MavrContainer::parse(&text).unwrap();
+        prop_assert_eq!(parsed.image, img);
+    }
+}

@@ -1,0 +1,255 @@
+//! Ground-station session model: the benign operator console and the
+//! malicious ground station of the paper's threat model (Fig. 3).
+
+use crate::msg::{self, Attitude, Heartbeat, ParamSet, SysStatus};
+use crate::packet::{Packet, Parser, HEADER_LEN, MAGIC};
+use crate::ProtocolError;
+
+/// MAVLink system id conventionally used by ground stations.
+pub const GCS_SYSID: u8 = 255;
+
+/// A ground-station endpoint.
+///
+/// One instance models either the legitimate operator console or the
+/// attacker's ground station — the paper's threat model assumes the attacker
+/// "has access to a malicious ground station or has compromised a legitimate
+/// ground station" (§IV-A). The only difference is which encode helpers are
+/// used: the malicious encoders deliberately violate the length invariant
+/// the (vulnerable) UAV fails to check.
+#[derive(Debug, Clone)]
+pub struct GroundStation {
+    /// Our system id on the link.
+    pub sysid: u8,
+    /// Our component id.
+    pub compid: u8,
+    seq: u8,
+    parser: Parser,
+    /// Every checksum-valid packet received from the UAV.
+    pub received: Vec<Packet>,
+    /// Decoded HEARTBEATs, in arrival order.
+    pub heartbeats: Vec<Heartbeat>,
+    /// Decoded ATTITUDE telemetry, in arrival order.
+    pub attitudes: Vec<Attitude>,
+    /// Decoded SYS_STATUS telemetry, in arrival order.
+    pub sys_status: Vec<SysStatus>,
+}
+
+impl Default for GroundStation {
+    fn default() -> Self {
+        GroundStation::new()
+    }
+}
+
+impl GroundStation {
+    /// A ground station with the conventional GCS system id.
+    pub fn new() -> Self {
+        GroundStation {
+            sysid: GCS_SYSID,
+            compid: 0,
+            seq: 0,
+            parser: Parser::new(),
+            received: Vec::new(),
+            heartbeats: Vec::new(),
+            attitudes: Vec::new(),
+            sys_status: Vec::new(),
+        }
+    }
+
+    fn next_seq(&mut self) -> u8 {
+        let s = self.seq;
+        self.seq = self.seq.wrapping_add(1);
+        s
+    }
+
+    /// Encode a HEARTBEAT from this ground station.
+    pub fn heartbeat(&mut self) -> Vec<u8> {
+        let h = Heartbeat {
+            vehicle_type: 6, // GCS
+            autopilot: 8,    // invalid/none
+            base_mode: 0,
+            custom_mode: 0,
+            system_status: 4,
+            mavlink_version: 3,
+        };
+        let seq = self.next_seq();
+        Packet::new(seq, self.sysid, self.compid, msg::HEARTBEAT_ID, h.to_payload())
+            .expect("heartbeat payload is fixed-size")
+            .encode()
+    }
+
+    /// Encode a well-formed PARAM_SET.
+    pub fn param_set(&mut self, name: &[u8], value: f32) -> Vec<u8> {
+        let p = ParamSet {
+            param_value: value,
+            target_system: 1,
+            target_component: 1,
+            param_id: name.to_vec(),
+            param_type: 9,
+        };
+        let seq = self.next_seq();
+        Packet::new(seq, self.sysid, self.compid, msg::PARAM_SET_ID, p.to_payload())
+            .expect("param_set payload is fixed-size")
+            .encode()
+    }
+
+    /// Encode a COMMAND_LONG (e.g. arm/disarm, mode changes).
+    pub fn command_long(&mut self, command: u16, params: [f32; 7]) -> Vec<u8> {
+        let c = crate::msg::CommandLong {
+            params,
+            command,
+            target_system: 1,
+            target_component: 1,
+            confirmation: 0,
+        };
+        let seq = self.next_seq();
+        Packet::new(seq, self.sysid, self.compid, msg::COMMAND_LONG_ID, c.to_payload())
+            .expect("command payload is fixed-size")
+            .encode()
+    }
+
+    /// **Malicious**: a PARAM_SET-id packet with an arbitrary, oversized
+    /// payload. A correct receiver rejects it for its length; the paper's
+    /// vulnerable firmware (length check disabled, §IV-B) copies all of it
+    /// into a fixed stack buffer.
+    pub fn exploit_packet(&mut self, payload: &[u8]) -> Result<Vec<u8>, ProtocolError> {
+        let seq = self.next_seq();
+        Ok(Packet::new(seq, self.sysid, self.compid, msg::PARAM_SET_ID, payload.to_vec())?
+            .encode())
+    }
+
+    /// **Malicious**: like [`GroundStation::exploit_packet`] but with a lying
+    /// length field — the header claims `claimed_len` while carrying
+    /// `payload.len()` bytes. Useful for probing parser robustness.
+    pub fn malformed_packet(&mut self, payload: &[u8], claimed_len: u8) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 2);
+        out.push(MAGIC);
+        out.push(claimed_len);
+        out.push(self.next_seq());
+        out.push(self.sysid);
+        out.push(self.compid);
+        out.push(msg::PARAM_SET_ID);
+        out.extend_from_slice(payload);
+        let mut crc = crate::packet::crc_x25(&out[1..]);
+        crc = crate::packet::crc_accumulate(crc, msg::crc_extra(msg::PARAM_SET_ID));
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Ingest bytes received from the UAV, decoding telemetry.
+    pub fn ingest(&mut self, bytes: &[u8]) {
+        for pkt in self.parser.push_all(bytes) {
+            match pkt.msgid {
+                msg::HEARTBEAT_ID => {
+                    if let Ok(h) = Heartbeat::from_payload(pkt.msgid, &pkt.payload) {
+                        self.heartbeats.push(h);
+                    }
+                }
+                msg::ATTITUDE_ID => {
+                    if let Ok(a) = Attitude::from_payload(pkt.msgid, &pkt.payload) {
+                        self.attitudes.push(a);
+                    }
+                }
+                msg::SYS_STATUS_ID => {
+                    if let Ok(s) = SysStatus::from_payload(pkt.msgid, &pkt.payload) {
+                        self.sys_status.push(s);
+                    }
+                }
+                _ => {}
+            }
+            self.received.push(pkt);
+        }
+    }
+
+    /// Count of bytes that failed checksum so far — a rough "link garbage"
+    /// indicator the operator console would surface.
+    pub fn bad_checksums(&self) -> u64 {
+        self.parser.bad_checksums
+    }
+
+    /// The operator's liveness view: does the most recent window of traffic
+    /// contain at least `min_heartbeats` heartbeats? The stealthy attack's
+    /// whole point (§IV-D) is to keep this true while the attack runs.
+    pub fn link_alive(&self, window: usize, min_heartbeats: usize) -> bool {
+        let start = self.received.len().saturating_sub(window);
+        self.received[start..]
+            .iter()
+            .filter(|p| p.msgid == msg::HEARTBEAT_ID)
+            .count()
+            >= min_heartbeats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_decoding() {
+        let mut uav_side = GroundStation::new(); // reuse encoder side
+        uav_side.sysid = 1;
+        let hb = uav_side.heartbeat();
+        let att = Packet::new(
+            0,
+            1,
+            1,
+            msg::ATTITUDE_ID,
+            Attitude {
+                time_boot_ms: 1,
+                roll: 0.5,
+                pitch: 0.0,
+                yaw: 0.0,
+                rollspeed: 0.0,
+                pitchspeed: 0.0,
+                yawspeed: 0.0,
+            }
+            .to_payload(),
+        )
+        .unwrap()
+        .encode();
+
+        let mut gcs = GroundStation::new();
+        gcs.ingest(&hb);
+        gcs.ingest(&att);
+        assert_eq!(gcs.heartbeats.len(), 1);
+        assert_eq!(gcs.attitudes.len(), 1);
+        assert!((gcs.attitudes[0].roll - 0.5).abs() < 1e-6);
+        assert_eq!(gcs.received.len(), 2);
+    }
+
+    #[test]
+    fn sequence_numbers_increment() {
+        let mut gcs = GroundStation::new();
+        let a = gcs.heartbeat();
+        let b = gcs.heartbeat();
+        assert_eq!(a[2], 0);
+        assert_eq!(b[2], 1);
+    }
+
+    #[test]
+    fn exploit_packet_carries_oversized_payload() {
+        let mut gcs = GroundStation::new();
+        let payload = vec![0x41; 200];
+        let wire = gcs.exploit_packet(&payload).unwrap();
+        assert_eq!(wire[1], 200, "length field reflects real payload");
+        assert_eq!(wire.len(), 6 + 200 + 2);
+        // It still checks out as a valid packet to a spec parser.
+        let mut p = Parser::new();
+        let got = p.push_all(&wire);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload.len(), 200);
+    }
+
+    #[test]
+    fn link_alive_window() {
+        let mut gcs = GroundStation::new();
+        let mut uav = GroundStation::new();
+        uav.sysid = 1;
+        for _ in 0..3 {
+            let hb = uav.heartbeat();
+            gcs.ingest(&hb);
+        }
+        assert!(gcs.link_alive(10, 3));
+        assert!(!gcs.link_alive(10, 4));
+        assert!(gcs.link_alive(1, 1));
+    }
+}

@@ -1,0 +1,484 @@
+//! Typed message codecs for the MAVLink subset the autopilot speaks.
+
+use crate::ProtocolError;
+
+/// HEARTBEAT message id.
+pub const HEARTBEAT_ID: u8 = 0;
+/// PARAM_SET message id.
+pub const PARAM_SET_ID: u8 = 23;
+/// ATTITUDE message id.
+pub const ATTITUDE_ID: u8 = 30;
+/// RAW_IMU message id.
+pub const RAW_IMU_ID: u8 = 27;
+/// COMMAND_LONG message id.
+pub const COMMAND_LONG_ID: u8 = 76;
+/// SYS_STATUS message id.
+pub const SYS_STATUS_ID: u8 = 1;
+
+/// Per-message `crc_extra` seed byte (MAVLink v1 values for the real
+/// messages; 0 for ids we don't know).
+pub fn crc_extra(msgid: u8) -> u8 {
+    match msgid {
+        HEARTBEAT_ID => 50,
+        SYS_STATUS_ID => 124,
+        PARAM_SET_ID => 168,
+        RAW_IMU_ID => 144,
+        ATTITUDE_ID => 39,
+        COMMAND_LONG_ID => 152,
+        _ => 0,
+    }
+}
+
+fn check(msgid: u8, expected_id: u8, payload: &[u8], expected_len: usize) -> Result<(), ProtocolError> {
+    if msgid != expected_id {
+        return Err(ProtocolError::WrongMessageId {
+            expected: expected_id,
+            actual: msgid,
+        });
+    }
+    if payload.len() != expected_len {
+        return Err(ProtocolError::BadPayloadLength {
+            expected: expected_len,
+            actual: payload.len(),
+        });
+    }
+    Ok(())
+}
+
+/// HEARTBEAT — 9-byte payload, the paper's minimum-size message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// Vehicle type (1 = fixed wing, 2 = quadrotor, 10 = ground rover).
+    pub vehicle_type: u8,
+    /// Autopilot type (3 = ArduPilotMega).
+    pub autopilot: u8,
+    /// Base mode bit field.
+    pub base_mode: u8,
+    /// Autopilot-specific mode.
+    pub custom_mode: u32,
+    /// System status (3 = standby, 4 = active).
+    pub system_status: u8,
+    /// Protocol version.
+    pub mavlink_version: u8,
+}
+
+impl Heartbeat {
+    /// Payload size on the wire.
+    pub const LEN: usize = 9;
+
+    /// Encode to the 9-byte wire payload (custom_mode first, as MAVLink
+    /// sorts fields by size).
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(Self::LEN);
+        p.extend_from_slice(&self.custom_mode.to_le_bytes());
+        p.push(self.vehicle_type);
+        p.push(self.autopilot);
+        p.push(self.base_mode);
+        p.push(self.system_status);
+        p.push(self.mavlink_version);
+        p
+    }
+
+    /// Decode from a packet payload.
+    pub fn from_payload(msgid: u8, payload: &[u8]) -> Result<Self, ProtocolError> {
+        check(msgid, HEARTBEAT_ID, payload, Self::LEN)?;
+        Ok(Heartbeat {
+            custom_mode: u32::from_le_bytes(payload[0..4].try_into().unwrap()),
+            vehicle_type: payload[4],
+            autopilot: payload[5],
+            base_mode: payload[6],
+            system_status: payload[7],
+            mavlink_version: payload[8],
+        })
+    }
+}
+
+/// ATTITUDE — roll/pitch/yaw telemetry the UAV streams to the ground
+/// station; the values come from the gyroscope state the paper's attack V1
+/// overwrites.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Attitude {
+    /// Milliseconds since boot.
+    pub time_boot_ms: u32,
+    /// Roll (rad).
+    pub roll: f32,
+    /// Pitch (rad).
+    pub pitch: f32,
+    /// Yaw (rad).
+    pub yaw: f32,
+    /// Roll rate (rad/s).
+    pub rollspeed: f32,
+    /// Pitch rate (rad/s).
+    pub pitchspeed: f32,
+    /// Yaw rate (rad/s).
+    pub yawspeed: f32,
+}
+
+impl Attitude {
+    /// Payload size on the wire.
+    pub const LEN: usize = 28;
+
+    /// Encode to the 28-byte wire payload.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(Self::LEN);
+        p.extend_from_slice(&self.time_boot_ms.to_le_bytes());
+        for v in [
+            self.roll,
+            self.pitch,
+            self.yaw,
+            self.rollspeed,
+            self.pitchspeed,
+            self.yawspeed,
+        ] {
+            p.extend_from_slice(&v.to_le_bytes());
+        }
+        p
+    }
+
+    /// Decode from a packet payload.
+    pub fn from_payload(msgid: u8, payload: &[u8]) -> Result<Self, ProtocolError> {
+        check(msgid, ATTITUDE_ID, payload, Self::LEN)?;
+        let f = |i: usize| f32::from_le_bytes(payload[i..i + 4].try_into().unwrap());
+        Ok(Attitude {
+            time_boot_ms: u32::from_le_bytes(payload[0..4].try_into().unwrap()),
+            roll: f(4),
+            pitch: f(8),
+            yaw: f(12),
+            rollspeed: f(16),
+            pitchspeed: f(20),
+            yawspeed: f(24),
+        })
+    }
+}
+
+/// RAW_IMU — raw gyroscope/accelerometer/magnetometer readings. The
+/// 16-bit gyro words are the exact SRAM cells attack V1 targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawImu {
+    /// Microseconds since boot.
+    pub time_usec: u64,
+    /// Accelerometer X/Y/Z.
+    pub acc: [i16; 3],
+    /// Gyroscope X/Y/Z.
+    pub gyro: [i16; 3],
+    /// Magnetometer X/Y/Z.
+    pub mag: [i16; 3],
+}
+
+impl RawImu {
+    /// Payload size on the wire.
+    pub const LEN: usize = 26;
+
+    /// Encode to the 26-byte wire payload.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(Self::LEN);
+        p.extend_from_slice(&self.time_usec.to_le_bytes());
+        for arr in [self.acc, self.gyro, self.mag] {
+            for v in arr {
+                p.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        p
+    }
+
+    /// Decode from a packet payload.
+    pub fn from_payload(msgid: u8, payload: &[u8]) -> Result<Self, ProtocolError> {
+        check(msgid, RAW_IMU_ID, payload, Self::LEN)?;
+        let w = |i: usize| i16::from_le_bytes(payload[i..i + 2].try_into().unwrap());
+        Ok(RawImu {
+            time_usec: u64::from_le_bytes(payload[0..8].try_into().unwrap()),
+            acc: [w(8), w(10), w(12)],
+            gyro: [w(14), w(16), w(18)],
+            mag: [w(20), w(22), w(24)],
+        })
+    }
+}
+
+/// SYS_STATUS — system health, including the CPU `load` field in which the
+/// paper's §III constraint shows up: "an APM board running Arduplane 2.7 is
+/// already at about 96% CPU usage" (load = 960 in 0.1% units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SysStatus {
+    /// Sensors present bit field.
+    pub sensors_present: u32,
+    /// Sensors enabled bit field.
+    pub sensors_enabled: u32,
+    /// Sensors healthy bit field.
+    pub sensors_health: u32,
+    /// Main-loop load in 0.1% units (960 = 96%).
+    pub load: u16,
+    /// Battery voltage, mV.
+    pub voltage_battery: u16,
+    /// Battery current, 10 mA.
+    pub current_battery: i16,
+    /// Communication drop rate, 0.01%.
+    pub drop_rate_comm: u16,
+    /// Communication error count.
+    pub errors_comm: u16,
+    /// Autopilot-specific error counts.
+    pub errors_count: [u16; 4],
+    /// Remaining battery, percent.
+    pub battery_remaining: i8,
+}
+
+impl SysStatus {
+    /// Payload size on the wire.
+    pub const LEN: usize = 31;
+
+    /// Encode to the 31-byte wire payload (fields sorted by size, as
+    /// MAVLink v1 does).
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(Self::LEN);
+        p.extend_from_slice(&self.sensors_present.to_le_bytes());
+        p.extend_from_slice(&self.sensors_enabled.to_le_bytes());
+        p.extend_from_slice(&self.sensors_health.to_le_bytes());
+        p.extend_from_slice(&self.load.to_le_bytes());
+        p.extend_from_slice(&self.voltage_battery.to_le_bytes());
+        p.extend_from_slice(&self.current_battery.to_le_bytes());
+        p.extend_from_slice(&self.drop_rate_comm.to_le_bytes());
+        p.extend_from_slice(&self.errors_comm.to_le_bytes());
+        for e in self.errors_count {
+            p.extend_from_slice(&e.to_le_bytes());
+        }
+        p.push(self.battery_remaining as u8);
+        p
+    }
+
+    /// Decode from a packet payload.
+    pub fn from_payload(msgid: u8, payload: &[u8]) -> Result<Self, ProtocolError> {
+        check(msgid, SYS_STATUS_ID, payload, Self::LEN)?;
+        let u32_at = |i: usize| u32::from_le_bytes(payload[i..i + 4].try_into().unwrap());
+        let u16_at = |i: usize| u16::from_le_bytes(payload[i..i + 2].try_into().unwrap());
+        Ok(SysStatus {
+            sensors_present: u32_at(0),
+            sensors_enabled: u32_at(4),
+            sensors_health: u32_at(8),
+            load: u16_at(12),
+            voltage_battery: u16_at(14),
+            current_battery: u16_at(16) as i16,
+            drop_rate_comm: u16_at(18),
+            errors_comm: u16_at(20),
+            errors_count: [u16_at(22), u16_at(24), u16_at(26), u16_at(28)],
+            battery_remaining: payload[30] as i8,
+        })
+    }
+}
+
+/// PARAM_SET — ground station writes a named parameter. This is the message
+/// whose handler carries the injected buffer-overflow vulnerability in the
+/// attack setup (§IV-B): the param name is copied into a fixed stack buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSet {
+    /// New parameter value.
+    pub param_value: f32,
+    /// Target system.
+    pub target_system: u8,
+    /// Target component.
+    pub target_component: u8,
+    /// Parameter name, up to 16 bytes.
+    pub param_id: Vec<u8>,
+    /// Parameter type enum.
+    pub param_type: u8,
+}
+
+impl ParamSet {
+    /// Payload size on the wire.
+    pub const LEN: usize = 23;
+
+    /// Encode to the 23-byte wire payload (name zero-padded to 16).
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(Self::LEN);
+        p.extend_from_slice(&self.param_value.to_le_bytes());
+        p.push(self.target_system);
+        p.push(self.target_component);
+        let mut id = self.param_id.clone();
+        id.resize(16, 0);
+        p.extend_from_slice(&id);
+        p.push(self.param_type);
+        p
+    }
+
+    /// Decode from a packet payload.
+    pub fn from_payload(msgid: u8, payload: &[u8]) -> Result<Self, ProtocolError> {
+        check(msgid, PARAM_SET_ID, payload, Self::LEN)?;
+        Ok(ParamSet {
+            param_value: f32::from_le_bytes(payload[0..4].try_into().unwrap()),
+            target_system: payload[4],
+            target_component: payload[5],
+            param_id: payload[6..22].to_vec(),
+            param_type: payload[22],
+        })
+    }
+}
+
+/// COMMAND_LONG — ground station sends a command with seven float
+/// parameters. The synthetic firmware's second dispatch target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommandLong {
+    /// The seven command parameters.
+    pub params: [f32; 7],
+    /// Command id (MAV_CMD).
+    pub command: u16,
+    /// Target system.
+    pub target_system: u8,
+    /// Target component.
+    pub target_component: u8,
+    /// 0 = first transmission.
+    pub confirmation: u8,
+}
+
+impl CommandLong {
+    /// Payload size on the wire.
+    pub const LEN: usize = 33;
+
+    /// Encode to the 33-byte wire payload.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(Self::LEN);
+        for v in self.params {
+            p.extend_from_slice(&v.to_le_bytes());
+        }
+        p.extend_from_slice(&self.command.to_le_bytes());
+        p.push(self.target_system);
+        p.push(self.target_component);
+        p.push(self.confirmation);
+        p
+    }
+
+    /// Decode from a packet payload.
+    pub fn from_payload(msgid: u8, payload: &[u8]) -> Result<Self, ProtocolError> {
+        check(msgid, COMMAND_LONG_ID, payload, Self::LEN)?;
+        let mut params = [0f32; 7];
+        for (i, p) in params.iter_mut().enumerate() {
+            *p = f32::from_le_bytes(payload[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        Ok(CommandLong {
+            params,
+            command: u16::from_le_bytes(payload[28..30].try_into().unwrap()),
+            target_system: payload[30],
+            target_component: payload[31],
+            confirmation: payload[32],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_round_trip() {
+        let h = Heartbeat {
+            vehicle_type: 1,
+            autopilot: 3,
+            base_mode: 81,
+            custom_mode: 0,
+            system_status: 4,
+            mavlink_version: 3,
+        };
+        let p = h.to_payload();
+        assert_eq!(p.len(), Heartbeat::LEN);
+        assert_eq!(Heartbeat::from_payload(HEARTBEAT_ID, &p).unwrap(), h);
+    }
+
+    #[test]
+    fn attitude_round_trip() {
+        let a = Attitude {
+            time_boot_ms: 123456,
+            roll: 0.1,
+            pitch: -0.2,
+            yaw: 3.04,
+            rollspeed: 0.01,
+            pitchspeed: -0.02,
+            yawspeed: 0.0,
+        };
+        let p = a.to_payload();
+        assert_eq!(p.len(), Attitude::LEN);
+        assert_eq!(Attitude::from_payload(ATTITUDE_ID, &p).unwrap(), a);
+    }
+
+    #[test]
+    fn raw_imu_round_trip() {
+        let r = RawImu {
+            time_usec: 987654321,
+            acc: [10, -20, 1000],
+            gyro: [5, -6, 7],
+            mag: [-100, 200, -300],
+        };
+        let p = r.to_payload();
+        assert_eq!(p.len(), RawImu::LEN);
+        assert_eq!(RawImu::from_payload(RAW_IMU_ID, &p).unwrap(), r);
+    }
+
+    #[test]
+    fn param_set_round_trip() {
+        let s = ParamSet {
+            param_value: 42.5,
+            target_system: 1,
+            target_component: 1,
+            param_id: b"RATE_RLL_P\0\0\0\0\0\0".to_vec(),
+            param_type: 9,
+        };
+        let p = s.to_payload();
+        assert_eq!(p.len(), ParamSet::LEN);
+        assert_eq!(ParamSet::from_payload(PARAM_SET_ID, &p).unwrap(), s);
+    }
+
+    #[test]
+    fn sys_status_round_trip() {
+        let s = SysStatus {
+            sensors_present: 0x0030_0fff,
+            sensors_enabled: 0x0030_0f0f,
+            sensors_health: 0x0030_0fff,
+            load: 960, // the paper's 96% CPU
+            voltage_battery: 11_100,
+            current_battery: -1,
+            drop_rate_comm: 3,
+            errors_comm: 1,
+            errors_count: [0, 1, 2, 3],
+            battery_remaining: 73,
+        };
+        let p = s.to_payload();
+        assert_eq!(p.len(), SysStatus::LEN);
+        assert_eq!(SysStatus::from_payload(SYS_STATUS_ID, &p).unwrap(), s);
+    }
+
+    #[test]
+    fn wrong_id_and_length_rejected() {
+        assert!(matches!(
+            Heartbeat::from_payload(ATTITUDE_ID, &[0; 9]),
+            Err(ProtocolError::WrongMessageId { .. })
+        ));
+        assert!(matches!(
+            Heartbeat::from_payload(HEARTBEAT_ID, &[0; 8]),
+            Err(ProtocolError::BadPayloadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn command_long_round_trip() {
+        let c = CommandLong {
+            params: [1.0, -2.0, 0.5, 0.0, 100.0, -0.25, 7.5],
+            command: 400, // MAV_CMD_COMPONENT_ARM_DISARM
+            target_system: 1,
+            target_component: 1,
+            confirmation: 0,
+        };
+        let p = c.to_payload();
+        assert_eq!(p.len(), CommandLong::LEN);
+        assert_eq!(CommandLong::from_payload(COMMAND_LONG_ID, &p).unwrap(), c);
+    }
+
+    #[test]
+    fn short_param_name_zero_padded() {
+        let s = ParamSet {
+            param_value: 0.0,
+            target_system: 0,
+            target_component: 0,
+            param_id: b"KP".to_vec(),
+            param_type: 0,
+        };
+        let p = s.to_payload();
+        assert_eq!(&p[6..8], b"KP");
+        assert!(p[8..22].iter().all(|&b| b == 0));
+    }
+}

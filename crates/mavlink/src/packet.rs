@@ -1,0 +1,292 @@
+//! Packet framing: the 6-byte header, X25 checksum, and the receive-side
+//! parser state machine.
+
+use crate::ProtocolError;
+
+/// Start-of-frame magic ("state magic number" in the paper's Fig. 2).
+pub const MAGIC: u8 = 0xfe;
+/// Maximum payload size.
+pub const MAX_PAYLOAD: usize = 255;
+/// Minimum payload size noted by the paper (a HEARTBEAT).
+pub const MIN_PAYLOAD: usize = 9;
+/// Header length: magic, len, seq, sysid, compid, msgid.
+pub const HEADER_LEN: usize = 6;
+
+/// X25 / CRC-16-MCRF4XX checksum used by MAVLink.
+pub fn crc_x25(bytes: &[u8]) -> u16 {
+    let mut crc: u16 = 0xffff;
+    for &b in bytes {
+        let mut tmp = b ^ (crc as u8);
+        tmp ^= tmp << 4;
+        crc = (crc >> 8) ^ (u16::from(tmp) << 8) ^ (u16::from(tmp) << 3) ^ (u16::from(tmp) >> 4);
+    }
+    crc
+}
+
+/// Accumulate one byte into a running X25 checksum (firmware-shaped API).
+pub fn crc_accumulate(crc: u16, b: u8) -> u16 {
+    let mut tmp = b ^ (crc as u8);
+    tmp ^= tmp << 4;
+    (crc >> 8) ^ (u16::from(tmp) << 8) ^ (u16::from(tmp) << 3) ^ (u16::from(tmp) >> 4)
+}
+
+/// One MAVLink packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Packet sequence number.
+    pub seq: u8,
+    /// Sender system id.
+    pub sysid: u8,
+    /// Sender component id.
+    pub compid: u8,
+    /// Message id (selects the payload codec).
+    pub msgid: u8,
+    /// Raw payload.
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Build a packet; fails if the payload exceeds [`MAX_PAYLOAD`].
+    pub fn new(
+        seq: u8,
+        sysid: u8,
+        compid: u8,
+        msgid: u8,
+        payload: Vec<u8>,
+    ) -> Result<Self, ProtocolError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(ProtocolError::PayloadTooLong { len: payload.len() });
+        }
+        Ok(Packet {
+            seq,
+            sysid,
+            compid,
+            msgid,
+            payload,
+        })
+    }
+
+    /// Wire length of the encoded packet.
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len() + 2
+    }
+
+    /// Encode to wire bytes. The checksum covers everything after the magic
+    /// byte, seeded with the per-message `crc_extra` byte, as in MAVLink v1.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.push(MAGIC);
+        out.push(self.payload.len() as u8);
+        out.push(self.seq);
+        out.push(self.sysid);
+        out.push(self.compid);
+        out.push(self.msgid);
+        out.extend_from_slice(&self.payload);
+        let mut crc = crc_x25(&out[1..]);
+        crc = crc_accumulate(crc, crate::msg::crc_extra(self.msgid));
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+}
+
+/// Receive-side parser state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Idle,
+    Len,
+    Seq,
+    Sysid,
+    Compid,
+    Msgid,
+    Payload,
+    Crc1,
+    Crc2,
+}
+
+/// Byte-at-a-time MAVLink parser — the same state machine the APM firmware
+/// runs in its UART receive loop.
+#[derive(Debug, Clone)]
+pub struct Parser {
+    state: State,
+    len: u8,
+    got: usize,
+    pkt: Packet,
+    crc: u16,
+    crc_lo: u8,
+    /// Count of packets dropped for checksum errors.
+    pub bad_checksums: u64,
+}
+
+impl Default for Parser {
+    fn default() -> Self {
+        Parser::new()
+    }
+}
+
+impl Parser {
+    /// New idle parser.
+    pub fn new() -> Self {
+        Parser {
+            state: State::Idle,
+            len: 0,
+            got: 0,
+            pkt: Packet {
+                seq: 0,
+                sysid: 0,
+                compid: 0,
+                msgid: 0,
+                payload: Vec::new(),
+            },
+            crc: 0xffff,
+            crc_lo: 0,
+            bad_checksums: 0,
+        }
+    }
+
+    /// Feed one byte; returns a complete, checksum-valid packet when one
+    /// finishes.
+    pub fn push(&mut self, b: u8) -> Option<Packet> {
+        match self.state {
+            State::Idle => {
+                if b == MAGIC {
+                    self.crc = 0xffff;
+                    self.pkt.payload.clear();
+                    self.state = State::Len;
+                }
+            }
+            State::Len => {
+                self.len = b;
+                self.crc = crc_accumulate(self.crc, b);
+                self.state = State::Seq;
+            }
+            State::Seq => {
+                self.pkt.seq = b;
+                self.crc = crc_accumulate(self.crc, b);
+                self.state = State::Sysid;
+            }
+            State::Sysid => {
+                self.pkt.sysid = b;
+                self.crc = crc_accumulate(self.crc, b);
+                self.state = State::Compid;
+            }
+            State::Compid => {
+                self.pkt.compid = b;
+                self.crc = crc_accumulate(self.crc, b);
+                self.state = State::Msgid;
+            }
+            State::Msgid => {
+                self.pkt.msgid = b;
+                self.crc = crc_accumulate(self.crc, b);
+                self.got = 0;
+                self.state = if self.len == 0 {
+                    State::Crc1
+                } else {
+                    State::Payload
+                };
+            }
+            State::Payload => {
+                self.pkt.payload.push(b);
+                self.crc = crc_accumulate(self.crc, b);
+                self.got += 1;
+                if self.got >= self.len as usize {
+                    self.state = State::Crc1;
+                }
+            }
+            State::Crc1 => {
+                self.crc_lo = b;
+                self.state = State::Crc2;
+            }
+            State::Crc2 => {
+                self.state = State::Idle;
+                let expected =
+                    crc_accumulate(self.crc, crate::msg::crc_extra(self.pkt.msgid));
+                let received = u16::from_le_bytes([self.crc_lo, b]);
+                if expected == received {
+                    return Some(self.pkt.clone());
+                }
+                self.bad_checksums += 1;
+            }
+        }
+        None
+    }
+
+    /// Feed a whole buffer, collecting every complete packet.
+    pub fn push_all(&mut self, bytes: &[u8]) -> Vec<Packet> {
+        bytes.iter().filter_map(|&b| self.push(b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_x25_known_vector() {
+        // X25 of empty input is the seed.
+        assert_eq!(crc_x25(&[]), 0xffff);
+        // CRC-16/MCRF4XX check value for "123456789" is 0x6f91.
+        assert_eq!(crc_x25(b"123456789"), 0x6f91);
+    }
+
+    #[test]
+    fn packet_round_trip() {
+        let p = Packet::new(7, 255, 190, 0, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]).unwrap();
+        let wire = p.encode();
+        assert_eq!(wire.len(), 17, "paper: minimum packet length is 17 bytes");
+        assert_eq!(wire[0], MAGIC);
+        let mut parser = Parser::new();
+        let got = parser.push_all(&wire);
+        assert_eq!(got, vec![p]);
+    }
+
+    #[test]
+    fn corrupt_byte_rejected() {
+        let p = Packet::new(0, 1, 1, 0, vec![0; 9]).unwrap();
+        let mut wire = p.encode();
+        wire[8] ^= 0xff;
+        let mut parser = Parser::new();
+        assert!(parser.push_all(&wire).is_empty());
+        assert_eq!(parser.bad_checksums, 1);
+    }
+
+    #[test]
+    fn resyncs_after_garbage() {
+        let p = Packet::new(1, 2, 3, 0, vec![0; 9]).unwrap();
+        let mut stream = vec![0x12, 0x34]; // leading garbage, no magic
+        // A complete-but-corrupt frame: magic, len=2, 4 header bytes,
+        // 2 payload bytes, 2 checksum bytes that won't match.
+        stream.extend([0xfe, 0x02, 0xaa, 0xaa, 0xaa, 0xaa, 0xaa, 0xaa, 0xaa, 0xaa]);
+        stream.extend(p.encode());
+        let mut parser = Parser::new();
+        let got = parser.push_all(&stream);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], p);
+    }
+
+    #[test]
+    fn oversize_payload_rejected_at_construction() {
+        assert!(matches!(
+            Packet::new(0, 1, 1, 23, vec![0; 256]),
+            Err(ProtocolError::PayloadTooLong { len: 256 })
+        ));
+    }
+
+    #[test]
+    fn zero_length_payload_parses() {
+        // Not paper-minimal, but the parser must not hang on len = 0.
+        let p = Packet::new(0, 1, 1, 0, vec![]).unwrap();
+        let mut parser = Parser::new();
+        assert_eq!(parser.push_all(&p.encode()).len(), 1);
+    }
+
+    #[test]
+    fn back_to_back_packets() {
+        let a = Packet::new(0, 1, 1, 0, vec![0; 9]).unwrap();
+        let b = Packet::new(1, 1, 1, 0, vec![1; 9]).unwrap();
+        let mut wire = a.encode();
+        wire.extend(b.encode());
+        let mut parser = Parser::new();
+        let got = parser.push_all(&wire);
+        assert_eq!(got, vec![a, b]);
+    }
+}

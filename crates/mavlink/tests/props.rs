@@ -1,0 +1,105 @@
+//! Property tests: packet round-trips and parser robustness — the receive
+//! path faces attacker-controlled bytes, so it must never panic and never
+//! accept a corrupted frame.
+
+use mavlink_lite::{msg, Packet, Parser};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn packet_round_trips(
+        seq in any::<u8>(),
+        sysid in any::<u8>(),
+        compid in any::<u8>(),
+        msgid in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..=255),
+    ) {
+        let p = Packet::new(seq, sysid, compid, msgid, payload).unwrap();
+        let wire = p.encode();
+        prop_assert_eq!(wire.len(), p.wire_len());
+        let mut parser = Parser::new();
+        let got = parser.push_all(&wire);
+        prop_assert_eq!(got, vec![p]);
+        prop_assert_eq!(parser.bad_checksums, 0);
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut parser = Parser::new();
+        let _ = parser.push_all(&noise); // must not panic
+    }
+
+    #[test]
+    fn single_byte_corruption_never_yields_wrong_packet(
+        payload in proptest::collection::vec(any::<u8>(), 9..64),
+        pos_seed in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let p = Packet::new(1, 2, 3, msg::PARAM_SET_ID, payload).unwrap();
+        let mut wire = p.encode();
+        let pos = pos_seed % wire.len();
+        wire[pos] ^= xor;
+        let mut parser = Parser::new();
+        let got = parser.push_all(&wire);
+        // Corrupting any single byte must not produce the original packet;
+        // producing a *different* checksum-valid packet from one frame is
+        // only possible if the corruption hit a field and the checksum
+        // collides — X25 guarantees it cannot for single-byte errors.
+        prop_assert!(got.is_empty(), "corrupted frame at byte {pos} was accepted");
+    }
+
+    #[test]
+    fn packet_found_after_arbitrary_magicless_prefix(
+        prefix in proptest::collection::vec(any::<u8>().prop_filter("no magic", |b| *b != 0xfe), 0..128),
+        payload in proptest::collection::vec(any::<u8>(), 9..32),
+    ) {
+        let p = Packet::new(0, 1, 1, msg::HEARTBEAT_ID, payload).unwrap();
+        let mut stream = prefix;
+        stream.extend(p.encode());
+        let mut parser = Parser::new();
+        let got = parser.push_all(&stream);
+        prop_assert_eq!(got, vec![p]);
+    }
+
+    #[test]
+    fn back_to_back_streams_parse_completely(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..48), 1..12),
+    ) {
+        let packets: Vec<Packet> = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, pl)| Packet::new(i as u8, 1, 1, 0, pl).unwrap())
+            .collect();
+        let mut wire = Vec::new();
+        for p in &packets {
+            wire.extend(p.encode());
+        }
+        let mut parser = Parser::new();
+        let got = parser.push_all(&wire);
+        prop_assert_eq!(got, packets);
+    }
+
+    #[test]
+    fn typed_messages_survive_packetization(
+        value in any::<f32>().prop_filter("finite", |f| f.is_finite()),
+        name in proptest::collection::vec(0x20u8..0x7f, 0..16),
+    ) {
+        let ps = msg::ParamSet {
+            param_value: value,
+            target_system: 1,
+            target_component: 1,
+            param_id: name,
+            param_type: 9,
+        };
+        let pkt = Packet::new(0, 255, 0, msg::PARAM_SET_ID, ps.to_payload()).unwrap();
+        let mut parser = Parser::new();
+        let got = parser.push_all(&pkt.encode());
+        let back = msg::ParamSet::from_payload(got[0].msgid, &got[0].payload).unwrap();
+        prop_assert_eq!(back.param_value, value);
+        // Name round-trips zero-padded to 16.
+        let mut padded = ps.param_id.clone();
+        padded.resize(16, 0);
+        prop_assert_eq!(back.param_id, padded);
+    }
+}

@@ -1,0 +1,104 @@
+//! The security analysis of §V-D and §VIII-B: brute-force expectations and
+//! permutation entropy.
+
+/// Exact `log2(n!)` in bits — the entropy of a uniform permutation of `n`
+/// function blocks. §VIII-B: 800 symbols ⇒ 6567 bits, "computationally
+/// secure against a brute force attack".
+pub fn entropy_bits(n: u64) -> f64 {
+    (1..=n).map(|k| (k as f64).log2()).sum()
+}
+
+/// `n!` as an f64; saturates to infinity above n ≈ 170, which is precisely
+/// the paper's point about 800!.
+pub fn factorial_f64(n: u64) -> f64 {
+    entropy_bits(n).exp2()
+}
+
+/// Probability that a brute-force attacker succeeds exactly at attempt `j`
+/// against one fixed permutation of `n_perms` candidates — the paper's
+/// P(j) = 1/N for every j (§V-D).
+pub fn success_probability_at(j: u64, n_perms: f64) -> f64 {
+    if (j as f64) <= n_perms {
+        1.0 / n_perms
+    } else {
+        0.0
+    }
+}
+
+/// Expected attempts against one fixed permutation: E\[X\] = (N + 1) / 2.
+/// This is the software-only strawman of §VIII-A.
+pub fn expected_attempts_fixed(n_perms: f64) -> f64 {
+    (n_perms + 1.0) / 2.0
+}
+
+/// Expected attempts when MAVR re-randomizes after every detected failure:
+/// each attempt is an independent 1/N draw, so E\[X\] = N — the paper's
+/// `(n! + n!)/2 = n!` argument (§V-D).
+pub fn expected_attempts_rerandomized(n_perms: f64) -> f64 {
+    n_perms
+}
+
+/// Entropy with `pad_choices` equally-likely padding amounts inserted
+/// before each of the `n` blocks — the §VIII-B extension the paper
+/// evaluated and found unnecessary. Adds `n * log2(pad_choices)` bits.
+pub fn entropy_bits_with_padding(n: u64, pad_choices: u64) -> f64 {
+    entropy_bits(n) + n as f64 * (pad_choices as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_matches_paper_section_viii_b() {
+        let bits = entropy_bits(800);
+        assert!((bits - 6567.0).abs() < 1.0, "log2(800!) = {bits:.1}");
+    }
+
+    #[test]
+    fn table1_apps_entropy_ordering() {
+        let plane = entropy_bits(917);
+        let copter = entropy_bits(1030);
+        let rover = entropy_bits(800);
+        assert!(rover < plane && plane < copter);
+        assert!(rover > 6000.0);
+    }
+
+    #[test]
+    fn uniform_success_probability() {
+        let n = 24.0;
+        for j in 1..=24 {
+            assert_eq!(success_probability_at(j, n), 1.0 / 24.0);
+        }
+        assert_eq!(success_probability_at(25, n), 0.0);
+        // P sums to 1.
+        let total: f64 = (1..=24).map(|j| success_probability_at(j, n)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rerandomization_doubles_expected_work() {
+        let n = factorial_f64(5);
+        assert!((n - 120.0).abs() < 1e-9);
+        let fixed = expected_attempts_fixed(n);
+        let rerand = expected_attempts_rerandomized(n);
+        assert!((fixed - 60.5).abs() < 1e-9);
+        assert!((rerand - 120.0).abs() < 1e-9);
+        assert!((rerand / fixed - 2.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn factorial_saturates() {
+        assert!(factorial_f64(800).is_infinite());
+        assert_eq!(factorial_f64(0), 1.0);
+        assert_eq!(factorial_f64(1), 1.0);
+        assert!((factorial_f64(4) - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn padding_adds_entropy() {
+        let base = entropy_bits(800);
+        let padded = entropy_bits_with_padding(800, 16);
+        assert!((padded - base - 800.0 * 4.0).abs() < 1e-9);
+    }
+}

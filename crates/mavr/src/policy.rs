@@ -1,0 +1,160 @@
+//! Randomization frequency policy and flash-wear accounting (§V-C, §VI-A).
+//!
+//! "Randomizing frequently, such as at every application restart, will
+//! result in a stronger defense. However, since every randomization will
+//! require the application processor to be reprogrammed, this will
+//! significantly reduce the lifetime of the processor" — the ATmega2560
+//! flash endures ~10,000 program cycles.
+
+/// When the master processor re-randomizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomizationPolicy {
+    /// Re-randomize every `n` boots (1 = every boot).
+    pub every_n_boots: u32,
+    /// Always re-randomize immediately after a detected failed attack —
+    /// the paper mandates this (§V-C): "upon detection of any failed ROP
+    /// attack, the binary is immediately randomized again".
+    pub on_attack: bool,
+}
+
+impl Default for RandomizationPolicy {
+    fn default() -> Self {
+        RandomizationPolicy {
+            every_n_boots: 10,
+            on_attack: true,
+        }
+    }
+}
+
+impl RandomizationPolicy {
+    /// Decide whether boot number `boot` (1-based) following
+    /// `attack_detected` requires a fresh randomization.
+    pub fn should_randomize(&self, boot: u32, attack_detected: bool) -> bool {
+        if attack_detected && self.on_attack {
+            return true;
+        }
+        boot == 1 || (self.every_n_boots > 0 && boot % self.every_n_boots == 1)
+            || self.every_n_boots == 1
+    }
+
+    /// Expected flash program cycles consumed per `boots` boots under this
+    /// policy, assuming `attacks` of them were attack-triggered.
+    pub fn programming_cycles(&self, boots: u32, attacks: u32) -> u32 {
+        let periodic = if self.every_n_boots == 0 {
+            1
+        } else {
+            boots.div_ceil(self.every_n_boots)
+        };
+        periodic + if self.on_attack { attacks } else { 0 }
+    }
+
+    /// Device lifetime in boots before the flash endurance budget is
+    /// exhausted, assuming an attack fraction of `attack_rate` per boot.
+    pub fn lifetime_boots(&self, endurance_cycles: u32, attack_rate: f64) -> f64 {
+        let per_boot = 1.0 / self.every_n_boots.max(1) as f64
+            + if self.on_attack { attack_rate } else { 0.0 };
+        endurance_cycles as f64 / per_boot
+    }
+}
+
+/// Tracks flash wear on the application processor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlashWear {
+    /// Program/erase cycles consumed so far.
+    pub cycles_used: u32,
+}
+
+impl FlashWear {
+    /// Record one reprogramming.
+    pub fn program(&mut self) {
+        self.cycles_used += 1;
+    }
+
+    /// Remaining endurance (the ATmega2560 budget is 10,000 cycles).
+    pub fn remaining(&self, endurance: u32) -> u32 {
+        endurance.saturating_sub(self.cycles_used)
+    }
+
+    /// Whether the part is past its rated endurance.
+    pub fn exhausted(&self, endurance: u32) -> bool {
+        self.cycles_used >= endurance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avr_core::device::ATMEGA2560;
+
+    #[test]
+    fn every_boot_policy() {
+        let p = RandomizationPolicy {
+            every_n_boots: 1,
+            on_attack: true,
+        };
+        for boot in 1..20 {
+            assert!(p.should_randomize(boot, false));
+        }
+    }
+
+    #[test]
+    fn periodic_policy() {
+        let p = RandomizationPolicy {
+            every_n_boots: 10,
+            on_attack: true,
+        };
+        assert!(p.should_randomize(1, false), "first boot always randomizes");
+        assert!(!p.should_randomize(2, false));
+        assert!(!p.should_randomize(10, false));
+        assert!(p.should_randomize(11, false));
+        assert!(p.should_randomize(5, true), "attack forces re-randomization");
+    }
+
+    #[test]
+    fn wear_accounting() {
+        let endurance = ATMEGA2560.flash_endurance_cycles;
+        let mut w = FlashWear::default();
+        for _ in 0..100 {
+            w.program();
+        }
+        assert_eq!(w.cycles_used, 100);
+        assert_eq!(w.remaining(endurance), 9_900);
+        assert!(!w.exhausted(endurance));
+        w.cycles_used = endurance;
+        assert!(w.exhausted(endurance));
+        assert_eq!(w.remaining(endurance), 0);
+    }
+
+    #[test]
+    fn lifetime_tradeoff() {
+        // Every-boot randomization: 10k boots. Every-10-boots: 100k boots
+        // (minus attack-triggered reflashes).
+        let every_boot = RandomizationPolicy {
+            every_n_boots: 1,
+            on_attack: true,
+        };
+        let periodic = RandomizationPolicy {
+            every_n_boots: 10,
+            on_attack: true,
+        };
+        let e = ATMEGA2560.flash_endurance_cycles;
+        assert_eq!(every_boot.lifetime_boots(e, 0.0), 10_000.0);
+        assert_eq!(periodic.lifetime_boots(e, 0.0), 100_000.0);
+        assert!(periodic.lifetime_boots(e, 0.05) < 100_000.0);
+    }
+
+    #[test]
+    fn programming_cycle_counts() {
+        let p = RandomizationPolicy {
+            every_n_boots: 10,
+            on_attack: true,
+        };
+        assert_eq!(p.programming_cycles(100, 0), 10);
+        assert_eq!(p.programming_cycles(100, 7), 17);
+        let no_attack_response = RandomizationPolicy {
+            every_n_boots: 10,
+            on_attack: false,
+        };
+        assert_eq!(no_attack_response.programming_cycles(100, 7), 10);
+    }
+}

@@ -1,0 +1,136 @@
+//! The host-side preprocessing phase (§V-B1, §VI-B2).
+//!
+//! On the real system this parses the pre-strip ELF for function symbols
+//! and scans the data sections for function pointers, then prepends that
+//! information to the Intel HEX file. Our assembler substrate already
+//! carries both in [`FirmwareImage`]; preprocessing validates the image and
+//! packages it as the on-the-wire [`MavrContainer`] uploaded to the
+//! external flash chip — plus the `strip` helper that models what the
+//! stock flash utility would upload (no symbols), used to show the
+//! container is still plain HEX.
+
+use avr_core::image::{FirmwareImage, SymbolKind};
+use hexfile::MavrContainer;
+
+/// Errors from preprocessing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PreprocessError {
+    /// The image failed structural validation.
+    InvalidImage(String),
+    /// The image has no movable functions to randomize.
+    NothingToRandomize,
+    /// A recorded function-pointer slot does not point at a function.
+    DanglingFunctionPointer {
+        /// Flash byte offset of the slot.
+        loc: u32,
+    },
+}
+
+impl std::fmt::Display for PreprocessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PreprocessError::InvalidImage(why) => write!(f, "invalid image: {why}"),
+            PreprocessError::NothingToRandomize => write!(f, "no movable function symbols"),
+            PreprocessError::DanglingFunctionPointer { loc } => {
+                write!(f, "function pointer at {loc:#x} points outside all functions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PreprocessError {}
+
+/// Validate `image` and package it for upload to the MAVR external flash.
+pub fn preprocess(image: &FirmwareImage) -> Result<MavrContainer, PreprocessError> {
+    image
+        .validate()
+        .map_err(PreprocessError::InvalidImage)?;
+    if image.function_count() == 0 {
+        return Err(PreprocessError::NothingToRandomize);
+    }
+    for &loc in &image.fn_ptr_locs {
+        let word = image.read_word(loc);
+        let target = u32::from(word) * 2;
+        match image.symbol_containing(target) {
+            Some(s) if s.kind == SymbolKind::Function || s.kind == SymbolKind::Fixed => {}
+            _ => return Err(PreprocessError::DanglingFunctionPointer { loc }),
+        }
+    }
+    Ok(MavrContainer::new(image.clone()))
+}
+
+/// The stock flash utility's view: the same program bytes with all symbol
+/// information stripped (what an attacker exfiltrating the upload archive
+/// would minimally hold — though the paper's threat model grants them the
+/// full binary anyway).
+pub fn strip(image: &FirmwareImage) -> FirmwareImage {
+    FirmwareImage {
+        device: image.device,
+        bytes: image.bytes.clone(),
+        symbols: Vec::new(),
+        text_end: image.text_end,
+        fn_ptr_locs: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synth_firmware::{apps, build, BuildOptions};
+
+    fn tiny() -> FirmwareImage {
+        build(&apps::tiny_test_app(), &BuildOptions::safe_mavr())
+            .unwrap()
+            .image
+    }
+
+    #[test]
+    fn container_round_trips_through_text() {
+        let img = tiny();
+        let container = preprocess(&img).unwrap();
+        let text = container.to_text();
+        let parsed = MavrContainer::parse(&text).unwrap();
+        assert_eq!(parsed.image, img);
+        // And the container is still a loadable plain HEX file.
+        let (base, bytes) = hexfile::parse_ihex(&text).unwrap();
+        assert_eq!(base, 0);
+        assert_eq!(bytes, img.bytes);
+    }
+
+    #[test]
+    fn stripped_image_loses_symbols_only() {
+        let img = tiny();
+        let s = strip(&img);
+        assert_eq!(s.bytes, img.bytes);
+        assert!(s.symbols.is_empty());
+        assert_eq!(s.function_count(), 0);
+    }
+
+    #[test]
+    fn rejects_symbolless_image() {
+        let img = strip(&tiny());
+        assert_eq!(preprocess(&img).unwrap_err(), PreprocessError::NothingToRandomize);
+    }
+
+    #[test]
+    fn rejects_dangling_pointer() {
+        let mut img = tiny();
+        // Corrupt a pointer slot to aim past the image.
+        let loc = img.fn_ptr_locs[0];
+        img.write_word(loc, 0xfff0);
+        assert!(matches!(
+            preprocess(&img).unwrap_err(),
+            PreprocessError::DanglingFunctionPointer { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_image() {
+        let mut img = tiny();
+        img.text_end = img.code_size() + 2;
+        assert!(matches!(
+            preprocess(&img).unwrap_err(),
+            PreprocessError::InvalidImage(_)
+        ));
+    }
+}

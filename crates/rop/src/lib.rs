@@ -1,0 +1,27 @@
+//! Gadget scanning and the paper's stealthy ROP attacks (§IV).
+//!
+//! This crate is the attacker's toolbox:
+//!
+//! * [`scanner`] — find `ret`-terminated instruction sequences in a
+//!   firmware image and classify the two gadget shapes the paper uses:
+//!   `stk_move` (Fig. 4) and `write_mem_gadget` (Fig. 5);
+//! * [`attack`] — build the three attack payloads of §IV against a concrete
+//!   image: V1 (sensor overwrite, smashes the stack), V2 (stealthy small
+//!   payload with clean return), V3 (trampoline-staged large payload);
+//! * [`brute`] — the brute-force attacker model of §V-D, both closed-form
+//!   and Monte-Carlo.
+//!
+//! Everything here operates on what the paper's threat model grants the
+//! attacker: the **unprotected** firmware image (§IV-A). The attack payloads
+//! hardcode addresses from that image — which is exactly why MAVR's
+//! randomization defeats them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod brute;
+pub mod scanner;
+
+pub use attack::{AttackContext, AttackError, AttackKind};
+pub use scanner::{scan, Gadget, GadgetMap, ScanOptions};

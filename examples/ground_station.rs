@@ -1,0 +1,82 @@
+//! A benign ground-station session (§II-C): connect to the UAV, stream
+//! telemetry, tune a parameter over MAVLink, and watch the attitude data —
+//! the normal operation every attack and defense in this repository wraps
+//! around.
+//!
+//! ```text
+//! cargo run --example ground_station
+//! ```
+
+use mavr_repro::avr_sim::Machine;
+use mavr_repro::mavlink_lite::{msg, GroundStation};
+use mavr_repro::synth_firmware::{apps, build, layout, BuildOptions};
+
+fn main() {
+    // A safe (length-checked) build, as shipped firmware would be.
+    let fw = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).unwrap();
+    let mut uav = Machine::new_atmega2560();
+    uav.load_flash(0, &fw.image.bytes);
+
+    let mut gcs = GroundStation::new();
+
+    // Fly a bit and decode telemetry.
+    uav.run(1_500_000);
+    gcs.ingest(&uav.uart0.take_tx());
+    println!(
+        "session established: {} packets ({} heartbeats), 0x{:02x} vehicle type",
+        gcs.received.len(),
+        gcs.heartbeats.len(),
+        gcs.heartbeats.last().map(|h| h.vehicle_type).unwrap_or(0)
+    );
+
+    // The gyro words stream in RAW_IMU.
+    let imu_frames: Vec<msg::RawImu> = gcs
+        .received
+        .iter()
+        .filter(|p| p.msgid == msg::RAW_IMU_ID)
+        .map(|p| msg::RawImu::from_payload(p.msgid, &p.payload).unwrap())
+        .collect();
+    println!(
+        "RAW_IMU frames: {} (gyro low byte tracks the tick counter: {:?} ...)",
+        imu_frames.len(),
+        imu_frames
+            .iter()
+            .take(5)
+            .map(|f| f.gyro[0] & 0xff)
+            .collect::<Vec<_>>()
+    );
+
+    // Tune a parameter, as an operator console would.
+    println!("\nsending PARAM_SET RATE_RLL_P = 0.75");
+    uav.uart0.inject(&gcs.param_set(b"RATE_RLL_P", 0.75));
+    uav.run(1_500_000);
+    let v = f32::from_le_bytes([
+        uav.peek_data(layout::PARAM_VALUE),
+        uav.peek_data(layout::PARAM_VALUE + 1),
+        uav.peek_data(layout::PARAM_VALUE + 2),
+        uav.peek_data(layout::PARAM_VALUE + 3),
+    ]);
+    println!(
+        "UAV committed parameter value {v} ({} PARAM_SET frames handled)",
+        uav.peek_data(layout::PARAM_SET_COUNT)
+    );
+
+    // A corrupted frame is dropped by the checksum, not executed.
+    let mut bad = gcs.param_set(b"EVIL", 9.9);
+    let n = bad.len();
+    bad[n - 1] ^= 0xff;
+    uav.uart0.inject(&bad);
+    uav.run(1_500_000);
+    println!(
+        "corrupted frame: still {} PARAM_SETs handled, {} bad checksums counted by the UAV",
+        uav.peek_data(layout::PARAM_SET_COUNT),
+        uav.peek_data(layout::BAD_CRC_COUNT)
+    );
+
+    gcs.ingest(&uav.uart0.take_tx());
+    assert_eq!(v, 0.75);
+    assert_eq!(uav.peek_data(layout::PARAM_SET_COUNT), 1);
+    assert_eq!(uav.peek_data(layout::BAD_CRC_COUNT), 1);
+    assert!(gcs.link_alive(20, 3));
+    println!("\nok: healthy MAVLink session");
+}

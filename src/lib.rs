@@ -1,0 +1,25 @@
+//! Umbrella crate for the MAVR reproduction.
+//!
+//! This package exists to host the workspace-spanning integration tests in
+//! `tests/` and the runnable examples in `examples/`. The functionality
+//! lives in the member crates:
+//!
+//! * [`avr_core`] — AVR ISA model (encode/decode/disassemble),
+//! * [`avr_sim`] — ATmega2560 machine simulator,
+//! * [`hexfile`] — Intel HEX and the MAVR symbol-table container,
+//! * [`avr_asm`] — assembler/linker substrate,
+//! * [`mavlink_lite`] — MAVLink-style protocol and ground station,
+//! * [`synth_firmware`] — synthetic autopilot firmware generator,
+//! * [`rop`] — gadget scanner and the paper's stealthy attacks,
+//! * [`mavr`] — the fine-grained randomization defense,
+//! * [`mavr_board`] — the dual-processor MAVR hardware platform simulation.
+
+pub use avr_asm;
+pub use avr_core;
+pub use avr_sim;
+pub use hexfile;
+pub use mavlink_lite;
+pub use mavr;
+pub use mavr_board;
+pub use rop;
+pub use synth_firmware;

@@ -1,0 +1,128 @@
+//! Property-based tests over the randomizer and the attack machinery:
+//! invariants that must hold for *every* seed and parameter draw.
+
+use mavr_repro::avr_core::image::SymbolKind;
+use mavr_repro::avr_sim::Machine;
+use mavr_repro::mavr::{randomize, RandomizeOptions};
+use mavr_repro::synth_firmware::{build, AppSpec, BuildOptions};
+use proptest::prelude::*;
+
+fn app(functions: usize, seed: u64) -> AppSpec {
+    AppSpec {
+        name: "PropApp",
+        functions,
+        stock_size: None,
+        mavr_size: None,
+        seed,
+        vehicle_type: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any app shape and any randomization seed: the shuffled image is
+    /// structurally sound, size-preserving, a permutation of the same
+    /// symbols — and still *boots and heartbeats*.
+    #[test]
+    fn randomization_preserves_behaviour(
+        functions in 40usize..120,
+        app_seed in 0u64..1000,
+        rand_seed in 0u64..1000,
+    ) {
+        let fw = build(&app(functions, app_seed), &BuildOptions::safe_mavr()).unwrap();
+        let mut rng = mavr_repro::mavr::seeded_rng(rand_seed);
+        let r = randomize(&fw.image, &mut rng, &RandomizeOptions::default()).unwrap();
+
+        // Structural invariants.
+        r.image.validate().unwrap();
+        prop_assert_eq!(r.image.code_size(), fw.image.code_size());
+        prop_assert_eq!(r.image.text_end, fw.image.text_end);
+        prop_assert_eq!(r.image.function_count(), fw.image.function_count());
+        let mut old_names: Vec<&str> =
+            fw.image.symbols.iter().map(|s| s.name.as_str()).collect();
+        let mut new_names: Vec<&str> =
+            r.image.symbols.iter().map(|s| s.name.as_str()).collect();
+        old_names.sort_unstable();
+        new_names.sort_unstable();
+        prop_assert_eq!(old_names, new_names);
+        // Sizes travel with their symbols.
+        for s in &fw.image.symbols {
+            let moved = r.image.symbol(&s.name).unwrap();
+            prop_assert_eq!(moved.size, s.size);
+            prop_assert_eq!(moved.kind, s.kind);
+            if s.kind != SymbolKind::Function {
+                prop_assert_eq!(moved.addr, s.addr, "non-functions must not move");
+            }
+        }
+        // The permutation is a bijection.
+        let mut seen = vec![false; r.permutation.len()];
+        for &p in &r.permutation {
+            prop_assert!(!seen[p]);
+            seen[p] = true;
+        }
+
+        // Behavioural invariant: it flies.
+        let mut m = Machine::new_atmega2560();
+        m.load_flash(0, &r.image.bytes);
+        m.run(1_200_000);
+        prop_assert!(m.fault().is_none(), "fault: {:?}", m.fault());
+        prop_assert!(m.heartbeat.toggles().len() >= 10);
+    }
+
+    /// Randomizing a randomized image works too (the master re-randomizes
+    /// from the pristine container in practice, but the engine itself is
+    /// idempotent in structure).
+    #[test]
+    fn double_randomization_is_sound(rand_seed in 0u64..500) {
+        let fw = build(&app(50, 7), &BuildOptions::safe_mavr()).unwrap();
+        let mut rng = mavr_repro::mavr::seeded_rng(rand_seed);
+        let once = randomize(&fw.image, &mut rng, &RandomizeOptions::default()).unwrap();
+        let twice = randomize(&once.image, &mut rng, &RandomizeOptions::default()).unwrap();
+        twice.image.validate().unwrap();
+        let mut m = Machine::new_atmega2560();
+        m.load_flash(0, &twice.image.bytes);
+        m.run(1_200_000);
+        prop_assert!(m.fault().is_none());
+        prop_assert!(m.heartbeat.toggles().len() >= 10);
+    }
+
+    /// The attack context is a pure function of the image: any two
+    /// discoveries agree, for any app shape.
+    #[test]
+    fn attack_discovery_is_deterministic(functions in 40usize..100, app_seed in 0u64..500) {
+        let fw = build(&app(functions, app_seed), &BuildOptions::vulnerable_mavr()).unwrap();
+        let a = mavr_repro::rop::attack::AttackContext::discover(&fw.image).unwrap();
+        let b = mavr_repro::rop::attack::AttackContext::discover(&fw.image).unwrap();
+        prop_assert_eq!(a.sp_entry, b.sp_entry);
+        prop_assert_eq!(a.orig_ret, b.orig_ret);
+        prop_assert_eq!(a.gadgets.stk_move, b.gadgets.stk_move);
+        prop_assert_eq!(a.gadgets.write_mem_std, b.gadgets.write_mem_std);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The stealthy attack works against the unprotected image for any
+    /// 3-byte value written anywhere in the scratch region.
+    #[test]
+    fn v2_attack_writes_arbitrary_values(
+        v0 in any::<u8>(), v1 in any::<u8>(), v2 in any::<u8>(),
+        slot in 0u16..100,
+    ) {
+        let fw = build(&app(60, 0x7e57), &BuildOptions::vulnerable_mavr()).unwrap();
+        let ctx = mavr_repro::rop::attack::AttackContext::discover(&fw.image).unwrap();
+        let target = 0x1e00 + slot * 4;
+        let payload = ctx.v2_payload(&[(target, [v0, v1, v2])]).unwrap();
+        let mut m = Machine::new_atmega2560();
+        m.load_flash(0, &fw.image.bytes);
+        m.run(200_000);
+        let mut gcs = mavr_repro::mavlink_lite::GroundStation::new();
+        m.uart0.inject(&gcs.exploit_packet(&payload).unwrap());
+        m.run(3_000_000);
+        prop_assert!(m.fault().is_none(), "fault: {:?}", m.fault());
+        prop_assert_eq!(m.peek_range(target, 3), vec![v0, v1, v2]);
+        prop_assert!(m.heartbeat.toggles().len() > 20, "still flying");
+    }
+}
