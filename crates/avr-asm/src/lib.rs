@@ -111,7 +111,10 @@ impl std::fmt::Display for AsmError {
                 "branch to `{label}` in `{function}` out of range ({distance} words)"
             ),
             AsmError::LdiOfFunctionAddress { name } => {
-                write!(f, "refusing to encode function address of `{name}` as immediate")
+                write!(
+                    f,
+                    "refusing to encode function address of `{name}` as immediate"
+                )
             }
             AsmError::ImageTooLarge {
                 required,

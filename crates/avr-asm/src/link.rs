@@ -39,7 +39,11 @@ pub fn link(program: &Program) -> Result<FirmwareImage, AsmError> {
             if matches!(item, Item::CallSym(_) | Item::JmpSym(_)) {
                 widths.insert(
                     (fi, ii),
-                    if relax { SiteWidth::Short } else { SiteWidth::Long },
+                    if relax {
+                        SiteWidth::Short
+                    } else {
+                        SiteWidth::Long
+                    },
                 );
             }
         }
@@ -61,12 +65,11 @@ pub fn link(program: &Program) -> Result<FirmwareImage, AsmError> {
                     continue;
                 }
                 let site = layout.item_addr[&(fi, ii)];
-                let dest = *layout
-                    .fn_addr
-                    .get(target.as_str())
-                    .ok_or_else(|| AsmError::UndefinedSymbol {
+                let dest = *layout.fn_addr.get(target.as_str()).ok_or_else(|| {
+                    AsmError::UndefinedSymbol {
                         name: target.clone(),
-                    })?;
+                    }
+                })?;
                 let delta = i64::from(dest) - (i64::from(site) + 1);
                 if !(-2048..=2047).contains(&delta) {
                     widths.insert((fi, ii), SiteWidth::Long);
@@ -266,20 +269,27 @@ fn emit(
                     match widths[&(fi, ii)] {
                         SiteWidth::Long => put!(
                             site,
-                            &if call { Insn::Call { k: dest } } else { Insn::Jmp { k: dest } },
+                            &if call {
+                                Insn::Call { k: dest }
+                            } else {
+                                Insn::Jmp { k: dest }
+                            },
                         )?,
                         SiteWidth::Short => {
                             let delta = i64::from(dest) - (i64::from(site) + 1);
-                            let k = i16::try_from(delta).map_err(|_| {
-                                AsmError::BranchOutOfRange {
+                            let k =
+                                i16::try_from(delta).map_err(|_| AsmError::BranchOutOfRange {
                                     function: f.name.clone(),
                                     label: name.clone(),
                                     distance: delta,
-                                }
-                            })?;
+                                })?;
                             put!(
                                 site,
-                                &if call { Insn::Rcall { k } } else { Insn::Rjmp { k } },
+                                &if call {
+                                    Insn::Rcall { k }
+                                } else {
+                                    Insn::Rjmp { k }
+                                },
                             )?;
                         }
                     }
@@ -291,15 +301,14 @@ fn emit(
                 Item::RjmpLabel(label) => {
                     let dest = lookup_label(label)?;
                     let delta = i64::from(dest) - (i64::from(site) + 1);
-                    let k =
-                        i16::try_from(delta)
-                            .ok()
-                            .filter(|k| (-2048..=2047).contains(k))
-                            .ok_or_else(|| AsmError::BranchOutOfRange {
-                                function: f.name.clone(),
-                                label: label.clone(),
-                                distance: delta,
-                            })?;
+                    let k = i16::try_from(delta)
+                        .ok()
+                        .filter(|k| (-2048..=2047).contains(k))
+                        .ok_or_else(|| AsmError::BranchOutOfRange {
+                            function: f.name.clone(),
+                            label: label.clone(),
+                            distance: delta,
+                        })?;
                     put!(site, &Insn::Rjmp { k })?;
                 }
                 Item::Branch { s, when_set, label } => {
@@ -322,13 +331,20 @@ fn emit(
                         },
                     )?;
                 }
-                Item::LdiSymByte { d, sym, offset, byte } => {
+                Item::LdiSymByte {
+                    d,
+                    sym,
+                    offset,
+                    byte,
+                } => {
                     if layout.fn_addr.contains_key(sym.as_str()) {
                         return Err(AsmError::LdiOfFunctionAddress { name: sym.clone() });
                     }
-                    let addr = *layout.data_addr.get(sym.as_str()).ok_or_else(|| {
-                        AsmError::UndefinedSymbol { name: sym.clone() }
-                    })? + offset;
+                    let addr = *layout
+                        .data_addr
+                        .get(sym.as_str())
+                        .ok_or_else(|| AsmError::UndefinedSymbol { name: sym.clone() })?
+                        + offset;
                     let k = ((addr >> (byte * 8)) & 0xff) as u8;
                     put!(site, &Insn::Ldi { d: *d, k })?;
                 }
@@ -346,12 +362,13 @@ fn emit(
         let base = layout.data_addr[&d.name] as usize;
         bytes[base..base + d.bytes.len()].copy_from_slice(&d.bytes);
         for (off, target) in &d.fn_ptrs {
-            let dest = *layout
-                .fn_addr
-                .get(target.as_str())
-                .ok_or_else(|| AsmError::UndefinedSymbol {
-                    name: target.clone(),
-                })?;
+            let dest =
+                *layout
+                    .fn_addr
+                    .get(target.as_str())
+                    .ok_or_else(|| AsmError::UndefinedSymbol {
+                        name: target.clone(),
+                    })?;
             let word_addr = dest as u16; // AVR function pointers are word addresses
             bytes[base + off..base + off + 2].copy_from_slice(&word_addr.to_le_bytes());
             fn_ptr_locs.push((base + off) as u32);
@@ -473,7 +490,13 @@ mod tests {
         p.vectors[0] = Some("main".to_string());
         // A 3000-word pad function between main and helper pushes helper
         // out of rcall range from main's call site.
-        p.push_function(FnBuilder::new("main").call("helper").label("x").rjmp("x").build());
+        p.push_function(
+            FnBuilder::new("main")
+                .call("helper")
+                .label("x")
+                .rjmp("x")
+                .build(),
+        );
         let mut b = FnBuilder::new("pad");
         for _ in 0..3000 {
             b = b.insn(Insn::Nop);
@@ -532,7 +555,12 @@ mod tests {
         let tramp = img.symbol("tramp").unwrap();
         let (insn, _) =
             avr_core::decode::decode(&[img.read_word(tramp.addr), img.read_word(tramp.addr + 2)]);
-        assert_eq!(insn, Insn::Jmp { k: (helper.addr + 2) / 2 });
+        assert_eq!(
+            insn,
+            Insn::Jmp {
+                k: (helper.addr + 2) / 2
+            }
+        );
     }
 
     #[test]
@@ -601,7 +629,13 @@ mod tests {
         let blob = img.symbol("blob").unwrap();
         let reader = img.symbol("reader").unwrap();
         let (lo, _) = avr_core::decode::decode(&[img.read_word(reader.addr)]);
-        assert_eq!(lo, Insn::Ldi { d: Reg::R30, k: (blob.addr & 0xff) as u8 });
+        assert_eq!(
+            lo,
+            Insn::Ldi {
+                d: Reg::R30,
+                k: (blob.addr & 0xff) as u8
+            }
+        );
     }
 
     #[test]
@@ -639,6 +673,9 @@ mod tests {
             "huge",
             vec![0; ATMEGA2560.flash_bytes as usize],
         ));
-        assert!(matches!(link(&p).unwrap_err(), AsmError::ImageTooLarge { .. }));
+        assert!(matches!(
+            link(&p).unwrap_err(),
+            AsmError::ImageTooLarge { .. }
+        ));
     }
 }

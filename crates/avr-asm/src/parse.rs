@@ -109,7 +109,10 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
                 let (idx, name) = rest
                     .split_once(char::is_whitespace)
                     .ok_or_else(|| err(line, ".vector needs `index name`"))?;
-                vectors.insert(parse_num(idx.trim(), line)? as usize, name.trim().to_string());
+                vectors.insert(
+                    parse_num(idx.trim(), line)? as usize,
+                    name.trim().to_string(),
+                );
             }
             (Ctx::Top, ".func") => {
                 if rest.is_empty() {
@@ -170,9 +173,17 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
     }
     match ctx {
         Ctx::Top => {}
-        Ctx::Func(f) => return Err(err(text.lines().count(), format!("unterminated .func {}", f.name))),
+        Ctx::Func(f) => {
+            return Err(err(
+                text.lines().count(),
+                format!("unterminated .func {}", f.name),
+            ))
+        }
         Ctx::Rodata(d) => {
-            return Err(err(text.lines().count(), format!("unterminated .rodata {}", d.name)))
+            return Err(err(
+                text.lines().count(),
+                format!("unterminated .rodata {}", d.name),
+            ))
         }
     }
 
@@ -212,7 +223,10 @@ fn parse_reg(s: &str, line: usize) -> Result<Reg, ParseError> {
 }
 
 fn operands(rest: &str) -> Vec<&str> {
-    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+    rest.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 /// Parse one body line: a label definition or an instruction.
@@ -263,7 +277,10 @@ fn parse_item(code: &str, line: usize) -> Result<Item, ParseError> {
         if ops.len() == n {
             Ok(())
         } else {
-            Err(err(line, format!("{m} expects {n} operand(s), got {}", ops.len())))
+            Err(err(
+                line,
+                format!("{m} expects {n} operand(s), got {}", ops.len()),
+            ))
         }
     };
     let reg = |i: usize| parse_reg(ops[i], line);
@@ -381,25 +398,57 @@ fn parse_item(code: &str, line: usize) -> Result<Item, ParseError> {
         // memory
         "lds" => {
             need(2)?;
-            one(Insn::Lds { d: reg(0)?, k: num(1)? as u16 })
+            one(Insn::Lds {
+                d: reg(0)?,
+                k: num(1)? as u16,
+            })
         }
         "sts" => {
             need(2)?;
-            one(Insn::Sts { k: num(0)? as u16, r: reg(1)? })
+            one(Insn::Sts {
+                k: num(0)? as u16,
+                r: reg(1)?,
+            })
         }
         "ld" => {
             need(2)?;
             let d = reg(0)?;
             one(match ops[1] {
                 "x" | "X" => Insn::Ld { d, ptr: PtrReg::X },
-                "x+" | "X+" => Insn::Ld { d, ptr: PtrReg::XPostInc },
-                "-x" | "-X" => Insn::Ld { d, ptr: PtrReg::XPreDec },
-                "y" | "Y" => Insn::Ldd { d, idx: YZ::Y, q: 0 },
-                "y+" | "Y+" => Insn::Ld { d, ptr: PtrReg::YPostInc },
-                "-y" | "-Y" => Insn::Ld { d, ptr: PtrReg::YPreDec },
-                "z" | "Z" => Insn::Ldd { d, idx: YZ::Z, q: 0 },
-                "z+" | "Z+" => Insn::Ld { d, ptr: PtrReg::ZPostInc },
-                "-z" | "-Z" => Insn::Ld { d, ptr: PtrReg::ZPreDec },
+                "x+" | "X+" => Insn::Ld {
+                    d,
+                    ptr: PtrReg::XPostInc,
+                },
+                "-x" | "-X" => Insn::Ld {
+                    d,
+                    ptr: PtrReg::XPreDec,
+                },
+                "y" | "Y" => Insn::Ldd {
+                    d,
+                    idx: YZ::Y,
+                    q: 0,
+                },
+                "y+" | "Y+" => Insn::Ld {
+                    d,
+                    ptr: PtrReg::YPostInc,
+                },
+                "-y" | "-Y" => Insn::Ld {
+                    d,
+                    ptr: PtrReg::YPreDec,
+                },
+                "z" | "Z" => Insn::Ldd {
+                    d,
+                    idx: YZ::Z,
+                    q: 0,
+                },
+                "z+" | "Z+" => Insn::Ld {
+                    d,
+                    ptr: PtrReg::ZPostInc,
+                },
+                "-z" | "-Z" => Insn::Ld {
+                    d,
+                    ptr: PtrReg::ZPreDec,
+                },
                 other => return Err(err(line, format!("bad pointer `{other}`"))),
             })
         }
@@ -408,14 +457,40 @@ fn parse_item(code: &str, line: usize) -> Result<Item, ParseError> {
             let r = reg(1)?;
             one(match ops[0] {
                 "x" | "X" => Insn::St { ptr: PtrReg::X, r },
-                "x+" | "X+" => Insn::St { ptr: PtrReg::XPostInc, r },
-                "-x" | "-X" => Insn::St { ptr: PtrReg::XPreDec, r },
-                "y" | "Y" => Insn::Std { idx: YZ::Y, q: 0, r },
-                "y+" | "Y+" => Insn::St { ptr: PtrReg::YPostInc, r },
-                "-y" | "-Y" => Insn::St { ptr: PtrReg::YPreDec, r },
-                "z" | "Z" => Insn::Std { idx: YZ::Z, q: 0, r },
-                "z+" | "Z+" => Insn::St { ptr: PtrReg::ZPostInc, r },
-                "-z" | "-Z" => Insn::St { ptr: PtrReg::ZPreDec, r },
+                "x+" | "X+" => Insn::St {
+                    ptr: PtrReg::XPostInc,
+                    r,
+                },
+                "-x" | "-X" => Insn::St {
+                    ptr: PtrReg::XPreDec,
+                    r,
+                },
+                "y" | "Y" => Insn::Std {
+                    idx: YZ::Y,
+                    q: 0,
+                    r,
+                },
+                "y+" | "Y+" => Insn::St {
+                    ptr: PtrReg::YPostInc,
+                    r,
+                },
+                "-y" | "-Y" => Insn::St {
+                    ptr: PtrReg::YPreDec,
+                    r,
+                },
+                "z" | "Z" => Insn::Std {
+                    idx: YZ::Z,
+                    q: 0,
+                    r,
+                },
+                "z+" | "Z+" => Insn::St {
+                    ptr: PtrReg::ZPostInc,
+                    r,
+                },
+                "-z" | "-Z" => Insn::St {
+                    ptr: PtrReg::ZPreDec,
+                    r,
+                },
                 other => return Err(err(line, format!("bad pointer `{other}`"))),
             })
         }
@@ -433,20 +508,32 @@ fn parse_item(code: &str, line: usize) -> Result<Item, ParseError> {
         "lpm" => {
             need(2)?;
             let d = reg(0)?;
-            one(Insn::Lpm { d, post_inc: ops[1].ends_with('+') })
+            one(Insn::Lpm {
+                d,
+                post_inc: ops[1].ends_with('+'),
+            })
         }
         "elpm" => {
             need(2)?;
             let d = reg(0)?;
-            one(Insn::Elpm { d, post_inc: ops[1].ends_with('+') })
+            one(Insn::Elpm {
+                d,
+                post_inc: ops[1].ends_with('+'),
+            })
         }
         "in" => {
             need(2)?;
-            one(Insn::In { d: reg(0)?, a: num(1)? as u8 })
+            one(Insn::In {
+                d: reg(0)?,
+                a: num(1)? as u8,
+            })
         }
         "out" => {
             need(2)?;
-            one(Insn::Out { a: num(0)? as u8, r: reg(1)? })
+            one(Insn::Out {
+                a: num(0)? as u8,
+                r: reg(1)?,
+            })
         }
 
         // bit ops
@@ -575,7 +662,10 @@ halt:
         let p = parse_program(src).unwrap();
         let img = link(&p).unwrap();
         let blob = img.symbol("blob").unwrap();
-        assert_eq!(&img.bytes[blob.addr as usize..blob.addr as usize + 5], &[1, 2, 0xff, 0x34, 0x12]);
+        assert_eq!(
+            &img.bytes[blob.addr as usize..blob.addr as usize + 5],
+            &[1, 2, 0xff, 0x34, 0x12]
+        );
         assert_eq!(img.fn_ptr_locs.len(), 1);
     }
 
@@ -596,19 +686,49 @@ halt:
 "#;
         let p = parse_program(src).unwrap();
         let f = &p.functions[0];
-        assert_eq!(f.items[0], Item::Insn(Insn::Ldd { d: Reg::R24, idx: YZ::Y, q: 3 }));
-        assert_eq!(f.items[1], Item::Insn(Insn::Std { idx: YZ::Z, q: 12, r: Reg::R24 }));
-        assert_eq!(f.items[2], Item::Insn(Insn::Ld { d: Reg::R25, ptr: PtrReg::XPostInc }));
-        assert_eq!(f.items[3], Item::Insn(Insn::St { ptr: PtrReg::YPreDec, r: Reg::R25 }));
+        assert_eq!(
+            f.items[0],
+            Item::Insn(Insn::Ldd {
+                d: Reg::R24,
+                idx: YZ::Y,
+                q: 3
+            })
+        );
+        assert_eq!(
+            f.items[1],
+            Item::Insn(Insn::Std {
+                idx: YZ::Z,
+                q: 12,
+                r: Reg::R24
+            })
+        );
+        assert_eq!(
+            f.items[2],
+            Item::Insn(Insn::Ld {
+                d: Reg::R25,
+                ptr: PtrReg::XPostInc
+            })
+        );
+        assert_eq!(
+            f.items[3],
+            Item::Insn(Insn::St {
+                ptr: PtrReg::YPreDec,
+                r: Reg::R25
+            })
+        );
     }
 
     #[test]
     fn trampoline_jump_syntax() {
-        let src = ".device atmega2560\n.func f\n    jmp g+8\n.endfunc\n.func g\n    ret\n.endfunc\n";
+        let src =
+            ".device atmega2560\n.func f\n    jmp g+8\n.endfunc\n.func g\n    ret\n.endfunc\n";
         let p = parse_program(src).unwrap();
         assert_eq!(
             p.functions[0].items[0],
-            Item::JmpSymOffset { name: "g".to_string(), byte_offset: 8 }
+            Item::JmpSymOffset {
+                name: "g".to_string(),
+                byte_offset: 8
+            }
         );
     }
 
@@ -626,13 +746,19 @@ halt:
         assert_eq!(e.line, 3);
         assert!(e.message.contains("frobnicate"));
 
-        assert!(parse_program(".func f\n    ret\n").unwrap_err().message.contains("unterminated"));
+        assert!(parse_program(".func f\n    ret\n")
+            .unwrap_err()
+            .message
+            .contains("unterminated"));
         assert!(parse_program(".device z80\n").is_err());
         assert!(parse_program(".func f\n    ldi r24\n.endfunc\n")
             .unwrap_err()
             .message
             .contains("expects 2"));
-        assert!(parse_program("ret\n").unwrap_err().message.contains("outside .func"));
+        assert!(parse_program("ret\n")
+            .unwrap_err()
+            .message
+            .contains("outside .func"));
     }
 
     #[test]
@@ -652,8 +778,20 @@ done:
 "#;
         let p = parse_program(src).unwrap();
         let f = &p.functions[0];
-        assert_eq!(f.items[0], Item::Insn(Insn::Eor { d: Reg::R20, r: Reg::R20 }));
-        assert_eq!(f.items[1], Item::Insn(Insn::And { d: Reg::R20, r: Reg::R20 }));
+        assert_eq!(
+            f.items[0],
+            Item::Insn(Insn::Eor {
+                d: Reg::R20,
+                r: Reg::R20
+            })
+        );
+        assert_eq!(
+            f.items[1],
+            Item::Insn(Insn::And {
+                d: Reg::R20,
+                r: Reg::R20
+            })
+        );
         assert!(matches!(f.items[2], Item::Branch { when_set: true, .. }));
     }
 }

@@ -22,24 +22,44 @@ fn random_program(
     p.vectors[0] = Some("main".to_string());
 
     let mut main = FnBuilder::new("main")
-        .insn(Insn::Ldi { d: Reg::R24, k: 0x21 })
-        .insn(Insn::Out { a: 0x3e, r: Reg::R24 })
-        .insn(Insn::Ldi { d: Reg::R24, k: 0xff })
-        .insn(Insn::Out { a: 0x3d, r: Reg::R24 })
+        .insn(Insn::Ldi {
+            d: Reg::R24,
+            k: 0x21,
+        })
+        .insn(Insn::Out {
+            a: 0x3e,
+            r: Reg::R24,
+        })
+        .insn(Insn::Ldi {
+            d: Reg::R24,
+            k: 0xff,
+        })
+        .insn(Insn::Out {
+            a: 0x3d,
+            r: Reg::R24,
+        })
         .insn(Insn::Ldi { d: Reg::R20, k: 0 });
     for &c in call_order {
         main = main.call(format!("leaf_{}", c % n_leaves));
         // Accumulate each leaf's result (returned in r24).
-        main = main.insn(Insn::Add { d: Reg::R20, r: Reg::R24 });
+        main = main.insn(Insn::Add {
+            d: Reg::R20,
+            r: Reg::R24,
+        });
     }
     main = main
-        .insn(Insn::Sts { k: 0x0400, r: Reg::R20 })
+        .insn(Insn::Sts {
+            k: 0x0400,
+            r: Reg::R20,
+        })
         .insn(Insn::Break);
     p.push_function(main.build());
 
     for i in 0..n_leaves {
-        let mut b = FnBuilder::new(format!("leaf_{i}"))
-            .insn(Insn::Ldi { d: Reg::R24, k: (i as u8).wrapping_mul(13) });
+        let mut b = FnBuilder::new(format!("leaf_{i}")).insn(Insn::Ldi {
+            d: Reg::R24,
+            k: (i as u8).wrapping_mul(13),
+        });
         let op = leaf_ops[i % leaf_ops.len()];
         for _ in 0..(op % 5) {
             b = b.insn(Insn::Inc { d: Reg::R24 });

@@ -105,6 +105,12 @@ mod tests {
         assert_eq!(base_cycles(&Insn::Jmp { k: 0 }), 3);
         assert_eq!(base_cycles(&Insn::Rjmp { k: 0 }), 2);
         assert_eq!(base_cycles(&Insn::Lpm0), 3);
-        assert_eq!(base_cycles(&Insn::Mul { d: Reg::R0, r: Reg::R1 }), 2);
+        assert_eq!(
+            base_cycles(&Insn::Mul {
+                d: Reg::R0,
+                r: Reg::R1
+            }),
+            2
+        );
     }
 }

@@ -93,11 +93,41 @@ pub fn decode(words: &[u16]) -> (Insn, u32) {
             2 => (Insn::Or { d: d5(w), r: r5(w) }, 1),
             _ => (Insn::Mov { d: d5(w), r: r5(w) }, 1),
         },
-        0x3 => (Insn::Cpi { d: upper_d(w), k: imm8(w) }, 1),
-        0x4 => (Insn::Sbci { d: upper_d(w), k: imm8(w) }, 1),
-        0x5 => (Insn::Subi { d: upper_d(w), k: imm8(w) }, 1),
-        0x6 => (Insn::Ori { d: upper_d(w), k: imm8(w) }, 1),
-        0x7 => (Insn::Andi { d: upper_d(w), k: imm8(w) }, 1),
+        0x3 => (
+            Insn::Cpi {
+                d: upper_d(w),
+                k: imm8(w),
+            },
+            1,
+        ),
+        0x4 => (
+            Insn::Sbci {
+                d: upper_d(w),
+                k: imm8(w),
+            },
+            1,
+        ),
+        0x5 => (
+            Insn::Subi {
+                d: upper_d(w),
+                k: imm8(w),
+            },
+            1,
+        ),
+        0x6 => (
+            Insn::Ori {
+                d: upper_d(w),
+                k: imm8(w),
+            },
+            1,
+        ),
+        0x7 => (
+            Insn::Andi {
+                d: upper_d(w),
+                k: imm8(w),
+            },
+            1,
+        ),
         0x8 | 0xa => decode_displaced(w),
         0x9 => decode_misc(w, second, invalid),
         0xb => {
@@ -108,9 +138,25 @@ pub fn decode(words: &[u16]) -> (Insn, u32) {
                 (Insn::Out { a, r: d5(w) }, 1)
             }
         }
-        0xc => (Insn::Rjmp { k: sign_extend(w & 0x0fff, 12) }, 1),
-        0xd => (Insn::Rcall { k: sign_extend(w & 0x0fff, 12) }, 1),
-        0xe => (Insn::Ldi { d: upper_d(w), k: imm8(w) }, 1),
+        0xc => (
+            Insn::Rjmp {
+                k: sign_extend(w & 0x0fff, 12),
+            },
+            1,
+        ),
+        0xd => (
+            Insn::Rcall {
+                k: sign_extend(w & 0x0fff, 12),
+            },
+            1,
+        ),
+        0xe => (
+            Insn::Ldi {
+                d: upper_d(w),
+                k: imm8(w),
+            },
+            1,
+        ),
         _ => decode_f_group(w, invalid),
     }
 }
@@ -136,17 +182,53 @@ fn decode_misc(w: u16, second: Option<u16>, invalid: (Insn, u32)) -> (Insn, u32)
                     Some(k) => (Insn::Lds { d, k }, 2),
                     None => invalid,
                 },
-                0x1 => (Insn::Ld { d, ptr: PtrReg::ZPostInc }, 1),
-                0x2 => (Insn::Ld { d, ptr: PtrReg::ZPreDec }, 1),
+                0x1 => (
+                    Insn::Ld {
+                        d,
+                        ptr: PtrReg::ZPostInc,
+                    },
+                    1,
+                ),
+                0x2 => (
+                    Insn::Ld {
+                        d,
+                        ptr: PtrReg::ZPreDec,
+                    },
+                    1,
+                ),
                 0x4 => (Insn::Lpm { d, post_inc: false }, 1),
                 0x5 => (Insn::Lpm { d, post_inc: true }, 1),
                 0x6 => (Insn::Elpm { d, post_inc: false }, 1),
                 0x7 => (Insn::Elpm { d, post_inc: true }, 1),
-                0x9 => (Insn::Ld { d, ptr: PtrReg::YPostInc }, 1),
-                0xa => (Insn::Ld { d, ptr: PtrReg::YPreDec }, 1),
+                0x9 => (
+                    Insn::Ld {
+                        d,
+                        ptr: PtrReg::YPostInc,
+                    },
+                    1,
+                ),
+                0xa => (
+                    Insn::Ld {
+                        d,
+                        ptr: PtrReg::YPreDec,
+                    },
+                    1,
+                ),
                 0xc => (Insn::Ld { d, ptr: PtrReg::X }, 1),
-                0xd => (Insn::Ld { d, ptr: PtrReg::XPostInc }, 1),
-                0xe => (Insn::Ld { d, ptr: PtrReg::XPreDec }, 1),
+                0xd => (
+                    Insn::Ld {
+                        d,
+                        ptr: PtrReg::XPostInc,
+                    },
+                    1,
+                ),
+                0xe => (
+                    Insn::Ld {
+                        d,
+                        ptr: PtrReg::XPreDec,
+                    },
+                    1,
+                ),
                 0xf => (Insn::Pop { d }, 1),
                 _ => invalid,
             }
@@ -158,24 +240,96 @@ fn decode_misc(w: u16, second: Option<u16>, invalid: (Insn, u32)) -> (Insn, u32)
                     Some(k) => (Insn::Sts { k, r }, 2),
                     None => invalid,
                 },
-                0x1 => (Insn::St { ptr: PtrReg::ZPostInc, r }, 1),
-                0x2 => (Insn::St { ptr: PtrReg::ZPreDec, r }, 1),
-                0x9 => (Insn::St { ptr: PtrReg::YPostInc, r }, 1),
-                0xa => (Insn::St { ptr: PtrReg::YPreDec, r }, 1),
+                0x1 => (
+                    Insn::St {
+                        ptr: PtrReg::ZPostInc,
+                        r,
+                    },
+                    1,
+                ),
+                0x2 => (
+                    Insn::St {
+                        ptr: PtrReg::ZPreDec,
+                        r,
+                    },
+                    1,
+                ),
+                0x9 => (
+                    Insn::St {
+                        ptr: PtrReg::YPostInc,
+                        r,
+                    },
+                    1,
+                ),
+                0xa => (
+                    Insn::St {
+                        ptr: PtrReg::YPreDec,
+                        r,
+                    },
+                    1,
+                ),
                 0xc => (Insn::St { ptr: PtrReg::X, r }, 1),
-                0xd => (Insn::St { ptr: PtrReg::XPostInc, r }, 1),
-                0xe => (Insn::St { ptr: PtrReg::XPreDec, r }, 1),
+                0xd => (
+                    Insn::St {
+                        ptr: PtrReg::XPostInc,
+                        r,
+                    },
+                    1,
+                ),
+                0xe => (
+                    Insn::St {
+                        ptr: PtrReg::XPreDec,
+                        r,
+                    },
+                    1,
+                ),
                 0xf => (Insn::Push { r }, 1),
                 _ => invalid,
             }
         }
         0x4 | 0x5 => decode_94_95(w, second, invalid),
-        0x6 => (Insn::Adiw { d: adiw_reg(w), k: adiw_k(w) }, 1),
-        0x7 => (Insn::Sbiw { d: adiw_reg(w), k: adiw_k(w) }, 1),
-        0x8 => (Insn::Cbi { a: bit_a(w), b: bit_b(w) }, 1),
-        0x9 => (Insn::Sbic { a: bit_a(w), b: bit_b(w) }, 1),
-        0xa => (Insn::Sbi { a: bit_a(w), b: bit_b(w) }, 1),
-        0xb => (Insn::Sbis { a: bit_a(w), b: bit_b(w) }, 1),
+        0x6 => (
+            Insn::Adiw {
+                d: adiw_reg(w),
+                k: adiw_k(w),
+            },
+            1,
+        ),
+        0x7 => (
+            Insn::Sbiw {
+                d: adiw_reg(w),
+                k: adiw_k(w),
+            },
+            1,
+        ),
+        0x8 => (
+            Insn::Cbi {
+                a: bit_a(w),
+                b: bit_b(w),
+            },
+            1,
+        ),
+        0x9 => (
+            Insn::Sbic {
+                a: bit_a(w),
+                b: bit_b(w),
+            },
+            1,
+        ),
+        0xa => (
+            Insn::Sbi {
+                a: bit_a(w),
+                b: bit_b(w),
+            },
+            1,
+        ),
+        0xb => (
+            Insn::Sbis {
+                a: bit_a(w),
+                b: bit_b(w),
+            },
+            1,
+        ),
         _ => (Insn::Mul { d: d5(w), r: r5(w) }, 1),
     }
 }
@@ -215,10 +369,20 @@ fn decode_94_95(w: u16, second: Option<u16>, invalid: (Insn, u32)) -> (Insn, u32
         _ => {}
     }
     if w & 0xff8f == 0x9408 {
-        return (Insn::Bset { s: ((w >> 4) & 0x7) as u8 }, 1);
+        return (
+            Insn::Bset {
+                s: ((w >> 4) & 0x7) as u8,
+            },
+            1,
+        );
     }
     if w & 0xff8f == 0x9488 {
-        return (Insn::Bclr { s: ((w >> 4) & 0x7) as u8 }, 1);
+        return (
+            Insn::Bclr {
+                s: ((w >> 4) & 0x7) as u8,
+            },
+            1,
+        );
     }
     if w & 0xfe0e == 0x940c {
         return match second {
@@ -308,11 +472,27 @@ mod tests {
     #[test]
     fn decodes_known_words() {
         assert_eq!(decode(&[0x9508]), (Insn::Ret, 1));
-        assert_eq!(decode(&[0xbfde]), (Insn::Out { a: 0x3e, r: Reg::R29 }, 1));
+        assert_eq!(
+            decode(&[0xbfde]),
+            (
+                Insn::Out {
+                    a: 0x3e,
+                    r: Reg::R29
+                },
+                1
+            )
+        );
         assert_eq!(decode(&[0x91cf]), (Insn::Pop { d: Reg::R28 }, 1));
         assert_eq!(
             decode(&[0x8259]),
-            (Insn::Std { idx: YZ::Y, q: 1, r: Reg::R5 }, 1)
+            (
+                Insn::Std {
+                    idx: YZ::Y,
+                    q: 1,
+                    r: Reg::R5
+                },
+                1
+            )
         );
         assert_eq!(decode(&[0x940c, 0x0200]), (Insn::Jmp { k: 0x200 }, 2));
         assert_eq!(decode(&[0x940f, 0x0002]), (Insn::Call { k: 0x1_0002 }, 2));

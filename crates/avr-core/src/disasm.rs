@@ -205,18 +205,45 @@ mod tests {
 
     #[test]
     fn formats_match_paper_style() {
-        assert_eq!(Insn::Out { a: 0x3e, r: Reg::R29 }.to_string(), "out 0x3e, r29");
+        assert_eq!(
+            Insn::Out {
+                a: 0x3e,
+                r: Reg::R29
+            }
+            .to_string(),
+            "out 0x3e, r29"
+        );
         assert_eq!(Insn::Pop { d: Reg::R28 }.to_string(), "pop r28");
         assert_eq!(
-            Insn::Std { idx: YZ::Y, q: 1, r: Reg::R5 }.to_string(),
+            Insn::Std {
+                idx: YZ::Y,
+                q: 1,
+                r: Reg::R5
+            }
+            .to_string(),
             "std Y+1, r5"
         );
         assert_eq!(Insn::Ret.to_string(), "ret");
-        assert_eq!(Insn::Ldi { d: Reg::R22, k: 0xe8 }.to_string(), "ldi r22, 0xe8");
+        assert_eq!(
+            Insn::Ldi {
+                d: Reg::R22,
+                k: 0xe8
+            }
+            .to_string(),
+            "ldi r22, 0xe8"
+        );
         assert_eq!(Insn::Rcall { k: 455 }.to_string(), "rcall .+912");
         assert_eq!(Insn::Brbs { s: 1, k: -3 }.to_string(), "breq .-4");
         assert_eq!(Insn::Jmp { k: 0x100 }.to_string(), "jmp 0x200");
-        assert_eq!(Insn::Ldd { d: Reg::R4, idx: YZ::Z, q: 0 }.to_string(), "ld r4, Z");
+        assert_eq!(
+            Insn::Ldd {
+                d: Reg::R4,
+                idx: YZ::Z,
+                q: 0
+            }
+            .to_string(),
+            "ld r4, Z"
+        );
         assert_eq!(Insn::Invalid(0xffff).to_string(), ".word 0xffff");
     }
 

@@ -129,14 +129,7 @@ fn check_sreg_bit(s: u8, mnemonic: &'static str) -> Result<u16> {
     }
 }
 
-fn narrow_pair(
-    op: u16,
-    d: Reg,
-    r: Reg,
-    lo: u8,
-    hi: u8,
-    mnemonic: &'static str,
-) -> Result<u16> {
+fn narrow_pair(op: u16, d: Reg, r: Reg, lo: u8, hi: u8, mnemonic: &'static str) -> Result<u16> {
     for reg in [d, r] {
         if reg.num() < lo || reg.num() > hi {
             return Err(EncodeError::BadRegister { mnemonic, reg });
@@ -226,12 +219,12 @@ pub fn encode(insn: &Insn) -> Result<Vec<u16>> {
         Insn::Lds { d, k } => Ok(vec![0x9000 | (u16::from(d.num()) << 4), k]),
         Insn::Sts { k, r } => Ok(vec![0x9200 | (u16::from(r.num()) << 4), k]),
 
-        Insn::Lpm { d, post_inc } => one(0x9004
-            | (u16::from(d.num()) << 4)
-            | if post_inc { 0b0101 } else { 0b0100 }),
-        Insn::Elpm { d, post_inc } => one(0x9004
-            | (u16::from(d.num()) << 4)
-            | if post_inc { 0b0111 } else { 0b0110 }),
+        Insn::Lpm { d, post_inc } => {
+            one(0x9004 | (u16::from(d.num()) << 4) | if post_inc { 0b0101 } else { 0b0100 })
+        }
+        Insn::Elpm { d, post_inc } => {
+            one(0x9004 | (u16::from(d.num()) << 4) | if post_inc { 0b0111 } else { 0b0110 })
+        }
 
         Insn::Push { r } => one(0x920f | (u16::from(r.num()) << 4)),
         Insn::Pop { d } => one(0x900f | (u16::from(d.num()) << 4)),
@@ -330,12 +323,20 @@ mod tests {
         assert_eq!(encode(&Insn::Reti).unwrap(), vec![0x9518]);
         // out 0x3e, r29 -> 1011 1011 1101 1110 = 0xbfde
         assert_eq!(
-            encode(&Insn::Out { a: 0x3e, r: Reg::R29 }).unwrap(),
+            encode(&Insn::Out {
+                a: 0x3e,
+                r: Reg::R29
+            })
+            .unwrap(),
             vec![0xbfde]
         );
         // out 0x3d, r28 -> 0xbfcd
         assert_eq!(
-            encode(&Insn::Out { a: 0x3d, r: Reg::R28 }).unwrap(),
+            encode(&Insn::Out {
+                a: 0x3d,
+                r: Reg::R28
+            })
+            .unwrap(),
             vec![0xbfcd]
         );
         // pop r28 = 0x91cf, push r28 = 0x93cf
@@ -348,11 +349,19 @@ mod tests {
         );
         // std Y+1, r5 -> 1000 0010 0101 1001 = 0x8259
         assert_eq!(
-            encode(&Insn::Std { idx: YZ::Y, q: 1, r: Reg::R5 }).unwrap(),
+            encode(&Insn::Std {
+                idx: YZ::Y,
+                q: 1,
+                r: Reg::R5
+            })
+            .unwrap(),
             vec![0x8259]
         );
         // jmp 0x200 (word addr) -> 0x940c 0x0200
-        assert_eq!(encode(&Insn::Jmp { k: 0x200 }).unwrap(), vec![0x940c, 0x0200]);
+        assert_eq!(
+            encode(&Insn::Jmp { k: 0x200 }).unwrap(),
+            vec![0x940c, 0x0200]
+        );
         // call across the 128 Kword boundary exercises bit 16.
         assert_eq!(
             encode(&Insn::Call { k: 0x1_0002 }).unwrap(),
@@ -365,7 +374,11 @@ mod tests {
         assert_eq!(encode(&Insn::Brbs { s: 1, k: 2 }).unwrap(), vec![0xf011]);
         // movw r24, r30 -> 0x01cf
         assert_eq!(
-            encode(&Insn::Movw { d: Reg::R24, r: Reg::R30 }).unwrap(),
+            encode(&Insn::Movw {
+                d: Reg::R24,
+                r: Reg::R30
+            })
+            .unwrap(),
             vec![0x01cf]
         );
         // adiw r28, 1 -> 0x9621
@@ -375,12 +388,20 @@ mod tests {
         );
         // lds r24, 0x0200 -> 0x9180 0x0200
         assert_eq!(
-            encode(&Insn::Lds { d: Reg::R24, k: 0x200 }).unwrap(),
+            encode(&Insn::Lds {
+                d: Reg::R24,
+                k: 0x200
+            })
+            .unwrap(),
             vec![0x9180, 0x0200]
         );
         // sts 0x0200, r24 -> 0x9380 0x0200
         assert_eq!(
-            encode(&Insn::Sts { k: 0x200, r: Reg::R24 }).unwrap(),
+            encode(&Insn::Sts {
+                k: 0x200,
+                r: Reg::R24
+            })
+            .unwrap(),
             vec![0x9380, 0x0200]
         );
     }
@@ -389,7 +410,10 @@ mod tests {
     fn operand_validation() {
         assert!(matches!(
             encode(&Insn::Ldi { d: Reg::R5, k: 1 }),
-            Err(EncodeError::BadRegister { mnemonic: "ldi", .. })
+            Err(EncodeError::BadRegister {
+                mnemonic: "ldi",
+                ..
+            })
         ));
         assert!(matches!(
             encode(&Insn::Adiw { d: Reg::R25, k: 1 }),
@@ -401,11 +425,24 @@ mod tests {
         assert!(encode(&Insn::Brbs { s: 8, k: 0 }).is_err());
         assert!(encode(&Insn::Brbs { s: 0, k: 64 }).is_err());
         assert!(encode(&Insn::Jmp { k: 0x40_0000 }).is_err());
-        assert!(encode(&Insn::Movw { d: Reg::R1, r: Reg::R2 }).is_err());
-        assert!(encode(&Insn::Std { idx: YZ::Y, q: 64, r: Reg::R0 }).is_err());
+        assert!(encode(&Insn::Movw {
+            d: Reg::R1,
+            r: Reg::R2
+        })
+        .is_err());
+        assert!(encode(&Insn::Std {
+            idx: YZ::Y,
+            q: 64,
+            r: Reg::R0
+        })
+        .is_err());
         assert!(encode(&Insn::In { d: Reg::R0, a: 64 }).is_err());
         assert!(encode(&Insn::Sbi { a: 32, b: 0 }).is_err());
-        assert!(encode(&Insn::Mulsu { d: Reg::R24, r: Reg::R16 }).is_err());
+        assert!(encode(&Insn::Mulsu {
+            d: Reg::R24,
+            r: Reg::R16
+        })
+        .is_err());
     }
 
     #[test]

@@ -80,101 +80,273 @@ pub enum Insn {
     Elpm0,
 
     // ---- two-register ALU ----
-    Add { d: Reg, r: Reg },
-    Adc { d: Reg, r: Reg },
-    Sub { d: Reg, r: Reg },
-    Sbc { d: Reg, r: Reg },
-    And { d: Reg, r: Reg },
-    Or { d: Reg, r: Reg },
-    Eor { d: Reg, r: Reg },
-    Cp { d: Reg, r: Reg },
-    Cpc { d: Reg, r: Reg },
-    Cpse { d: Reg, r: Reg },
-    Mov { d: Reg, r: Reg },
-    Mul { d: Reg, r: Reg },
+    Add {
+        d: Reg,
+        r: Reg,
+    },
+    Adc {
+        d: Reg,
+        r: Reg,
+    },
+    Sub {
+        d: Reg,
+        r: Reg,
+    },
+    Sbc {
+        d: Reg,
+        r: Reg,
+    },
+    And {
+        d: Reg,
+        r: Reg,
+    },
+    Or {
+        d: Reg,
+        r: Reg,
+    },
+    Eor {
+        d: Reg,
+        r: Reg,
+    },
+    Cp {
+        d: Reg,
+        r: Reg,
+    },
+    Cpc {
+        d: Reg,
+        r: Reg,
+    },
+    Cpse {
+        d: Reg,
+        r: Reg,
+    },
+    Mov {
+        d: Reg,
+        r: Reg,
+    },
+    Mul {
+        d: Reg,
+        r: Reg,
+    },
     /// `movw`: move register pair; `d` and `r` must be even.
-    Movw { d: Reg, r: Reg },
+    Movw {
+        d: Reg,
+        r: Reg,
+    },
     /// `muls`: signed multiply, registers r16..r31.
-    Muls { d: Reg, r: Reg },
+    Muls {
+        d: Reg,
+        r: Reg,
+    },
     /// `mulsu`: signed × unsigned, registers r16..r23.
-    Mulsu { d: Reg, r: Reg },
+    Mulsu {
+        d: Reg,
+        r: Reg,
+    },
     /// `fmul`: fractional multiply, registers r16..r23.
-    Fmul { d: Reg, r: Reg },
-    Fmuls { d: Reg, r: Reg },
-    Fmulsu { d: Reg, r: Reg },
+    Fmul {
+        d: Reg,
+        r: Reg,
+    },
+    Fmuls {
+        d: Reg,
+        r: Reg,
+    },
+    Fmulsu {
+        d: Reg,
+        r: Reg,
+    },
 
     // ---- register + immediate (upper bank r16..r31) ----
-    Ldi { d: Reg, k: u8 },
-    Cpi { d: Reg, k: u8 },
-    Subi { d: Reg, k: u8 },
-    Sbci { d: Reg, k: u8 },
-    Ori { d: Reg, k: u8 },
-    Andi { d: Reg, k: u8 },
+    Ldi {
+        d: Reg,
+        k: u8,
+    },
+    Cpi {
+        d: Reg,
+        k: u8,
+    },
+    Subi {
+        d: Reg,
+        k: u8,
+    },
+    Sbci {
+        d: Reg,
+        k: u8,
+    },
+    Ori {
+        d: Reg,
+        k: u8,
+    },
+    Andi {
+        d: Reg,
+        k: u8,
+    },
 
     // ---- single-register ALU ----
-    Com { d: Reg },
-    Neg { d: Reg },
-    Swap { d: Reg },
-    Inc { d: Reg },
-    Dec { d: Reg },
-    Asr { d: Reg },
-    Lsr { d: Reg },
-    Ror { d: Reg },
+    Com {
+        d: Reg,
+    },
+    Neg {
+        d: Reg,
+    },
+    Swap {
+        d: Reg,
+    },
+    Inc {
+        d: Reg,
+    },
+    Dec {
+        d: Reg,
+    },
+    Asr {
+        d: Reg,
+    },
+    Lsr {
+        d: Reg,
+    },
+    Ror {
+        d: Reg,
+    },
 
     // ---- word immediate on pairs r24/r26/r28/r30 ----
     /// `adiw`: add immediate (0..63) to word; `d` ∈ {24, 26, 28, 30}.
-    Adiw { d: Reg, k: u8 },
-    Sbiw { d: Reg, k: u8 },
+    Adiw {
+        d: Reg,
+        k: u8,
+    },
+    Sbiw {
+        d: Reg,
+        k: u8,
+    },
 
     // ---- data transfer ----
     /// Indirect load with pre-dec/post-inc addressing.
-    Ld { d: Reg, ptr: PtrReg },
+    Ld {
+        d: Reg,
+        ptr: PtrReg,
+    },
     /// Indirect store with pre-dec/post-inc addressing.
-    St { ptr: PtrReg, r: Reg },
+    St {
+        ptr: PtrReg,
+        r: Reg,
+    },
     /// Load with displacement, `ldd Rd, Y+q` / `ldd Rd, Z+q` (q in 0..=63).
     /// `q == 0` is the plain `ld Rd, Y` / `ld Rd, Z` form.
-    Ldd { d: Reg, idx: YZ, q: u8 },
+    Ldd {
+        d: Reg,
+        idx: YZ,
+        q: u8,
+    },
     /// Store with displacement, `std Y+q, Rr` — the paper's
     /// `write_mem_gadget` opens with three of these (Fig. 5).
-    Std { idx: YZ, q: u8, r: Reg },
+    Std {
+        idx: YZ,
+        q: u8,
+        r: Reg,
+    },
     /// Direct load from data space (32-bit encoding).
-    Lds { d: Reg, k: u16 },
+    Lds {
+        d: Reg,
+        k: u16,
+    },
     /// Direct store to data space (32-bit encoding).
-    Sts { k: u16, r: Reg },
+    Sts {
+        k: u16,
+        r: Reg,
+    },
     /// Load from program memory at Z.
-    Lpm { d: Reg, post_inc: bool },
+    Lpm {
+        d: Reg,
+        post_inc: bool,
+    },
     /// Extended load from program memory at RAMPZ:Z.
-    Elpm { d: Reg, post_inc: bool },
-    Push { r: Reg },
-    Pop { d: Reg },
-    In { d: Reg, a: u8 },
-    Out { a: u8, r: Reg },
+    Elpm {
+        d: Reg,
+        post_inc: bool,
+    },
+    Push {
+        r: Reg,
+    },
+    Pop {
+        d: Reg,
+    },
+    In {
+        d: Reg,
+        a: u8,
+    },
+    Out {
+        a: u8,
+        r: Reg,
+    },
 
     // ---- control flow ----
     /// Absolute jump to a 22-bit word address (32-bit encoding).
-    Jmp { k: u32 },
+    Jmp {
+        k: u32,
+    },
     /// Absolute call to a 22-bit word address (32-bit encoding).
-    Call { k: u32 },
+    Call {
+        k: u32,
+    },
     /// Relative jump, signed word offset −2048..=2047.
-    Rjmp { k: i16 },
+    Rjmp {
+        k: i16,
+    },
     /// Relative call, signed word offset −2048..=2047.
-    Rcall { k: i16 },
+    Rcall {
+        k: i16,
+    },
     /// Branch if SREG bit `s` set, signed word offset −64..=63.
-    Brbs { s: u8, k: i8 },
+    Brbs {
+        s: u8,
+        k: i8,
+    },
     /// Branch if SREG bit `s` clear.
-    Brbc { s: u8, k: i8 },
+    Brbc {
+        s: u8,
+        k: i8,
+    },
 
     // ---- bit and SREG ----
-    Bset { s: u8 },
-    Bclr { s: u8 },
-    Bst { d: Reg, b: u8 },
-    Bld { d: Reg, b: u8 },
-    Sbrc { r: Reg, b: u8 },
-    Sbrs { r: Reg, b: u8 },
-    Sbi { a: u8, b: u8 },
-    Cbi { a: u8, b: u8 },
-    Sbic { a: u8, b: u8 },
-    Sbis { a: u8, b: u8 },
+    Bset {
+        s: u8,
+    },
+    Bclr {
+        s: u8,
+    },
+    Bst {
+        d: Reg,
+        b: u8,
+    },
+    Bld {
+        d: Reg,
+        b: u8,
+    },
+    Sbrc {
+        r: Reg,
+        b: u8,
+    },
+    Sbrs {
+        r: Reg,
+        b: u8,
+    },
+    Sbi {
+        a: u8,
+        b: u8,
+    },
+    Cbi {
+        a: u8,
+        b: u8,
+    },
+    Sbic {
+        a: u8,
+        b: u8,
+    },
+    Sbis {
+        a: u8,
+        b: u8,
+    },
 
     /// A word that does not decode to any AVRe+ instruction. Executing one
     /// is the "executing garbage" failure mode the paper's master processor

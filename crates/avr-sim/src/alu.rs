@@ -39,11 +39,7 @@ pub fn add8(rd: u8, rr: u8, carry_in: bool, mut f: u8) -> (u8, u8) {
     let full = u16::from(rd) + u16::from(rr) + c;
     let r = full as u8;
     set(&mut f, C, full > 0xff);
-    set(
-        &mut f,
-        H,
-        (rd & 0x0f) + (rr & 0x0f) + carry_in as u8 > 0x0f,
-    );
+    set(&mut f, H, (rd & 0x0f) + (rr & 0x0f) + carry_in as u8 > 0x0f);
     set(
         &mut f,
         V,
@@ -60,16 +56,8 @@ pub fn sub8(rd: u8, rr: u8, carry_in: bool, z_sticky: bool, mut f: u8) -> (u8, u
     let c = u16::from(carry_in);
     let full = u16::from(rd).wrapping_sub(u16::from(rr)).wrapping_sub(c);
     let r = full as u8;
-    set(
-        &mut f,
-        C,
-        u16::from(rr) + c > u16::from(rd),
-    );
-    set(
-        &mut f,
-        H,
-        (rr & 0x0f) + carry_in as u8 > (rd & 0x0f),
-    );
+    set(&mut f, C, u16::from(rr) + c > u16::from(rd));
+    set(&mut f, H, (rr & 0x0f) + carry_in as u8 > (rd & 0x0f));
     set(
         &mut f,
         V,
@@ -187,12 +175,31 @@ pub fn sbiw16(rd: u16, k: u8, mut f: u8) -> (u16, u8) {
 }
 
 /// Unsigned, signed and mixed multiplies. Returns (16-bit product, SREG).
-pub fn mul16(rd: u8, rr: u8, signed_d: bool, signed_r: bool, fractional: bool, mut f: u8) -> (u16, u8) {
-    let a: i32 = if signed_d { i32::from(rd as i8) } else { i32::from(rd) };
-    let b: i32 = if signed_r { i32::from(rr as i8) } else { i32::from(rr) };
+pub fn mul16(
+    rd: u8,
+    rr: u8,
+    signed_d: bool,
+    signed_r: bool,
+    fractional: bool,
+    mut f: u8,
+) -> (u16, u8) {
+    let a: i32 = if signed_d {
+        i32::from(rd as i8)
+    } else {
+        i32::from(rd)
+    };
+    let b: i32 = if signed_r {
+        i32::from(rr as i8)
+    } else {
+        i32::from(rr)
+    };
     let p = (a * b) as u32 & 0xffff;
     let c = bit16(p as u16, 15);
-    let r = if fractional { ((p << 1) & 0xffff) as u16 } else { p as u16 };
+    let r = if fractional {
+        ((p << 1) & 0xffff) as u16
+    } else {
+        p as u16
+    };
     set(&mut f, C, c);
     set(&mut f, Z, r == 0);
     (r, f)

@@ -70,11 +70,7 @@ impl Eeprom {
                     self.master_enable = false;
                 }
                 if v & EERE != 0 {
-                    self.data = self
-                        .bytes
-                        .get(self.addr as usize)
-                        .copied()
-                        .unwrap_or(0xff);
+                    self.data = self.bytes.get(self.addr as usize).copied().unwrap_or(0xff);
                 }
             }
             _ => {}

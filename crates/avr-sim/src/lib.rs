@@ -40,12 +40,16 @@
 mod alu;
 pub mod eeprom;
 mod fault;
+pub mod forensics;
 mod machine;
 mod periph;
+pub mod profiler;
 pub mod timer;
 
-pub use fault::{Fault, RunExit};
-pub use machine::{Machine, HEARTBEAT_BIT};
-pub use periph::{Heartbeat, Uart, Watchdog};
 pub use eeprom::Eeprom;
+pub use fault::{Fault, RunExit};
+pub use forensics::CrashReport;
+pub use machine::{Machine, SimCounters, Trace, HEARTBEAT_BIT};
+pub use periph::{Heartbeat, Uart, Watchdog};
+pub use profiler::PcProfile;
 pub use timer::Timer0;

@@ -6,10 +6,13 @@ use avr_core::decode::decode;
 use avr_core::device::{Device, ATMEGA2560};
 use avr_core::{cycles::base_cycles, io, Insn, PtrReg, Reg};
 
+use telemetry::{Telemetry, Value};
+
 use crate::alu;
+use crate::eeprom::{Eeprom, EEARH_ADDR, EECR_ADDR};
 use crate::fault::{Fault, RunExit};
 use crate::periph::{Heartbeat, Uart, Watchdog, PORTB_ADDR, UCSR0A_ADDR, UDR0_ADDR};
-use crate::eeprom::{Eeprom, EEARH_ADDR, EECR_ADDR};
+use crate::profiler::PcProfile;
 use crate::timer::{self, Timer0, TCCR0B_ADDR, TCNT0_ADDR, TIFR0_ADDR, TIMSK0_ADDR};
 
 /// PORTB bit used as the heartbeat signal to the MAVR master processor.
@@ -31,7 +34,8 @@ pub struct Trace {
 }
 
 impl Trace {
-    fn new(capacity: usize) -> Self {
+    /// An empty ring holding up to `capacity` entries (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
         Trace {
             entries: Vec::with_capacity(capacity),
             head: 0,
@@ -39,7 +43,8 @@ impl Trace {
         }
     }
 
-    fn record(&mut self, pc_bytes: u32, sp: u16) {
+    /// Append one `(pc_bytes, sp)` sample, evicting the oldest when full.
+    pub fn record(&mut self, pc_bytes: u32, sp: u16) {
         if self.entries.len() < self.capacity {
             self.entries.push((pc_bytes, sp));
         } else {
@@ -62,7 +67,9 @@ impl Trace {
     /// The most recently executed PC (bytes).
     pub fn last_pc(&self) -> Option<u32> {
         let idx = (self.head + self.capacity - 1) % self.capacity;
-        self.entries.get(idx.min(self.entries.len().saturating_sub(1))).map(|e| e.0)
+        self.entries
+            .get(idx.min(self.entries.len().saturating_sub(1)))
+            .map(|e| e.0)
     }
 }
 
@@ -97,6 +104,35 @@ pub struct Machine {
     pub watchdog: Watchdog,
     /// Timer/Counter0 (overflow interrupt support).
     pub timer0: Timer0,
+    /// Instructions retired since construction (not cleared by [`reset`]).
+    ///
+    /// [`reset`]: Machine::reset
+    pub insns_retired: u64,
+    /// Interrupts vectored since construction.
+    pub interrupts_taken: u64,
+    /// Flight-recorder handle; inert by default. Fault and watchdog events
+    /// are emitted here from the cold failure path only, so the hot loop is
+    /// unaffected.
+    pub telemetry: Telemetry,
+    /// Opt-in hot-PC histogram (see [`Machine::enable_profile`]).
+    profile: Option<PcProfile>,
+}
+
+/// Snapshot of the machine's activity counters (see [`Machine::counters`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimCounters {
+    /// Instructions retired.
+    pub insns_retired: u64,
+    /// CPU cycles elapsed.
+    pub cycles: u64,
+    /// Interrupts vectored.
+    pub interrupts_taken: u64,
+    /// Bytes the UART consumed from the receive queue.
+    pub uart_rx_bytes: u64,
+    /// Bytes the UART transmitted.
+    pub uart_tx_bytes: u64,
+    /// EEPROM write operations.
+    pub eeprom_writes: u64,
 }
 
 impl Machine {
@@ -117,6 +153,10 @@ impl Machine {
             heartbeat: Heartbeat::default(),
             watchdog: Watchdog::default(),
             timer0: Timer0::default(),
+            insns_retired: 0,
+            interrupts_taken: 0,
+            telemetry: Telemetry::off(),
+            profile: None,
         };
         m.set_sp(device.ramend());
         m
@@ -192,10 +232,7 @@ impl Machine {
 
     /// Current stack pointer.
     pub fn sp(&self) -> u16 {
-        u16::from_le_bytes([
-            self.data[SPL_DATA as usize],
-            self.data[SPH_DATA as usize],
-        ])
+        u16::from_le_bytes([self.data[SPL_DATA as usize], self.data[SPH_DATA as usize]])
     }
 
     /// Set the stack pointer.
@@ -366,7 +403,10 @@ impl Machine {
         let a = (self.pc * 2) as usize;
         let w0 = u16::from_le_bytes([self.flash[a], self.flash[a + 1]]);
         let words: &[u16] = if a + 4 <= self.flash.len() {
-            &[w0, u16::from_le_bytes([self.flash[a + 2], self.flash[a + 3]])]
+            &[
+                w0,
+                u16::from_le_bytes([self.flash[a + 2], self.flash[a + 3]]),
+            ]
         } else {
             &[w0]
         };
@@ -397,10 +437,7 @@ impl Machine {
         // more instruction first; the frame epilogue's `out SREG` relies on
         // this to protect the following `out SPL`).
         let suppressed = std::mem::replace(&mut self.irq_delay, false);
-        if !suppressed
-            && self.sreg() & (1 << avr_core::sreg::I) != 0
-            && self.timer0.irq_pending()
-        {
+        if !suppressed && self.sreg() & (1 << avr_core::sreg::I) != 0 && self.timer0.irq_pending() {
             self.timer0.ack();
             if let Err(f) = self.push_pc(self.pc) {
                 return self.fail(f);
@@ -409,22 +446,25 @@ impl Machine {
             self.set_sreg(f);
             self.pc = timer::TIMER0_OVF_VECTOR * 2; // 4-byte vector slots
             self.cycles += 5;
+            self.interrupts_taken += 1;
         }
         let (insn, width) = match self.fetch() {
             Ok(v) => v,
             Err(f) => return self.fail(f),
         };
         if let Some(t) = &mut self.trace {
-            let sp = u16::from_le_bytes([
-                self.data[SPL_DATA as usize],
-                self.data[SPH_DATA as usize],
-            ]);
+            let sp =
+                u16::from_le_bytes([self.data[SPL_DATA as usize], self.data[SPH_DATA as usize]]);
             t.record(self.pc * 2, sp);
+        }
+        if let Some(p) = &mut self.profile {
+            p.record(self.pc * 2);
         }
         let pc0 = self.pc;
         self.pc += width;
         let c0 = self.cycles;
         self.cycles += base_cycles(&insn);
+        self.insns_retired += 1;
         let result = self.exec(insn, pc0, width);
         self.timer0.advance(self.cycles - c0);
         match result {
@@ -435,6 +475,14 @@ impl Machine {
 
     fn fail(&mut self, f: Fault) -> Result<(), Fault> {
         self.fault = Some(f);
+        let (pc, sp) = (self.pc, self.sp());
+        self.telemetry.emit("sim.fault", Some(self.cycles), || {
+            vec![
+                ("fault", Value::Str(f.to_string())),
+                ("pc", Value::U64(u64::from(pc) * 2)),
+                ("sp", Value::U64(u64::from(sp))),
+            ]
+        });
         Err(f)
     }
 
@@ -795,10 +843,7 @@ impl Machine {
     }
 
     fn flash_byte(&self, byte_addr: u32) -> u8 {
-        self.flash
-            .get(byte_addr as usize)
-            .copied()
-            .unwrap_or(0xff)
+        self.flash.get(byte_addr as usize).copied().unwrap_or(0xff)
     }
 
     fn rampz_z(&self) -> u32 {
@@ -826,6 +871,33 @@ impl Machine {
         self.trace.as_ref()
     }
 
+    /// Enable the hot-PC histogram profiler, bucketing flash into
+    /// `bucket_bytes`-sized bins.
+    pub fn enable_profile(&mut self, bucket_bytes: u32) {
+        self.profile = Some(PcProfile::new(self.device.flash_bytes, bucket_bytes));
+    }
+
+    /// Disable profiling and drop the histogram.
+    pub fn disable_profile(&mut self) {
+        self.profile = None;
+    }
+
+    /// The PC histogram, if profiling is enabled.
+    pub fn profile(&self) -> Option<&PcProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Snapshot the activity counters across the core and its peripherals.
+    pub fn counters(&self) -> SimCounters {
+        SimCounters {
+            insns_retired: self.insns_retired,
+            cycles: self.cycles,
+            interrupts_taken: self.interrupts_taken,
+            uart_rx_bytes: self.uart0.rx_bytes,
+            uart_tx_bytes: self.uart0.tx_bytes,
+            eeprom_writes: self.eeprom.writes,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -844,8 +916,14 @@ mod tests {
         let mut m = machine_with(&[
             Insn::Ldi { d: Reg::R24, k: 40 },
             Insn::Ldi { d: Reg::R25, k: 2 },
-            Insn::Add { d: Reg::R24, r: Reg::R25 },
-            Insn::Sts { k: 0x0300, r: Reg::R24 },
+            Insn::Add {
+                d: Reg::R24,
+                r: Reg::R25,
+            },
+            Insn::Sts {
+                k: 0x0300,
+                r: Reg::R24,
+            },
             Insn::Break,
         ]);
         let exit = m.run(100);
@@ -856,11 +934,7 @@ mod tests {
     #[test]
     fn call_ret_uses_three_byte_frames() {
         // 0: call 4 ; 2: break ; 3: (pad) ; 4: ret
-        let mut m = machine_with(&[
-            Insn::Call { k: 3 },
-            Insn::Break,
-            Insn::Ret,
-        ]);
+        let mut m = machine_with(&[Insn::Call { k: 3 }, Insn::Break, Insn::Ret]);
         let sp0 = m.sp();
         assert_eq!(sp0, 0x21ff);
         m.step().unwrap(); // call
@@ -878,10 +952,22 @@ mod tests {
     fn stack_pointer_is_memory_mapped() {
         // The stk_move gadget primitive: out 0x3e/0x3d rewrites SP.
         let mut m = machine_with(&[
-            Insn::Ldi { d: Reg::R29, k: 0x20 },
-            Insn::Ldi { d: Reg::R28, k: 0x80 },
-            Insn::Out { a: io::SPH, r: Reg::R29 },
-            Insn::Out { a: io::SPL, r: Reg::R28 },
+            Insn::Ldi {
+                d: Reg::R29,
+                k: 0x20,
+            },
+            Insn::Ldi {
+                d: Reg::R28,
+                k: 0x80,
+            },
+            Insn::Out {
+                a: io::SPH,
+                r: Reg::R29,
+            },
+            Insn::Out {
+                a: io::SPL,
+                r: Reg::R28,
+            },
             Insn::Break,
         ]);
         m.run(100);
@@ -892,8 +978,14 @@ mod tests {
     fn registers_are_memory_mapped() {
         // sts into address 5 writes r5 — the paper leans on this.
         let mut m = machine_with(&[
-            Insn::Ldi { d: Reg::R24, k: 0xab },
-            Insn::Sts { k: 0x0005, r: Reg::R24 },
+            Insn::Ldi {
+                d: Reg::R24,
+                k: 0xab,
+            },
+            Insn::Sts {
+                k: 0x0005,
+                r: Reg::R24,
+            },
             Insn::Break,
         ]);
         m.run(100);
@@ -907,7 +999,10 @@ mod tests {
         let exit = m.run(10);
         assert_eq!(
             exit,
-            RunExit::Faulted(Fault::InvalidOpcode { addr: 0, word: 0x0001 })
+            RunExit::Faulted(Fault::InvalidOpcode {
+                addr: 0,
+                word: 0x0001
+            })
         );
         // Fault is sticky.
         assert!(m.step().is_err());
@@ -921,7 +1016,10 @@ mod tests {
         let exit = m.run(600_000);
         assert_eq!(
             exit,
-            RunExit::Faulted(Fault::InvalidOpcode { addr: 0, word: 0xffff })
+            RunExit::Faulted(Fault::InvalidOpcode {
+                addr: 0,
+                word: 0xffff
+            })
         );
     }
 
@@ -969,12 +1067,21 @@ mod tests {
         // Poll RXC, read UDR0, add 1, write UDR0.
         let mut m = machine_with(&[
             // in r24, UCSR0A(io 0xa0? no—use lds since 0xc0 is ext IO)
-            Insn::Lds { d: Reg::R24, k: UCSR0A_ADDR },
+            Insn::Lds {
+                d: Reg::R24,
+                k: UCSR0A_ADDR,
+            },
             Insn::Sbrs { r: Reg::R24, b: 7 },
             Insn::Rjmp { k: -3 },
-            Insn::Lds { d: Reg::R24, k: UDR0_ADDR },
+            Insn::Lds {
+                d: Reg::R24,
+                k: UDR0_ADDR,
+            },
             Insn::Inc { d: Reg::R24 },
-            Insn::Sts { k: UDR0_ADDR, r: Reg::R24 },
+            Insn::Sts {
+                k: UDR0_ADDR,
+                r: Reg::R24,
+            },
             Insn::Break,
         ]);
         m.uart0.inject(&[41]);
@@ -985,10 +1092,19 @@ mod tests {
     #[test]
     fn heartbeat_toggles_recorded() {
         let mut m = machine_with(&[
-            Insn::Ldi { d: Reg::R24, k: 1 << HEARTBEAT_BIT },
-            Insn::Sts { k: PORTB_ADDR, r: Reg::R24 },
+            Insn::Ldi {
+                d: Reg::R24,
+                k: 1 << HEARTBEAT_BIT,
+            },
+            Insn::Sts {
+                k: PORTB_ADDR,
+                r: Reg::R24,
+            },
             Insn::Ldi { d: Reg::R24, k: 0 },
-            Insn::Sts { k: PORTB_ADDR, r: Reg::R24 },
+            Insn::Sts {
+                k: PORTB_ADDR,
+                r: Reg::R24,
+            },
             Insn::Break,
         ]);
         m.run(100);
@@ -1011,10 +1127,22 @@ mod tests {
     #[test]
     fn lpm_reads_flash() {
         let mut m = machine_with(&[
-            Insn::Ldi { d: Reg::R30, k: 0x10 },
-            Insn::Ldi { d: Reg::R31, k: 0x00 },
-            Insn::Lpm { d: Reg::R24, post_inc: true },
-            Insn::Lpm { d: Reg::R25, post_inc: false },
+            Insn::Ldi {
+                d: Reg::R30,
+                k: 0x10,
+            },
+            Insn::Ldi {
+                d: Reg::R31,
+                k: 0x00,
+            },
+            Insn::Lpm {
+                d: Reg::R24,
+                post_inc: true,
+            },
+            Insn::Lpm {
+                d: Reg::R25,
+                post_inc: false,
+            },
             Insn::Break,
         ]);
         m.load_flash(0x10, &[0xde, 0xad]);
@@ -1028,10 +1156,22 @@ mod tests {
     fn elpm_reads_high_flash() {
         let mut m = machine_with(&[
             Insn::Ldi { d: Reg::R24, k: 3 },
-            Insn::Sts { k: RAMPZ_DATA, r: Reg::R24 },
-            Insn::Ldi { d: Reg::R30, k: 0x00 },
-            Insn::Ldi { d: Reg::R31, k: 0x00 },
-            Insn::Elpm { d: Reg::R24, post_inc: false },
+            Insn::Sts {
+                k: RAMPZ_DATA,
+                r: Reg::R24,
+            },
+            Insn::Ldi {
+                d: Reg::R30,
+                k: 0x00,
+            },
+            Insn::Ldi {
+                d: Reg::R31,
+                k: 0x00,
+            },
+            Insn::Elpm {
+                d: Reg::R24,
+                post_inc: false,
+            },
             Insn::Break,
         ]);
         m.load_flash(0x30000, &[0x5a]);
@@ -1072,8 +1212,14 @@ mod tests {
     #[test]
     fn reset_preserves_sram() {
         let mut m = machine_with(&[
-            Insn::Ldi { d: Reg::R24, k: 0x77 },
-            Insn::Sts { k: 0x0500, r: Reg::R24 },
+            Insn::Ldi {
+                d: Reg::R24,
+                k: 0x77,
+            },
+            Insn::Sts {
+                k: 0x0500,
+                r: Reg::R24,
+            },
             Insn::Break,
         ]);
         m.run(100);
@@ -1088,7 +1234,10 @@ mod tests {
     #[test]
     fn push_pop_round_trip_pairs() {
         let mut m = machine_with(&[
-            Insn::Ldi { d: Reg::R24, k: 0xaa },
+            Insn::Ldi {
+                d: Reg::R24,
+                k: 0xaa,
+            },
             Insn::Push { r: Reg::R24 },
             Insn::Pop { d: Reg::R0 },
             Insn::Break,
@@ -1112,13 +1261,25 @@ mod tests {
         m.load_flash(0, &encode_to_bytes(&[Insn::Jmp { k: main_word }]).unwrap());
         let isr = encode_to_bytes(&[
             Insn::Push { r: Reg::R24 },
-            Insn::In { d: Reg::R24, a: io::SREG },
+            Insn::In {
+                d: Reg::R24,
+                a: io::SREG,
+            },
             Insn::Push { r: Reg::R24 },
-            Insn::Lds { d: Reg::R24, k: 0x0400 },
+            Insn::Lds {
+                d: Reg::R24,
+                k: 0x0400,
+            },
             Insn::Inc { d: Reg::R24 },
-            Insn::Sts { k: 0x0400, r: Reg::R24 },
+            Insn::Sts {
+                k: 0x0400,
+                r: Reg::R24,
+            },
             Insn::Pop { d: Reg::R24 },
-            Insn::Out { a: io::SREG, r: Reg::R24 },
+            Insn::Out {
+                a: io::SREG,
+                r: Reg::R24,
+            },
             Insn::Pop { d: Reg::R24 },
             Insn::Reti,
         ])
@@ -1126,10 +1287,18 @@ mod tests {
         m.load_flash(isr_word * 2, &isr);
         let main = encode_to_bytes(&[
             Insn::Ldi { d: Reg::R24, k: 1 }, // prescale /1
-            Insn::Sts { k: TCCR0B_ADDR, r: Reg::R24 },
+            Insn::Sts {
+                k: TCCR0B_ADDR,
+                r: Reg::R24,
+            },
             Insn::Ldi { d: Reg::R24, k: 1 }, // TOIE0
-            Insn::Sts { k: TIMSK0_ADDR, r: Reg::R24 },
-            Insn::Bset { s: avr_core::sreg::I }, // sei
+            Insn::Sts {
+                k: TIMSK0_ADDR,
+                r: Reg::R24,
+            },
+            Insn::Bset {
+                s: avr_core::sreg::I,
+            }, // sei
             // spin
             Insn::Inc { d: Reg::R20 },
             Insn::Rjmp { k: -2 },
@@ -1155,8 +1324,14 @@ mod tests {
         use crate::timer::{TCCR0B_ADDR, TIMSK0_ADDR};
         let mut m = machine_with(&[
             Insn::Ldi { d: Reg::R24, k: 1 },
-            Insn::Sts { k: TCCR0B_ADDR, r: Reg::R24 },
-            Insn::Sts { k: TIMSK0_ADDR, r: Reg::R24 },
+            Insn::Sts {
+                k: TCCR0B_ADDR,
+                r: Reg::R24,
+            },
+            Insn::Sts {
+                k: TIMSK0_ADDR,
+                r: Reg::R24,
+            },
             // I never set: spin.
             Insn::Inc { d: Reg::R20 },
             Insn::Rjmp { k: -2 },
@@ -1174,19 +1349,52 @@ mod tests {
         // firmware does it.
         let mut m = machine_with(&[
             Insn::Ldi { d: Reg::R24, k: 5 },
-            Insn::Sts { k: EEARL_ADDR, r: Reg::R24 },
-            Insn::Ldi { d: Reg::R24, k: 0x42 },
-            Insn::Sts { k: EEDR_ADDR, r: Reg::R24 },
-            Insn::Ldi { d: Reg::R24, k: EEMPE },
-            Insn::Sts { k: EECR_ADDR, r: Reg::R24 },
-            Insn::Ldi { d: Reg::R24, k: EEPE },
-            Insn::Sts { k: EECR_ADDR, r: Reg::R24 },
+            Insn::Sts {
+                k: EEARL_ADDR,
+                r: Reg::R24,
+            },
+            Insn::Ldi {
+                d: Reg::R24,
+                k: 0x42,
+            },
+            Insn::Sts {
+                k: EEDR_ADDR,
+                r: Reg::R24,
+            },
+            Insn::Ldi {
+                d: Reg::R24,
+                k: EEMPE,
+            },
+            Insn::Sts {
+                k: EECR_ADDR,
+                r: Reg::R24,
+            },
+            Insn::Ldi {
+                d: Reg::R24,
+                k: EEPE,
+            },
+            Insn::Sts {
+                k: EECR_ADDR,
+                r: Reg::R24,
+            },
             // Clear the data register, then read back.
             Insn::Ldi { d: Reg::R24, k: 0 },
-            Insn::Sts { k: EEDR_ADDR, r: Reg::R24 },
-            Insn::Ldi { d: Reg::R24, k: EERE },
-            Insn::Sts { k: EECR_ADDR, r: Reg::R24 },
-            Insn::Lds { d: Reg::R20, k: EEDR_ADDR },
+            Insn::Sts {
+                k: EEDR_ADDR,
+                r: Reg::R24,
+            },
+            Insn::Ldi {
+                d: Reg::R24,
+                k: EERE,
+            },
+            Insn::Sts {
+                k: EECR_ADDR,
+                r: Reg::R24,
+            },
+            Insn::Lds {
+                d: Reg::R20,
+                k: EEDR_ADDR,
+            },
             Insn::Break,
         ]);
         m.run(1_000);
@@ -1224,12 +1432,42 @@ mod tests {
     }
 
     #[test]
+    fn trace_standalone_wraparound_is_oldest_first() {
+        // The public constructor lets forensics tooling build rings directly.
+        let mut t = Trace::new(3);
+        assert!(t.entries().is_empty());
+        t.record(10, 100);
+        t.record(20, 99);
+        assert_eq!(t.entries(), vec![(10, 100), (20, 99)], "pre-wrap order");
+        t.record(30, 98);
+        t.record(40, 97); // evicts (10, 100)
+        t.record(50, 96); // evicts (20, 99)
+        assert_eq!(
+            t.entries(),
+            vec![(30, 98), (40, 97), (50, 96)],
+            "oldest-first after overwrite"
+        );
+        assert_eq!(t.last_pc(), Some(50));
+        // Capacity 0 is clamped to 1: always exactly the latest entry.
+        let mut t1 = Trace::new(0);
+        t1.record(1, 2);
+        t1.record(3, 4);
+        assert_eq!(t1.entries(), vec![(3, 4)]);
+    }
+
+    #[test]
     fn cpse_skips_two_word_instruction() {
         let mut m = machine_with(&[
             Insn::Ldi { d: Reg::R24, k: 7 },
             Insn::Ldi { d: Reg::R25, k: 7 },
-            Insn::Cpse { d: Reg::R24, r: Reg::R25 },
-            Insn::Sts { k: 0x0400, r: Reg::R24 }, // two words, skipped
+            Insn::Cpse {
+                d: Reg::R24,
+                r: Reg::R25,
+            },
+            Insn::Sts {
+                k: 0x0400,
+                r: Reg::R24,
+            }, // two words, skipped
             Insn::Ldi { d: Reg::R20, k: 1 },
             Insn::Break,
         ]);
@@ -1241,7 +1479,10 @@ mod tests {
     #[test]
     fn bst_bld_move_bits_through_t() {
         let mut m = machine_with(&[
-            Insn::Ldi { d: Reg::R24, k: 0b0000_1000 },
+            Insn::Ldi {
+                d: Reg::R24,
+                k: 0b0000_1000,
+            },
             Insn::Bst { d: Reg::R24, b: 3 },
             Insn::Ldi { d: Reg::R25, k: 0 },
             Insn::Bld { d: Reg::R25, b: 6 },
@@ -1269,7 +1510,10 @@ mod tests {
     #[test]
     fn swap_and_com() {
         let mut m = machine_with(&[
-            Insn::Ldi { d: Reg::R24, k: 0xa5 },
+            Insn::Ldi {
+                d: Reg::R24,
+                k: 0xa5,
+            },
             Insn::Swap { d: Reg::R24 },
             Insn::Com { d: Reg::R24 },
             Insn::Break,

@@ -25,6 +25,12 @@ pub const PORTB_ADDR: u16 = 0x25;
 pub struct Uart {
     rx: VecDeque<u8>,
     tx: Vec<u8>,
+    /// Total bytes the firmware has consumed from the receive queue
+    /// (monotonic; survives [`Uart::clear`]).
+    pub rx_bytes: u64,
+    /// Total bytes the firmware has transmitted (monotonic; survives
+    /// [`Uart::take_tx`] and [`Uart::clear`]).
+    pub tx_bytes: u64,
 }
 
 impl Uart {
@@ -50,11 +56,18 @@ impl Uart {
     /// Firmware-side read of `UDR0`. Reading with an empty queue returns 0,
     /// like reading the data register with no reception on real silicon.
     pub fn read_data(&mut self) -> u8 {
-        self.rx.pop_front().unwrap_or(0)
+        match self.rx.pop_front() {
+            Some(b) => {
+                self.rx_bytes += 1;
+                b
+            }
+            None => 0,
+        }
     }
 
     /// Firmware-side write of `UDR0`.
     pub fn write_data(&mut self, byte: u8) {
+        self.tx_bytes += 1;
         self.tx.push(byte);
     }
 
@@ -211,5 +224,69 @@ mod tests {
         assert!(!w.expired(150));
         w.disable();
         assert!(!w.expired(u64::MAX));
+    }
+
+    #[test]
+    fn heartbeat_max_gap_no_toggles() {
+        let hb = Heartbeat::default();
+        assert_eq!(hb.max_gap(0, 1_000_000), None, "silent pin has no gap");
+    }
+
+    #[test]
+    fn heartbeat_max_gap_from_after_now() {
+        let mut hb = Heartbeat::default();
+        hb.observe(0x20, 5, 100);
+        hb.observe(0x00, 5, 200);
+        // `from` beyond every toggle (and beyond `now`): no observation
+        // window, so no verdict — the master must not flag a miss here.
+        assert_eq!(hb.max_gap(5000, 300), None);
+        // Toggle inside the window but `now` earlier than the toggle: the
+        // trailing gap saturates to zero rather than wrapping.
+        assert_eq!(hb.max_gap(150, 100), Some(0));
+    }
+
+    #[test]
+    fn heartbeat_max_gap_single_toggle() {
+        let mut hb = Heartbeat::default();
+        hb.observe(0x20, 5, 400);
+        // One toggle: the only gap is toggle -> now.
+        assert_eq!(hb.max_gap(0, 1000), Some(600));
+        assert_eq!(hb.max_gap(0, 400), Some(0));
+    }
+
+    #[test]
+    fn watchdog_enable_pet_timeout_sequencing() {
+        let mut w = Watchdog::default();
+        // Never enabled: never expires.
+        w.pet(50);
+        assert!(!w.expired(u64::MAX));
+        // Enable at t=1000 with a 200-cycle budget.
+        w.enable(200, 1000);
+        assert!(!w.expired(1000), "fresh enable is not expired");
+        assert!(!w.expired(1200), "boundary is inclusive");
+        assert!(w.expired(1201));
+        // A pet restarts the budget from the pet time.
+        w.pet(1150);
+        assert!(!w.expired(1350));
+        assert!(w.expired(1351));
+        // Re-enable resets the deadline even without a pet.
+        w.enable(10, 2000);
+        assert!(!w.expired(2010));
+        assert!(w.expired(2011));
+    }
+
+    #[test]
+    fn uart_counts_traffic() {
+        let mut u = Uart::default();
+        u.inject(&[1, 2]);
+        u.read_data();
+        u.read_data();
+        u.read_data(); // empty read does not count
+        u.write_data(7);
+        u.take_tx();
+        u.write_data(8);
+        u.clear();
+        assert_eq!(u.rx_bytes, 2);
+        assert_eq!(u.tx_bytes, 2, "counters are monotonic across drains");
     }
 }

@@ -37,9 +37,7 @@ fn relax_ablation() {
             deaths += 1;
         }
     }
-    println!(
-        "Ablation --no-relax: force-randomized relax builds died {deaths}/{trials} times"
-    );
+    println!("Ablation --no-relax: force-randomized relax builds died {deaths}/{trials} times");
 }
 
 fn call_prologue_ablation() {
@@ -87,16 +85,30 @@ fn call_prologue_ablation() {
     };
     let stock_gadgets = scan(&stock, &opts);
     let in_blob = stock_gadgets.iter().filter(|g| in_blobs(g.addr)).count();
-    let pops = |g: &rop::Gadget| g.insns.iter().filter(|i| matches!(i, Insn::Pop { .. })).count();
+    let pops = |g: &rop::Gadget| {
+        g.insns
+            .iter()
+            .filter(|i| matches!(i, Insn::Pop { .. }))
+            .count()
+    };
     let stock_restore = stock_gadgets.iter().filter(|g| pops(g) >= 4).count();
-    let mavr_restore = scan(&mavr_img, &opts).iter().filter(|g| pops(g) >= 4).count();
+    let mavr_restore = scan(&mavr_img, &opts)
+        .iter()
+        .filter(|g| pops(g) >= 4)
+        .count();
     println!(
         "Ablation -mcall-prologues: {refs} call sites reference the shared blobs \
          ({in_blob} gadget start addresses inside them); register-restore gadgets: \
          {stock_restore} (stock, concentrated) vs {mavr_restore} (MAVR toolchain, scattered)"
     );
-    assert!(refs > 10, "the blob must be referenced from many call sites");
-    assert!(mavr_restore > stock_restore, "per-function epilogues scatter the gadgets");
+    assert!(
+        refs > 10,
+        "the blob must be referenced from many call sites"
+    );
+    assert!(
+        mavr_restore > stock_restore,
+        "per-function epilogues scatter the gadgets"
+    );
 }
 
 fn wear_ablation() {

@@ -26,6 +26,24 @@ fn bench(c: &mut Criterion) {
             criterion::BatchSize::LargeInput,
         )
     });
+    // Same run with the flight recorder armed (NullRecorder counts events
+    // and discards them). Events only fire on cold paths, so this should be
+    // within noise of the bare run — the "<2% overhead" claim in DESIGN.md.
+    g.bench_function("run_1M_cycles/tiny_firmware_null_recorder", |b| {
+        b.iter_batched(
+            || {
+                let mut m = avr_sim::Machine::new_atmega2560();
+                m.telemetry = telemetry::Telemetry::new(telemetry::NullRecorder::default());
+                m.load_flash(0, &fw.image.bytes);
+                m
+            },
+            |mut m| {
+                m.run(1_000_000);
+                m
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
     g.finish();
 
     // MAVLink parse throughput over a realistic telemetry stream.
@@ -57,9 +75,16 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("container");
     g.sample_size(10);
     g.throughput(Throughput::Bytes(text.len() as u64));
-    g.bench_function("serialize/synth_rover", |b| b.iter(|| container.to_text().len()));
+    g.bench_function("serialize/synth_rover", |b| {
+        b.iter(|| container.to_text().len())
+    });
     g.bench_function("parse/synth_rover", |b| {
-        b.iter(|| hexfile::MavrContainer::parse(&text).unwrap().image.code_size())
+        b.iter(|| {
+            hexfile::MavrContainer::parse(&text)
+                .unwrap()
+                .image
+                .code_size()
+        })
     });
     g.finish();
 }

@@ -170,7 +170,8 @@ pub fn effectiveness(spec: &AppSpec, trials: u64) -> Effectiveness {
         &mavr::RandomizeOptions::default(),
     )
     .expect("randomize");
-    let gadget_survivors = scanner::survivors(&fw.image, &one_shuffle.image, &ScanOptions::default());
+    let gadget_survivors =
+        scanner::survivors(&fw.image, &one_shuffle.image, &ScanOptions::default());
     let ctx = AttackContext::discover(&fw.image).expect("attack discovery");
     let payload = ctx
         .v2_payload(&[(l::GYRO + 3, [0xde, 0xad, 0x42])])
@@ -248,6 +249,60 @@ pub fn entropy() -> Vec<Row> {
         .map(|a| Row {
             app: a.name.to_string(),
             values: vec![mavr::math::entropy_bits(a.functions as u64).round()],
+        })
+        .collect()
+}
+
+/// **Activity counters** — instructions retired, interrupts, UART traffic,
+/// and flight-recorder events emitted per application over `cycles`
+/// simulated cycles.
+///
+/// Apps fly on a fully provisioned MAVR board, so each row includes the
+/// master's boot/randomize/program lifecycle events. A container that
+/// exceeds the prototype's 256 KiB external flash (image + symbol
+/// directives — SynthCopter) runs the application processor bare instead;
+/// a healthy bare flight emits no events, which is the point: the recorder
+/// only speaks on lifecycle and failure paths.
+///
+/// Telemetry runs through a [`telemetry::NullRecorder`]: every emission is
+/// counted but immediately discarded, the configuration whose overhead is
+/// measured (and shown to be ~0) by the `simulator` Criterion bench.
+pub fn counters(cycles: u64) -> Vec<Row> {
+    use telemetry::{NullRecorder, Telemetry};
+    let mut builds = vec![build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).unwrap()];
+    builds.extend(paper_builds(&BuildOptions::safe_mavr()));
+    builds
+        .iter()
+        .map(|fw| {
+            let tele = Telemetry::new(NullRecorder::default());
+            let c = match MavrBoard::provision_with(
+                &fw.image,
+                1,
+                RandomizationPolicy::default(),
+                tele.clone(),
+            ) {
+                Ok(mut board) => {
+                    board.run(cycles).expect("healthy flight");
+                    board.app.machine.counters()
+                }
+                Err(_) => {
+                    // Container too large for the prototype chip: bare run.
+                    let mut m = avr_sim::Machine::new_atmega2560();
+                    m.telemetry = tele.clone();
+                    m.load_flash(0, &fw.image.bytes);
+                    m.run(cycles);
+                    m.counters()
+                }
+            };
+            Row {
+                app: fw.spec.name.to_string(),
+                values: vec![
+                    c.insns_retired as f64,
+                    c.interrupts_taken as f64,
+                    c.uart_tx_bytes as f64,
+                    tele.events_emitted() as f64,
+                ],
+            }
         })
         .collect()
 }
@@ -361,7 +416,10 @@ pub fn fig6(spec: &AppSpec) -> Vec<StackSnapshot> {
     // Ride the attack: breakpoints on the two gadgets.
     m.add_breakpoint(ctx.gadgets.stk_move);
     m.run(4_000_000);
-    snaps.push(snap(&m, "ii: dirty stack after payload injection (at stk_move)"));
+    snaps.push(snap(
+        &m,
+        "ii: dirty stack after payload injection (at stk_move)",
+    ));
     m.remove_breakpoint(ctx.gadgets.stk_move);
     m.add_breakpoint(ctx.gadgets.write_mem_pop);
     m.run(100_000);
@@ -404,7 +462,10 @@ mod tests {
         let e = effectiveness(&apps::tiny_test_app(), 3);
         assert!(e.gadgets_unique > 50);
         assert_eq!(e.stock_successes, 1, "attack works on unprotected image");
-        assert_eq!(e.randomized_successes, 0, "attack never works when randomized");
+        assert_eq!(
+            e.randomized_successes, 0,
+            "attack never works when randomized"
+        );
     }
 
     #[test]

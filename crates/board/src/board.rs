@@ -2,8 +2,9 @@
 //! together with failed-attack detection and automatic recovery (Fig. 7).
 
 use avr_core::image::FirmwareImage;
-use avr_sim::Fault;
+use avr_sim::{CrashReport, Fault};
 use mavr::policy::RandomizationPolicy;
+use telemetry::{Telemetry, Value};
 
 use crate::app::AppProcessor;
 use crate::ext_flash::ExternalFlash;
@@ -53,6 +54,15 @@ pub struct MavrBoard {
     /// Heartbeat-silence threshold in CPU cycles before the master declares
     /// a failed attack.
     pub heartbeat_timeout: u64,
+    /// Post-mortem of the most recent recovery, captured *before* the
+    /// reflash wiped the dead machine. `None` until the first recovery.
+    pub last_crash: Option<CrashReport>,
+    /// Known-attacker address ranges (`(byte_addr, len, label)`) used to
+    /// annotate crash reports — e.g. `AttackContext::annotations()`.
+    pub forensic_annotations: Vec<(u32, u32, String)>,
+    /// Flight-recorder handle for detection/recovery events (the master and
+    /// application machine carry clones of the same handle).
+    pub telemetry: Telemetry,
     watch_since: u64,
 }
 
@@ -64,12 +74,31 @@ impl MavrBoard {
         seed: u64,
         policy: RandomizationPolicy,
     ) -> Result<Self, MasterError> {
-        let container = mavr::preprocess(image)
-            .map_err(|e| MasterError::Flash(crate::ext_flash::FlashError::Corrupt(e.to_string())))?;
+        Self::provision_with(image, seed, policy, Telemetry::off())
+    }
+
+    /// Like [`MavrBoard::provision`], wiring `telemetry` through the master
+    /// and the application machine so the whole boot lifecycle — container
+    /// read, randomize, program, watchdog arm — lands on one stream.
+    pub fn provision_with(
+        image: &FirmwareImage,
+        seed: u64,
+        policy: RandomizationPolicy,
+        telemetry: Telemetry,
+    ) -> Result<Self, MasterError> {
+        let container = mavr::preprocess(image).map_err(|e| {
+            MasterError::Flash(crate::ext_flash::FlashError::Corrupt(e.to_string()))
+        })?;
         let mut ext_flash = ExternalFlash::new();
         ext_flash.upload(&container)?;
         let mut master = MasterProcessor::new(seed, policy);
+        master.telemetry = telemetry.clone();
         let mut app = AppProcessor::new();
+        app.machine.telemetry = telemetry.clone();
+        if telemetry.is_active() {
+            // Flight recorder on => keep an execution trail for forensics.
+            app.machine.enable_trace(64);
+        }
         let report = master.boot(&ext_flash, &mut app, false)?;
         let mut board = MavrBoard {
             master,
@@ -77,14 +106,26 @@ impl MavrBoard {
             ext_flash,
             events: Vec::new(),
             heartbeat_timeout: 1_000_000,
+            last_crash: None,
+            forensic_annotations: Vec::new(),
+            telemetry,
             watch_since: 0,
         };
         board.watch_since = board.app.machine.cycles();
+        board.arm_watch();
         board.events.push(BoardEvent::Boot {
             boot: board.master.boot_count(),
             report,
         });
         Ok(board)
+    }
+
+    /// Emit the "watchdog armed" event for the current watch window.
+    fn arm_watch(&self) {
+        let (since, timeout) = (self.watch_since, self.heartbeat_timeout);
+        self.telemetry.emit("board.watch_armed", Some(since), || {
+            vec![("heartbeat_timeout", Value::U64(timeout))]
+        });
     }
 
     /// What the master's timing analysis sees right now.
@@ -127,18 +168,34 @@ impl MavrBoard {
     }
 
     /// Recovery path (§V-C): reset the application processor, re-randomize,
-    /// reflash.
+    /// reflash. The dead machine's post-mortem is captured into
+    /// [`MavrBoard::last_crash`] *before* the reflash destroys the evidence.
     pub fn recover(&mut self, cause: RecoveryCause) -> Result<StartupReport, MasterError> {
+        // The real master only ever sees heartbeat silence (§V-A2); the
+        // simulator's fault, when there is one, is the omniscient view and
+        // arrives separately as a `sim.fault` event from the machine itself.
+        let now = self.app.machine.cycles();
+        self.telemetry.emit("board.heartbeat_miss", Some(now), || {
+            vec![("cause", Value::Str(format!("{cause:?}")))]
+        });
+        self.last_crash = Some(CrashReport::capture(
+            &self.app.machine,
+            self.master.last_image.as_ref(),
+            &self.forensic_annotations,
+        ));
         let report = self.master.boot(&self.ext_flash, &mut self.app, true)?;
         self.watch_since = self.app.machine.cycles();
-        self.events.push(BoardEvent::Recovery {
-            cause,
-            boot: self.master.boot_count(),
+        self.arm_watch();
+        let boot = self.master.boot_count();
+        self.telemetry.emit("board.recovery", Some(now), || {
+            vec![
+                ("boot", Value::U64(u64::from(boot))),
+                ("cause", Value::Str(format!("{cause:?}"))),
+                ("rerandomized", Value::Bool(report.randomized)),
+            ]
         });
-        self.events.push(BoardEvent::Boot {
-            boot: self.master.boot_count(),
-            report,
-        });
+        self.events.push(BoardEvent::Recovery { cause, boot });
+        self.events.push(BoardEvent::Boot { boot, report });
         Ok(report)
     }
 
@@ -147,6 +204,7 @@ impl MavrBoard {
     pub fn reboot(&mut self) -> Result<StartupReport, MasterError> {
         let report = self.master.boot(&self.ext_flash, &mut self.app, false)?;
         self.watch_since = self.app.machine.cycles();
+        self.arm_watch();
         self.events.push(BoardEvent::Boot {
             boot: self.master.boot_count(),
             report,
@@ -188,12 +246,8 @@ mod tests {
 
     fn vulnerable_board() -> (MavrBoard, FirmwareImage) {
         let fw = build(&apps::tiny_test_app(), &BuildOptions::vulnerable_mavr()).unwrap();
-        let board = MavrBoard::provision(
-            &fw.image,
-            0xda7a,
-            RandomizationPolicy::default(),
-        )
-        .unwrap();
+        let board =
+            MavrBoard::provision(&fw.image, 0xda7a, RandomizationPolicy::default()).unwrap();
         (board, fw.image)
     }
 
@@ -213,7 +267,10 @@ mod tests {
         let (board, image) = vulnerable_board();
         let view = board.attacker_flash_view();
         assert!(view.iter().all(|&b| b == 0xff));
-        assert_ne!(&board.app.machine.flash()[..image.bytes.len()], &image.bytes[..]);
+        assert_ne!(
+            &board.app.machine.flash()[..image.bytes.len()],
+            &image.bytes[..]
+        );
     }
 
     #[test]
@@ -226,7 +283,9 @@ mod tests {
         // resetting, re-randomizing and reflashing.
         let fw = build(&apps::tiny_test_app(), &BuildOptions::vulnerable_mavr()).unwrap();
         let ctx = AttackContext::discover(&fw.image).unwrap();
-        let payload = ctx.v2_payload(&[(l::GYRO + 3, [0xde, 0xad, 0x42])]).unwrap();
+        let payload = ctx
+            .v2_payload(&[(l::GYRO + 3, [0xde, 0xad, 0x42])])
+            .unwrap();
         let mut detections = 0;
         let mut recovered_board = None;
         for seed in 0..6u64 {
@@ -272,7 +331,9 @@ mod tests {
         // the attack never lands, and the wear ledger records each reflash.
         let fw = build(&apps::tiny_test_app(), &BuildOptions::vulnerable_mavr()).unwrap();
         let ctx = AttackContext::discover(&fw.image).unwrap();
-        let payload = ctx.v2_payload(&[(l::GYRO + 3, [0xde, 0xad, 0x42])]).unwrap();
+        let payload = ctx
+            .v2_payload(&[(l::GYRO + 3, [0xde, 0xad, 0x42])])
+            .unwrap();
         // Every-boot randomization: each power cycle rotates the layout,
         // so the attacker faces a fresh permutation every round even when
         // the previous failure soft-landed without a crash.
@@ -323,6 +384,42 @@ mod tests {
         assert_ne!(perm1, perm2, "every recovery draws a new permutation");
         board.run(1_500_000).unwrap();
         assert_eq!(board.recoveries(), 1, "board healthy after recovery");
+    }
+
+    #[test]
+    fn telemetry_stream_and_crash_capture_on_recovery() {
+        use telemetry::RingRecorder;
+        let fw = build(&apps::tiny_test_app(), &BuildOptions::vulnerable_mavr()).unwrap();
+        let t = Telemetry::new(RingRecorder::new(256));
+        let mut board =
+            MavrBoard::provision_with(&fw.image, 0xda7a, RandomizationPolicy::default(), t.clone())
+                .unwrap();
+        board.run(300_000).unwrap();
+        assert!(board.last_crash.is_none());
+        board.recover(RecoveryCause::HeartbeatLost).unwrap();
+        let crash = board.last_crash.as_ref().expect("post-mortem captured");
+        assert!(
+            !crash.trail.is_empty(),
+            "provision_with enables tracing, so the trail is populated"
+        );
+        assert!(
+            crash.trail.iter().any(|a| a.symbol.is_some()),
+            "randomized symbol map attributes the trail"
+        );
+        let kinds: Vec<&'static str> = t
+            .with_recorder::<RingRecorder, _>(|r| r.events().map(|e| e.kind).collect())
+            .unwrap();
+        for expected in [
+            "master.boot",
+            "master.container_read",
+            "master.randomize",
+            "master.programmed",
+            "board.watch_armed",
+            "board.heartbeat_miss",
+            "board.recovery",
+        ] {
+            assert!(kinds.contains(&expected), "missing {expected} in {kinds:?}");
+        }
     }
 
     #[test]

@@ -91,7 +91,7 @@ fn frame(seq: u8, body: &[u8]) -> Vec<u8> {
 pub fn programming_stream(binary: &[u8], page_size: usize) -> Vec<u8> {
     let mut out = Vec::new();
     let mut seq = 0u8;
-    let mut push = |body: &[u8], seq: &mut u8| {
+    let push = |body: &[u8], seq: &mut u8| {
         let f = frame(*seq, body);
         *seq = seq.wrapping_add(1);
         f

@@ -81,8 +81,7 @@ impl ExternalFlash {
     /// Master-side read of the whole stored container.
     pub fn read(&self) -> Result<MavrContainer, FlashError> {
         let bytes = self.contents.as_ref().ok_or(FlashError::Empty)?;
-        let text = std::str::from_utf8(bytes)
-            .map_err(|e| FlashError::Corrupt(e.to_string()))?;
+        let text = std::str::from_utf8(bytes).map_err(|e| FlashError::Corrupt(e.to_string()))?;
         MavrContainer::parse(text).map_err(|e| FlashError::Corrupt(e.to_string()))
     }
 

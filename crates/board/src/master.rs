@@ -2,10 +2,12 @@
 //! external flash, randomizes, programs the application processor, and then
 //! plays watchdog.
 
+use avr_core::image::FirmwareImage;
 use mavr::policy::{FlashWear, RandomizationPolicy};
-use mavr::{randomize, RandomizeOptions, RandomizeError};
+use mavr::{randomize, RandomizeError, RandomizeOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use telemetry::{Telemetry, Value};
 
 use crate::app::AppProcessor;
 use crate::ext_flash::{ExternalFlash, FlashError};
@@ -81,6 +83,12 @@ pub struct MasterProcessor {
     /// Permutation used by the most recent randomization (diagnostics; the
     /// real master never persists it).
     pub last_permutation: Option<Vec<usize>>,
+    /// The randomized image most recently programmed into the application
+    /// processor, with its post-permutation symbol map — what crash
+    /// forensics needs to attribute a dead PC to a function.
+    pub last_image: Option<FirmwareImage>,
+    /// Flight-recorder handle for boot-lifecycle events.
+    pub telemetry: Telemetry,
 }
 
 impl MasterProcessor {
@@ -94,6 +102,8 @@ impl MasterProcessor {
             options: RandomizeOptions::default(),
             boot_count: 0,
             last_permutation: None,
+            last_image: None,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -112,9 +122,17 @@ impl MasterProcessor {
         attack_detected: bool,
     ) -> Result<StartupReport, MasterError> {
         self.boot_count += 1;
+        let boot_count = self.boot_count;
         let must_randomize = self.policy.should_randomize(self.boot_count, attack_detected)
             // A blank application processor must be programmed regardless.
             || !app.locked();
+        self.telemetry.emit("master.boot", None, || {
+            vec![
+                ("boot", Value::U64(u64::from(boot_count))),
+                ("attack_detected", Value::Bool(attack_detected)),
+                ("randomize", Value::Bool(must_randomize)),
+            ]
+        });
         if !must_randomize {
             // Normal start: just release reset.
             app.machine.reset();
@@ -131,8 +149,20 @@ impl MasterProcessor {
             return Err(MasterError::FlashWornOut);
         }
         let container = ext_flash.read()?;
+        self.telemetry.emit("master.container_read", None, || {
+            vec![(
+                "image_bytes",
+                Value::U64(u64::from(container.image.code_size())),
+            )]
+        });
         let randomized = randomize(&container.image, &mut self.rng, &self.options)?;
         self.last_permutation = Some(randomized.permutation.clone());
+        self.telemetry.emit("master.randomize", None, || {
+            vec![(
+                "functions_permuted",
+                Value::U64(randomized.permutation.len() as u64),
+            )]
+        });
 
         // Stream to the bootloader over the wire protocol; reads from the
         // SPI chip, the patch pass, and the page writes are pipelined
@@ -150,14 +180,25 @@ impl MasterProcessor {
         crate::bootloader::apply_stream(app, &stream)
             .expect("master-generated stream applies cleanly");
         self.wear.program();
+        self.last_image = Some(randomized.image);
 
-        Ok(StartupReport {
+        let report = StartupReport {
             randomized: true,
             image_bytes: bytes,
             wire_bytes,
             total_ms,
             transfer_ms,
-        })
+        };
+        self.telemetry.emit("master.programmed", None, || {
+            vec![
+                ("boot", Value::U64(u64::from(boot_count))),
+                ("image_bytes", Value::U64(u64::from(report.image_bytes))),
+                ("wire_bytes", Value::U64(u64::from(report.wire_bytes))),
+                ("total_ms", Value::F64(report.total_ms)),
+                ("transfer_ms", Value::F64(report.transfer_ms)),
+            ]
+        });
+        Ok(report)
     }
 }
 
@@ -219,7 +260,10 @@ mod tests {
         master.boot(&chip, &mut app, false).unwrap();
         let perm1 = master.last_permutation.clone().unwrap();
         let r = master.boot(&chip, &mut app, true).unwrap();
-        assert!(r.randomized, "failed attack triggers immediate re-randomization");
+        assert!(
+            r.randomized,
+            "failed attack triggers immediate re-randomization"
+        );
         assert_ne!(master.last_permutation.unwrap(), perm1);
     }
 

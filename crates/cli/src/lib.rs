@@ -48,8 +48,18 @@ pub struct Args {
 
 /// Options that take a value (everything else with `--` is a flag).
 const VALUED: &[&str] = &[
-    "-o", "--out", "--seed", "--cycles", "--max-insns", "--start", "--len", "--target",
-    "--values", "--variant", "--toolchain",
+    "-o",
+    "--out",
+    "--seed",
+    "--cycles",
+    "--max-insns",
+    "--start",
+    "--len",
+    "--target",
+    "--values",
+    "--variant",
+    "--toolchain",
+    "--scenario",
 ];
 
 /// Split raw arguments into positionals, options and flags.
@@ -171,8 +181,10 @@ pub fn cmd_assemble(args: &Args) -> Result<String, CliError> {
     if let Some(dst) = args.options.get("-o").or(args.options.get("--out")) {
         let container = mavr::preprocess(&image).map_err(fail)?;
         std::fs::write(dst, container.to_text()).map_err(fail)?;
-        out.push_str(&format!("wrote MAVR container to {dst}
-"));
+        out.push_str(&format!(
+            "wrote MAVR container to {dst}
+"
+        ));
     }
     Ok(out)
 }
@@ -288,7 +300,10 @@ pub fn cmd_scan(args: &Args) -> Result<String, CliError> {
         max_insns: args
             .options
             .get("--max-insns")
-            .map(|s| s.parse().map_err(|_| CliError::Usage("bad --max-insns".into())))
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| CliError::Usage("bad --max-insns".into()))
+            })
             .transpose()?
             .unwrap_or(6),
         dedup: !args.flags.contains("no-dedup"),
@@ -385,7 +400,10 @@ pub fn cmd_attack(args: &Args) -> Result<String, CliError> {
         .first()
         .ok_or_else(|| CliError::Usage("attack needs a container file".into()))?;
     let img = load_image(path)?;
-    let target = parse_num(args.options.get("--target"), u32::from(synth_firmware::layout::GYRO + 3))? as u16;
+    let target = parse_num(
+        args.options.get("--target"),
+        u32::from(synth_firmware::layout::GYRO + 3),
+    )? as u16;
     let values: Vec<u8> = args
         .options
         .get("--values")
@@ -420,6 +438,199 @@ pub fn cmd_attack(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// `mavr trace [--scenario boot|clean-attack|stealthy-attack] [--seed N]
+/// [--cycles N] [--out FILE]`
+///
+/// Run a canned scenario with the flight recorder attached, dump the event
+/// stream as JSON lines (to `--out` when given), and print a per-kind
+/// summary table. Attack scenarios end with the post-mortem crash
+/// narrative, attributing the dead machine's final PCs to functions and
+/// attacker gadgets.
+pub fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    use mavr::policy::RandomizationPolicy;
+    use mavr_board::MavrBoard;
+    use telemetry::{Recorder, RingRecorder, Telemetry, Value};
+
+    let scenario = args
+        .options
+        .get("--scenario")
+        .map(String::as_str)
+        .unwrap_or("stealthy-attack");
+    let seed = u64::from(parse_num(args.options.get("--seed"), 0x2015)?);
+    let cycles = u64::from(parse_num(args.options.get("--cycles"), 3_000_000)?);
+    let fw = synth_firmware::build(&apps::tiny_test_app(), &BuildOptions::vulnerable_mavr())
+        .map_err(fail)?;
+
+    let t = Telemetry::new(RingRecorder::new(4096));
+    let mut narrative = String::new();
+
+    match scenario {
+        "boot" => {
+            // Provision lifecycle: container read -> randomize -> stream ->
+            // program -> watchdog arm, then a quiet flight and a reboot.
+            let mut board = MavrBoard::provision_with(
+                &fw.image,
+                seed,
+                RandomizationPolicy::default(),
+                t.clone(),
+            )
+            .map_err(fail)?;
+            board.run(cycles).map_err(fail)?;
+            board.reboot().map_err(fail)?;
+            narrative.push_str(&format!(
+                "boot scenario: {} boots, {} recoveries, app at cycle {}\n",
+                board.master.boot_count(),
+                board.recoveries(),
+                board.app.machine.cycles()
+            ));
+        }
+        "clean-attack" => {
+            // The paper's V2 against an UNPROTECTED machine: injection,
+            // clean return, telemetry keeps flowing.
+            let ctx = rop::attack::AttackContext::discover_with(&fw.image, &t).map_err(fail)?;
+            let target = synth_firmware::layout::GYRO + 3;
+            let payload = ctx
+                .v2_payload(&[(target, [0xde, 0xad, 0x42])])
+                .map_err(fail)?;
+            let mut m = avr_sim::Machine::new_atmega2560();
+            m.telemetry = t.clone();
+            m.enable_trace(64);
+            m.load_flash(0, &fw.image.bytes);
+            let _ = m.run(300_000);
+            let mut gcs = mavlink_lite::GroundStation::new();
+            let wire = gcs.exploit_packet(&payload).map_err(fail)?;
+            let (len, cycle) = (wire.len(), m.cycles());
+            t.emit("attack.injected", Some(cycle), || {
+                vec![
+                    ("variant", Value::Str("v2".into())),
+                    ("wire_bytes", Value::U64(len as u64)),
+                    ("target", Value::U64(u64::from(target))),
+                ]
+            });
+            m.uart0.inject(&wire);
+            let _ = m.run(cycles);
+            let overwritten = m.peek_range(target, 3) == [0xde, 0xad, 0x42];
+            let clean = m.fault().is_none();
+            t.emit(
+                if clean {
+                    "attack.clean_return"
+                } else {
+                    "attack.crash"
+                },
+                Some(m.cycles()),
+                || {
+                    vec![
+                        ("overwrote_target", Value::Bool(overwritten)),
+                        ("heartbeats", Value::U64(m.heartbeat.toggles().len() as u64)),
+                    ]
+                },
+            );
+            let report = avr_sim::CrashReport::capture(&m, Some(&fw.image), &ctx.annotations());
+            narrative.push_str(&format!(
+                "clean-attack scenario: target overwritten = {overwritten}, machine {}\n\n",
+                if clean { "still flying" } else { "CRASHED" }
+            ));
+            narrative.push_str(&report.narrative());
+        }
+        "stealthy-attack" => {
+            // Full defense. The interesting run is one where the chain,
+            // landing in re-randomized code, visibly crashes the machine and
+            // the master recovers — quietly find a board seed that produces
+            // that (the master's RNG is deterministic per seed), then replay
+            // it with the recorder attached.
+            let ctx = rop::attack::AttackContext::discover(&fw.image).map_err(fail)?;
+            let target = synth_firmware::layout::GYRO + 3;
+            let payload = ctx
+                .v2_payload(&[(target, [0xde, 0xad, 0x42])])
+                .map_err(fail)?;
+            let mut gcs = mavlink_lite::GroundStation::new();
+            let wire = gcs.exploit_packet(&payload).map_err(fail)?;
+            let attack_round = |board: &mut MavrBoard| -> Result<(), CliError> {
+                board.run(300_000).map_err(fail)?;
+                board.uplink(&wire);
+                board.run(cycles.max(4_000_000)).map_err(fail)?;
+                Ok(())
+            };
+            let mut chosen = None;
+            for probe in 0..32u64 {
+                let s = seed.wrapping_add(probe);
+                let mut board = MavrBoard::provision(&fw.image, s, RandomizationPolicy::default())
+                    .map_err(fail)?;
+                attack_round(&mut board)?;
+                if board.recoveries() >= 1 {
+                    let faulted = board.last_crash.as_ref().is_some_and(|c| c.fault.is_some());
+                    if chosen.is_none() || faulted {
+                        chosen = Some(s);
+                    }
+                    if faulted {
+                        break;
+                    }
+                }
+            }
+            let s = chosen.ok_or_else(|| {
+                CliError::Failed("no probed seed produced a detected failed attack".into())
+            })?;
+            let ctx = rop::attack::AttackContext::discover_with(&fw.image, &t).map_err(fail)?;
+            let mut board =
+                MavrBoard::provision_with(&fw.image, s, RandomizationPolicy::default(), t.clone())
+                    .map_err(fail)?;
+            board.forensic_annotations = ctx.annotations();
+            board.run(300_000).map_err(fail)?;
+            let (len, cycle) = (wire.len(), board.app.machine.cycles());
+            t.emit("attack.injected", Some(cycle), || {
+                vec![
+                    ("variant", Value::Str("v2".into())),
+                    ("wire_bytes", Value::U64(len as u64)),
+                    ("target", Value::U64(u64::from(target))),
+                ]
+            });
+            board.uplink(&wire);
+            board.run(cycles.max(4_000_000)).map_err(fail)?;
+            let overwritten = board.app.machine.peek_range(target, 3) == [0xde, 0xad, 0x42];
+            narrative.push_str(&format!(
+                "stealthy-attack scenario (board seed {s}): attack succeeded = {overwritten}, \
+                 recoveries = {}\n\n",
+                board.recoveries()
+            ));
+            match &board.last_crash {
+                Some(crash) => narrative.push_str(&crash.narrative()),
+                None => narrative.push_str("no recovery occurred (attack soft-landed)\n"),
+            }
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown scenario `{other}` (boot, clean-attack, stealthy-attack)"
+            )))
+        }
+    }
+
+    let (jsonl, kinds, total, dropped) = t
+        .with_recorder::<RingRecorder, _>(|r| {
+            let kinds: Vec<(String, u64)> = r
+                .histogram()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
+            (r.to_jsonl(), kinds, r.events_emitted(), r.dropped())
+        })
+        .expect("trace recorder is a ring");
+
+    let mut out = String::new();
+    if let Some(path) = args.options.get("-o").or(args.options.get("--out")) {
+        std::fs::write(path, &jsonl).map_err(fail)?;
+        out.push_str(&format!(
+            "wrote {total} events to {path} ({dropped} dropped from the ring)\n\n"
+        ));
+    }
+    out.push_str(&format!("{:<24} {:>8}\n", "event kind", "count"));
+    for (kind, count) in &kinds {
+        out.push_str(&format!("{kind:<24} {count:>8}\n"));
+    }
+    out.push_str(&format!("{:<24} {total:>8}\n\n", "total"));
+    out.push_str(&narrative);
+    Ok(out)
+}
+
 /// Help text.
 pub const HELP: &str = "mavr-cli — tools for the MAVR (ICDCS 2015) reproduction
 
@@ -445,6 +656,11 @@ COMMANDS:
         Boot the image on the ATmega2560 simulator and report health.
   attack <file> [--target ADDR] [--values a,b,c] [--variant v1|v2]
         Build the paper's ROP exploit packet against the image.
+  trace [--scenario boot|clean-attack|stealthy-attack] [--seed N]
+        [--cycles N] [--out FILE]
+        Run a scenario with the flight recorder attached: dump the event
+        stream as JSON lines, print a per-kind summary, and (for attacks)
+        the post-mortem crash narrative with gadget attribution.
 ";
 
 /// Dispatch a command line (without the program name).
@@ -463,6 +679,7 @@ pub fn run(raw: &[String]) -> Result<String, CliError> {
         "disasm" => cmd_disasm(&args),
         "simulate" => cmd_simulate(&args),
         "attack" => cmd_attack(&args),
+        "trace" => cmd_trace(&args),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
@@ -484,7 +701,15 @@ mod tests {
 
     #[test]
     fn parse_args_splits_correctly() {
-        let a = parse_args(&s(&["file.hex", "--seed", "9", "--vulnerable", "-o", "out"])).unwrap();
+        let a = parse_args(&s(&[
+            "file.hex",
+            "--seed",
+            "9",
+            "--vulnerable",
+            "-o",
+            "out",
+        ]))
+        .unwrap();
         assert_eq!(a.positional, vec!["file.hex"]);
         assert_eq!(a.options["--seed"], "9");
         assert_eq!(a.options["-o"], "out");
@@ -500,7 +725,15 @@ mod tests {
         let info = run(&s(&["info", &container])).unwrap();
         assert!(info.contains("functions   60"));
         let rand_out = tmp("tiny-rand.hex");
-        let out = run(&s(&["randomize", &container, "--seed", "5", "-o", &rand_out])).unwrap();
+        let out = run(&s(&[
+            "randomize",
+            &container,
+            "--seed",
+            "5",
+            "-o",
+            &rand_out,
+        ]))
+        .unwrap();
         assert!(out.contains("functions moved"));
         // The randomized plain HEX simulates fine but cannot be randomized.
         let sim = run(&s(&["simulate", &rand_out, "--cycles", "500000"])).unwrap();
@@ -537,7 +770,13 @@ mod tests {
         run(&s(&["build", "tiny", "-o", &container])).unwrap();
         let rand_out = tmp("tiny4-rand.hex");
         let out = run(&s(&[
-            "randomize", &container, "--seed", "4", "-o", &rand_out, "--verify",
+            "randomize",
+            &container,
+            "--seed",
+            "4",
+            "-o",
+            &rand_out,
+            "--verify",
         ]))
         .unwrap();
         assert!(out.contains("verify: CyclesExhausted"), "{out}");

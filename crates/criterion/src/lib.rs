@@ -1,0 +1,225 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this crate provides the
+//! API slice the workspace's `harness = false` benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`] with throughput/sample-size knobs,
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model, much simpler than real criterion but honest:
+//! each benchmark is warmed up, the per-iteration cost is estimated, the
+//! iteration count is calibrated so one sample lasts a few milliseconds,
+//! and `sample_size` samples are timed. The median sample is reported as
+//! ns/iter (median resists scheduler noise better than the mean), together
+//! with element/byte throughput when configured. There is no statistical
+//! regression analysis and no HTML report.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Time budget for one measured sample. Small enough that a full bench
+/// suite stays interactive, large enough that `Instant` resolution is
+/// irrelevant.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(5);
+const WARM_UP: Duration = Duration::from_millis(20);
+
+/// Work performed per iteration, used to derive rates from timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Logical items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Hint for how batched setup output should be amortized. The shim times
+/// one routine call per batch regardless, so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Cheap-to-copy input.
+    SmallInput,
+    /// Expensive input; setup dominates, so batches stay small.
+    LargeInput,
+    /// Re-run setup for every iteration.
+    PerIteration,
+}
+
+/// Passed to every benchmark closure; owns the measurement loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` for the calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// One measured benchmark: calibrate, sample, report.
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) {
+    // Warm-up / calibration: grow the iteration count until one call of the
+    // closure exceeds the warm-up budget, then size samples off the
+    // estimated per-iteration cost.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= WARM_UP || iters >= 1 << 30 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        iters = iters.saturating_mul(4);
+    };
+    let sample_iters = ((SAMPLE_BUDGET.as_secs_f64() / per_iter.max(1e-9)) as u64).max(1);
+
+    let mut samples: Vec<f64> = (0..sample_size.max(3))
+        .map(|_| {
+            let mut b = Bencher {
+                iters: sample_iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / sample_iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.3} Melem/s)", n as f64 / median / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.3} MiB/s)", n as f64 / median / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("{id:<44} {:>14.1} ns/iter{rate}", median * 1e9);
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, None, 10, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Finalize; the shim has no end-of-run summary.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group sharing throughput/sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work done per iteration for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.throughput,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion_group!`: defines a function running the listed
+/// benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: defines `main` running each group.
+///
+/// `cargo bench` passes `--bench` (and `cargo test` passes harness flags)
+/// to the binary; all arguments are accepted and ignored. Under `cargo
+/// test` the measurement loops are skipped entirely so the test suite
+/// stays fast — benches then only assert that they build and set up.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let test_mode = std::env::args().any(|a| a == "--test");
+            if test_mode {
+                return;
+            }
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}

@@ -56,7 +56,7 @@ pub fn synth_sensor_node() -> AppSpec {
         functions: 220,
         stock_size: None,
         mavr_size: None,
-        seed: 0x5e45_0e,
+        seed: 0x005e_450e,
         vehicle_type: 18, // MAV_TYPE_ONBOARD_CONTROLLER-ish
     }
 }
@@ -86,11 +86,15 @@ mod tests {
             vec![917, 1030, 800]
         );
         assert_eq!(
-            apps.iter().map(|a| a.stock_size.unwrap()).collect::<Vec<_>>(),
+            apps.iter()
+                .map(|a| a.stock_size.unwrap())
+                .collect::<Vec<_>>(),
             vec![221_608, 244_532, 177_870]
         );
         assert_eq!(
-            apps.iter().map(|a| a.mavr_size.unwrap()).collect::<Vec<_>>(),
+            apps.iter()
+                .map(|a| a.mavr_size.unwrap())
+                .collect::<Vec<_>>(),
             vec![221_294, 244_292, 177_556]
         );
     }

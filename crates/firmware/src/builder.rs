@@ -125,9 +125,9 @@ pub fn build(spec: &AppSpec, options: &BuildOptions) -> Result<FirmwareBuild, As
                     });
                 }
                 // Overshot: scale the ALU mass down and retry.
-                avg_body_words =
-                    ((u64::from(avg_body_words) * u64::from(t) * 85 / 100) / u64::from(natural))
-                        .max(8) as u32;
+                avg_body_words = ((u64::from(avg_body_words) * u64::from(t) * 85 / 100)
+                    / u64::from(natural))
+                .max(8) as u32;
             }
         }
     }
@@ -190,7 +190,9 @@ fn pad_to(
     let pad = (target - natural) as usize;
     if pad > 0 {
         // 0xa5/0x5a filler, even length handled by the linker.
-        let bytes = (0..pad).map(|i| if i % 2 == 0 { 0xa5 } else { 0x5a }).collect();
+        let bytes = (0..pad)
+            .map(|i| if i % 2 == 0 { 0xa5 } else { 0x5a })
+            .collect();
         p.rodata.push(DataObject::new("__calibration_pad", bytes));
     }
     let image = link(&p)?;
@@ -286,7 +288,8 @@ mod tests {
         let mut m = boot(&fw);
         m.run(2 * LOOP_CYCLES);
         let mut gcs = GroundStation::new();
-        m.uart0.inject(&gcs.command_long(400, [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]));
+        m.uart0
+            .inject(&gcs.command_long(400, [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]));
         m.uart0.inject(&gcs.command_long(400, [0.0; 7]));
         m.run(20 * LOOP_CYCLES);
         assert_eq!(m.peek_data(l::COMMAND_COUNT), 2, "both commands handled");
@@ -435,10 +438,8 @@ mod tests {
         let fw = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).unwrap();
         let mut m = boot(&fw);
         m.run(20 * LOOP_CYCLES); // 1.2M cycles; overflow every 16384
-        let clock = u16::from_le_bytes([
-            m.peek_data(l::SOFT_CLOCK),
-            m.peek_data(l::SOFT_CLOCK + 1),
-        ]);
+        let clock =
+            u16::from_le_bytes([m.peek_data(l::SOFT_CLOCK), m.peek_data(l::SOFT_CLOCK + 1)]);
         let expected = m.cycles() / 16_384;
         assert!(
             (i64::from(clock) - expected as i64).abs() <= 2,

@@ -93,7 +93,9 @@ pub fn init(gyro_init: [u8; 6]) -> Function {
         .insn(sts(TIMSK0, R24))
         .insn(sts(l::SOFT_CLOCK, R1))
         .insn(sts(l::SOFT_CLOCK + 1, R1))
-        .insn(Bset { s: avr_core::sreg::I });
+        .insn(Bset {
+            s: avr_core::sreg::I,
+        });
     b = b.call("param_load");
     b.jmp("main_loop").build()
 }
@@ -222,7 +224,10 @@ pub fn tx_frame() -> Function {
         .insn(ldi(R26, (l::TX_BUF & 0xff) as u8))
         .insn(ldi(R27, (l::TX_BUF >> 8) as u8))
         // Magic byte: transmitted, not CRC'd.
-        .insn(Ld { d: R21, ptr: avr_core::PtrReg::XPostInc })
+        .insn(Ld {
+            d: R21,
+            ptr: avr_core::PtrReg::XPostInc,
+        })
         .insn(sts(UDR0, R21))
         .insn(Dec { d: R20 })
         .insn(ldi(R24, 0xff))
@@ -230,7 +235,10 @@ pub fn tx_frame() -> Function {
         .label("tx_loop")
         .insn(And { d: R20, r: R20 })
         .breq("tx_done")
-        .insn(Ld { d: R21, ptr: avr_core::PtrReg::XPostInc })
+        .insn(Ld {
+            d: R21,
+            ptr: avr_core::PtrReg::XPostInc,
+        })
         .insn(Mov { d: R22, r: R21 })
         .call("crc_update")
         .insn(sts(UDR0, R21))
@@ -413,9 +421,21 @@ pub fn imu_commit_sample() -> Function {
         .insn(lds(R6, l::STAGE + 1))
         .insn(lds(R7, l::STAGE + 2))
         // ---- write_mem_gadget starts here ----
-        .insn(Std { idx: YZ::Y, q: 1, r: R5 })
-        .insn(Std { idx: YZ::Y, q: 2, r: R6 })
-        .insn(Std { idx: YZ::Y, q: 3, r: R7 })
+        .insn(Std {
+            idx: YZ::Y,
+            q: 1,
+            r: R5,
+        })
+        .insn(Std {
+            idx: YZ::Y,
+            q: 2,
+            r: R6,
+        })
+        .insn(Std {
+            idx: YZ::Y,
+            q: 3,
+            r: R7,
+        })
         .insn(Pop { d: R29 })
         .insn(Pop { d: R28 });
     for r in (4..=17u8).rev() {
@@ -435,15 +455,26 @@ pub fn frame_prologue(mut b: FnBuilder, frame: u16) -> FnBuilder {
         .insn(In { d: R28, a: io::SPL })
         .insn(In { d: R29, a: io::SPH });
     if frame <= 63 {
-        b = b.insn(Sbiw { d: R28, k: frame as u8 });
+        b = b.insn(Sbiw {
+            d: R28,
+            k: frame as u8,
+        });
     } else {
         b = b
-            .insn(Subi { d: R28, k: (frame & 0xff) as u8 })
-            .insn(Sbci { d: R29, k: (frame >> 8) as u8 });
+            .insn(Subi {
+                d: R28,
+                k: (frame & 0xff) as u8,
+            })
+            .insn(Sbci {
+                d: R29,
+                k: (frame >> 8) as u8,
+            });
     }
     b = b
         .insn(In { d: R0, a: io::SREG })
-        .insn(Bclr { s: avr_core::sreg::I }) // cli, as avr-gcc emits
+        .insn(Bclr {
+            s: avr_core::sreg::I,
+        }) // cli, as avr-gcc emits
         .insn(Out { a: io::SPH, r: R29 })
         .insn(Out { a: io::SREG, r: R0 })
         .insn(Out { a: io::SPL, r: R28 });
@@ -454,16 +485,27 @@ pub fn frame_prologue(mut b: FnBuilder, frame: u16) -> FnBuilder {
 /// paper's `stk_move` gadget (Fig. 4).
 pub fn frame_epilogue(mut b: FnBuilder, frame: u16) -> FnBuilder {
     if frame <= 63 {
-        b = b.insn(Adiw { d: R28, k: frame as u8 });
+        b = b.insn(Adiw {
+            d: R28,
+            k: frame as u8,
+        });
     } else {
         let neg = frame.wrapping_neg();
         b = b
-            .insn(Subi { d: R28, k: (neg & 0xff) as u8 })
-            .insn(Sbci { d: R29, k: (neg >> 8) as u8 });
+            .insn(Subi {
+                d: R28,
+                k: (neg & 0xff) as u8,
+            })
+            .insn(Sbci {
+                d: R29,
+                k: (neg >> 8) as u8,
+            });
     }
     b = b
         .insn(In { d: R0, a: io::SREG })
-        .insn(Bclr { s: avr_core::sreg::I }) // cli
+        .insn(Bclr {
+            s: avr_core::sreg::I,
+        }) // cli
         // ---- stk_move gadget starts here ----
         .insn(Out { a: io::SPH, r: R29 })
         .insn(Out { a: io::SREG, r: R0 })
@@ -483,11 +525,27 @@ pub fn nav_update() -> Function {
     b = b
         .insn(lds(R24, l::GYRO))
         .insn(lds(R25, l::GYRO + 1))
-        .insn(Std { idx: YZ::Y, q: 1, r: R24 })
-        .insn(Std { idx: YZ::Y, q: 2, r: R25 })
-        .insn(Ldd { d: R16, idx: YZ::Y, q: 1 })
+        .insn(Std {
+            idx: YZ::Y,
+            q: 1,
+            r: R24,
+        })
+        .insn(Std {
+            idx: YZ::Y,
+            q: 2,
+            r: R25,
+        })
+        .insn(Ldd {
+            d: R16,
+            idx: YZ::Y,
+            q: 1,
+        })
         .insn(Add { d: R16, r: R25 })
-        .insn(Std { idx: YZ::Y, q: 3, r: R16 });
+        .insn(Std {
+            idx: YZ::Y,
+            q: 3,
+            r: R16,
+        });
     frame_epilogue(b, 16).insn(Ret).build()
 }
 
@@ -579,7 +637,10 @@ pub fn mavlink_rx_poll() -> Function {
         .label("st_payload")
         .insn(lds(R26, l::RX_PTR_L))
         .insn(lds(R27, l::RX_PTR_H))
-        .insn(St { ptr: avr_core::PtrReg::XPostInc, r: R24 })
+        .insn(St {
+            ptr: avr_core::PtrReg::XPostInc,
+            r: R24,
+        })
         .insn(sts(l::RX_PTR_L, R26))
         .insn(sts(l::RX_PTR_H, R27))
         .insn(Mov { d: R22, r: R24 })
@@ -662,7 +723,10 @@ pub fn handle_param_set(vulnerable: bool) -> Function {
     if !vulnerable {
         // if (len > HANDLER_BUF) len = HANDLER_BUF;
         b = b
-            .insn(Cpi { d: R16, k: l::HANDLER_BUF + 1 })
+            .insn(Cpi {
+                d: R16,
+                k: l::HANDLER_BUF + 1,
+            })
             .brcs("len_ok")
             .insn(ldi(R16, l::HANDLER_BUF))
             .label("len_ok");
@@ -677,15 +741,25 @@ pub fn handle_param_set(vulnerable: bool) -> Function {
         .label("copy")
         .insn(And { d: R16, r: R16 })
         .breq("copied")
-        .insn(Ld { d: R24, ptr: avr_core::PtrReg::XPostInc })
-        .insn(St { ptr: avr_core::PtrReg::ZPostInc, r: R24 })
+        .insn(Ld {
+            d: R24,
+            ptr: avr_core::PtrReg::XPostInc,
+        })
+        .insn(St {
+            ptr: avr_core::PtrReg::ZPostInc,
+            r: R24,
+        })
         .insn(Dec { d: R16 })
         .rjmp("copy")
         .label("copied");
     // Commit param_value = buffer[0..4].
     for i in 0..4u8 {
         b = b
-            .insn(Ldd { d: R24, idx: YZ::Y, q: 1 + i })
+            .insn(Ldd {
+                d: R24,
+                idx: YZ::Y,
+                q: 1 + i,
+            })
             .insn(sts(l::PARAM_VALUE + u16::from(i), R24));
     }
     b = b
@@ -731,7 +805,10 @@ pub fn param_save() -> Function {
         .label("save_loop")
         .insn(sts(EEARL, R20))
         .insn(sts(EEARH, R1))
-        .insn(Ld { d: R24, ptr: avr_core::PtrReg::XPostInc })
+        .insn(Ld {
+            d: R24,
+            ptr: avr_core::PtrReg::XPostInc,
+        })
         .insn(sts(EEDR, R24))
         .insn(ldi(R24, EEMPE))
         .insn(sts(EECR, R24))
@@ -757,7 +834,10 @@ pub fn param_load() -> Function {
         .insn(ldi(R24, EERE))
         .insn(sts(EECR, R24))
         .insn(lds(R24, EEDR))
-        .insn(St { ptr: avr_core::PtrReg::XPostInc, r: R24 })
+        .insn(St {
+            ptr: avr_core::PtrReg::XPostInc,
+            r: R24,
+        })
         .insn(Inc { d: R20 })
         .insn(Dec { d: R21 })
         .brne("load_loop")

@@ -113,7 +113,12 @@ pub fn generate(
 
     // The RTOS-style scheduler: a task table in rodata (function pointers
     // MAVR must patch) walked with elpm + icall every main-loop round.
-    let tasks = ["task_beacon", &filler_name(0), &filler_name(1), &filler_name(2)];
+    let tasks = [
+        "task_beacon",
+        &filler_name(0),
+        &filler_name(1),
+        &filler_name(2),
+    ];
     functions.push(run_tasks(&tasks));
 
     let mut rodata = Vec::new();
@@ -153,9 +158,7 @@ fn alu_block(b: FnBuilder, words: u32, slot: u16, rng: &mut StdRng) -> FnBuilder
             12 => Subi { d, k: rng.random() },
             13 => {
                 // A scratch-slot store/load pair (2 two-word insns).
-                b = b
-                    .insn(Sts { k: slot, r: d })
-                    .insn(Lds { d: r, k: slot });
+                b = b.insn(Sts { k: slot, r: d }).insn(Lds { d: r, k: slot });
                 emitted += 4;
                 continue;
             }
@@ -197,13 +200,34 @@ fn frame_fn(i: usize, body: u32, toolchain: ToolchainOptions, rng: &mut StdRng) 
     if toolchain.call_prologues {
         b = b.call("__prologue_saves__");
         b = b
-            .insn(In { d: R28, a: avr_core::io::SPL })
-            .insn(In { d: R29, a: avr_core::io::SPH })
-            .insn(Sbiw { d: R28, k: frame as u8 })
-            .insn(In { d: R0, a: avr_core::io::SREG })
-            .insn(Out { a: avr_core::io::SPH, r: R29 })
-            .insn(Out { a: avr_core::io::SREG, r: R0 })
-            .insn(Out { a: avr_core::io::SPL, r: R28 });
+            .insn(In {
+                d: R28,
+                a: avr_core::io::SPL,
+            })
+            .insn(In {
+                d: R29,
+                a: avr_core::io::SPH,
+            })
+            .insn(Sbiw {
+                d: R28,
+                k: frame as u8,
+            })
+            .insn(In {
+                d: R0,
+                a: avr_core::io::SREG,
+            })
+            .insn(Out {
+                a: avr_core::io::SPH,
+                r: R29,
+            })
+            .insn(Out {
+                a: avr_core::io::SREG,
+                r: R0,
+            })
+            .insn(Out {
+                a: avr_core::io::SPL,
+                r: R28,
+            });
     } else {
         b = frame_prologue(b, frame);
     }
@@ -211,18 +235,35 @@ fn frame_fn(i: usize, body: u32, toolchain: ToolchainOptions, rng: &mut StdRng) 
     for _ in 0..rng.random_range(2..6) {
         let q = rng.random_range(1..=frame as u8);
         let r = Reg::new(rng.random_range(18..=25));
-        b = b
-            .insn(Std { idx: YZ::Y, q, r })
-            .insn(Ldd { d: r, idx: YZ::Y, q });
+        b = b.insn(Std { idx: YZ::Y, q, r }).insn(Ldd {
+            d: r,
+            idx: YZ::Y,
+            q,
+        });
     }
     b = alu_block(b, body, slot, rng);
     if toolchain.call_prologues {
         b = b
-            .insn(Adiw { d: R28, k: frame as u8 })
-            .insn(In { d: R0, a: avr_core::io::SREG })
-            .insn(Out { a: avr_core::io::SPH, r: R29 })
-            .insn(Out { a: avr_core::io::SREG, r: R0 })
-            .insn(Out { a: avr_core::io::SPL, r: R28 })
+            .insn(Adiw {
+                d: R28,
+                k: frame as u8,
+            })
+            .insn(In {
+                d: R0,
+                a: avr_core::io::SREG,
+            })
+            .insn(Out {
+                a: avr_core::io::SPH,
+                r: R29,
+            })
+            .insn(Out {
+                a: avr_core::io::SREG,
+                r: R0,
+            })
+            .insn(Out {
+                a: avr_core::io::SPL,
+                r: R28,
+            })
             .call("__epilogue_restores__")
             .insn(Ret);
     } else {
@@ -251,9 +292,21 @@ fn saver_fn(i: usize, body: u32, toolchain: ToolchainOptions, rng: &mut StdRng) 
         .insn(Lds { d: R7, k: slot + 2 });
     b = alu_block(b, body, slot, rng);
     b = b
-        .insn(Std { idx: YZ::Y, q: 1, r: R5 })
-        .insn(Std { idx: YZ::Y, q: 2, r: R6 })
-        .insn(Std { idx: YZ::Y, q: 3, r: R7 });
+        .insn(Std {
+            idx: YZ::Y,
+            q: 1,
+            r: R5,
+        })
+        .insn(Std {
+            idx: YZ::Y,
+            q: 2,
+            r: R6,
+        })
+        .insn(Std {
+            idx: YZ::Y,
+            q: 3,
+            r: R7,
+        });
     if toolchain.call_prologues {
         b = b.call("__epilogue_restores__").insn(Ret);
     } else {
@@ -274,19 +327,19 @@ fn call_with_args(b: FnBuilder, callee: usize, kinds: &[Kind]) -> FnBuilder {
     if kinds[callee] == Kind::Saver {
         let dest = layout::filler_slot(callee) - 1; // stores land on slot..slot+2
         b = b
-            .insn(Ldi { d: R24, k: (dest & 0xff) as u8 })
-            .insn(Ldi { d: R25, k: (dest >> 8) as u8 });
+            .insn(Ldi {
+                d: R24,
+                k: (dest & 0xff) as u8,
+            })
+            .insn(Ldi {
+                d: R25,
+                k: (dest >> 8) as u8,
+            });
     }
     b.call(filler_name(callee))
 }
 
-fn caller_fn(
-    i: usize,
-    body: u32,
-    kinds: &[Kind],
-    leaves: &[usize],
-    rng: &mut StdRng,
-) -> Function {
+fn caller_fn(i: usize, body: u32, kinds: &[Kind], leaves: &[usize], rng: &mut StdRng) -> Function {
     let slot = layout::filler_slot(i);
     let mut b = FnBuilder::new(filler_name(i));
     let n_calls = rng.random_range(1..=3usize);
@@ -331,7 +384,10 @@ fn indirect_fn(i: usize, body: u32, rng: &mut StdRng) -> Function {
             offset: entry * 2,
             byte: 2,
         })
-        .insn(Out { a: avr_core::io::RAMPZ, r: R24 })
+        .insn(Out {
+            a: avr_core::io::RAMPZ,
+            r: R24,
+        })
         .item(Item::LdiSymByte {
             d: R30,
             sym: DISPATCH_TABLE.into(),
@@ -344,8 +400,14 @@ fn indirect_fn(i: usize, body: u32, rng: &mut StdRng) -> Function {
             offset: entry * 2,
             byte: 1,
         })
-        .insn(Elpm { d: R24, post_inc: true })
-        .insn(Elpm { d: R25, post_inc: false })
+        .insn(Elpm {
+            d: R24,
+            post_inc: true,
+        })
+        .insn(Elpm {
+            d: R25,
+            post_inc: false,
+        })
         .insn(Movw { d: R30, r: R24 })
         .insn(Icall)
         .insn(Ret);
@@ -401,7 +463,10 @@ fn run_tasks(tasks: &[&str]) -> Function {
                 offset: off,
                 byte: 2,
             })
-            .insn(Out { a: avr_core::io::RAMPZ, r: R24 })
+            .insn(Out {
+                a: avr_core::io::RAMPZ,
+                r: R24,
+            })
             .item(Item::LdiSymByte {
                 d: R30,
                 sym: TASK_TABLE.into(),
@@ -414,8 +479,14 @@ fn run_tasks(tasks: &[&str]) -> Function {
                 offset: off,
                 byte: 1,
             })
-            .insn(Elpm { d: R24, post_inc: true })
-            .insn(Elpm { d: R25, post_inc: false })
+            .insn(Elpm {
+                d: R24,
+                post_inc: true,
+            })
+            .insn(Elpm {
+                d: R25,
+                post_inc: false,
+            })
             .insn(Movw { d: R30, r: R24 })
             .insn(Icall);
     }

@@ -147,7 +147,8 @@ mod tests {
     #[test]
     fn scratch_stays_clear_of_stack() {
         // Leave at least 6 KiB of headroom for the stack.
-        assert!(FILLER_SCRATCH + 4 * FILLER_SCRATCH_SLOTS <= 0x0c00);
+        let scratch_end = FILLER_SCRATCH + 4 * FILLER_SCRATCH_SLOTS;
+        assert!(scratch_end <= 0x0c00);
     }
 
     #[test]

@@ -192,7 +192,13 @@ mod tests {
     #[test]
     fn known_record_format() {
         // The canonical example record.
-        let text = write_ihex(&[0x21, 0x46, 0x01, 0x36, 0x01, 0x21, 0x47, 0x01, 0x36, 0x00, 0x7E, 0xFE, 0x09, 0xD2, 0x19, 0x01], 0x0100);
+        let text = write_ihex(
+            &[
+                0x21, 0x46, 0x01, 0x36, 0x01, 0x21, 0x47, 0x01, 0x36, 0x00, 0x7E, 0xFE, 0x09, 0xD2,
+                0x19, 0x01,
+            ],
+            0x0100,
+        );
         assert!(text.starts_with(":10010000214601360121470136007EFE09D21901"));
     }
 

@@ -32,6 +32,9 @@ pub struct GroundStation {
     pub attitudes: Vec<Attitude>,
     /// Decoded SYS_STATUS telemetry, in arrival order.
     pub sys_status: Vec<SysStatus>,
+    /// Count of packets this station has framed for transmission
+    /// (well-formed and malicious alike).
+    pub packets_framed: u64,
 }
 
 impl Default for GroundStation {
@@ -52,12 +55,14 @@ impl GroundStation {
             heartbeats: Vec::new(),
             attitudes: Vec::new(),
             sys_status: Vec::new(),
+            packets_framed: 0,
         }
     }
 
     fn next_seq(&mut self) -> u8 {
         let s = self.seq;
         self.seq = self.seq.wrapping_add(1);
+        self.packets_framed += 1;
         s
     }
 
@@ -72,9 +77,15 @@ impl GroundStation {
             mavlink_version: 3,
         };
         let seq = self.next_seq();
-        Packet::new(seq, self.sysid, self.compid, msg::HEARTBEAT_ID, h.to_payload())
-            .expect("heartbeat payload is fixed-size")
-            .encode()
+        Packet::new(
+            seq,
+            self.sysid,
+            self.compid,
+            msg::HEARTBEAT_ID,
+            h.to_payload(),
+        )
+        .expect("heartbeat payload is fixed-size")
+        .encode()
     }
 
     /// Encode a well-formed PARAM_SET.
@@ -87,9 +98,15 @@ impl GroundStation {
             param_type: 9,
         };
         let seq = self.next_seq();
-        Packet::new(seq, self.sysid, self.compid, msg::PARAM_SET_ID, p.to_payload())
-            .expect("param_set payload is fixed-size")
-            .encode()
+        Packet::new(
+            seq,
+            self.sysid,
+            self.compid,
+            msg::PARAM_SET_ID,
+            p.to_payload(),
+        )
+        .expect("param_set payload is fixed-size")
+        .encode()
     }
 
     /// Encode a COMMAND_LONG (e.g. arm/disarm, mode changes).
@@ -102,9 +119,15 @@ impl GroundStation {
             confirmation: 0,
         };
         let seq = self.next_seq();
-        Packet::new(seq, self.sysid, self.compid, msg::COMMAND_LONG_ID, c.to_payload())
-            .expect("command payload is fixed-size")
-            .encode()
+        Packet::new(
+            seq,
+            self.sysid,
+            self.compid,
+            msg::COMMAND_LONG_ID,
+            c.to_payload(),
+        )
+        .expect("command payload is fixed-size")
+        .encode()
     }
 
     /// **Malicious**: a PARAM_SET-id packet with an arbitrary, oversized
@@ -113,8 +136,14 @@ impl GroundStation {
     /// into a fixed stack buffer.
     pub fn exploit_packet(&mut self, payload: &[u8]) -> Result<Vec<u8>, ProtocolError> {
         let seq = self.next_seq();
-        Ok(Packet::new(seq, self.sysid, self.compid, msg::PARAM_SET_ID, payload.to_vec())?
-            .encode())
+        Ok(Packet::new(
+            seq,
+            self.sysid,
+            self.compid,
+            msg::PARAM_SET_ID,
+            payload.to_vec(),
+        )?
+        .encode())
     }
 
     /// **Malicious**: like [`GroundStation::exploit_packet`] but with a lying
@@ -164,6 +193,11 @@ impl GroundStation {
     /// indicator the operator console would surface.
     pub fn bad_checksums(&self) -> u64 {
         self.parser.bad_checksums
+    }
+
+    /// Count of checksum-valid packets decoded from the UAV so far.
+    pub fn packets_parsed(&self) -> u64 {
+        self.parser.packets_parsed
     }
 
     /// The operator's liveness view: does the most recent window of traffic

@@ -29,7 +29,12 @@ pub fn crc_extra(msgid: u8) -> u8 {
     }
 }
 
-fn check(msgid: u8, expected_id: u8, payload: &[u8], expected_len: usize) -> Result<(), ProtocolError> {
+fn check(
+    msgid: u8,
+    expected_id: u8,
+    payload: &[u8],
+    expected_len: usize,
+) -> Result<(), ProtocolError> {
     if msgid != expected_id {
         return Err(ProtocolError::WrongMessageId {
             expected: expected_id,

@@ -115,6 +115,10 @@ pub struct Parser {
     crc_lo: u8,
     /// Count of packets dropped for checksum errors.
     pub bad_checksums: u64,
+    /// Count of complete, checksum-valid packets returned.
+    pub packets_parsed: u64,
+    /// Total bytes fed through [`Parser::push`].
+    pub bytes_fed: u64,
 }
 
 impl Default for Parser {
@@ -140,12 +144,15 @@ impl Parser {
             crc: 0xffff,
             crc_lo: 0,
             bad_checksums: 0,
+            packets_parsed: 0,
+            bytes_fed: 0,
         }
     }
 
     /// Feed one byte; returns a complete, checksum-valid packet when one
     /// finishes.
     pub fn push(&mut self, b: u8) -> Option<Packet> {
+        self.bytes_fed += 1;
         match self.state {
             State::Idle => {
                 if b == MAGIC {
@@ -198,10 +205,10 @@ impl Parser {
             }
             State::Crc2 => {
                 self.state = State::Idle;
-                let expected =
-                    crc_accumulate(self.crc, crate::msg::crc_extra(self.pkt.msgid));
+                let expected = crc_accumulate(self.crc, crate::msg::crc_extra(self.pkt.msgid));
                 let received = u16::from_le_bytes([self.crc_lo, b]);
                 if expected == received {
+                    self.packets_parsed += 1;
                     return Some(self.pkt.clone());
                 }
                 self.bad_checksums += 1;
@@ -250,11 +257,27 @@ mod tests {
     }
 
     #[test]
+    fn parser_counts_traffic() {
+        let p = Packet::new(7, 255, 190, 0, vec![0; 9]).unwrap();
+        let good = p.encode();
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        let mut parser = Parser::new();
+        parser.push_all(&good);
+        parser.push_all(&bad);
+        parser.push_all(&good);
+        assert_eq!(parser.packets_parsed, 2);
+        assert_eq!(parser.bad_checksums, 1);
+        assert_eq!(parser.bytes_fed, 3 * good.len() as u64);
+    }
+
+    #[test]
     fn resyncs_after_garbage() {
         let p = Packet::new(1, 2, 3, 0, vec![0; 9]).unwrap();
         let mut stream = vec![0x12, 0x34]; // leading garbage, no magic
-        // A complete-but-corrupt frame: magic, len=2, 4 header bytes,
-        // 2 payload bytes, 2 checksum bytes that won't match.
+                                           // A complete-but-corrupt frame: magic, len=2, 4 header bytes,
+                                           // 2 payload bytes, 2 checksum bytes that won't match.
         stream.extend([0xfe, 0x02, 0xaa, 0xaa, 0xaa, 0xaa, 0xaa, 0xaa, 0xaa, 0xaa]);
         stream.extend(p.encode());
         let mut parser = Parser::new();

@@ -33,7 +33,8 @@ impl RandomizationPolicy {
         if attack_detected && self.on_attack {
             return true;
         }
-        boot == 1 || (self.every_n_boots > 0 && boot % self.every_n_boots == 1)
+        boot == 1
+            || (self.every_n_boots > 0 && boot % self.every_n_boots == 1)
             || self.every_n_boots == 1
     }
 
@@ -51,8 +52,8 @@ impl RandomizationPolicy {
     /// Device lifetime in boots before the flash endurance budget is
     /// exhausted, assuming an attack fraction of `attack_rate` per boot.
     pub fn lifetime_boots(&self, endurance_cycles: u32, attack_rate: f64) -> f64 {
-        let per_boot = 1.0 / self.every_n_boots.max(1) as f64
-            + if self.on_attack { attack_rate } else { 0.0 };
+        let per_boot =
+            1.0 / self.every_n_boots.max(1) as f64 + if self.on_attack { attack_rate } else { 0.0 };
         endurance_cycles as f64 / per_boot
     }
 }
@@ -107,7 +108,10 @@ mod tests {
         assert!(!p.should_randomize(2, false));
         assert!(!p.should_randomize(10, false));
         assert!(p.should_randomize(11, false));
-        assert!(p.should_randomize(5, true), "attack forces re-randomization");
+        assert!(
+            p.should_randomize(5, true),
+            "attack forces re-randomization"
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl std::fmt::Display for PreprocessError {
             PreprocessError::InvalidImage(why) => write!(f, "invalid image: {why}"),
             PreprocessError::NothingToRandomize => write!(f, "no movable function symbols"),
             PreprocessError::DanglingFunctionPointer { loc } => {
-                write!(f, "function pointer at {loc:#x} points outside all functions")
+                write!(
+                    f,
+                    "function pointer at {loc:#x} points outside all functions"
+                )
             }
         }
     }
@@ -42,9 +45,7 @@ impl std::error::Error for PreprocessError {}
 
 /// Validate `image` and package it for upload to the MAVR external flash.
 pub fn preprocess(image: &FirmwareImage) -> Result<MavrContainer, PreprocessError> {
-    image
-        .validate()
-        .map_err(PreprocessError::InvalidImage)?;
+    image.validate().map_err(PreprocessError::InvalidImage)?;
     if image.function_count() == 0 {
         return Err(PreprocessError::NothingToRandomize);
     }
@@ -109,7 +110,10 @@ mod tests {
     #[test]
     fn rejects_symbolless_image() {
         let img = strip(&tiny());
-        assert_eq!(preprocess(&img).unwrap_err(), PreprocessError::NothingToRandomize);
+        assert_eq!(
+            preprocess(&img).unwrap_err(),
+            PreprocessError::NothingToRandomize
+        );
     }
 
     #[test]

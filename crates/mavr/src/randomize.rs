@@ -83,7 +83,10 @@ impl std::fmt::Display for RandomizeError {
                 "relative branch at {at:#x} crosses function blocks (build with --no-relax)"
             ),
             RandomizeError::BadFunctionPointer { loc } => {
-                write!(f, "function pointer at {loc:#x} points outside all functions")
+                write!(
+                    f,
+                    "function pointer at {loc:#x} points outside all functions"
+                )
             }
             RandomizeError::ConstraintUnsatisfiable => {
                 write!(f, "cannot keep all pointer-called functions in icall reach")
@@ -248,9 +251,7 @@ pub fn randomize(
             }
             Insn::Rcall { k } | Insn::Rjmp { k } => {
                 // Target must stay inside the same function block.
-                let target = off
-                    .wrapping_add(2)
-                    .wrapping_add_signed(i32::from(k) * 2);
+                let target = off.wrapping_add(2).wrapping_add_signed(i32::from(k) * 2);
                 let same_block = match (rank_of(&movable, off), rank_of(&movable, target)) {
                     (Some(a), Some(b)) => a == b,
                     // Fixed-region code may branch within itself.
@@ -390,7 +391,12 @@ mod tests {
     #[test]
     fn randomized_image_is_well_formed() {
         let img = tiny();
-        let r = randomize(&img, &mut crate::seeded_rng(1), &RandomizeOptions::default()).unwrap();
+        let r = randomize(
+            &img,
+            &mut crate::seeded_rng(1),
+            &RandomizeOptions::default(),
+        )
+        .unwrap();
         r.image.validate().unwrap();
         assert_eq!(r.image.code_size(), img.code_size());
         assert_eq!(r.image.text_end, img.text_end);
@@ -404,11 +410,7 @@ mod tests {
         assert!(moved > img.function_count() / 2);
         // Rodata untouched except at the patched function-pointer slots.
         for off in img.text_end..img.code_size() {
-            if img
-                .fn_ptr_locs
-                .iter()
-                .any(|&l| off == l || off == l + 1)
-            {
+            if img.fn_ptr_locs.iter().any(|&l| off == l || off == l + 1) {
                 continue;
             }
             assert_eq!(
@@ -421,7 +423,12 @@ mod tests {
     #[test]
     fn permutation_is_a_bijection() {
         let img = tiny();
-        let r = randomize(&img, &mut crate::seeded_rng(2), &RandomizeOptions::default()).unwrap();
+        let r = randomize(
+            &img,
+            &mut crate::seeded_rng(2),
+            &RandomizeOptions::default(),
+        )
+        .unwrap();
         let n = r.permutation.len();
         assert_eq!(n, img.function_count());
         let mut seen = vec![false; n];
@@ -436,12 +443,21 @@ mod tests {
         // The acid test: shuffle, then boot and verify full behaviour.
         let img = tiny();
         for seed in 0..5 {
-            let r = randomize(&img, &mut crate::seeded_rng(seed), &RandomizeOptions::default())
-                .unwrap();
+            let r = randomize(
+                &img,
+                &mut crate::seeded_rng(seed),
+                &RandomizeOptions::default(),
+            )
+            .unwrap();
             let mut m = Machine::new_atmega2560();
             m.load_flash(0, &r.image.bytes);
             let exit = m.run(1_200_000);
-            assert_eq!(exit, RunExit::CyclesExhausted, "seed {seed}: {:?}", m.fault());
+            assert_eq!(
+                exit,
+                RunExit::CyclesExhausted,
+                "seed {seed}: {:?}",
+                m.fault()
+            );
             assert!(
                 m.heartbeat.toggles().len() >= 10,
                 "seed {seed}: heartbeats stopped"
@@ -452,7 +468,12 @@ mod tests {
     #[test]
     fn randomized_firmware_telemetry_still_valid() {
         let img = tiny();
-        let r = randomize(&img, &mut crate::seeded_rng(9), &RandomizeOptions::default()).unwrap();
+        let r = randomize(
+            &img,
+            &mut crate::seeded_rng(9),
+            &RandomizeOptions::default(),
+        )
+        .unwrap();
         let mut m = avr_sim::Machine::new_atmega2560();
         m.load_flash(0, &r.image.bytes);
         m.run(1_200_000);
@@ -471,7 +492,12 @@ mod tests {
         // The ISR is a movable function reached only through interrupt
         // vector 23 — this exercises MAVR's vector-table patching.
         let img = tiny();
-        let r = randomize(&img, &mut crate::seeded_rng(11), &RandomizeOptions::default()).unwrap();
+        let r = randomize(
+            &img,
+            &mut crate::seeded_rng(11),
+            &RandomizeOptions::default(),
+        )
+        .unwrap();
         assert_ne!(
             r.image.symbol("timer0_ovf_isr").unwrap().addr,
             img.symbol("timer0_ovf_isr").unwrap().addr,
@@ -485,14 +511,27 @@ mod tests {
             m.peek_data(synth_firmware::layout::SOFT_CLOCK),
             m.peek_data(synth_firmware::layout::SOFT_CLOCK + 1),
         ]);
-        assert!(clock > 50, "soft clock advanced under the new layout: {clock}");
+        assert!(
+            clock > 50,
+            "soft clock advanced under the new layout: {clock}"
+        );
     }
 
     #[test]
     fn different_seeds_different_layouts() {
         let img = tiny();
-        let a = randomize(&img, &mut crate::seeded_rng(1), &RandomizeOptions::default()).unwrap();
-        let b = randomize(&img, &mut crate::seeded_rng(2), &RandomizeOptions::default()).unwrap();
+        let a = randomize(
+            &img,
+            &mut crate::seeded_rng(1),
+            &RandomizeOptions::default(),
+        )
+        .unwrap();
+        let b = randomize(
+            &img,
+            &mut crate::seeded_rng(2),
+            &RandomizeOptions::default(),
+        )
+        .unwrap();
         assert_ne!(a.permutation, b.permutation);
         assert_ne!(a.image.bytes, b.image.bytes);
     }
@@ -500,8 +539,18 @@ mod tests {
     #[test]
     fn same_seed_same_layout() {
         let img = tiny();
-        let a = randomize(&img, &mut crate::seeded_rng(3), &RandomizeOptions::default()).unwrap();
-        let b = randomize(&img, &mut crate::seeded_rng(3), &RandomizeOptions::default()).unwrap();
+        let a = randomize(
+            &img,
+            &mut crate::seeded_rng(3),
+            &RandomizeOptions::default(),
+        )
+        .unwrap();
+        let b = randomize(
+            &img,
+            &mut crate::seeded_rng(3),
+            &RandomizeOptions::default(),
+        )
+        .unwrap();
         assert_eq!(a.image, b.image);
     }
 
@@ -511,8 +560,12 @@ mod tests {
         let img = build(&apps::tiny_test_app(), &BuildOptions::safe_stock())
             .unwrap()
             .image;
-        let err = randomize(&img, &mut crate::seeded_rng(1), &RandomizeOptions::default())
-            .unwrap_err();
+        let err = randomize(
+            &img,
+            &mut crate::seeded_rng(1),
+            &RandomizeOptions::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, RandomizeError::RelaxedBranch { .. }));
     }
 
@@ -539,15 +592,17 @@ mod tests {
     #[test]
     fn fn_pointer_tables_are_patched() {
         let img = tiny();
-        let r = randomize(&img, &mut crate::seeded_rng(4), &RandomizeOptions::default()).unwrap();
+        let r = randomize(
+            &img,
+            &mut crate::seeded_rng(4),
+            &RandomizeOptions::default(),
+        )
+        .unwrap();
         for &loc in &img.fn_ptr_locs {
             let old_word = img.read_word(loc);
             let new_word = r.image.read_word(loc);
             let old_sym = img.symbol_containing(u32::from(old_word) * 2).unwrap();
-            let new_sym = r
-                .image
-                .symbol_containing(u32::from(new_word) * 2)
-                .unwrap();
+            let new_sym = r.image.symbol_containing(u32::from(new_word) * 2).unwrap();
             assert_eq!(old_sym.name, new_sym.name, "pointer follows its function");
         }
     }
@@ -561,8 +616,12 @@ mod tests {
             .image;
         assert!(img.code_size() > ICALL_REACH_BYTES);
         for seed in 0..3 {
-            let r = randomize(&img, &mut crate::seeded_rng(seed), &RandomizeOptions::default())
-                .unwrap();
+            let r = randomize(
+                &img,
+                &mut crate::seeded_rng(seed),
+                &RandomizeOptions::default(),
+            )
+            .unwrap();
             for &loc in &r.image.fn_ptr_locs {
                 let word = r.image.read_word(loc);
                 assert!(
@@ -576,7 +635,12 @@ mod tests {
     #[test]
     fn patch_report_accounts_for_everything() {
         let img = tiny();
-        let r = randomize(&img, &mut crate::seeded_rng(6), &RandomizeOptions::default()).unwrap();
+        let r = randomize(
+            &img,
+            &mut crate::seeded_rng(6),
+            &RandomizeOptions::default(),
+        )
+        .unwrap();
         // Every recorded pointer slot was rewritten.
         assert_eq!(r.report.pointers_patched, img.fn_ptr_locs.len());
         // All 57 vectors are jmp instructions, plus the fillers' jumps.
@@ -596,7 +660,12 @@ mod tests {
             .unwrap()
             .image;
         let before = rop_classify(&img).expect("gadgets in the original");
-        let r = randomize(&img, &mut crate::seeded_rng(33), &RandomizeOptions::default()).unwrap();
+        let r = randomize(
+            &img,
+            &mut crate::seeded_rng(33),
+            &RandomizeOptions::default(),
+        )
+        .unwrap();
         let after = rop_classify(&r.image).expect("gadgets still present after shuffle");
         assert_ne!(
             (before.0, before.1),
@@ -614,10 +683,23 @@ mod tests {
         let mut addr = 0u32;
         while addr + 2 <= img.text_end {
             let (i0, w) = avr_core::decode::decode_at(&img.bytes, addr as usize)?;
-            if i0 == (Insn::Out { a: 0x3e, r: Reg::R29 }) && stk.is_none() {
+            if i0
+                == (Insn::Out {
+                    a: 0x3e,
+                    r: Reg::R29,
+                })
+                && stk.is_none()
+            {
                 stk = Some(addr);
             }
-            if i0 == (Insn::Std { idx: YZ::Y, q: 1, r: Reg::R5 }) && wm.is_none() {
+            if i0
+                == (Insn::Std {
+                    idx: YZ::Y,
+                    q: 1,
+                    r: Reg::R5,
+                })
+                && wm.is_none()
+            {
                 wm = Some(addr);
             }
             if let (Some(s), Some(m)) = (stk, wm) {
@@ -639,9 +721,12 @@ mod tests {
         let trials = 1200usize;
         let mut counts = vec![vec![0u32; n]; 3];
         for seed in 0..trials as u64 {
-            let r =
-                randomize(&img, &mut crate::seeded_rng(seed), &RandomizeOptions::default())
-                    .unwrap();
+            let r = randomize(
+                &img,
+                &mut crate::seeded_rng(seed),
+                &RandomizeOptions::default(),
+            )
+            .unwrap();
             for f in 0..3 {
                 counts[f][r.permutation[f]] += 1;
             }
@@ -671,7 +756,12 @@ mod tests {
         // instruction mix (absolute branches keep their width and cycle
         // cost), so the control loop runs at an identical rate.
         let img = tiny();
-        let r = randomize(&img, &mut crate::seeded_rng(21), &RandomizeOptions::default()).unwrap();
+        let r = randomize(
+            &img,
+            &mut crate::seeded_rng(21),
+            &RandomizeOptions::default(),
+        )
+        .unwrap();
         let rate = |bytes: &[u8]| {
             let mut m = Machine::new_atmega2560();
             m.load_flash(0, bytes);
@@ -695,7 +785,12 @@ mod tests {
         opts.serial_bootloader = true;
         let img = build(&apps::tiny_test_app(), &opts).unwrap().image;
         let bl = img.symbol("__bootloader").unwrap().clone();
-        let r = randomize(&img, &mut crate::seeded_rng(5), &RandomizeOptions::default()).unwrap();
+        let r = randomize(
+            &img,
+            &mut crate::seeded_rng(5),
+            &RandomizeOptions::default(),
+        )
+        .unwrap();
         let bl2 = r.image.symbol("__bootloader").unwrap();
         assert_eq!(bl2.addr, bl.addr, "fixed code must not move");
         assert_eq!(
@@ -749,7 +844,12 @@ mod tests {
         for s in &mut img.symbols {
             s.kind = SymbolKind::Fixed;
         }
-        let r = randomize(&img, &mut crate::seeded_rng(0), &RandomizeOptions::default()).unwrap();
+        let r = randomize(
+            &img,
+            &mut crate::seeded_rng(0),
+            &RandomizeOptions::default(),
+        )
+        .unwrap();
         assert_eq!(r.image.bytes, img.bytes);
         assert!(r.permutation.is_empty());
     }

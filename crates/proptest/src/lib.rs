@@ -1,0 +1,114 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this crate reimplements
+//! the slice of proptest the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map` / `prop_filter`,
+//! range and tuple strategies, [`collection::vec`], [`prelude::Just`],
+//! `prop_oneof!`, `proptest!` with `#![proptest_config(..)]`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   scope; rerunning is deterministic (the per-test RNG is seeded from the
+//!   test's name), so failures reproduce exactly.
+//! * **Generation only.** There is no persistence of failing seeds and no
+//!   `prop_assume` rejection bookkeeping beyond a retry cap.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The deterministic RNG driving generation (xoshiro256++ via the vendored
+/// `rand` shim).
+pub type TestRng = StdRng;
+
+/// Seed a [`TestRng`] for a named test: FNV-1a over the name, so every test
+/// function explores a distinct but reproducible stream.
+pub fn rng_for_test(name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Run `cases` generated inputs through `body`. Used by the [`proptest!`]
+/// macro; not public API of real proptest.
+#[macro_export]
+macro_rules! __proptest_case {
+    ($cfg:expr, $name:expr, ( $($arg:pat),* ), ( $($strat:expr),* ), $body:block) => {{
+        let cfg: $crate::test_runner::ProptestConfig = $cfg;
+        let mut rng = $crate::rng_for_test($name);
+        for __case in 0..cfg.cases {
+            $(
+                let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+            )*
+            $body
+        }
+    }};
+}
+
+/// The `proptest!` macro: each contained `fn name(pat in strategy, ..)`
+/// becomes a `#[test]`-style function running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_case!($cfg, stringify!($name), ($($arg),*), ($($strat),*), $body);
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert inside a property test; panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,24 @@
+//! Test-runner configuration.
+
+/// How many cases a `proptest!` test runs, settable per block with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the CPU-heavy machine
+        // simulations in this workspace fast while still exploring widely.
+        ProptestConfig { cases: 64 }
+    }
+}

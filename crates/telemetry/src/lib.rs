@@ -1,0 +1,577 @@
+//! Flight-recorder telemetry: a zero-dependency, allocation-light event bus
+//! for the MAVR reproduction.
+//!
+//! Every layer of the stack — the AVR simulator, the dual-processor board,
+//! the attack pipeline, the protocol codecs — emits structured [`Event`]s
+//! through a shared [`Telemetry`] handle. The handle is an `Option` around a
+//! reference-counted [`Recorder`]; when no recorder is attached (the
+//! default), emitting costs **one branch** and allocates nothing, because
+//! event fields are built inside a closure that never runs. This keeps the
+//! simulator's hot loop unaffected by instrumentation that is off.
+//!
+//! Three sinks ship with the crate:
+//!
+//! * [`NullRecorder`] — counts events and drops them (for overhead tests),
+//! * [`RingRecorder`] — a bounded in-memory ring, the post-mortem "flight
+//!   recorder" proper,
+//! * [`JsonlRecorder`] — streams each event as one JSON line to any
+//!   `io::Write`, for offline analysis (`mavr-cli trace --out events.jsonl`).
+//!
+//! [`Span`] measures wall-clock phases (container read, randomize, program)
+//! and emits a closing event with the elapsed microseconds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (cycle counts, addresses, sizes).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (milliseconds, rates).
+    F64(f64),
+    /// Text (fault descriptions, symbol names).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<u16> for Value {
+    fn from(v: u16) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Escape a string for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Value {
+    /// Render as a JSON value.
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::I64(v) => v.to_string(),
+            Value::F64(v) if v.is_finite() => v.to_string(),
+            Value::F64(_) => "null".to_string(),
+            Value::Str(v) => format!("\"{}\"", json_escape(v)),
+            Value::Bool(v) => v.to_string(),
+        }
+    }
+}
+
+/// One structured event on the bus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number assigned by the [`Telemetry`] handle.
+    pub seq: u64,
+    /// Dotted event kind, e.g. `sim.fault` or `board.recovery`.
+    pub kind: &'static str,
+    /// Simulated-time stamp in CPU cycles, when the emitter has one.
+    pub cycle: Option<u64>,
+    /// Typed fields, in emission order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Fetch a field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == name).map(|(_, v)| v)
+    }
+
+    /// Render as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"seq\":{},\"kind\":\"{}\"",
+            self.seq,
+            json_escape(self.kind)
+        );
+        if let Some(c) = self.cycle {
+            out.push_str(&format!(",\"cycle\":{c}"));
+        }
+        for (k, v) in &self.fields {
+            out.push_str(&format!(",\"{}\":{}", json_escape(k), v.to_json()));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// An event sink.
+pub trait Recorder {
+    /// Consume one event.
+    fn record(&mut self, event: Event);
+    /// Events seen so far (including any later dropped by a bounded sink).
+    fn events_emitted(&self) -> u64;
+}
+
+/// Counts events and discards them — the "instrumentation on, sink off"
+/// configuration used to measure recorder overhead.
+#[derive(Debug, Default)]
+pub struct NullRecorder {
+    seen: u64,
+}
+
+impl Recorder for NullRecorder {
+    fn record(&mut self, _event: Event) {
+        self.seen += 1;
+    }
+    fn events_emitted(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// Bounded in-memory ring of the most recent events.
+#[derive(Debug)]
+pub struct RingRecorder {
+    events: std::collections::VecDeque<Event>,
+    capacity: usize,
+    seen: u64,
+}
+
+impl RingRecorder {
+    /// Ring holding the latest `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        RingRecorder {
+            events: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            seen: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Events that fell off the front of the ring.
+    pub fn dropped(&self) -> u64 {
+        self.seen - self.events.len() as u64
+    }
+
+    /// Count of retained events per kind, sorted by kind.
+    pub fn histogram(&self) -> BTreeMap<&'static str, u64> {
+        let mut h = BTreeMap::new();
+        for e in &self.events {
+            *h.entry(e.kind).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Serialize every retained event as JSON lines.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&mut self, event: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+        self.seen += 1;
+    }
+    fn events_emitted(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// Streams each event as one JSON line into a writer.
+pub struct JsonlRecorder<W: Write> {
+    out: W,
+    seen: u64,
+}
+
+impl<W: Write> JsonlRecorder<W> {
+    /// Wrap a writer.
+    pub fn new(out: W) -> Self {
+        JsonlRecorder { out, seen: 0 }
+    }
+
+    /// Unwrap the writer (e.g. to flush or inspect a buffer).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> Recorder for JsonlRecorder<W> {
+    fn record(&mut self, event: Event) {
+        // A broken pipe must not crash the simulated board.
+        let _ = writeln!(self.out, "{}", event.to_json());
+        self.seen += 1;
+    }
+    fn events_emitted(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// A named set of monotonic counters (for subsystems without natural struct
+/// fields to count in).
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    map: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Add `delta` to `name`.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.map.entry(name).or_insert(0) += delta;
+    }
+
+    /// Current value of `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterate `(name, value)` sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.map.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+/// Internal object-safe union of `Recorder` and `Any`, so [`Telemetry`] can
+/// both dispatch events and hand the concrete sink back out via
+/// [`Telemetry::with_recorder`].
+trait AnyRecorder: Recorder {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+impl<R: Recorder + 'static> AnyRecorder for R {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+struct Bus {
+    recorder: RefCell<Box<dyn AnyRecorder>>,
+    next_seq: std::cell::Cell<u64>,
+}
+
+/// The cloneable handle every instrumented component holds.
+///
+/// `Telemetry::off()` (also `Default`) is the null handle: emitting through
+/// it is a single `Option` check and the field-building closure never runs.
+/// Clones share the underlying recorder, so a board, its master, and its
+/// application machine all append to one stream.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    bus: Option<Rc<Bus>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.bus {
+            Some(_) => write!(f, "Telemetry(on)"),
+            None => write!(f, "Telemetry(off)"),
+        }
+    }
+}
+
+impl Telemetry {
+    /// The inert handle: no recorder, near-zero cost.
+    pub fn off() -> Self {
+        Telemetry::default()
+    }
+
+    /// A handle backed by `recorder`.
+    pub fn new(recorder: impl Recorder + 'static) -> Self {
+        Telemetry {
+            bus: Some(Rc::new(Bus {
+                recorder: RefCell::new(Box::new(recorder)),
+                next_seq: std::cell::Cell::new(0),
+            })),
+        }
+    }
+
+    /// Whether a recorder is attached.
+    pub fn is_active(&self) -> bool {
+        self.bus.is_some()
+    }
+
+    /// Emit an event. `fields` is only invoked when a recorder is attached,
+    /// so building the field vector costs nothing on the null handle.
+    pub fn emit<F>(&self, kind: &'static str, cycle: Option<u64>, fields: F)
+    where
+        F: FnOnce() -> Vec<(&'static str, Value)>,
+    {
+        if let Some(bus) = &self.bus {
+            let seq = bus.next_seq.get();
+            bus.next_seq.set(seq + 1);
+            bus.recorder.borrow_mut().record(Event {
+                seq,
+                kind,
+                cycle,
+                fields: fields(),
+            });
+        }
+    }
+
+    /// Total events emitted through this handle (0 when off).
+    pub fn events_emitted(&self) -> u64 {
+        self.bus
+            .as_ref()
+            .map(|b| b.recorder.borrow().events_emitted())
+            .unwrap_or(0)
+    }
+
+    /// Run `f` with the concrete recorder, if it is a `R`. Lets callers get
+    /// their `RingRecorder` back out of the handle without keeping a second
+    /// reference around.
+    pub fn with_recorder<R: Recorder + 'static, T>(
+        &self,
+        f: impl FnOnce(&mut R) -> T,
+    ) -> Option<T> {
+        let bus = self.bus.as_ref()?;
+        let mut rec = bus.recorder.borrow_mut();
+        rec.as_any_mut().downcast_mut::<R>().map(f)
+    }
+
+    /// Start a wall-clock span; the returned guard emits `kind` with an
+    /// `elapsed_us` field when finished (or dropped).
+    pub fn span(&self, kind: &'static str) -> Span {
+        Span {
+            telemetry: self.clone(),
+            kind,
+            started: Instant::now(),
+            extra: Vec::new(),
+            done: false,
+        }
+    }
+}
+
+/// Span-style phase timer: emits one event with `elapsed_us` on [`Span::end`]
+/// or on drop.
+pub struct Span {
+    telemetry: Telemetry,
+    kind: &'static str,
+    started: Instant,
+    extra: Vec<(&'static str, Value)>,
+    done: bool,
+}
+
+impl Span {
+    /// Attach an extra field to the closing event.
+    pub fn field(mut self, name: &'static str, value: impl Into<Value>) -> Self {
+        self.extra.push((name, value.into()));
+        self
+    }
+
+    /// Finish now and emit the closing event.
+    pub fn end(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let elapsed_us = self.started.elapsed().as_micros() as u64;
+        let extra = std::mem::take(&mut self.extra);
+        self.telemetry.emit(self.kind, None, move || {
+            let mut f = vec![("elapsed_us", Value::U64(elapsed_us))];
+            f.extend(extra);
+            f
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_handle_is_inert_and_skips_field_building() {
+        let t = Telemetry::off();
+        assert!(!t.is_active());
+        let mut built = false;
+        t.emit("x", None, || {
+            built = true;
+            vec![]
+        });
+        assert!(!built, "null handle must never build fields");
+        assert_eq!(t.events_emitted(), 0);
+    }
+
+    #[test]
+    fn ring_retains_latest_and_counts_drops() {
+        let t = Telemetry::new(RingRecorder::new(3));
+        for i in 0..5u64 {
+            t.emit("tick", Some(i), move || vec![("i", Value::U64(i))]);
+        }
+        assert_eq!(t.events_emitted(), 5);
+        t.with_recorder::<RingRecorder, _>(|r| {
+            assert_eq!(r.dropped(), 2);
+            let seqs: Vec<u64> = r.events().map(|e| e.seq).collect();
+            assert_eq!(seqs, vec![2, 3, 4], "oldest-first, latest retained");
+            assert_eq!(r.histogram()["tick"], 3);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn clones_share_one_stream() {
+        let t = Telemetry::new(RingRecorder::new(8));
+        let t2 = t.clone();
+        t.emit("a", None, Vec::new);
+        t2.emit("b", None, Vec::new);
+        t.with_recorder::<RingRecorder, _>(|r| {
+            let kinds: Vec<_> = r.events().map(|e| e.kind).collect();
+            assert_eq!(kinds, vec!["a", "b"]);
+            let seqs: Vec<_> = r.events().map(|e| e.seq).collect();
+            assert_eq!(seqs, vec![0, 1], "one monotonic sequence across clones");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn jsonl_recorder_writes_one_line_per_event() {
+        let t = Telemetry::new(JsonlRecorder::new(Vec::<u8>::new()));
+        t.emit("sim.fault", Some(123), || {
+            vec![
+                ("fault", Value::Str("invalid \"opcode\"".into())),
+                ("pc", Value::U64(0x1a2c)),
+                ("clean", Value::Bool(false)),
+                ("ms", Value::F64(1.5)),
+            ]
+        });
+        let text = t
+            .with_recorder::<JsonlRecorder<Vec<u8>>, _>(|r| {
+                String::from_utf8(r.out.clone()).unwrap()
+            })
+            .unwrap();
+        assert_eq!(
+            text,
+            "{\"seq\":0,\"kind\":\"sim.fault\",\"cycle\":123,\
+             \"fault\":\"invalid \\\"opcode\\\"\",\"pc\":6700,\"clean\":false,\"ms\":1.5}\n"
+        );
+    }
+
+    #[test]
+    fn event_field_lookup_and_json_escaping() {
+        let e = Event {
+            seq: 1,
+            kind: "k",
+            cycle: None,
+            fields: vec![("s", Value::Str("a\nb\\c".into()))],
+        };
+        assert_eq!(e.field("s"), Some(&Value::Str("a\nb\\c".into())));
+        assert!(e.field("missing").is_none());
+        assert!(e.to_json().contains("\"a\\nb\\\\c\""));
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn span_emits_elapsed() {
+        let t = Telemetry::new(RingRecorder::new(4));
+        t.span("phase.randomize").field("bytes", 100u64).end();
+        {
+            let _s = t.span("phase.drop");
+        } // drop also emits
+        t.with_recorder::<RingRecorder, _>(|r| {
+            let evs: Vec<_> = r.events().collect();
+            assert_eq!(evs.len(), 2);
+            assert_eq!(evs[0].kind, "phase.randomize");
+            assert!(evs[0].field("elapsed_us").is_some());
+            assert_eq!(evs[0].field("bytes"), Some(&Value::U64(100)));
+            assert_eq!(evs[1].kind, "phase.drop");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = Counters::default();
+        c.add("uart.rx", 3);
+        c.add("uart.rx", 2);
+        assert_eq!(c.get("uart.rx"), 5);
+        assert_eq!(c.get("nope"), 0);
+        assert_eq!(c.iter().count(), 1);
+    }
+}

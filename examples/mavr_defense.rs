@@ -12,6 +12,7 @@ use mavr_repro::mavr::policy::RandomizationPolicy;
 use mavr_repro::mavr_board::MavrBoard;
 use mavr_repro::rop::attack::AttackContext;
 use mavr_repro::synth_firmware::{apps, build, layout, BuildOptions};
+use mavr_repro::telemetry::{RingRecorder, Telemetry};
 
 fn main() {
     let fw = build(&apps::tiny_test_app(), &BuildOptions::vulnerable_mavr()).unwrap();
@@ -29,10 +30,20 @@ fn main() {
     println!("provisioning MAVR boards and attacking each with the same payload:\n");
     let mut detected = 0;
     let mut succeeded = 0;
+    let mut first_recovery: Option<(u64, String, Option<String>)> = None;
     let trials = 8;
     for seed in 0..trials {
-        let mut board =
-            MavrBoard::provision(&fw.image, seed, RandomizationPolicy::default()).unwrap();
+        // Each board flies with a flight recorder attached; the ring keeps
+        // the latest events so we can replay the first detected attack.
+        let tele = Telemetry::new(RingRecorder::new(512));
+        let mut board = MavrBoard::provision_with(
+            &fw.image,
+            seed,
+            RandomizationPolicy::default(),
+            tele.clone(),
+        )
+        .unwrap();
+        board.forensic_annotations = ctx.annotations();
         assert!(
             board.attacker_flash_view().iter().all(|&b| b == 0xff),
             "readout protection hides the randomized binary"
@@ -58,12 +69,48 @@ fn main() {
         }
         if recovered {
             detected += 1;
+            if first_recovery.is_none() {
+                let timeline = tele
+                    .with_recorder::<RingRecorder, String>(|ring| {
+                        ring.events()
+                            .map(|ev| {
+                                let cycle = ev
+                                    .cycle
+                                    .map(|c| format!("@{c:>9}"))
+                                    .unwrap_or_else(|| " ".repeat(10));
+                                let fields: Vec<String> =
+                                    ev.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                                format!(
+                                    "    [{:>3}] {cycle} {:<22} {}",
+                                    ev.seq,
+                                    ev.kind,
+                                    fields.join(" ")
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join("\n")
+                    })
+                    .unwrap_or_default();
+                let narrative = board.last_crash.as_ref().map(|c| c.narrative());
+                first_recovery = Some((seed, timeline, narrative));
+            }
             // Show the recovered board is healthy.
             let _ = board.downlink();
             board.run(1_500_000).unwrap();
             let mut gcs2 = GroundStation::new();
             gcs2.ingest(&board.downlink());
             assert!(gcs2.heartbeats.len() > 5, "telemetry resumed after reflash");
+        }
+    }
+
+    if let Some((seed, timeline, narrative)) = &first_recovery {
+        println!("\nflight-recorder event timeline for board #{seed} (first detection):");
+        println!("{timeline}");
+        if let Some(n) = narrative {
+            println!("\n  post-mortem forensics (crash report captured before reflash):");
+            for line in n.lines() {
+                println!("    {line}");
+            }
         }
     }
 

@@ -22,7 +22,9 @@ fn main() {
 
     // A payload far too large for one packet's in-buffer chain: write a
     // 90-byte "implant" into free SRAM at 0x1d00.
-    let implant: Vec<u8> = (0..90u8).map(|i| i.wrapping_mul(7).wrapping_add(1)).collect();
+    let implant: Vec<u8> = (0..90u8)
+        .map(|i| i.wrapping_mul(7).wrapping_add(1))
+        .collect();
     let dest = 0x1d00u16;
     let writes: Vec<(u16, [u8; 3])> = implant
         .chunks(3)
@@ -55,11 +57,7 @@ fn main() {
     let planted = uav.peek_range(dest, implant.len());
     println!(
         "implant at {dest:#x}: {} / {} bytes correct",
-        planted
-            .iter()
-            .zip(&implant)
-            .filter(|(a, b)| a == b)
-            .count(),
+        planted.iter().zip(&implant).filter(|(a, b)| a == b).count(),
         implant.len()
     );
     gcs.ingest(&uav.uart0.take_tx());

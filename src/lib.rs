@@ -23,3 +23,4 @@ pub use mavr;
 pub use mavr_board;
 pub use rop;
 pub use synth_firmware;
+pub use telemetry;

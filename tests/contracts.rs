@@ -83,8 +83,7 @@ fn memory_map_constants_are_consistent() {
     // Firmware globals live in SRAM, below the stack's working region.
     const { assert!(layout::SRAM_START >= ATMEGA2560.sram_start) };
     assert!(
-        layout::FILLER_SCRATCH + 4 * layout::FILLER_SCRATCH_SLOTS
-            < ATMEGA2560.ramend() - 4096,
+        layout::FILLER_SCRATCH + 4 * layout::FILLER_SCRATCH_SLOTS < ATMEGA2560.ramend() - 4096,
         "at least 4 KiB of stack headroom"
     );
 }

@@ -70,7 +70,10 @@ fn full_attack_defense_lifecycle() {
             }
         }
     }
-    assert!(detected >= 1, "at least one failed attempt tripped the watchdog");
+    assert!(
+        detected >= 1,
+        "at least one failed attempt tripped the watchdog"
+    );
 }
 
 #[test]
@@ -141,8 +144,10 @@ fn v1_crash_attack_is_noticed_by_ground_station() {
     let packets_before = gcs.received.len();
     assert!(packets_before > 0);
 
-    uav.uart0
-        .inject(&gcs.exploit_packet(&ctx.v1_payload(layout::GYRO + 3, [1, 2, 3])).unwrap());
+    uav.uart0.inject(
+        &gcs.exploit_packet(&ctx.v1_payload(layout::GYRO + 3, [1, 2, 3]))
+            .unwrap(),
+    );
     uav.run(8_000_000);
     assert!(uav.fault().is_some(), "V1 smashes the stack and crashes");
     assert_eq!(uav.peek_range(layout::GYRO + 3, 3), vec![1, 2, 3]);

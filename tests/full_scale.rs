@@ -58,8 +58,7 @@ fn synth_plane_stealthy_attack_and_defense() {
     assert!(gcs.link_alive(20, 3));
 
     // Against the randomized board: defeated.
-    let mut board =
-        MavrBoard::provision(&fw.image, 0x917, RandomizationPolicy::default()).unwrap();
+    let mut board = MavrBoard::provision(&fw.image, 0x917, RandomizationPolicy::default()).unwrap();
     board.run(400_000).unwrap();
     let mut mal = GroundStation::new();
     board.uplink(&mal.exploit_packet(&payload).unwrap());

@@ -36,7 +36,11 @@ fn table2_startup_overhead_within_1ms() {
     for (spec, want) in apps::all_paper_apps().iter().zip(expected) {
         let fw = build(spec, &BuildOptions::safe_mavr()).unwrap();
         let got = link.transfer_ms(fw.image.code_size());
-        assert!((got - want).abs() <= 1.0, "{}: {got:.1} vs {want}", spec.name);
+        assert!(
+            (got - want).abs() <= 1.0,
+            "{}: {got:.1} vs {want}",
+            spec.name
+        );
     }
 }
 

@@ -11,10 +11,7 @@ use proptest::prelude::*;
 /// Build a stream of valid PARAM_SET packets separated by noise bursts.
 /// Noise never contains the magic byte, so frame boundaries stay
 /// unambiguous and both parsers must agree exactly.
-fn stream(
-    values: &[f32],
-    noise_bursts: &[Vec<u8>],
-) -> (Vec<u8>, usize) {
+fn stream(values: &[f32], noise_bursts: &[Vec<u8>]) -> (Vec<u8>, usize) {
     let mut out = Vec::new();
     let mut count = 0;
     for (i, v) in values.iter().enumerate() {

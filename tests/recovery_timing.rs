@@ -57,7 +57,10 @@ fn detection_latency_is_bounded_by_the_watchdog_window() {
             .iter()
             .any(|e| matches!(e, BoardEvent::Recovery { .. })));
     }
-    assert!(measured >= 2, "need at least two crashing layouts to measure");
+    assert!(
+        measured >= 2,
+        "need at least two crashing layouts to measure"
+    );
 }
 
 #[test]
