@@ -8,6 +8,11 @@
 
 use crate::Insn;
 
+/// The largest value [`base_cycles`] can return (`call`/`ret`/`reti`).
+///
+/// Predecoded caches rely on this to store the base cost in a `u8`.
+pub const MAX_BASE_CYCLES: u64 = 5;
+
 /// Base (not-taken / fall-through) cycle count of `insn` on an ATmega2560.
 pub fn base_cycles(insn: &Insn) -> u64 {
     match insn {
@@ -94,6 +99,16 @@ pub fn base_cycles(insn: &Insn) -> u64 {
 mod tests {
     use super::*;
     use crate::Reg;
+
+    #[test]
+    fn max_base_cycles_bounds_every_opcode() {
+        // Exhaustive over the first-word space: no decodable instruction may
+        // exceed MAX_BASE_CYCLES, or predecoded u8 storage would truncate.
+        for w in 0..=u16::MAX {
+            let (insn, _) = crate::decode::decode(&[w, 0]);
+            assert!(base_cycles(&insn) <= MAX_BASE_CYCLES, "{insn:?}");
+        }
+    }
 
     #[test]
     fn representative_timings() {

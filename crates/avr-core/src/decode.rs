@@ -6,7 +6,73 @@
 //! master processor watches for, and the gadget scanner relies on decoding at
 //! arbitrary (possibly misaligned-by-intent) word offsets.
 
+use crate::cycles::base_cycles;
 use crate::{Insn, PtrReg, Reg, YZ};
+
+/// One entry of a predecoded program image: the instruction that starts at
+/// a given word address, its width in words, and its base cycle cost.
+///
+/// Predecoding pays the [`decode`] cost once per flash word instead of once
+/// per executed instruction. Entries exist for *every* word address —
+/// including addresses in the middle of two-word instructions — because the
+/// AVR program counter (and the paper's ROP chains) can land anywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Predecoded {
+    /// The decoded instruction.
+    pub insn: Insn,
+    /// Width in words (1 or 2).
+    pub width: u8,
+    /// Base (not-taken / fall-through) cycles; dynamic extras are added by
+    /// the simulator.
+    pub cycles: u8,
+}
+
+/// Decode the single instruction starting at word address `word_addr` of a
+/// little-endian byte image, with the same edge semantics as the hardware
+/// fetch: a two-word opcode whose second word lies past the end of the image
+/// decodes as [`Insn::Invalid`] with width 1.
+pub fn predecode_at(bytes: &[u8], word_addr: usize) -> Predecoded {
+    let (insn, width) = decode_at(bytes, word_addr * 2).unwrap_or((Insn::Invalid(0xffff), 1));
+    let cycles = base_cycles(&insn);
+    debug_assert!(cycles <= crate::cycles::MAX_BASE_CYCLES);
+    Predecoded {
+        insn,
+        width: width as u8,
+        cycles: cycles as u8,
+    }
+}
+
+/// Predecode a whole image into a dense table indexed by word address.
+pub fn predecode_image(bytes: &[u8]) -> Vec<Predecoded> {
+    // Erased flash reads 0xffff, which decodes to a one-word Invalid no
+    // matter what follows it; deriving the entry from the decoder once and
+    // reusing it skips the full decode for the (usually vast) erased tail.
+    let erased = predecode_at(&[0xff; 4], 0);
+    (0..bytes.len() / 2)
+        .map(|w| {
+            if bytes[w * 2] == 0xff && bytes[w * 2 + 1] == 0xff {
+                erased
+            } else {
+                predecode_at(bytes, w)
+            }
+        })
+        .collect()
+}
+
+/// Re-decode the entries affected by a write of `len` bytes at byte address
+/// `byte_addr`. A changed byte at word `w` invalidates the entry at `w`
+/// *and* at `w - 1` (whose second word it may be), so the patched range is
+/// widened by one word on the left.
+pub fn predecode_patch(table: &mut [Predecoded], bytes: &[u8], byte_addr: usize, len: usize) {
+    if len == 0 {
+        return;
+    }
+    let lo = (byte_addr / 2).saturating_sub(1);
+    let hi = ((byte_addr + len - 1) / 2 + 1).min(table.len());
+    for (w, entry) in table.iter_mut().enumerate().take(hi).skip(lo) {
+        *entry = predecode_at(bytes, w);
+    }
+}
 
 fn d5(w: u16) -> Reg {
     Reg::new(((w >> 4) & 0x1f) as u8)
@@ -537,5 +603,41 @@ mod tests {
         assert_eq!(decode_at(&bytes, 0), Some((Insn::Ret, 1)));
         assert_eq!(decode_at(&bytes, 2), None);
         assert_eq!(decode_at(&[], 0), None);
+    }
+
+    #[test]
+    fn predecode_matches_decode_at_everywhere() {
+        // ret; call 6; nop; jmp truncated at the image edge.
+        let words: [u16; 5] = [0x9508, 0x940e, 0x0006, 0x0000, 0x940c];
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let table = predecode_image(&bytes);
+        assert_eq!(table.len(), 5);
+        for (w, entry) in table.iter().enumerate() {
+            let (insn, width) = decode_at(&bytes, w * 2).unwrap();
+            assert_eq!(entry.insn, insn, "word {w}");
+            assert_eq!(entry.width as u32, width);
+            assert_eq!(entry.cycles as u64, base_cycles(&insn));
+        }
+        // The truncated call at the edge decodes as Invalid, width 1.
+        assert_eq!(table[4].insn, Insn::Invalid(0x940c));
+        assert_eq!(table[4].width, 1);
+    }
+
+    #[test]
+    fn predecode_patch_redecodes_neighbouring_word() {
+        // call 6 at word 0 spans words 0..2; patching word 1 must re-decode
+        // word 0 too, because word 1 is its second word.
+        let mut bytes: Vec<u8> = [0x940eu16, 0x0006, 0x9508]
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .collect();
+        let mut table = predecode_image(&bytes);
+        assert_eq!(table[0].insn, Insn::Call { k: 6 });
+
+        bytes[2..4].copy_from_slice(&0x0042u16.to_le_bytes());
+        predecode_patch(&mut table, &bytes, 2, 2);
+        assert_eq!(table[0].insn, Insn::Call { k: 0x42 });
+        assert_eq!(table[2].insn, Insn::Ret, "untouched word must survive");
+        assert_eq!(table, predecode_image(&bytes));
     }
 }

@@ -45,6 +45,7 @@ pub mod image;
 mod insn;
 mod reg;
 
+pub use decode::Predecoded;
 pub use insn::{Insn, PtrReg, YZ};
 pub use reg::{io, sreg, Reg};
 

@@ -61,16 +61,32 @@ impl fmt::Display for Fault {
 
 impl std::error::Error for Fault {}
 
-/// How a `run` call ended.
+/// How a `run`-family call ended.
+///
+/// `Machine::run` and `Machine::run_until` share the same exit conditions,
+/// checked in this order on every instruction boundary:
+///
+/// 1. the cycle budget is exhausted → [`CyclesExhausted`];
+/// 2. the PC sits on a registered breakpoint (checked *before* the
+///    instruction executes, so resuming requires stepping over it) →
+///    [`Breakpoint`];
+/// 3. the instruction faults → [`Faulted`];
+/// 4. (`run_until` only) the predicate holds *after* the instruction →
+///    [`Breakpoint`] with the current PC.
+///
+/// [`CyclesExhausted`]: RunExit::CyclesExhausted
+/// [`Breakpoint`]: RunExit::Breakpoint
+/// [`Faulted`]: RunExit::Faulted
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunExit {
     /// The cycle budget was exhausted; the machine is still healthy.
     CyclesExhausted,
     /// The machine faulted (it stays faulted until reset).
     Faulted(Fault),
-    /// A registered breakpoint was hit (PC is at the breakpoint).
+    /// A registered breakpoint was hit (PC is at the breakpoint), or a
+    /// `run_until` predicate became true.
     Breakpoint {
-        /// Byte address of the breakpoint.
+        /// Byte address of the breakpoint (or of the PC at predicate time).
         addr: u32,
     },
 }

@@ -2,9 +2,9 @@
 
 use std::collections::HashSet;
 
-use avr_core::decode::decode;
+use avr_core::decode::{predecode_at, predecode_image, predecode_patch};
 use avr_core::device::{Device, ATMEGA2560};
-use avr_core::{cycles::base_cycles, io, Insn, PtrReg, Reg};
+use avr_core::{io, Insn, Predecoded, PtrReg, Reg};
 
 use telemetry::{Telemetry, Value};
 
@@ -116,6 +116,16 @@ pub struct Machine {
     pub telemetry: Telemetry,
     /// Opt-in hot-PC histogram (see [`Machine::enable_profile`]).
     profile: Option<PcProfile>,
+    /// Predecoded instruction cache, one entry per flash word. Empty means
+    /// "not built yet" — it is built lazily by the first fast [`run`] and
+    /// patched in place on every flash mutation, so cached and uncached
+    /// execution are bit-for-bit identical.
+    ///
+    /// [`run`]: Machine::run
+    icache: Vec<Predecoded>,
+    /// Whether the predecode cache (and the fast run loop that depends on
+    /// it) is enabled. On by default; see [`Machine::set_predecode`].
+    predecode: bool,
 }
 
 /// Snapshot of the machine's activity counters (see [`Machine::counters`]).
@@ -157,6 +167,8 @@ impl Machine {
             interrupts_taken: 0,
             telemetry: Telemetry::off(),
             profile: None,
+            icache: Vec::new(),
+            predecode: true,
         };
         m.set_sp(device.ramend());
         m
@@ -180,6 +192,9 @@ impl Machine {
     pub fn load_flash(&mut self, addr: u32, bytes: &[u8]) {
         let a = addr as usize;
         self.flash[a..a + bytes.len()].copy_from_slice(bytes);
+        if !self.icache.is_empty() {
+            predecode_patch(&mut self.icache, &self.flash, a, bytes.len());
+        }
     }
 
     /// Read back flash (the *debug/ISP* view — the MAVR readout-protection
@@ -191,6 +206,31 @@ impl Machine {
     /// Erase all of flash to `0xff`.
     pub fn erase_flash(&mut self) {
         self.flash.fill(0xff);
+        if !self.icache.is_empty() {
+            // Every erased word decodes identically (0xffff is reserved),
+            // so a single repeated entry refreshes the whole cache.
+            self.icache.fill(predecode_at(&self.flash, 0));
+        }
+    }
+
+    /// Enable or disable the predecoded instruction cache (on by default).
+    ///
+    /// The cache is a pure memoization of the decoder: cached and uncached
+    /// execution produce identical architectural traces (the differential
+    /// tests assert this). Disabling it drops the cache and forces every
+    /// fetch through the decoder, which also disables the fast run loop —
+    /// useful as the reference side of a differential test.
+    pub fn set_predecode(&mut self, on: bool) {
+        self.predecode = on;
+        if !on {
+            self.icache = Vec::new();
+        }
+    }
+
+    fn ensure_icache(&mut self) {
+        if self.predecode && self.icache.is_empty() {
+            self.icache = predecode_image(&self.flash);
+        }
     }
 
     /// Reset the CPU: PC to the reset vector, SP to RAMEND, SREG cleared,
@@ -396,31 +436,36 @@ impl Machine {
 
     // ---- execution ----
 
-    fn fetch(&self) -> Result<(Insn, u32), Fault> {
-        if self.pc >= self.device.flash_words() {
-            return Err(Fault::PcOutOfBounds { pc: self.pc });
+    /// The decoded instruction starting at word address `pc`: out of the
+    /// cache when it is built, straight from the decoder otherwise. Both
+    /// paths share [`predecode_at`]'s edge semantics (a two-word opcode
+    /// truncated by the end of flash is `Invalid`, width 1).
+    #[inline]
+    fn fetch_at(&self, pc: u32) -> Result<Predecoded, Fault> {
+        if let Some(e) = self.icache.get(pc as usize) {
+            return Ok(*e);
         }
-        let a = (self.pc * 2) as usize;
-        let w0 = u16::from_le_bytes([self.flash[a], self.flash[a + 1]]);
-        let words: &[u16] = if a + 4 <= self.flash.len() {
-            &[
-                w0,
-                u16::from_le_bytes([self.flash[a + 2], self.flash[a + 3]]),
-            ]
-        } else {
-            &[w0]
-        };
-        Ok(decode(words))
+        if pc >= self.device.flash_words() {
+            return Err(Fault::PcOutOfBounds { pc });
+        }
+        Ok(predecode_at(&self.flash, pc as usize))
     }
 
     /// Width in words of the instruction at word address `pc` (for skips).
     fn width_at(&self, pc: u32) -> u32 {
-        if pc >= self.device.flash_words() {
-            return 1;
-        }
-        let a = (pc * 2) as usize;
-        let w0 = u16::from_le_bytes([self.flash[a], self.flash[a + 1]]);
-        decode(&[w0, 0]).1
+        self.fetch_at(pc).map_or(1, |e| u32::from(e.width))
+    }
+
+    /// Timer0 overflow dispatch: ack, push the PC, clear I, vector.
+    fn vector_timer0(&mut self) -> Result<(), Fault> {
+        self.timer0.ack();
+        self.push_pc(self.pc)?;
+        let f = self.sreg() & !(1 << avr_core::sreg::I);
+        self.set_sreg(f);
+        self.pc = timer::TIMER0_OVF_VECTOR * 2; // 4-byte vector slots
+        self.cycles += 5;
+        self.interrupts_taken += 1;
+        Ok(())
     }
 
     /// Execute one instruction. Returns the fault if the machine crashed;
@@ -438,18 +483,12 @@ impl Machine {
         // this to protect the following `out SPL`).
         let suppressed = std::mem::replace(&mut self.irq_delay, false);
         if !suppressed && self.sreg() & (1 << avr_core::sreg::I) != 0 && self.timer0.irq_pending() {
-            self.timer0.ack();
-            if let Err(f) = self.push_pc(self.pc) {
+            if let Err(f) = self.vector_timer0() {
                 return self.fail(f);
             }
-            let f = self.sreg() & !(1 << avr_core::sreg::I);
-            self.set_sreg(f);
-            self.pc = timer::TIMER0_OVF_VECTOR * 2; // 4-byte vector slots
-            self.cycles += 5;
-            self.interrupts_taken += 1;
         }
-        let (insn, width) = match self.fetch() {
-            Ok(v) => v,
+        let entry = match self.fetch_at(self.pc) {
+            Ok(e) => e,
             Err(f) => return self.fail(f),
         };
         if let Some(t) = &mut self.trace {
@@ -461,11 +500,12 @@ impl Machine {
             p.record(self.pc * 2);
         }
         let pc0 = self.pc;
+        let width = u32::from(entry.width);
         self.pc += width;
         let c0 = self.cycles;
-        self.cycles += base_cycles(&insn);
+        self.cycles += u64::from(entry.cycles);
         self.insns_retired += 1;
-        let result = self.exec(insn, pc0, width);
+        let result = self.exec(entry.insn, pc0, width);
         self.timer0.advance(self.cycles - c0);
         match result {
             Ok(()) => Ok(()),
@@ -487,9 +527,24 @@ impl Machine {
     }
 
     /// Run until the cycle budget is exhausted, a fault occurs, or a
-    /// breakpoint is hit.
+    /// breakpoint is hit (see [`RunExit`] for the exact exit conditions).
+    ///
+    /// When nothing needs a per-instruction look — no breakpoints, no trace
+    /// ring, no profiler, predecode enabled — this dispatches to a fast
+    /// inner loop that runs straight-line batches between event horizons;
+    /// otherwise it falls back to the careful per-[`step`] loop. Both paths
+    /// produce identical architectural traces.
+    ///
+    /// [`step`]: Machine::step
     pub fn run(&mut self, max_cycles: u64) -> RunExit {
         let limit = self.cycles.saturating_add(max_cycles);
+        if self.predecode
+            && self.breakpoints.is_empty()
+            && self.trace.is_none()
+            && self.profile.is_none()
+        {
+            return self.run_fast(limit);
+        }
         while self.cycles < limit {
             if self.breakpoints.contains(&self.pc) {
                 return RunExit::Breakpoint { addr: self.pc * 2 };
@@ -501,8 +556,76 @@ impl Machine {
         RunExit::CyclesExhausted
     }
 
+    /// The fast path of [`run`]: per-step cold checks (breakpoint set,
+    /// trace/profile hooks, watchdog margin) are hoisted out of the inner
+    /// loop, which runs straight-line until the next *event horizon* — the
+    /// earliest cycle at which anything other than plain execution can
+    /// happen (cycle budget, watchdog deadline). A `wdr` inside a batch
+    /// only moves the deadline later, so a stale horizon merely ends the
+    /// batch early and the outer loop recomputes it. Interrupt delivery is
+    /// still checked per instruction (firmware can unmask or retrigger
+    /// Timer0 at any point), but that check is two loads and a branch.
+    ///
+    /// [`run`]: Machine::run
+    fn run_fast(&mut self, limit: u64) -> RunExit {
+        self.ensure_icache();
+        loop {
+            if self.cycles >= limit {
+                return RunExit::CyclesExhausted;
+            }
+            if let Some(f) = self.fault {
+                return RunExit::Faulted(f);
+            }
+            if self.watchdog.expired(self.cycles) {
+                let _ = self.fail(Fault::WatchdogTimeout);
+                return RunExit::Faulted(Fault::WatchdogTimeout);
+            }
+            let mut horizon = limit;
+            if let Some(d) = self.watchdog.deadline() {
+                // First expired cycle is deadline + 1 (see Watchdog::expired).
+                horizon = horizon.min(d.saturating_add(1));
+            }
+            while self.cycles < horizon {
+                let suppressed = std::mem::replace(&mut self.irq_delay, false);
+                if !suppressed
+                    && self.data[SREG_DATA as usize] & (1 << avr_core::sreg::I) != 0
+                    && self.timer0.irq_pending()
+                {
+                    if let Err(f) = self.vector_timer0() {
+                        let _ = self.fail(f);
+                        return RunExit::Faulted(f);
+                    }
+                }
+                let entry = match self.icache.get(self.pc as usize) {
+                    Some(e) => *e,
+                    None => {
+                        let f = Fault::PcOutOfBounds { pc: self.pc };
+                        let _ = self.fail(f);
+                        return RunExit::Faulted(f);
+                    }
+                };
+                let pc0 = self.pc;
+                let width = u32::from(entry.width);
+                self.pc += width;
+                let c0 = self.cycles;
+                self.cycles += u64::from(entry.cycles);
+                self.insns_retired += 1;
+                let result = self.exec(entry.insn, pc0, width);
+                self.timer0.advance(self.cycles - c0);
+                if let Err(f) = result {
+                    let _ = self.fail(f);
+                    return RunExit::Faulted(f);
+                }
+            }
+        }
+    }
+
     /// Run until `pred` returns true (checked after every instruction), a
-    /// fault occurs, or the cycle budget is exhausted.
+    /// breakpoint is hit (checked before each instruction, exactly as in
+    /// [`run`]), a fault occurs, or the cycle budget is exhausted. The exit
+    /// conditions are documented on [`RunExit`].
+    ///
+    /// [`run`]: Machine::run
     pub fn run_until(
         &mut self,
         max_cycles: u64,
@@ -510,6 +633,9 @@ impl Machine {
     ) -> RunExit {
         let limit = self.cycles.saturating_add(max_cycles);
         while self.cycles < limit {
+            if self.breakpoints.contains(&self.pc) {
+                return RunExit::Breakpoint { addr: self.pc * 2 };
+            }
             if let Err(f) = self.step() {
                 return RunExit::Faulted(f);
             }
@@ -1032,6 +1158,30 @@ mod tests {
         m.set_pc_bytes(words * 2 - 2);
         let exit = m.run(10);
         assert_eq!(exit, RunExit::Faulted(Fault::PcOutOfBounds { pc: words }));
+    }
+
+    #[test]
+    fn truncated_two_word_opcode_at_flash_edge() {
+        // The first word of `call` in the very last flash word has no second
+        // word to fetch: it must decode as an invalid opcode (width 1), not
+        // as a call with a fabricated zero operand — with and without the
+        // predecode cache.
+        for predecode in [true, false] {
+            let mut m = Machine::new_atmega2560();
+            m.set_predecode(predecode);
+            let last = m.device().flash_words() - 1;
+            m.load_flash(last * 2, &0x940eu16.to_le_bytes()); // call, word 1 of 2
+            m.set_pc_bytes(last * 2);
+            let exit = m.run(10);
+            assert_eq!(
+                exit,
+                RunExit::Faulted(Fault::InvalidOpcode {
+                    addr: last * 2,
+                    word: 0x940e,
+                }),
+                "predecode={predecode}"
+            );
+        }
     }
 
     #[test]

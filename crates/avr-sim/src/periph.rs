@@ -175,6 +175,17 @@ impl Watchdog {
             None => false,
         }
     }
+
+    /// The last cycle at which the watchdog is still satisfied: [`expired`]
+    /// is false for `now <= deadline()` and true from `deadline() + 1` on.
+    /// `None` while disabled. The fast run loop uses this as an event
+    /// horizon; a `wdr` only ever moves the deadline later, so a horizon
+    /// computed before the pet is merely conservative.
+    ///
+    /// [`expired`]: Watchdog::expired
+    pub fn deadline(&self) -> Option<u64> {
+        self.timeout.map(|t| self.last_reset.saturating_add(t))
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +284,20 @@ mod tests {
         w.enable(10, 2000);
         assert!(!w.expired(2010));
         assert!(w.expired(2011));
+    }
+
+    #[test]
+    fn watchdog_deadline_tracks_expiry_boundary() {
+        let mut w = Watchdog::default();
+        assert_eq!(w.deadline(), None);
+        w.enable(200, 1000);
+        assert_eq!(w.deadline(), Some(1200));
+        assert!(!w.expired(1200));
+        assert!(w.expired(1201), "first expired cycle is deadline + 1");
+        w.pet(1150);
+        assert_eq!(w.deadline(), Some(1350), "pet moves the deadline later");
+        w.disable();
+        assert_eq!(w.deadline(), None);
     }
 
     #[test]

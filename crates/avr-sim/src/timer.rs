@@ -72,6 +72,19 @@ impl Timer0 {
         self.tifr & TOV0 != 0 && self.timsk & TOV0 != 0
     }
 
+    /// CPU cycles until [`advance`] would next set `TOV0`, given the current
+    /// counter, prescaler and residual; `None` while the timer is stopped.
+    /// An event horizon for hosts scheduling around the overflow interrupt —
+    /// only a lower bound once firmware runs, since it may rewrite `TCNT0`
+    /// or `TCCR0B` at any instruction.
+    ///
+    /// [`advance`]: Timer0::advance
+    pub fn cycles_to_overflow(&self) -> Option<u64> {
+        let div = self.prescale()?;
+        let ticks = 256 - u64::from(self.tcnt);
+        Some((ticks * div).saturating_sub(self.residual))
+    }
+
     /// Acknowledge the overflow interrupt (hardware clears TOV0 on entry).
     pub fn ack(&mut self) {
         self.tifr &= !TOV0;
@@ -113,6 +126,22 @@ mod tests {
             t.advance(1);
         }
         assert_eq!(t.tcnt, 1, "64 one-cycle steps = one div-64 tick");
+    }
+
+    #[test]
+    fn cycles_to_overflow_predicts_advance() {
+        let mut t = Timer0::default();
+        assert_eq!(t.cycles_to_overflow(), None, "stopped timer has no event");
+        t.tccr_b = 3; // div 64
+        t.tcnt = 254;
+        assert_eq!(t.cycles_to_overflow(), Some(2 * 64));
+        t.advance(64); // one tick: residual consumed, tcnt -> 255
+        assert_eq!(t.cycles_to_overflow(), Some(64));
+        t.advance(63);
+        assert_eq!(t.cycles_to_overflow(), Some(1), "residual counts down");
+        assert_eq!(t.tifr & TOV0, 0);
+        t.advance(1);
+        assert_ne!(t.tifr & TOV0, 0, "overflow exactly at the horizon");
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Differential properties of the predecoded instruction cache: a machine
+//! executing through the cache (and the fast run loop built on it) must be
+//! architecturally indistinguishable from one decoding flash on every fetch
+//! — on random garbage, on structured programs with interrupts and a live
+//! watchdog, and across flash mutations (erase + reflash).
+
+use avr_core::encode::encode_to_bytes;
+use avr_core::{Insn, Reg};
+use avr_sim::timer::{TCCR0B_ADDR, TCNT0_ADDR, TOV0};
+use avr_sim::{Fault, Machine};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// Word address the structured programs run from, clear of the vector table.
+const PROG_WORD: u32 = 64;
+
+fn arch(m: &Machine) -> (u32, u8, u16, u64, Option<Fault>, u64, u64) {
+    (
+        m.pc(),
+        m.sreg(),
+        m.sp(),
+        m.cycles(),
+        m.fault(),
+        m.insns_retired,
+        m.interrupts_taken,
+    )
+}
+
+/// A cached/uncached pair built by the same setup closure.
+fn pair(setup: impl Fn(&mut Machine)) -> (Machine, Machine) {
+    let mut cached = Machine::new_atmega2560();
+    let mut reference = Machine::new_atmega2560();
+    reference.set_predecode(false);
+    setup(&mut cached);
+    setup(&mut reference);
+    (cached, reference)
+}
+
+/// Drive both machines one instruction at a time — the cached one through
+/// the fast run loop, the reference through the careful `step()` loop — and
+/// assert identical architectural state after every instruction.
+fn lockstep(cached: &mut Machine, reference: &mut Machine, max_steps: usize) {
+    for step in 0..max_steps {
+        let a = cached.run(1);
+        let b = reference.run(1);
+        assert_eq!(a, b, "run exit diverged at step {step}");
+        assert_eq!(
+            arch(cached),
+            arch(reference),
+            "architectural state diverged at step {step}"
+        );
+        if cached.fault().is_some() {
+            break;
+        }
+    }
+}
+
+fn insn_strategy() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (any::<u8>()).prop_map(|k| Insn::Ldi { d: Reg::R24, k }),
+        (any::<u8>()).prop_map(|k| Insn::Ldi { d: Reg::R25, k }),
+        Just(Insn::Add {
+            d: Reg::R24,
+            r: Reg::R25
+        }),
+        Just(Insn::Push { r: Reg::R24 }),
+        Just(Insn::Pop { d: Reg::R25 }),
+        Just(Insn::Inc { d: Reg::R24 }),
+        Just(Insn::Nop),
+        Just(Insn::Wdr),
+        Just(Insn::Bset { s: 7 }), // sei
+        Just(Insn::Bclr { s: 7 }), // cli
+        Just(Insn::Cpse {
+            d: Reg::R24,
+            r: Reg::R25
+        }),
+        Just(Insn::Sbrs { r: Reg::R24, b: 0 }),
+        Just(Insn::Rjmp { k: 1 }),
+        Just(Insn::Call { k: PROG_WORD }),
+        Just(Insn::Ret),
+        // Poke the timer mid-run: retune the prescaler, rewind the counter.
+        Just(Insn::Sts {
+            k: TCCR0B_ADDR,
+            r: Reg::R24
+        }),
+        Just(Insn::Sts {
+            k: TCNT0_ADDR,
+            r: Reg::R25
+        }),
+    ]
+}
+
+proptest! {
+    /// Raw random words: most decode to garbage and fault quickly, which is
+    /// exactly the regime ROP payload replay puts the simulator in.
+    #[test]
+    fn raw_words_execute_identically(words in pvec(any::<u16>(), 1..256)) {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let (mut cached, mut reference) = pair(|m| m.load_flash(0, &bytes));
+        lockstep(&mut cached, &mut reference, 512);
+    }
+
+    /// Structured programs with the Timer0 overflow interrupt live, a `reti`
+    /// handler at the vector, and an armed watchdog: the fast loop's event
+    /// horizons and per-instruction IRQ dispatch must match `step()` even
+    /// while the program rewrites the timer underneath them.
+    #[test]
+    fn programs_with_irqs_and_watchdog_execute_identically(
+        prog in pvec(insn_strategy(), 1..48),
+        prescale in 1u8..=3,
+        wd_timeout in 200u64..4000,
+    ) {
+        let bytes = encode_to_bytes(&prog).unwrap();
+        let (mut cached, mut reference) = pair(|m| {
+            // Vector word address is TIMER0_OVF_VECTOR * 2 (4-byte slots).
+            m.load_flash(avr_sim::timer::TIMER0_OVF_VECTOR * 4,
+                         &encode_to_bytes(&[Insn::Reti]).unwrap());
+            m.load_flash(PROG_WORD * 2, &bytes);
+            m.set_pc_bytes(PROG_WORD * 2);
+            m.set_sreg(1 << 7); // I
+            m.timer0.tccr_b = prescale;
+            m.timer0.timsk = TOV0;
+            m.watchdog.enable(wd_timeout, 0);
+        });
+        lockstep(&mut cached, &mut reference, 400);
+    }
+
+    /// One fast-loop batch against the careful per-step loop: same exit,
+    /// same final state — the hoisted checks must not change behaviour.
+    #[test]
+    fn batched_run_matches_stepped_run(
+        prog in pvec(insn_strategy(), 1..48),
+        budget in 1u64..20_000,
+    ) {
+        let bytes = encode_to_bytes(&prog).unwrap();
+        let (mut cached, mut reference) = pair(|m| {
+            m.load_flash(PROG_WORD * 2, &bytes);
+            m.set_pc_bytes(PROG_WORD * 2);
+            m.watchdog.enable(5_000, 0);
+        });
+        let a = cached.run(budget);
+        let b = reference.run(budget);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(arch(&cached), arch(&reference));
+    }
+
+    /// Reflash coherence: after the cache has been built and used, erase the
+    /// chip and load a different program — stale entries must not survive.
+    #[test]
+    fn reflash_invalidates_stale_entries(
+        prog_a in pvec(insn_strategy(), 1..32),
+        prog_b in pvec(insn_strategy(), 1..32),
+    ) {
+        let bytes_a = encode_to_bytes(&prog_a).unwrap();
+        let bytes_b = encode_to_bytes(&prog_b).unwrap();
+        let (mut cached, mut reference) = pair(|m| {
+            m.load_flash(PROG_WORD * 2, &bytes_a);
+            m.set_pc_bytes(PROG_WORD * 2);
+        });
+        lockstep(&mut cached, &mut reference, 200);
+        // MAVR-style recovery: wipe, flash the re-randomized image, reset.
+        for m in [&mut cached, &mut reference] {
+            m.erase_flash();
+            m.load_flash(PROG_WORD * 2, &bytes_b);
+            m.reset();
+            m.set_pc_bytes(PROG_WORD * 2);
+        }
+        lockstep(&mut cached, &mut reference, 200);
+    }
+}

@@ -26,6 +26,24 @@ fn bench(c: &mut Criterion) {
             criterion::BatchSize::LargeInput,
         )
     });
+    // The pre-predecode interpreter: cache disabled, every fetch decodes
+    // flash bytes and the careful per-step loop runs. The gap between this
+    // and the bare run above is the win recorded in BENCH_simulator.json.
+    g.bench_function("run_1M_cycles/tiny_firmware_uncached", |b| {
+        b.iter_batched(
+            || {
+                let mut m = avr_sim::Machine::new_atmega2560();
+                m.set_predecode(false);
+                m.load_flash(0, &fw.image.bytes);
+                m
+            },
+            |mut m| {
+                m.run(1_000_000);
+                m
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
     // Same run with the flight recorder armed (NullRecorder counts events
     // and discards them). Events only fire on cold paths, so this should be
     // within noise of the bare run — the "<2% overhead" claim in DESIGN.md.

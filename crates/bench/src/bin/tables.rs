@@ -9,6 +9,11 @@
 //! software-only fig2 gadgets fig6 counters`. The full `effectiveness` run uses
 //! the paper-scale SynthPlane target; pass `effectiveness-quick` for the small
 //! test app.
+//!
+//! `bench-simulator` (or `bench-simulator-quick` for CI smoke) must be
+//! named explicitly — it times the interpreter with the predecode cache on
+//! and off and rewrites `BENCH_simulator.json` at the repo root, so it is
+//! not part of the default `all` run.
 
 use mavr_bench as exp;
 use synth_firmware::{apps, build, BuildOptions};
@@ -163,6 +168,25 @@ fn main() {
             "  events flow through a NullRecorder: counted, then discarded — the\n  \
              configuration the `simulator` bench shows costs ~0 vs. telemetry off.\n"
         );
+    }
+
+    // Explicitly requested only (writes a file; excluded from `all`).
+    if args
+        .iter()
+        .any(|a| a == "bench-simulator" || a == "bench-simulator-quick")
+    {
+        let quick = args.iter().any(|a| a == "bench-simulator-quick");
+        println!("== Simulator throughput (predecode cache off vs on) ==");
+        let t = exp::simulator_throughput(quick);
+        println!(
+            "  uncached : {:>12.0} cycles/sec\n  cached   : {:>12.0} cycles/sec\n  speedup  : {:.2}x",
+            t.before_cycles_per_sec,
+            t.after_cycles_per_sec,
+            t.speedup()
+        );
+        let path = "BENCH_simulator.json";
+        std::fs::write(path, t.to_json()).expect("write BENCH_simulator.json");
+        println!("  wrote {path}\n");
     }
 
     if want("fig6") {

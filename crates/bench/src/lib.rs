@@ -221,18 +221,16 @@ pub fn effectiveness(spec: &AppSpec, trials: u64) -> Effectiveness {
 }
 
 /// **§V-D brute force**: Monte-Carlo means vs the closed forms for a small
-/// function count where simulation is feasible. Returns
+/// function count where simulation is feasible. Trials fan out across the
+/// available cores with deterministic per-trial seeds (see
+/// [`rop::brute::run_trials`]), so the numbers are reproducible regardless
+/// of the host's parallelism. Returns
 /// `(sim_fixed, theory_fixed, sim_rerandomized, theory_rerandomized)`.
 pub fn bruteforce(n_functions: usize, trials: u64) -> (f64, f64, f64, f64) {
-    let mut rng = rop::brute::seeded_rng(0x5eed);
-    let mean_fixed = (0..trials)
-        .map(|_| rop::brute::simulate_fixed(n_functions, &mut rng) as f64)
-        .sum::<f64>()
-        / trials as f64;
-    let mean_rerand = (0..trials)
-        .map(|_| rop::brute::simulate_rerandomized(n_functions, &mut rng) as f64)
-        .sum::<f64>()
-        / trials as f64;
+    use rop::brute::BruteModel;
+    let mean_fixed = rop::brute::mean_attempts(BruteModel::Fixed, n_functions, trials, 0x5eed);
+    let mean_rerand =
+        rop::brute::mean_attempts(BruteModel::Rerandomized, n_functions, trials, 0x5eed);
     let n_perms = mavr::math::factorial_f64(n_functions as u64);
     (
         mean_fixed,
@@ -305,6 +303,68 @@ pub fn counters(cycles: u64) -> Vec<Row> {
             }
         })
         .collect()
+}
+
+/// Measured simulator throughput (simulated cycles per second of host
+/// time) on the `run_1M_cycles/tiny_firmware` workload, with the predecode
+/// cache + fast run loop on (`after`) and off (`before` — the original
+/// decode-every-fetch interpreter). See [`simulator_throughput`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulatorThroughput {
+    /// Cycles/sec with `Machine::set_predecode(false)`.
+    pub before_cycles_per_sec: f64,
+    /// Cycles/sec with the cache enabled (the default).
+    pub after_cycles_per_sec: f64,
+    /// Samples per configuration the medians were taken over.
+    pub samples: usize,
+}
+
+impl SimulatorThroughput {
+    /// `after / before` — the factor the predecode cache buys.
+    pub fn speedup(&self) -> f64 {
+        self.after_cycles_per_sec / self.before_cycles_per_sec
+    }
+
+    /// The `BENCH_simulator.json` payload (hand-rolled; the workspace has
+    /// no JSON dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"run_1M_cycles/tiny_firmware\",\n  \"unit\": \"cycles_per_sec\",\n  \"samples\": {},\n  \"before\": {:.0},\n  \"after\": {:.0},\n  \"speedup\": {:.2}\n}}\n",
+            self.samples,
+            self.before_cycles_per_sec,
+            self.after_cycles_per_sec,
+            self.speedup()
+        )
+    }
+}
+
+/// Measure simulator throughput cached vs uncached, median over a few
+/// timed runs of 1M cycles each (`quick` = fewer samples, for CI smoke).
+pub fn simulator_throughput(quick: bool) -> SimulatorThroughput {
+    const CYCLES: u64 = 1_000_000;
+    let samples = if quick { 3 } else { 11 };
+    let fw = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).unwrap();
+    let median_secs = |predecode: bool| -> f64 {
+        let mut times: Vec<f64> = (0..samples)
+            .map(|_| {
+                let mut m = avr_sim::Machine::new_atmega2560();
+                m.set_predecode(predecode);
+                m.load_flash(0, &fw.image.bytes);
+                let t0 = std::time::Instant::now();
+                m.run(CYCLES);
+                let dt = t0.elapsed().as_secs_f64();
+                assert!(m.fault().is_none(), "bench firmware crashed");
+                dt
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    };
+    SimulatorThroughput {
+        before_cycles_per_sec: CYCLES as f64 / median_secs(false),
+        after_cycles_per_sec: CYCLES as f64 / median_secs(true),
+        samples,
+    }
 }
 
 /// **Fig. 2** — encode a minimum packet and describe its structure.

@@ -210,6 +210,54 @@ mod tests {
     }
 
     #[test]
+    fn reflash_through_bootloader_invalidates_predecode_cache() {
+        // Run firmware A long enough to build and use the predecode cache,
+        // then push firmware B through the full bootloader stream (chip
+        // erase + pages + reset). The machine must then execute B exactly
+        // like a fresh, cache-less part loaded with B — any stale cache
+        // entry from A would diverge the lockstep comparison.
+        let fw_a = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).unwrap();
+        let fw_b = build(&apps::tiny_test_app(), &BuildOptions::vulnerable_mavr()).unwrap();
+        assert_ne!(fw_a.image.bytes, fw_b.image.bytes, "need distinct images");
+
+        let mut app = AppProcessor::new();
+        apply_stream(&mut app, &programming_stream(&fw_a.image.bytes, 256)).unwrap();
+        app.machine.run(200_000);
+        assert!(app.machine.fault().is_none());
+
+        apply_stream(&mut app, &programming_stream(&fw_b.image.bytes, 256)).unwrap();
+
+        let mut fresh = avr_sim::Machine::new_atmega2560();
+        fresh.set_predecode(false);
+        fresh.load_flash(0, &fw_b.image.bytes);
+        let cycles0 = app.machine.cycles(); // survives reset; compare deltas
+        for step in 0..50_000u32 {
+            app.machine.run(1);
+            fresh.run(1);
+            assert_eq!(
+                (
+                    app.machine.pc(),
+                    app.machine.sreg(),
+                    app.machine.sp(),
+                    app.machine.cycles() - cycles0,
+                    app.machine.fault(),
+                ),
+                (
+                    fresh.pc(),
+                    fresh.sreg(),
+                    fresh.sp(),
+                    fresh.cycles(),
+                    fresh.fault(),
+                ),
+                "diverged at step {step}"
+            );
+            if fresh.fault().is_some() {
+                break;
+            }
+        }
+    }
+
+    #[test]
     fn framing_overhead_is_small() {
         let binary = vec![0u8; 64 * 1024];
         let stream = programming_stream(&binary, 256);

@@ -125,6 +125,97 @@ pub fn seeded_rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
+/// Which attacker model a Monte-Carlo batch runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BruteModel {
+    /// [`simulate_fixed`]: enumerate permutations against a fixed layout.
+    Fixed,
+    /// [`simulate_rerandomized`]: the defender re-draws after each failure.
+    Rerandomized,
+    /// [`simulate_mechanistic_fixed`]: fixed layout, explicit permutations.
+    MechanisticFixed,
+    /// [`simulate_incremental_leak`]: crash-feedback oracle, one function
+    /// at a time.
+    IncrementalLeak,
+}
+
+impl BruteModel {
+    /// One trial of this model.
+    pub fn simulate(self, n_functions: usize, rng: &mut StdRng) -> u64 {
+        match self {
+            BruteModel::Fixed => simulate_fixed(n_functions, rng),
+            BruteModel::Rerandomized => simulate_rerandomized(n_functions, rng),
+            BruteModel::MechanisticFixed => simulate_mechanistic_fixed(n_functions, rng),
+            BruteModel::IncrementalLeak => simulate_incremental_leak(n_functions, rng),
+        }
+    }
+}
+
+/// Seed for trial `trial` of a batch based on `base`: a splitmix64-style
+/// mix, so every trial gets an independent stream that depends only on
+/// `(base, trial)` — never on which worker thread ran it.
+fn trial_seed(base: u64, trial: u64) -> u64 {
+    let mut z = base ^ trial.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Run `trials` Monte-Carlo trials of `model` across `threads` workers,
+/// returning the attempt count of every trial in trial order.
+///
+/// Each trial draws from its own RNG seeded by `(base_seed, trial index)`,
+/// so the result vector is identical for any `threads` value (and matches a
+/// serial run) — the Table-style experiments scale with cores without
+/// giving up reproducibility. `threads` is clamped to `1..=trials`.
+pub fn run_trials_on(
+    model: BruteModel,
+    n_functions: usize,
+    trials: u64,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<u64> {
+    let threads = threads.clamp(1, trials.max(1) as usize);
+    let run_range = |lo: u64, hi: u64| -> Vec<u64> {
+        (lo..hi)
+            .map(|t| {
+                let mut rng = seeded_rng(trial_seed(base_seed, t));
+                model.simulate(n_functions, &mut rng)
+            })
+            .collect()
+    };
+    if threads == 1 {
+        return run_range(0, trials);
+    }
+    // Contiguous trial ranges, one per worker; stitched back in trial order.
+    let chunk = trials.div_ceil(threads as u64);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|w| {
+                let (lo, hi) = (w * chunk, ((w + 1) * chunk).min(trials));
+                s.spawn(move || run_range(lo, hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("brute-force worker panicked"))
+            .collect()
+    })
+}
+
+/// [`run_trials_on`] with one worker per available core.
+pub fn run_trials(model: BruteModel, n_functions: usize, trials: u64, base_seed: u64) -> Vec<u64> {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    run_trials_on(model, n_functions, trials, base_seed, threads)
+}
+
+/// Mean attempt count over a parallel batch — the number the paper's §V-D
+/// table compares against the closed forms.
+pub fn mean_attempts(model: BruteModel, n_functions: usize, trials: u64, base_seed: u64) -> f64 {
+    let results = run_trials(model, n_functions, trials, base_seed);
+    results.iter().map(|&v| v as f64).sum::<f64>() / results.len().max(1) as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +298,39 @@ mod tests {
         // Contrast: whole-permutation guessing of 8 functions averages
         // (8! + 1)/2 ≈ 20160 attempts — three orders of magnitude more.
         assert!(mean < expected_attempts_fixed(factorial_f64(8)) / 100.0);
+    }
+
+    #[test]
+    fn parallel_trials_are_thread_count_invariant() {
+        for model in [
+            BruteModel::Fixed,
+            BruteModel::Rerandomized,
+            BruteModel::MechanisticFixed,
+            BruteModel::IncrementalLeak,
+        ] {
+            let serial = run_trials_on(model, 4, 500, 42, 1);
+            for threads in [2, 3, 8, 600] {
+                assert_eq!(
+                    serial,
+                    run_trials_on(model, 4, 500, 42, threads),
+                    "{model:?} with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_mean_matches_closed_form() {
+        let mean_fixed = mean_attempts(BruteModel::Fixed, 4, 20_000, 42);
+        let mean_rerand = mean_attempts(BruteModel::Rerandomized, 4, 20_000, 42);
+        assert!(
+            (mean_fixed - 12.5).abs() < 0.5,
+            "fixed: {mean_fixed} vs 12.5"
+        );
+        assert!(
+            (mean_rerand - 24.0).abs() < 1.0,
+            "re-randomized: {mean_rerand} vs 24"
+        );
     }
 
     #[test]
