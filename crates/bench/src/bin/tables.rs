@@ -13,7 +13,9 @@
 //! `bench-simulator` (or `bench-simulator-quick` for CI smoke) must be
 //! named explicitly — it times the interpreter with the predecode cache on
 //! and off and rewrites `BENCH_simulator.json` at the repo root, so it is
-//! not part of the default `all` run.
+//! not part of the default `all` run. Likewise `bench-fleet` (or
+//! `bench-fleet-quick`) times the campaign engine at 1/8/32 boards and
+//! rewrites `BENCH_fleet.json`.
 
 use mavr_bench as exp;
 use synth_firmware::{apps, build, BuildOptions};
@@ -186,6 +188,28 @@ fn main() {
         );
         let path = "BENCH_simulator.json";
         std::fs::write(path, t.to_json()).expect("write BENCH_simulator.json");
+        println!("  wrote {path}\n");
+    }
+
+    // Explicitly requested only (writes a file; excluded from `all`).
+    if args
+        .iter()
+        .any(|a| a == "bench-fleet" || a == "bench-fleet-quick")
+    {
+        let quick = args.iter().any(|a| a == "bench-fleet-quick");
+        println!("== Fleet campaign throughput (benign, zero loss) ==");
+        let t = exp::fleet_throughput(quick);
+        for r in &t.rows {
+            println!(
+                "  {:>3} boards : {:>12.0} boards·cycles/sec  ({} cycles in {:.2}s)",
+                r.boards,
+                r.cycles_per_sec(),
+                r.total_cycles,
+                r.secs
+            );
+        }
+        let path = "BENCH_fleet.json";
+        std::fs::write(path, t.to_json()).expect("write BENCH_fleet.json");
         println!("  wrote {path}\n");
     }
 

@@ -367,6 +367,101 @@ pub fn simulator_throughput(quick: bool) -> SimulatorThroughput {
     }
 }
 
+/// One fleet-size point of the campaign-throughput curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetBenchRow {
+    /// Boards in the campaign.
+    pub boards: usize,
+    /// Simulated application cycles summed over every board.
+    pub total_cycles: u64,
+    /// Wall-clock seconds for the whole campaign (build + provision + fly).
+    pub secs: f64,
+}
+
+impl FleetBenchRow {
+    /// Aggregate simulated cycles per wall-clock second — the campaign
+    /// engine's headline number (`boards · cycles / sec`).
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.total_cycles as f64 / self.secs
+    }
+}
+
+/// Measured campaign throughput at several fleet sizes. See
+/// [`fleet_throughput`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetThroughput {
+    /// One row per fleet size, smallest first.
+    pub rows: Vec<FleetBenchRow>,
+    /// Cycles each board flies (warmup + attack window).
+    pub cycles_per_board: u64,
+}
+
+impl FleetThroughput {
+    /// The `BENCH_fleet.json` payload (hand-rolled; the workspace has no
+    /// JSON dependency).
+    pub fn to_json(&self) -> String {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"boards\": {}, \"total_cycles\": {}, \"secs\": {:.3}, \
+                     \"boards_cycles_per_sec\": {:.0}}}",
+                    r.boards,
+                    r.total_cycles,
+                    r.secs,
+                    r.cycles_per_sec()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"bench\": \"fleet_campaign/benign\",\n  \"unit\": \"boards_cycles_per_sec\",\n  \"cycles_per_board\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            self.cycles_per_board, rows
+        )
+    }
+}
+
+/// Measure fleet-campaign throughput: a benign campaign (no attack, zero
+/// loss) at 1, 8 and 32 boards, timed end to end — firmware build, N
+/// provisions (container read + randomize + program), and the flight
+/// itself over the channel/router plumbing. `quick` shortens the flight
+/// for CI smoke runs.
+pub fn fleet_throughput(quick: bool) -> FleetThroughput {
+    use mavr_fleet::{run_campaign, CampaignConfig, Scenario};
+    let (warmup, flight) = if quick {
+        (100_000, 400_000)
+    } else {
+        (300_000, 1_700_000)
+    };
+    let rows = [1usize, 8, 32]
+        .iter()
+        .map(|&boards| {
+            let cfg = CampaignConfig {
+                boards,
+                scenarios: vec![Scenario::Benign],
+                loss_levels: vec![0.0],
+                warmup_cycles: warmup,
+                attack_cycles: flight,
+                ..CampaignConfig::default()
+            };
+            let t0 = std::time::Instant::now();
+            let report = run_campaign(&cfg);
+            let secs = t0.elapsed().as_secs_f64();
+            assert_eq!(report.outcomes.len(), boards, "every board reported");
+            FleetBenchRow {
+                boards,
+                total_cycles: report.outcomes.iter().map(|o| o.final_cycle).sum(),
+                secs,
+            }
+        })
+        .collect();
+    FleetThroughput {
+        rows,
+        cycles_per_board: warmup + flight,
+    }
+}
+
 /// **Fig. 2** — encode a minimum packet and describe its structure.
 pub fn fig2() -> String {
     let mut gcs = GroundStation::new();

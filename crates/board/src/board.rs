@@ -36,6 +36,10 @@ pub enum BoardEvent {
         cause: RecoveryCause,
         /// Boot ordinal of the recovery boot.
         boot: u32,
+        /// Application-processor cycle count at the moment of detection
+        /// (before the reflash) — campaign reports derive time-to-recovery
+        /// from this.
+        at_cycle: u64,
     },
 }
 
@@ -194,7 +198,11 @@ impl MavrBoard {
                 ("rerandomized", Value::Bool(report.randomized)),
             ]
         });
-        self.events.push(BoardEvent::Recovery { cause, boot });
+        self.events.push(BoardEvent::Recovery {
+            cause,
+            boot,
+            at_cycle: now,
+        });
         self.events.push(BoardEvent::Boot { boot, report });
         Ok(report)
     }
@@ -218,6 +226,17 @@ impl MavrBoard {
             .iter()
             .filter(|e| matches!(e, BoardEvent::Recovery { .. }))
             .count()
+    }
+
+    /// Detection cycle of every recovery, in event order.
+    pub fn recovery_cycles(&self) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                BoardEvent::Recovery { at_cycle, .. } => Some(*at_cycle),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Ground-station side: send bytes to the UAV.

@@ -60,6 +60,11 @@ const VALUED: &[&str] = &[
     "--variant",
     "--toolchain",
     "--scenario",
+    "--boards",
+    "--loss",
+    "--threads",
+    "--capacity",
+    "--warmup",
 ];
 
 /// Split raw arguments into positionals, options and flags.
@@ -631,6 +636,93 @@ pub fn cmd_trace(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `mavr fleet [app] [--boards N] [--scenario LIST|all] [--loss L1,L2,..]
+/// [--seed N] [--warmup N] [--cycles N] [--threads N] [--capacity N]
+/// [--json | --jsonl] [-o FILE]`
+///
+/// Run a many-UAV campaign: `scenarios × loss levels × boards` independent
+/// boards over deterministic lossy links, aggregated into a
+/// `CampaignReport`. The same arguments always produce byte-identical
+/// `--json` output, regardless of `--threads`.
+pub fn cmd_fleet(args: &Args) -> Result<String, CliError> {
+    use mavr_fleet::{parse_scenarios, run_campaign, CampaignConfig};
+
+    let defaults = CampaignConfig::default();
+    let app = match args.positional.first() {
+        Some(name) => app_by_name(name)?,
+        None => defaults.app,
+    };
+    let scenarios = match args.options.get("--scenario") {
+        Some(list) => parse_scenarios(list).map_err(CliError::Usage)?,
+        None => defaults.scenarios,
+    };
+    let loss_levels: Vec<f64> = match args.options.get("--loss") {
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(|p| {
+                p.parse::<f64>()
+                    .ok()
+                    .filter(|l| (0.0..=1.0).contains(l))
+                    .ok_or_else(|| {
+                        CliError::Usage(format!("bad --loss `{p}` (probabilities in 0..=1)"))
+                    })
+            })
+            .collect::<Result<_, _>>()?,
+        None => defaults.loss_levels,
+    };
+    if scenarios.is_empty() || loss_levels.is_empty() {
+        return Err(CliError::Usage("empty --scenario or --loss list".into()));
+    }
+    let cfg = CampaignConfig {
+        seed: u64::from(parse_num(args.options.get("--seed"), 0x2015)?),
+        boards: parse_num(args.options.get("--boards"), defaults.boards as u32)? as usize,
+        scenarios,
+        loss_levels,
+        warmup_cycles: u64::from(parse_num(
+            args.options.get("--warmup"),
+            defaults.warmup_cycles as u32,
+        )?),
+        attack_cycles: u64::from(parse_num(
+            args.options.get("--cycles"),
+            defaults.attack_cycles as u32,
+        )?),
+        threads: parse_num(args.options.get("--threads"), 0)? as usize,
+        gcs_capacity: parse_num(args.options.get("--capacity"), defaults.gcs_capacity as u32)?
+            as usize,
+        app,
+        ..defaults
+    };
+    if cfg.boards == 0 {
+        return Err(CliError::Usage("--boards must be at least 1".into()));
+    }
+
+    let report = run_campaign(&cfg);
+    let rendered = if args.flags.contains("jsonl") {
+        report.to_jsonl()
+    } else if args.flags.contains("json") {
+        report.to_json()
+    } else {
+        report.render()
+    };
+    if let Some(path) = args.options.get("-o").or(args.options.get("--out")) {
+        // A file sink defaults to the machine-readable form.
+        let payload = if args.flags.contains("jsonl") {
+            report.to_jsonl()
+        } else {
+            report.to_json()
+        };
+        std::fs::write(path, payload).map_err(fail)?;
+        Ok(format!(
+            "{}wrote campaign report to {path}\n",
+            report.render()
+        ))
+    } else {
+        Ok(rendered)
+    }
+}
+
 /// Help text.
 pub const HELP: &str = "mavr-cli — tools for the MAVR (ICDCS 2015) reproduction
 
@@ -661,6 +753,14 @@ COMMANDS:
         Run a scenario with the flight recorder attached: dump the event
         stream as JSON lines, print a per-kind summary, and (for attacks)
         the post-mortem crash narrative with gadget attribution.
+  fleet [app] [--boards N] [--scenario LIST|all] [--loss L1,L2,..] [--seed N]
+        [--warmup N] [--cycles N] [--threads N] [--capacity N]
+        [--json | --jsonl] [-o FILE]
+        Fly a many-UAV campaign over deterministic lossy links: every
+        (scenario, loss, board) cell gets its own randomized board and
+        link pair; prints the attack-success / recovery-rate table (or the
+        full report as JSON). Identical arguments give byte-identical
+        JSON, whatever --threads is.
 ";
 
 /// Dispatch a command line (without the program name).
@@ -680,6 +780,7 @@ pub fn run(raw: &[String]) -> Result<String, CliError> {
         "simulate" => cmd_simulate(&args),
         "attack" => cmd_attack(&args),
         "trace" => cmd_trace(&args),
+        "fleet" => cmd_fleet(&args),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
@@ -806,6 +907,42 @@ halt:
         assert!(info.contains("functions   "));
         // A randomize of a 1-function program is a no-move but must work.
         assert!(run(&s(&["randomize", &container])).is_ok());
+    }
+
+    #[test]
+    fn fleet_runs_a_small_campaign() {
+        let out_path = tmp("fleet.json");
+        let out = run(&s(&[
+            "fleet",
+            "--boards",
+            "1",
+            "--scenario",
+            "stealthy",
+            "--cycles",
+            "4000000",
+            "--threads",
+            "1",
+            "-o",
+            &out_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("Fleet campaign"), "{out}");
+        assert!(out.contains("stealthy"), "{out}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        assert!(json.contains("\"attack_successes\":0"), "{json}");
+        // Bad arguments are caught before any board is provisioned.
+        assert!(matches!(
+            run(&s(&["fleet", "--scenario", "frob"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&s(&["fleet", "--loss", "2.0"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&s(&["fleet", "--boards", "0"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! Fleet campaign engine: many-UAV simulation over lossy MAVLink links.
+//!
+//! The paper (§VII-A) evaluates MAVR on a single APM board over a perfect
+//! serial cable. Its recovery-rate and re-randomization claims only become
+//! statistically meaningful across many boards, many randomization seeds,
+//! and realistic link conditions. This crate is that evaluation harness:
+//!
+//! * **N independent [`MavrBoard`]s**, each provisioned with its own
+//!   randomization seed (and thus its own firmware permutation);
+//! * each connected to the ground station through a pair of deterministic
+//!   [`LossyChannel`]s (uplink and downlink, independently seeded);
+//! * driven concurrently on a pool of worker threads that pull jobs from a
+//!   shared queue (boards run on whichever worker is free — results are
+//!   stitched back in job order, so the outcome is thread-count
+//!   invariant, like `rop::brute`);
+//! * subjected to the attack matrix: `scenarios × loss levels × boards`,
+//!   where each attack payload is crafted once against the *unprotected*
+//!   image (the paper's threat model — the attacker has the shipped
+//!   binary, not the board's current permutation);
+//! * aggregated into a [`CampaignReport`]: per-cell attack success rate,
+//!   recovery rate, time-to-recovery distribution, and link statistics
+//!   (sequence gaps, estimated packet loss, checksum garbage), with every
+//!   per-board [`GroundStation`] session adopted into one [`Router`] for
+//!   the fleet-wide operator view.
+//!
+//! **Determinism.** A campaign is a pure function of its
+//! [`CampaignConfig`]: board seeds and both channel seeds derive from the
+//! campaign seed via a splitmix64 mix of the job index, the simulator is
+//! cycle-deterministic, and the report embeds no timing or host
+//! information. The same config yields byte-identical
+//! [`CampaignReport::to_json`] output across runs and across
+//! `threads` values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod scenario;
+
+pub use report::{BoardOutcome, CampaignReport, CampaignSummary, CellReport};
+pub use scenario::{parse_scenarios, Scenario};
+
+use mavlink_lite::channel::{LossConfig, LossyChannel};
+use mavlink_lite::{GroundStation, Router};
+use mavr::policy::RandomizationPolicy;
+use mavr_board::MavrBoard;
+use rop::attack::AttackContext;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use synth_firmware::{apps, build, layout, AppSpec, BuildOptions};
+
+/// The 3-byte sensor write every attack scenario attempts (gyro state, as
+/// in the paper's running example).
+pub const ATTACK_TARGET: u16 = layout::GYRO + 3;
+/// The attacker's marker bytes.
+pub const ATTACK_VALUES: [u8; 3] = [0xde, 0xad, 0x42];
+
+/// Full description of a fleet campaign. A campaign's result is a pure
+/// function of this struct (`threads` excepted — it only changes how fast
+/// the answer arrives).
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed: board seeds and channel seeds all derive from it.
+    pub seed: u64,
+    /// Boards per `(scenario, loss)` cell.
+    pub boards: usize,
+    /// Attack scenarios to schedule against the fleet.
+    pub scenarios: Vec<Scenario>,
+    /// Per-byte impairment probabilities to sweep (applied equally to
+    /// drop, corrupt and duplicate on both link directions). `0.0` is a
+    /// perfect link.
+    pub loss_levels: Vec<f64>,
+    /// Cycles each board flies before the attack is injected.
+    pub warmup_cycles: u64,
+    /// Cycles each board flies after the last attack packet.
+    pub attack_cycles: u64,
+    /// Cycles between successive V3 carrier packets.
+    pub packet_gap_cycles: u64,
+    /// Ground-station scroll-back depth per board (totals stay exact).
+    pub gcs_capacity: usize,
+    /// Worker threads; `0` means one per available core. Never affects
+    /// results, only wall-clock time.
+    pub threads: usize,
+    /// The application the fleet flies (built vulnerable, as the paper's
+    /// target is).
+    pub app: AppSpec,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0x2015,
+            boards: 8,
+            scenarios: vec![Scenario::Benign, Scenario::V2Stealthy],
+            loss_levels: vec![0.0],
+            warmup_cycles: 300_000,
+            attack_cycles: 6_000_000,
+            packet_gap_cycles: 1_500_000,
+            gcs_capacity: 256,
+            threads: 0,
+            app: apps::tiny_test_app(),
+        }
+    }
+}
+
+/// Splitmix64-style per-job stream derivation: every `(campaign seed,
+/// stream index)` pair yields an independent seed that never depends on
+/// which worker thread consumed the job.
+fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One entry of the campaign matrix, in job order.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    scenario: Scenario,
+    scenario_idx: usize,
+    loss: f64,
+    board_index: usize,
+    job_index: usize,
+}
+
+/// Drain the board's downlink through its lossy channel into the
+/// ground-station session.
+fn pump(board: &mut MavrBoard, down: &mut LossyChannel, gcs: &mut GroundStation) {
+    let bytes = board.downlink();
+    if !bytes.is_empty() {
+        let delivered = down.transmit(&bytes);
+        gcs.ingest(&delivered);
+    }
+}
+
+/// Run one board through its scenario. Fully deterministic given the
+/// config and job description.
+fn run_board(
+    cfg: &CampaignConfig,
+    image: &avr_core::image::FirmwareImage,
+    payloads: Option<&[Vec<u8>]>,
+    job: Job,
+) -> (BoardOutcome, GroundStation) {
+    let board_seed = derive_seed(cfg.seed, job.job_index as u64 * 3);
+    let loss_cfg = LossConfig {
+        drop: job.loss,
+        corrupt: job.loss,
+        duplicate: job.loss,
+        delay: 0.0,
+        max_delay: 0,
+        seed: 0,
+    };
+    let mut up =
+        LossyChannel::new(loss_cfg.with_seed(derive_seed(cfg.seed, job.job_index as u64 * 3 + 1)));
+    let mut down =
+        LossyChannel::new(loss_cfg.with_seed(derive_seed(cfg.seed, job.job_index as u64 * 3 + 2)));
+    let mut board = MavrBoard::provision(image, board_seed, RandomizationPolicy::default())
+        .expect("campaign firmware fits the prototype board");
+    let mut gcs = GroundStation::with_capacity(cfg.gcs_capacity);
+
+    board.run(cfg.warmup_cycles).expect("warmup flight");
+    pump(&mut board, &mut down, &mut gcs);
+
+    let injected_at = board.app.machine.cycles();
+    let attack_packets = payloads.map_or(0, <[Vec<u8>]>::len);
+    if let Some(packets) = payloads {
+        for (i, payload) in packets.iter().enumerate() {
+            let wire = gcs.exploit_packet(payload).expect("payload fits a frame");
+            board.uplink(&up.transmit(&wire));
+            if i + 1 < packets.len() {
+                board.run(cfg.packet_gap_cycles).expect("carrier gap");
+                pump(&mut board, &mut down, &mut gcs);
+            }
+        }
+        board.uplink(&up.flush());
+    }
+    board.run(cfg.attack_cycles).expect("attack flight");
+    pump(&mut board, &mut down, &mut gcs);
+    gcs.ingest(&down.flush());
+
+    let attack_succeeded = attack_packets > 0
+        && board.app.machine.peek_range(ATTACK_TARGET, 3) == ATTACK_VALUES.to_vec();
+    let time_to_recovery = board
+        .recovery_cycles()
+        .into_iter()
+        .find(|&c| c >= injected_at)
+        .map(|c| c - injected_at);
+    let outcome = BoardOutcome {
+        scenario: job.scenario,
+        loss: job.loss,
+        board_index: job.board_index,
+        board_seed,
+        attack_packets,
+        attack_succeeded,
+        recoveries: board.recoveries(),
+        time_to_recovery,
+        final_cycle: board.app.machine.cycles(),
+        heartbeats: gcs.heartbeats.total(),
+        packets: gcs.packets_parsed(),
+        seq_gaps: gcs.seq_gaps_total(),
+        packets_lost: gcs.packets_lost(),
+        bad_checksums: gcs.bad_checksums(),
+        uav_bad_crc: board.app.machine.peek_data(layout::BAD_CRC_COUNT),
+        up_stats: up.stats,
+        down_stats: down.stats,
+    };
+    (outcome, gcs)
+}
+
+/// Run the full campaign matrix: `scenarios × loss_levels × boards` jobs,
+/// distributed over a worker pool, stitched back in job order.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let fw = build(&cfg.app, &BuildOptions::vulnerable_mavr()).expect("campaign app builds");
+    let ctx = AttackContext::discover(&fw.image).expect("attack discovery on campaign app");
+    // One payload set per scenario, crafted against the unprotected image.
+    let payloads: Vec<Option<Vec<Vec<u8>>>> = cfg
+        .scenarios
+        .iter()
+        .map(|s| {
+            s.attack_kind().map(|k| {
+                ctx.packets(k, &[(ATTACK_TARGET, ATTACK_VALUES)])
+                    .expect("payload builds")
+            })
+        })
+        .collect();
+
+    let mut jobs = Vec::with_capacity(cfg.scenarios.len() * cfg.loss_levels.len() * cfg.boards);
+    for (scenario_idx, &scenario) in cfg.scenarios.iter().enumerate() {
+        for &loss in &cfg.loss_levels {
+            for board_index in 0..cfg.boards {
+                jobs.push(Job {
+                    scenario,
+                    scenario_idx,
+                    loss,
+                    board_index,
+                    job_index: jobs.len(),
+                });
+            }
+        }
+    }
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        cfg.threads
+    }
+    .clamp(1, jobs.len().max(1));
+
+    // Shared-queue pool: each worker claims the next unstarted job, so a
+    // slow board never stalls the others; slot-indexed results keep the
+    // output independent of who ran what.
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<(BoardOutcome, GroundStation)>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i).copied() else {
+                    break;
+                };
+                let result = run_board(cfg, &fw.image, payloads[job.scenario_idx].as_deref(), job);
+                slots.lock().expect("no poisoned worker")[i] = Some(result);
+            });
+        }
+    });
+
+    let mut router = Router::with_capacity(cfg.gcs_capacity);
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    for (i, slot) in slots
+        .into_inner()
+        .expect("workers done")
+        .into_iter()
+        .enumerate()
+    {
+        let (outcome, gcs) = slot.expect("every job ran");
+        router.adopt(i as u64, gcs);
+        outcomes.push(outcome);
+    }
+
+    let summary = CampaignSummary {
+        seed: cfg.seed,
+        boards: cfg.boards,
+        scenarios: cfg.scenarios.iter().map(Scenario::name).collect(),
+        loss_levels: cfg.loss_levels.clone(),
+        warmup_cycles: cfg.warmup_cycles,
+        attack_cycles: cfg.attack_cycles,
+        app: cfg.app.name.to_string(),
+    };
+    CampaignReport::assemble(
+        summary,
+        router.totals(),
+        outcomes,
+        &cfg.scenarios,
+        &cfg.loss_levels,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> CampaignConfig {
+        CampaignConfig {
+            boards: 2,
+            scenarios: vec![Scenario::Benign, Scenario::V2Stealthy],
+            loss_levels: vec![0.0],
+            attack_cycles: 4_000_000,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn benign_cell_is_quiet_and_attack_cell_never_succeeds() {
+        let report = run_campaign(&small_cfg());
+        assert_eq!(report.cells.len(), 2);
+        let benign = &report.cells[0];
+        assert_eq!(benign.scenario, Scenario::Benign);
+        assert_eq!(benign.boards_recovered, 0, "benign boards never recover");
+        assert_eq!(benign.attack_successes, 0);
+        assert!(benign.heartbeats > 0, "telemetry flows");
+        assert_eq!(benign.seq_gaps, 0, "perfect link drops nothing");
+        let attacked = &report.cells[1];
+        assert_eq!(
+            attacked.attack_successes, 0,
+            "randomized fleet defeats the canned exploit"
+        );
+        assert_eq!(report.fleet.links, 4);
+        assert_eq!(report.outcomes.len(), 4);
+        // Distinct boards draw distinct randomization seeds.
+        assert_ne!(report.outcomes[0].board_seed, report.outcomes[1].board_seed);
+    }
+
+    #[test]
+    fn seed_changes_the_fleet() {
+        let a = run_campaign(&small_cfg());
+        let b = run_campaign(&CampaignConfig {
+            seed: 0x2016,
+            ..small_cfg()
+        });
+        assert_ne!(
+            a.outcomes[0].board_seed, b.outcomes[0].board_seed,
+            "campaign seed drives board seeds"
+        );
+    }
+
+    #[test]
+    fn derive_seed_streams_are_distinct() {
+        let s: std::collections::BTreeSet<u64> = (0..64).map(|i| derive_seed(7, i)).collect();
+        assert_eq!(s.len(), 64);
+    }
+}

@@ -1,0 +1,383 @@
+//! Campaign outcomes and the `CampaignReport`.
+//!
+//! Everything here is **deterministic**: a report assembled from the same
+//! outcome list renders byte-identical JSON, and the engine guarantees the
+//! outcome list itself depends only on the campaign configuration — never
+//! on worker-thread count or wall-clock time. That is why no timing or
+//! host information appears anywhere in this module.
+
+use crate::scenario::Scenario;
+use mavlink_lite::channel::ChannelStats;
+use mavlink_lite::RouterTotals;
+
+/// Everything observed about one board's run in the campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoardOutcome {
+    /// Scenario this board was subjected to.
+    pub scenario: Scenario,
+    /// Per-byte impairment probability of its link (both directions).
+    pub loss: f64,
+    /// Board ordinal within its `(scenario, loss)` cell.
+    pub board_index: usize,
+    /// Randomization seed the board was provisioned with.
+    pub board_seed: u64,
+    /// Attack packets sent (0 for benign).
+    pub attack_packets: usize,
+    /// Whether the attacker's 3-byte write landed in the victim's SRAM.
+    pub attack_succeeded: bool,
+    /// Recoveries (detect + re-randomize + reflash) the master performed.
+    pub recoveries: usize,
+    /// Cycles from attack injection to the master's first detection.
+    pub time_to_recovery: Option<u64>,
+    /// Application-processor cycle count when the run ended.
+    pub final_cycle: u64,
+    /// Heartbeats the ground station decoded (lifetime total).
+    pub heartbeats: u64,
+    /// Checksum-valid packets the ground station parsed.
+    pub packets: u64,
+    /// Sequence-number discontinuities the ground station observed.
+    pub seq_gaps: u64,
+    /// Packets the sequence deltas say the downlink lost.
+    pub packets_lost: u64,
+    /// Bytes that failed the ground station's checksum.
+    pub bad_checksums: u64,
+    /// Frames the *UAV's* parser rejected on checksum (uplink corruption;
+    /// an 8-bit firmware counter, wraps at 256).
+    pub uav_bad_crc: u8,
+    /// Uplink (ground → UAV) channel accounting.
+    pub up_stats: ChannelStats,
+    /// Downlink (UAV → ground) channel accounting.
+    pub down_stats: ChannelStats,
+}
+
+impl BoardOutcome {
+    /// One JSONL record (a single line, no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"scenario\":\"{}\",\"loss\":{:.4},\"board\":{},\"seed\":{},\
+             \"attack_packets\":{},\"attack_succeeded\":{},\"recoveries\":{},\
+             \"time_to_recovery\":{},\"final_cycle\":{},\"heartbeats\":{},\
+             \"packets\":{},\"seq_gaps\":{},\"packets_lost\":{},\
+             \"bad_checksums\":{},\"uav_bad_crc\":{},\
+             \"up_dropped\":{},\"up_corrupted\":{},\"up_duplicated\":{},\
+             \"down_dropped\":{},\"down_corrupted\":{},\"down_duplicated\":{}}}",
+            self.scenario.name(),
+            self.loss,
+            self.board_index,
+            self.board_seed,
+            self.attack_packets,
+            self.attack_succeeded,
+            self.recoveries,
+            self.time_to_recovery
+                .map_or("null".to_string(), |t| t.to_string()),
+            self.final_cycle,
+            self.heartbeats,
+            self.packets,
+            self.seq_gaps,
+            self.packets_lost,
+            self.bad_checksums,
+            self.uav_bad_crc,
+            self.up_stats.dropped,
+            self.up_stats.corrupted,
+            self.up_stats.duplicated,
+            self.down_stats.dropped,
+            self.down_stats.corrupted,
+            self.down_stats.duplicated,
+        )
+    }
+}
+
+/// Aggregate over one `(scenario, loss)` cell of the campaign matrix —
+/// one point on a link-loss sensitivity curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// The scenario of this cell.
+    pub scenario: Scenario,
+    /// The loss level of this cell.
+    pub loss: f64,
+    /// Boards in the cell.
+    pub boards: usize,
+    /// Boards whose attack write landed (the paper's headline: 0 when
+    /// randomized).
+    pub attack_successes: usize,
+    /// Boards the master detected and recovered at least once.
+    pub boards_recovered: usize,
+    /// Total recoveries across the cell.
+    pub recoveries_total: u64,
+    /// Detection latencies (cycles from injection to detection), sorted.
+    pub latencies: Vec<u64>,
+    /// Ground-station heartbeats decoded across the cell.
+    pub heartbeats: u64,
+    /// Sequence gaps across the cell.
+    pub seq_gaps: u64,
+    /// Estimated packets lost across the cell.
+    pub packets_lost: u64,
+    /// Ground-station checksum failures across the cell.
+    pub bad_checksums: u64,
+    /// Channel bytes dropped, both directions summed.
+    pub bytes_dropped: u64,
+    /// Channel bytes corrupted, both directions summed.
+    pub bytes_corrupted: u64,
+}
+
+impl CellReport {
+    fn from_outcomes(scenario: Scenario, loss: f64, outs: &[&BoardOutcome]) -> Self {
+        let mut latencies: Vec<u64> = outs.iter().filter_map(|o| o.time_to_recovery).collect();
+        latencies.sort_unstable();
+        CellReport {
+            scenario,
+            loss,
+            boards: outs.len(),
+            attack_successes: outs.iter().filter(|o| o.attack_succeeded).count(),
+            boards_recovered: outs.iter().filter(|o| o.recoveries > 0).count(),
+            recoveries_total: outs.iter().map(|o| o.recoveries as u64).sum(),
+            latencies,
+            heartbeats: outs.iter().map(|o| o.heartbeats).sum(),
+            seq_gaps: outs.iter().map(|o| o.seq_gaps).sum(),
+            packets_lost: outs.iter().map(|o| o.packets_lost).sum(),
+            bad_checksums: outs.iter().map(|o| o.bad_checksums).sum(),
+            bytes_dropped: outs
+                .iter()
+                .map(|o| o.up_stats.dropped + o.down_stats.dropped)
+                .sum(),
+            bytes_corrupted: outs
+                .iter()
+                .map(|o| o.up_stats.corrupted + o.down_stats.corrupted)
+                .sum(),
+        }
+    }
+
+    /// Fraction of the cell's boards whose attack write landed.
+    pub fn attack_success_rate(&self) -> f64 {
+        self.attack_successes as f64 / self.boards.max(1) as f64
+    }
+
+    /// Fraction of the cell's boards the master recovered at least once.
+    pub fn recovery_rate(&self) -> f64 {
+        self.boards_recovered as f64 / self.boards.max(1) as f64
+    }
+
+    /// Mean cycles from injection to detection, over detected boards.
+    pub fn mean_time_to_recovery(&self) -> Option<f64> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        Some(self.latencies.iter().map(|&l| l as f64).sum::<f64>() / self.latencies.len() as f64)
+    }
+
+    /// `(min, median, max)` of the detection-latency distribution.
+    pub fn latency_spread(&self) -> Option<(u64, u64, u64)> {
+        let l = &self.latencies;
+        if l.is_empty() {
+            return None;
+        }
+        Some((l[0], l[l.len() / 2], l[l.len() - 1]))
+    }
+
+    fn to_json(&self) -> String {
+        let (mttr, lat) = match (self.mean_time_to_recovery(), self.latency_spread()) {
+            (Some(m), Some((lo, p50, hi))) => (
+                format!("{m:.1}"),
+                format!("{{\"min\":{lo},\"p50\":{p50},\"max\":{hi}}}"),
+            ),
+            _ => ("null".to_string(), "null".to_string()),
+        };
+        format!(
+            "{{\"scenario\":\"{}\",\"loss\":{:.4},\"boards\":{},\
+             \"attack_successes\":{},\"attack_success_rate\":{:.4},\
+             \"boards_recovered\":{},\"recovery_rate\":{:.4},\
+             \"recoveries_total\":{},\"mean_time_to_recovery_cycles\":{},\
+             \"detection_latency_cycles\":{},\"heartbeats\":{},\
+             \"seq_gaps\":{},\"packets_lost\":{},\"bad_checksums\":{},\
+             \"bytes_dropped\":{},\"bytes_corrupted\":{}}}",
+            self.scenario.name(),
+            self.loss,
+            self.boards,
+            self.attack_successes,
+            self.attack_success_rate(),
+            self.boards_recovered,
+            self.recovery_rate(),
+            self.recoveries_total,
+            mttr,
+            lat,
+            self.heartbeats,
+            self.seq_gaps,
+            self.packets_lost,
+            self.bad_checksums,
+            self.bytes_dropped,
+            self.bytes_corrupted,
+        )
+    }
+}
+
+/// The configuration echo embedded in a report. Deliberately excludes
+/// anything that may legally vary between identical campaigns (worker
+/// thread count, host, wall clock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSummary {
+    /// Campaign master seed.
+    pub seed: u64,
+    /// Boards per `(scenario, loss)` cell.
+    pub boards: usize,
+    /// Scenario names, in matrix order.
+    pub scenarios: Vec<&'static str>,
+    /// Loss levels, in matrix order.
+    pub loss_levels: Vec<f64>,
+    /// Pre-injection cycles per board.
+    pub warmup_cycles: u64,
+    /// Post-injection cycles per board.
+    pub attack_cycles: u64,
+    /// Application the fleet flies.
+    pub app: String,
+}
+
+/// The complete result of a fleet campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// What was run.
+    pub config: CampaignSummary,
+    /// One aggregate per `(scenario, loss)` cell, in matrix order
+    /// (scenario-major: each scenario's cells trace its loss-sensitivity
+    /// curve).
+    pub cells: Vec<CellReport>,
+    /// Fleet-wide ground-station totals (all links, via the router).
+    pub fleet: RouterTotals,
+    /// Raw per-board outcomes, in job order.
+    pub outcomes: Vec<BoardOutcome>,
+}
+
+impl CampaignReport {
+    /// Group `outcomes` into cells following the campaign matrix order.
+    pub fn assemble(
+        config: CampaignSummary,
+        fleet: RouterTotals,
+        outcomes: Vec<BoardOutcome>,
+        scenarios: &[Scenario],
+        loss_levels: &[f64],
+    ) -> Self {
+        let mut cells = Vec::with_capacity(scenarios.len() * loss_levels.len());
+        for &s in scenarios {
+            for &l in loss_levels {
+                let outs: Vec<&BoardOutcome> = outcomes
+                    .iter()
+                    .filter(|o| o.scenario == s && o.loss == l)
+                    .collect();
+                cells.push(CellReport::from_outcomes(s, l, &outs));
+            }
+        }
+        CampaignReport {
+            config,
+            cells,
+            fleet,
+            outcomes,
+        }
+    }
+
+    /// The full report as pretty-stable JSON. Byte-identical for identical
+    /// `(seed, boards, scenarios, loss)` campaigns, regardless of worker
+    /// thread count.
+    pub fn to_json(&self) -> String {
+        let scenarios = self
+            .config
+            .scenarios
+            .iter()
+            .map(|s| format!("\"{s}\""))
+            .collect::<Vec<_>>()
+            .join(",");
+        let losses = self
+            .config
+            .loss_levels
+            .iter()
+            .map(|l| format!("{l:.4}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| format!("    {}", c.to_json()))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let boards = self
+            .outcomes
+            .iter()
+            .map(|o| format!("    {}", o.to_json_line()))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"campaign\": {{\"seed\":{},\"boards_per_cell\":{},\
+             \"scenarios\":[{}],\"loss_levels\":[{}],\"warmup_cycles\":{},\
+             \"attack_cycles\":{},\"app\":\"{}\"}},\n  \"cells\": [\n{}\n  ],\n  \
+             \"fleet\": {{\"links\":{},\"packets\":{},\"heartbeats\":{},\
+             \"bad_checksums\":{},\"seq_gaps\":{},\"packets_lost\":{}}},\n  \
+             \"boards\": [\n{}\n  ]\n}}\n",
+            self.config.seed,
+            self.config.boards,
+            scenarios,
+            losses,
+            self.config.warmup_cycles,
+            self.config.attack_cycles,
+            self.config.app,
+            cells,
+            self.fleet.links,
+            self.fleet.packets,
+            self.fleet.heartbeats,
+            self.fleet.bad_checksums,
+            self.fleet.seq_gaps,
+            self.fleet.packets_lost,
+            boards,
+        )
+    }
+
+    /// One JSON line per board outcome, in job order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            out.push_str(&o.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Human-readable summary table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = format!(
+            "== Fleet campaign: {} boards/cell, seed {:#x}, app {} ==\n",
+            self.config.boards, self.config.seed, self.config.app
+        );
+        writeln!(
+            out,
+            "{:<14}{:>7}{:>8}{:>10}{:>11}{:>9}{:>15}",
+            "scenario", "loss", "boards", "success", "recovered", "rate", "mttr (cycles)"
+        )
+        .unwrap();
+        for c in &self.cells {
+            writeln!(
+                out,
+                "{:<14}{:>7.4}{:>8}{:>7}/{:<2}{:>8}/{:<2}{:>9.2}{:>15}",
+                c.scenario.name(),
+                c.loss,
+                c.boards,
+                c.attack_successes,
+                c.boards,
+                c.boards_recovered,
+                c.boards,
+                c.recovery_rate(),
+                c.mean_time_to_recovery()
+                    .map_or("-".to_string(), |m| format!("{m:.0}")),
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "fleet totals: {} links, {} packets, {} heartbeats, {} seq gaps, {} packets lost",
+            self.fleet.links,
+            self.fleet.packets,
+            self.fleet.heartbeats,
+            self.fleet.seq_gaps,
+            self.fleet.packets_lost
+        )
+        .unwrap();
+        out
+    }
+}

@@ -1,9 +1,12 @@
 //! Ground-station session model: the benign operator console and the
 //! malicious ground station of the paper's threat model (Fig. 3).
 
+use crate::history::History;
 use crate::msg::{self, Attitude, Heartbeat, ParamSet, SysStatus};
 use crate::packet::{Packet, Parser, HEADER_LEN, MAGIC};
 use crate::ProtocolError;
+use std::collections::BTreeMap;
+use telemetry::{Counters, Telemetry, Value};
 
 /// MAVLink system id conventionally used by ground stations.
 pub const GCS_SYSID: u8 = 255;
@@ -16,6 +19,12 @@ pub const GCS_SYSID: u8 = 255;
 /// ground station" (§IV-A). The only difference is which encode helpers are
 /// used: the malicious encoders deliberately violate the length invariant
 /// the (vulnerable) UAV fails to check.
+///
+/// Received traffic lands in bounded [`History`] rings (long campaigns
+/// would otherwise grow memory without limit); lifetime totals survive in
+/// each ring's counter and in [`GroundStation::counters`]. Sequence-number
+/// discontinuities per sender sysid are tracked as a packet-loss estimate —
+/// the number the fleet campaign report calls `seq_gap_bytes`.
 #[derive(Debug, Clone)]
 pub struct GroundStation {
     /// Our system id on the link.
@@ -24,17 +33,29 @@ pub struct GroundStation {
     pub compid: u8,
     seq: u8,
     parser: Parser,
-    /// Every checksum-valid packet received from the UAV.
-    pub received: Vec<Packet>,
-    /// Decoded HEARTBEATs, in arrival order.
-    pub heartbeats: Vec<Heartbeat>,
-    /// Decoded ATTITUDE telemetry, in arrival order.
-    pub attitudes: Vec<Attitude>,
-    /// Decoded SYS_STATUS telemetry, in arrival order.
-    pub sys_status: Vec<SysStatus>,
+    /// The most recent checksum-valid packets received from the UAV.
+    pub received: History<Packet>,
+    /// Decoded HEARTBEATs, in arrival order (bounded ring).
+    pub heartbeats: History<Heartbeat>,
+    /// Decoded ATTITUDE telemetry, in arrival order (bounded ring).
+    pub attitudes: History<Attitude>,
+    /// Decoded SYS_STATUS telemetry, in arrival order (bounded ring).
+    pub sys_status: History<SysStatus>,
     /// Count of packets this station has framed for transmission
     /// (well-formed and malicious alike).
     pub packets_framed: u64,
+    /// Last sequence number seen per sender sysid.
+    last_seq: BTreeMap<u8, u8>,
+    /// Sequence-gap events per sender sysid (count of discontinuities).
+    seq_gaps: BTreeMap<u8, u64>,
+    /// Sum of missing packets implied by the gaps (mod-256 deltas).
+    packets_lost: u64,
+    /// Monotonic session counters (`gcs.packets`, `gcs.heartbeats`,
+    /// `gcs.seq_gaps`, `gcs.packets_lost`) — the telemetry-layer view.
+    pub counters: Counters,
+    /// Optional flight-recorder handle; when attached, each detected
+    /// sequence gap emits a `gcs.seq_gap` event.
+    pub telemetry: Telemetry,
 }
 
 impl Default for GroundStation {
@@ -44,18 +65,31 @@ impl Default for GroundStation {
 }
 
 impl GroundStation {
-    /// A ground station with the conventional GCS system id.
+    /// A ground station with the conventional GCS system id and the
+    /// default scroll-back depth.
     pub fn new() -> Self {
+        GroundStation::with_capacity(crate::history::DEFAULT_CAPACITY)
+    }
+
+    /// A ground station retaining at most `capacity` packets (and decoded
+    /// messages) per ring — fleet campaigns run many stations with small
+    /// rings.
+    pub fn with_capacity(capacity: usize) -> Self {
         GroundStation {
             sysid: GCS_SYSID,
             compid: 0,
             seq: 0,
             parser: Parser::new(),
-            received: Vec::new(),
-            heartbeats: Vec::new(),
-            attitudes: Vec::new(),
-            sys_status: Vec::new(),
+            received: History::with_capacity(capacity),
+            heartbeats: History::with_capacity(capacity),
+            attitudes: History::with_capacity(capacity),
+            sys_status: History::with_capacity(capacity),
             packets_framed: 0,
+            last_seq: BTreeMap::new(),
+            seq_gaps: BTreeMap::new(),
+            packets_lost: 0,
+            counters: Counters::default(),
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -167,26 +201,76 @@ impl GroundStation {
     /// Ingest bytes received from the UAV, decoding telemetry.
     pub fn ingest(&mut self, bytes: &[u8]) {
         for pkt in self.parser.push_all(bytes) {
-            match pkt.msgid {
-                msg::HEARTBEAT_ID => {
-                    if let Ok(h) = Heartbeat::from_payload(pkt.msgid, &pkt.payload) {
-                        self.heartbeats.push(h);
-                    }
-                }
-                msg::ATTITUDE_ID => {
-                    if let Ok(a) = Attitude::from_payload(pkt.msgid, &pkt.payload) {
-                        self.attitudes.push(a);
-                    }
-                }
-                msg::SYS_STATUS_ID => {
-                    if let Ok(s) = SysStatus::from_payload(pkt.msgid, &pkt.payload) {
-                        self.sys_status.push(s);
-                    }
-                }
-                _ => {}
-            }
-            self.received.push(pkt);
+            self.ingest_packet(pkt);
         }
+    }
+
+    /// Ingest one already-parsed packet (the [`crate::Router`] path, where
+    /// framing happened on a per-link parser).
+    pub fn ingest_packet(&mut self, pkt: Packet) {
+        self.track_seq(pkt.sysid, pkt.seq);
+        self.counters.add("gcs.packets", 1);
+        match pkt.msgid {
+            msg::HEARTBEAT_ID => {
+                if let Ok(h) = Heartbeat::from_payload(pkt.msgid, &pkt.payload) {
+                    self.counters.add("gcs.heartbeats", 1);
+                    self.heartbeats.push(h);
+                }
+            }
+            msg::ATTITUDE_ID => {
+                if let Ok(a) = Attitude::from_payload(pkt.msgid, &pkt.payload) {
+                    self.attitudes.push(a);
+                }
+            }
+            msg::SYS_STATUS_ID => {
+                if let Ok(s) = SysStatus::from_payload(pkt.msgid, &pkt.payload) {
+                    self.sys_status.push(s);
+                }
+            }
+            _ => {}
+        }
+        self.received.push(pkt);
+    }
+
+    /// Record `seq` for `sysid`, counting discontinuities. MAVLink
+    /// sequence numbers increment mod 256 per sender, so any other delta
+    /// means the link lost (or reordered) `delta - 1` packets.
+    fn track_seq(&mut self, sysid: u8, seq: u8) {
+        if let Some(&last) = self.last_seq.get(&sysid) {
+            let delta = seq.wrapping_sub(last);
+            if delta != 1 {
+                let missing = u64::from(delta.wrapping_sub(1));
+                *self.seq_gaps.entry(sysid).or_insert(0) += 1;
+                self.packets_lost += missing;
+                self.counters.add("gcs.seq_gaps", 1);
+                self.counters.add("gcs.packets_lost", missing);
+                self.telemetry.emit("gcs.seq_gap", None, || {
+                    vec![
+                        ("sysid", Value::U64(u64::from(sysid))),
+                        ("expected", Value::U64(u64::from(last.wrapping_add(1)))),
+                        ("got", Value::U64(u64::from(seq))),
+                        ("missing", Value::U64(missing)),
+                    ]
+                });
+            }
+        }
+        self.last_seq.insert(sysid, seq);
+    }
+
+    /// Sequence-discontinuity events seen from `sysid` so far.
+    pub fn seq_gaps(&self, sysid: u8) -> u64 {
+        self.seq_gaps.get(&sysid).copied().unwrap_or(0)
+    }
+
+    /// Total sequence-gap events across all sender sysids.
+    pub fn seq_gaps_total(&self) -> u64 {
+        self.seq_gaps.values().sum()
+    }
+
+    /// Estimated packets lost on the downlink, summed over all senders
+    /// (mod-256 sequence deltas; reordering inflates this slightly).
+    pub fn packets_lost(&self) -> u64 {
+        self.packets_lost
     }
 
     /// Count of bytes that failed checksum so far — a rough "link garbage"
@@ -204,9 +288,10 @@ impl GroundStation {
     /// contain at least `min_heartbeats` heartbeats? The stealthy attack's
     /// whole point (§IV-D) is to keep this true while the attack runs.
     pub fn link_alive(&self, window: usize, min_heartbeats: usize) -> bool {
-        let start = self.received.len().saturating_sub(window);
-        self.received[start..]
+        self.received
             .iter()
+            .rev()
+            .take(window)
             .filter(|p| p.msgid == msg::HEARTBEAT_ID)
             .count()
             >= min_heartbeats
@@ -271,6 +356,71 @@ mod tests {
         let got = p.push_all(&wire);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].payload.len(), 200);
+    }
+
+    #[test]
+    fn seq_gaps_counted_per_sysid() {
+        let mut uav = GroundStation::new();
+        uav.sysid = 1;
+        let frames: Vec<Vec<u8>> = (0..6).map(|_| uav.heartbeat()).collect();
+        let mut gcs = GroundStation::new();
+        // Deliver seq 0, 1, then drop 2 and 3, then 4, 5: one gap of 2.
+        for f in [&frames[0], &frames[1], &frames[4], &frames[5]] {
+            gcs.ingest(f);
+        }
+        assert_eq!(gcs.seq_gaps(1), 1);
+        assert_eq!(gcs.packets_lost(), 2);
+        assert_eq!(gcs.seq_gaps(99), 0);
+        assert_eq!(gcs.counters.get("gcs.seq_gaps"), 1);
+        assert_eq!(gcs.counters.get("gcs.packets_lost"), 2);
+        assert_eq!(gcs.counters.get("gcs.packets"), 4);
+        // Wrap-around without a gap: 255 -> 0 is consecutive.
+        let mut gcs2 = GroundStation::new();
+        let mut a = Packet::new(255, 7, 1, 0, vec![0; 9]).unwrap().encode();
+        a.extend(Packet::new(0, 7, 1, 0, vec![0; 9]).unwrap().encode());
+        gcs2.ingest(&a);
+        assert_eq!(gcs2.seq_gaps(7), 0);
+        assert_eq!(gcs2.seq_gaps_total(), 0);
+    }
+
+    #[test]
+    fn histories_are_bounded_with_exact_totals() {
+        let mut uav = GroundStation::new();
+        uav.sysid = 1;
+        let mut gcs = GroundStation::with_capacity(4);
+        for _ in 0..10 {
+            let hb = uav.heartbeat();
+            gcs.ingest(&hb);
+        }
+        assert_eq!(gcs.received.len(), 4, "ring bounded");
+        assert_eq!(gcs.received.total(), 10, "lifetime total exact");
+        assert_eq!(gcs.heartbeats.total(), 10);
+        assert_eq!(gcs.counters.get("gcs.heartbeats"), 10);
+        assert_eq!(gcs.packets_parsed(), 10);
+        assert!(gcs.link_alive(4, 4));
+    }
+
+    #[test]
+    fn seq_gap_emits_telemetry_event() {
+        use telemetry::{RingRecorder, Telemetry};
+        let mut uav = GroundStation::new();
+        uav.sysid = 1;
+        let frames: Vec<Vec<u8>> = (0..3).map(|_| uav.heartbeat()).collect();
+        let mut gcs = GroundStation::new();
+        gcs.telemetry = Telemetry::new(RingRecorder::new(8));
+        gcs.ingest(&frames[0]);
+        gcs.ingest(&frames[2]);
+        let missing = gcs
+            .telemetry
+            .with_recorder::<RingRecorder, _>(|r| {
+                let ev = r.events().find(|e| e.kind == "gcs.seq_gap").cloned();
+                ev.and_then(|e| match e.field("missing") {
+                    Some(telemetry::Value::U64(m)) => Some(*m),
+                    _ => None,
+                })
+            })
+            .unwrap();
+        assert_eq!(missing, Some(1));
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Multiplexing ground-station router: one operator console, many UAVs.
+//!
+//! A fleet campaign gives every board its own radio link (its own
+//! [`crate::LossyChannel`] pair). The router owns a byte-accurate
+//! [`Parser`] per link plus a [`GroundStation`] session per link, demuxes
+//! downlink traffic, and aggregates fleet-wide statistics — the
+//! "multiplexing ground station" of the campaign engine.
+//!
+//! Framing is per-link (each link is a distinct serial stream; bytes from
+//! different boards never interleave mid-packet), while session state —
+//! decoded telemetry, heartbeat liveness, sequence-gap accounting — is
+//! kept per link as well, so one flapping link cannot mask another's
+//! silence.
+
+use crate::ground_station::GroundStation;
+use crate::history::DEFAULT_CAPACITY;
+use std::collections::BTreeMap;
+
+/// Fleet-wide aggregate counters, summed over every link session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterTotals {
+    /// Links with at least one session.
+    pub links: usize,
+    /// Checksum-valid packets across all links.
+    pub packets: u64,
+    /// Decoded heartbeats across all links.
+    pub heartbeats: u64,
+    /// Checksum failures across all links.
+    pub bad_checksums: u64,
+    /// Sequence-gap events across all links.
+    pub seq_gaps: u64,
+    /// Estimated packets lost (from sequence deltas) across all links.
+    pub packets_lost: u64,
+}
+
+/// A ground-station multiplexer over many per-board links.
+#[derive(Debug, Clone, Default)]
+pub struct Router {
+    capacity: usize,
+    sessions: BTreeMap<u64, GroundStation>,
+}
+
+impl Router {
+    /// A router whose sessions use the default scroll-back depth.
+    pub fn new() -> Self {
+        Router::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A router whose per-link sessions retain at most `capacity` packets
+    /// each (fleet campaigns keep this small — totals stay exact).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Router {
+            capacity: capacity.max(1),
+            sessions: BTreeMap::new(),
+        }
+    }
+
+    /// The session for `link`, created on first use.
+    pub fn session(&mut self, link: u64) -> &mut GroundStation {
+        let capacity = self.capacity;
+        self.sessions
+            .entry(link)
+            .or_insert_with(|| GroundStation::with_capacity(capacity))
+    }
+
+    /// The session for `link`, if any traffic has been routed to it.
+    pub fn get(&self, link: u64) -> Option<&GroundStation> {
+        self.sessions.get(&link)
+    }
+
+    /// Install an externally driven session for `link`, replacing any
+    /// existing one. Fleet campaigns drive one [`GroundStation`] per board
+    /// on worker threads, then adopt them all into one router so the
+    /// operator-console aggregates ([`Router::totals`],
+    /// [`Router::silent_links`]) see the whole fleet.
+    pub fn adopt(&mut self, link: u64, session: GroundStation) {
+        self.sessions.insert(link, session);
+    }
+
+    /// Feed downlink bytes arriving on `link`.
+    pub fn ingest(&mut self, link: u64, bytes: &[u8]) {
+        self.session(link).ingest(bytes);
+    }
+
+    /// Iterate `(link, session)` in link order.
+    pub fn sessions(&self) -> impl Iterator<Item = (u64, &GroundStation)> {
+        self.sessions.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Links whose most recent `window` packets hold fewer than
+    /// `min_heartbeats` heartbeats — the operator's "which UAVs went
+    /// quiet" display.
+    pub fn silent_links(&self, window: usize, min_heartbeats: usize) -> Vec<u64> {
+        self.sessions
+            .iter()
+            .filter(|(_, s)| !s.link_alive(window, min_heartbeats))
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// Aggregate statistics over every link.
+    pub fn totals(&self) -> RouterTotals {
+        let mut t = RouterTotals {
+            links: self.sessions.len(),
+            ..RouterTotals::default()
+        };
+        for s in self.sessions.values() {
+            t.packets += s.packets_parsed();
+            t.heartbeats += s.heartbeats.total();
+            t.bad_checksums += s.bad_checksums();
+            t.seq_gaps += s.seq_gaps_total();
+            t.packets_lost += s.packets_lost();
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{LossConfig, LossyChannel};
+
+    #[test]
+    fn demuxes_per_link_and_aggregates() {
+        let mut router = Router::with_capacity(64);
+        // Two UAVs (both sysid 1, as the firmware hardcodes) on separate
+        // links; one link drops a frame.
+        let mut uav_a = GroundStation::new();
+        uav_a.sysid = 1;
+        let mut uav_b = GroundStation::new();
+        uav_b.sysid = 1;
+        for _ in 0..4 {
+            let hb = uav_a.heartbeat();
+            router.ingest(0, &hb);
+        }
+        let frames: Vec<Vec<u8>> = (0..4).map(|_| uav_b.heartbeat()).collect();
+        router.ingest(1, &frames[0]);
+        router.ingest(1, &frames[2]); // frame 1 lost on link 1
+        router.ingest(1, &frames[3]);
+
+        assert_eq!(router.get(0).unwrap().heartbeats.total(), 4);
+        assert_eq!(router.get(1).unwrap().heartbeats.total(), 3);
+        assert_eq!(router.get(0).unwrap().seq_gaps(1), 0);
+        assert_eq!(router.get(1).unwrap().seq_gaps(1), 1);
+        let t = router.totals();
+        assert_eq!(t.links, 2);
+        assert_eq!(t.packets, 7);
+        assert_eq!(t.heartbeats, 7);
+        assert_eq!(t.seq_gaps, 1);
+        assert_eq!(t.packets_lost, 1);
+        assert!(router.silent_links(8, 1).is_empty());
+        assert!(router.get(2).is_none());
+    }
+
+    #[test]
+    fn lossy_link_shows_up_only_on_its_own_session() {
+        let mut router = Router::new();
+        let mut clean = LossyChannel::perfect();
+        let mut dirty = LossyChannel::new(LossConfig::uniform(0.01, 11));
+        let mut uav = GroundStation::new();
+        uav.sysid = 1;
+        for _ in 0..50 {
+            let hb = uav.heartbeat();
+            router.ingest(0, &clean.transmit(&hb));
+            router.ingest(1, &dirty.transmit(&hb));
+        }
+        router.ingest(1, &dirty.flush());
+        assert_eq!(router.get(0).unwrap().heartbeats.total(), 50);
+        assert_eq!(router.get(0).unwrap().bad_checksums(), 0);
+        let lossy = router.get(1).unwrap();
+        assert!(lossy.heartbeats.total() < 50);
+        assert!(lossy.bad_checksums() + lossy.seq_gaps_total() > 0);
+        let t = router.totals();
+        assert_eq!(t.links, 2);
+        assert!(t.heartbeats < 100 && t.heartbeats > 50);
+    }
+}

@@ -61,6 +61,40 @@ pub enum AttackKind {
     },
 }
 
+impl AttackKind {
+    /// Free-SRAM staging base the CLI and fleet scenarios use for V3 when
+    /// none is specified (inside the `v3_packets` validity window).
+    pub const DEFAULT_STAGING: u16 = 0x1400;
+
+    /// Stable scenario name (`v1-crash`, `v2-stealthy`, `v3-trampoline`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackKind::V1 => "v1-crash",
+            AttackKind::V2 => "v2-stealthy",
+            AttackKind::V3 { .. } => "v3-trampoline",
+        }
+    }
+}
+
+impl std::str::FromStr for AttackKind {
+    type Err = String;
+
+    /// Parse a scenario spelling: `v1`/`crash`, `v2`/`stealthy`,
+    /// `v3`/`trampoline` (V3 with [`AttackKind::DEFAULT_STAGING`]).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "v1" | "crash" | "v1-crash" => Ok(AttackKind::V1),
+            "v2" | "stealthy" | "v2-stealthy" => Ok(AttackKind::V2),
+            "v3" | "trampoline" | "v3-trampoline" => Ok(AttackKind::V3 {
+                staging: AttackKind::DEFAULT_STAGING,
+            }),
+            other => Err(format!(
+                "unknown attack kind `{other}` (v1|crash, v2|stealthy, v3|trampoline)"
+            )),
+        }
+    }
+}
+
 /// Errors when building an attack.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AttackError {

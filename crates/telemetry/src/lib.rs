@@ -23,11 +23,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::Write;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// A typed field value attached to an event.
@@ -307,24 +307,42 @@ impl Counters {
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.map.iter().map(|(k, v)| (*k, *v))
     }
+
+    /// Fold another counter set into this one (fleet campaigns aggregate
+    /// per-board counters into one report).
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
 }
 
 /// Internal object-safe union of `Recorder` and `Any`, so [`Telemetry`] can
 /// both dispatch events and hand the concrete sink back out via
 /// [`Telemetry::with_recorder`].
-trait AnyRecorder: Recorder {
+trait AnyRecorder: Recorder + Send {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 
-impl<R: Recorder + 'static> AnyRecorder for R {
+impl<R: Recorder + Send + 'static> AnyRecorder for R {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
 }
 
 struct Bus {
-    recorder: RefCell<Box<dyn AnyRecorder>>,
-    next_seq: std::cell::Cell<u64>,
+    recorder: Mutex<Box<dyn AnyRecorder>>,
+    next_seq: AtomicU64,
+}
+
+impl Bus {
+    /// Lock the recorder, shrugging off poisoning: a sink that panicked on
+    /// one worker thread must not take the rest of a fleet campaign down.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Box<dyn AnyRecorder>> {
+        self.recorder
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
 }
 
 /// The cloneable handle every instrumented component holds.
@@ -332,10 +350,12 @@ struct Bus {
 /// `Telemetry::off()` (also `Default`) is the null handle: emitting through
 /// it is a single `Option` check and the field-building closure never runs.
 /// Clones share the underlying recorder, so a board, its master, and its
-/// application machine all append to one stream.
+/// application machine all append to one stream. The handle is `Send +
+/// Sync` (the recorder sits behind a mutex), so a fleet campaign can carry
+/// per-board instrumented components across worker threads.
 #[derive(Clone, Default)]
 pub struct Telemetry {
-    bus: Option<Rc<Bus>>,
+    bus: Option<Arc<Bus>>,
 }
 
 impl fmt::Debug for Telemetry {
@@ -354,11 +374,11 @@ impl Telemetry {
     }
 
     /// A handle backed by `recorder`.
-    pub fn new(recorder: impl Recorder + 'static) -> Self {
+    pub fn new(recorder: impl Recorder + Send + 'static) -> Self {
         Telemetry {
-            bus: Some(Rc::new(Bus {
-                recorder: RefCell::new(Box::new(recorder)),
-                next_seq: std::cell::Cell::new(0),
+            bus: Some(Arc::new(Bus {
+                recorder: Mutex::new(Box::new(recorder)),
+                next_seq: AtomicU64::new(0),
             })),
         }
     }
@@ -375,9 +395,8 @@ impl Telemetry {
         F: FnOnce() -> Vec<(&'static str, Value)>,
     {
         if let Some(bus) = &self.bus {
-            let seq = bus.next_seq.get();
-            bus.next_seq.set(seq + 1);
-            bus.recorder.borrow_mut().record(Event {
+            let seq = bus.next_seq.fetch_add(1, Ordering::Relaxed);
+            bus.lock().record(Event {
                 seq,
                 kind,
                 cycle,
@@ -390,7 +409,7 @@ impl Telemetry {
     pub fn events_emitted(&self) -> u64 {
         self.bus
             .as_ref()
-            .map(|b| b.recorder.borrow().events_emitted())
+            .map(|b| b.lock().events_emitted())
             .unwrap_or(0)
     }
 
@@ -402,7 +421,7 @@ impl Telemetry {
         f: impl FnOnce(&mut R) -> T,
     ) -> Option<T> {
         let bus = self.bus.as_ref()?;
-        let mut rec = bus.recorder.borrow_mut();
+        let mut rec = bus.lock();
         rec.as_any_mut().downcast_mut::<R>().map(f)
     }
 
@@ -573,5 +592,18 @@ mod tests {
         assert_eq!(c.get("uart.rx"), 5);
         assert_eq!(c.get("nope"), 0);
         assert_eq!(c.iter().count(), 1);
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = Counters::default();
+        a.add("x", 1);
+        let mut b = Counters::default();
+        b.add("x", 2);
+        b.add("y", 7);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 7);
+        assert_eq!(b.get("x"), 2, "merge leaves the source untouched");
     }
 }

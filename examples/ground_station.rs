@@ -8,6 +8,7 @@
 //! ```
 
 use mavr_repro::avr_sim::Machine;
+use mavr_repro::mavlink_lite::channel::LossyChannel;
 use mavr_repro::mavlink_lite::{msg, GroundStation};
 use mavr_repro::synth_firmware::{apps, build, layout, BuildOptions};
 
@@ -18,10 +19,14 @@ fn main() {
     uav.load_flash(0, &fw.image.bytes);
 
     let mut gcs = GroundStation::new();
+    // The radio link, modeled explicitly in both directions. Zero loss
+    // here — `mavr-cli fleet --loss` turns the same dials up.
+    let mut uplink = LossyChannel::perfect();
+    let mut downlink = LossyChannel::perfect();
 
     // Fly a bit and decode telemetry.
     uav.run(1_500_000);
-    gcs.ingest(&uav.uart0.take_tx());
+    gcs.ingest(&downlink.transmit(&uav.uart0.take_tx()));
     println!(
         "session established: {} packets ({} heartbeats), 0x{:02x} vehicle type",
         gcs.received.len(),
@@ -48,7 +53,8 @@ fn main() {
 
     // Tune a parameter, as an operator console would.
     println!("\nsending PARAM_SET RATE_RLL_P = 0.75");
-    uav.uart0.inject(&gcs.param_set(b"RATE_RLL_P", 0.75));
+    uav.uart0
+        .inject(&uplink.transmit(&gcs.param_set(b"RATE_RLL_P", 0.75)));
     uav.run(1_500_000);
     let v = f32::from_le_bytes([
         uav.peek_data(layout::PARAM_VALUE),
@@ -65,7 +71,7 @@ fn main() {
     let mut bad = gcs.param_set(b"EVIL", 9.9);
     let n = bad.len();
     bad[n - 1] ^= 0xff;
-    uav.uart0.inject(&bad);
+    uav.uart0.inject(&uplink.transmit(&bad));
     uav.run(1_500_000);
     println!(
         "corrupted frame: still {} PARAM_SETs handled, {} bad checksums counted by the UAV",
@@ -73,10 +79,16 @@ fn main() {
         uav.peek_data(layout::BAD_CRC_COUNT)
     );
 
-    gcs.ingest(&uav.uart0.take_tx());
+    gcs.ingest(&downlink.transmit(&uav.uart0.take_tx()));
     assert_eq!(v, 0.75);
     assert_eq!(uav.peek_data(layout::PARAM_SET_COUNT), 1);
     assert_eq!(uav.peek_data(layout::BAD_CRC_COUNT), 1);
     assert!(gcs.link_alive(20, 3));
-    println!("\nok: healthy MAVLink session");
+    // A perfect channel is transparent: every byte in, every byte out.
+    assert_eq!(downlink.stats.bytes_in, downlink.stats.bytes_out);
+    assert_eq!(uplink.stats.dropped + uplink.stats.corrupted, 0);
+    println!(
+        "\nok: healthy MAVLink session ({} bytes down, {} bytes up, zero impairments)",
+        downlink.stats.bytes_out, uplink.stats.bytes_out
+    );
 }

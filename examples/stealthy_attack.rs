@@ -7,6 +7,7 @@
 //! ```
 
 use mavr_repro::avr_sim::Machine;
+use mavr_repro::mavlink_lite::channel::LossyChannel;
 use mavr_repro::mavlink_lite::{msg, GroundStation};
 use mavr_repro::rop::attack::AttackContext;
 use mavr_repro::synth_firmware::{apps, build, layout, BuildOptions};
@@ -47,8 +48,14 @@ fn main() {
         payload.len(),
         layout::HANDLER_FRAME
     );
+    // The attack rides the same radio-link model as benign traffic — a
+    // perfect channel here; `mavr-cli fleet --loss` shows what per-byte
+    // impairment does to the exploit frame.
+    let mut uplink = LossyChannel::perfect();
+    let mut downlink = LossyChannel::perfect();
     let mut gcs = GroundStation::new();
-    uav.uart0.inject(&gcs.exploit_packet(&payload).unwrap());
+    uav.uart0
+        .inject(&uplink.transmit(&gcs.exploit_packet(&payload).unwrap()));
     tele.emit("attack.injected", Some(uav.cycles()), || {
         vec![("payload_bytes", Value::U64(payload.len() as u64))]
     });
@@ -72,7 +79,7 @@ fn main() {
 
     // The ground station's view: a perfectly healthy link, telemetry now
     // carrying the attacker's sensor values.
-    gcs.ingest(&uav.uart0.take_tx());
+    gcs.ingest(&downlink.transmit(&uav.uart0.take_tx()));
     println!(
         "  ground station: {} heartbeats, {} checksum errors, link alive: {}",
         gcs.heartbeats.len(),

@@ -12,7 +12,8 @@
 //! * [`synth_firmware`] — synthetic autopilot firmware generator,
 //! * [`rop`] — gadget scanner and the paper's stealthy attacks,
 //! * [`mavr`] — the fine-grained randomization defense,
-//! * [`mavr_board`] — the dual-processor MAVR hardware platform simulation.
+//! * [`mavr_board`] — the dual-processor MAVR hardware platform simulation,
+//! * [`mavr_fleet`] — the many-board campaign engine over lossy links.
 
 pub use avr_asm;
 pub use avr_core;
@@ -21,6 +22,7 @@ pub use hexfile;
 pub use mavlink_lite;
 pub use mavr;
 pub use mavr_board;
+pub use mavr_fleet;
 pub use rop;
 pub use synth_firmware;
 pub use telemetry;

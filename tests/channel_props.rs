@@ -1,0 +1,110 @@
+//! Property tests: the MAVLink [`Parser`] against the lossy-channel model.
+//!
+//! Differential setup: the same frame stream goes through a lossless
+//! channel (the reference — every frame must parse) and through an
+//! arbitrarily impaired [`LossyChannel`]. Whatever the impairments, the
+//! parser must never fabricate a packet the sender did not frame, and it
+//! must resynchronize: clean traffic appended after the lossy burst parses
+//! completely.
+
+use mavr_repro::mavlink_lite::channel::{LossConfig, LossyChannel};
+use mavr_repro::mavlink_lite::{Packet, Parser};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Distinct, recognizable frames: payload bytes echo the sequence number.
+fn frames(n: u8, payload_len: usize) -> Vec<Packet> {
+    (0..n)
+        .map(|i| Packet::new(i, 1, 1, 0, vec![i; payload_len]).expect("fits"))
+        .collect()
+}
+
+fn encode_all(packets: &[Packet]) -> Vec<u8> {
+    packets.iter().flat_map(Packet::encode).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parser_never_fabricates_and_resyncs_after_impairments(
+        n in 4u8..40,
+        payload_len in 1usize..32,
+        drop in 0.0f64..0.08,
+        corrupt in 0.0f64..0.08,
+        duplicate in 0.0f64..0.08,
+        delay in 0.0f64..0.08,
+        max_delay in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let sent = frames(n, payload_len);
+        let wire = encode_all(&sent);
+
+        // Reference: the lossless channel is transparent, so the parser
+        // accepts exactly the sent frames.
+        let mut perfect = LossyChannel::perfect();
+        let mut reference = Parser::new();
+        let ref_got = reference.push_all(&perfect.transmit(&wire));
+        prop_assert_eq!(perfect.flush(), vec![]);
+        prop_assert_eq!(&ref_got, &sent, "lossless differential baseline broke");
+
+        // Impaired path.
+        let mut ch = LossyChannel::new(LossConfig {
+            drop, corrupt, duplicate, delay, max_delay, seed,
+        });
+        let mut lossy = ch.transmit(&wire);
+        lossy.extend(ch.flush());
+        let mut parser = Parser::new();
+        let got = parser.push_all(&lossy);
+
+        // No fabrication: every surviving packet is byte-identical to one
+        // the sender framed (the x25 checksum rejects mangled frames).
+        let sent_encodings: HashSet<Vec<u8>> = sent.iter().map(Packet::encode).collect();
+        for p in &got {
+            prop_assert!(
+                sent_encodings.contains(&p.encode()),
+                "parser fabricated a packet: {p:?}"
+            );
+        }
+        prop_assert!(got.len() <= sent.len(), "more packets out than in");
+
+        // Resynchronization: after a quiet gap long enough to starve any
+        // half-open bogus frame (max payload + header + CRC), fresh clean
+        // frames all parse.
+        let tail = frames(n, payload_len);
+        let mut stream = vec![0u8; 263];
+        stream.extend(encode_all(&tail));
+        let after = parser.push_all(&stream);
+        prop_assert_eq!(&after, &tail, "parser failed to resynchronize");
+    }
+
+    #[test]
+    fn channel_determinism_is_chunking_invariant(
+        n in 2u8..20,
+        p in 0.0f64..0.1,
+        delay in 0.0f64..0.1,
+        seed in any::<u64>(),
+        cut in 1usize..64,
+    ) {
+        let wire = encode_all(&frames(n, 9));
+        let cfg = LossConfig {
+            drop: p, corrupt: p, duplicate: p, delay,
+            max_delay: 11, seed,
+        };
+        let whole = {
+            let mut ch = LossyChannel::new(cfg);
+            let mut out = ch.transmit(&wire);
+            out.extend(ch.flush());
+            out
+        };
+        let split = {
+            let mut ch = LossyChannel::new(cfg);
+            let cut = cut.min(wire.len());
+            let mut out = ch.transmit(&wire[..cut]);
+            out.extend(ch.transmit(&wire[cut..]));
+            out.extend(ch.flush());
+            out
+        };
+        prop_assert_eq!(whole, split, "chunk boundary changed the stream");
+    }
+}
