@@ -32,6 +32,9 @@ pub struct Eeprom {
     data: u8,
     /// Set by writing EEMPE; consumed by the next EEPE write.
     master_enable: bool,
+    /// Set whenever a byte of the array changes; cleared by the snapshot
+    /// layer after it captures a keyframe.
+    dirty: bool,
     /// Total program operations (EEPROM endurance is 100k cycles; tracked
     /// like the flash-wear ledger).
     pub writes: u64,
@@ -45,6 +48,7 @@ impl Eeprom {
             addr: 0,
             data: 0,
             master_enable: false,
+            dirty: true,
             writes: 0,
         }
     }
@@ -65,6 +69,7 @@ impl Eeprom {
                         if let Some(cell) = self.bytes.get_mut(self.addr as usize) {
                             *cell = self.data;
                             self.writes += 1;
+                            self.dirty = true;
                         }
                     }
                     self.master_enable = false;
@@ -97,8 +102,57 @@ impl Eeprom {
     pub fn poke(&mut self, addr: u16, v: u8) {
         if let Some(cell) = self.bytes.get_mut(addr as usize) {
             *cell = v;
+            self.dirty = true;
         }
     }
+
+    /// Whether the array has changed since [`Eeprom::clear_dirty`].
+    /// A fresh EEPROM starts dirty so the first keyframe captures it.
+    pub fn dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Mark the array clean; done by the snapshot layer after a keyframe.
+    pub fn clear_dirty(&mut self) {
+        self.dirty = false;
+    }
+
+    /// Snapshot of the array and the register state machine.
+    pub fn state(&self) -> EepromState {
+        EepromState {
+            bytes: self.bytes.clone(),
+            addr: self.addr,
+            data: self.data,
+            master_enable: self.master_enable,
+            writes: self.writes,
+        }
+    }
+
+    /// Replace the state with a snapshot taken by [`Eeprom::state`].
+    /// The restored array is considered dirty (the next delta captures it).
+    pub fn restore(&mut self, s: &EepromState) {
+        self.bytes = s.bytes.clone();
+        self.addr = s.addr;
+        self.data = s.data;
+        self.master_enable = s.master_enable;
+        self.writes = s.writes;
+        self.dirty = true;
+    }
+}
+
+/// Serializable snapshot of an [`Eeprom`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EepromState {
+    /// The persistent array.
+    pub bytes: Vec<u8>,
+    /// `EEAR` address register.
+    pub addr: u16,
+    /// `EEDR` data register.
+    pub data: u8,
+    /// Whether `EEMPE` arming is pending.
+    pub master_enable: bool,
+    /// Lifetime program operations.
+    pub writes: u64,
 }
 
 #[cfg(test)]

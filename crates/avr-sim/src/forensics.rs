@@ -67,6 +67,15 @@ pub struct CrashReport {
     /// Plausible return addresses found on the stack above SP, in pop
     /// order (nearest to SP first). `sp` holds the stack address scanned.
     pub stack_returns: Vec<Attributed>,
+    /// Where a pre-crash machine snapshot was written (a file path or other
+    /// locator), if the host saved one. Set by the caller after `capture`;
+    /// lets an operator reload the dying machine and single-step into the
+    /// fault instead of reading tea leaves from the trail.
+    pub snapshot_ref: Option<String>,
+    /// First cycle at which this execution diverged from a reference run
+    /// (the stock-vs-randomized bisect of the `snapshot` crate's replay
+    /// layer). Set by the caller when a divergence analysis was performed.
+    pub divergence_cycle: Option<u64>,
 }
 
 impl CrashReport {
@@ -137,6 +146,8 @@ impl CrashReport {
             sp,
             trail,
             stack_returns,
+            snapshot_ref: None,
+            divergence_cycle: None,
         }
     }
 
@@ -192,6 +203,12 @@ impl CrashReport {
         if !hits.is_empty() {
             let _ = writeln!(out, "  attacker code involved: {}", hits.join(", "));
         }
+        if let Some(c) = self.divergence_cycle {
+            let _ = writeln!(out, "  diverged from the reference run at cycle {c}");
+        }
+        if let Some(r) = &self.snapshot_ref {
+            let _ = writeln!(out, "  pre-crash snapshot: {r}");
+        }
         out
     }
 
@@ -239,6 +256,12 @@ impl CrashReport {
                 .collect::<Vec<_>>()
                 .join(",")
         );
+        if let Some(c) = self.divergence_cycle {
+            let _ = write!(out, ",\"divergence_cycle\":{c}");
+        }
+        if let Some(r) = &self.snapshot_ref {
+            let _ = write!(out, ",\"snapshot_ref\":\"{}\"", json_escape(r));
+        }
         out.push('}');
         out
     }

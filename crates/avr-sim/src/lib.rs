@@ -46,10 +46,10 @@ mod periph;
 pub mod profiler;
 pub mod timer;
 
-pub use eeprom::Eeprom;
+pub use eeprom::{Eeprom, EepromState};
 pub use fault::{Fault, RunExit};
 pub use forensics::CrashReport;
-pub use machine::{Machine, SimCounters, Trace, HEARTBEAT_BIT};
-pub use periph::{Heartbeat, Uart, Watchdog};
+pub use machine::{Machine, MachineState, SimCounters, Trace, DIRTY_PAGE_SIZE, HEARTBEAT_BIT};
+pub use periph::{Heartbeat, HeartbeatState, Uart, UartState, Watchdog, WatchdogState};
 pub use profiler::PcProfile;
-pub use timer::Timer0;
+pub use timer::{Timer0, Timer0State};

@@ -18,6 +18,9 @@ use crate::timer::{self, Timer0, TCCR0B_ADDR, TCNT0_ADDR, TIFR0_ADDR, TIMSK0_ADD
 /// PORTB bit used as the heartbeat signal to the MAVR master processor.
 pub const HEARTBEAT_BIT: u8 = 5;
 
+/// Granularity of the dirty-page tracking used by delta snapshots.
+pub const DIRTY_PAGE_SIZE: usize = 256;
+
 const SPL_DATA: u16 = io::to_data_address(io::SPL);
 const SPH_DATA: u16 = io::to_data_address(io::SPH);
 const SREG_DATA: u16 = io::to_data_address(io::SREG);
@@ -126,6 +129,13 @@ pub struct Machine {
     /// Whether the predecode cache (and the fast run loop that depends on
     /// it) is enabled. On by default; see [`Machine::set_predecode`].
     predecode: bool,
+    /// Dirty bitmap over 256-byte data-space pages (bit n = page n). Pages
+    /// 0 and 1 — registers, I/O, and the first SRAM bytes — are *always*
+    /// reported dirty so the per-instruction register/SREG/SP writes need
+    /// no bookkeeping; only SRAM-bound store paths mark.
+    dirty_data: u64,
+    /// Dirty bitmap over 256-byte flash pages, 64 pages per word.
+    dirty_flash: Vec<u64>,
 }
 
 /// Snapshot of the machine's activity counters (see [`Machine::counters`]).
@@ -169,6 +179,15 @@ impl Machine {
             profile: None,
             icache: Vec::new(),
             predecode: true,
+            // A fresh machine is all-dirty: the first keyframe must capture
+            // everything.
+            dirty_data: !0,
+            dirty_flash: vec![
+                !0;
+                (device.flash_bytes as usize)
+                    .div_ceil(DIRTY_PAGE_SIZE)
+                    .div_ceil(64)
+            ],
         };
         m.set_sp(device.ramend());
         m
@@ -192,6 +211,7 @@ impl Machine {
     pub fn load_flash(&mut self, addr: u32, bytes: &[u8]) {
         let a = addr as usize;
         self.flash[a..a + bytes.len()].copy_from_slice(bytes);
+        self.mark_flash_dirty(a, bytes.len());
         if !self.icache.is_empty() {
             predecode_patch(&mut self.icache, &self.flash, a, bytes.len());
         }
@@ -206,6 +226,7 @@ impl Machine {
     /// Erase all of flash to `0xff`.
     pub fn erase_flash(&mut self) {
         self.flash.fill(0xff);
+        self.dirty_flash.fill(!0);
         if !self.icache.is_empty() {
             // Every erased word decodes identically (0xffff is reserved),
             // so a single repeated entry refreshes the whole cache.
@@ -317,6 +338,14 @@ impl Machine {
         self.fault
     }
 
+    /// Whether the one-instruction interrupt suppression window (after an
+    /// SREG write or `reti`) is pending. Part of the architectural state a
+    /// snapshot must carry: dropping it would let a restored machine take
+    /// an interrupt one instruction early.
+    pub fn irq_delay_pending(&self) -> bool {
+        self.irq_delay
+    }
+
     // ---- data space ----
 
     /// Read a data-space byte (with I/O side effects, e.g. reading `UDR0`
@@ -365,6 +394,7 @@ impl Machine {
             _ => {
                 if (addr as usize) < self.data.len() {
                     self.data[addr as usize] = v;
+                    self.mark_data_dirty(addr);
                 }
             }
         }
@@ -374,11 +404,71 @@ impl Machine {
     pub fn poke_data(&mut self, addr: u16, v: u8) {
         if (addr as usize) < self.data.len() {
             self.data[addr as usize] = v;
+            self.mark_data_dirty(addr);
         }
     }
 
     fn data_in_bounds(&self, addr: u16) -> bool {
         (addr as usize) < self.data.len()
+    }
+
+    // ---- dirty-page tracking (for delta snapshots) ----
+
+    /// Mark the data page holding `addr` dirty. Pages 0–1 never need it
+    /// (they are unconditionally dirty), but marking them is harmless.
+    #[inline]
+    fn mark_data_dirty(&mut self, addr: u16) {
+        let page = addr as usize / DIRTY_PAGE_SIZE;
+        if page < 64 {
+            self.dirty_data |= 1 << page;
+        }
+    }
+
+    /// Mark every flash page overlapping `[addr, addr + len)` dirty.
+    fn mark_flash_dirty(&mut self, addr: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = addr / DIRTY_PAGE_SIZE;
+        let last = (addr + len - 1) / DIRTY_PAGE_SIZE;
+        for p in first..=last {
+            self.dirty_flash[p / 64] |= 1 << (p % 64);
+        }
+    }
+
+    /// Indices of data-space pages touched since [`clear_dirty`], oldest
+    /// page first. The register/I/O pages (0 and 1) are always included:
+    /// they change on virtually every instruction and tracking them would
+    /// put bookkeeping on the hot path for nothing.
+    ///
+    /// [`clear_dirty`]: Machine::clear_dirty
+    pub fn dirty_data_pages(&self) -> Vec<usize> {
+        let pages = self.data.len().div_ceil(DIRTY_PAGE_SIZE);
+        (0..pages)
+            .filter(|&p| p < 2 || self.dirty_data & (1 << p) != 0)
+            .collect()
+    }
+
+    /// Indices of flash pages touched since [`clear_dirty`].
+    ///
+    /// [`clear_dirty`]: Machine::clear_dirty
+    pub fn dirty_flash_pages(&self) -> Vec<usize> {
+        let pages = self.flash.len().div_ceil(DIRTY_PAGE_SIZE);
+        (0..pages)
+            .filter(|&p| self.dirty_flash[p / 64] & (1 << (p % 64)) != 0)
+            .collect()
+    }
+
+    /// Reset the dirty tracking — done by the snapshot layer right after it
+    /// captures a keyframe, so subsequent deltas cover exactly the pages
+    /// touched since. Pages 0–1 of the data space stay permanently dirty
+    /// (see [`dirty_data_pages`]); the EEPROM flag clears too.
+    ///
+    /// [`dirty_data_pages`]: Machine::dirty_data_pages
+    pub fn clear_dirty(&mut self) {
+        self.dirty_data = 0b11;
+        self.dirty_flash.fill(0);
+        self.eeprom.clear_dirty();
     }
 
     // ---- breakpoints ----
@@ -401,6 +491,7 @@ impl Machine {
             return Err(Fault::StackOutOfBounds { sp });
         }
         self.data[sp as usize] = v;
+        self.mark_data_dirty(sp);
         self.set_sp(sp.wrapping_sub(1));
         Ok(())
     }
@@ -1024,6 +1115,111 @@ impl Machine {
             eeprom_writes: self.eeprom.writes,
         }
     }
+
+    // ---- snapshot / restore ----
+
+    /// Capture the complete architectural state of the machine: memories,
+    /// CPU registers (which live in the data space), and every peripheral.
+    ///
+    /// Host-side observability — breakpoints, trace ring, profiler,
+    /// telemetry handle, and the predecode cache — is deliberately *not*
+    /// part of the state: it does not influence execution (the differential
+    /// tests prove the cache is a pure memoization), so two machines that
+    /// compare equal here produce identical futures.
+    pub fn capture_state(&self) -> MachineState {
+        MachineState {
+            flash: self.flash.clone(),
+            data: self.data.clone(),
+            eeprom: self.eeprom.state(),
+            pc: self.pc,
+            cycles: self.cycles,
+            fault: self.fault,
+            irq_delay: self.irq_delay,
+            uart0: self.uart0.state(),
+            heartbeat: self.heartbeat.state(),
+            watchdog: self.watchdog.state(),
+            timer0: self.timer0.state(),
+            insns_retired: self.insns_retired,
+            interrupts_taken: self.interrupts_taken,
+        }
+    }
+
+    /// Replace the architectural state with a snapshot taken by
+    /// [`Machine::capture_state`].
+    ///
+    /// The predecode cache is dropped (it memoizes the *old* flash) and
+    /// rebuilt lazily by the next fast run, so restoring is equally correct
+    /// under `set_predecode(true)` and `(false)`. Everything becomes dirty:
+    /// the next delta snapshot after a restore is a full capture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's memory sizes do not match this device.
+    pub fn restore_state(&mut self, s: &MachineState) {
+        assert_eq!(
+            s.flash.len(),
+            self.flash.len(),
+            "snapshot flash size does not match device"
+        );
+        assert_eq!(
+            s.data.len(),
+            self.data.len(),
+            "snapshot data-space size does not match device"
+        );
+        self.flash.copy_from_slice(&s.flash);
+        self.data.copy_from_slice(&s.data);
+        self.eeprom.restore(&s.eeprom);
+        self.pc = s.pc;
+        self.cycles = s.cycles;
+        self.fault = s.fault;
+        self.irq_delay = s.irq_delay;
+        self.uart0.restore(&s.uart0);
+        self.heartbeat.restore(&s.heartbeat);
+        self.watchdog.restore(&s.watchdog);
+        self.timer0.restore(&s.timer0);
+        self.insns_retired = s.insns_retired;
+        self.interrupts_taken = s.interrupts_taken;
+        self.icache = Vec::new();
+        self.dirty_data = !0;
+        self.dirty_flash.fill(!0);
+    }
+}
+
+/// Serializable snapshot of a [`Machine`]'s complete architectural state.
+///
+/// Produced by [`Machine::capture_state`], consumed by
+/// [`Machine::restore_state`]; the `snapshot` crate gives it a versioned,
+/// CRC-guarded wire format. Two machines restored from equal states run
+/// lockstep-identically forever (the snapshot proptests assert this
+/// through IRQs, watchdog resets and reflashes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineState {
+    /// Program flash image.
+    pub flash: Vec<u8>,
+    /// The linear data space: registers, I/O, SRAM.
+    pub data: Vec<u8>,
+    /// EEPROM array and register state machine.
+    pub eeprom: crate::eeprom::EepromState,
+    /// Program counter, in words.
+    pub pc: u32,
+    /// Elapsed CPU cycles.
+    pub cycles: u64,
+    /// Sticky fault, if crashed.
+    pub fault: Option<Fault>,
+    /// One-instruction interrupt suppression pending (SREG write / reti).
+    pub irq_delay: bool,
+    /// USART0 buffers and counters.
+    pub uart0: crate::periph::UartState,
+    /// Heartbeat toggle history.
+    pub heartbeat: crate::periph::HeartbeatState,
+    /// Watchdog configuration.
+    pub watchdog: crate::periph::WatchdogState,
+    /// Timer/Counter0 registers.
+    pub timer0: crate::timer::Timer0State,
+    /// Instructions retired.
+    pub insns_retired: u64,
+    /// Interrupts vectored.
+    pub interrupts_taken: u64,
 }
 
 #[cfg(test)]

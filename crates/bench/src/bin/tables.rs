@@ -15,7 +15,9 @@
 //! and off and rewrites `BENCH_simulator.json` at the repo root, so it is
 //! not part of the default `all` run. Likewise `bench-fleet` (or
 //! `bench-fleet-quick`) times the campaign engine at 1/8/32 boards and
-//! rewrites `BENCH_fleet.json`.
+//! rewrites `BENCH_fleet.json`, and `bench-snapshot` (or
+//! `bench-snapshot-quick`) times full vs dirty-page-delta machine
+//! snapshots and rewrites `BENCH_snapshot.json`.
 
 use mavr_bench as exp;
 use synth_firmware::{apps, build, BuildOptions};
@@ -210,6 +212,29 @@ fn main() {
         }
         let path = "BENCH_fleet.json";
         std::fs::write(path, t.to_json()).expect("write BENCH_fleet.json");
+        println!("  wrote {path}\n");
+    }
+
+    // Explicitly requested only (writes a file; excluded from `all`).
+    if args
+        .iter()
+        .any(|a| a == "bench-snapshot" || a == "bench-snapshot-quick")
+    {
+        let quick = args.iter().any(|a| a == "bench-snapshot-quick");
+        println!("== Snapshot cost (full vs dirty-page delta) ==");
+        let t = exp::snapshot_cost(quick);
+        println!(
+            "  full  : {:>8} bytes, {:>8.1} us\n  delta : {:>8} bytes, {:>8.1} us  ({} cycles after keyframe)\n  ratio : {:.1}x smaller, {:.1}x faster",
+            t.full_bytes,
+            t.full_encode_us,
+            t.delta_bytes,
+            t.delta_encode_us,
+            t.delta_gap_cycles,
+            t.bytes_ratio(),
+            t.time_ratio()
+        );
+        let path = "BENCH_snapshot.json";
+        std::fs::write(path, t.to_json()).expect("write BENCH_snapshot.json");
         println!("  wrote {path}\n");
     }
 

@@ -462,6 +462,110 @@ pub fn fleet_throughput(quick: bool) -> FleetThroughput {
     }
 }
 
+/// Measured cost of persisting machine state as a full snapshot vs a
+/// dirty-page delta against a recent keyframe. See [`snapshot_cost`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotCost {
+    /// Median size of a full snapshot blob, bytes.
+    pub full_bytes: usize,
+    /// Median size of a delta blob taken `delta_gap_cycles` after its
+    /// keyframe, bytes.
+    pub delta_bytes: usize,
+    /// Median wall-clock cost of a full snapshot (state capture + encode),
+    /// microseconds.
+    pub full_encode_us: f64,
+    /// Median wall-clock cost of a delta encode, microseconds.
+    pub delta_encode_us: f64,
+    /// Cycles run between keyframe and delta.
+    pub delta_gap_cycles: u64,
+    /// Samples the medians were taken over.
+    pub samples: usize,
+}
+
+impl SnapshotCost {
+    /// `full_bytes / delta_bytes` — the size factor deltas buy.
+    pub fn bytes_ratio(&self) -> f64 {
+        self.full_bytes as f64 / self.delta_bytes as f64
+    }
+
+    /// `full_encode_us / delta_encode_us` — the time factor deltas buy.
+    pub fn time_ratio(&self) -> f64 {
+        self.full_encode_us / self.delta_encode_us
+    }
+
+    /// The `BENCH_snapshot.json` payload (hand-rolled; the workspace has no
+    /// JSON dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"snapshot_cost/tiny_firmware\",\n  \"samples\": {},\n  \"delta_gap_cycles\": {},\n  \"full_bytes\": {},\n  \"delta_bytes\": {},\n  \"full_encode_us\": {:.1},\n  \"delta_encode_us\": {:.1},\n  \"bytes_ratio\": {:.1},\n  \"time_ratio\": {:.1}\n}}\n",
+            self.samples,
+            self.delta_gap_cycles,
+            self.full_bytes,
+            self.delta_bytes,
+            self.full_encode_us,
+            self.delta_encode_us,
+            self.bytes_ratio(),
+            self.time_ratio()
+        )
+    }
+}
+
+/// Measure full-vs-delta snapshot cost on a flying tiny firmware: per
+/// sample, take a keyframe, fly `10_000` more cycles, then time (a) a full
+/// snapshot — state capture plus wire encode — and (b) a dirty-page delta
+/// encode against the keyframe. Every delta is verified to reconstruct the
+/// full state bit-for-bit before its timing counts. `quick` = fewer
+/// samples, for CI smoke.
+pub fn snapshot_cost(quick: bool) -> SnapshotCost {
+    use mavr_snapshot::{apply_machine_delta, encode_machine, encode_machine_delta};
+    const GAP: u64 = 10_000;
+    let samples = if quick { 5 } else { 25 };
+    let fw = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).expect("build");
+    let mut m = avr_sim::Machine::new_atmega2560();
+    m.load_flash(0, &fw.image.bytes);
+    m.run(300_000);
+    assert!(m.fault().is_none(), "bench firmware crashed");
+
+    let mut full_sizes = Vec::with_capacity(samples);
+    let mut delta_sizes = Vec::with_capacity(samples);
+    let mut full_times = Vec::with_capacity(samples);
+    let mut delta_times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let keyframe = m.capture_state();
+        m.clear_dirty();
+        m.run(GAP);
+        let t0 = std::time::Instant::now();
+        let full = encode_machine(&m.capture_state());
+        full_times.push(t0.elapsed().as_secs_f64() * 1e6);
+        let t0 = std::time::Instant::now();
+        let delta = encode_machine_delta(&m, keyframe.cycles);
+        delta_times.push(t0.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(
+            apply_machine_delta(&keyframe, &delta).expect("delta applies"),
+            m.capture_state(),
+            "delta must reconstruct the full state"
+        );
+        full_sizes.push(full.len());
+        delta_sizes.push(delta.len());
+    }
+    let median_usize = |v: &mut Vec<usize>| {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    let median_f64 = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    SnapshotCost {
+        full_bytes: median_usize(&mut full_sizes),
+        delta_bytes: median_usize(&mut delta_sizes),
+        full_encode_us: median_f64(&mut full_times),
+        delta_encode_us: median_f64(&mut delta_times),
+        delta_gap_cycles: GAP,
+        samples,
+    }
+}
+
 /// **Fig. 2** — encode a minimum packet and describe its structure.
 pub fn fig2() -> String {
     let mut gcs = GroundStation::new();

@@ -65,6 +65,11 @@ const VALUED: &[&str] = &[
     "--threads",
     "--capacity",
     "--warmup",
+    "--restore",
+    "--digest",
+    "--interval",
+    "--checkpoint",
+    "--max-jobs",
 ];
 
 /// Split raw arguments into positionals, options and flags.
@@ -636,14 +641,202 @@ pub fn cmd_trace(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Deterministic one-line JSON digest of a machine's full state — two
+/// machines produce the same digest iff they are architecturally identical
+/// (SRAM and flash are folded through CRC-32).
+fn state_digest(m: &avr_sim::Machine) -> String {
+    let state = m.capture_state();
+    format!(
+        "{{\"pc\":{},\"cycles\":{},\"insns_retired\":{},\"interrupts_taken\":{},\
+         \"fault\":\"{:?}\",\"sram_crc\":{},\"flash_crc\":{},\"heartbeat_toggles\":{}}}\n",
+        u64::from(state.pc) * 2,
+        state.cycles,
+        state.insns_retired,
+        state.interrupts_taken,
+        state.fault,
+        mavr_snapshot::crc32(&state.data),
+        mavr_snapshot::crc32(&state.flash),
+        state.heartbeat.toggles.len(),
+    )
+}
+
+/// `mavr snapshot <file> [--cycles N] [--restore SNAP] [-o SNAP]
+/// [--digest FILE]`
+///
+/// Run an image on the simulator up to an absolute cycle target
+/// (`--cycles`, default 2,000,000), optionally resuming from a snapshot
+/// written by an earlier invocation (`--restore`). `-o` writes the final
+/// machine state as a CRC-guarded snapshot blob; `--digest` writes a
+/// deterministic state digest. Because `--cycles` is an absolute target,
+/// splitting a run across a save/restore pair produces the same digest as
+/// running uninterrupted.
+pub fn cmd_snapshot(args: &Args) -> Result<String, CliError> {
+    use mavr_snapshot::{decode_machine, encode_machine};
+
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Usage("snapshot needs an image file".into()))?;
+    let img = load_image(path)?;
+    let target = u64::from(parse_num(args.options.get("--cycles"), 2_000_000)?);
+    let mut m = avr_sim::Machine::new_atmega2560();
+    m.load_flash(0, &img.bytes);
+    let resumed = if let Some(snap) = args.options.get("--restore") {
+        let blob = std::fs::read(snap).map_err(fail)?;
+        let state = decode_machine(&blob).map_err(fail)?;
+        m.restore_state(&state);
+        true
+    } else {
+        false
+    };
+    let exit = m.run(target.saturating_sub(m.cycles()));
+    let mut out = format!(
+        "{} to cycle {target}: {exit:?} at cycle {}, pc {:#06x}, {} heartbeat toggles\n",
+        if resumed { "resumed" } else { "ran" },
+        m.cycles(),
+        m.pc_bytes(),
+        m.heartbeat.toggles().len(),
+    );
+    if let Some(dst) = args.options.get("-o").or(args.options.get("--out")) {
+        let blob = encode_machine(&m.capture_state());
+        std::fs::write(dst, &blob).map_err(fail)?;
+        out.push_str(&format!(
+            "wrote machine snapshot to {dst} ({} bytes)\n",
+            blob.len()
+        ));
+    }
+    if let Some(dst) = args.options.get("--digest") {
+        std::fs::write(dst, state_digest(&m)).map_err(fail)?;
+        out.push_str(&format!("wrote state digest to {dst}\n"));
+    }
+    Ok(out)
+}
+
+/// `mavr replay [--seed N] [--cycles N] [--interval N] [-o SNAP]`
+///
+/// The paper's §V question, answered by time travel: fly the V2 stealthy
+/// exploit (built against the published stock layout) into both a stock
+/// build and a MAVR-randomized variant of it, record keyframe timelines of
+/// both runs, and bisect to the exact first cycle where the randomized
+/// execution departs from the stock one — the moment the attacker's
+/// hard-coded gadget addresses stopped matching reality. Prints the
+/// divergence, then the randomized machine's post-mortem crash report with
+/// the divergence cycle attached; `-o` also writes the last keyframe
+/// before the divergence as a reloadable snapshot.
+pub fn cmd_replay(args: &Args) -> Result<String, CliError> {
+    use mavr_snapshot::{bisect_divergence, Timeline};
+
+    let seed = u64::from(parse_num(args.options.get("--seed"), 0x2015)?);
+    let cycles = u64::from(parse_num(args.options.get("--cycles"), 4_000_000)?);
+    let interval = u64::from(parse_num(args.options.get("--interval"), 250_000)?);
+
+    let fw = synth_firmware::build(&apps::tiny_test_app(), &BuildOptions::vulnerable_mavr())
+        .map_err(fail)?;
+    let mut rng = mavr::seeded_rng(seed);
+    let r =
+        mavr::randomize(&fw.image, &mut rng, &mavr::RandomizeOptions::default()).map_err(fail)?;
+
+    // The exploit an attacker holding the published image would send:
+    // gadget addresses from the STOCK layout.
+    let ctx = rop::attack::AttackContext::discover(&fw.image).map_err(fail)?;
+    let target = synth_firmware::layout::GYRO + 3;
+    let payload = ctx
+        .v2_payload(&[(target, [0xde, 0xad, 0x42])])
+        .map_err(fail)?;
+    let mut gcs = mavlink_lite::GroundStation::new();
+    let wire = gcs.exploit_packet(&payload).map_err(fail)?;
+
+    // Identical flight plans for both layouts: warm up, inject the same
+    // wire bytes (with a keyframe marking the injection so it replays),
+    // fly on.
+    let fly = |bytes: &[u8]| {
+        let mut m = avr_sim::Machine::new_atmega2560();
+        m.load_flash(0, bytes);
+        let mut tl = Timeline::new(interval);
+        tl.record(&mut m, 300_000);
+        m.uart0.inject(&wire);
+        tl.mark(&mut m);
+        tl.record(&mut m, cycles);
+        (m, tl)
+    };
+    let (mut stock_m, mut stock_tl) = fly(&fw.image.bytes);
+    let (mut rand_m, mut rand_tl) = fly(&r.image.bytes);
+
+    let mut out = format!(
+        "stock:      {} keyframes, final cycle {}, fault {:?}\n\
+         randomized: {} keyframes, final cycle {}, fault {:?}\n",
+        stock_tl.keyframes().len(),
+        stock_m.cycles(),
+        stock_m.fault(),
+        rand_tl.keyframes().len(),
+        rand_m.cycles(),
+        rand_m.fault(),
+    );
+
+    let Some(d) = bisect_divergence(
+        &mut stock_tl,
+        &mut stock_m,
+        &fw.image,
+        &mut rand_tl,
+        &mut rand_m,
+        &r.image,
+    ) else {
+        out.push_str("no divergence: both layouts executed equivalently\n");
+        return Ok(out);
+    };
+    let name_at = |img: &FirmwareImage, pc: u32| match img.symbol_containing(pc) {
+        Some(s) => format!("{}+{:#x}", s.name, pc - s.addr),
+        None => "?".into(),
+    };
+    out.push_str(&format!(
+        "first divergence at cycle {}\n  stock      pc {:#06x} in {}\n  randomized pc {:#06x} in {}\n",
+        d.cycle,
+        d.stock_pc,
+        name_at(&fw.image, d.stock_pc),
+        d.randomized_pc,
+        name_at(&r.image, d.randomized_pc),
+    ));
+
+    // Fly the randomized machine on from the divergence point and
+    // post-mortem it with the divergence evidence attached.
+    let _ = rand_m.run(cycles);
+    let mut report = avr_sim::CrashReport::capture(&rand_m, Some(&r.image), &ctx.annotations());
+    report.divergence_cycle = Some(d.cycle);
+    if let Some(dst) = args.options.get("-o").or(args.options.get("--out")) {
+        if let Some(kf) = rand_tl
+            .keyframes()
+            .iter()
+            .rev()
+            .find(|k| k.cycles <= d.cycle)
+        {
+            let blob = mavr_snapshot::encode_machine(kf);
+            std::fs::write(dst, &blob).map_err(fail)?;
+            report.snapshot_ref = Some(dst.clone());
+            out.push_str(&format!(
+                "wrote pre-divergence snapshot (cycle {}) to {dst} ({} bytes)\n",
+                kf.cycles,
+                blob.len()
+            ));
+        }
+    }
+    out.push('\n');
+    out.push_str(&report.narrative());
+    Ok(out)
+}
+
 /// `mavr fleet [app] [--boards N] [--scenario LIST|all] [--loss L1,L2,..]
 /// [--seed N] [--warmup N] [--cycles N] [--threads N] [--capacity N]
-/// [--json | --jsonl] [-o FILE]`
+/// [--checkpoint FILE] [--max-jobs N] [--json | --jsonl] [-o FILE]`
 ///
 /// Run a many-UAV campaign: `scenarios × loss levels × boards` independent
 /// boards over deterministic lossy links, aggregated into a
 /// `CampaignReport`. The same arguments always produce byte-identical
 /// `--json` output, regardless of `--threads`.
+///
+/// With `--checkpoint FILE`, completed jobs are persisted to `FILE` and a
+/// rerun with the same arguments resumes where the last run stopped
+/// (`--max-jobs` caps how many jobs one invocation flies); the stitched
+/// report is byte-identical to an uninterrupted run's.
 pub fn cmd_fleet(args: &Args) -> Result<String, CliError> {
     use mavr_fleet::{parse_scenarios, run_campaign, CampaignConfig};
 
@@ -698,7 +891,38 @@ pub fn cmd_fleet(args: &Args) -> Result<String, CliError> {
         return Err(CliError::Usage("--boards must be at least 1".into()));
     }
 
-    let report = run_campaign(&cfg);
+    let report = if let Some(ckpt_path) = args.options.get("--checkpoint") {
+        use mavr_fleet::{run_campaign_resume, Checkpoint};
+        let mut ckpt = match std::fs::read(ckpt_path) {
+            Ok(blob) => Checkpoint::from_bytes(&blob).map_err(fail)?,
+            Err(_) => Checkpoint::new(&cfg),
+        };
+        let budget = args
+            .options
+            .get("--max-jobs")
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| CliError::Usage("bad --max-jobs".into()))
+            })
+            .transpose()?;
+        let done_before = ckpt.outcomes.len();
+        let result = run_campaign_resume(&cfg, &mut ckpt, budget).map_err(CliError::Failed)?;
+        std::fs::write(ckpt_path, ckpt.to_bytes()).map_err(fail)?;
+        match result {
+            Some(report) => report,
+            None => {
+                let total = cfg.scenarios.len() * cfg.loss_levels.len() * cfg.boards;
+                return Ok(format!(
+                    "campaign checkpointed to {ckpt_path}: {}/{total} jobs done \
+                     (+{} this run); rerun with the same arguments to continue\n",
+                    ckpt.outcomes.len(),
+                    ckpt.outcomes.len() - done_before,
+                ));
+            }
+        }
+    } else {
+        run_campaign(&cfg)
+    };
     let rendered = if args.flags.contains("jsonl") {
         report.to_jsonl()
     } else if args.flags.contains("json") {
@@ -753,15 +977,50 @@ COMMANDS:
         Run a scenario with the flight recorder attached: dump the event
         stream as JSON lines, print a per-kind summary, and (for attacks)
         the post-mortem crash narrative with gadget attribution.
+  snapshot <file> [--cycles N] [--restore SNAP] [-o SNAP] [--digest FILE]
+        Run an image to an absolute cycle target, optionally resuming from
+        a saved snapshot; write the CRC-guarded machine snapshot (-o)
+        and/or a deterministic state digest (--digest). A save/restore
+        split reaches the same digest as an uninterrupted run.
+  replay [--seed N] [--cycles N] [--interval N] [-o SNAP]
+        Fly the V2 stealthy exploit against a stock build and a
+        MAVR-randomized variant, record keyframe timelines of both, and
+        bisect the exact first cycle where the randomized execution
+        departs from the stock one; prints the divergence and the
+        post-mortem crash report (-o writes the pre-divergence snapshot).
   fleet [app] [--boards N] [--scenario LIST|all] [--loss L1,L2,..] [--seed N]
         [--warmup N] [--cycles N] [--threads N] [--capacity N]
-        [--json | --jsonl] [-o FILE]
+        [--checkpoint FILE] [--max-jobs N] [--json | --jsonl] [-o FILE]
         Fly a many-UAV campaign over deterministic lossy links: every
         (scenario, loss, board) cell gets its own randomized board and
         link pair; prints the attack-success / recovery-rate table (or the
         full report as JSON). Identical arguments give byte-identical
-        JSON, whatever --threads is.
+        JSON, whatever --threads is. --checkpoint persists completed jobs
+        so an interrupted campaign resumes (budgeted by --max-jobs) to the
+        byte-identical report.
 ";
+
+/// A subcommand implementation: parsed arguments in, output text out.
+pub type CmdFn = fn(&Args) -> Result<String, CliError>;
+
+/// The dispatch table: every subcommand and its implementation, in help
+/// order. `HELP` is tested against this table so the usage text can never
+/// silently drift from what actually dispatches.
+pub const COMMANDS: &[(&str, CmdFn)] = &[
+    ("build", cmd_build),
+    ("assemble", cmd_assemble),
+    ("info", cmd_info),
+    ("randomize", cmd_randomize),
+    ("survivors", cmd_survivors),
+    ("scan", cmd_scan),
+    ("disasm", cmd_disasm),
+    ("simulate", cmd_simulate),
+    ("attack", cmd_attack),
+    ("trace", cmd_trace),
+    ("snapshot", cmd_snapshot),
+    ("replay", cmd_replay),
+    ("fleet", cmd_fleet),
+];
 
 /// Dispatch a command line (without the program name).
 pub fn run(raw: &[String]) -> Result<String, CliError> {
@@ -769,18 +1028,10 @@ pub fn run(raw: &[String]) -> Result<String, CliError> {
         return Ok(HELP.to_string());
     };
     let args = parse_args(rest)?;
+    if let Some((_, f)) = COMMANDS.iter().find(|(name, _)| *name == cmd.as_str()) {
+        return f(&args);
+    }
     match cmd.as_str() {
-        "build" => cmd_build(&args),
-        "assemble" => cmd_assemble(&args),
-        "info" => cmd_info(&args),
-        "randomize" => cmd_randomize(&args),
-        "survivors" => cmd_survivors(&args),
-        "scan" => cmd_scan(&args),
-        "disasm" => cmd_disasm(&args),
-        "simulate" => cmd_simulate(&args),
-        "attack" => cmd_attack(&args),
-        "trace" => cmd_trace(&args),
-        "fleet" => cmd_fleet(&args),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
@@ -943,6 +1194,115 @@ halt:
             run(&s(&["fleet", "--boards", "0"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn usage_text_names_every_subcommand() {
+        for (name, _) in COMMANDS {
+            assert!(
+                HELP.contains(&format!("\n  {name} ")),
+                "HELP does not document subcommand `{name}`"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_save_restore_matches_uninterrupted_digest() {
+        let container = tmp("snap.mavrhex");
+        run(&s(&["build", "tiny", "-o", &container])).unwrap();
+        let full = tmp("snap-full.json");
+        run(&s(&[
+            "snapshot", &container, "--cycles", "600000", "--digest", &full,
+        ]))
+        .unwrap();
+        let snap = tmp("snap-mid.bin");
+        run(&s(&[
+            "snapshot", &container, "--cycles", "300000", "-o", &snap,
+        ]))
+        .unwrap();
+        let resumed = tmp("snap-resumed.json");
+        let out = run(&s(&[
+            "snapshot",
+            &container,
+            "--restore",
+            &snap,
+            "--cycles",
+            "600000",
+            "--digest",
+            &resumed,
+        ]))
+        .unwrap();
+        assert!(out.contains("resumed to cycle 600000"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&full).unwrap(),
+            std::fs::read_to_string(&resumed).unwrap(),
+            "digest after save/restore differs from the uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn replay_bisects_v2_divergence() {
+        let snap = tmp("prediv.bin");
+        let out = run(&s(&[
+            "replay",
+            "--seed",
+            "7",
+            "--interval",
+            "200000",
+            "-o",
+            &snap,
+        ]))
+        .unwrap();
+        assert!(out.contains("first divergence at cycle"), "{out}");
+        assert!(
+            out.contains("diverged from the reference run at cycle"),
+            "{out}"
+        );
+        assert!(out.contains("pre-crash snapshot"), "{out}");
+        assert!(!std::fs::read(&snap).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fleet_checkpoint_resumes_to_identical_report() {
+        let ckpt = tmp("fleet-ckpt.bin");
+        let _ = std::fs::remove_file(&ckpt);
+        let common = [
+            "fleet",
+            "--boards",
+            "1",
+            "--scenario",
+            "benign,stealthy",
+            "--loss",
+            "0.05",
+            "--cycles",
+            "3000000",
+            "--threads",
+            "1",
+        ];
+        let direct = tmp("fleet-direct.json");
+        let mut a = common.to_vec();
+        a.extend(["-o", &direct]);
+        run(&s(&a)).unwrap();
+        // First budgeted leg: one of two jobs, then stop.
+        let mut a = common.to_vec();
+        a.extend(["--checkpoint", &ckpt, "--max-jobs", "1"]);
+        let out = run(&s(&a)).unwrap();
+        assert!(out.contains("1/2 jobs done"), "{out}");
+        // Second leg finishes and stitches the full report.
+        let resumed = tmp("fleet-resumed.json");
+        let mut a = common.to_vec();
+        a.extend(["--checkpoint", &ckpt, "-o", &resumed]);
+        let out = run(&s(&a)).unwrap();
+        assert!(out.contains("Fleet campaign"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&direct).unwrap(),
+            std::fs::read_to_string(&resumed).unwrap(),
+            "checkpointed campaign is not byte-identical to the direct run"
+        );
+        // A checkpoint from different arguments is refused.
+        let mut a = common.to_vec();
+        a.extend(["--seed", "9", "--checkpoint", &ckpt]);
+        assert!(matches!(run(&s(&a)), Err(CliError::Failed(_))));
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Campaign checkpoint/resume: kill a fleet campaign mid-flight, restart
+//! it later, and get the byte-identical [`CampaignReport`] the
+//! uninterrupted run would have produced.
+//!
+//! A campaign is a pure function of its [`CampaignConfig`], and every job
+//! (one board's full flight) is independent of every other, so the only
+//! state worth persisting is *which jobs already finished and what they
+//! observed*. A [`Checkpoint`] is exactly that: a fingerprint of the
+//! config (so a checkpoint can never silently resume a *different*
+//! campaign) plus the completed `job index → BoardOutcome` map, serialized
+//! through the `mavr-snapshot` wire format (CRC-guarded, versioned).
+//!
+//! Fleet-wide [`RouterTotals`] are *not* stored: they are a pure fold over
+//! the per-board outcomes ([`totals_from_outcomes`]), which is what makes
+//! resumed reports bit-identical to uninterrupted ones.
+//!
+//! [`CampaignReport`]: crate::CampaignReport
+//! [`CampaignConfig`]: crate::CampaignConfig
+
+use crate::report::BoardOutcome;
+use crate::scenario::Scenario;
+use crate::CampaignConfig;
+use mavlink_lite::channel::ChannelStats;
+use mavlink_lite::RouterTotals;
+use mavr_snapshot::{Kind, Reader, SnapshotError, Writer};
+use std::collections::BTreeMap;
+
+/// FNV-1a over the campaign identity: everything that changes the result,
+/// nothing that doesn't (`threads` and telemetry wiring are excluded).
+pub fn config_fingerprint(cfg: &CampaignConfig) -> u64 {
+    let losses: Vec<u64> = cfg.loss_levels.iter().map(|l| l.to_bits()).collect();
+    let scenarios: Vec<&str> = cfg.scenarios.iter().map(Scenario::name).collect();
+    let canonical = format!(
+        "seed={};boards={};scenarios={scenarios:?};loss_bits={losses:?};\
+         warmup={};attack={};gap={};gcs={};app={}",
+        cfg.seed,
+        cfg.boards,
+        cfg.warmup_cycles,
+        cfg.attack_cycles,
+        cfg.packet_gap_cycles,
+        cfg.gcs_capacity,
+        cfg.app.name,
+    );
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in canonical.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fleet-wide totals reconstructed from per-board outcomes — identical to
+/// what [`mavlink_lite::Router::totals`] reports after adopting every
+/// board's ground-station session (each outcome carries its session's
+/// lifetime counters).
+pub fn totals_from_outcomes(outcomes: &[BoardOutcome]) -> RouterTotals {
+    let mut t = RouterTotals {
+        links: outcomes.len(),
+        ..RouterTotals::default()
+    };
+    for o in outcomes {
+        t.packets += o.packets;
+        t.heartbeats += o.heartbeats;
+        t.bad_checksums += o.bad_checksums;
+        t.seq_gaps += o.seq_gaps;
+        t.packets_lost += o.packets_lost;
+    }
+    t
+}
+
+/// Persistent progress of a partially run campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// [`config_fingerprint`] of the campaign this progress belongs to.
+    pub fingerprint: u64,
+    /// Completed jobs: campaign job index → that board's outcome.
+    pub outcomes: BTreeMap<u64, BoardOutcome>,
+}
+
+impl Checkpoint {
+    /// An empty checkpoint for `cfg` (no jobs completed yet).
+    pub fn new(cfg: &CampaignConfig) -> Self {
+        Checkpoint {
+            fingerprint: config_fingerprint(cfg),
+            outcomes: BTreeMap::new(),
+        }
+    }
+
+    /// Whether this checkpoint belongs to `cfg`.
+    pub fn matches(&self, cfg: &CampaignConfig) -> bool {
+        self.fingerprint == config_fingerprint(cfg)
+    }
+
+    /// Serialize as a CRC-guarded snapshot blob ([`Kind::Checkpoint`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.fingerprint);
+        w.put_u64(self.outcomes.len() as u64);
+        for (&job, outcome) in &self.outcomes {
+            w.put_u64(job);
+            put_outcome(&mut w, outcome);
+        }
+        w.finish(Kind::Checkpoint)
+    }
+
+    /// Deserialize a blob written by [`Checkpoint::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader::open_expecting(bytes, Kind::Checkpoint)?;
+        let fingerprint = r.u64()?;
+        let n = r.u64()? as usize;
+        let mut outcomes = BTreeMap::new();
+        for _ in 0..n {
+            let job = r.u64()?;
+            outcomes.insert(job, get_outcome(&mut r)?);
+        }
+        r.done()?;
+        Ok(Checkpoint {
+            fingerprint,
+            outcomes,
+        })
+    }
+}
+
+fn scenario_tag(s: Scenario) -> u8 {
+    match s {
+        Scenario::Benign => 0,
+        Scenario::V1Crash => 1,
+        Scenario::V2Stealthy => 2,
+        Scenario::V3Trampoline => 3,
+    }
+}
+
+fn scenario_from_tag(t: u8) -> Result<Scenario, SnapshotError> {
+    Ok(match t {
+        0 => Scenario::Benign,
+        1 => Scenario::V1Crash,
+        2 => Scenario::V2Stealthy,
+        3 => Scenario::V3Trampoline,
+        _ => return Err(SnapshotError::Malformed(format!("scenario tag {t}"))),
+    })
+}
+
+fn put_stats(w: &mut Writer, s: &ChannelStats) {
+    w.put_u64(s.bytes_in);
+    w.put_u64(s.bytes_out);
+    w.put_u64(s.dropped);
+    w.put_u64(s.corrupted);
+    w.put_u64(s.duplicated);
+    w.put_u64(s.delayed);
+}
+
+fn get_stats(r: &mut Reader<'_>) -> Result<ChannelStats, SnapshotError> {
+    Ok(ChannelStats {
+        bytes_in: r.u64()?,
+        bytes_out: r.u64()?,
+        dropped: r.u64()?,
+        corrupted: r.u64()?,
+        duplicated: r.u64()?,
+        delayed: r.u64()?,
+    })
+}
+
+fn put_outcome(w: &mut Writer, o: &BoardOutcome) {
+    w.put_u8(scenario_tag(o.scenario));
+    w.put_u64(o.loss.to_bits());
+    w.put_u64(o.board_index as u64);
+    w.put_u64(o.board_seed);
+    w.put_u64(o.attack_packets as u64);
+    w.put_bool(o.attack_succeeded);
+    w.put_u64(o.recoveries as u64);
+    w.put_bool(o.time_to_recovery.is_some());
+    w.put_u64(o.time_to_recovery.unwrap_or(0));
+    w.put_u64(o.final_cycle);
+    w.put_u64(o.heartbeats);
+    w.put_u64(o.packets);
+    w.put_u64(o.seq_gaps);
+    w.put_u64(o.packets_lost);
+    w.put_u64(o.bad_checksums);
+    w.put_u8(o.uav_bad_crc);
+    put_stats(w, &o.up_stats);
+    put_stats(w, &o.down_stats);
+}
+
+fn get_outcome(r: &mut Reader<'_>) -> Result<BoardOutcome, SnapshotError> {
+    Ok(BoardOutcome {
+        scenario: scenario_from_tag(r.u8()?)?,
+        loss: f64::from_bits(r.u64()?),
+        board_index: r.u64()? as usize,
+        board_seed: r.u64()?,
+        attack_packets: r.u64()? as usize,
+        attack_succeeded: r.bool()?,
+        recoveries: r.u64()? as usize,
+        time_to_recovery: {
+            let present = r.bool()?;
+            let v = r.u64()?;
+            present.then_some(v)
+        },
+        final_cycle: r.u64()?,
+        heartbeats: r.u64()?,
+        packets: r.u64()?,
+        seq_gaps: r.u64()?,
+        packets_lost: r.u64()?,
+        bad_checksums: r.u64()?,
+        uav_bad_crc: r.u8()?,
+        up_stats: get_stats(r)?,
+        down_stats: get_stats(r)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_outcome(job: usize) -> BoardOutcome {
+        BoardOutcome {
+            scenario: Scenario::V2Stealthy,
+            loss: 0.02,
+            board_index: job % 4,
+            board_seed: 0xfeed_0000 + job as u64,
+            attack_packets: 1,
+            attack_succeeded: false,
+            recoveries: 1,
+            time_to_recovery: job.is_multiple_of(2).then_some(123_456),
+            final_cycle: 6_300_000,
+            heartbeats: 42,
+            packets: 50,
+            seq_gaps: 1,
+            packets_lost: 2,
+            bad_checksums: 3,
+            uav_bad_crc: 4,
+            up_stats: ChannelStats {
+                bytes_in: 100,
+                bytes_out: 98,
+                dropped: 2,
+                corrupted: 1,
+                duplicated: 0,
+                delayed: 0,
+            },
+            down_stats: ChannelStats::default(),
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let cfg = CampaignConfig::default();
+        let mut ckpt = Checkpoint::new(&cfg);
+        for job in 0..5u64 {
+            ckpt.outcomes.insert(job, sample_outcome(job as usize));
+        }
+        let blob = ckpt.to_bytes();
+        assert_eq!(Checkpoint::from_bytes(&blob).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected() {
+        let cfg = CampaignConfig::default();
+        let mut ckpt = Checkpoint::new(&cfg);
+        ckpt.outcomes.insert(0, sample_outcome(0));
+        let mut blob = ckpt.to_bytes();
+        let mid = blob.len() / 2;
+        blob[mid] ^= 1;
+        assert!(matches!(
+            Checkpoint::from_bytes(&blob),
+            Err(SnapshotError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_relevant_config_only() {
+        let cfg = CampaignConfig::default();
+        let base = config_fingerprint(&cfg);
+        // Thread count never changes the result, so it must not change
+        // the fingerprint.
+        let mut threads = cfg.clone();
+        threads.threads = 7;
+        assert_eq!(config_fingerprint(&threads), base);
+        // Anything that alters the outcome must alter the fingerprint.
+        for mutate in [
+            |c: &mut CampaignConfig| c.seed += 1,
+            |c: &mut CampaignConfig| c.boards += 1,
+            |c: &mut CampaignConfig| c.loss_levels.push(0.5),
+            |c: &mut CampaignConfig| c.scenarios.push(Scenario::V1Crash),
+            |c: &mut CampaignConfig| c.attack_cycles += 1,
+        ] {
+            let mut c = cfg.clone();
+            mutate(&mut c);
+            assert_ne!(config_fingerprint(&c), base);
+            assert!(!Checkpoint::new(&cfg).matches(&c));
+        }
+    }
+
+    #[test]
+    fn totals_fold_matches_router_semantics() {
+        let outs: Vec<BoardOutcome> = (0..3).map(sample_outcome).collect();
+        let t = totals_from_outcomes(&outs);
+        assert_eq!(t.links, 3);
+        assert_eq!(t.packets, 150);
+        assert_eq!(t.heartbeats, 126);
+        assert_eq!(t.seq_gaps, 3);
+        assert_eq!(t.packets_lost, 6);
+        assert_eq!(t.bad_checksums, 9);
+    }
+}

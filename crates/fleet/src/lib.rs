@@ -34,9 +34,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod report;
 pub mod scenario;
 
+pub use checkpoint::{config_fingerprint, totals_from_outcomes, Checkpoint};
 pub use report::{BoardOutcome, CampaignReport, CampaignSummary, CellReport};
 pub use scenario::{parse_scenarios, Scenario};
 
@@ -48,6 +50,7 @@ use rop::attack::AttackContext;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use synth_firmware::{apps, build, layout, AppSpec, BuildOptions};
+use telemetry::{kinds, Telemetry, Value};
 
 /// The 3-byte sensor write every attack scenario attempts (gyro state, as
 /// in the paper's running example).
@@ -84,6 +87,10 @@ pub struct CampaignConfig {
     /// The application the fleet flies (built vulnerable, as the paper's
     /// target is).
     pub app: AppSpec,
+    /// Flight-recorder handle for engine-level events (checkpoint resume,
+    /// …). Never affects results and is excluded from the checkpoint
+    /// fingerprint.
+    pub telemetry: Telemetry,
 }
 
 impl Default for CampaignConfig {
@@ -99,6 +106,7 @@ impl Default for CampaignConfig {
             gcs_capacity: 256,
             threads: 0,
             app: apps::tiny_test_app(),
+            telemetry: Telemetry::off(),
         }
     }
 }
@@ -207,9 +215,14 @@ fn run_board(
     (outcome, gcs)
 }
 
-/// Run the full campaign matrix: `scenarios × loss_levels × boards` jobs,
-/// distributed over a worker pool, stitched back in job order.
-pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+/// The per-campaign artifacts every job shares: the (unprotected) firmware
+/// image and one canned payload set per scenario.
+struct Prepared {
+    image: avr_core::image::FirmwareImage,
+    payloads: Vec<Option<Vec<Vec<u8>>>>,
+}
+
+fn prepare(cfg: &CampaignConfig) -> Prepared {
     let fw = build(&cfg.app, &BuildOptions::vulnerable_mavr()).expect("campaign app builds");
     let ctx = AttackContext::discover(&fw.image).expect("attack discovery on campaign app");
     // One payload set per scenario, crafted against the unprotected image.
@@ -223,7 +236,16 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             })
         })
         .collect();
+    Prepared {
+        image: fw.image,
+        payloads,
+    }
+}
 
+/// The campaign's full job list, in matrix (scenario-major) order. Job
+/// indices are positions in this list; seeds derive from them, so the list
+/// must be rebuilt identically on resume.
+fn build_jobs(cfg: &CampaignConfig) -> Vec<Job> {
     let mut jobs = Vec::with_capacity(cfg.scenarios.len() * cfg.loss_levels.len() * cfg.boards);
     for (scenario_idx, &scenario) in cfg.scenarios.iter().enumerate() {
         for &loss in &cfg.loss_levels {
@@ -238,7 +260,16 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             }
         }
     }
+    jobs
+}
 
+/// Run `jobs` (any subset of the campaign matrix) over the worker pool.
+/// Results come back positionally aligned with `jobs`.
+fn execute_jobs(
+    cfg: &CampaignConfig,
+    prepared: &Prepared,
+    jobs: &[Job],
+) -> Vec<(BoardOutcome, GroundStation)> {
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -259,26 +290,26 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                 let Some(job) = jobs.get(i).copied() else {
                     break;
                 };
-                let result = run_board(cfg, &fw.image, payloads[job.scenario_idx].as_deref(), job);
+                let result = run_board(
+                    cfg,
+                    &prepared.image,
+                    prepared.payloads[job.scenario_idx].as_deref(),
+                    job,
+                );
                 slots.lock().expect("no poisoned worker")[i] = Some(result);
             });
         }
     });
-
-    let mut router = Router::with_capacity(cfg.gcs_capacity);
-    let mut outcomes = Vec::with_capacity(jobs.len());
-    for (i, slot) in slots
+    slots
         .into_inner()
         .expect("workers done")
         .into_iter()
-        .enumerate()
-    {
-        let (outcome, gcs) = slot.expect("every job ran");
-        router.adopt(i as u64, gcs);
-        outcomes.push(outcome);
-    }
+        .map(|slot| slot.expect("every job ran"))
+        .collect()
+}
 
-    let summary = CampaignSummary {
+fn summarize(cfg: &CampaignConfig) -> CampaignSummary {
+    CampaignSummary {
         seed: cfg.seed,
         boards: cfg.boards,
         scenarios: cfg.scenarios.iter().map(Scenario::name).collect(),
@@ -286,14 +317,97 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         warmup_cycles: cfg.warmup_cycles,
         attack_cycles: cfg.attack_cycles,
         app: cfg.app.name.to_string(),
-    };
+    }
+}
+
+/// Run the full campaign matrix: `scenarios × loss_levels × boards` jobs,
+/// distributed over a worker pool, stitched back in job order.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let prepared = prepare(cfg);
+    let jobs = build_jobs(cfg);
+    let results = execute_jobs(cfg, &prepared, &jobs);
+
+    let mut router = Router::with_capacity(cfg.gcs_capacity);
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    for (i, (outcome, gcs)) in results.into_iter().enumerate() {
+        router.adopt(i as u64, gcs);
+        outcomes.push(outcome);
+    }
+    let fleet = router.totals();
+    // The checkpoint/resume path rebuilds fleet totals from outcomes alone;
+    // resumed reports are byte-identical only because this fold agrees with
+    // the router.
+    debug_assert_eq!(fleet, totals_from_outcomes(&outcomes));
+
     CampaignReport::assemble(
-        summary,
-        router.totals(),
+        summarize(cfg),
+        fleet,
         outcomes,
         &cfg.scenarios,
         &cfg.loss_levels,
     )
+}
+
+/// Continue a campaign from `checkpoint`, running at most `budget_jobs`
+/// of the still-pending jobs (`None` = all of them). Newly completed
+/// outcomes are folded into `checkpoint` (persist it with
+/// [`Checkpoint::to_bytes`] between calls).
+///
+/// Returns `Ok(None)` while the campaign is still incomplete, and
+/// `Ok(Some(report))` once every job has run — a report byte-identical
+/// (`CampaignReport::to_json`) to an uninterrupted [`run_campaign`] at any
+/// thread count. Fails if `checkpoint` fingerprints a different campaign.
+pub fn run_campaign_resume(
+    cfg: &CampaignConfig,
+    checkpoint: &mut Checkpoint,
+    budget_jobs: Option<usize>,
+) -> Result<Option<CampaignReport>, String> {
+    if !checkpoint.matches(cfg) {
+        return Err(format!(
+            "checkpoint fingerprint {:#018x} does not match this campaign ({:#018x}) — \
+             refusing to mix results from different configurations",
+            checkpoint.fingerprint,
+            config_fingerprint(cfg)
+        ));
+    }
+    let jobs = build_jobs(cfg);
+    let done_before = checkpoint.outcomes.len();
+    if done_before > 0 {
+        let pending = jobs.len() - done_before;
+        cfg.telemetry.emit(kinds::CHECKPOINT_RESUMED, None, || {
+            vec![
+                ("jobs_done", Value::U64(done_before as u64)),
+                ("jobs_pending", Value::U64(pending as u64)),
+            ]
+        });
+    }
+    let mut pending: Vec<Job> = jobs
+        .iter()
+        .filter(|j| !checkpoint.outcomes.contains_key(&(j.job_index as u64)))
+        .copied()
+        .collect();
+    if let Some(budget) = budget_jobs {
+        pending.truncate(budget);
+    }
+    let prepared = prepare(cfg);
+    let results = execute_jobs(cfg, &prepared, &pending);
+    for (job, (outcome, _gcs)) in pending.iter().zip(results) {
+        checkpoint.outcomes.insert(job.job_index as u64, outcome);
+    }
+    if checkpoint.outcomes.len() < jobs.len() {
+        return Ok(None);
+    }
+    // Complete: outcomes iterate in job-index order (BTreeMap), matching
+    // the uninterrupted run's stitching order.
+    let outcomes: Vec<BoardOutcome> = checkpoint.outcomes.values().cloned().collect();
+    let fleet = totals_from_outcomes(&outcomes);
+    Ok(Some(CampaignReport::assemble(
+        summarize(cfg),
+        fleet,
+        outcomes,
+        &cfg.scenarios,
+        &cfg.loss_levels,
+    )))
 }
 
 #[cfg(test)]
@@ -348,5 +462,47 @@ mod tests {
     fn derive_seed_streams_are_distinct() {
         let s: std::collections::BTreeSet<u64> = (0..64).map(|i| derive_seed(7, i)).collect();
         assert_eq!(s.len(), 64);
+    }
+
+    #[test]
+    fn checkpointed_campaign_is_byte_identical_to_uninterrupted() {
+        let cfg = small_cfg();
+        let uninterrupted = run_campaign(&cfg);
+
+        // Kill after one job, serialize the checkpoint, resume in a second
+        // "process" (fresh Checkpoint from bytes) with a different thread
+        // count and telemetry attached.
+        let mut ckpt = Checkpoint::new(&cfg);
+        assert!(run_campaign_resume(&cfg, &mut ckpt, Some(1))
+            .unwrap()
+            .is_none());
+        assert_eq!(ckpt.outcomes.len(), 1);
+        let blob = ckpt.to_bytes();
+
+        let resumed_cfg = CampaignConfig {
+            threads: 3,
+            telemetry: Telemetry::new(telemetry::RingRecorder::new(8)),
+            ..small_cfg()
+        };
+        let mut ckpt2 = Checkpoint::from_bytes(&blob).unwrap();
+        let report = run_campaign_resume(&resumed_cfg, &mut ckpt2, None)
+            .unwrap()
+            .expect("all remaining jobs fit in an unbounded budget");
+        assert_eq!(report.to_json(), uninterrupted.to_json());
+        resumed_cfg
+            .telemetry
+            .with_recorder::<telemetry::RingRecorder, _>(|r| {
+                assert_eq!(r.histogram()[kinds::CHECKPOINT_RESUMED], 1);
+            })
+            .unwrap();
+
+        // A checkpoint from a different campaign is refused.
+        let other = CampaignConfig {
+            seed: 0x9999,
+            ..small_cfg()
+        };
+        assert!(
+            run_campaign_resume(&other, &mut Checkpoint::from_bytes(&blob).unwrap(), None).is_err()
+        );
     }
 }

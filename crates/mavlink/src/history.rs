@@ -140,6 +140,28 @@ mod tests {
     }
 
     #[test]
+    fn eviction_is_strictly_fifo_and_totals_are_lifetime_exact() {
+        let mut h: History<u64> = History::with_capacity(4);
+        for n in 0..100u64 {
+            h.push(n);
+            // The retained window is exactly the trailing `min(n+1, cap)`
+            // pushes, oldest first — eviction order is strictly FIFO.
+            let start = (n + 1).saturating_sub(4);
+            let expect: Vec<u64> = (start..=n).collect();
+            assert_eq!(h.iter().copied().collect::<Vec<_>>(), expect);
+            // Lifetime invariants hold after every push.
+            assert_eq!(h.total(), n + 1);
+            assert_eq!(h.total(), h.evicted() + h.len() as u64);
+            assert_eq!(h.last(), Some(&n));
+        }
+        // Oldest-to-newest and newest-to-oldest traversals agree.
+        let fwd: Vec<u64> = h.iter().copied().collect();
+        let mut rev: Vec<u64> = h.iter().rev().copied().collect();
+        rev.reverse();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
     fn zero_capacity_clamps_to_one() {
         let mut h: History<u8> = History::with_capacity(0);
         h.push(1);

@@ -1,0 +1,36 @@
+//! Deterministic snapshot/replay for the MAVR reproduction.
+//!
+//! The paper's evaluation (§VII) repeatedly needs to answer "what exactly
+//! was the machine doing at cycle N?" — when a stealthy code-reuse attack
+//! fires (§V), when the master's watchdog catches a crashed application
+//! processor (§VI-A), when a randomized image and a stock image stop
+//! behaving identically. Because the whole stack is deterministic, those
+//! questions have exact answers; this crate makes them cheap:
+//!
+//! * [`format`] — a versioned, CRC-guarded binary format for full machine
+//!   state, dirty-page deltas against a keyframe, whole-board state, and
+//!   fleet campaign checkpoints. Corruption is detected before a broken
+//!   state is ever loaded.
+//! * [`replay`] — [`Timeline`] keyframing over a run (`rewind_to` any
+//!   cycle), and [`bisect_divergence`]: given a stock and a
+//!   MAVR-randomized execution of the same attack, find the exact first
+//!   cycle where the randomized run departs — the forensic signature of a
+//!   code-reuse payload whose hard-coded addresses no longer match the
+//!   shuffled layout.
+//!
+//! Delta snapshots lean on the simulator's dirty-page tracking
+//! ([`avr_sim::Machine::dirty_data_pages`]): after a keyframe, a snapshot
+//! costs only the 256-byte pages actually touched, so periodic keyframing
+//! of a ~270 KiB machine runs at a few KiB per interval.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod replay;
+
+pub use format::{
+    apply_machine_delta, crc32, decode_board, decode_machine, encode_board, encode_machine,
+    encode_machine_delta, Kind, Reader, SnapshotError, Writer, MAGIC, VERSION,
+};
+pub use replay::{bisect_divergence, Divergence, Timeline};

@@ -30,6 +30,22 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// Well-known event kinds shared across crates.
+///
+/// Most emitters name their kinds inline (`"sim.fault"`, `"board.recovery"`
+/// — grep finds them next to the `emit` call). The snapshot/replay layer is
+/// different: the *producer* (the `snapshot` crate) and the *consumers*
+/// (fleet resume, CLI, flight-recorder analysis) live in different crates,
+/// so its kinds are named here once and imported everywhere.
+pub mod kinds {
+    /// A machine or board snapshot was written.
+    pub const SNAPSHOT_SAVED: &str = "snapshot.saved";
+    /// Execution state was replaced from a snapshot.
+    pub const SNAPSHOT_RESTORED: &str = "snapshot.restored";
+    /// A fleet campaign resumed from a checkpoint instead of starting cold.
+    pub const CHECKPOINT_RESUMED: &str = "campaign.checkpoint_resumed";
+}
+
 /// A typed field value attached to an event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {

@@ -6,6 +6,7 @@
 //! ```
 
 use mavr_repro::avr_sim::Machine;
+use mavr_repro::mavlink_lite::channel::LossyChannel;
 use mavr_repro::mavlink_lite::GroundStation;
 use mavr_repro::mavr::{randomize, RandomizeOptions};
 use mavr_repro::synth_firmware::{apps, build, BuildOptions};
@@ -53,10 +54,12 @@ fn main() {
         m.fault()
     );
 
-    // 5. The ground station decodes its telemetry — randomization is
-    //    invisible to correct execution.
+    // 5. The ground station decodes its telemetry over an explicit radio
+    //    link (zero loss here; `mavr-cli fleet --loss` turns the dials up)
+    //    — randomization is invisible to correct execution.
     let mut gcs = GroundStation::new();
-    gcs.ingest(&m.uart0.take_tx());
+    let mut downlink = LossyChannel::perfect();
+    gcs.ingest(&downlink.transmit(&m.uart0.take_tx()));
     println!(
         "ground station: {} heartbeats, {} packets, {} checksum errors",
         gcs.heartbeats.len(),
@@ -65,5 +68,7 @@ fn main() {
     );
     assert_eq!(gcs.bad_checksums(), 0);
     assert!(gcs.heartbeats.len() > 10);
+    // A perfect channel is transparent: every byte in, every byte out.
+    assert_eq!(downlink.stats.bytes_in, downlink.stats.bytes_out);
     println!("ok: randomized firmware flies");
 }

@@ -7,6 +7,7 @@
 //! cargo run --release --example software_only_pitfall
 //! ```
 
+use mavr_repro::mavlink_lite::channel::LossyChannel;
 use mavr_repro::mavlink_lite::GroundStation;
 use mavr_repro::mavr_board::SoftwareOnlyBoard;
 use mavr_repro::rop::attack::AttackContext;
@@ -27,10 +28,14 @@ fn main() {
         let mut board = SoftwareOnlyBoard::flash(&fw.image, seed).unwrap();
         board.run(300_000);
         let mut gcs = GroundStation::new();
+        // The attacker's radio link, modeled explicitly (zero loss — the
+        // exploit must arrive intact).
+        let mut uplink = LossyChannel::perfect();
         board
             .machine
             .uart0
-            .inject(&gcs.exploit_packet(&payload).unwrap());
+            .inject(&uplink.transmit(&gcs.exploit_packet(&payload).unwrap()));
+        assert_eq!(uplink.stats.dropped + uplink.stats.corrupted, 0);
         board.run(6_000_000);
         if board.dead() {
             println!("  layout #{seed}: attack failed AND crashed the autopilot");

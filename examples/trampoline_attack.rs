@@ -8,6 +8,7 @@
 //! ```
 
 use mavr_repro::avr_sim::Machine;
+use mavr_repro::mavlink_lite::channel::LossyChannel;
 use mavr_repro::mavlink_lite::GroundStation;
 use mavr_repro::rop::attack::AttackContext;
 use mavr_repro::synth_firmware::{apps, build, BuildOptions};
@@ -43,9 +44,14 @@ fn main() {
         packets.len() - 1
     );
 
+    // The attacker's radio link, modeled explicitly (zero loss: every
+    // carrier must arrive intact for the staged chain to assemble).
+    let mut uplink = LossyChannel::perfect();
+    let mut downlink = LossyChannel::perfect();
     let mut gcs = GroundStation::new();
     for (i, p) in packets.iter().enumerate() {
-        uav.uart0.inject(&gcs.exploit_packet(p).unwrap());
+        uav.uart0
+            .inject(&uplink.transmit(&gcs.exploit_packet(p).unwrap()));
         uav.run(2_500_000);
         assert!(
             uav.fault().is_none(),
@@ -60,7 +66,7 @@ fn main() {
         planted.iter().zip(&implant).filter(|(a, b)| a == b).count(),
         implant.len()
     );
-    gcs.ingest(&uav.uart0.take_tx());
+    gcs.ingest(&downlink.transmit(&uav.uart0.take_tx()));
     println!(
         "ground station saw {} heartbeats, {} checksum errors — nothing amiss",
         gcs.heartbeats.len(),
@@ -69,5 +75,8 @@ fn main() {
 
     assert_eq!(planted, implant);
     assert!(gcs.link_alive(20, 3));
+    // A perfect channel is transparent: every byte in, every byte out.
+    assert_eq!(uplink.stats.dropped + uplink.stats.corrupted, 0);
+    assert_eq!(downlink.stats.bytes_in, downlink.stats.bytes_out);
     println!("\nok: arbitrarily large payload staged and executed, stealth preserved");
 }

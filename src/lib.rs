@@ -13,6 +13,8 @@
 //! * [`rop`] — gadget scanner and the paper's stealthy attacks,
 //! * [`mavr`] — the fine-grained randomization defense,
 //! * [`mavr_board`] — the dual-processor MAVR hardware platform simulation,
+//! * [`mavr_snapshot`] — deterministic snapshot/replay: time-travel
+//!   forensics and checkpointable executions,
 //! * [`mavr_fleet`] — the many-board campaign engine over lossy links.
 
 pub use avr_asm;
@@ -23,6 +25,7 @@ pub use mavlink_lite;
 pub use mavr;
 pub use mavr_board;
 pub use mavr_fleet;
+pub use mavr_snapshot;
 pub use rop;
 pub use synth_firmware;
 pub use telemetry;
