@@ -15,9 +15,11 @@
 //! and off and rewrites `BENCH_simulator.json` at the repo root, so it is
 //! not part of the default `all` run. Likewise `bench-fleet` (or
 //! `bench-fleet-quick`) times the campaign engine at 1/8/32 boards and
-//! rewrites `BENCH_fleet.json`, and `bench-snapshot` (or
+//! rewrites `BENCH_fleet.json`, `bench-snapshot` (or
 //! `bench-snapshot-quick`) times full vs dirty-page-delta machine
-//! snapshots and rewrites `BENCH_snapshot.json`.
+//! snapshots and rewrites `BENCH_snapshot.json`, and `bench-chaos` (or
+//! `bench-chaos-quick`) sweeps fault-injection rates through a stealthy
+//! fleet campaign and rewrites `BENCH_chaos.json`.
 
 use mavr_bench as exp;
 use synth_firmware::{apps, build, BuildOptions};
@@ -235,6 +237,35 @@ fn main() {
         );
         let path = "BENCH_snapshot.json";
         std::fs::write(path, t.to_json()).expect("write BENCH_snapshot.json");
+        println!("  wrote {path}\n");
+    }
+
+    // Explicitly requested only (writes a file; excluded from `all`).
+    if args
+        .iter()
+        .any(|a| a == "bench-chaos" || a == "bench-chaos-quick")
+    {
+        let quick = args.iter().any(|a| a == "bench-chaos-quick");
+        println!("== Chaos resilience (fault-rate sweep, V1 crash attack) ==");
+        let t = exp::chaos_resilience(quick);
+        for r in &t.rows {
+            println!(
+                "  fault {:>8} : {:>3} retries, {:>2} degraded, {:>2} bricked, {:>2}/{} recovered, mttr {}",
+                format!("{}", r.fault),
+                r.reflash_retries,
+                r.degraded_boots,
+                r.boards_bricked,
+                r.boards_recovered,
+                r.boards,
+                r.mttr_cycles
+                    .map_or("-".to_string(), |m| format!("{m:.0}")),
+            );
+        }
+        if let Some(inflation) = t.mttr_inflation() {
+            println!("  mttr inflation at the top rate: {inflation:.2}x");
+        }
+        let path = "BENCH_chaos.json";
+        std::fs::write(path, t.to_json()).expect("write BENCH_chaos.json");
         println!("  wrote {path}\n");
     }
 

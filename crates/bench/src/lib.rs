@@ -462,6 +462,137 @@ pub fn fleet_throughput(quick: bool) -> FleetThroughput {
     }
 }
 
+/// One fault-rate point of the chaos-resilience sweep. All counts are
+/// summed over the cell's boards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosBenchRow {
+    /// Fault-injection rate of the cell.
+    pub fault: f64,
+    /// Boards flown at this rate.
+    pub boards: usize,
+    /// Reflash retries the masters burned (container re-reads, full-stream
+    /// retries, page repairs).
+    pub reflash_retries: u64,
+    /// Boots that fell back to the last-known-good image.
+    pub degraded_boots: u64,
+    /// Boards that exhausted every retry and the degraded fallback.
+    pub boards_bricked: usize,
+    /// Boards that detected and recovered from the attack at least once.
+    pub boards_recovered: usize,
+    /// Mean cycles from injection to detection, over recovered boards.
+    pub mttr_cycles: Option<f64>,
+}
+
+/// Measured recovery-pipeline resilience under a fault-rate sweep. See
+/// [`chaos_resilience`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosResilience {
+    /// One row per fault rate, clean baseline first.
+    pub rows: Vec<ChaosBenchRow>,
+    /// Campaign seed the sweep ran under.
+    pub seed: u64,
+    /// Boards per fault-rate cell.
+    pub boards_per_cell: usize,
+}
+
+impl ChaosResilience {
+    /// `MTTR(rate) / MTTR(0)` for the highest fault rate where both are
+    /// defined — how much the injected faults stretch detection-to-reflash
+    /// recovery.
+    pub fn mttr_inflation(&self) -> Option<f64> {
+        let base = self.rows.first()?.mttr_cycles?;
+        self.rows
+            .iter()
+            .rev()
+            .find_map(|r| r.mttr_cycles)
+            .map(|m| m / base)
+    }
+
+    /// The `BENCH_chaos.json` payload (hand-rolled; the workspace has no
+    /// JSON dependency).
+    pub fn to_json(&self) -> String {
+        let base_mttr = self.rows.first().and_then(|r| r.mttr_cycles);
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mttr = r
+                    .mttr_cycles
+                    .map_or("null".to_string(), |m| format!("{m:.1}"));
+                let inflation = match (base_mttr, r.mttr_cycles) {
+                    (Some(b), Some(m)) => format!("{:.3}", m / b),
+                    _ => "null".to_string(),
+                };
+                format!(
+                    "    {{\"fault\": {}, \"boards\": {}, \"reflash_retries\": {}, \
+                     \"retry_rate\": {:.4}, \"degraded_boots\": {}, \
+                     \"boards_bricked\": {}, \"brick_rate\": {:.4}, \
+                     \"boards_recovered\": {}, \"mttr_cycles\": {}, \
+                     \"mttr_inflation\": {}}}",
+                    r.fault,
+                    r.boards,
+                    r.reflash_retries,
+                    r.reflash_retries as f64 / r.boards.max(1) as f64,
+                    r.degraded_boots,
+                    r.boards_bricked,
+                    r.boards_bricked as f64 / r.boards.max(1) as f64,
+                    r.boards_recovered,
+                    mttr,
+                    inflation,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"bench\": \"chaos_resilience/v1-crash\",\n  \"seed\": {},\n  \"boards_per_cell\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            self.seed, self.boards_per_cell, rows
+        )
+    }
+}
+
+/// Sweep fault-injection rates through a V1 (loud crash) fleet campaign
+/// and measure what the hardened recovery pipeline does with them: reflash
+/// retries, degraded boots, bricks, and MTTR inflation versus the clean
+/// baseline. Whether a crashed ROP chain actually silences the heartbeat
+/// is layout-dependent (wild execution can keep interrupts alive), so the
+/// campaign seed is chosen for a fleet where most baseline boards detect —
+/// that keeps the MTTR column defined, and the engine seed-matches boards
+/// across the fault axis, so the comparison is the *same* fleet under
+/// different chaos. Fully deterministic (it is a fleet campaign); `quick`
+/// shrinks the fleet for CI smoke runs.
+pub fn chaos_resilience(quick: bool) -> ChaosResilience {
+    use mavr_fleet::{run_campaign, CampaignConfig, Scenario};
+    let boards = if quick { 2 } else { 8 };
+    let cfg = CampaignConfig {
+        seed: 6,
+        boards,
+        scenarios: vec![Scenario::V1Crash],
+        loss_levels: vec![0.0],
+        fault_levels: vec![0.0, 0.00005, 0.0001, 0.0002, 0.0005],
+        attack_cycles: if quick { 3_000_000 } else { 6_000_000 },
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign(&cfg);
+    let rows = report
+        .cells
+        .iter()
+        .map(|c| ChaosBenchRow {
+            fault: c.fault,
+            boards: c.boards,
+            reflash_retries: c.reflash_retries,
+            degraded_boots: c.degraded_boots,
+            boards_bricked: c.boards_bricked,
+            boards_recovered: c.boards_recovered,
+            mttr_cycles: c.mean_time_to_recovery(),
+        })
+        .collect();
+    ChaosResilience {
+        rows,
+        seed: cfg.seed,
+        boards_per_cell: boards,
+    }
+}
+
 /// Measured cost of persisting machine state as a full snapshot vs a
 /// dirty-page delta against a recent keyframe. See [`snapshot_cost`].
 #[derive(Debug, Clone, Copy, PartialEq)]

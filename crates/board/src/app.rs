@@ -58,6 +58,36 @@ impl AppProcessor {
         self.lock_fuse = false;
     }
 
+    /// Bootloader-side write of one staged page. No implicit erase: the
+    /// commit path decides whether a chip erase preceded it (full reflash)
+    /// or not (targeted page repair).
+    pub fn program_page(&mut self, addr: u32, data: &[u8]) {
+        self.machine.load_flash(addr, data);
+    }
+
+    /// Bootloader-side verify: compare flash against `image` page by page
+    /// and return the byte addresses of mismatching pages. The bootloader
+    /// reads its *own* flash, so the lock fuse — which gates only external
+    /// readout — does not blind it; on the wire this is a per-page CRC
+    /// exchange, a few bytes per page, so verification is cheap next to the
+    /// transfer itself (§VI-B4 timing).
+    pub fn mismatched_pages(&self, image: &[u8], page_size: usize) -> Vec<u32> {
+        let flash = self.machine.flash();
+        image
+            .chunks(page_size)
+            .enumerate()
+            .filter_map(|(i, page)| {
+                let addr = i * page_size;
+                let end = (addr + page.len()).min(flash.len());
+                if addr >= flash.len() || flash[addr..end] != page[..end - addr] {
+                    Some(addr as u32)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
     /// Write a binary via the (master-driven) programming interface, then
     /// reset into it.
     pub fn program_and_reset(&mut self, binary: &[u8]) {

@@ -90,6 +90,25 @@ impl MavrBoard {
         policy: RandomizationPolicy,
         telemetry: Telemetry,
     ) -> Result<Self, MasterError> {
+        Self::provision_chaos(
+            image,
+            seed,
+            policy,
+            telemetry,
+            crate::chaos::FaultPlan::none(),
+        )
+    }
+
+    /// Like [`MavrBoard::provision_with`], with a fault plan installed on
+    /// the master *before* the first boot — so chaos campaigns stress the
+    /// provisioning reflash too, not just recoveries.
+    pub fn provision_chaos(
+        image: &FirmwareImage,
+        seed: u64,
+        policy: RandomizationPolicy,
+        telemetry: Telemetry,
+        chaos: crate::chaos::FaultPlan,
+    ) -> Result<Self, MasterError> {
         let container = mavr::preprocess(image).map_err(|e| {
             MasterError::Flash(crate::ext_flash::FlashError::Corrupt(e.to_string()))
         })?;
@@ -97,6 +116,7 @@ impl MavrBoard {
         ext_flash.upload(&container)?;
         let mut master = MasterProcessor::new(seed, policy);
         master.telemetry = telemetry.clone();
+        master.chaos = chaos;
         let mut app = AppProcessor::new();
         app.machine.telemetry = telemetry.clone();
         if telemetry.is_active() {
@@ -275,6 +295,9 @@ impl MavrBoard {
             wear_cycles: self.master.wear.cycles_used,
             watch_since: self.watch_since,
             heartbeat_timeout: self.heartbeat_timeout,
+            chaos: self.master.chaos.state(),
+            reflash_retries: self.master.resilience.reflash_retries,
+            degraded_boots: self.master.resilience.degraded_boots,
         }
     }
 
@@ -288,6 +311,9 @@ impl MavrBoard {
         self.master.wear.cycles_used = s.wear_cycles;
         self.watch_since = s.watch_since;
         self.heartbeat_timeout = s.heartbeat_timeout;
+        self.master.chaos.restore_state(&s.chaos);
+        self.master.resilience.reflash_retries = s.reflash_retries;
+        self.master.resilience.degraded_boots = s.degraded_boots;
     }
 }
 
@@ -311,6 +337,14 @@ pub struct BoardState {
     pub watch_since: u64,
     /// Heartbeat-silence threshold in cycles.
     pub heartbeat_timeout: u64,
+    /// The fault plan's RNG position and injection counter. Restore
+    /// requires a board built with the same [`crate::chaos::ChaosConfig`]
+    /// (configuration, like the container, is construction-time input).
+    pub chaos: crate::chaos::ChaosState,
+    /// The master's lifetime reflash-retry counter.
+    pub reflash_retries: u64,
+    /// The master's lifetime degraded-boot counter.
+    pub degraded_boots: u64,
 }
 
 #[cfg(test)]
@@ -535,6 +569,48 @@ mod tests {
         assert_eq!(
             original.master.wear.cycles_used,
             restored.master.wear.cycles_used
+        );
+    }
+
+    #[test]
+    fn restored_chaos_board_replays_the_same_faults() {
+        // The fault plan's RNG rides in the board snapshot: a board
+        // restored mid-campaign must draw the exact fault sequence the
+        // original would, so checkpointed chaos campaigns stay
+        // byte-identical.
+        use crate::chaos::{ChaosConfig, FaultPlan};
+        let fw = build(&apps::tiny_test_app(), &BuildOptions::vulnerable_mavr()).unwrap();
+        let cfg = ChaosConfig::uniform(0.0002);
+        // Provision clean (a bricked first boot would end the test before
+        // it starts), then turn the faults on for the recovery rounds.
+        let mk = || {
+            let mut board =
+                MavrBoard::provision(&fw.image, 0xda7a, RandomizationPolicy::default()).unwrap();
+            board.master.chaos = FaultPlan::new(5, cfg);
+            board
+        };
+        let mut original = mk();
+        original.run(300_000).unwrap();
+        let _ = original.recover(RecoveryCause::HeartbeatLost);
+        let state = original.capture_state();
+
+        let mut restored = mk();
+        restored.restore_state(&state);
+        assert_eq!(restored.capture_state(), state);
+
+        for round in 0..4 {
+            let a = original.recover(RecoveryCause::HeartbeatLost);
+            let b = restored.recover(RecoveryCause::HeartbeatLost);
+            assert_eq!(a, b, "round {round}: outcomes diverged");
+            assert_eq!(
+                original.capture_state(),
+                restored.capture_state(),
+                "round {round}: states diverged"
+            );
+        }
+        assert_eq!(
+            original.master.resilience, restored.master.resilience,
+            "retry/degrade counters ride in the snapshot"
         );
     }
 

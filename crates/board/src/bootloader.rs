@@ -50,8 +50,29 @@ pub enum ProtocolError {
         /// Offending byte address.
         addr: u32,
     },
+    /// A frame arrived out of order or twice: the sequence number did not
+    /// match the decoder's expectation. A dropped-then-duplicated frame
+    /// must not double-program a page, so the decoder refuses rather than
+    /// guessing.
+    BadSequence {
+        /// Sequence number the decoder expected next.
+        expected: u8,
+        /// Sequence number the frame carried.
+        got: u8,
+    },
     /// The stream ended mid-frame.
     Truncated,
+}
+
+impl ProtocolError {
+    /// The sequence number of the offending frame, where the error has one.
+    pub fn sequence(&self) -> Option<u8> {
+        match self {
+            ProtocolError::BadChecksum { seq } => Some(*seq),
+            ProtocolError::BadSequence { got, .. } => Some(*got),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -62,6 +83,12 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::NoAddress => write!(f, "program-page before load-address"),
             ProtocolError::AddressOutOfRange { addr } => {
                 write!(f, "page write at {addr:#x} past end of flash")
+            }
+            ProtocolError::BadSequence { expected, got } => {
+                write!(
+                    f,
+                    "frame {got}: out of order (expected sequence {expected})"
+                )
             }
             ProtocolError::Truncated => write!(f, "stream truncated mid-frame"),
         }
@@ -112,15 +139,58 @@ pub fn programming_stream(binary: &[u8], page_size: usize) -> Vec<u8> {
     out
 }
 
+/// Master side: build a *repair* stream that rewrites only the given pages.
+///
+/// Unlike [`programming_stream`] there is no chip erase — the pages that
+/// verified clean are left untouched — but the lock fuse and leave-progmode
+/// tail are identical, so the part ends up locked and running. Sequence
+/// numbers start at zero: each transfer is its own session to the decoder.
+pub fn repair_stream(pages: &[(u32, &[u8])]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut seq = 0u8;
+    let push = |body: &[u8], seq: &mut u8| {
+        let f = frame(*seq, body);
+        *seq = seq.wrapping_add(1);
+        f
+    };
+    out.extend(push(&[Command::SignOn as u8], &mut seq));
+    for (addr, page) in pages {
+        let mut body = vec![Command::LoadAddress as u8];
+        body.extend_from_slice(&addr.to_be_bytes());
+        out.extend(push(&body, &mut seq));
+        let mut body = vec![Command::ProgramPage as u8];
+        body.extend_from_slice(page);
+        out.extend(push(&body, &mut seq));
+    }
+    out.extend(push(&[Command::SetLockFuse as u8], &mut seq));
+    out.extend(push(&[Command::LeaveProgmode as u8], &mut seq));
+    out
+}
+
 /// Application side: consume a programming stream and apply it to the
 /// processor. Returns the number of pages written.
 pub fn apply_stream(app: &mut AppProcessor, stream: &[u8]) -> Result<usize, ProtocolError> {
+    apply_stream_chaos(app, stream, &mut crate::chaos::FaultPlan::none())
+}
+
+/// [`apply_stream`] with commit-time fault injection: the given plan may
+/// cut power mid-commit (a suffix of the staged pages, and the lock fuse,
+/// never latch) or leave individual page writes partial. Decoding errors
+/// are reported exactly as in the fault-free path; write faults are
+/// *silent* — it is the master's verify-after-write readback that catches
+/// them.
+pub fn apply_stream_chaos(
+    app: &mut AppProcessor,
+    stream: &[u8],
+    chaos: &mut crate::chaos::FaultPlan,
+) -> Result<usize, ProtocolError> {
     let mut pos = 0usize;
     let mut address: Option<u32> = None;
     let mut pages = 0usize;
     let mut staged: Vec<(u32, Vec<u8>)> = Vec::new();
     let mut erased = false;
     let mut lock = false;
+    let mut expected_seq = 0u8;
     while pos < stream.len() {
         if stream.len() - pos < 6 {
             return Err(ProtocolError::Truncated);
@@ -138,6 +208,15 @@ pub fn apply_stream(app: &mut AppProcessor, stream: &[u8]) -> Result<usize, Prot
         if checksum != stream[end] {
             return Err(ProtocolError::BadChecksum { seq });
         }
+        // Only after the checksum clears: a flipped sequence byte is a
+        // checksum failure, not a reordering.
+        if seq != expected_seq {
+            return Err(ProtocolError::BadSequence {
+                expected: expected_seq,
+                got: seq,
+            });
+        }
+        expected_seq = expected_seq.wrapping_add(1);
         let body = &stream[pos + 5..end];
         pos = end + 1;
 
@@ -169,10 +248,15 @@ pub fn apply_stream(app: &mut AppProcessor, stream: &[u8]) -> Result<usize, Prot
                     app.chip_erase();
                 }
                 let flat: Vec<(u32, Vec<u8>)> = std::mem::take(&mut staged);
-                for (addr, data) in &flat {
-                    app.machine.load_flash(*addr, data);
+                let cut = chaos.power_loss_cut(flat.len());
+                for (i, (addr, data)) in flat.iter().enumerate() {
+                    if cut.is_some_and(|k| i >= k) {
+                        break; // supply dropped; later pages never latch
+                    }
+                    let keep = chaos.partial_page_len(data.len()).unwrap_or(data.len());
+                    app.program_page(*addr, &data[..keep]);
                 }
-                if lock {
+                if lock && cut.is_none() {
                     app.set_lock_fuse();
                 }
                 app.machine.reset();
@@ -282,7 +366,61 @@ mod tests {
                 | ProtocolError::UnknownCommand(_)
                 | ProtocolError::Truncated
                 | ProtocolError::AddressOutOfRange { .. }
+                | ProtocolError::BadSequence { .. }
         ));
+    }
+
+    #[test]
+    fn duplicated_frame_rejected_not_double_programmed() {
+        let fw = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).unwrap();
+        let stream = programming_stream(&fw.image.bytes, 256);
+        // Replay the second frame (chip erase) immediately after itself.
+        let first = 6 + 1; // sign-on frame: 5-byte header + 1-byte body + checksum
+        let second_end = first + 6 + 1;
+        let mut dup = Vec::new();
+        dup.extend_from_slice(&stream[..second_end]);
+        dup.extend_from_slice(&stream[first..second_end]);
+        dup.extend_from_slice(&stream[second_end..]);
+        let mut app = AppProcessor::new();
+        assert_eq!(
+            apply_stream(&mut app, &dup).unwrap_err(),
+            ProtocolError::BadSequence {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert!(!app.locked(), "rejected stream must not release the part");
+    }
+
+    #[test]
+    fn dropped_frame_rejected_by_sequence_check() {
+        let fw = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).unwrap();
+        let stream = programming_stream(&fw.image.bytes, 256);
+        let first = 6 + 1;
+        let mut short = Vec::new();
+        short.extend_from_slice(&stream[..first]);
+        short.extend_from_slice(&stream[first + 6 + 1..]); // skip chip erase
+        let mut app = AppProcessor::new();
+        assert_eq!(
+            apply_stream(&mut app, &short).unwrap_err(),
+            ProtocolError::BadSequence {
+                expected: 1,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn repair_stream_rewrites_only_named_pages_and_locks() {
+        let mut app = AppProcessor::new();
+        apply_stream(&mut app, &programming_stream(&[0x11u8; 1024], 256)).unwrap();
+        let fixed = [0x22u8; 256];
+        let stream = repair_stream(&[(256, &fixed[..])]);
+        apply_stream(&mut app, &stream).unwrap();
+        assert_eq!(&app.machine.flash()[..256], &[0x11u8; 256][..]);
+        assert_eq!(&app.machine.flash()[256..512], &fixed[..]);
+        assert_eq!(&app.machine.flash()[512..1024], &[0x11u8; 512][..]);
+        assert!(app.locked());
     }
 
     #[test]

@@ -6,11 +6,15 @@
 //! external flash memory and the application processor never reads from
 //! this flash memory."
 
+use crate::chaos::FaultPlan;
 use hexfile::MavrContainer;
 
 /// Capacity of the prototype part (matches the application processor's
 /// program memory, per §V-A1).
 pub const CAPACITY_BYTES: usize = 256 * 1024;
+
+/// Directive prefix of the integrity footer appended to the stored text.
+const CRC_DIRECTIVE: &str = ";CRC32 ";
 
 /// Errors from the external flash.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +28,14 @@ pub enum FlashError {
     Empty,
     /// The stored container failed to parse (corruption).
     Corrupt(String),
+    /// The CRC-32 footer did not match the stored bytes (bit rot, stuck
+    /// cells, or a torn upload).
+    IntegrityFailure {
+        /// CRC the footer recorded at upload time.
+        expected: u32,
+        /// CRC computed over the bytes actually read back.
+        actual: u32,
+    },
 }
 
 impl std::fmt::Display for FlashError {
@@ -35,11 +47,31 @@ impl std::fmt::Display for FlashError {
             ),
             FlashError::Empty => write!(f, "external flash is empty"),
             FlashError::Corrupt(why) => write!(f, "stored container corrupt: {why}"),
+            FlashError::IntegrityFailure { expected, actual } => write!(
+                f,
+                "container integrity failure: footer CRC {expected:#010x}, read back {actual:#010x}"
+            ),
         }
     }
 }
 
 impl std::error::Error for FlashError {}
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`. Bitwise — container-sized
+/// inputs are small enough that a table buys nothing here. The board crate
+/// carries its own copy because the snapshot crate (which also has one)
+/// sits *above* it in the dependency graph.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// The chip: stores the MAVR container verbatim, as `avrdude` would upload
 /// it (§VI-B2: "receives the HEX file and stores it verbatim").
@@ -62,9 +94,14 @@ impl ExternalFlash {
     /// exhaust the chip (§VI-B2).
     pub fn upload(&mut self, container: &MavrContainer) -> Result<(), FlashError> {
         // The chip stores the *binary* content the container denotes:
-        // symbol directives + program bytes. Model the footprint as the
-        // program bytes plus the encoded directive text.
-        let text = container.to_text();
+        // symbol directives + program bytes, plus the CRC-32 integrity
+        // footer. Model the footprint as the program bytes plus the
+        // encoded directive text (the footer counts: it occupies real
+        // cells, so it must not push a near-capacity binary over §VI-B2's
+        // line for free).
+        let mut text = container.to_text();
+        let footer = format!("{CRC_DIRECTIVE}{:08x}\n", crc32(text.as_bytes()));
+        text.push_str(&footer);
         let directive_bytes: usize = text
             .lines()
             .filter(|l| l.starts_with(';'))
@@ -78,11 +115,45 @@ impl ExternalFlash {
         Ok(())
     }
 
-    /// Master-side read of the whole stored container.
+    /// Master-side read of the whole stored container: CRC-checked against
+    /// the upload-time footer, then parsed.
     pub fn read(&self) -> Result<MavrContainer, FlashError> {
         let bytes = self.contents.as_ref().ok_or(FlashError::Empty)?;
+        Self::decode(bytes)
+    }
+
+    /// [`ExternalFlash::read`] through a fault plan: the plan corrupts a
+    /// transient copy of the cells (the stored container is untouched), so
+    /// each retry observes a fresh roll of the configured bit rot.
+    pub fn read_chaos(&self, chaos: &mut FaultPlan) -> Result<MavrContainer, FlashError> {
+        let bytes = self.contents.as_ref().ok_or(FlashError::Empty)?;
+        if !chaos.is_active() {
+            return Self::decode(bytes);
+        }
+        let mut copy = bytes.clone();
+        chaos.mangle_flash_read(&mut copy);
+        Self::decode(&copy)
+    }
+
+    /// Verify the integrity footer, strip it, and parse what precedes it.
+    fn decode(bytes: &[u8]) -> Result<MavrContainer, FlashError> {
         let text = std::str::from_utf8(bytes).map_err(|e| FlashError::Corrupt(e.to_string()))?;
-        MavrContainer::parse(text).map_err(|e| FlashError::Corrupt(e.to_string()))
+        let body_len = text
+            .trim_end_matches('\n')
+            .rfind('\n')
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let (body, footer_line) = text.split_at(body_len);
+        let expected = footer_line
+            .trim_end()
+            .strip_prefix(CRC_DIRECTIVE)
+            .and_then(|hex| u32::from_str_radix(hex.trim(), 16).ok())
+            .ok_or_else(|| FlashError::Corrupt("missing ;CRC32 integrity footer".into()))?;
+        let actual = crc32(body.as_bytes());
+        if actual != expected {
+            return Err(FlashError::IntegrityFailure { expected, actual });
+        }
+        MavrContainer::parse(body).map_err(|e| FlashError::Corrupt(e.to_string()))
     }
 
     /// Random-access byte read (the streaming interface of §VI-B3; `None`
@@ -118,6 +189,55 @@ mod tests {
         let back = chip.read().unwrap();
         assert_eq!(back.image, fw.image);
         assert!(chip.read_byte(0).is_some());
+    }
+
+    #[test]
+    fn integrity_footer_is_stored_and_checked() {
+        let fw = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).unwrap();
+        let mut chip = ExternalFlash::new();
+        chip.upload(&mavr::preprocess(&fw.image).unwrap()).unwrap();
+        // The footer is real stored content.
+        let stored: Vec<u8> = (0..).map_while(|i| chip.read_byte(i)).collect();
+        let text = std::str::from_utf8(&stored).unwrap();
+        assert!(text
+            .trim_end()
+            .lines()
+            .last()
+            .unwrap()
+            .starts_with(";CRC32 "));
+
+        // Flip one stored bit: the read must fail closed with the CRC pair.
+        let mut tampered = chip.clone();
+        let mut bytes = stored.clone();
+        let at = bytes.len() / 3;
+        bytes[at] ^= 0x40;
+        tampered.contents = Some(bytes);
+        match tampered.read().unwrap_err() {
+            FlashError::IntegrityFailure { expected, actual } => assert_ne!(expected, actual),
+            other => panic!("expected IntegrityFailure, got {other:?}"),
+        }
+
+        // A chip written without a footer (legacy or torn upload) is corrupt.
+        let mut legacy = chip.clone();
+        let body_end = text.trim_end_matches('\n').rfind('\n').unwrap() + 1;
+        legacy.contents = Some(stored[..body_end].to_vec());
+        assert!(matches!(legacy.read().unwrap_err(), FlashError::Corrupt(_)));
+    }
+
+    #[test]
+    fn chaos_read_with_inert_plan_matches_plain_read() {
+        let fw = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).unwrap();
+        let mut chip = ExternalFlash::new();
+        chip.upload(&mavr::preprocess(&fw.image).unwrap()).unwrap();
+        let mut plan = crate::chaos::FaultPlan::none();
+        assert_eq!(chip.read_chaos(&mut plan).unwrap(), chip.read().unwrap());
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

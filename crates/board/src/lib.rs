@@ -24,6 +24,7 @@
 pub mod app;
 pub mod board;
 pub mod bootloader;
+pub mod chaos;
 pub mod ext_flash;
 pub mod link;
 pub mod master;
@@ -31,7 +32,8 @@ pub mod software_only;
 
 pub use app::AppProcessor;
 pub use board::{BoardEvent, BoardState, MavrBoard, RecoveryCause};
+pub use chaos::{ChaosConfig, ChaosState, FaultPlan, ResilienceStats};
 pub use ext_flash::ExternalFlash;
 pub use link::SerialLink;
-pub use master::{MasterProcessor, StartupReport};
+pub use master::{MasterError, MasterProcessor, StartupReport};
 pub use software_only::SoftwareOnlyBoard;

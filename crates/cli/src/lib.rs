@@ -62,6 +62,7 @@ const VALUED: &[&str] = &[
     "--scenario",
     "--boards",
     "--loss",
+    "--fault",
     "--threads",
     "--capacity",
     "--warmup",
@@ -838,6 +839,50 @@ pub fn cmd_replay(args: &Args) -> Result<String, CliError> {
 /// (`--max-jobs` caps how many jobs one invocation flies); the stitched
 /// report is byte-identical to an uninterrupted run's.
 pub fn cmd_fleet(args: &Args) -> Result<String, CliError> {
+    run_campaign_cmd(args, vec![0.0])
+}
+
+/// The fault-rate sweep `mavr chaos` runs when `--fault` is not given:
+/// a clean baseline plus rates spanning "occasional retry" to "degraded
+/// boots and the odd brick".
+pub const DEFAULT_FAULT_SWEEP: &[f64] = &[0.0, 0.00005, 0.0001, 0.0002, 0.0005];
+
+/// `mavr chaos [app] [--fault F1,F2,..] [... same options as fleet]`
+///
+/// A fleet campaign with fault injection wired through every board's
+/// recovery pipeline: external-flash bit rot and stuck bytes, reflash
+/// stream corruption (bit flips, dropped / duplicated / reordered
+/// frames, truncation), and power loss mid-reflash. Sweeps the
+/// `--fault` rates (default [`DEFAULT_FAULT_SWEEP`]) as an extra matrix
+/// axis and reports reflash-retry, degraded-boot and brick rates per
+/// cell. `--fault 0` reproduces `fleet` output byte-for-byte.
+pub fn cmd_chaos(args: &Args) -> Result<String, CliError> {
+    run_campaign_cmd(args, DEFAULT_FAULT_SWEEP.to_vec())
+}
+
+/// Parse a `--loss` / `--fault` style comma-separated probability list.
+fn parse_prob_list(args: &Args, key: &str, default: Vec<f64>) -> Result<Vec<f64>, CliError> {
+    match args.options.get(key) {
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(|p| {
+                p.parse::<f64>()
+                    .ok()
+                    .filter(|l| (0.0..=1.0).contains(l))
+                    .ok_or_else(|| {
+                        CliError::Usage(format!("bad {key} `{p}` (probabilities in 0..=1)"))
+                    })
+            })
+            .collect::<Result<_, _>>(),
+        None => Ok(default),
+    }
+}
+
+/// Shared implementation of `fleet` and `chaos` — the two differ only in
+/// the default fault sweep.
+fn run_campaign_cmd(args: &Args, default_faults: Vec<f64>) -> Result<String, CliError> {
     use mavr_fleet::{parse_scenarios, run_campaign, CampaignConfig};
 
     let defaults = CampaignConfig::default();
@@ -849,30 +894,19 @@ pub fn cmd_fleet(args: &Args) -> Result<String, CliError> {
         Some(list) => parse_scenarios(list).map_err(CliError::Usage)?,
         None => defaults.scenarios,
     };
-    let loss_levels: Vec<f64> = match args.options.get("--loss") {
-        Some(list) => list
-            .split(',')
-            .map(str::trim)
-            .filter(|p| !p.is_empty())
-            .map(|p| {
-                p.parse::<f64>()
-                    .ok()
-                    .filter(|l| (0.0..=1.0).contains(l))
-                    .ok_or_else(|| {
-                        CliError::Usage(format!("bad --loss `{p}` (probabilities in 0..=1)"))
-                    })
-            })
-            .collect::<Result<_, _>>()?,
-        None => defaults.loss_levels,
-    };
-    if scenarios.is_empty() || loss_levels.is_empty() {
-        return Err(CliError::Usage("empty --scenario or --loss list".into()));
+    let loss_levels = parse_prob_list(args, "--loss", defaults.loss_levels.clone())?;
+    let fault_levels = parse_prob_list(args, "--fault", default_faults)?;
+    if scenarios.is_empty() || loss_levels.is_empty() || fault_levels.is_empty() {
+        return Err(CliError::Usage(
+            "empty --scenario, --loss or --fault list".into(),
+        ));
     }
     let cfg = CampaignConfig {
         seed: u64::from(parse_num(args.options.get("--seed"), 0x2015)?),
         boards: parse_num(args.options.get("--boards"), defaults.boards as u32)? as usize,
         scenarios,
         loss_levels,
+        fault_levels,
         warmup_cycles: u64::from(parse_num(
             args.options.get("--warmup"),
             defaults.warmup_cycles as u32,
@@ -911,7 +945,10 @@ pub fn cmd_fleet(args: &Args) -> Result<String, CliError> {
         match result {
             Some(report) => report,
             None => {
-                let total = cfg.scenarios.len() * cfg.loss_levels.len() * cfg.boards;
+                let total = cfg.scenarios.len()
+                    * cfg.loss_levels.len()
+                    * cfg.fault_levels.len()
+                    * cfg.boards;
                 return Ok(format!(
                     "campaign checkpointed to {ckpt_path}: {}/{total} jobs done \
                      (+{} this run); rerun with the same arguments to continue\n",
@@ -998,6 +1035,14 @@ COMMANDS:
         JSON, whatever --threads is. --checkpoint persists completed jobs
         so an interrupted campaign resumes (budgeted by --max-jobs) to the
         byte-identical report.
+  chaos [app] [--fault F1,F2,..] [... same options as fleet]
+        Fleet campaign with fault injection across every board's recovery
+        pipeline: ext-flash bit rot, reflash-stream corruption (bit flips,
+        dropped/duplicated/reordered frames, truncation) and power loss
+        mid-reflash. Sweeps --fault rates (default 0,5e-5,1e-4,2e-4,5e-4)
+        as an extra matrix axis and reports reflash-retry, degraded-boot
+        and brick rates per cell. --fault 0 reproduces `fleet` output
+        byte-for-byte; the sweep is deterministic like fleet's.
 ";
 
 /// A subcommand implementation: parsed arguments in, output text out.
@@ -1020,6 +1065,7 @@ pub const COMMANDS: &[(&str, CmdFn)] = &[
     ("snapshot", cmd_snapshot),
     ("replay", cmd_replay),
     ("fleet", cmd_fleet),
+    ("chaos", cmd_chaos),
 ];
 
 /// Dispatch a command line (without the program name).
@@ -1192,6 +1238,56 @@ halt:
         ));
         assert!(matches!(
             run(&s(&["fleet", "--boards", "0"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn chaos_is_deterministic_and_fault_zero_matches_fleet() {
+        let common = [
+            "--boards",
+            "1",
+            "--scenario",
+            "stealthy",
+            "--cycles",
+            "3000000",
+            "--threads",
+            "1",
+        ];
+        // Same seed twice: byte-identical chaos reports.
+        let a_path = tmp("chaos-a.json");
+        let b_path = tmp("chaos-b.json");
+        for path in [&a_path, &b_path] {
+            let mut a = vec!["chaos"];
+            a.extend(common);
+            a.extend(["--fault", "0.0005", "-o", path]);
+            run(&s(&a)).unwrap();
+        }
+        let a_json = std::fs::read_to_string(&a_path).unwrap();
+        assert_eq!(a_json, std::fs::read_to_string(&b_path).unwrap());
+        assert!(a_json.contains("\"reflash_retry_rate\""), "{a_json}");
+        assert!(a_json.contains("\"degraded_rate\""), "{a_json}");
+        assert!(a_json.contains("\"brick_rate\""), "{a_json}");
+
+        // `chaos --fault 0` is the chaos-free engine, byte for byte.
+        let chaos0 = tmp("chaos-zero.json");
+        let mut a = vec!["chaos"];
+        a.extend(common);
+        a.extend(["--fault", "0", "-o", &chaos0]);
+        run(&s(&a)).unwrap();
+        let fleet0 = tmp("fleet-zero.json");
+        let mut a = vec!["fleet"];
+        a.extend(common);
+        a.extend(["-o", &fleet0]);
+        run(&s(&a)).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&chaos0).unwrap(),
+            std::fs::read_to_string(&fleet0).unwrap(),
+            "chaos at fault rate 0 must match the plain fleet report"
+        );
+
+        assert!(matches!(
+            run(&s(&["chaos", "--fault", "1.5"])),
             Err(CliError::Usage(_))
         ));
     }

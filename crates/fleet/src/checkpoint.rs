@@ -29,9 +29,11 @@ use std::collections::BTreeMap;
 /// nothing that doesn't (`threads` and telemetry wiring are excluded).
 pub fn config_fingerprint(cfg: &CampaignConfig) -> u64 {
     let losses: Vec<u64> = cfg.loss_levels.iter().map(|l| l.to_bits()).collect();
+    let faults: Vec<u64> = cfg.fault_levels.iter().map(|f| f.to_bits()).collect();
     let scenarios: Vec<&str> = cfg.scenarios.iter().map(Scenario::name).collect();
     let canonical = format!(
         "seed={};boards={};scenarios={scenarios:?};loss_bits={losses:?};\
+         fault_bits={faults:?};\
          warmup={};attack={};gap={};gcs={};app={}",
         cfg.seed,
         cfg.boards,
@@ -163,11 +165,15 @@ fn get_stats(r: &mut Reader<'_>) -> Result<ChannelStats, SnapshotError> {
 fn put_outcome(w: &mut Writer, o: &BoardOutcome) {
     w.put_u8(scenario_tag(o.scenario));
     w.put_u64(o.loss.to_bits());
+    w.put_u64(o.fault.to_bits());
     w.put_u64(o.board_index as u64);
     w.put_u64(o.board_seed);
     w.put_u64(o.attack_packets as u64);
     w.put_bool(o.attack_succeeded);
     w.put_u64(o.recoveries as u64);
+    w.put_u64(o.reflash_retries);
+    w.put_u64(o.degraded_boots);
+    w.put_bool(o.bricked);
     w.put_bool(o.time_to_recovery.is_some());
     w.put_u64(o.time_to_recovery.unwrap_or(0));
     w.put_u64(o.final_cycle);
@@ -185,11 +191,15 @@ fn get_outcome(r: &mut Reader<'_>) -> Result<BoardOutcome, SnapshotError> {
     Ok(BoardOutcome {
         scenario: scenario_from_tag(r.u8()?)?,
         loss: f64::from_bits(r.u64()?),
+        fault: f64::from_bits(r.u64()?),
         board_index: r.u64()? as usize,
         board_seed: r.u64()?,
         attack_packets: r.u64()? as usize,
         attack_succeeded: r.bool()?,
         recoveries: r.u64()? as usize,
+        reflash_retries: r.u64()?,
+        degraded_boots: r.u64()?,
+        bricked: r.bool()?,
         time_to_recovery: {
             let present = r.bool()?;
             let v = r.u64()?;
@@ -215,11 +225,15 @@ mod tests {
         BoardOutcome {
             scenario: Scenario::V2Stealthy,
             loss: 0.02,
+            fault: 0.0001,
             board_index: job % 4,
             board_seed: 0xfeed_0000 + job as u64,
             attack_packets: 1,
             attack_succeeded: false,
             recoveries: 1,
+            reflash_retries: job as u64,
+            degraded_boots: (job % 2) as u64,
+            bricked: job == 3,
             time_to_recovery: job.is_multiple_of(2).then_some(123_456),
             final_cycle: 6_300_000,
             heartbeats: 42,
@@ -279,6 +293,7 @@ mod tests {
             |c: &mut CampaignConfig| c.seed += 1,
             |c: &mut CampaignConfig| c.boards += 1,
             |c: &mut CampaignConfig| c.loss_levels.push(0.5),
+            |c: &mut CampaignConfig| c.fault_levels.push(0.0001),
             |c: &mut CampaignConfig| c.scenarios.push(Scenario::V1Crash),
             |c: &mut CampaignConfig| c.attack_cycles += 1,
         ] {

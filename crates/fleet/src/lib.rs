@@ -13,7 +13,8 @@
 //!   shared queue (boards run on whichever worker is free — results are
 //!   stitched back in job order, so the outcome is thread-count
 //!   invariant, like `rop::brute`);
-//! * subjected to the attack matrix: `scenarios × loss levels × boards`,
+//! * subjected to the attack matrix: `scenarios × loss levels × fault
+//!   rates × boards`,
 //!   where each attack payload is crafted once against the *unprotected*
 //!   image (the paper's threat model — the attacker has the shipped
 //!   binary, not the board's current permutation);
@@ -45,7 +46,7 @@ pub use scenario::{parse_scenarios, Scenario};
 use mavlink_lite::channel::{LossConfig, LossyChannel};
 use mavlink_lite::{GroundStation, Router};
 use mavr::policy::RandomizationPolicy;
-use mavr_board::MavrBoard;
+use mavr_board::{ChaosConfig, FaultPlan, MavrBoard};
 use rop::attack::AttackContext;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -65,7 +66,7 @@ pub const ATTACK_VALUES: [u8; 3] = [0xde, 0xad, 0x42];
 pub struct CampaignConfig {
     /// Master seed: board seeds and channel seeds all derive from it.
     pub seed: u64,
-    /// Boards per `(scenario, loss)` cell.
+    /// Boards per `(scenario, loss, fault)` cell.
     pub boards: usize,
     /// Attack scenarios to schedule against the fleet.
     pub scenarios: Vec<Scenario>,
@@ -73,6 +74,11 @@ pub struct CampaignConfig {
     /// drop, corrupt and duplicate on both link directions). `0.0` is a
     /// perfect link.
     pub loss_levels: Vec<f64>,
+    /// Fault-injection rates to sweep through each board's recovery
+    /// pipeline ([`mavr_board::ChaosConfig::uniform`]). `0.0` injects
+    /// nothing and leaves the board bit-for-bit identical to a
+    /// chaos-free run.
+    pub fault_levels: Vec<f64>,
     /// Cycles each board flies before the attack is injected.
     pub warmup_cycles: u64,
     /// Cycles each board flies after the last attack packet.
@@ -100,6 +106,7 @@ impl Default for CampaignConfig {
             boards: 8,
             scenarios: vec![Scenario::Benign, Scenario::V2Stealthy],
             loss_levels: vec![0.0],
+            fault_levels: vec![0.0],
             warmup_cycles: 300_000,
             attack_cycles: 6_000_000,
             packet_gap_cycles: 1_500_000,
@@ -127,8 +134,16 @@ struct Job {
     scenario: Scenario,
     scenario_idx: usize,
     loss: f64,
+    fault: f64,
     board_index: usize,
     job_index: usize,
+    /// Fault-independent identity: jobs differing only in fault rate share
+    /// it, so board and channel seeds (derived from it) are matched across
+    /// the fault axis — a fault-rate sweep compares the *same* fleet under
+    /// different chaos, not different fleets. Equals `job_index` when
+    /// `fault_levels == [0.0]`, which keeps chaos-free campaigns
+    /// byte-identical to the engine before the fault axis existed.
+    base_index: usize,
 }
 
 /// Drain the board's downlink through its lossy channel into the
@@ -141,15 +156,35 @@ fn pump(board: &mut MavrBoard, down: &mut LossyChannel, gcs: &mut GroundStation)
     }
 }
 
+/// The fault plan a job flies under: inert (and entropy-free) at rate 0,
+/// seeded otherwise from a stream (top bit set, keyed by the full job
+/// index) disjoint from the board/channel streams (which sit at `3b`,
+/// `3b+1`, `3b+2` of the fault-independent base index).
+fn job_fault_plan(cfg: &CampaignConfig, job: Job) -> FaultPlan {
+    if job.fault > 0.0 {
+        FaultPlan::new(
+            derive_seed(cfg.seed, (1u64 << 63) | job.job_index as u64),
+            ChaosConfig::uniform(job.fault),
+        )
+    } else {
+        FaultPlan::none()
+    }
+}
+
 /// Run one board through its scenario. Fully deterministic given the
 /// config and job description.
+///
+/// A board whose recovery pipeline fails terminally (typed
+/// [`mavr_board::MasterError`] after every retry and the degraded
+/// fallback) does **not** abort the campaign: its flight ends where it
+/// bricked and the outcome records the fact.
 fn run_board(
     cfg: &CampaignConfig,
     image: &avr_core::image::FirmwareImage,
     payloads: Option<&[Vec<u8>]>,
     job: Job,
 ) -> (BoardOutcome, GroundStation) {
-    let board_seed = derive_seed(cfg.seed, job.job_index as u64 * 3);
+    let board_seed = derive_seed(cfg.seed, job.base_index as u64 * 3);
     let loss_cfg = LossConfig {
         drop: job.loss,
         corrupt: job.loss,
@@ -159,48 +194,101 @@ fn run_board(
         seed: 0,
     };
     let mut up =
-        LossyChannel::new(loss_cfg.with_seed(derive_seed(cfg.seed, job.job_index as u64 * 3 + 1)));
+        LossyChannel::new(loss_cfg.with_seed(derive_seed(cfg.seed, job.base_index as u64 * 3 + 1)));
     let mut down =
-        LossyChannel::new(loss_cfg.with_seed(derive_seed(cfg.seed, job.job_index as u64 * 3 + 2)));
-    let mut board = MavrBoard::provision(image, board_seed, RandomizationPolicy::default())
-        .expect("campaign firmware fits the prototype board");
+        LossyChannel::new(loss_cfg.with_seed(derive_seed(cfg.seed, job.base_index as u64 * 3 + 2)));
     let mut gcs = GroundStation::with_capacity(cfg.gcs_capacity);
+    let chaos = job_fault_plan(cfg, job);
 
-    board.run(cfg.warmup_cycles).expect("warmup flight");
-    pump(&mut board, &mut down, &mut gcs);
+    let Ok(mut board) = MavrBoard::provision_chaos(
+        image,
+        board_seed,
+        RandomizationPolicy::default(),
+        Telemetry::off(),
+        chaos,
+    ) else {
+        // The very first boot exhausted its retries (there is no
+        // last-known-good image yet): dead on the bench.
+        let outcome = BoardOutcome {
+            scenario: job.scenario,
+            loss: job.loss,
+            fault: job.fault,
+            board_index: job.board_index,
+            board_seed,
+            attack_packets: 0,
+            attack_succeeded: false,
+            recoveries: 0,
+            reflash_retries: 0,
+            degraded_boots: 0,
+            bricked: true,
+            time_to_recovery: None,
+            final_cycle: 0,
+            heartbeats: 0,
+            packets: 0,
+            seq_gaps: 0,
+            packets_lost: 0,
+            bad_checksums: 0,
+            uav_bad_crc: 0,
+            up_stats: up.stats,
+            down_stats: down.stats,
+        };
+        return (outcome, gcs);
+    };
 
-    let injected_at = board.app.machine.cycles();
-    let attack_packets = payloads.map_or(0, <[Vec<u8>]>::len);
-    if let Some(packets) = payloads {
-        for (i, payload) in packets.iter().enumerate() {
-            let wire = gcs.exploit_packet(payload).expect("payload fits a frame");
-            board.uplink(&up.transmit(&wire));
-            if i + 1 < packets.len() {
-                board.run(cfg.packet_gap_cycles).expect("carrier gap");
-                pump(&mut board, &mut down, &mut gcs);
-            }
+    let mut bricked = false;
+    let mut injected_at = None;
+    let mut attack_packets = 0;
+    'flight: {
+        if board.run(cfg.warmup_cycles).is_err() {
+            bricked = true;
+            break 'flight;
         }
-        board.uplink(&up.flush());
+        pump(&mut board, &mut down, &mut gcs);
+
+        injected_at = Some(board.app.machine.cycles());
+        attack_packets = payloads.map_or(0, <[Vec<u8>]>::len);
+        if let Some(packets) = payloads {
+            for (i, payload) in packets.iter().enumerate() {
+                let wire = gcs.exploit_packet(payload).expect("payload fits a frame");
+                board.uplink(&up.transmit(&wire));
+                if i + 1 < packets.len() {
+                    if board.run(cfg.packet_gap_cycles).is_err() {
+                        bricked = true;
+                        break 'flight;
+                    }
+                    pump(&mut board, &mut down, &mut gcs);
+                }
+            }
+            board.uplink(&up.flush());
+        }
+        if board.run(cfg.attack_cycles).is_err() {
+            bricked = true;
+        }
     }
-    board.run(cfg.attack_cycles).expect("attack flight");
     pump(&mut board, &mut down, &mut gcs);
     gcs.ingest(&down.flush());
 
     let attack_succeeded = attack_packets > 0
         && board.app.machine.peek_range(ATTACK_TARGET, 3) == ATTACK_VALUES.to_vec();
-    let time_to_recovery = board
-        .recovery_cycles()
-        .into_iter()
-        .find(|&c| c >= injected_at)
-        .map(|c| c - injected_at);
+    let time_to_recovery = injected_at.and_then(|at| {
+        board
+            .recovery_cycles()
+            .into_iter()
+            .find(|&c| c >= at)
+            .map(|c| c - at)
+    });
     let outcome = BoardOutcome {
         scenario: job.scenario,
         loss: job.loss,
+        fault: job.fault,
         board_index: job.board_index,
         board_seed,
         attack_packets,
         attack_succeeded,
         recoveries: board.recoveries(),
+        reflash_retries: board.master.resilience.reflash_retries,
+        degraded_boots: board.master.resilience.degraded_boots,
+        bricked,
         time_to_recovery,
         final_cycle: board.app.machine.cycles(),
         heartbeats: gcs.heartbeats.total(),
@@ -246,17 +334,24 @@ fn prepare(cfg: &CampaignConfig) -> Prepared {
 /// indices are positions in this list; seeds derive from them, so the list
 /// must be rebuilt identically on resume.
 fn build_jobs(cfg: &CampaignConfig) -> Vec<Job> {
-    let mut jobs = Vec::with_capacity(cfg.scenarios.len() * cfg.loss_levels.len() * cfg.boards);
+    let mut jobs = Vec::with_capacity(
+        cfg.scenarios.len() * cfg.loss_levels.len() * cfg.fault_levels.len() * cfg.boards,
+    );
     for (scenario_idx, &scenario) in cfg.scenarios.iter().enumerate() {
-        for &loss in &cfg.loss_levels {
-            for board_index in 0..cfg.boards {
-                jobs.push(Job {
-                    scenario,
-                    scenario_idx,
-                    loss,
-                    board_index,
-                    job_index: jobs.len(),
-                });
+        for (loss_idx, &loss) in cfg.loss_levels.iter().enumerate() {
+            for &fault in &cfg.fault_levels {
+                for board_index in 0..cfg.boards {
+                    jobs.push(Job {
+                        scenario,
+                        scenario_idx,
+                        loss,
+                        fault,
+                        board_index,
+                        job_index: jobs.len(),
+                        base_index: (scenario_idx * cfg.loss_levels.len() + loss_idx) * cfg.boards
+                            + board_index,
+                    });
+                }
             }
         }
     }
@@ -314,14 +409,16 @@ fn summarize(cfg: &CampaignConfig) -> CampaignSummary {
         boards: cfg.boards,
         scenarios: cfg.scenarios.iter().map(Scenario::name).collect(),
         loss_levels: cfg.loss_levels.clone(),
+        fault_levels: cfg.fault_levels.clone(),
         warmup_cycles: cfg.warmup_cycles,
         attack_cycles: cfg.attack_cycles,
         app: cfg.app.name.to_string(),
     }
 }
 
-/// Run the full campaign matrix: `scenarios × loss_levels × boards` jobs,
-/// distributed over a worker pool, stitched back in job order.
+/// Run the full campaign matrix: `scenarios × loss_levels × fault_levels
+/// × boards` jobs, distributed over a worker pool, stitched back in job
+/// order.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let prepared = prepare(cfg);
     let jobs = build_jobs(cfg);
@@ -345,6 +442,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         outcomes,
         &cfg.scenarios,
         &cfg.loss_levels,
+        &cfg.fault_levels,
     )
 }
 
@@ -407,6 +505,7 @@ pub fn run_campaign_resume(
         outcomes,
         &cfg.scenarios,
         &cfg.loss_levels,
+        &cfg.fault_levels,
     )))
 }
 
@@ -462,6 +561,63 @@ mod tests {
     fn derive_seed_streams_are_distinct() {
         let s: std::collections::BTreeSet<u64> = (0..64).map(|i| derive_seed(7, i)).collect();
         assert_eq!(s.len(), 64);
+    }
+
+    #[test]
+    fn chaos_campaign_is_deterministic_and_faults_bite() {
+        let cfg = CampaignConfig {
+            boards: 2,
+            scenarios: vec![Scenario::V2Stealthy],
+            fault_levels: vec![0.0, 0.0005],
+            attack_cycles: 3_000_000,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&CampaignConfig {
+            threads: 8,
+            ..cfg.clone()
+        });
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "chaos campaigns are thread-count invariant"
+        );
+
+        assert_eq!(a.cells.len(), 2);
+        // The clean cell never touches the chaos machinery…
+        let clean = &a.cells[0];
+        assert_eq!(clean.fault, 0.0);
+        assert_eq!(clean.reflash_retries, 0);
+        assert_eq!(clean.degraded_boots, 0);
+        assert_eq!(clean.boards_bricked, 0);
+        // …while the faulted cell visibly exercises the recovery pipeline
+        // (bit flips on the reflash stream force retries).
+        let noisy = &a.cells[1];
+        assert!(noisy.fault > 0.0);
+        assert!(
+            noisy.reflash_retries > 0,
+            "fault injection never tripped a retry: {noisy:?}"
+        );
+        // Whatever chaos did, the canned exploit still never lands.
+        assert_eq!(noisy.attack_successes, 0);
+    }
+
+    #[test]
+    fn fault_zero_matches_the_chaos_free_engine() {
+        // `fault_levels: [0.0]` must not merely be *close* to the
+        // pre-chaos engine — the inert fault plan consumes no entropy, so
+        // the report must be byte-identical to the default config's.
+        let a = run_campaign(&small_cfg());
+        let b = run_campaign(&CampaignConfig {
+            fault_levels: vec![0.0],
+            ..small_cfg()
+        });
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a
+            .outcomes
+            .iter()
+            .all(|o| !o.bricked && o.reflash_retries == 0 && o.degraded_boots == 0));
     }
 
     #[test]

@@ -17,7 +17,9 @@ pub struct BoardOutcome {
     pub scenario: Scenario,
     /// Per-byte impairment probability of its link (both directions).
     pub loss: f64,
-    /// Board ordinal within its `(scenario, loss)` cell.
+    /// Fault-injection rate of its recovery pipeline (0 = no chaos).
+    pub fault: f64,
+    /// Board ordinal within its `(scenario, loss, fault)` cell.
     pub board_index: usize,
     /// Randomization seed the board was provisioned with.
     pub board_seed: u64,
@@ -27,6 +29,15 @@ pub struct BoardOutcome {
     pub attack_succeeded: bool,
     /// Recoveries (detect + re-randomize + reflash) the master performed.
     pub recoveries: usize,
+    /// Reflash retries (container re-reads, stream retries, page repairs)
+    /// the master's recovery pipeline burned across the run.
+    pub reflash_retries: u64,
+    /// Boots that fell back to the last-known-good image without fresh
+    /// randomization.
+    pub degraded_boots: u64,
+    /// The board exhausted every retry and the degraded fallback — it
+    /// ended the run requiring manual service.
+    pub bricked: bool,
     /// Cycles from attack injection to the master's first detection.
     pub time_to_recovery: Option<u64>,
     /// Application-processor cycle count when the run ended.
@@ -54,8 +65,9 @@ impl BoardOutcome {
     /// One JSONL record (a single line, no trailing newline).
     pub fn to_json_line(&self) -> String {
         format!(
-            "{{\"scenario\":\"{}\",\"loss\":{:.4},\"board\":{},\"seed\":{},\
+            "{{\"scenario\":\"{}\",\"loss\":{:.4},\"fault\":{},\"board\":{},\"seed\":{},\
              \"attack_packets\":{},\"attack_succeeded\":{},\"recoveries\":{},\
+             \"reflash_retries\":{},\"degraded_boots\":{},\"bricked\":{},\
              \"time_to_recovery\":{},\"final_cycle\":{},\"heartbeats\":{},\
              \"packets\":{},\"seq_gaps\":{},\"packets_lost\":{},\
              \"bad_checksums\":{},\"uav_bad_crc\":{},\
@@ -63,11 +75,15 @@ impl BoardOutcome {
              \"down_dropped\":{},\"down_corrupted\":{},\"down_duplicated\":{}}}",
             self.scenario.name(),
             self.loss,
+            self.fault,
             self.board_index,
             self.board_seed,
             self.attack_packets,
             self.attack_succeeded,
             self.recoveries,
+            self.reflash_retries,
+            self.degraded_boots,
+            self.bricked,
             self.time_to_recovery
                 .map_or("null".to_string(), |t| t.to_string()),
             self.final_cycle,
@@ -87,14 +103,16 @@ impl BoardOutcome {
     }
 }
 
-/// Aggregate over one `(scenario, loss)` cell of the campaign matrix —
-/// one point on a link-loss sensitivity curve.
+/// Aggregate over one `(scenario, loss, fault)` cell of the campaign
+/// matrix — one point on a link-loss or fault-rate sensitivity curve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellReport {
     /// The scenario of this cell.
     pub scenario: Scenario,
     /// The loss level of this cell.
     pub loss: f64,
+    /// The fault-injection rate of this cell.
+    pub fault: f64,
     /// Boards in the cell.
     pub boards: usize,
     /// Boards whose attack write landed (the paper's headline: 0 when
@@ -118,15 +136,25 @@ pub struct CellReport {
     pub bytes_dropped: u64,
     /// Channel bytes corrupted, both directions summed.
     pub bytes_corrupted: u64,
+    /// Reflash retries across the cell.
+    pub reflash_retries: u64,
+    /// Degraded (last-known-good, no fresh randomization) boots across
+    /// the cell.
+    pub degraded_boots: u64,
+    /// Boards that booted degraded at least once.
+    pub boards_degraded: usize,
+    /// Boards that ended the run bricked (fail-stop after every retry).
+    pub boards_bricked: usize,
 }
 
 impl CellReport {
-    fn from_outcomes(scenario: Scenario, loss: f64, outs: &[&BoardOutcome]) -> Self {
+    fn from_outcomes(scenario: Scenario, loss: f64, fault: f64, outs: &[&BoardOutcome]) -> Self {
         let mut latencies: Vec<u64> = outs.iter().filter_map(|o| o.time_to_recovery).collect();
         latencies.sort_unstable();
         CellReport {
             scenario,
             loss,
+            fault,
             boards: outs.len(),
             attack_successes: outs.iter().filter(|o| o.attack_succeeded).count(),
             boards_recovered: outs.iter().filter(|o| o.recoveries > 0).count(),
@@ -144,7 +172,27 @@ impl CellReport {
                 .iter()
                 .map(|o| o.up_stats.corrupted + o.down_stats.corrupted)
                 .sum(),
+            reflash_retries: outs.iter().map(|o| o.reflash_retries).sum(),
+            degraded_boots: outs.iter().map(|o| o.degraded_boots).sum(),
+            boards_degraded: outs.iter().filter(|o| o.degraded_boots > 0).count(),
+            boards_bricked: outs.iter().filter(|o| o.bricked).count(),
         }
+    }
+
+    /// Mean reflash retries per board — the cell's retry-rate point on
+    /// the fault-sensitivity curve.
+    pub fn reflash_retry_rate(&self) -> f64 {
+        self.reflash_retries as f64 / self.boards.max(1) as f64
+    }
+
+    /// Fraction of boards that booted degraded at least once.
+    pub fn degraded_rate(&self) -> f64 {
+        self.boards_degraded as f64 / self.boards.max(1) as f64
+    }
+
+    /// Fraction of boards that ended the run bricked.
+    pub fn brick_rate(&self) -> f64 {
+        self.boards_bricked as f64 / self.boards.max(1) as f64
     }
 
     /// Fraction of the cell's boards whose attack write landed.
@@ -183,15 +231,19 @@ impl CellReport {
             _ => ("null".to_string(), "null".to_string()),
         };
         format!(
-            "{{\"scenario\":\"{}\",\"loss\":{:.4},\"boards\":{},\
+            "{{\"scenario\":\"{}\",\"loss\":{:.4},\"fault\":{},\"boards\":{},\
              \"attack_successes\":{},\"attack_success_rate\":{:.4},\
              \"boards_recovered\":{},\"recovery_rate\":{:.4},\
              \"recoveries_total\":{},\"mean_time_to_recovery_cycles\":{},\
-             \"detection_latency_cycles\":{},\"heartbeats\":{},\
+             \"detection_latency_cycles\":{},\"reflash_retries\":{},\
+             \"reflash_retry_rate\":{:.4},\"degraded_boots\":{},\
+             \"degraded_rate\":{:.4},\"boards_bricked\":{},\"brick_rate\":{:.4},\
+             \"heartbeats\":{},\
              \"seq_gaps\":{},\"packets_lost\":{},\"bad_checksums\":{},\
              \"bytes_dropped\":{},\"bytes_corrupted\":{}}}",
             self.scenario.name(),
             self.loss,
+            self.fault,
             self.boards,
             self.attack_successes,
             self.attack_success_rate(),
@@ -200,6 +252,12 @@ impl CellReport {
             self.recoveries_total,
             mttr,
             lat,
+            self.reflash_retries,
+            self.reflash_retry_rate(),
+            self.degraded_boots,
+            self.degraded_rate(),
+            self.boards_bricked,
+            self.brick_rate(),
             self.heartbeats,
             self.seq_gaps,
             self.packets_lost,
@@ -223,6 +281,8 @@ pub struct CampaignSummary {
     pub scenarios: Vec<&'static str>,
     /// Loss levels, in matrix order.
     pub loss_levels: Vec<f64>,
+    /// Fault-injection rates, in matrix order (`[0.0]` when chaos is off).
+    pub fault_levels: Vec<f64>,
     /// Pre-injection cycles per board.
     pub warmup_cycles: u64,
     /// Post-injection cycles per board.
@@ -236,9 +296,9 @@ pub struct CampaignSummary {
 pub struct CampaignReport {
     /// What was run.
     pub config: CampaignSummary,
-    /// One aggregate per `(scenario, loss)` cell, in matrix order
-    /// (scenario-major: each scenario's cells trace its loss-sensitivity
-    /// curve).
+    /// One aggregate per `(scenario, loss, fault)` cell, in matrix order
+    /// (scenario-major: each scenario's cells trace its loss- and
+    /// fault-sensitivity curves).
     pub cells: Vec<CellReport>,
     /// Fleet-wide ground-station totals (all links, via the router).
     pub fleet: RouterTotals,
@@ -254,15 +314,19 @@ impl CampaignReport {
         outcomes: Vec<BoardOutcome>,
         scenarios: &[Scenario],
         loss_levels: &[f64],
+        fault_levels: &[f64],
     ) -> Self {
-        let mut cells = Vec::with_capacity(scenarios.len() * loss_levels.len());
+        let mut cells =
+            Vec::with_capacity(scenarios.len() * loss_levels.len() * fault_levels.len());
         for &s in scenarios {
             for &l in loss_levels {
-                let outs: Vec<&BoardOutcome> = outcomes
-                    .iter()
-                    .filter(|o| o.scenario == s && o.loss == l)
-                    .collect();
-                cells.push(CellReport::from_outcomes(s, l, &outs));
+                for &fr in fault_levels {
+                    let outs: Vec<&BoardOutcome> = outcomes
+                        .iter()
+                        .filter(|o| o.scenario == s && o.loss == l && o.fault == fr)
+                        .collect();
+                    cells.push(CellReport::from_outcomes(s, l, fr, &outs));
+                }
             }
         }
         CampaignReport {
@@ -291,6 +355,16 @@ impl CampaignReport {
             .map(|l| format!("{l:.4}"))
             .collect::<Vec<_>>()
             .join(",");
+        // Plain `Display` rather than `{:.4}`: fault rates sweep down to
+        // 1e-5 and below, which a fixed 4-decimal format would flatten
+        // to 0.0000.
+        let faults = self
+            .config
+            .fault_levels
+            .iter()
+            .map(|fr| format!("{fr}"))
+            .collect::<Vec<_>>()
+            .join(",");
         let cells = self
             .cells
             .iter()
@@ -305,7 +379,8 @@ impl CampaignReport {
             .join(",\n");
         format!(
             "{{\n  \"campaign\": {{\"seed\":{},\"boards_per_cell\":{},\
-             \"scenarios\":[{}],\"loss_levels\":[{}],\"warmup_cycles\":{},\
+             \"scenarios\":[{}],\"loss_levels\":[{}],\"fault_levels\":[{}],\
+             \"warmup_cycles\":{},\
              \"attack_cycles\":{},\"app\":\"{}\"}},\n  \"cells\": [\n{}\n  ],\n  \
              \"fleet\": {{\"links\":{},\"packets\":{},\"heartbeats\":{},\
              \"bad_checksums\":{},\"seq_gaps\":{},\"packets_lost\":{}}},\n  \
@@ -314,6 +389,7 @@ impl CampaignReport {
             self.config.boards,
             scenarios,
             losses,
+            faults,
             self.config.warmup_cycles,
             self.config.attack_cycles,
             self.config.app,
@@ -347,16 +423,27 @@ impl CampaignReport {
         );
         writeln!(
             out,
-            "{:<14}{:>7}{:>8}{:>10}{:>11}{:>9}{:>15}",
-            "scenario", "loss", "boards", "success", "recovered", "rate", "mttr (cycles)"
+            "{:<14}{:>7}{:>9}{:>8}{:>10}{:>11}{:>9}{:>15}{:>9}{:>10}{:>9}",
+            "scenario",
+            "loss",
+            "fault",
+            "boards",
+            "success",
+            "recovered",
+            "rate",
+            "mttr (cycles)",
+            "retries",
+            "degraded",
+            "bricked"
         )
         .unwrap();
         for c in &self.cells {
             writeln!(
                 out,
-                "{:<14}{:>7.4}{:>8}{:>7}/{:<2}{:>8}/{:<2}{:>9.2}{:>15}",
+                "{:<14}{:>7.4}{:>9}{:>8}{:>7}/{:<2}{:>8}/{:<2}{:>9.2}{:>15}{:>9}{:>10}{:>9}",
                 c.scenario.name(),
                 c.loss,
+                format!("{}", c.fault),
                 c.boards,
                 c.attack_successes,
                 c.boards,
@@ -365,6 +452,9 @@ impl CampaignReport {
                 c.recovery_rate(),
                 c.mean_time_to_recovery()
                     .map_or("-".to_string(), |m| format!("{m:.0}")),
+                c.reflash_retries,
+                c.degraded_boots,
+                c.boards_bricked,
             )
             .unwrap();
         }

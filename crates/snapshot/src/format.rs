@@ -29,7 +29,9 @@ use mavr_board::BoardState;
 pub const MAGIC: &[u8; 8] = b"MAVRSNAP";
 
 /// Current format version. Bump on any payload layout change.
-pub const VERSION: u16 = 1;
+/// v2: board payloads carry the fault plan's RNG state and the master's
+/// resilience counters.
+pub const VERSION: u16 = 2;
 
 /// What a snapshot blob contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -655,6 +657,12 @@ pub fn encode_board(s: &BoardState) -> Vec<u8> {
     w.put_u32(s.wear_cycles);
     w.put_u64(s.watch_since);
     w.put_u64(s.heartbeat_timeout);
+    for word in s.chaos.rng {
+        w.put_u64(word);
+    }
+    w.put_u64(s.chaos.injected);
+    w.put_u64(s.reflash_retries);
+    w.put_u64(s.degraded_boots);
     w.finish(Kind::Board)
 }
 
@@ -667,14 +675,28 @@ pub fn decode_board(blob: &[u8]) -> Result<BoardState, SnapshotError> {
     for word in &mut master_rng {
         *word = r.u64()?;
     }
+    let boot_count = r.u32()?;
+    let wear_cycles = r.u32()?;
+    let watch_since = r.u64()?;
+    let heartbeat_timeout = r.u64()?;
+    let mut chaos_rng = [0u64; 4];
+    for word in &mut chaos_rng {
+        *word = r.u64()?;
+    }
     let s = BoardState {
         app,
         app_locked,
         master_rng,
-        boot_count: r.u32()?,
-        wear_cycles: r.u32()?,
-        watch_since: r.u64()?,
-        heartbeat_timeout: r.u64()?,
+        boot_count,
+        wear_cycles,
+        watch_since,
+        heartbeat_timeout,
+        chaos: mavr_board::ChaosState {
+            rng: chaos_rng,
+            injected: r.u64()?,
+        },
+        reflash_retries: r.u64()?,
+        degraded_boots: r.u64()?,
     };
     r.done()?;
     Ok(s)

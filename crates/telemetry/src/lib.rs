@@ -44,6 +44,16 @@ pub mod kinds {
     pub const SNAPSHOT_RESTORED: &str = "snapshot.restored";
     /// A fleet campaign resumed from a checkpoint instead of starting cold.
     pub const CHECKPOINT_RESUMED: &str = "campaign.checkpoint_resumed";
+    /// The master retried part of the reflash pipeline: a container
+    /// re-read, a full-stream re-send, or a page-repair round. Produced by
+    /// the board crate, consumed by fleet chaos reporting and tests.
+    pub const REFLASH_RETRY: &str = "master.reflash_retry";
+    /// The master fell back to degraded safe mode: the last-known-good
+    /// image was re-streamed without fresh randomization.
+    pub const DEGRADED_BOOT: &str = "master.degraded_boot";
+    /// A boot failed terminally after retries and the degraded fallback;
+    /// the board is bricked pending manual service.
+    pub const BOOT_FAILED: &str = "master.boot_failed";
 }
 
 /// A typed field value attached to an event.
