@@ -51,5 +51,5 @@ pub use fault::{Fault, RunExit};
 pub use forensics::CrashReport;
 pub use machine::{Machine, MachineState, SimCounters, Trace, DIRTY_PAGE_SIZE, HEARTBEAT_BIT};
 pub use periph::{Heartbeat, HeartbeatState, Uart, UartState, Watchdog, WatchdogState};
-pub use profiler::PcProfile;
+pub use profiler::{CycleProfile, Flow, FuncCycles, PcProfile};
 pub use timer::{Timer0, Timer0State};

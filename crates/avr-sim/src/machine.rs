@@ -12,7 +12,7 @@ use crate::alu;
 use crate::eeprom::{Eeprom, EEARH_ADDR, EECR_ADDR};
 use crate::fault::{Fault, RunExit};
 use crate::periph::{Heartbeat, Uart, Watchdog, PORTB_ADDR, UCSR0A_ADDR, UDR0_ADDR};
-use crate::profiler::PcProfile;
+use crate::profiler::{CycleProfile, Flow, PcProfile};
 use crate::timer::{self, Timer0, TCCR0B_ADDR, TCNT0_ADDR, TIFR0_ADDR, TIMSK0_ADDR};
 
 /// PORTB bit used as the heartbeat signal to the MAVR master processor.
@@ -119,6 +119,10 @@ pub struct Machine {
     pub telemetry: Telemetry,
     /// Opt-in hot-PC histogram (see [`Machine::enable_profile`]).
     profile: Option<PcProfile>,
+    /// Opt-in symbol-attributed cycle profiler (see
+    /// [`Machine::enable_cycle_profile`]). Boxed: it is cold and large
+    /// relative to the hot machine state.
+    cycle_profile: Option<Box<CycleProfile>>,
     /// Predecoded instruction cache, one entry per flash word. Empty means
     /// "not built yet" — it is built lazily by the first fast [`run`] and
     /// patched in place on every flash mutation, so cached and uncached
@@ -177,6 +181,7 @@ impl Machine {
             interrupts_taken: 0,
             telemetry: Telemetry::off(),
             profile: None,
+            cycle_profile: None,
             icache: Vec::new(),
             predecode: true,
             // A fresh machine is all-dirty: the first keyframe must capture
@@ -556,6 +561,9 @@ impl Machine {
         self.pc = timer::TIMER0_OVF_VECTOR * 2; // 4-byte vector slots
         self.cycles += 5;
         self.interrupts_taken += 1;
+        if let Some(p) = &mut self.cycle_profile {
+            p.interrupt(self.pc * 2, 5);
+        }
         Ok(())
     }
 
@@ -598,6 +606,20 @@ impl Machine {
         self.insns_retired += 1;
         let result = self.exec(entry.insn, pc0, width);
         self.timer0.advance(self.cycles - c0);
+        if let Some(p) = &mut self.cycle_profile {
+            // On a fault the next PC is meaningless; attribute the cycles
+            // but don't follow the (never-completed) call or return.
+            let flow = if result.is_err() {
+                Flow::Straight
+            } else if entry.insn.is_call() {
+                Flow::Call
+            } else if entry.insn.is_return() {
+                Flow::Ret
+            } else {
+                Flow::Straight
+            };
+            p.record(pc0 * 2, self.cycles - c0, flow, self.pc * 2);
+        }
         match result {
             Ok(()) => Ok(()),
             Err(f) => self.fail(f),
@@ -633,6 +655,7 @@ impl Machine {
             && self.breakpoints.is_empty()
             && self.trace.is_none()
             && self.profile.is_none()
+            && self.cycle_profile.is_none()
         {
             return self.run_fast(limit);
         }
@@ -1102,6 +1125,29 @@ impl Machine {
     /// The PC histogram, if profiling is enabled.
     pub fn profile(&self) -> Option<&PcProfile> {
         self.profile.as_ref()
+    }
+
+    /// Enable the symbol-attributed cycle profiler over `image`'s symbol
+    /// table. Forces the careful per-step loop while active (the fast
+    /// event-horizon loop has no per-instruction hook), so expect the
+    /// uncached-run throughput until disabled.
+    pub fn enable_cycle_profile(&mut self, image: &avr_core::image::FirmwareImage) {
+        self.cycle_profile = Some(Box::new(CycleProfile::from_image(image)));
+    }
+
+    /// Disable cycle profiling and drop the data.
+    pub fn disable_cycle_profile(&mut self) {
+        self.cycle_profile = None;
+    }
+
+    /// The cycle profile, if enabled.
+    pub fn cycle_profile(&self) -> Option<&CycleProfile> {
+        self.cycle_profile.as_deref()
+    }
+
+    /// Detach and return the cycle profile, disabling further profiling.
+    pub fn take_cycle_profile(&mut self) -> Option<CycleProfile> {
+        self.cycle_profile.take().map(|b| *b)
     }
 
     /// Snapshot the activity counters across the core and its peripherals.

@@ -17,9 +17,12 @@
 //! `bench-fleet-quick`) times the campaign engine at 1/8/32 boards and
 //! rewrites `BENCH_fleet.json`, `bench-snapshot` (or
 //! `bench-snapshot-quick`) times full vs dirty-page-delta machine
-//! snapshots and rewrites `BENCH_snapshot.json`, and `bench-chaos` (or
+//! snapshots and rewrites `BENCH_snapshot.json`, `bench-chaos` (or
 //! `bench-chaos-quick`) sweeps fault-injection rates through a stealthy
-//! fleet campaign and rewrites `BENCH_chaos.json`.
+//! fleet campaign and rewrites `BENCH_chaos.json`, and `bench-telemetry`
+//! (or `bench-telemetry-quick`) measures the observability plane —
+//! null-recorder simulator overhead, metrics record/merge throughput and
+//! exposition cost — and rewrites `BENCH_telemetry.json`.
 
 use mavr_bench as exp;
 use synth_firmware::{apps, build, BuildOptions};
@@ -266,6 +269,37 @@ fn main() {
         }
         let path = "BENCH_chaos.json";
         std::fs::write(path, t.to_json()).expect("write BENCH_chaos.json");
+        println!("  wrote {path}\n");
+    }
+
+    // Explicitly requested only (writes a file; excluded from `all`).
+    if args
+        .iter()
+        .any(|a| a == "bench-telemetry" || a == "bench-telemetry-quick")
+    {
+        let quick = args.iter().any(|a| a == "bench-telemetry-quick");
+        println!("== Observability plane cost (recorder, metrics, expositions) ==");
+        let t = exp::telemetry_overhead(quick);
+        println!(
+            "  simulator, telemetry off : {:>12.0} cycles/sec\n  \
+             simulator, null recorder : {:>12.0} cycles/sec  ({:+.2}% overhead)\n  \
+             sketch record            : {:>12.0} ops/sec\n  \
+             histogram record (labeled): {:>11.0} ops/sec\n  \
+             registry merge ({} series): {:>11.0} merges/sec\n  \
+             prometheus exposition    : {:>12.0} dumps/sec\n  \
+             jsonl exposition         : {:>12.0} dumps/sec",
+            t.off_cycles_per_sec,
+            t.null_recorder_cycles_per_sec,
+            t.null_recorder_overhead_pct(),
+            t.sketch_records_per_sec,
+            t.histogram_records_per_sec,
+            t.series,
+            t.merges_per_sec,
+            t.prometheus_per_sec,
+            t.jsonl_per_sec,
+        );
+        let path = "BENCH_telemetry.json";
+        std::fs::write(path, t.to_json()).expect("write BENCH_telemetry.json");
         println!("  wrote {path}\n");
     }
 

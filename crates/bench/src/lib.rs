@@ -697,6 +697,195 @@ pub fn snapshot_cost(quick: bool) -> SnapshotCost {
     }
 }
 
+/// Measured cost of the observability plane: simulator overhead of an
+/// attached (null) recorder, metrics record/merge throughput and
+/// exposition cost. See [`telemetry_overhead`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryBench {
+    /// Simulated cycles/sec with telemetry off — the baseline.
+    pub off_cycles_per_sec: f64,
+    /// Simulated cycles/sec with a `NullRecorder` attached (events
+    /// counted, then discarded).
+    pub null_recorder_cycles_per_sec: f64,
+    /// Raw `QuantileSketch::record` calls per second.
+    pub sketch_records_per_sec: f64,
+    /// `MetricsRegistry::observe_histogram` calls per second — the
+    /// labeled-lookup path the fleet fold takes per packet count.
+    pub histogram_records_per_sec: f64,
+    /// Registry shard merges per second on the reference registry.
+    pub merges_per_sec: f64,
+    /// Prometheus text expositions per second of the reference registry.
+    pub prometheus_per_sec: f64,
+    /// JSONL expositions per second of the reference registry.
+    pub jsonl_per_sec: f64,
+    /// Series in the reference registry the merge/exposition rows use.
+    pub series: usize,
+    /// Samples per measurement the medians were taken over.
+    pub samples: usize,
+}
+
+impl TelemetryBench {
+    /// Percent slowdown of the simulator when a null recorder is
+    /// attached (the "instrumentation on, sink off" configuration).
+    pub fn null_recorder_overhead_pct(&self) -> f64 {
+        100.0 * (self.off_cycles_per_sec / self.null_recorder_cycles_per_sec - 1.0)
+    }
+
+    /// The `BENCH_telemetry.json` payload (hand-rolled; the workspace has
+    /// no JSON dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"telemetry_overhead/tiny_firmware\",\n  \"samples\": {},\n  \"series\": {},\n  \"off_cycles_per_sec\": {:.0},\n  \"null_recorder_cycles_per_sec\": {:.0},\n  \"null_recorder_overhead_pct\": {:.2},\n  \"sketch_records_per_sec\": {:.0},\n  \"histogram_records_per_sec\": {:.0},\n  \"merges_per_sec\": {:.0},\n  \"prometheus_per_sec\": {:.0},\n  \"jsonl_per_sec\": {:.0}\n}}\n",
+            self.samples,
+            self.series,
+            self.off_cycles_per_sec,
+            self.null_recorder_cycles_per_sec,
+            self.null_recorder_overhead_pct(),
+            self.sketch_records_per_sec,
+            self.histogram_records_per_sec,
+            self.merges_per_sec,
+            self.prometheus_per_sec,
+            self.jsonl_per_sec,
+        )
+    }
+}
+
+/// A reference registry shaped like one worker shard of a real campaign:
+/// `cells` label combinations, each with the fold's counters, a latency
+/// sketch and a packet histogram.
+fn reference_registry(cells: usize, seed: u64) -> telemetry::metrics::MetricsRegistry {
+    let mut reg = telemetry::metrics::MetricsRegistry::new();
+    let mut x = seed;
+    let mut next = || {
+        // splitmix64, the workspace's standard seed deriver.
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for cell in 0..cells {
+        let loss = format!("{:.4}", cell as f64 * 0.01);
+        let labels = [("scenario", "bench"), ("loss", loss.as_str())];
+        reg.add_counter("campaign_boards_total", &labels, 8);
+        reg.add_counter("recoveries_total", &labels, next() % 8);
+        reg.add_counter("sim_cycles_total", &labels, next() % 1_000_000);
+        for _ in 0..64 {
+            reg.observe_sketch(
+                "campaign_detection_latency_cycles",
+                &labels,
+                next() % 2_000_000,
+            );
+            reg.observe_histogram("campaign_packets_per_board", &labels, next() % 4096);
+        }
+    }
+    reg
+}
+
+/// Measure the observability plane: (a) simulator throughput with
+/// telemetry off vs a `NullRecorder` attached, on the flying tiny
+/// firmware; (b) raw sketch-record and labeled histogram-record rates;
+/// (c) shard-merge and exposition rates on a campaign-shaped reference
+/// registry. Medians over a few samples each; `quick` shortens everything
+/// for CI smoke.
+pub fn telemetry_overhead(quick: bool) -> TelemetryBench {
+    use std::hint::black_box;
+    use telemetry::metrics::{MetricsRegistry, QuantileSketch};
+    use telemetry::{NullRecorder, Telemetry};
+
+    let samples = if quick { 3 } else { 9 };
+    let sim_cycles: u64 = if quick { 300_000 } else { 1_000_000 };
+    let ops: u64 = if quick { 200_000 } else { 2_000_000 };
+    let cells = 12;
+
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    // Median seconds of `f`, which returns a value kept live via black_box.
+    let time_median = |f: &mut dyn FnMut() -> u64| -> f64 {
+        let mut times: Vec<f64> = (0..samples)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                black_box(f());
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        median(&mut times)
+    };
+
+    let fw = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).expect("build");
+    let sim_secs = |telemetry_on: bool| -> f64 {
+        time_median(&mut || {
+            let mut m = avr_sim::Machine::new_atmega2560();
+            if telemetry_on {
+                m.telemetry = Telemetry::new(NullRecorder::default());
+            }
+            m.load_flash(0, &fw.image.bytes);
+            m.run(sim_cycles);
+            assert!(m.fault().is_none(), "bench firmware crashed");
+            m.cycles()
+        })
+    };
+    let off_secs = sim_secs(false);
+    let null_secs = sim_secs(true);
+
+    let sketch_secs = time_median(&mut || {
+        let mut s = QuantileSketch::new();
+        for v in 0..ops {
+            // Cheap LCG so the timed loop is the record call, not the RNG.
+            s.record(v.wrapping_mul(6364136223846793005).wrapping_add(1) % 4_000_000);
+        }
+        s.count()
+    });
+    let histogram_secs = time_median(&mut || {
+        let mut reg = MetricsRegistry::new();
+        let labels = [("scenario", "bench"), ("loss", "0.0000")];
+        for v in 0..ops {
+            reg.observe_histogram("campaign_packets_per_board", &labels, v % 4096);
+        }
+        reg.len() as u64
+    });
+
+    let shard = reference_registry(cells, 0x2015);
+    let series = shard.len();
+    let merge_rounds: u64 = if quick { 200 } else { 2_000 };
+    let merge_secs = time_median(&mut || {
+        let mut acc = MetricsRegistry::new();
+        for _ in 0..merge_rounds {
+            acc.merge(black_box(&shard));
+        }
+        acc.len() as u64
+    });
+    let expo_rounds: u64 = if quick { 200 } else { 2_000 };
+    let prom_secs = time_median(&mut || {
+        let mut bytes = 0u64;
+        for _ in 0..expo_rounds {
+            bytes += black_box(shard.to_prometheus()).len() as u64;
+        }
+        bytes
+    });
+    let jsonl_secs = time_median(&mut || {
+        let mut bytes = 0u64;
+        for _ in 0..expo_rounds {
+            bytes += black_box(shard.to_jsonl()).len() as u64;
+        }
+        bytes
+    });
+
+    TelemetryBench {
+        off_cycles_per_sec: sim_cycles as f64 / off_secs,
+        null_recorder_cycles_per_sec: sim_cycles as f64 / null_secs,
+        sketch_records_per_sec: ops as f64 / sketch_secs,
+        histogram_records_per_sec: ops as f64 / histogram_secs,
+        merges_per_sec: merge_rounds as f64 / merge_secs,
+        prometheus_per_sec: expo_rounds as f64 / prom_secs,
+        jsonl_per_sec: expo_rounds as f64 / jsonl_secs,
+        series,
+        samples,
+    }
+}
+
 /// **Fig. 2** — encode a minimum packet and describe its structure.
 pub fn fig2() -> String {
     let mut gcs = GroundStation::new();

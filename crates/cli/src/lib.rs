@@ -71,6 +71,9 @@ const VALUED: &[&str] = &[
     "--interval",
     "--checkpoint",
     "--max-jobs",
+    "--metrics-out",
+    "--top",
+    "--folded",
 ];
 
 /// Split raw arguments into positionals, options and flags.
@@ -402,6 +405,68 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         gcs.received.len(),
         gcs.bad_checksums(),
     ))
+}
+
+/// `mavr profile <file> [--cycles N] [--top N] [--folded FILE]`
+///
+/// Run the image under the cycle-attributed profiler: every simulated
+/// cycle is charged to the function whose code executed it, with a shadow
+/// call stack tracking inclusive time through calls, returns, interrupts
+/// and lateral (tail-jump / ROP-style) transfers. Prints a table of the
+/// hottest functions by exclusive cycles; `--folded FILE` writes
+/// collapsed call stacks (`frame;frame cycles` lines) ready for any
+/// flamegraph renderer.
+pub fn cmd_profile(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Usage("profile needs a file".into()))?;
+    let img = load_image(path)?;
+    if img.function_count() == 0 {
+        return Err(CliError::Usage(
+            "no symbols — profile needs a MAVR container, not plain HEX".into(),
+        ));
+    }
+    let cycles = u64::from(parse_num(args.options.get("--cycles"), 2_000_000)?);
+    let top = parse_num(args.options.get("--top"), 10)? as usize;
+    let mut m = avr_sim::Machine::new_atmega2560();
+    m.load_flash(0, &img.bytes);
+    m.enable_cycle_profile(&img);
+    let exit = m.run(cycles);
+    let profile = m
+        .take_cycle_profile()
+        .expect("profiler was enabled before run");
+    let mut out = format!(
+        "profiled {} cycles ({:.1} ms at 16 MHz), exit {:?}\n\n",
+        m.cycles(),
+        m.cycles() as f64 / 16_000.0,
+        exit,
+    );
+    let total = profile.total_cycles().max(1);
+    out.push_str(&format!(
+        "{:<28} {:>12} {:>7}  {:>12}\n",
+        "FUNCTION", "EXCLUSIVE", "EXCL%", "INCLUSIVE"
+    ));
+    for f in profile.functions().iter().take(top.max(1)) {
+        out.push_str(&format!(
+            "{:<28} {:>12} {:>6.1}%  {:>12}\n",
+            f.name,
+            f.exclusive,
+            100.0 * f.exclusive as f64 / total as f64,
+            f.inclusive,
+        ));
+    }
+    if profile.folded_dropped_cycles() > 0 {
+        out.push_str(&format!(
+            "\n({} cycles in call paths beyond the folded-stack cap)\n",
+            profile.folded_dropped_cycles()
+        ));
+    }
+    if let Some(folded_path) = args.options.get("--folded") {
+        std::fs::write(folded_path, profile.folded()).map_err(fail)?;
+        out.push_str(&format!("\nwrote folded stacks to {folded_path}\n"));
+    }
+    Ok(out)
 }
 
 /// `mavr attack <file> --target ADDR --values a,b,c [--variant v1|v2]`
@@ -880,10 +945,64 @@ fn parse_prob_list(args: &Args, key: &str, default: Vec<f64>) -> Result<Vec<f64>
     }
 }
 
+/// Stderr sink for `--progress`: renders each campaign heartbeat as one
+/// status line. Wall-clock numbers are confined to this stream; they never
+/// reach the report or the metrics registry.
+#[derive(Default)]
+struct ProgressPrinter {
+    seen: u64,
+}
+
+impl telemetry::Recorder for ProgressPrinter {
+    fn record(&mut self, event: telemetry::Event) {
+        self.seen += 1;
+        if event.kind != telemetry::kinds::CAMPAIGN_PROGRESS {
+            return;
+        }
+        let u = |name: &str| match event.field(name) {
+            Some(telemetry::Value::U64(v)) => *v,
+            _ => 0,
+        };
+        let f = |name: &str| match event.field(name) {
+            Some(telemetry::Value::F64(v)) => *v,
+            _ => 0.0,
+        };
+        eprintln!(
+            "progress: {}/{} jobs | {:.1} Mcycles at {:.2} Mcyc/s | \
+             {} attacks landed, {} recovered, {} bricked | {:.1}s",
+            u("jobs_done"),
+            u("jobs_total"),
+            u("sim_cycles") as f64 / 1e6,
+            f("boards_cycles_per_sec") / 1e6,
+            u("attack_successes"),
+            u("recoveries"),
+            u("bricked"),
+            f("elapsed_ms") / 1000.0,
+        );
+    }
+    fn events_emitted(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// Write a metrics registry to `path`: Prometheus text exposition when the
+/// file name ends in `.prom`, JSON lines otherwise.
+fn write_metrics(
+    path: &str,
+    metrics: &telemetry::metrics::MetricsRegistry,
+) -> Result<(), CliError> {
+    let payload = if path.ends_with(".prom") {
+        metrics.to_prometheus()
+    } else {
+        metrics.to_jsonl()
+    };
+    std::fs::write(path, payload).map_err(fail)
+}
+
 /// Shared implementation of `fleet` and `chaos` — the two differ only in
 /// the default fault sweep.
 fn run_campaign_cmd(args: &Args, default_faults: Vec<f64>) -> Result<String, CliError> {
-    use mavr_fleet::{parse_scenarios, run_campaign, CampaignConfig};
+    use mavr_fleet::{parse_scenarios, run_campaign_with_metrics, CampaignConfig};
 
     let defaults = CampaignConfig::default();
     let app = match args.positional.first() {
@@ -901,7 +1020,7 @@ fn run_campaign_cmd(args: &Args, default_faults: Vec<f64>) -> Result<String, Cli
             "empty --scenario, --loss or --fault list".into(),
         ));
     }
-    let cfg = CampaignConfig {
+    let mut cfg = CampaignConfig {
         seed: u64::from(parse_num(args.options.get("--seed"), 0x2015)?),
         boards: parse_num(args.options.get("--boards"), defaults.boards as u32)? as usize,
         scenarios,
@@ -924,8 +1043,11 @@ fn run_campaign_cmd(args: &Args, default_faults: Vec<f64>) -> Result<String, Cli
     if cfg.boards == 0 {
         return Err(CliError::Usage("--boards must be at least 1".into()));
     }
+    if args.flags.contains("progress") {
+        cfg.telemetry = telemetry::Telemetry::new(ProgressPrinter::default());
+    }
 
-    let report = if let Some(ckpt_path) = args.options.get("--checkpoint") {
+    let (report, metrics) = if let Some(ckpt_path) = args.options.get("--checkpoint") {
         use mavr_fleet::{run_campaign_resume, Checkpoint};
         let mut ckpt = match std::fs::read(ckpt_path) {
             Ok(blob) => Checkpoint::from_bytes(&blob).map_err(fail)?,
@@ -943,7 +1065,13 @@ fn run_campaign_cmd(args: &Args, default_faults: Vec<f64>) -> Result<String, Cli
         let result = run_campaign_resume(&cfg, &mut ckpt, budget).map_err(CliError::Failed)?;
         std::fs::write(ckpt_path, ckpt.to_bytes()).map_err(fail)?;
         match result {
-            Some(report) => report,
+            // A resumed campaign's metrics are a pure fold over its
+            // outcomes, so the stitched registry is byte-identical to an
+            // uninterrupted run's.
+            Some(report) => {
+                let metrics = report.metrics();
+                (report, metrics)
+            }
             None => {
                 let total = cfg.scenarios.len()
                     * cfg.loss_levels.len()
@@ -958,8 +1086,13 @@ fn run_campaign_cmd(args: &Args, default_faults: Vec<f64>) -> Result<String, Cli
             }
         }
     } else {
-        run_campaign(&cfg)
+        run_campaign_with_metrics(&cfg)
     };
+    let mut metrics_note = String::new();
+    if let Some(mpath) = args.options.get("--metrics-out") {
+        write_metrics(mpath, &metrics)?;
+        metrics_note = format!("wrote campaign metrics to {mpath}\n");
+    }
     let rendered = if args.flags.contains("jsonl") {
         report.to_jsonl()
     } else if args.flags.contains("json") {
@@ -976,11 +1109,14 @@ fn run_campaign_cmd(args: &Args, default_faults: Vec<f64>) -> Result<String, Cli
         };
         std::fs::write(path, payload).map_err(fail)?;
         Ok(format!(
-            "{}wrote campaign report to {path}\n",
+            "{}wrote campaign report to {path}\n{metrics_note}",
             report.render()
         ))
-    } else {
+    } else if args.flags.contains("jsonl") || args.flags.contains("json") {
+        // Machine-readable stdout stays pure JSON.
         Ok(rendered)
+    } else {
+        Ok(format!("{rendered}{metrics_note}"))
     }
 }
 
@@ -1007,6 +1143,13 @@ COMMANDS:
         Disassemble, annotated with symbols when present.
   simulate <file> [--cycles N]
         Boot the image on the ATmega2560 simulator and report health.
+  profile <file> [--cycles N] [--top N] [--folded FILE]
+        Run the image under the cycle-attributed profiler: a shadow call
+        stack charges every simulated cycle to a function (inclusive and
+        exclusive, across calls, interrupts and tail jumps). Prints the
+        top-N hottest functions; --folded writes collapsed call stacks
+        (`frame;frame cycles`) ready for a flamegraph renderer. Needs a
+        MAVR container (symbols).
   attack <file> [--target ADDR] [--values a,b,c] [--variant v1|v2]
         Build the paper's ROP exploit packet against the image.
   trace [--scenario boot|clean-attack|stealthy-attack] [--seed N]
@@ -1027,14 +1170,19 @@ COMMANDS:
         post-mortem crash report (-o writes the pre-divergence snapshot).
   fleet [app] [--boards N] [--scenario LIST|all] [--loss L1,L2,..] [--seed N]
         [--warmup N] [--cycles N] [--threads N] [--capacity N]
-        [--checkpoint FILE] [--max-jobs N] [--json | --jsonl] [-o FILE]
+        [--checkpoint FILE] [--max-jobs N] [--progress]
+        [--metrics-out FILE] [--json | --jsonl] [-o FILE]
         Fly a many-UAV campaign over deterministic lossy links: every
         (scenario, loss, board) cell gets its own randomized board and
         link pair; prints the attack-success / recovery-rate table (or the
         full report as JSON). Identical arguments give byte-identical
         JSON, whatever --threads is. --checkpoint persists completed jobs
         so an interrupted campaign resumes (budgeted by --max-jobs) to the
-        byte-identical report.
+        byte-identical report. --progress streams live status lines to
+        stderr; --metrics-out dumps the campaign metrics registry at exit
+        (Prometheus text if FILE ends in .prom, JSON lines otherwise) —
+        the dump is byte-identical whatever --threads is, and identical
+        between checkpointed and uninterrupted runs.
   chaos [app] [--fault F1,F2,..] [... same options as fleet]
         Fleet campaign with fault injection across every board's recovery
         pipeline: ext-flash bit rot, reflash-stream corruption (bit flips,
@@ -1060,6 +1208,7 @@ pub const COMMANDS: &[(&str, CmdFn)] = &[
     ("scan", cmd_scan),
     ("disasm", cmd_disasm),
     ("simulate", cmd_simulate),
+    ("profile", cmd_profile),
     ("attack", cmd_attack),
     ("trace", cmd_trace),
     ("snapshot", cmd_snapshot),
@@ -1300,6 +1449,84 @@ halt:
                 "HELP does not document subcommand `{name}`"
             );
         }
+        // Every option that takes a value must be documented too — a
+        // VALUED entry that HELP never mentions is either dead or a
+        // silently undocumented feature.
+        for opt in VALUED {
+            assert!(
+                HELP.contains(opt),
+                "HELP does not document valued option `{opt}`"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_attributes_cycles_to_firmware_symbols() {
+        let container = tmp("profile.mavrhex");
+        run(&s(&["build", "tiny", "-o", &container])).unwrap();
+        let folded = tmp("profile.folded");
+        let out = run(&s(&[
+            "profile", &container, "--cycles", "400000", "--top", "5", "--folded", &folded,
+        ]))
+        .unwrap();
+        assert!(out.contains("FUNCTION"), "missing table header:\n{out}");
+        // The tiny app spends its time in the CRC inner loop; the table is
+        // sorted by exclusive cycles so the hot leaf leads it.
+        assert!(out.contains("crc_update"), "hot leaf not in table:\n{out}");
+        let stacks = std::fs::read_to_string(&folded).unwrap();
+        assert!(
+            stacks.contains("main_loop;"),
+            "main loop missing from call paths:\n{stacks}"
+        );
+        for line in stacks.lines() {
+            let (path, cycles) = line.rsplit_once(' ').expect("folded line shape");
+            assert!(!path.is_empty());
+            cycles.parse::<u64>().expect("folded cycle count");
+        }
+        // Plain HEX has no symbol table to attribute cycles to.
+        let hex = tmp("profile-plain.hex");
+        std::fs::write(&hex, ":00000001FF\n").unwrap();
+        assert!(matches!(
+            run(&s(&["profile", &hex])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn fleet_metrics_out_is_thread_invariant() {
+        let prom1 = tmp("fleet-metrics-1.prom");
+        let prom4 = tmp("fleet-metrics-4.prom");
+        let base = [
+            "fleet",
+            "tiny",
+            "--boards",
+            "1",
+            "--scenario",
+            "benign",
+            "--cycles",
+            "300000",
+            "--warmup",
+            "200000",
+        ];
+        let mut one: Vec<&str> = base.to_vec();
+        one.extend(["--threads", "1", "--metrics-out", &prom1]);
+        let mut four: Vec<&str> = base.to_vec();
+        four.extend(["--threads", "4", "--metrics-out", &prom4]);
+        let out = run(&s(&one)).unwrap();
+        assert!(out.contains(&format!("wrote campaign metrics to {prom1}")));
+        run(&s(&four)).unwrap();
+        let text = std::fs::read_to_string(&prom1).unwrap();
+        assert_eq!(text, std::fs::read_to_string(&prom4).unwrap());
+        assert!(text.contains("# TYPE campaign_boards_total counter"));
+        // A .jsonl sink switches exposition format.
+        let jsonl = tmp("fleet-metrics.jsonl");
+        let mut jrun: Vec<&str> = base.to_vec();
+        jrun.extend(["--threads", "1", "--metrics-out", &jsonl]);
+        run(&s(&jrun)).unwrap();
+        let lines = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(lines
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')));
     }
 
     #[test]

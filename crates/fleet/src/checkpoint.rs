@@ -24,6 +24,7 @@ use mavlink_lite::channel::ChannelStats;
 use mavlink_lite::RouterTotals;
 use mavr_snapshot::{Kind, Reader, SnapshotError, Writer};
 use std::collections::BTreeMap;
+use telemetry::metrics::QuantileSketch;
 
 /// FNV-1a over the campaign identity: everything that changes the result,
 /// nothing that doesn't (`threads` and telemetry wiring are excluded).
@@ -77,6 +78,11 @@ pub struct Checkpoint {
     pub fingerprint: u64,
     /// Completed jobs: campaign job index → that board's outcome.
     pub outcomes: BTreeMap<u64, BoardOutcome>,
+    /// Detection latencies of the completed jobs, as a mergeable sketch —
+    /// O(1) in campaign size, and what the wire format carries instead of
+    /// a latency vector. Maintained by [`Checkpoint::insert_outcome`]; a
+    /// resumed run can show MTTR-so-far without replaying anything.
+    pub latency_sketch: QuantileSketch,
 }
 
 impl Checkpoint {
@@ -85,6 +91,7 @@ impl Checkpoint {
         Checkpoint {
             fingerprint: config_fingerprint(cfg),
             outcomes: BTreeMap::new(),
+            latency_sketch: QuantileSketch::new(),
         }
     }
 
@@ -93,10 +100,25 @@ impl Checkpoint {
         self.fingerprint == config_fingerprint(cfg)
     }
 
+    /// Record a completed job: stores the outcome and folds its detection
+    /// latency (if any) into the running sketch. Inserting the same job
+    /// index twice is a caller bug (the latency would double-count), so
+    /// it panics.
+    pub fn insert_outcome(&mut self, job: u64, outcome: BoardOutcome) {
+        if let Some(latency) = outcome.time_to_recovery {
+            self.latency_sketch.record(latency);
+        }
+        assert!(
+            self.outcomes.insert(job, outcome).is_none(),
+            "job {job} checkpointed twice"
+        );
+    }
+
     /// Serialize as a CRC-guarded snapshot blob ([`Kind::Checkpoint`]).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.put_u64(self.fingerprint);
+        w.put_bytes(&self.latency_sketch.to_bytes());
         w.put_u64(self.outcomes.len() as u64);
         for (&job, outcome) in &self.outcomes {
             w.put_u64(job);
@@ -109,6 +131,9 @@ impl Checkpoint {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
         let mut r = Reader::open_expecting(bytes, Kind::Checkpoint)?;
         let fingerprint = r.u64()?;
+        let sketch_bytes = r.bytes()?;
+        let latency_sketch = QuantileSketch::from_bytes(&sketch_bytes)
+            .ok_or_else(|| SnapshotError::Malformed("latency sketch".to_string()))?;
         let n = r.u64()? as usize;
         let mut outcomes = BTreeMap::new();
         for _ in 0..n {
@@ -116,10 +141,23 @@ impl Checkpoint {
             outcomes.insert(job, get_outcome(&mut r)?);
         }
         r.done()?;
-        Ok(Checkpoint {
+        let ckpt = Checkpoint {
             fingerprint,
             outcomes,
-        })
+            latency_sketch,
+        };
+        // The sketch is derived state; a blob whose sketch disagrees with
+        // its own outcomes was hand-edited or corrupted past the CRC.
+        let mut derived = QuantileSketch::new();
+        for l in ckpt.outcomes.values().filter_map(|o| o.time_to_recovery) {
+            derived.record(l);
+        }
+        if derived != ckpt.latency_sketch {
+            return Err(SnapshotError::Malformed(
+                "latency sketch disagrees with outcomes".to_string(),
+            ));
+        }
+        Ok(ckpt)
     }
 }
 
@@ -259,8 +297,10 @@ mod tests {
         let cfg = CampaignConfig::default();
         let mut ckpt = Checkpoint::new(&cfg);
         for job in 0..5u64 {
-            ckpt.outcomes.insert(job, sample_outcome(job as usize));
+            ckpt.insert_outcome(job, sample_outcome(job as usize));
         }
+        // Outcomes 0, 2 and 4 carry latencies; the wire sketch tracks them.
+        assert_eq!(ckpt.latency_sketch.count(), 3);
         let blob = ckpt.to_bytes();
         assert_eq!(Checkpoint::from_bytes(&blob).unwrap(), ckpt);
     }
@@ -269,7 +309,7 @@ mod tests {
     fn corrupt_checkpoint_is_rejected() {
         let cfg = CampaignConfig::default();
         let mut ckpt = Checkpoint::new(&cfg);
-        ckpt.outcomes.insert(0, sample_outcome(0));
+        ckpt.insert_outcome(0, sample_outcome(0));
         let mut blob = ckpt.to_bytes();
         let mid = blob.len() / 2;
         blob[mid] ^= 1;

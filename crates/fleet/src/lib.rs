@@ -40,7 +40,10 @@ pub mod report;
 pub mod scenario;
 
 pub use checkpoint::{config_fingerprint, totals_from_outcomes, Checkpoint};
-pub use report::{BoardOutcome, CampaignReport, CampaignSummary, CellReport};
+pub use report::{
+    fold_outcome_metrics, registry_from_outcomes, BoardOutcome, CampaignReport, CampaignSummary,
+    CellReport,
+};
 pub use scenario::{parse_scenarios, Scenario};
 
 use mavlink_lite::channel::{LossConfig, LossyChannel};
@@ -48,9 +51,11 @@ use mavlink_lite::{GroundStation, Router};
 use mavr::policy::RandomizationPolicy;
 use mavr_board::{ChaosConfig, FaultPlan, MavrBoard};
 use rop::attack::AttackContext;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 use synth_firmware::{apps, build, layout, AppSpec, BuildOptions};
+use telemetry::metrics::MetricsRegistry;
 use telemetry::{kinds, Telemetry, Value};
 
 /// The 3-byte sensor write every attack scenario attempts (gyro state, as
@@ -94,9 +99,14 @@ pub struct CampaignConfig {
     /// target is).
     pub app: AppSpec,
     /// Flight-recorder handle for engine-level events (checkpoint resume,
-    /// …). Never affects results and is excluded from the checkpoint
-    /// fingerprint.
+    /// progress heartbeats, …). Never affects results and is excluded
+    /// from the checkpoint fingerprint.
     pub telemetry: Telemetry,
+    /// Minimum wall-clock milliseconds between `campaign.progress`
+    /// heartbeats (plus one final beat when the run ends). Only matters
+    /// when `telemetry` is attached; never affects results or the
+    /// checkpoint fingerprint.
+    pub progress_interval_ms: u64,
 }
 
 impl Default for CampaignConfig {
@@ -114,6 +124,7 @@ impl Default for CampaignConfig {
             threads: 0,
             app: apps::tiny_test_app(),
             telemetry: Telemetry::off(),
+            progress_interval_ms: 500,
         }
     }
 }
@@ -358,13 +369,111 @@ fn build_jobs(cfg: &CampaignConfig) -> Vec<Job> {
     jobs
 }
 
+/// Wall-clock-throttled `campaign.progress` heartbeat emitter, shared by
+/// every worker thread. Heartbeats are the **only** place wall-clock
+/// numbers (elapsed time, boards·cycles/sec) appear — they ride the
+/// telemetry bus, never the report or the metrics registry, so results
+/// stay byte-identical across machines and runs.
+struct ProgressMeter<'a> {
+    telemetry: &'a Telemetry,
+    /// Jobs completed before this call (resume picks up mid-campaign).
+    done_offset: usize,
+    /// Full campaign matrix size, not just this call's batch.
+    grand_total: usize,
+    interval: Duration,
+    started: Instant,
+    done: AtomicUsize,
+    cycles: AtomicU64,
+    attacks: AtomicUsize,
+    recoveries: AtomicUsize,
+    bricked: AtomicUsize,
+    last_emit: Mutex<Instant>,
+}
+
+impl<'a> ProgressMeter<'a> {
+    fn new(cfg: &'a CampaignConfig, done_offset: usize, grand_total: usize) -> Self {
+        let now = Instant::now();
+        ProgressMeter {
+            telemetry: &cfg.telemetry,
+            done_offset,
+            grand_total,
+            interval: Duration::from_millis(cfg.progress_interval_ms),
+            started: now,
+            done: AtomicUsize::new(0),
+            cycles: AtomicU64::new(0),
+            attacks: AtomicUsize::new(0),
+            recoveries: AtomicUsize::new(0),
+            bricked: AtomicUsize::new(0),
+            last_emit: Mutex::new(now),
+        }
+    }
+
+    /// Account one finished job and emit a heartbeat if the throttle
+    /// window has elapsed.
+    fn observe(&self, o: &BoardOutcome) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+        self.cycles.fetch_add(o.final_cycle, Ordering::Relaxed);
+        if o.attack_succeeded {
+            self.attacks.fetch_add(1, Ordering::Relaxed);
+        }
+        self.recoveries.fetch_add(o.recoveries, Ordering::Relaxed);
+        if o.bricked {
+            self.bricked.fetch_add(1, Ordering::Relaxed);
+        }
+        self.emit(false);
+    }
+
+    fn emit(&self, force: bool) {
+        if !self.telemetry.is_active() {
+            return;
+        }
+        let now = Instant::now();
+        {
+            let mut last = self.last_emit.lock().expect("no poisoned meter");
+            if !force && now.duration_since(*last) < self.interval {
+                return;
+            }
+            *last = now;
+        }
+        let cycles = self.cycles.load(Ordering::Relaxed);
+        let elapsed = now.duration_since(self.started).as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            cycles as f64 / elapsed
+        } else {
+            0.0
+        };
+        let done = (self.done_offset + self.done.load(Ordering::Relaxed)) as u64;
+        let (attacks, recoveries, bricked) = (
+            self.attacks.load(Ordering::Relaxed) as u64,
+            self.recoveries.load(Ordering::Relaxed) as u64,
+            self.bricked.load(Ordering::Relaxed) as u64,
+        );
+        self.telemetry.emit(kinds::CAMPAIGN_PROGRESS, None, || {
+            vec![
+                ("jobs_done", Value::U64(done)),
+                ("jobs_total", Value::U64(self.grand_total as u64)),
+                ("sim_cycles", Value::U64(cycles)),
+                ("attack_successes", Value::U64(attacks)),
+                ("recoveries", Value::U64(recoveries)),
+                ("bricked", Value::U64(bricked)),
+                ("elapsed_ms", Value::F64(elapsed * 1000.0)),
+                ("boards_cycles_per_sec", Value::F64(rate)),
+            ]
+        });
+    }
+}
+
 /// Run `jobs` (any subset of the campaign matrix) over the worker pool.
-/// Results come back positionally aligned with `jobs`.
+/// Results come back positionally aligned with `jobs`, together with the
+/// merged per-worker metrics shards (each worker folds its outcomes into
+/// a private [`MetricsRegistry`]; shard merge is order-insensitive, so
+/// the merged registry is identical at any thread count).
 fn execute_jobs(
     cfg: &CampaignConfig,
     prepared: &Prepared,
     jobs: &[Job],
-) -> Vec<(BoardOutcome, GroundStation)> {
+    meter: &ProgressMeter<'_>,
+) -> (Vec<(BoardOutcome, GroundStation)>, MetricsRegistry) {
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -378,29 +487,44 @@ fn execute_jobs(
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<(BoardOutcome, GroundStation)>>> =
         Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let shards: Mutex<Vec<MetricsRegistry>> = Mutex::new(Vec::with_capacity(threads));
     std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i).copied() else {
-                    break;
-                };
-                let result = run_board(
-                    cfg,
-                    &prepared.image,
-                    prepared.payloads[job.scenario_idx].as_deref(),
-                    job,
-                );
-                slots.lock().expect("no poisoned worker")[i] = Some(result);
+            s.spawn(|| {
+                let mut shard = MetricsRegistry::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i).copied() else {
+                        break;
+                    };
+                    let result = run_board(
+                        cfg,
+                        &prepared.image,
+                        prepared.payloads[job.scenario_idx].as_deref(),
+                        job,
+                    );
+                    fold_outcome_metrics(&mut shard, &result.0);
+                    meter.observe(&result.0);
+                    slots.lock().expect("no poisoned worker")[i] = Some(result);
+                }
+                shards.lock().expect("no poisoned shard list").push(shard);
             });
         }
     });
-    slots
+    meter.emit(true);
+    // Shard arrival order depends on thread scheduling; the merge does
+    // not — it is associative and commutative by construction.
+    let mut metrics = MetricsRegistry::new();
+    for shard in shards.into_inner().expect("workers done") {
+        metrics.merge(&shard);
+    }
+    let results = slots
         .into_inner()
         .expect("workers done")
         .into_iter()
         .map(|slot| slot.expect("every job ran"))
-        .collect()
+        .collect();
+    (results, metrics)
 }
 
 fn summarize(cfg: &CampaignConfig) -> CampaignSummary {
@@ -420,9 +544,19 @@ fn summarize(cfg: &CampaignConfig) -> CampaignSummary {
 /// × boards` jobs, distributed over a worker pool, stitched back in job
 /// order.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    run_campaign_with_metrics(cfg).0
+}
+
+/// [`run_campaign`], also returning the campaign metrics registry the
+/// worker shards merged into. The registry is byte-identical
+/// (`to_prometheus`/`to_jsonl`) to [`CampaignReport::metrics`] — the
+/// shard path just avoids a second pass over the outcomes — and contains
+/// no wall-clock data, so two same-seed runs' expositions diff clean.
+pub fn run_campaign_with_metrics(cfg: &CampaignConfig) -> (CampaignReport, MetricsRegistry) {
     let prepared = prepare(cfg);
     let jobs = build_jobs(cfg);
-    let results = execute_jobs(cfg, &prepared, &jobs);
+    let meter = ProgressMeter::new(cfg, 0, jobs.len());
+    let (results, mut metrics) = execute_jobs(cfg, &prepared, &jobs, &meter);
 
     let mut router = Router::with_capacity(cfg.gcs_capacity);
     let mut outcomes = Vec::with_capacity(jobs.len());
@@ -435,15 +569,21 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     // resumed reports are byte-identical only because this fold agrees with
     // the router.
     debug_assert_eq!(fleet, totals_from_outcomes(&outcomes));
+    metrics.set_gauge("campaign_jobs_total", &[], outcomes.len() as f64);
+    // Same contract for metrics: the shard-merged registry must agree with
+    // the pure fold over the outcome list, or resumed campaigns would
+    // expose different bytes.
+    debug_assert_eq!(metrics, registry_from_outcomes(&outcomes));
 
-    CampaignReport::assemble(
+    let report = CampaignReport::assemble(
         summarize(cfg),
         fleet,
         outcomes,
         &cfg.scenarios,
         &cfg.loss_levels,
         &cfg.fault_levels,
-    )
+    );
+    (report, metrics)
 }
 
 /// Continue a campaign from `checkpoint`, running at most `budget_jobs`
@@ -488,9 +628,10 @@ pub fn run_campaign_resume(
         pending.truncate(budget);
     }
     let prepared = prepare(cfg);
-    let results = execute_jobs(cfg, &prepared, &pending);
+    let meter = ProgressMeter::new(cfg, done_before, jobs.len());
+    let (results, _shard_metrics) = execute_jobs(cfg, &prepared, &pending, &meter);
     for (job, (outcome, _gcs)) in pending.iter().zip(results) {
-        checkpoint.outcomes.insert(job.job_index as u64, outcome);
+        checkpoint.insert_outcome(job.job_index as u64, outcome);
     }
     if checkpoint.outcomes.len() < jobs.len() {
         return Ok(None);
@@ -623,7 +764,7 @@ mod tests {
     #[test]
     fn checkpointed_campaign_is_byte_identical_to_uninterrupted() {
         let cfg = small_cfg();
-        let uninterrupted = run_campaign(&cfg);
+        let (uninterrupted, uninterrupted_metrics) = run_campaign_with_metrics(&cfg);
 
         // Kill after one job, serialize the checkpoint, resume in a second
         // "process" (fresh Checkpoint from bytes) with a different thread
@@ -645,6 +786,21 @@ mod tests {
             .unwrap()
             .expect("all remaining jobs fit in an unbounded budget");
         assert_eq!(report.to_json(), uninterrupted.to_json());
+        // Metrics survive the kill/serialize/resume cycle byte-identically
+        // too: the registry is a pure fold over outcomes, and the wire
+        // format carried the latency sketch, not a vector.
+        assert_eq!(
+            report.metrics().to_prometheus(),
+            uninterrupted_metrics.to_prometheus()
+        );
+        assert_eq!(
+            report.metrics().to_jsonl(),
+            uninterrupted_metrics.to_jsonl()
+        );
+        assert_eq!(
+            ckpt2.latency_sketch, uninterrupted.cells[1].latency_sketch,
+            "checkpoint wire sketch must equal the stealthy cell's sketch"
+        );
         resumed_cfg
             .telemetry
             .with_recorder::<telemetry::RingRecorder, _>(|r| {

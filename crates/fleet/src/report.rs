@@ -9,6 +9,7 @@
 use crate::scenario::Scenario;
 use mavlink_lite::channel::ChannelStats;
 use mavlink_lite::RouterTotals;
+use telemetry::metrics::{MetricsRegistry, QuantileSketch};
 
 /// Everything observed about one board's run in the campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,8 +123,11 @@ pub struct CellReport {
     pub boards_recovered: usize,
     /// Total recoveries across the cell.
     pub recoveries_total: u64,
-    /// Detection latencies (cycles from injection to detection), sorted.
-    pub latencies: Vec<u64>,
+    /// Detection-latency distribution (cycles from injection to
+    /// detection), held as a mergeable quantile sketch: O(1) RAM in the
+    /// number of boards, exact mean/min/max, quantiles within
+    /// [`telemetry::metrics::RELATIVE_ERROR`] (~3.2%).
+    pub latency_sketch: QuantileSketch,
     /// Ground-station heartbeats decoded across the cell.
     pub heartbeats: u64,
     /// Sequence gaps across the cell.
@@ -149,8 +153,10 @@ pub struct CellReport {
 
 impl CellReport {
     fn from_outcomes(scenario: Scenario, loss: f64, fault: f64, outs: &[&BoardOutcome]) -> Self {
-        let mut latencies: Vec<u64> = outs.iter().filter_map(|o| o.time_to_recovery).collect();
-        latencies.sort_unstable();
+        let mut latency_sketch = QuantileSketch::new();
+        for l in outs.iter().filter_map(|o| o.time_to_recovery) {
+            latency_sketch.record(l);
+        }
         CellReport {
             scenario,
             loss,
@@ -159,7 +165,7 @@ impl CellReport {
             attack_successes: outs.iter().filter(|o| o.attack_succeeded).count(),
             boards_recovered: outs.iter().filter(|o| o.recoveries > 0).count(),
             recoveries_total: outs.iter().map(|o| o.recoveries as u64).sum(),
-            latencies,
+            latency_sketch,
             heartbeats: outs.iter().map(|o| o.heartbeats).sum(),
             seq_gaps: outs.iter().map(|o| o.seq_gaps).sum(),
             packets_lost: outs.iter().map(|o| o.packets_lost).sum(),
@@ -206,20 +212,21 @@ impl CellReport {
     }
 
     /// Mean cycles from injection to detection, over detected boards.
+    /// **Exact**: the sketch keeps the true sum and count alongside its
+    /// buckets, so MTTR never suffers sketch error.
     pub fn mean_time_to_recovery(&self) -> Option<f64> {
-        if self.latencies.is_empty() {
-            return None;
-        }
-        Some(self.latencies.iter().map(|&l| l as f64).sum::<f64>() / self.latencies.len() as f64)
+        self.latency_sketch.mean()
     }
 
-    /// `(min, median, max)` of the detection-latency distribution.
+    /// `(min, median, max)` of the detection-latency distribution, from
+    /// the sketch. Min and max are exact; the median is the sketch's
+    /// rank-based estimate: the lower bound of the bucket holding the
+    /// median rank, so it is `<=` the true median and within
+    /// [`telemetry::metrics::RELATIVE_ERROR`] (one log2-sub-bucket width,
+    /// 1/32 ≈ 3.2%) of it.
     pub fn latency_spread(&self) -> Option<(u64, u64, u64)> {
-        let l = &self.latencies;
-        if l.is_empty() {
-            return None;
-        }
-        Some((l[0], l[l.len() / 2], l[l.len() - 1]))
+        let s = &self.latency_sketch;
+        Some((s.min()?, s.quantile(0.5)?, s.max()?))
     }
 
     fn to_json(&self) -> String {
@@ -266,6 +273,66 @@ impl CellReport {
             self.bytes_corrupted,
         )
     }
+}
+
+/// Fold one board's outcome into a metrics registry shard.
+///
+/// This is the **single** aggregation function behind campaign metrics:
+/// worker threads call it on their private shards as jobs finish, and
+/// [`CampaignReport::metrics`] calls it over the final outcome list. Both
+/// paths produce byte-identical expositions because registry merge is
+/// order-insensitive — which is also what makes resumed-from-checkpoint
+/// metrics byte-identical to uninterrupted runs (outcomes are outcomes,
+/// however they were scheduled). Labels are the cell coordinates; values
+/// are counters, one latency sketch, and one packets histogram per cell,
+/// so memory is O(cells), not O(boards).
+pub fn fold_outcome_metrics(reg: &mut MetricsRegistry, o: &BoardOutcome) {
+    let loss = format!("{:.4}", o.loss);
+    let fault = format!("{}", o.fault);
+    let labels: &[(&str, &str)] = &[
+        ("scenario", o.scenario.name()),
+        ("loss", &loss),
+        ("fault", &fault),
+    ];
+    reg.add_counter("campaign_boards_total", labels, 1);
+    reg.add_counter(
+        "campaign_attack_successes_total",
+        labels,
+        u64::from(o.attack_succeeded),
+    );
+    reg.add_counter(
+        "campaign_boards_recovered_total",
+        labels,
+        u64::from(o.recoveries > 0),
+    );
+    reg.add_counter("campaign_recoveries_total", labels, o.recoveries as u64);
+    reg.add_counter("campaign_reflash_retries_total", labels, o.reflash_retries);
+    reg.add_counter("campaign_degraded_boots_total", labels, o.degraded_boots);
+    reg.add_counter(
+        "campaign_boards_bricked_total",
+        labels,
+        u64::from(o.bricked),
+    );
+    reg.add_counter("campaign_heartbeats_total", labels, o.heartbeats);
+    reg.add_counter("campaign_seq_gaps_total", labels, o.seq_gaps);
+    reg.add_counter("campaign_sim_cycles_total", labels, o.final_cycle);
+    if let Some(latency) = o.time_to_recovery {
+        reg.observe_sketch("campaign_detection_latency_cycles", labels, latency);
+    }
+    reg.observe_histogram("campaign_packets_per_board", labels, o.packets);
+}
+
+/// Build the complete campaign registry from an outcome list: every
+/// outcome folded via [`fold_outcome_metrics`] plus the job-count gauge.
+/// Pure and deterministic — the oracle the sharded production path is
+/// checked against.
+pub fn registry_from_outcomes(outcomes: &[BoardOutcome]) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    for o in outcomes {
+        fold_outcome_metrics(&mut reg, o);
+    }
+    reg.set_gauge("campaign_jobs_total", &[], outcomes.len() as f64);
+    reg
 }
 
 /// The configuration echo embedded in a report. Deliberately excludes
@@ -402,6 +469,14 @@ impl CampaignReport {
             self.fleet.packets_lost,
             boards,
         )
+    }
+
+    /// The campaign's metrics registry, rebuilt from the outcome list.
+    /// Byte-identical (`to_prometheus`/`to_jsonl`) to the shard-merged
+    /// registry the worker pool accumulates, at any thread count, and for
+    /// resumed-from-checkpoint campaigns.
+    pub fn metrics(&self) -> MetricsRegistry {
+        registry_from_outcomes(&self.outcomes)
     }
 
     /// One JSON line per board outcome, in job order.

@@ -54,7 +54,15 @@ pub mod kinds {
     /// A boot failed terminally after retries and the degraded fallback;
     /// the board is bricked pending manual service.
     pub const BOOT_FAILED: &str = "master.boot_failed";
+    /// Periodic campaign progress heartbeat: jobs done/total, running
+    /// tallies, and boards·cycles/sec throughput. Produced by the fleet
+    /// worker pool, rendered live by `mavr-cli fleet --progress`. The only
+    /// place wall-clock numbers are allowed — metrics snapshots stay
+    /// wall-clock-free so same-seed runs diff byte-identical.
+    pub const CAMPAIGN_PROGRESS: &str = "campaign.progress";
 }
+
+pub mod metrics;
 
 /// A typed field value attached to an event.
 #[derive(Debug, Clone, PartialEq)]

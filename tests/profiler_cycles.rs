@@ -1,0 +1,141 @@
+//! Hand-computed acceptance for the cycle-attributed profiler: tiny
+//! assembled programs whose per-symbol cycle budgets can be worked out on
+//! paper from `avr_core::cycles::base_cycles`, asserted exactly — the
+//! per-function table and the folded-stacks flamegraph export both.
+
+use mavr_repro::avr_asm::{link, parse_program};
+use mavr_repro::avr_sim::{Fault, Machine, RunExit};
+
+fn profile(src: &str) -> (Machine, mavr_repro::avr_sim::CycleProfile) {
+    let program = parse_program(src).expect("parse");
+    let image = link(&program).expect("link");
+    let mut m = Machine::new_atmega2560();
+    m.load_flash(0, &image.bytes);
+    m.enable_cycle_profile(&image);
+    let exit = m.run(10_000);
+    assert!(
+        matches!(exit, RunExit::Faulted(Fault::Break { .. })),
+        "program must halt at its break: {exit:?}"
+    );
+    let p = m.take_cycle_profile().expect("profiler was enabled");
+    (m, p)
+}
+
+#[test]
+fn call_ret_budget_is_exact() {
+    // Cycle budget (base_cycles): reset `jmp main` = 3 (charged to
+    // __vectors), ldi/out = 1 each, call = 5, ret = 5, break = 1.
+    //
+    //   __vectors : 3                                      (jmp main)
+    //   main      : 4 (SP init) + 5 + 5 (calls) + 1 (break) = 15 exclusive
+    //   work      : 2 × (1 + 5)                            = 12 exclusive
+    //   main incl : 15 + 12 = 27; total = 3 + 15 + 12 = 30
+    let (m, p) = profile(
+        "
+.device atmega2560
+.vectors 1
+.vector 0 main
+
+.func main
+    ldi r24, 0x21
+    out 0x3e, r24
+    ldi r24, 0xff
+    out 0x3d, r24
+    call work
+    call work
+    break
+.endfunc
+
+.func work
+    ldi r25, 7
+    ret
+.endfunc
+",
+    );
+    assert_eq!(m.cycles(), 30);
+    assert_eq!(p.total_cycles(), 30);
+    assert_eq!(p.folded_dropped_cycles(), 0);
+
+    let funcs = p.functions();
+    let by_name = |n: &str| funcs.iter().find(|f| f.name == n).expect(n);
+    assert_eq!(funcs.len(), 3, "exactly three symbols ran: {funcs:?}");
+    assert_eq!(funcs[0].name, "main", "hot loop must lead the table");
+    assert_eq!(
+        (by_name("main").exclusive, by_name("main").inclusive),
+        (15, 27)
+    );
+    assert_eq!(
+        (by_name("work").exclusive, by_name("work").inclusive),
+        (12, 12)
+    );
+    assert_eq!(
+        (
+            by_name("__vectors").exclusive,
+            by_name("__vectors").inclusive
+        ),
+        (3, 3)
+    );
+
+    assert_eq!(p.folded(), "__vectors 3\nmain 15\nmain;work 12\n");
+}
+
+#[test]
+fn tail_jump_is_a_lateral_move_not_a_call() {
+    // `work` tail-jumps into `tailee`, whose `ret` returns straight to
+    // `main` — the profiler must *replace* the top frame on the lateral
+    // move (no main;work;tailee nesting) and still pop back to main.
+    //
+    //   __vectors : 3
+    //   main      : 4 (SP init) + 5 (call) + 1 (break) = 10 exclusive
+    //   work      : 1 (ldi) + 3 (jmp)                  =  4 exclusive
+    //   tailee    : 1 (ldi) + 5 (ret)                  =  6 exclusive
+    //   main incl : 10 + 4 + 6 = 20; total = 23
+    let (m, p) = profile(
+        "
+.device atmega2560
+.vectors 1
+.vector 0 main
+
+.func main
+    ldi r24, 0x21
+    out 0x3e, r24
+    ldi r24, 0xff
+    out 0x3d, r24
+    call work
+    break
+.endfunc
+
+.func work
+    ldi r25, 1
+    jmp tailee
+.endfunc
+
+.func tailee
+    ldi r25, 2
+    ret
+.endfunc
+",
+    );
+    assert_eq!(m.cycles(), 23);
+    assert_eq!(p.total_cycles(), 23);
+
+    let funcs = p.functions();
+    let by_name = |n: &str| funcs.iter().find(|f| f.name == n).expect(n);
+    assert_eq!(
+        (by_name("main").exclusive, by_name("main").inclusive),
+        (10, 20)
+    );
+    assert_eq!(
+        (by_name("work").exclusive, by_name("work").inclusive),
+        (4, 4)
+    );
+    assert_eq!(
+        (by_name("tailee").exclusive, by_name("tailee").inclusive),
+        (6, 6)
+    );
+
+    assert_eq!(
+        p.folded(),
+        "__vectors 3\nmain 10\nmain;tailee 6\nmain;work 4\n"
+    );
+}
