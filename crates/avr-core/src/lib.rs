@@ -13,6 +13,8 @@
 //!   gadget scanner and by the harness that regenerates the paper's gadget
 //!   listings (Figs. 4 and 5),
 //! * [`cycles`] — instruction timing used by the cycle-accurate simulator,
+//! * [`block`] — basic-block discovery and cycle folding over predecoded
+//!   tables, feeding the simulator's block-fused fast dispatch,
 //! * [`image`] — the `FirmwareImage`/`Symbol` vocabulary shared by the
 //!   assembler, the randomizer and the attack library.
 //!
@@ -36,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod cycles;
 pub mod decode;
 pub mod device;

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod alu;
+mod blockcache;
 pub mod eeprom;
 mod fault;
 pub mod forensics;
@@ -46,6 +47,7 @@ mod periph;
 pub mod profiler;
 pub mod timer;
 
+pub use blockcache::BlockStats;
 pub use eeprom::{Eeprom, EepromState};
 pub use fault::{Fault, RunExit};
 pub use forensics::CrashReport;

@@ -9,6 +9,7 @@ use avr_core::{io, Insn, Predecoded, PtrReg, Reg};
 use telemetry::{Telemetry, Value};
 
 use crate::alu;
+use crate::blockcache::{BlockCache, BlockStats, FusedBlock, MicroOp, Mop};
 use crate::eeprom::{Eeprom, EEARH_ADDR, EECR_ADDR};
 use crate::fault::{Fault, RunExit};
 use crate::periph::{Heartbeat, Uart, Watchdog, PORTB_ADDR, UCSR0A_ADDR, UDR0_ADDR};
@@ -133,6 +134,14 @@ pub struct Machine {
     /// Whether the predecode cache (and the fast run loop that depends on
     /// it) is enabled. On by default; see [`Machine::set_predecode`].
     predecode: bool,
+    /// Fused basic-block cache layered over the icache: superinstruction
+    /// records with folded cycle totals, one event check per block. Like
+    /// the icache it is pure memoization — lazily built, patched per flash
+    /// write, never snapshotted.
+    bcache: BlockCache,
+    /// Whether block-fused dispatch is enabled (on by default; requires
+    /// predecode). See [`Machine::set_block_fusion`].
+    block_fusion: bool,
     /// Dirty bitmap over 256-byte data-space pages (bit n = page n). Pages
     /// 0 and 1 — registers, I/O, and the first SRAM bytes — are *always*
     /// reported dirty so the per-instruction register/SREG/SP writes need
@@ -184,6 +193,8 @@ impl Machine {
             cycle_profile: None,
             icache: Vec::new(),
             predecode: true,
+            bcache: BlockCache::default(),
+            block_fusion: true,
             // A fresh machine is all-dirty: the first keyframe must capture
             // everything.
             dirty_data: !0,
@@ -220,6 +231,7 @@ impl Machine {
         if !self.icache.is_empty() {
             predecode_patch(&mut self.icache, &self.flash, a, bytes.len());
         }
+        self.bcache.invalidate_range(a, bytes.len());
     }
 
     /// Read back flash (the *debug/ISP* view — the MAVR readout-protection
@@ -237,6 +249,7 @@ impl Machine {
             // so a single repeated entry refreshes the whole cache.
             self.icache.fill(predecode_at(&self.flash, 0));
         }
+        self.bcache.clear(true);
     }
 
     /// Enable or disable the predecoded instruction cache (on by default).
@@ -250,6 +263,35 @@ impl Machine {
         self.predecode = on;
         if !on {
             self.icache = Vec::new();
+            // Blocks are scanned out of the icache; without it they would
+            // go stale unnoticed.
+            self.bcache.clear(false);
+        }
+    }
+
+    /// Enable or disable block-fused dispatch (on by default).
+    ///
+    /// Fusion is a second memoization layer on top of the predecode cache:
+    /// straight-line runs become superinstructions with a folded cycle
+    /// total and one event-horizon/interrupt check per block. Fused,
+    /// predecoded-only (`set_block_fusion(false)`) and uncached
+    /// (`set_predecode(false)`) execution produce identical architectural
+    /// traces — the three-way differential tests assert it. Disabling drops
+    /// the cache.
+    pub fn set_block_fusion(&mut self, on: bool) {
+        self.block_fusion = on;
+        if !on {
+            self.bcache.clear(false);
+        }
+    }
+
+    /// Lifetime block-cache activity: fused dispatches, flash-write
+    /// invalidations, and the current live block count.
+    pub fn block_stats(&self) -> BlockStats {
+        BlockStats {
+            hits: self.bcache.hits,
+            invalidations: self.bcache.invalidations,
+            blocks: self.bcache.live() as u64,
         }
     }
 
@@ -676,13 +718,24 @@ impl Machine {
     /// earliest cycle at which anything other than plain execution can
     /// happen (cycle budget, watchdog deadline). A `wdr` inside a batch
     /// only moves the deadline later, so a stale horizon merely ends the
-    /// batch early and the outer loop recomputes it. Interrupt delivery is
-    /// still checked per instruction (firmware can unmask or retrigger
-    /// Timer0 at any point), but that check is two loads and a branch.
+    /// batch early and the outer loop recomputes it.
+    ///
+    /// With block fusion enabled, whole straight-line blocks dispatch as
+    /// superinstructions: one interrupt/horizon check per block, entered
+    /// only when the block provably fits before the horizon and before the
+    /// next possible Timer0 overflow delivery (see [`fused_block_at`] for
+    /// the exactness conditions). Anything that does not fit — block
+    /// boundaries, pending-delivery edges, tiny blocks — falls through to
+    /// the per-instruction body, which checks interrupt delivery every
+    /// step (two loads and a branch).
     ///
     /// [`run`]: Machine::run
+    /// [`fused_block_at`]: Machine::fused_block_at
     fn run_fast(&mut self, limit: u64) -> RunExit {
         self.ensure_icache();
+        if self.block_fusion {
+            self.bcache.ensure(self.icache.len());
+        }
         loop {
             if self.cycles >= limit {
                 return RunExit::CyclesExhausted;
@@ -701,37 +754,491 @@ impl Machine {
             }
             while self.cycles < horizon {
                 let suppressed = std::mem::replace(&mut self.irq_delay, false);
-                if !suppressed
-                    && self.data[SREG_DATA as usize] & (1 << avr_core::sreg::I) != 0
-                    && self.timer0.irq_pending()
-                {
+                let irq_ready = self.data[SREG_DATA as usize] & (1 << avr_core::sreg::I) != 0
+                    && self.timer0.irq_pending();
+                if irq_ready && !suppressed {
                     if let Err(f) = self.vector_timer0() {
                         let _ = self.fail(f);
                         return RunExit::Faulted(f);
                     }
                 }
-                let entry = match self.icache.get(self.pc as usize) {
-                    Some(e) => *e,
-                    None => {
-                        let f = Fault::PcOutOfBounds { pc: self.pc };
-                        let _ = self.fail(f);
-                        return RunExit::Faulted(f);
+                // A suppressed pending interrupt delivers after exactly one
+                // more instruction; a fused block would overshoot it.
+                if self.block_fusion && !(irq_ready && suppressed) {
+                    if let Some(b) = self.fused_block_at(self.pc, horizon) {
+                        self.bcache.hits += 1;
+                        let rem = match self.exec_block(&b) {
+                            Ok(rem) => rem,
+                            Err(f) => {
+                                let _ = self.fail(f);
+                                return RunExit::Faulted(f);
+                            }
+                        };
+                        // Terminator tail: the instruction that ended the
+                        // block steps in the same dispatch when no boundary
+                        // event intervenes. The body cannot set `irq_delay`
+                        // (every delay-setting instruction is itself a
+                        // terminator), so the full boundary check reduces to
+                        // the horizon and a freshly-pending interrupt — the
+                        // block's last cycle may have raised the overflow.
+                        if self.cycles < horizon
+                            && !(self.data[SREG_DATA as usize] & (1 << avr_core::sreg::I) != 0
+                                && self.timer0.irq_pending())
+                        {
+                            if let Err(f) = self.step_tail(rem) {
+                                let _ = self.fail(f);
+                                return RunExit::Faulted(f);
+                            }
+                        } else {
+                            self.timer0.advance(rem);
+                        }
+                        continue;
                     }
-                };
-                let pc0 = self.pc;
-                let width = u32::from(entry.width);
-                self.pc += width;
-                let c0 = self.cycles;
-                self.cycles += u64::from(entry.cycles);
-                self.insns_retired += 1;
-                let result = self.exec(entry.insn, pc0, width);
-                self.timer0.advance(self.cycles - c0);
-                if let Err(f) = result {
+                }
+                if let Err(f) = self.step_tail(0) {
                     let _ = self.fail(f);
                     return RunExit::Faulted(f);
                 }
             }
         }
+    }
+
+    /// Step one instruction through the predecode table with full
+    /// per-instruction accounting — the fallback when no fused block
+    /// dispatches (`rem` 0), and the tail step for a block's terminator,
+    /// where `rem` is the block's still-owed timer remainder. Pure
+    /// control-flow terminators never touch Timer0, so their advance
+    /// merges with the remainder into one call; anything that might (an
+    /// I/O-dispatching store, an `sbic` probing a timer flag) settles the
+    /// remainder first, preserving stepped advance order exactly.
+    #[inline]
+    fn step_tail(&mut self, rem: u64) -> Result<(), Fault> {
+        let entry = match self.icache.get(self.pc as usize) {
+            Some(e) => *e,
+            None => {
+                self.timer0.advance(rem);
+                return Err(Fault::PcOutOfBounds { pc: self.pc });
+            }
+        };
+        let merge = matches!(
+            entry.insn,
+            Insn::Rjmp { .. }
+                | Insn::Jmp { .. }
+                | Insn::Ijmp
+                | Insn::Eijmp
+                | Insn::Brbs { .. }
+                | Insn::Brbc { .. }
+                | Insn::Ret
+                | Insn::Reti
+                | Insn::Rcall { .. }
+                | Insn::Call { .. }
+                | Insn::Icall
+                | Insn::Eicall
+                | Insn::Cpse { .. }
+                | Insn::Sbrc { .. }
+                | Insn::Sbrs { .. }
+        );
+        let rem = if merge {
+            rem
+        } else {
+            self.timer0.advance(rem);
+            0
+        };
+        let pc0 = self.pc;
+        let width = u32::from(entry.width);
+        self.pc += width;
+        let c0 = self.cycles;
+        self.cycles += u64::from(entry.cycles);
+        self.insns_retired += 1;
+        let result = self.exec(entry.insn, pc0, width);
+        self.timer0.advance(rem + (self.cycles - c0));
+        result
+    }
+
+    /// The fused block starting at `pc`, if one exists (discovered lazily)
+    /// *and* dispatching it whole is provably identical to stepping it:
+    ///
+    /// 1. the block's folded cycle total fits before `horizon`, so no
+    ///    intermediate instruction boundary crosses the cycle budget or the
+    ///    watchdog deadline (every instruction costs ≥ 1 cycle, so each
+    ///    boundary sits strictly below the horizon);
+    /// 2. if Timer0 overflow delivery is armed (I set, TOIE0 set, timer
+    ///    running), the block completes no later than the next overflow —
+    ///    an overflow raised by the block's *last* cycle is delivered at
+    ///    the boundary check after the block, exactly where the stepping
+    ///    loop would take it. Mid-block hazards cannot arise otherwise:
+    ///    every instruction that could unmask or retrigger the interrupt
+    ///    (SREG/TIMSK0/TCCR0B/TCNT0/TIFR0 writes, `sei`) ends a block.
+    fn fused_block_at(&mut self, pc: u32, horizon: u64) -> Option<FusedBlock> {
+        let b = self.bcache.lookup(&self.icache, pc)?;
+        if self.cycles + u64::from(b.cycles) > horizon {
+            return None;
+        }
+        if self.data[SREG_DATA as usize] & (1 << avr_core::sreg::I) != 0
+            && self.timer0.timsk & timer::TOV0 != 0
+        {
+            if let Some(to_overflow) = self.timer0.cycles_to_overflow() {
+                if u64::from(b.cycles) > to_overflow {
+                    return None;
+                }
+            }
+        }
+        Some(b)
+    }
+
+    /// Execute a fused block whose entry conditions [`fused_block_at`] has
+    /// already established. Pure blocks run their compiled micro-op stream
+    /// and batch *all* per-instruction bookkeeping — `pc`, `cycles`,
+    /// `insns_retired`, the timer advance — into one update per block (no
+    /// instruction in them reads the PC or cycle counter, faults, or
+    /// observes the timer; `Timer0::advance` is linear, so one folded
+    /// advance is bit-identical to per-instruction advances). Pure blocks
+    /// containing stack ops first prove the whole SP excursion in bounds —
+    /// the margin check — so their pushes and pops cannot fault either;
+    /// when the proof fails they fall to the careful path, which keeps
+    /// per-instruction accounting and fault checks and advances the timer
+    /// per instruction only when a load could observe it.
+    ///
+    /// On success returns the block's *unadvanced* timer remainder: the
+    /// cycles the caller still owes [`Timer0::advance`]. The careful path
+    /// settles its own advances and returns 0; the pure path defers its
+    /// folded advance so the caller can merge it with the terminator
+    /// tail's into a single call.
+    ///
+    /// [`fused_block_at`]: Machine::fused_block_at
+    /// [`Timer0::advance`]: Timer0::advance
+    fn exec_block(&mut self, b: &FusedBlock) -> Result<u64, Fault> {
+        debug_assert_eq!(self.pc, b.start);
+        if b.pure && (!b.stack || self.sp_margin_ok(b)) {
+            // The stream moves out of `self` for the duration of the block
+            // so `exec_mop` can borrow `self` mutably; no micro-op can
+            // reach the block cache.
+            let mops = std::mem::take(&mut self.bcache.mops);
+            let at = b.mops as usize;
+            let mut synced: u16 = 0;
+            for m in &mops[at..at + usize::from(b.mop_len)] {
+                self.exec_mop(m, &mut synced);
+            }
+            self.bcache.mops = mops;
+            self.pc += u32::from(b.words);
+            self.cycles += u64::from(b.cycles);
+            self.insns_retired += u64::from(b.insns);
+            // Timer-sync micro-ops already advanced `synced` of the block's
+            // cycles; `advance` is linear, so the returned remainder (the
+            // caller's to settle — possibly merged with the terminator
+            // tail's own advance) completes the exact per-instruction total.
+            return Ok(u64::from(b.cycles) - u64::from(synced));
+        }
+        // The predecode table moves out of `self` for the duration of the
+        // block so `exec` can borrow `self` mutably. No fusable instruction
+        // can reach it: flash writes (`spm`) are structural terminators and
+        // `exec` never consults the table otherwise.
+        let icache = std::mem::take(&mut self.icache);
+        let result = self.exec_block_careful(b, &icache);
+        self.icache = icache;
+        result.map(|()| 0)
+    }
+
+    /// Prove every stack access of a pure block in bounds from the entry
+    /// SP: accesses span `sp + sp_lo ..= sp + sp_hi` (the compile-time
+    /// excursion), so one range check covers them all.
+    fn sp_margin_ok(&self, b: &FusedBlock) -> bool {
+        let sp = i32::from(self.sp());
+        sp + i32::from(b.sp_lo) >= 0 && sp + i32::from(b.sp_hi) < self.data.len() as i32
+    }
+
+    /// Execute one compiled micro-op. Infallible by construction: the
+    /// compile pass only emits ops that cannot fault, and the dispatch
+    /// margin check discharges the stack ops' bounds obligations. `synced`
+    /// tracks how many block-relative cycles the timer has already been
+    /// advanced by in-block sync points (see [`Machine::sync_timer`]).
+    fn exec_mop(&mut self, m: &MicroOp, synced: &mut u16) {
+        let a = usize::from(m.a);
+        let b = usize::from(m.b);
+        // Register-file/I/O/SREG window: `u8` operands indexing a
+        // fixed-size array need no bounds checks on the hot ALU ops.
+        let head: &mut [u8; 256] = (&mut self.data[..256])
+            .try_into()
+            .expect("data space holds at least the I/O window");
+        match m.op {
+            Mop::Nop => {}
+
+            // ---- ALU, flags live ----
+            Mop::Add => mop_alu2(head, a, b, |x, y, f| alu::add8(x, y, false, f)),
+            Mop::Adc => {
+                let c = head[SREG_IDX] & alu::C != 0;
+                mop_alu2(head, a, b, move |x, y, f| alu::add8(x, y, c, f));
+            }
+            Mop::Sub => mop_alu2(head, a, b, |x, y, f| alu::sub8(x, y, false, false, f)),
+            Mop::Sbc => {
+                let c = head[SREG_IDX] & alu::C != 0;
+                mop_alu2(head, a, b, move |x, y, f| alu::sub8(x, y, c, true, f));
+            }
+            Mop::And => mop_alu2(head, a, b, |x, y, f| alu::logic8(x & y, f)),
+            Mop::Or => mop_alu2(head, a, b, |x, y, f| alu::logic8(x | y, f)),
+            Mop::Eor => mop_alu2(head, a, b, |x, y, f| alu::logic8(x ^ y, f)),
+            Mop::Cp => {
+                let (_, f) = alu::sub8(head[a], head[b], false, false, head[SREG_IDX]);
+                head[SREG_IDX] = f;
+            }
+            Mop::Cpc => {
+                let c = head[SREG_IDX] & alu::C != 0;
+                let (_, f) = alu::sub8(head[a], head[b], c, true, head[SREG_IDX]);
+                head[SREG_IDX] = f;
+            }
+            Mop::Cpi => {
+                let (_, f) = alu::sub8(head[a], m.b, false, false, head[SREG_IDX]);
+                head[SREG_IDX] = f;
+            }
+            Mop::Subi => mop_alu1(head, a, |x, f| alu::sub8(x, m.b, false, false, f)),
+            Mop::Sbci => {
+                let c = head[SREG_IDX] & alu::C != 0;
+                mop_alu1(head, a, move |x, f| alu::sub8(x, m.b, c, true, f));
+            }
+            Mop::Andi => mop_alu1(head, a, |x, f| alu::logic8(x & m.b, f)),
+            Mop::Ori => mop_alu1(head, a, |x, f| alu::logic8(x | m.b, f)),
+            Mop::Com => mop_alu1(head, a, alu::com8),
+            Mop::Neg => mop_alu1(head, a, alu::neg8),
+            Mop::Inc => mop_alu1(head, a, alu::inc8),
+            Mop::Dec => mop_alu1(head, a, alu::dec8),
+            Mop::Asr => mop_alu1(head, a, alu::asr8),
+            Mop::Lsr => mop_alu1(head, a, alu::lsr8),
+            Mop::Ror => mop_alu1(head, a, alu::ror8),
+            Mop::Mul => mop_mul(head, a, b, false, false, false),
+            Mop::Muls => mop_mul(head, a, b, true, true, false),
+            Mop::Mulsu => mop_mul(head, a, b, true, false, false),
+            Mop::Fmul => mop_mul(head, a, b, false, false, true),
+            Mop::Fmuls => mop_mul(head, a, b, true, true, true),
+            Mop::Fmulsu => mop_mul(head, a, b, true, false, true),
+            Mop::Adiw => {
+                let (r, f) = alu::adiw16(pair_at(head, a), m.b, head[SREG_IDX]);
+                set_pair_at(head, a, r);
+                head[SREG_IDX] = f;
+            }
+            Mop::Sbiw => {
+                let (r, f) = alu::sbiw16(pair_at(head, a), m.b, head[SREG_IDX]);
+                set_pair_at(head, a, r);
+                head[SREG_IDX] = f;
+            }
+
+            // ---- ALU, flags dead ----
+            Mop::AddNf => head[a] = head[a].wrapping_add(head[b]),
+            Mop::AdcNf => {
+                let c = head[SREG_IDX] & alu::C;
+                head[a] = head[a].wrapping_add(head[b]).wrapping_add(c);
+            }
+            Mop::SubNf => head[a] = head[a].wrapping_sub(head[b]),
+            Mop::SbcNf => {
+                let c = head[SREG_IDX] & alu::C;
+                head[a] = head[a].wrapping_sub(head[b]).wrapping_sub(c);
+            }
+            Mop::AndNf => head[a] &= head[b],
+            Mop::OrNf => head[a] |= head[b],
+            Mop::EorNf => head[a] ^= head[b],
+            Mop::SubiNf => head[a] = head[a].wrapping_sub(m.b),
+            Mop::SbciNf => {
+                let c = head[SREG_IDX] & alu::C;
+                head[a] = head[a].wrapping_sub(m.b).wrapping_sub(c);
+            }
+            Mop::AndiNf => head[a] &= m.b,
+            Mop::OriNf => head[a] |= m.b,
+            Mop::ComNf => head[a] = !head[a],
+            Mop::NegNf => head[a] = 0u8.wrapping_sub(head[a]),
+            Mop::IncNf => head[a] = head[a].wrapping_add(1),
+            Mop::DecNf => head[a] = head[a].wrapping_sub(1),
+            Mop::AsrNf => head[a] = ((head[a] as i8) >> 1) as u8,
+            Mop::LsrNf => head[a] >>= 1,
+            Mop::RorNf => {
+                let c = head[SREG_IDX] & alu::C;
+                head[a] = (head[a] >> 1) | (c << 7);
+            }
+            Mop::AdiwNf => {
+                let r = pair_at(head, a).wrapping_add(u16::from(m.b));
+                set_pair_at(head, a, r);
+            }
+            Mop::SbiwNf => {
+                let r = pair_at(head, a).wrapping_sub(u16::from(m.b));
+                set_pair_at(head, a, r);
+            }
+
+            // ---- moves & SREG bits ----
+            Mop::Mov => head[a] = head[b],
+            Mop::Movw => {
+                let v = pair_at(head, b);
+                set_pair_at(head, a, v);
+            }
+            Mop::Ldi => head[a] = m.b,
+            Mop::Swap => head[a] = head[a].rotate_right(4),
+            Mop::BsetM => head[SREG_IDX] |= m.a,
+            Mop::BclrM => head[SREG_IDX] &= !m.a,
+            Mop::Bst => {
+                let mut f = head[SREG_IDX] & !alu::T;
+                if head[a] & m.b != 0 {
+                    f |= alu::T;
+                }
+                head[SREG_IDX] = f;
+            }
+            Mop::Bld => {
+                if head[SREG_IDX] & alu::T != 0 {
+                    head[a] |= m.b;
+                } else {
+                    head[a] &= !m.b;
+                }
+            }
+
+            // ---- memory ----
+            Mop::Lds => {
+                let v = self.read_data(m.k);
+                self.data[a] = v;
+            }
+            Mop::Sts => {
+                let v = self.data[a];
+                self.write_data(m.k, v);
+            }
+            Mop::SbiM => {
+                let v = self.read_data(m.k) | m.b;
+                self.write_data(m.k, v);
+            }
+            Mop::CbiM => {
+                let v = self.read_data(m.k) & !m.b;
+                self.write_data(m.k, v);
+            }
+            Mop::Push => {
+                let r = self.push8(self.data[a]);
+                debug_assert!(
+                    r.is_ok(),
+                    "sp-margin-checked push cannot fault: sp={:#x} pc={:#x}",
+                    self.sp(),
+                    self.pc
+                );
+                let _ = r;
+            }
+            Mop::Pop => match self.pop8() {
+                Ok(v) => self.data[a] = v,
+                Err(_) => debug_assert!(false, "sp-margin-checked pop cannot fault"),
+            },
+            Mop::Lpm => {
+                let z = pair_at(head, 30);
+                self.data[a] = self.flash_byte(u32::from(z));
+            }
+            Mop::LpmInc => {
+                let z = pair_at(head, 30);
+                set_pair_at(head, 30, z.wrapping_add(1));
+                self.data[a] = self.flash_byte(u32::from(z));
+            }
+            Mop::Elpm => {
+                let addr = self.rampz_z();
+                self.data[a] = self.flash_byte(addr);
+            }
+            Mop::ElpmInc => {
+                let addr = self.rampz_z();
+                self.data[a] = self.flash_byte(addr);
+                self.bump_rampz_z();
+            }
+
+            // ---- cycle-offset carriers ----
+            Mop::LdsT => {
+                // Only emitted for TCNT0/TIFR0: always needs the sync.
+                self.sync_timer(m.b.into(), synced);
+                let v = self.read_data(m.k);
+                self.data[a] = v;
+            }
+            Mop::LdP => {
+                let base = usize::from(m.k as u8) & 0x3f;
+                let addr = pair_at(head, base);
+                self.load_indirect(addr, a, m.b.into(), synced);
+            }
+            Mop::LdPInc => {
+                let base = usize::from(m.k as u8) & 0x3f;
+                let addr = pair_at(head, base);
+                set_pair_at(head, base, addr.wrapping_add(1));
+                self.load_indirect(addr, a, m.b.into(), synced);
+            }
+            Mop::LdPDec => {
+                let base = usize::from(m.k as u8) & 0x3f;
+                let addr = pair_at(head, base).wrapping_sub(1);
+                set_pair_at(head, base, addr);
+                self.load_indirect(addr, a, m.b.into(), synced);
+            }
+            Mop::LddQ => {
+                let base = usize::from(m.k as u8) & 0x3f;
+                let addr = pair_at(head, base).wrapping_add(m.k >> 8);
+                self.load_indirect(addr, a, m.b.into(), synced);
+            }
+            Mop::WdrT => self.watchdog.pet(self.cycles + b as u64),
+            Mop::StsHb => {
+                let v = self.data[a];
+                self.heartbeat
+                    .observe(v, HEARTBEAT_BIT, self.cycles + b as u64);
+                self.data[PORTB_ADDR as usize] = v;
+            }
+            Mop::SbiHb => {
+                let v = self.data[PORTB_ADDR as usize] | m.a;
+                self.heartbeat
+                    .observe(v, HEARTBEAT_BIT, self.cycles + b as u64);
+                self.data[PORTB_ADDR as usize] = v;
+            }
+            Mop::CbiHb => {
+                // `a` holds the complement mask (bit already inverted).
+                let v = self.data[PORTB_ADDR as usize] & m.a;
+                self.heartbeat
+                    .observe(v, HEARTBEAT_BIT, self.cycles + b as u64);
+                self.data[PORTB_ADDR as usize] = v;
+            }
+        }
+    }
+
+    /// Advance the timer to block-relative offset `off` (it is already at
+    /// `synced`), so the next read observes exactly what per-instruction
+    /// stepping would. `advance` is linear, so splitting the block total
+    /// into sync points plus a remainder is bit-identical.
+    fn sync_timer(&mut self, off: u16, synced: &mut u16) {
+        if off > *synced {
+            self.timer0.advance(u64::from(off - *synced));
+            *synced = off;
+        }
+    }
+
+    /// Indirect-load tail: sync the timer first when the computed address
+    /// lands on a cycle-dependent timer register.
+    fn load_indirect(&mut self, addr: u16, d: usize, off: u16, synced: &mut u16) {
+        if matches!(addr, TCNT0_ADDR | TIFR0_ADDR) {
+            self.sync_timer(off, synced);
+        }
+        let v = self.read_data(addr);
+        self.data[d] = v;
+    }
+
+    fn exec_block_careful(&mut self, b: &FusedBlock, icache: &[Predecoded]) -> Result<(), Fault> {
+        let c_start = self.cycles;
+        let mut w = b.start as usize;
+        for _ in 0..b.insns {
+            let e = &icache[w];
+            w += usize::from(e.width);
+            let pc0 = self.pc;
+            let width = u32::from(e.width);
+            self.pc += width;
+            let c0 = self.cycles;
+            self.cycles += u64::from(e.cycles);
+            self.insns_retired += 1;
+            let result = self.exec(e.insn, pc0, width);
+            if b.timer_reads {
+                self.timer0.advance(self.cycles - c0);
+            }
+            if let Err(f) = result {
+                // A fault mid-block leaves the timer exactly as the
+                // stepping loop would: advanced through the faulting
+                // instruction (step() advances even on Err).
+                if !b.timer_reads {
+                    self.timer0.advance(self.cycles - c_start);
+                }
+                return Err(f);
+            }
+        }
+        if !b.timer_reads {
+            self.timer0.advance(self.cycles - c_start);
+        }
+        Ok(())
     }
 
     /// Run until `pred` returns true (checked after every instruction), a
@@ -1226,9 +1733,45 @@ impl Machine {
         self.insns_retired = s.insns_retired;
         self.interrupts_taken = s.interrupts_taken;
         self.icache = Vec::new();
+        self.bcache.clear(false);
         self.dirty_data = !0;
         self.dirty_flash.fill(!0);
     }
+}
+
+/// SREG's index inside the head window (`0x5f`, well under 256).
+const SREG_IDX: usize = SREG_DATA as usize;
+
+fn mop_alu2(head: &mut [u8; 256], a: usize, b: usize, op: impl FnOnce(u8, u8, u8) -> (u8, u8)) {
+    let (r, f) = op(head[a], head[b], head[SREG_IDX]);
+    head[a] = r;
+    head[SREG_IDX] = f;
+}
+
+fn mop_alu1(head: &mut [u8; 256], a: usize, op: impl FnOnce(u8, u8) -> (u8, u8)) {
+    let (r, f) = op(head[a], head[SREG_IDX]);
+    head[a] = r;
+    head[SREG_IDX] = f;
+}
+
+fn mop_mul(head: &mut [u8; 256], a: usize, b: usize, sd: bool, sr: bool, fract: bool) {
+    let (p, f) = alu::mul16(head[a], head[b], sd, sr, fract, head[SREG_IDX]);
+    set_pair_at(head, 0, p);
+    head[SREG_IDX] = f;
+}
+
+/// Little-endian register-pair read. The index is masked so `a + 1` stays
+/// inside the window; pair operands only ever target registers 0..=30.
+fn pair_at(head: &[u8; 256], a: usize) -> u16 {
+    let a = a & 0x3f;
+    u16::from_le_bytes([head[a], head[a + 1]])
+}
+
+fn set_pair_at(head: &mut [u8; 256], a: usize, v: u16) {
+    let a = a & 0x3f;
+    let [lo, hi] = v.to_le_bytes();
+    head[a] = lo;
+    head[a + 1] = hi;
 }
 
 /// Serializable snapshot of a [`Machine`]'s complete architectural state.

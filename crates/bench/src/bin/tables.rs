@@ -185,13 +185,16 @@ fn main() {
         .any(|a| a == "bench-simulator" || a == "bench-simulator-quick")
     {
         let quick = args.iter().any(|a| a == "bench-simulator-quick");
-        println!("== Simulator throughput (predecode cache off vs on) ==");
+        println!("== Simulator throughput (uncached / predecoded / block-fused) ==");
         let t = exp::simulator_throughput(quick);
         println!(
-            "  uncached : {:>12.0} cycles/sec\n  cached   : {:>12.0} cycles/sec\n  speedup  : {:.2}x",
-            t.before_cycles_per_sec,
-            t.after_cycles_per_sec,
-            t.speedup()
+            "  uncached    : {:>12.0} cycles/sec\n  predecoded  : {:>12.0} cycles/sec  ({:.2}x)\n  block-fused : {:>12.0} cycles/sec  ({:.2}x over predecoded)\n  total       : {:.2}x",
+            t.uncached_cycles_per_sec,
+            t.predecoded_cycles_per_sec,
+            t.predecode_speedup(),
+            t.fused_cycles_per_sec,
+            t.fusion_speedup(),
+            t.total_speedup()
         );
         let path = "BENCH_simulator.json";
         std::fs::write(path, t.to_json()).expect("write BENCH_simulator.json");

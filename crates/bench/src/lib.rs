@@ -306,63 +306,92 @@ pub fn counters(cycles: u64) -> Vec<Row> {
 }
 
 /// Measured simulator throughput (simulated cycles per second of host
-/// time) on the `run_1M_cycles/tiny_firmware` workload, with the predecode
-/// cache + fast run loop on (`after`) and off (`before` — the original
-/// decode-every-fetch interpreter). See [`simulator_throughput`].
+/// time) on the `run_1M_cycles/tiny_firmware` workload, across the
+/// three-tier engine chain: decode-every-fetch (`uncached`), the
+/// predecode cache + fast run loop (`predecoded`), and block-fused
+/// superinstruction dispatch (`fused` — the default configuration). See
+/// [`simulator_throughput`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimulatorThroughput {
     /// Cycles/sec with `Machine::set_predecode(false)`.
-    pub before_cycles_per_sec: f64,
-    /// Cycles/sec with the cache enabled (the default).
-    pub after_cycles_per_sec: f64,
+    pub uncached_cycles_per_sec: f64,
+    /// Cycles/sec with the predecode cache on but
+    /// `Machine::set_block_fusion(false)`.
+    pub predecoded_cycles_per_sec: f64,
+    /// Cycles/sec with block fusion on (the default).
+    pub fused_cycles_per_sec: f64,
     /// Samples per configuration the medians were taken over.
     pub samples: usize,
 }
 
 impl SimulatorThroughput {
-    /// `after / before` — the factor the predecode cache buys.
-    pub fn speedup(&self) -> f64 {
-        self.after_cycles_per_sec / self.before_cycles_per_sec
+    /// `predecoded / uncached` — the factor the predecode cache buys.
+    pub fn predecode_speedup(&self) -> f64 {
+        self.predecoded_cycles_per_sec / self.uncached_cycles_per_sec
+    }
+
+    /// `fused / predecoded` — the factor block fusion buys on top.
+    pub fn fusion_speedup(&self) -> f64 {
+        self.fused_cycles_per_sec / self.predecoded_cycles_per_sec
+    }
+
+    /// `fused / uncached` — the whole chain.
+    pub fn total_speedup(&self) -> f64 {
+        self.fused_cycles_per_sec / self.uncached_cycles_per_sec
     }
 
     /// The `BENCH_simulator.json` payload (hand-rolled; the workspace has
     /// no JSON dependency).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"bench\": \"run_1M_cycles/tiny_firmware\",\n  \"unit\": \"cycles_per_sec\",\n  \"samples\": {},\n  \"before\": {:.0},\n  \"after\": {:.0},\n  \"speedup\": {:.2}\n}}\n",
+            "{{\n  \"bench\": \"run_1M_cycles/tiny_firmware\",\n  \"unit\": \"cycles_per_sec\",\n  \"samples\": {},\n  \"uncached\": {:.0},\n  \"predecoded\": {:.0},\n  \"block_fused\": {:.0},\n  \"predecode_speedup\": {:.2},\n  \"fusion_speedup\": {:.2},\n  \"total_speedup\": {:.2}\n}}\n",
             self.samples,
-            self.before_cycles_per_sec,
-            self.after_cycles_per_sec,
-            self.speedup()
+            self.uncached_cycles_per_sec,
+            self.predecoded_cycles_per_sec,
+            self.fused_cycles_per_sec,
+            self.predecode_speedup(),
+            self.fusion_speedup(),
+            self.total_speedup()
         )
     }
 }
 
-/// Measure simulator throughput cached vs uncached, median over a few
-/// timed runs of 1M cycles each (`quick` = fewer samples, for CI smoke).
+/// Measure simulator throughput across the engine chain — uncached,
+/// predecoded, block-fused (`quick` = fewer samples, for CI smoke).
+///
+/// The three legs are interleaved round-robin (one sample of each per
+/// round) so slow load drift on a shared machine cannot land entirely on
+/// one leg and skew the ratios, and each leg reports its *fastest*
+/// sample: external noise only ever adds time, so the minimum is the
+/// robust estimator of the engine's actual speed.
 pub fn simulator_throughput(quick: bool) -> SimulatorThroughput {
     const CYCLES: u64 = 1_000_000;
     let samples = if quick { 3 } else { 11 };
     let fw = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).unwrap();
-    let median_secs = |predecode: bool| -> f64 {
-        let mut times: Vec<f64> = (0..samples)
-            .map(|_| {
-                let mut m = avr_sim::Machine::new_atmega2560();
-                m.set_predecode(predecode);
-                m.load_flash(0, &fw.image.bytes);
-                let t0 = std::time::Instant::now();
-                m.run(CYCLES);
-                let dt = t0.elapsed().as_secs_f64();
-                assert!(m.fault().is_none(), "bench firmware crashed");
-                dt
-            })
-            .collect();
-        times.sort_by(f64::total_cmp);
-        times[times.len() / 2]
+    let time_leg = |predecode: bool, fusion: bool| -> f64 {
+        let mut m = avr_sim::Machine::new_atmega2560();
+        m.set_predecode(predecode);
+        m.set_block_fusion(fusion);
+        m.load_flash(0, &fw.image.bytes);
+        let t0 = std::time::Instant::now();
+        m.run(CYCLES);
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(m.fault().is_none(), "bench firmware crashed");
+        dt
     };
+    let mut best = [f64::INFINITY; 3];
+    for _ in 0..samples {
+        for (i, (predecode, fusion)) in [(false, false), (true, false), (true, true)]
+            .iter()
+            .enumerate()
+        {
+            best[i] = best[i].min(time_leg(*predecode, *fusion));
+        }
+    }
     SimulatorThroughput {
-        before_cycles_per_sec: CYCLES as f64 / median_secs(false),
-        after_cycles_per_sec: CYCLES as f64 / median_secs(true),
+        uncached_cycles_per_sec: CYCLES as f64 / best[0],
+        predecoded_cycles_per_sec: CYCLES as f64 / best[1],
+        fused_cycles_per_sec: CYCLES as f64 / best[2],
         samples,
     }
 }

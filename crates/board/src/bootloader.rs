@@ -342,6 +342,62 @@ mod tests {
     }
 
     #[test]
+    fn reflash_through_bootloader_invalidates_block_cache() {
+        // Same shape as the predecode test above, but with the block-fused
+        // engine on the bootloader side: firmware A runs long enough to
+        // discover and compile fused blocks, then firmware B arrives via
+        // chip erase + page stream + reset. Every fused block from A must
+        // be gone — the part then has to match a cache-less reference
+        // executing B, single-stepped so any stale fusion shows up at the
+        // exact cycle it fires.
+        let fw_a = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).unwrap();
+        let fw_b = build(&apps::tiny_test_app(), &BuildOptions::vulnerable_mavr()).unwrap();
+        assert_ne!(fw_a.image.bytes, fw_b.image.bytes, "need distinct images");
+
+        let mut app = AppProcessor::new();
+        apply_stream(&mut app, &programming_stream(&fw_a.image.bytes, 256)).unwrap();
+        app.machine.run(200_000);
+        assert!(app.machine.fault().is_none());
+        let pre_reflash = app.machine.block_stats();
+        assert!(pre_reflash.hits > 0, "firmware A should run fused");
+
+        apply_stream(&mut app, &programming_stream(&fw_b.image.bytes, 256)).unwrap();
+        assert!(
+            app.machine.block_stats().invalidations > pre_reflash.invalidations,
+            "chip erase must invalidate firmware A's fused blocks"
+        );
+
+        let mut fresh = avr_sim::Machine::new_atmega2560();
+        fresh.set_predecode(false);
+        fresh.load_flash(0, &fw_b.image.bytes);
+        let cycles0 = app.machine.cycles(); // survives reset; compare deltas
+        for step in 0..50_000u32 {
+            app.machine.run(1);
+            fresh.run(1);
+            assert_eq!(
+                (
+                    app.machine.pc(),
+                    app.machine.sreg(),
+                    app.machine.sp(),
+                    app.machine.cycles() - cycles0,
+                    app.machine.fault(),
+                ),
+                (
+                    fresh.pc(),
+                    fresh.sreg(),
+                    fresh.sp(),
+                    fresh.cycles(),
+                    fresh.fault(),
+                ),
+                "diverged at step {step}"
+            );
+            if fresh.fault().is_some() {
+                break;
+            }
+        }
+    }
+
+    #[test]
     fn framing_overhead_is_small() {
         let binary = vec![0u8; 64 * 1024];
         let stream = programming_stream(&binary, 256);

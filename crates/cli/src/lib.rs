@@ -1043,6 +1043,7 @@ fn run_campaign_cmd(args: &Args, default_faults: Vec<f64>) -> Result<String, Cli
     if cfg.boards == 0 {
         return Err(CliError::Usage("--boards must be at least 1".into()));
     }
+    cfg.block_fusion = !args.flags.contains("no-fusion");
     if args.flags.contains("progress") {
         cfg.telemetry = telemetry::Telemetry::new(ProgressPrinter::default());
     }
@@ -1170,7 +1171,7 @@ COMMANDS:
         post-mortem crash report (-o writes the pre-divergence snapshot).
   fleet [app] [--boards N] [--scenario LIST|all] [--loss L1,L2,..] [--seed N]
         [--warmup N] [--cycles N] [--threads N] [--capacity N]
-        [--checkpoint FILE] [--max-jobs N] [--progress]
+        [--checkpoint FILE] [--max-jobs N] [--progress] [--no-fusion]
         [--metrics-out FILE] [--json | --jsonl] [-o FILE]
         Fly a many-UAV campaign over deterministic lossy links: every
         (scenario, loss, board) cell gets its own randomized board and
@@ -1182,7 +1183,9 @@ COMMANDS:
         stderr; --metrics-out dumps the campaign metrics registry at exit
         (Prometheus text if FILE ends in .prom, JSON lines otherwise) —
         the dump is byte-identical whatever --threads is, and identical
-        between checkpointed and uninterrupted runs.
+        between checkpointed and uninterrupted runs. --no-fusion turns
+        off block-fused simulation (slower, identical report bytes;
+        only the sim_block_* metrics change).
   chaos [app] [--fault F1,F2,..] [... same options as fleet]
         Fleet campaign with fault injection across every board's recovery
         pipeline: ext-flash bit rot, reflash-stream corruption (bit flips,
@@ -1458,6 +1461,50 @@ halt:
                 "HELP does not document valued option `{opt}`"
             );
         }
+        // Same drift guard for the bare flags the commands consult: keep
+        // this list in sync with every `flags.contains(..)` site.
+        for flag in [
+            "vulnerable",
+            "bootloader",
+            "verify",
+            "no-dedup",
+            "listing",
+            "progress",
+            "json",
+            "jsonl",
+            "no-fusion",
+        ] {
+            assert!(
+                HELP.contains(&format!("--{flag}")),
+                "HELP does not document flag `--{flag}`"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_no_fusion_report_is_byte_identical() {
+        // Block fusion is an engine knob: the JSON report (outcomes, cells,
+        // totals) must not change a byte when it is turned off.
+        let base = [
+            "fleet",
+            "tiny",
+            "--boards",
+            "1",
+            "--scenario",
+            "benign",
+            "--cycles",
+            "300000",
+            "--warmup",
+            "200000",
+            "--threads",
+            "1",
+            "--json",
+        ];
+        let fused = run(&s(&base)).unwrap();
+        let mut no_fusion: Vec<&str> = base.to_vec();
+        no_fusion.push("--no-fusion");
+        let unfused = run(&s(&no_fusion)).unwrap();
+        assert_eq!(fused, unfused);
     }
 
     #[test]

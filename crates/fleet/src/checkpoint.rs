@@ -221,6 +221,9 @@ fn put_outcome(w: &mut Writer, o: &BoardOutcome) {
     w.put_u64(o.packets_lost);
     w.put_u64(o.bad_checksums);
     w.put_u8(o.uav_bad_crc);
+    w.put_u64(o.sim_block_hits);
+    w.put_u64(o.sim_block_invalidations);
+    w.put_u64(o.sim_block_count);
     put_stats(w, &o.up_stats);
     put_stats(w, &o.down_stats);
 }
@@ -250,6 +253,9 @@ fn get_outcome(r: &mut Reader<'_>) -> Result<BoardOutcome, SnapshotError> {
         packets_lost: r.u64()?,
         bad_checksums: r.u64()?,
         uav_bad_crc: r.u8()?,
+        sim_block_hits: r.u64()?,
+        sim_block_invalidations: r.u64()?,
+        sim_block_count: r.u64()?,
         up_stats: get_stats(r)?,
         down_stats: get_stats(r)?,
     })
@@ -280,6 +286,9 @@ mod tests {
             packets_lost: 2,
             bad_checksums: 3,
             uav_bad_crc: 4,
+            sim_block_hits: 1000 + job as u64,
+            sim_block_invalidations: job as u64,
+            sim_block_count: 17,
             up_stats: ChannelStats {
                 bytes_in: 100,
                 bytes_out: 98,
@@ -328,6 +337,12 @@ mod tests {
         let mut threads = cfg.clone();
         threads.threads = 7;
         assert_eq!(config_fingerprint(&threads), base);
+        // Block fusion is an engine knob with differentially verified
+        // identical results — a fusion-off resume of a fusion-on
+        // checkpoint is legal, so it must not change the fingerprint.
+        let mut fusion = cfg.clone();
+        fusion.block_fusion = false;
+        assert_eq!(config_fingerprint(&fusion), base);
         // Anything that alters the outcome must alter the fingerprint.
         for mutate in [
             |c: &mut CampaignConfig| c.seed += 1,

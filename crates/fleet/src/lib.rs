@@ -98,6 +98,12 @@ pub struct CampaignConfig {
     /// The application the fleet flies (built vulnerable, as the paper's
     /// target is).
     pub app: AppSpec,
+    /// Block-fused execution on each board's app processor. An engine
+    /// knob like `threads`: flipping it never changes any outcome (the
+    /// fused engine is differentially verified against the stepping one),
+    /// so it is excluded from the checkpoint fingerprint. Off is only
+    /// useful for performance triage.
+    pub block_fusion: bool,
     /// Flight-recorder handle for engine-level events (checkpoint resume,
     /// progress heartbeats, …). Never affects results and is excluded
     /// from the checkpoint fingerprint.
@@ -123,6 +129,7 @@ impl Default for CampaignConfig {
             gcs_capacity: 256,
             threads: 0,
             app: apps::tiny_test_app(),
+            block_fusion: true,
             telemetry: Telemetry::off(),
             progress_interval_ms: 500,
         }
@@ -240,11 +247,15 @@ fn run_board(
             packets_lost: 0,
             bad_checksums: 0,
             uav_bad_crc: 0,
+            sim_block_hits: 0,
+            sim_block_invalidations: 0,
+            sim_block_count: 0,
             up_stats: up.stats,
             down_stats: down.stats,
         };
         return (outcome, gcs);
     };
+    board.app.machine.set_block_fusion(cfg.block_fusion);
 
     let mut bricked = false;
     let mut injected_at = None;
@@ -279,6 +290,7 @@ fn run_board(
     pump(&mut board, &mut down, &mut gcs);
     gcs.ingest(&down.flush());
 
+    let block_stats = board.app.machine.block_stats();
     let attack_succeeded = attack_packets > 0
         && board.app.machine.peek_range(ATTACK_TARGET, 3) == ATTACK_VALUES.to_vec();
     let time_to_recovery = injected_at.and_then(|at| {
@@ -308,6 +320,9 @@ fn run_board(
         packets_lost: gcs.packets_lost(),
         bad_checksums: gcs.bad_checksums(),
         uav_bad_crc: board.app.machine.peek_data(layout::BAD_CRC_COUNT),
+        sim_block_hits: block_stats.hits,
+        sim_block_invalidations: block_stats.invalidations,
+        sim_block_count: block_stats.blocks,
         up_stats: up.stats,
         down_stats: down.stats,
     };
@@ -759,6 +774,30 @@ mod tests {
             .outcomes
             .iter()
             .all(|o| !o.bricked && o.reflash_retries == 0 && o.degraded_boots == 0));
+    }
+
+    #[test]
+    fn fusion_toggle_is_invisible_in_reports_but_visible_in_metrics() {
+        let (fused, fused_metrics) = run_campaign_with_metrics(&small_cfg());
+        let (plain, plain_metrics) = run_campaign_with_metrics(&CampaignConfig {
+            block_fusion: false,
+            ..small_cfg()
+        });
+        // The engine toggle must be architecturally invisible: identical
+        // report JSON and JSONL, byte for byte.
+        assert_eq!(fused.to_json(), plain.to_json());
+        assert_eq!(fused.to_jsonl(), plain.to_jsonl());
+        // But the engine counters tell the two runs apart in the metrics
+        // plane: fused boards dispatch blocks, unfused boards dispatch none.
+        assert!(
+            fused.outcomes.iter().all(|o| o.sim_block_hits > 0),
+            "every fused board dispatches blocks"
+        );
+        assert!(plain.outcomes.iter().all(|o| o.sim_block_hits == 0));
+        assert!(fused_metrics
+            .to_prometheus()
+            .contains("campaign_sim_block_hits_total"));
+        assert_ne!(fused_metrics.to_prometheus(), plain_metrics.to_prometheus());
     }
 
     #[test]

@@ -56,6 +56,15 @@ pub struct BoardOutcome {
     /// Frames the *UAV's* parser rejected on checksum (uplink corruption;
     /// an 8-bit firmware counter, wraps at 256).
     pub uav_bad_crc: u8,
+    /// Fused blocks the app processor's engine dispatched. Engine
+    /// observability, not a flight result: it feeds the metrics registry
+    /// but never the report JSON, which must be identical with fusion
+    /// on or off.
+    pub sim_block_hits: u64,
+    /// Fused blocks invalidated by reflashes (engine observability).
+    pub sim_block_invalidations: u64,
+    /// Live fused blocks when the run ended (engine observability).
+    pub sim_block_count: u64,
     /// Uplink (ground → UAV) channel accounting.
     pub up_stats: ChannelStats,
     /// Downlink (UAV → ground) channel accounting.
@@ -316,6 +325,13 @@ pub fn fold_outcome_metrics(reg: &mut MetricsRegistry, o: &BoardOutcome) {
     reg.add_counter("campaign_heartbeats_total", labels, o.heartbeats);
     reg.add_counter("campaign_seq_gaps_total", labels, o.seq_gaps);
     reg.add_counter("campaign_sim_cycles_total", labels, o.final_cycle);
+    reg.add_counter("campaign_sim_block_hits_total", labels, o.sim_block_hits);
+    reg.add_counter(
+        "campaign_sim_block_invalidations_total",
+        labels,
+        o.sim_block_invalidations,
+    );
+    reg.add_counter("campaign_sim_block_count", labels, o.sim_block_count);
     if let Some(latency) = o.time_to_recovery {
         reg.observe_sketch("campaign_detection_latency_cycles", labels, latency);
     }
