@@ -45,6 +45,7 @@
 use avr_core::block::{scan_block, structural_end, FuseStep, MAX_BLOCK_WORDS};
 use avr_core::{io, sreg, Insn, Predecoded, PtrReg, Reg};
 
+use crate::adc::{ADCH_ADDR, ADCL_ADDR, ADCSRA_ADDR, ADMUX_ADDR};
 use crate::alu;
 use crate::periph::PORTB_ADDR;
 use crate::timer::{TCCR0B_ADDR, TCNT0_ADDR, TIFR0_ADDR, TIMSK0_ADDR};
@@ -57,8 +58,11 @@ const SPH_DATA: u16 = io::to_data_address(io::SPH);
 fn write_policy(addr: u16) -> FuseStep {
     match addr {
         // SREG writes arm irq_delay; timer-block writes move the event
-        // horizon or the pending-interrupt state.
+        // horizon or the pending-interrupt state. ADC-block writes start
+        // conversions (a new event horizon) or change ADIF/ADIE delivery,
+        // so they end blocks for exactly the same reason.
         SREG_DATA | TIMSK0_ADDR | TCCR0B_ADDR | TCNT0_ADDR | TIFR0_ADDR => FuseStep::End,
+        ADCL_ADDR..=ADMUX_ADDR => FuseStep::End,
         // The heartbeat monitor timestamps PORTB writes with the cycle
         // counter; the compiled micro-op carries the exact offset.
         _ => FuseStep::Fuse {
@@ -72,8 +76,14 @@ fn write_policy(addr: u16) -> FuseStep {
 fn read_policy(addr: u16) -> FuseStep {
     match addr {
         // Timer registers must be read with the timer advanced to "now";
-        // the compiled micro-op carries the sync offset.
+        // the compiled micro-op carries the sync offset. The ADC's result
+        // and status registers are cycle-dependent the same way (an
+        // in-flight conversion completes at a particular cycle).
         TCNT0_ADDR | TCCR0B_ADDR | TIMSK0_ADDR | TIFR0_ADDR => FuseStep::Fuse {
+            timer_read: true,
+            pure: true,
+        },
+        ADCL_ADDR | ADCH_ADDR | ADCSRA_ADDR => FuseStep::Fuse {
             timer_read: true,
             pure: true,
         },
@@ -229,7 +239,8 @@ pub(crate) enum Mop {
     Elpm,
     ElpmInc,
     // ---- cycle-offset carriers (operand `b` is an in-block offset) ----
-    /// Direct load of a timer register: sync the timer to the offset first.
+    /// Direct load of a cycle-dependent register (timer block, ADC
+    /// result/status): sync the peripherals to the offset first.
     LdsT,
     /// Indirect load through a pointer pair (`k` = base register).
     LdP,
@@ -308,7 +319,10 @@ impl PureOp {
 /// Direct load, routed through the timer-sync micro-op when the address
 /// lands on a register whose value depends on elapsed cycles.
 fn load_mop(d: Reg, k: u16) -> PureOp {
-    let op = if matches!(k, TCNT0_ADDR | TIFR0_ADDR) {
+    let op = if matches!(
+        k,
+        TCNT0_ADDR | TIFR0_ADDR | ADCL_ADDR | ADCH_ADDR | ADCSRA_ADDR
+    ) {
         Mop::LdsT
     } else {
         Mop::Lds
@@ -781,6 +795,10 @@ mod tests {
         // TIFR0 is within sbi/cbi range (io 0x15): write-one-to-clear.
         assert_eq!(classify(&Insn::Sbi { a: 0x15, b: 0 }), FuseStep::End);
         assert_eq!(classify(&Insn::Cbi { a: 0x15, b: 0 }), FuseStep::End);
+        // ADC-block writes start conversions or change delivery state.
+        for k in [ADCL_ADDR, ADCH_ADDR, ADCSRA_ADDR, ADMUX_ADDR] {
+            assert_eq!(classify(&Insn::Sts { k, r: Reg::R0 }), FuseStep::End);
+        }
         // Indirect stores could hit any of the above.
         assert_eq!(
             classify(&Insn::St {
@@ -820,6 +838,16 @@ mod tests {
                 pure: true
             }
         );
+        // ADC result/status reads are cycle-dependent the same way.
+        for k in [ADCL_ADDR, ADCH_ADDR, ADCSRA_ADDR] {
+            assert_eq!(
+                classify(&Insn::Lds { d: Reg::R0, k }),
+                FuseStep::Fuse {
+                    timer_read: true,
+                    pure: true
+                }
+            );
+        }
         assert!(matches!(
             classify(&Insn::Ld {
                 d: Reg::R0,

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adc;
 mod alu;
 mod blockcache;
 pub mod eeprom;
@@ -47,11 +48,14 @@ mod periph;
 pub mod profiler;
 pub mod timer;
 
+pub use adc::{Adc, AdcState};
 pub use blockcache::BlockStats;
 pub use eeprom::{Eeprom, EepromState};
 pub use fault::{Fault, RunExit};
 pub use forensics::CrashReport;
 pub use machine::{Machine, MachineState, SimCounters, Trace, DIRTY_PAGE_SIZE, HEARTBEAT_BIT};
-pub use periph::{Heartbeat, HeartbeatState, Uart, UartState, Watchdog, WatchdogState};
+pub use periph::{
+    Heartbeat, HeartbeatState, PortB, Pwm, Uart, UartState, Watchdog, WatchdogState, PORTB_ADDR,
+};
 pub use profiler::{CycleProfile, Flow, FuncCycles, PcProfile};
 pub use timer::{Timer0, Timer0State};

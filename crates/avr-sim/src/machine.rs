@@ -8,11 +8,15 @@ use avr_core::{io, Insn, Predecoded, PtrReg, Reg};
 
 use telemetry::{Telemetry, Value};
 
+use crate::adc::{Adc, ADCL_ADDR, ADMUX_ADDR};
 use crate::alu;
 use crate::blockcache::{BlockCache, BlockStats, FusedBlock, MicroOp, Mop};
 use crate::eeprom::{Eeprom, EEARH_ADDR, EECR_ADDR};
 use crate::fault::{Fault, RunExit};
-use crate::periph::{Heartbeat, Uart, Watchdog, PORTB_ADDR, UCSR0A_ADDR, UDR0_ADDR};
+use crate::periph::{
+    Heartbeat, PortB, Pwm, Uart, Watchdog, OCR0A_ADDR, OCR0B_ADDR, PORTB_ADDR, UCSR0A_ADDR,
+    UDR0_ADDR,
+};
 use crate::profiler::{CycleProfile, Flow, PcProfile};
 use crate::timer::{self, Timer0, TCCR0B_ADDR, TCNT0_ADDR, TIFR0_ADDR, TIMSK0_ADDR};
 
@@ -108,6 +112,12 @@ pub struct Machine {
     pub watchdog: Watchdog,
     /// Timer/Counter0 (overflow interrupt support).
     pub timer0: Timer0,
+    /// The ADC — the firmware's window onto the host-side analog world.
+    pub adc: Adc,
+    /// PWM duty latches (`OCR0A`/`OCR0B`) — the firmware's motor outputs.
+    pub pwm: Pwm,
+    /// The PORTB output latch (heartbeat pin and friends).
+    pub portb: PortB,
     /// Instructions retired since construction (not cleared by [`reset`]).
     ///
     /// [`reset`]: Machine::reset
@@ -186,6 +196,9 @@ impl Machine {
             heartbeat: Heartbeat::default(),
             watchdog: Watchdog::default(),
             timer0: Timer0::default(),
+            adc: Adc::default(),
+            pwm: Pwm::default(),
+            portb: PortB::default(),
             insns_retired: 0,
             interrupts_taken: 0,
             telemetry: Telemetry::off(),
@@ -311,6 +324,11 @@ impl Machine {
         self.set_sp(self.device.ramend());
         self.watchdog = Watchdog::default();
         self.timer0 = Timer0::default();
+        // A reset resets the peripheral register interfaces; the PORTB pin
+        // latch survives like SRAM (and the heartbeat monitor's level with
+        // it), and the ADC keeps its host-side analog inputs.
+        self.adc.reset();
+        self.pwm.reset();
     }
 
     // ---- register / flag accessors ----
@@ -406,6 +424,9 @@ impl Machine {
             TCCR0B_ADDR => self.timer0.tccr_b,
             TIMSK0_ADDR => self.timer0.timsk,
             TIFR0_ADDR => self.timer0.tifr,
+            PORTB_ADDR => self.portb.read(),
+            OCR0A_ADDR | OCR0B_ADDR => self.pwm.read(addr),
+            ADCL_ADDR..=ADMUX_ADDR => self.adc.read(addr),
             _ => self.data.get(addr as usize).copied().unwrap_or(0),
         }
     }
@@ -434,8 +455,13 @@ impl Machine {
             TIMSK0_ADDR => self.timer0.timsk = v,
             // Writing 1 to a TIFR bit clears it, as on real hardware.
             TIFR0_ADDR => self.timer0.tifr &= !v,
+            OCR0A_ADDR | OCR0B_ADDR => self.pwm.write(addr, v),
+            ADCL_ADDR..=ADMUX_ADDR => self.adc.write(addr, v),
             PORTB_ADDR => {
+                let v = self.portb.write(v);
                 self.heartbeat.observe(v, HEARTBEAT_BIT, self.cycles);
+                // Mirrored into the data array so host-side peeks (stack
+                // dumps, snapshots of the raw data space) keep seeing it.
                 self.data[addr as usize] = v;
             }
             _ => {
@@ -449,6 +475,11 @@ impl Machine {
 
     /// Host-side poke with no side effects.
     pub fn poke_data(&mut self, addr: u16, v: u8) {
+        if addr == PORTB_ADDR {
+            // Keep the pin latch coherent with its data-space mirror
+            // (silently, without a heartbeat observation).
+            self.portb.value = v;
+        }
         if (addr as usize) < self.data.len() {
             self.data[addr as usize] = v;
             self.mark_data_dirty(addr);
@@ -609,6 +640,51 @@ impl Machine {
         Ok(())
     }
 
+    /// ADC conversion-complete dispatch, same shape as [`vector_timer0`].
+    ///
+    /// [`vector_timer0`]: Machine::vector_timer0
+    fn vector_adc(&mut self) -> Result<(), Fault> {
+        self.adc.ack();
+        self.push_pc(self.pc)?;
+        let f = self.sreg() & !(1 << avr_core::sreg::I);
+        self.set_sreg(f);
+        self.pc = crate::adc::ADC_VECTOR * 2; // 4-byte vector slots
+        self.cycles += 5;
+        self.interrupts_taken += 1;
+        if let Some(p) = &mut self.cycle_profile {
+            p.interrupt(self.pc * 2, 5);
+        }
+        Ok(())
+    }
+
+    /// Whether any modelled interrupt source is pending (ignoring the
+    /// global I flag and the one-instruction suppression window).
+    #[inline]
+    fn irq_source_pending(&self) -> bool {
+        self.timer0.irq_pending() || self.adc.irq_pending()
+    }
+
+    /// Vector the highest-priority pending interrupt: Timer0 overflow
+    /// (vector 23) outranks ADC conversion complete (vector 29), as on the
+    /// part. The caller has established that a source is pending.
+    fn vector_pending(&mut self) -> Result<(), Fault> {
+        if self.timer0.irq_pending() {
+            self.vector_timer0()
+        } else {
+            self.vector_adc()
+        }
+    }
+
+    /// Advance every cycle-driven peripheral in lockstep. Both advances are
+    /// linear, so any partition of a cycle span is bit-identical — the
+    /// property every batching layer above (blocks, sync points, tails)
+    /// leans on.
+    #[inline]
+    fn advance_peripherals(&mut self, cycles: u64) {
+        self.timer0.advance(cycles);
+        self.adc.advance(cycles);
+    }
+
     /// Execute one instruction. Returns the fault if the machine crashed;
     /// the fault is sticky and subsequent calls return it again.
     pub fn step(&mut self) -> Result<(), Fault> {
@@ -623,8 +699,8 @@ impl Machine {
         // more instruction first; the frame epilogue's `out SREG` relies on
         // this to protect the following `out SPL`).
         let suppressed = std::mem::replace(&mut self.irq_delay, false);
-        if !suppressed && self.sreg() & (1 << avr_core::sreg::I) != 0 && self.timer0.irq_pending() {
-            if let Err(f) = self.vector_timer0() {
+        if !suppressed && self.sreg() & (1 << avr_core::sreg::I) != 0 && self.irq_source_pending() {
+            if let Err(f) = self.vector_pending() {
                 return self.fail(f);
             }
         }
@@ -647,7 +723,7 @@ impl Machine {
         self.cycles += u64::from(entry.cycles);
         self.insns_retired += 1;
         let result = self.exec(entry.insn, pc0, width);
-        self.timer0.advance(self.cycles - c0);
+        self.advance_peripherals(self.cycles - c0);
         if let Some(p) = &mut self.cycle_profile {
             // On a fault the next PC is meaningless; attribute the cycles
             // but don't follow the (never-completed) call or return.
@@ -755,9 +831,9 @@ impl Machine {
             while self.cycles < horizon {
                 let suppressed = std::mem::replace(&mut self.irq_delay, false);
                 let irq_ready = self.data[SREG_DATA as usize] & (1 << avr_core::sreg::I) != 0
-                    && self.timer0.irq_pending();
+                    && self.irq_source_pending();
                 if irq_ready && !suppressed {
-                    if let Err(f) = self.vector_timer0() {
+                    if let Err(f) = self.vector_pending() {
                         let _ = self.fail(f);
                         return RunExit::Faulted(f);
                     }
@@ -783,14 +859,14 @@ impl Machine {
                         // block's last cycle may have raised the overflow.
                         if self.cycles < horizon
                             && !(self.data[SREG_DATA as usize] & (1 << avr_core::sreg::I) != 0
-                                && self.timer0.irq_pending())
+                                && self.irq_source_pending())
                         {
                             if let Err(f) = self.step_tail(rem) {
                                 let _ = self.fail(f);
                                 return RunExit::Faulted(f);
                             }
                         } else {
-                            self.timer0.advance(rem);
+                            self.advance_peripherals(rem);
                         }
                         continue;
                     }
@@ -816,7 +892,7 @@ impl Machine {
         let entry = match self.icache.get(self.pc as usize) {
             Some(e) => *e,
             None => {
-                self.timer0.advance(rem);
+                self.advance_peripherals(rem);
                 return Err(Fault::PcOutOfBounds { pc: self.pc });
             }
         };
@@ -841,7 +917,7 @@ impl Machine {
         let rem = if merge {
             rem
         } else {
-            self.timer0.advance(rem);
+            self.advance_peripherals(rem);
             0
         };
         let pc0 = self.pc;
@@ -851,7 +927,7 @@ impl Machine {
         self.cycles += u64::from(entry.cycles);
         self.insns_retired += 1;
         let result = self.exec(entry.insn, pc0, width);
-        self.timer0.advance(rem + (self.cycles - c0));
+        self.advance_peripherals(rem + (self.cycles - c0));
         result
     }
 
@@ -874,12 +950,24 @@ impl Machine {
         if self.cycles + u64::from(b.cycles) > horizon {
             return None;
         }
-        if self.data[SREG_DATA as usize] & (1 << avr_core::sreg::I) != 0
-            && self.timer0.timsk & timer::TOV0 != 0
-        {
-            if let Some(to_overflow) = self.timer0.cycles_to_overflow() {
-                if u64::from(b.cycles) > to_overflow {
-                    return None;
+        if self.data[SREG_DATA as usize] & (1 << avr_core::sreg::I) != 0 {
+            if self.timer0.timsk & timer::TOV0 != 0 {
+                if let Some(to_overflow) = self.timer0.cycles_to_overflow() {
+                    if u64::from(b.cycles) > to_overflow {
+                        return None;
+                    }
+                }
+            }
+            // Same reasoning for an armed ADC conversion: the block must
+            // complete no later than conversion end, so a completion raised
+            // by the last cycle delivers at the boundary check after the
+            // block — exactly where stepping would take it. ADC register
+            // writes (start, enable, ADIE) all end blocks.
+            if self.adc.irq_armed() {
+                if let Some(to_done) = self.adc.cycles_to_done() {
+                    if u64::from(b.cycles) > to_done {
+                        return None;
+                    }
                 }
             }
         }
@@ -1138,7 +1226,8 @@ impl Machine {
 
             // ---- cycle-offset carriers ----
             Mop::LdsT => {
-                // Only emitted for TCNT0/TIFR0: always needs the sync.
+                // Only emitted for cycle-dependent registers (timer block,
+                // ADC result/status): always needs the sync.
                 self.sync_timer(m.b.into(), synced);
                 let v = self.read_data(m.k);
                 self.data[a] = v;
@@ -1167,20 +1256,20 @@ impl Machine {
             }
             Mop::WdrT => self.watchdog.pet(self.cycles + b as u64),
             Mop::StsHb => {
-                let v = self.data[a];
+                let v = self.portb.write(self.data[a]);
                 self.heartbeat
                     .observe(v, HEARTBEAT_BIT, self.cycles + b as u64);
                 self.data[PORTB_ADDR as usize] = v;
             }
             Mop::SbiHb => {
-                let v = self.data[PORTB_ADDR as usize] | m.a;
+                let v = self.portb.write(self.portb.read() | m.a);
                 self.heartbeat
                     .observe(v, HEARTBEAT_BIT, self.cycles + b as u64);
                 self.data[PORTB_ADDR as usize] = v;
             }
             Mop::CbiHb => {
                 // `a` holds the complement mask (bit already inverted).
-                let v = self.data[PORTB_ADDR as usize] & m.a;
+                let v = self.portb.write(self.portb.read() & m.a);
                 self.heartbeat
                     .observe(v, HEARTBEAT_BIT, self.cycles + b as u64);
                 self.data[PORTB_ADDR as usize] = v;
@@ -1188,21 +1277,24 @@ impl Machine {
         }
     }
 
-    /// Advance the timer to block-relative offset `off` (it is already at
-    /// `synced`), so the next read observes exactly what per-instruction
-    /// stepping would. `advance` is linear, so splitting the block total
-    /// into sync points plus a remainder is bit-identical.
+    /// Advance the cycle-driven peripherals to block-relative offset `off`
+    /// (they are already at `synced`), so the next read observes exactly
+    /// what per-instruction stepping would. Both advances are linear, so
+    /// splitting the block total into sync points plus a remainder is
+    /// bit-identical.
     fn sync_timer(&mut self, off: u16, synced: &mut u16) {
         if off > *synced {
-            self.timer0.advance(u64::from(off - *synced));
+            self.advance_peripherals(u64::from(off - *synced));
             *synced = off;
         }
     }
 
-    /// Indirect-load tail: sync the timer first when the computed address
-    /// lands on a cycle-dependent timer register.
+    /// Indirect-load tail: sync the cycle-driven peripherals first when the
+    /// computed address lands on a cycle-dependent register (the timer
+    /// block, or the ADC's result/status registers while a conversion is
+    /// in flight).
     fn load_indirect(&mut self, addr: u16, d: usize, off: u16, synced: &mut u16) {
-        if matches!(addr, TCNT0_ADDR | TIFR0_ADDR) {
+        if matches!(addr, TCNT0_ADDR | TIFR0_ADDR | ADCL_ADDR..=ADMUX_ADDR) {
             self.sync_timer(off, synced);
         }
         let v = self.read_data(addr);
@@ -1223,20 +1315,20 @@ impl Machine {
             self.insns_retired += 1;
             let result = self.exec(e.insn, pc0, width);
             if b.timer_reads {
-                self.timer0.advance(self.cycles - c0);
+                self.advance_peripherals(self.cycles - c0);
             }
             if let Err(f) = result {
-                // A fault mid-block leaves the timer exactly as the
+                // A fault mid-block leaves the peripherals exactly as the
                 // stepping loop would: advanced through the faulting
                 // instruction (step() advances even on Err).
                 if !b.timer_reads {
-                    self.timer0.advance(self.cycles - c_start);
+                    self.advance_peripherals(self.cycles - c_start);
                 }
                 return Err(f);
             }
         }
         if !b.timer_reads {
-            self.timer0.advance(self.cycles - c_start);
+            self.advance_peripherals(self.cycles - c_start);
         }
         Ok(())
     }
@@ -1692,6 +1784,9 @@ impl Machine {
             heartbeat: self.heartbeat.state(),
             watchdog: self.watchdog.state(),
             timer0: self.timer0.state(),
+            adc: self.adc.state(),
+            pwm: self.pwm,
+            portb: self.portb.value,
             insns_retired: self.insns_retired,
             interrupts_taken: self.interrupts_taken,
         }
@@ -1730,6 +1825,9 @@ impl Machine {
         self.heartbeat.restore(&s.heartbeat);
         self.watchdog.restore(&s.watchdog);
         self.timer0.restore(&s.timer0);
+        self.adc.restore(&s.adc);
+        self.pwm = s.pwm;
+        self.portb.value = s.portb;
         self.insns_retired = s.insns_retired;
         self.interrupts_taken = s.interrupts_taken;
         self.icache = Vec::new();
@@ -1805,6 +1903,12 @@ pub struct MachineState {
     pub watchdog: crate::periph::WatchdogState,
     /// Timer/Counter0 registers.
     pub timer0: crate::timer::Timer0State,
+    /// ADC registers, conversion countdown and analog inputs.
+    pub adc: crate::adc::AdcState,
+    /// PWM duty latches.
+    pub pwm: crate::periph::Pwm,
+    /// PORTB output latch.
+    pub portb: u8,
     /// Instructions retired.
     pub insns_retired: u64,
     /// Interrupts vectored.
@@ -1840,6 +1944,92 @@ mod tests {
         let exit = m.run(100);
         assert!(matches!(exit, RunExit::Faulted(Fault::Break { .. })));
         assert_eq!(m.peek_data(0x0300), 42);
+    }
+
+    #[test]
+    fn adc_poll_loop_is_identical_across_engines() {
+        use crate::adc::{ADCH_ADDR, ADCSRA_ADDR, ADLAR, ADMUX_ADDR};
+        // Start a conversion on channel 2 (left-adjusted), poll ADSC, read
+        // ADCH, store it — the exact idiom the flight firmware uses.
+        let prog = [
+            Insn::Ldi {
+                d: Reg::R24,
+                k: ADLAR | 2,
+            },
+            Insn::Sts {
+                k: ADMUX_ADDR,
+                r: Reg::R24,
+            },
+            Insn::Ldi {
+                d: Reg::R24,
+                k: crate::adc::ADEN | crate::adc::ADSC | 0x02,
+            },
+            Insn::Sts {
+                k: ADCSRA_ADDR,
+                r: Reg::R24,
+            },
+            Insn::Lds {
+                d: Reg::R25,
+                k: ADCSRA_ADDR,
+            },
+            Insn::Sbrc { r: Reg::R25, b: 6 },
+            Insn::Rjmp { k: -4 },
+            Insn::Lds {
+                d: Reg::R26,
+                k: ADCH_ADDR,
+            },
+            Insn::Sts {
+                k: 0x0400,
+                r: Reg::R26,
+            },
+            Insn::Break,
+        ];
+        let run_one = |predecode: bool, fusion: bool| {
+            let mut m = machine_with(&prog);
+            m.set_predecode(predecode);
+            m.set_block_fusion(fusion);
+            m.adc.channels[2] = 0x2a5;
+            let exit = m.run(10_000);
+            assert!(matches!(exit, RunExit::Faulted(Fault::Break { .. })));
+            m.capture_state()
+        };
+        let fused = run_one(true, true);
+        let predecoded = run_one(true, false);
+        let uncached = run_one(false, false);
+        assert_eq!(fused.data[0x0400], (0x2a5 >> 2) as u8);
+        assert_eq!(fused, predecoded, "fused vs predecoded ADC poll");
+        assert_eq!(predecoded, uncached, "predecoded vs uncached ADC poll");
+    }
+
+    #[test]
+    fn adc_interrupt_vectors_after_conversion() {
+        use crate::adc::{ADCSRA_ADDR, ADC_VECTOR, ADEN, ADIE, ADSC};
+        // Vector slot 29 holds a jump to a break handler; main enables the
+        // ADC interrupt, sets I, and spins.
+        let mut m = Machine::new_atmega2560();
+        let main = [
+            Insn::Ldi {
+                d: Reg::R24,
+                k: ADEN | ADSC | ADIE | 0x02,
+            },
+            Insn::Sts {
+                k: ADCSRA_ADDR,
+                r: Reg::R24,
+            },
+            Insn::Bset {
+                s: avr_core::sreg::I,
+            },
+            Insn::Rjmp { k: -1 },
+        ];
+        m.load_flash(ADC_VECTOR * 4, &encode_to_bytes(&[Insn::Break]).unwrap());
+        m.load_flash(0x200, &encode_to_bytes(&main).unwrap());
+        m.set_pc_bytes(0x200);
+        let exit = m.run(10_000);
+        assert!(
+            matches!(exit, RunExit::Faulted(Fault::Break { .. })),
+            "ADC completion must vector to slot 29: {exit:?}"
+        );
+        assert_eq!(m.interrupts_taken, 1);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Peripheral models: UART, heartbeat GPIO, watchdog timer.
+//! Peripheral models: UART, PORTB pin latch, PWM duty latches, heartbeat
+//! GPIO, watchdog timer.
 
 use std::collections::VecDeque;
 
@@ -15,6 +16,89 @@ pub const UDRE0: u8 = 1 << 5;
 
 /// Data-space address of `PORTB` — the heartbeat pin lives here.
 pub const PORTB_ADDR: u16 = 0x25;
+
+/// Data-space address of `OCR0A` — modelled as the motor *thrust* duty
+/// latch of the PWM output stage.
+pub const OCR0A_ADDR: u16 = 0x47;
+/// Data-space address of `OCR0B` — modelled as the motor *pitch-torque*
+/// duty latch (centred at `0x80`).
+pub const OCR0B_ADDR: u16 = 0x48;
+
+/// The PORTB output latch: a real read/write register, not just a byte in
+/// the data array. Firmware reads it back (read-modify-write heartbeat
+/// toggles) and the heartbeat monitor observes every write one level up in
+/// the machine. Like SRAM, the latch survives a CPU reset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortB {
+    /// Current pin levels.
+    pub value: u8,
+}
+
+impl PortB {
+    /// Firmware-side read of `PORTB`.
+    pub fn read(&self) -> u8 {
+        self.value
+    }
+
+    /// Firmware-side write of `PORTB`; returns the new level for the
+    /// heartbeat monitor to observe.
+    pub fn write(&mut self, v: u8) -> u8 {
+        self.value = v;
+        v
+    }
+}
+
+/// The PWM output stage: `OCR0A`/`OCR0B` duty-cycle latches on the Timer0
+/// path, captured for the world model.
+///
+/// The latches are zero-order holds: the host (the flight-dynamics
+/// integrator) samples them between run slices, so only the *last* write
+/// before a sample boundary matters — writes need no cycle stamps, which
+/// is what lets them fuse mid-block like ordinary stores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Pwm {
+    /// `OCR0A` duty latch (thrust, 0..=255).
+    pub ocr0a: u8,
+    /// `OCR0B` duty latch (pitch torque, centred at 0x80).
+    pub ocr0b: u8,
+}
+
+impl Pwm {
+    /// Firmware-side read of a duty latch.
+    pub fn read(&self, addr: u16) -> u8 {
+        match addr {
+            OCR0A_ADDR => self.ocr0a,
+            OCR0B_ADDR => self.ocr0b,
+            _ => 0,
+        }
+    }
+
+    /// Firmware-side write of a duty latch.
+    pub fn write(&mut self, addr: u16, v: u8) {
+        match addr {
+            OCR0A_ADDR => self.ocr0a = v,
+            OCR0B_ADDR => self.ocr0b = v,
+            _ => {}
+        }
+    }
+
+    /// Reset both latches (motors cut), as a CPU reset resets the timer's
+    /// compare registers.
+    pub fn reset(&mut self) {
+        *self = Pwm::default();
+    }
+
+    /// Thrust duty cycle as a fraction in `[0, 1]`.
+    pub fn thrust_duty(&self) -> f64 {
+        f64::from(self.ocr0a) / 255.0
+    }
+
+    /// Pitch-torque duty as a signed fraction in `[-1, 1]`, centred at
+    /// `0x80`.
+    pub fn pitch_duty(&self) -> f64 {
+        (f64::from(self.ocr0b) - 128.0) / 128.0
+    }
+}
 
 /// A byte-oriented, polled UART.
 ///
@@ -375,6 +459,28 @@ mod tests {
         assert_eq!(w.deadline(), Some(1350), "pet moves the deadline later");
         w.disable();
         assert_eq!(w.deadline(), None);
+    }
+
+    #[test]
+    fn portb_latch_reads_back_writes() {
+        let mut p = PortB::default();
+        assert_eq!(p.read(), 0);
+        assert_eq!(p.write(0x25), 0x25);
+        assert_eq!(p.read(), 0x25);
+    }
+
+    #[test]
+    fn pwm_latches_and_duty_mapping() {
+        let mut pwm = Pwm::default();
+        pwm.write(OCR0A_ADDR, 255);
+        pwm.write(OCR0B_ADDR, 128);
+        assert_eq!(pwm.read(OCR0A_ADDR), 255);
+        assert_eq!(pwm.thrust_duty(), 1.0);
+        assert_eq!(pwm.pitch_duty(), 0.0, "0x80 is torque-neutral");
+        pwm.write(OCR0B_ADDR, 0);
+        assert_eq!(pwm.pitch_duty(), -1.0);
+        pwm.reset();
+        assert_eq!((pwm.ocr0a, pwm.ocr0b), (0, 0), "reset cuts the motors");
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //! fleet campaign and rewrites `BENCH_chaos.json`, and `bench-telemetry`
 //! (or `bench-telemetry-quick`) measures the observability plane —
 //! null-recorder simulator overhead, metrics record/merge throughput and
-//! exposition cost — and rewrites `BENCH_telemetry.json`.
+//! exposition cost — and rewrites `BENCH_telemetry.json`, and
+//! `bench-world` (or `bench-world-quick`) measures what closing the
+//! physical loop costs the fused fast path and rewrites
+//! `BENCH_world.json`.
 
 use mavr_bench as exp;
 use synth_firmware::{apps, build, BuildOptions};
@@ -303,6 +306,28 @@ fn main() {
         );
         let path = "BENCH_telemetry.json";
         std::fs::write(path, t.to_json()).expect("write BENCH_telemetry.json");
+        println!("  wrote {path}\n");
+    }
+
+    // Explicitly requested only (writes a file; excluded from `all`).
+    if args
+        .iter()
+        .any(|a| a == "bench-world" || a == "bench-world-quick")
+    {
+        let quick = args.iter().any(|a| a == "bench-world-quick");
+        println!("== Closed-loop physics cost (bare vs coupled, fused fast path) ==");
+        let t = exp::world_throughput(quick);
+        println!(
+            "  bare fused    : {:>12.0} cycles/sec\n  \
+             coupled fused : {:>12.0} cycles/sec  ({:+.2}% overhead, budget <15%)\n  \
+             world steps   : {:>12.0} steps/sec (1 kHz simulated)",
+            t.bare_cycles_per_sec,
+            t.coupled_cycles_per_sec,
+            t.overhead_pct(),
+            t.coupled_steps_per_sec,
+        );
+        let path = "BENCH_world.json";
+        std::fs::write(path, t.to_json()).expect("write BENCH_world.json");
         println!("  wrote {path}\n");
     }
 

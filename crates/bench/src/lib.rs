@@ -1053,6 +1053,88 @@ pub fn fig6(spec: &AppSpec) -> Vec<StackSnapshot> {
     snaps
 }
 
+/// Measured cost of closing the physical loop: the same provisioned
+/// SynthQuadFlight board flown bare (block-fused fast path, ADC floating)
+/// versus inside the [`mavr_world::FlightHarness`] (sensors sampled into
+/// the ADC and the rigid body stepped every 16 000 cycles). See
+/// [`world_throughput`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorldThroughput {
+    /// Cycles/sec of the bare board (physics off).
+    pub bare_cycles_per_sec: f64,
+    /// Cycles/sec of the coupled board (physics on).
+    pub coupled_cycles_per_sec: f64,
+    /// World steps/sec of the coupled simulation (`coupled / 16000`).
+    pub coupled_steps_per_sec: f64,
+    /// Samples per leg the minima were taken over.
+    pub samples: usize,
+}
+
+impl WorldThroughput {
+    /// What the physics arena costs on the fused fast path, in percent of
+    /// bare throughput. The ISSUE budget is <15%.
+    pub fn overhead_pct(&self) -> f64 {
+        (self.bare_cycles_per_sec / self.coupled_cycles_per_sec - 1.0) * 100.0
+    }
+
+    /// The `BENCH_world.json` payload (hand-rolled; the workspace has no
+    /// JSON dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"closed_loop/synth_quad_flight\",\n  \"unit\": \"cycles_per_sec\",\n  \"samples\": {},\n  \"bare_fused\": {:.0},\n  \"coupled_fused\": {:.0},\n  \"world_steps_per_sec\": {:.0},\n  \"physics_overhead_pct\": {:.2}\n}}\n",
+            self.samples,
+            self.bare_cycles_per_sec,
+            self.coupled_cycles_per_sec,
+            self.coupled_steps_per_sec,
+            self.overhead_pct(),
+        )
+    }
+}
+
+/// Measure the closed-loop physics overhead (`quick` = fewer samples and
+/// steps, for CI smoke).
+///
+/// Both legs fly the identical provisioned board on the block-fused fast
+/// path; only the coupling differs. Legs are interleaved round-robin and
+/// each reports its fastest sample (noise only ever adds time), so the
+/// overhead ratio is robust against load drift on a shared machine.
+pub fn world_throughput(quick: bool) -> WorldThroughput {
+    use mavr_world::{FlightHarness, Scenario, World, CYCLES_PER_STEP};
+
+    let steps: u64 = if quick { 125 } else { 500 };
+    let samples = if quick { 3 } else { 9 };
+    let cycles = steps * CYCLES_PER_STEP;
+    let fw = build(&apps::synth_quad_flight(), &BuildOptions::safe_mavr()).unwrap();
+    let board = || MavrBoard::provision(&fw.image, 0xf17e, RandomizationPolicy::default()).unwrap();
+
+    let time_bare = || {
+        let mut b = board();
+        let t0 = std::time::Instant::now();
+        b.run(cycles).unwrap();
+        t0.elapsed().as_secs_f64()
+    };
+    let time_coupled = || {
+        let mut h = FlightHarness::new(board(), World::new(Scenario::Hover, 0x57e9));
+        let t0 = std::time::Instant::now();
+        h.run_steps(steps).unwrap();
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(!h.world.on_ground(), "bench flight must stay airborne");
+        dt
+    };
+
+    let mut best = [f64::INFINITY; 2];
+    for _ in 0..samples {
+        best[0] = best[0].min(time_bare());
+        best[1] = best[1].min(time_coupled());
+    }
+    WorldThroughput {
+        bare_cycles_per_sec: cycles as f64 / best[0],
+        coupled_cycles_per_sec: cycles as f64 / best[1],
+        coupled_steps_per_sec: steps as f64 / best[1],
+        samples,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -74,6 +74,7 @@ const VALUED: &[&str] = &[
     "--metrics-out",
     "--top",
     "--folded",
+    "--steps",
 ];
 
 /// Split raw arguments into positionals, options and flags.
@@ -101,8 +102,9 @@ fn app_by_name(name: &str) -> Result<AppSpec, CliError> {
         "copter" | "synthcopter" => Ok(apps::synth_copter()),
         "rover" | "synthrover" => Ok(apps::synth_rover()),
         "tiny" => Ok(apps::tiny_test_app()),
+        "quad" | "synthquadflight" => Ok(apps::synth_quad_flight()),
         other => Err(CliError::Usage(format!(
-            "unknown app `{other}` (plane, copter, rover, tiny)"
+            "unknown app `{other}` (plane, copter, rover, tiny, quad)"
         ))),
     }
 }
@@ -925,6 +927,88 @@ pub fn cmd_chaos(args: &Args) -> Result<String, CliError> {
     run_campaign_cmd(args, DEFAULT_FAULT_SWEEP.to_vec())
 }
 
+/// `mavr fly [--scenario hover|drop|turbulent] [--seed N] [--steps N]
+/// [--json] [-o FILE]`
+///
+/// Fly one closed loop: the SynthQuadFlight firmware on a randomized
+/// board, its ADC fed by the physics arena's sensors and its PWM driving
+/// the rigid body, in lockstep (16 000 cycles per 1 ms world step).
+/// Prints a flight summary; `--json` emits the trajectory (one sample
+/// every 100 steps, plus the final state) as JSON lines.
+pub fn cmd_fly(args: &Args) -> Result<String, CliError> {
+    use mavr::policy::RandomizationPolicy;
+    use mavr_board::MavrBoard;
+    use mavr_world::{FlightHarness, Scenario, World, CYCLES_PER_STEP, TARGET_ALT_M};
+
+    let scenario = match args.options.get("--scenario") {
+        Some(s) => Scenario::parse(s).ok_or_else(|| {
+            CliError::Usage(format!("unknown scenario `{s}` (hover, drop, turbulent)"))
+        })?,
+        None => Scenario::Hover,
+    };
+    let seed = u64::from(parse_num(args.options.get("--seed"), 0x2015)?);
+    let steps = u64::from(parse_num(args.options.get("--steps"), 3000)?);
+
+    let fw = synth_firmware::build(&apps::synth_quad_flight(), &BuildOptions::safe_mavr())
+        .map_err(fail)?;
+    let board = MavrBoard::provision(&fw.image, seed, RandomizationPolicy::default())
+        .map_err(|e| CliError::Failed(format!("provisioning failed: {e}")))?;
+    // Disjoint world stream from the same seed, so `--seed` alone names
+    // the whole flight.
+    let mut h = FlightHarness::new(board, World::new(scenario, seed ^ 0x5eed_d1ce));
+
+    let mut samples = Vec::new();
+    let mut flown = 0;
+    while flown < steps {
+        let batch = (steps - flown).min(100);
+        h.run_steps(batch)
+            .map_err(|e| CliError::Failed(format!("flight aborted: {e}")))?;
+        flown += batch;
+        samples.push(format!(
+            "{{\"t_ms\":{},\"alt_m\":{:.3},\"vz_mps\":{:.3},\"alt_err_peak_m\":{:.3},\
+             \"on_ground\":{},\"impacts\":{},\"recoveries\":{}}}",
+            h.world.steps(),
+            h.world.altitude(),
+            h.world.body.vel.z,
+            h.world.peak_alt_err(),
+            h.world.on_ground(),
+            h.world.ground_impacts(),
+            h.recoveries_caught(),
+        ));
+    }
+
+    if args.flags.contains("json") {
+        let mut out = samples.join("\n");
+        out.push('\n');
+        if let Some(path) = args.options.get("-o").or(args.options.get("--out")) {
+            std::fs::write(path, &out).map_err(fail)?;
+            return Ok(format!(
+                "wrote {} trajectory samples to {path}\n",
+                samples.len()
+            ));
+        }
+        return Ok(out);
+    }
+
+    Ok(format!(
+        "flew {} ({} steps, {} cycles): alt {:.2} m (target {TARGET_ALT_M}), \
+         peak |err| {:.2} m, impacts {}, recoveries {} (alt lost {:.2} m), {}\n",
+        scenario.name(),
+        h.world.steps(),
+        h.world.steps() * CYCLES_PER_STEP,
+        h.world.altitude(),
+        h.world.peak_alt_err(),
+        h.world.ground_impacts(),
+        h.recoveries_caught(),
+        h.alt_lost_to_recoveries(),
+        if h.world.on_ground() {
+            "on the ground"
+        } else {
+            "airborne"
+        },
+    ))
+}
+
 /// Parse a `--loss` / `--fault` style comma-separated probability list.
 fn parse_prob_list(args: &Args, key: &str, default: Vec<f64>) -> Result<Vec<f64>, CliError> {
     match args.options.get(key) {
@@ -1044,6 +1128,7 @@ fn run_campaign_cmd(args: &Args, default_faults: Vec<f64>) -> Result<String, Cli
         return Err(CliError::Usage("--boards must be at least 1".into()));
     }
     cfg.block_fusion = !args.flags.contains("no-fusion");
+    cfg.physics = args.flags.contains("physics");
     if args.flags.contains("progress") {
         cfg.telemetry = telemetry::Telemetry::new(ProgressPrinter::default());
     }
@@ -1169,10 +1254,18 @@ COMMANDS:
         bisect the exact first cycle where the randomized execution
         departs from the stock one; prints the divergence and the
         post-mortem crash report (-o writes the pre-divergence snapshot).
+  fly [--scenario hover|drop|turbulent] [--seed N] [--steps N] [--json]
+        [-o FILE]
+        Fly one closed loop: the SynthQuadFlight firmware samples the
+        physics arena's sensors through the ADC and drives a rigid body
+        through PWM, in lockstep (16000 cycles per 1 ms world step).
+        Prints the flight summary (altitude held, peak excursion, ground
+        impacts, recovery outages); --json emits the trajectory as JSON
+        lines. Same arguments, same flight — bit for bit.
   fleet [app] [--boards N] [--scenario LIST|all] [--loss L1,L2,..] [--seed N]
         [--warmup N] [--cycles N] [--threads N] [--capacity N]
         [--checkpoint FILE] [--max-jobs N] [--progress] [--no-fusion]
-        [--metrics-out FILE] [--json | --jsonl] [-o FILE]
+        [--physics] [--metrics-out FILE] [--json | --jsonl] [-o FILE]
         Fly a many-UAV campaign over deterministic lossy links: every
         (scenario, loss, board) cell gets its own randomized board and
         link pair; prints the attack-success / recovery-rate table (or the
@@ -1185,7 +1278,10 @@ COMMANDS:
         the dump is byte-identical whatever --threads is, and identical
         between checkpointed and uninterrupted runs. --no-fusion turns
         off block-fused simulation (slower, identical report bytes;
-        only the sim_block_* metrics change).
+        only the sim_block_* metrics change). --physics flies every
+        board inside the physics arena (pair with the quad app): cells
+        gain altitude-excursion, crash-rate and altitude-lost-per-
+        recovery columns, still byte-identical whatever --threads is.
   chaos [app] [--fault F1,F2,..] [... same options as fleet]
         Fleet campaign with fault injection across every board's recovery
         pipeline: ext-flash bit rot, reflash-stream corruption (bit flips,
@@ -1216,6 +1312,7 @@ pub const COMMANDS: &[(&str, CmdFn)] = &[
     ("trace", cmd_trace),
     ("snapshot", cmd_snapshot),
     ("replay", cmd_replay),
+    ("fly", cmd_fly),
     ("fleet", cmd_fleet),
     ("chaos", cmd_chaos),
 ];
@@ -1473,12 +1570,35 @@ halt:
             "json",
             "jsonl",
             "no-fusion",
+            "physics",
         ] {
             assert!(
                 HELP.contains(&format!("--{flag}")),
                 "HELP does not document flag `--{flag}`"
             );
         }
+    }
+
+    #[test]
+    fn fly_holds_hover_and_is_deterministic() {
+        let base = ["fly", "--steps", "800", "--seed", "42"];
+        let a = run(&s(&base)).unwrap();
+        assert!(a.contains("airborne"), "hover flight stays up:\n{a}");
+        assert!(a.contains("impacts 0"), "hover flight never crashes:\n{a}");
+        assert_eq!(a, run(&s(&base)).unwrap(), "same seed, same flight");
+
+        let json = run(&s(&["fly", "--steps", "300", "--json"])).unwrap();
+        let last = json.lines().last().unwrap();
+        assert!(
+            last.contains("\"t_ms\":300"),
+            "trajectory ends at --steps:\n{last}"
+        );
+        assert!(last.contains("\"on_ground\":false"));
+
+        assert!(matches!(
+            run(&s(&["fly", "--scenario", "lunar"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

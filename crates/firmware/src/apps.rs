@@ -12,6 +12,7 @@ pub fn synth_plane() -> AppSpec {
         mavr_size: Some(221_294),
         seed: 0x0917_2015,
         vehicle_type: 1,
+        flight: false,
     }
 }
 
@@ -25,6 +26,7 @@ pub fn synth_copter() -> AppSpec {
         mavr_size: Some(244_292),
         seed: 0x1030_2015,
         vehicle_type: 2,
+        flight: false,
     }
 }
 
@@ -38,6 +40,7 @@ pub fn synth_rover() -> AppSpec {
         mavr_size: Some(177_556),
         seed: 0x0800_2015,
         vehicle_type: 10,
+        flight: false,
     }
 }
 
@@ -58,6 +61,23 @@ pub fn synth_sensor_node() -> AppSpec {
         mavr_size: None,
         seed: 0x005e_450e,
         vehicle_type: 18, // MAV_TYPE_ONBOARD_CONTROLLER-ish
+        flight: false,
+    }
+}
+
+/// SynthQuadFlight — the closed-loop flight build: the same MAVLink stack
+/// and attack surface as the others, plus the ADC-sampling, PWM-writing
+/// flight controller that the `world` crate's physics arena closes the
+/// loop around. Small function count so physics campaigns stay fast.
+pub fn synth_quad_flight() -> AppSpec {
+    AppSpec {
+        name: "SynthQuadFlight",
+        functions: 64,
+        stock_size: None,
+        mavr_size: None,
+        seed: 0xf1e6_2015,
+        vehicle_type: 2,
+        flight: true,
     }
 }
 
@@ -71,6 +91,7 @@ pub fn tiny_test_app() -> AppSpec {
         mavr_size: None,
         seed: 0x7e57,
         vehicle_type: 1,
+        flight: false,
     }
 }
 

@@ -11,8 +11,13 @@ use crate::{corefn, filler, AppSpec};
 const N_VECTORS: usize = 57;
 
 /// Functions that are not fillers: the 19 core functions, `busy_work`,
-/// `run_tasks`, and `__bad_interrupt`.
+/// `run_tasks`, and `__bad_interrupt`. Flight builds add `adc_read` and
+/// `flight_control` on top.
 const NON_FILLER_FUNCTIONS: usize = 22;
+
+fn non_filler_functions(spec: &AppSpec) -> usize {
+    NON_FILLER_FUNCTIONS + if spec.flight { 2 } else { 0 }
+}
 
 /// Build-time options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,10 +98,10 @@ pub fn build(spec: &AppSpec, options: &BuildOptions) -> Result<FirmwareBuild, As
         spec.mavr_size
     };
     assert!(
-        spec.functions > NON_FILLER_FUNCTIONS + filler::N_LADDER + 4,
+        spec.functions > non_filler_functions(spec) + filler::N_LADDER + 4,
         "spec.functions too small"
     );
-    let n_fillers = spec.functions - NON_FILLER_FUNCTIONS;
+    let n_fillers = spec.functions - non_filler_functions(spec);
 
     // First guess for the ALU mass per filler.
     let mut avg_body_words = match target {
@@ -147,7 +152,7 @@ fn assemble_program(
     p.toolchain = options.toolchain;
     p.vectors[0] = Some("__init".to_string());
     p.vectors[avr_sim::timer::TIMER0_OVF_VECTOR as usize] = Some("timer0_ovf_isr".to_string());
-    for f in corefn::core_functions(spec.vehicle_type, options.vulnerable) {
+    for f in corefn::core_functions(spec.vehicle_type, options.vulnerable, spec.flight) {
         p.push_function(f);
     }
     let fillers = filler::generate(n_fillers, spec.seed, options.toolchain, avg_body_words);
@@ -456,6 +461,35 @@ mod tests {
         assert_eq!(bl.kind, avr_core::image::SymbolKind::Fixed);
         // It is not counted among the randomizable functions.
         assert_eq!(fw.image.function_count(), apps::tiny_test_app().functions);
+    }
+
+    #[test]
+    fn flight_app_drives_pwm_from_adc() {
+        let spec = apps::synth_quad_flight();
+        let fw = build(&spec, &BuildOptions::safe_mavr()).unwrap();
+        assert_eq!(fw.image.function_count(), spec.functions);
+        assert!(fw.image.symbol("flight_control").is_some());
+        let mut m = boot(&fw);
+        // Baro on channel 2: 60 counts after the 8-bit left-adjusted read
+        // (40 below the 100-count setpoint); pitch-rate gyro on channel 0:
+        // 136 (8 above center).
+        m.adc.channels[2] = 60 << 2;
+        m.adc.channels[0] = 136 << 2;
+        let exit = m.run(20 * LOOP_CYCLES);
+        assert_eq!(exit, RunExit::CyclesExhausted, "fault: {:?}", m.fault());
+        // thrust = 140 + 2 * (100 - 60) = 220.
+        assert_eq!(m.pwm.ocr0a, 220);
+        // damping torque = -rate mod 256.
+        assert_eq!(m.pwm.ocr0b, 136u8.wrapping_neg());
+        // Altitude way above the setpoint rails the thrust to zero.
+        m.adc.channels[2] = 250 << 2;
+        m.run(20 * LOOP_CYCLES);
+        assert_eq!(m.pwm.ocr0a, 0);
+        // The trim global shifts the setpoint — the V2 coupling point.
+        m.adc.channels[2] = 100 << 2;
+        m.poke_data(l::ALT_TRIM, 30);
+        m.run(20 * LOOP_CYCLES);
+        assert_eq!(m.pwm.ocr0a, 200, "trim walks the thrust command");
     }
 
     #[test]

@@ -25,6 +25,15 @@ const RXC_BIT: u8 = 7;
 // Timer0 data-space addresses (see avr-sim::timer).
 const TCCR0B: u16 = 0x45;
 const TIMSK0: u16 = 0x6e;
+// ADC data-space addresses (see avr-sim::adc). Extended I/O: lds/sts only.
+const ADCH: u16 = 0x79;
+const ADCSRA: u16 = 0x7a;
+const ADMUX: u16 = 0x7c;
+const ADLAR: u8 = 1 << 5;
+const ADSC_BIT: u8 = 6;
+// Timer0 output-compare latches the world model reads as motor commands.
+const OCR0A: u16 = 0x47;
+const OCR0B: u16 = 0x48;
 // EEPROM register data-space addresses (see avr-sim::eeprom).
 const EECR: u16 = 0x3f;
 const EEDR: u16 = 0x40;
@@ -47,8 +56,10 @@ fn sts(k: u16, r: Reg) -> Insn {
 }
 
 /// `__init`: set up SP, the zero register, the heartbeat pin direction,
-/// and the globals; then jump to the main loop.
-pub fn init(gyro_init: [u8; 6]) -> Function {
+/// and the globals; then jump to the main loop. Flight builds additionally
+/// zero the altitude-trim global (non-flight codegen is byte-identical to
+/// what it was before the flight path existed).
+pub fn init(gyro_init: [u8; 6], flight: bool) -> Function {
     let mut b = FnBuilder::new("__init")
         // SP = RAMEND (0x21ff).
         .insn(ldi(R24, 0x21))
@@ -73,6 +84,9 @@ pub fn init(gyro_init: [u8; 6]) -> Function {
         l::COMMAND_COUNT,
     ] {
         b = b.insn(sts(addr, R1));
+    }
+    if flight {
+        b = b.insn(sts(l::ALT_TRIM, R1));
     }
     // Seed the sensor blocks.
     for (i, v) in gyro_init.iter().enumerate() {
@@ -130,14 +144,18 @@ const fn avr_sim_heartbeat_bit() -> u8 {
 }
 
 /// The main control loop: heartbeat, sensors, telemetry, command handling,
-/// and filler workload — forever.
-pub fn main_loop() -> Function {
-    FnBuilder::new("main_loop")
+/// and filler workload — forever. Flight builds run the closed-loop
+/// controller right after the navigation update.
+pub fn main_loop(flight: bool) -> Function {
+    let mut b = FnBuilder::new("main_loop")
         .label("top")
         .call("heartbeat_toggle")
         .call("read_sensors")
-        .call("nav_update")
-        .call("send_heartbeat")
+        .call("nav_update");
+    if flight {
+        b = b.call("flight_control");
+    }
+    b.call("send_heartbeat")
         .call("send_raw_imu")
         // SYS_STATUS once every 8 ticks.
         .insn(lds(R24, l::TICK))
@@ -549,6 +567,82 @@ pub fn nav_update() -> Function {
     frame_epilogue(b, 16).insn(Ret).build()
 }
 
+/// `adc_read(channel: r24) -> r24`: select the channel with the result
+/// left-adjusted, start a conversion, busy-wait on `ADSC`, and return the
+/// top 8 of the 10 result bits from `ADCH`. The 8-bit controller never
+/// needs `ADCL`. Clobbers r24 only. Flight builds only.
+pub fn adc_read() -> Function {
+    FnBuilder::new("adc_read")
+        .insn(Ori { d: R24, k: ADLAR })
+        .insn(sts(ADMUX, R24))
+        // ADEN | ADSC | prescale /4.
+        .insn(ldi(R24, 0xc2))
+        .insn(sts(ADCSRA, R24))
+        .label("adc_wait")
+        .insn(lds(R24, ADCSRA))
+        .insn(Sbrc {
+            r: R24,
+            b: ADSC_BIT,
+        })
+        .rjmp("adc_wait")
+        .insn(lds(R24, ADCH))
+        .insn(Ret)
+        .build()
+}
+
+/// `flight_control`: the closed-loop attitude + altitude controller of the
+/// flight builds, run once per main-loop pass.
+///
+/// Altitude loop: baro counts arrive on ADC channel 2 (2 counts/m after
+/// the 8-bit left-adjust), the setpoint is 100 counts (50 m) plus the
+/// [`crate::layout::ALT_TRIM`] signed trim, and thrust is
+/// `140 + 2 * error` saturated to 0..=255, written to `OCR0A`.
+///
+/// Attitude loop: the pitch-rate gyro arrives on channel 0 centered at
+/// 128; the damping torque `128 - (rate - 128)` (= `-rate` mod 256) goes
+/// to `OCR0B`. Flight builds only.
+pub fn flight_control() -> Function {
+    FnBuilder::new("flight_control")
+        // ---- altitude hold ----
+        .insn(ldi(R24, 2))
+        .call("adc_read")
+        // err (16-bit in r27:r26) = 100 + sign-extended trim - alt. The
+        // full computation is widened so a large excursion saturates the
+        // thrust instead of wrapping the error sign.
+        .insn(ldi(R26, 100))
+        .insn(ldi(R27, 0))
+        .insn(lds(R22, l::ALT_TRIM))
+        .insn(ldi(R23, 0))
+        .insn(Sbrc { r: R22, b: 7 })
+        .insn(ldi(R23, 0xff))
+        .insn(Add { d: R26, r: R22 })
+        .insn(Adc { d: R27, r: R23 })
+        .insn(ldi(R25, 0))
+        .insn(Sub { d: R26, r: R24 })
+        .insn(Sbc { d: R27, r: R25 })
+        // t = 2 * err + 140.
+        .insn(Add { d: R26, r: R26 })
+        .insn(Adc { d: R27, r: R27 })
+        .insn(Subi { d: R26, k: 0x74 }) // r27:r26 += 140
+        .insn(Sbci { d: R27, k: 0xff })
+        // Saturate to one byte: r27 == 0 means in range; otherwise the
+        // sign bit picks the rail.
+        .insn(And { d: R27, r: R27 })
+        .breq("thrust_ok")
+        .insn(ldi(R26, 0x00))
+        .insn(Sbrs { r: R27, b: 7 })
+        .insn(ldi(R26, 0xff))
+        .label("thrust_ok")
+        .insn(sts(OCR0A, R26))
+        // ---- pitch-rate damping ----
+        .insn(ldi(R24, 0))
+        .call("adc_read")
+        .insn(Neg { d: R24 })
+        .insn(sts(OCR0B, R24))
+        .insn(Ret)
+        .build()
+}
+
 /// The MAVLink receive pump: drain every available UART byte through the
 /// parser state machine; on a checksum-valid frame, dispatch by message id.
 pub fn mavlink_rx_poll() -> Function {
@@ -868,11 +962,13 @@ pub fn serial_bootloader() -> Function {
 }
 
 /// All core functions in link order (excluding `busy_work`, which the
-/// filler generator provides).
-pub fn core_functions(vehicle_type: u8, vulnerable: bool) -> Vec<Function> {
-    vec![
-        init([0x64, 0x00, 0x64, 0x1e, 0x28, 0x32]),
-        main_loop(),
+/// filler generator provides). Flight builds append the ADC driver and the
+/// closed-loop controller; non-flight builds are byte-identical to the
+/// pre-flight generator.
+pub fn core_functions(vehicle_type: u8, vulnerable: bool, flight: bool) -> Vec<Function> {
+    let mut fns = vec![
+        init([0x64, 0x00, 0x64, 0x1e, 0x28, 0x32], flight),
+        main_loop(flight),
         heartbeat_toggle(),
         crc_update(),
         rx_crc_feed(),
@@ -890,5 +986,10 @@ pub fn core_functions(vehicle_type: u8, vulnerable: bool) -> Vec<Function> {
         param_save(),
         param_load(),
         task_beacon(),
-    ]
+    ];
+    if flight {
+        fns.push(adc_read());
+        fns.push(flight_control());
+    }
+    fns
 }

@@ -32,6 +32,12 @@ pub const COMMAND_COUNT: u16 = 0x021d;
 pub const SOFT_CLOCK: u16 = 0x021e;
 /// Counter incremented by the RTOS-style task dispatcher's beacon task.
 pub const TASK_TICK: u16 = 0x027a;
+/// Signed altitude-setpoint trim (flight apps only; meters of offset added
+/// to the hold altitude). Benign firmware leaves it 0. **This is the global
+/// the V2 stealthy attack overwrites on flight builds**: a small write here
+/// quietly walks the vehicle away from its commanded altitude while every
+/// heartbeat keeps flowing.
+pub const ALT_TRIM: u16 = 0x0265;
 
 // ---- MAVLink transmit ----
 /// Outgoing frame assembly buffer (6-byte header + up to 64 payload).
@@ -130,6 +136,7 @@ mod tests {
             (RX_PTR_H, 1),
             (BAD_CRC_COUNT, 1),
             (TASK_TICK, 1),
+            (ALT_TRIM, 1),
             (RX_BUF, 256),
             (FILLER_SCRATCH, 4 * FILLER_SCRATCH_SLOTS),
         ];

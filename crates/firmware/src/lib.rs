@@ -65,4 +65,9 @@ pub struct AppSpec {
     pub seed: u64,
     /// HEARTBEAT vehicle-type byte (1 = plane, 2 = copter, 10 = rover).
     pub vehicle_type: u8,
+    /// Whether the firmware carries the closed-loop flight controller
+    /// (ADC sensor reads + PWM motor writes). Non-flight builds are
+    /// byte-identical to what the generator produced before this flag
+    /// existed.
+    pub flight: bool,
 }

@@ -32,7 +32,7 @@ pub fn config_fingerprint(cfg: &CampaignConfig) -> u64 {
     let losses: Vec<u64> = cfg.loss_levels.iter().map(|l| l.to_bits()).collect();
     let faults: Vec<u64> = cfg.fault_levels.iter().map(|f| f.to_bits()).collect();
     let scenarios: Vec<&str> = cfg.scenarios.iter().map(Scenario::name).collect();
-    let canonical = format!(
+    let mut canonical = format!(
         "seed={};boards={};scenarios={scenarios:?};loss_bits={losses:?};\
          fault_bits={faults:?};\
          warmup={};attack={};gap={};gcs={};app={}",
@@ -44,6 +44,12 @@ pub fn config_fingerprint(cfg: &CampaignConfig) -> u64 {
         cfg.gcs_capacity,
         cfg.app.name,
     );
+    // Physics changes every outcome (the flight advances in whole world
+    // steps), so it is part of the identity — but only appended when on,
+    // keeping every pre-physics fingerprint stable.
+    if cfg.physics {
+        canonical.push_str(";physics=1");
+    }
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in canonical.bytes() {
         h ^= u64::from(b);
@@ -226,6 +232,12 @@ fn put_outcome(w: &mut Writer, o: &BoardOutcome) {
     w.put_u64(o.sim_block_count);
     put_stats(w, &o.up_stats);
     put_stats(w, &o.down_stats);
+    w.put_bool(o.world.is_some());
+    let wm = o.world.unwrap_or_default();
+    w.put_u64(wm.peak_alt_err_m.to_bits());
+    w.put_u32(wm.ground_impacts);
+    w.put_u64(wm.alt_lost_m.to_bits());
+    w.put_u32(wm.recoveries_caught);
 }
 
 fn get_outcome(r: &mut Reader<'_>) -> Result<BoardOutcome, SnapshotError> {
@@ -258,6 +270,20 @@ fn get_outcome(r: &mut Reader<'_>) -> Result<BoardOutcome, SnapshotError> {
         sim_block_count: r.u64()?,
         up_stats: get_stats(r)?,
         down_stats: get_stats(r)?,
+        // v2 checkpoints predate the physics arena: no world fields on the
+        // wire, and no physics campaign could have written them.
+        world: if r.version() >= 3 {
+            let present = r.bool()?;
+            let wm = crate::report::WorldMetrics {
+                peak_alt_err_m: f64::from_bits(r.u64()?),
+                ground_impacts: r.u32()?,
+                alt_lost_m: f64::from_bits(r.u64()?),
+                recoveries_caught: r.u32()?,
+            };
+            present.then_some(wm)
+        } else {
+            None
+        },
     })
 }
 
@@ -298,6 +324,14 @@ mod tests {
                 delayed: 0,
             },
             down_stats: ChannelStats::default(),
+            world: job
+                .is_multiple_of(2)
+                .then_some(crate::report::WorldMetrics {
+                    peak_alt_err_m: 3.25 + job as f64,
+                    ground_impacts: job as u32,
+                    alt_lost_m: 0.5 * job as f64,
+                    recoveries_caught: 1,
+                }),
         }
     }
 
@@ -351,6 +385,10 @@ mod tests {
             |c: &mut CampaignConfig| c.fault_levels.push(0.0001),
             |c: &mut CampaignConfig| c.scenarios.push(Scenario::V1Crash),
             |c: &mut CampaignConfig| c.attack_cycles += 1,
+            // Physics snaps the flight to world-step boundaries and couples
+            // the loop — a physics resume of a bare checkpoint (or vice
+            // versa) would silently mix result families.
+            |c: &mut CampaignConfig| c.physics = true,
         ] {
             let mut c = cfg.clone();
             mutate(&mut c);

@@ -42,14 +42,15 @@ pub mod scenario;
 pub use checkpoint::{config_fingerprint, totals_from_outcomes, Checkpoint};
 pub use report::{
     fold_outcome_metrics, registry_from_outcomes, BoardOutcome, CampaignReport, CampaignSummary,
-    CellReport,
+    CellReport, WorldCellMetrics, WorldMetrics,
 };
 pub use scenario::{parse_scenarios, Scenario};
 
 use mavlink_lite::channel::{LossConfig, LossyChannel};
 use mavlink_lite::{GroundStation, Router};
 use mavr::policy::RandomizationPolicy;
-use mavr_board::{ChaosConfig, FaultPlan, MavrBoard};
+use mavr_board::{ChaosConfig, FaultPlan, MasterError, MavrBoard};
+use mavr_world::{FlightHarness, World, CYCLES_PER_STEP};
 use rop::attack::AttackContext;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -104,6 +105,16 @@ pub struct CampaignConfig {
     /// so it is excluded from the checkpoint fingerprint. Off is only
     /// useful for performance triage.
     pub block_fusion: bool,
+    /// Fly each board inside the `mavr-world` physics arena: sensors
+    /// feed the ADC, PWM drives a rigid body, and outcomes gain
+    /// physical-impact columns (altitude excursion, ground impacts,
+    /// altitude lost to recoveries). Off (the default) keeps the report
+    /// byte-identical to the engine before the physics axis existed.
+    /// Unlike `block_fusion`, this **changes results** — boards run to
+    /// world-step boundaries and their ADC inputs are live — so it is
+    /// part of the checkpoint fingerprint. Pair it with a flight app
+    /// ([`synth_firmware::apps::synth_quad_flight`]) for a closed loop.
+    pub physics: bool,
     /// Flight-recorder handle for engine-level events (checkpoint resume,
     /// progress heartbeats, …). Never affects results and is excluded
     /// from the checkpoint fingerprint.
@@ -130,6 +141,7 @@ impl Default for CampaignConfig {
             threads: 0,
             app: apps::tiny_test_app(),
             block_fusion: true,
+            physics: false,
             telemetry: Telemetry::off(),
             progress_interval_ms: 500,
         }
@@ -171,6 +183,40 @@ fn pump(board: &mut MavrBoard, down: &mut LossyChannel, gcs: &mut GroundStation)
     if !bytes.is_empty() {
         let delivered = down.transmit(&bytes);
         gcs.ingest(&delivered);
+    }
+}
+
+/// How a job's board advances: bare, or coupled to the physics arena.
+/// The plain arm is exactly the pre-physics engine — physics-off
+/// campaigns stay byte-identical to it.
+enum Flyer {
+    Plain(Box<MavrBoard>),
+    Physics(Box<FlightHarness>),
+}
+
+impl Flyer {
+    fn board(&self) -> &MavrBoard {
+        match self {
+            Flyer::Plain(b) => b,
+            Flyer::Physics(h) => &h.board,
+        }
+    }
+
+    fn board_mut(&mut self) -> &mut MavrBoard {
+        match self {
+            Flyer::Plain(b) => b,
+            Flyer::Physics(h) => &mut h.board,
+        }
+    }
+
+    /// Advance the flight: exactly `cycles` bare, or the enclosing whole
+    /// number of world steps with physics on (boundary-aligned, so the
+    /// rounding is identical however the campaign partitions the run).
+    fn run(&mut self, cycles: u64) -> Result<(), MasterError> {
+        match self {
+            Flyer::Plain(b) => b.run(cycles),
+            Flyer::Physics(h) => h.run_steps(cycles.div_ceil(CYCLES_PER_STEP)),
+        }
     }
 }
 
@@ -252,44 +298,75 @@ fn run_board(
             sim_block_count: 0,
             up_stats: up.stats,
             down_stats: down.stats,
+            world: None,
         };
         return (outcome, gcs);
     };
     board.app.machine.set_block_fusion(cfg.block_fusion);
 
+    // The world's RNG stream lives at `(1 << 62) | base_index`: keyed by
+    // the fault-independent base index (same physics draw whatever the
+    // fault rate) and disjoint from the board/channel streams at `3b..`
+    // and the fault streams at `(1 << 63) | job_index`.
+    let mut flyer = if cfg.physics {
+        let world_seed = derive_seed(cfg.seed, (1u64 << 62) | job.base_index as u64);
+        Flyer::Physics(Box::new(FlightHarness::new(
+            board,
+            World::new(mavr_world::Scenario::Hover, world_seed),
+        )))
+    } else {
+        Flyer::Plain(Box::new(board))
+    };
+
     let mut bricked = false;
     let mut injected_at = None;
     let mut attack_packets = 0;
     'flight: {
-        if board.run(cfg.warmup_cycles).is_err() {
+        if flyer.run(cfg.warmup_cycles).is_err() {
             bricked = true;
             break 'flight;
         }
-        pump(&mut board, &mut down, &mut gcs);
+        pump(flyer.board_mut(), &mut down, &mut gcs);
 
-        injected_at = Some(board.app.machine.cycles());
+        injected_at = Some(flyer.board().app.machine.cycles());
+        // The altitude-excursion window opens at injection time: anything
+        // the hover accumulated during warmup is the board's own business,
+        // the attack window's peak isolates what the scenario cost it.
+        if let Flyer::Physics(h) = &mut flyer {
+            let _ = h.world.take_peak_alt_err();
+        }
         attack_packets = payloads.map_or(0, <[Vec<u8>]>::len);
         if let Some(packets) = payloads {
             for (i, payload) in packets.iter().enumerate() {
                 let wire = gcs.exploit_packet(payload).expect("payload fits a frame");
-                board.uplink(&up.transmit(&wire));
+                flyer.board_mut().uplink(&up.transmit(&wire));
                 if i + 1 < packets.len() {
-                    if board.run(cfg.packet_gap_cycles).is_err() {
+                    if flyer.run(cfg.packet_gap_cycles).is_err() {
                         bricked = true;
                         break 'flight;
                     }
-                    pump(&mut board, &mut down, &mut gcs);
+                    pump(flyer.board_mut(), &mut down, &mut gcs);
                 }
             }
-            board.uplink(&up.flush());
+            flyer.board_mut().uplink(&up.flush());
         }
-        if board.run(cfg.attack_cycles).is_err() {
+        if flyer.run(cfg.attack_cycles).is_err() {
             bricked = true;
         }
     }
-    pump(&mut board, &mut down, &mut gcs);
+    pump(flyer.board_mut(), &mut down, &mut gcs);
     gcs.ingest(&down.flush());
 
+    let world = match &flyer {
+        Flyer::Plain(_) => None,
+        Flyer::Physics(h) => Some(WorldMetrics {
+            peak_alt_err_m: h.world.peak_alt_err(),
+            ground_impacts: h.world.ground_impacts(),
+            alt_lost_m: h.alt_lost_to_recoveries(),
+            recoveries_caught: h.recoveries_caught(),
+        }),
+    };
+    let board = flyer.board();
     let block_stats = board.app.machine.block_stats();
     let attack_succeeded = attack_packets > 0
         && board.app.machine.peek_range(ATTACK_TARGET, 3) == ATTACK_VALUES.to_vec();
@@ -325,6 +402,7 @@ fn run_board(
         sim_block_count: block_stats.blocks,
         up_stats: up.stats,
         down_stats: down.stats,
+        world,
     };
     (outcome, gcs)
 }
@@ -552,6 +630,7 @@ fn summarize(cfg: &CampaignConfig) -> CampaignSummary {
         warmup_cycles: cfg.warmup_cycles,
         attack_cycles: cfg.attack_cycles,
         app: cfg.app.name.to_string(),
+        physics: cfg.physics,
     }
 }
 
@@ -854,6 +933,108 @@ mod tests {
         };
         assert!(
             run_campaign_resume(&other, &mut Checkpoint::from_bytes(&blob).unwrap(), None).is_err()
+        );
+    }
+
+    fn physics_cfg() -> CampaignConfig {
+        CampaignConfig {
+            boards: 2,
+            scenarios: vec![Scenario::Benign, Scenario::V1Crash],
+            attack_cycles: 3_000_000,
+            app: apps::synth_quad_flight(),
+            physics: true,
+            threads: 1,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn physics_campaign_reports_impact_and_is_thread_invariant() {
+        let cfg = physics_cfg();
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&CampaignConfig {
+            threads: 8,
+            ..cfg.clone()
+        });
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "physics campaigns are thread-count invariant"
+        );
+        assert!(a.to_json().contains("\"physics\":true"));
+
+        let benign = a.cells[0].world.expect("physics cells carry world metrics");
+        assert_eq!(
+            benign.boards_crashed, 0,
+            "a benign hover never hits the ground"
+        );
+        assert!(
+            benign.peak_alt_err_m < 5.0,
+            "hover stays near setpoint, saw {benign:?}"
+        );
+
+        let v1_cell = &a.cells[1];
+        let v1 = v1_cell.world.expect("physics cells carry world metrics");
+        assert!(
+            v1_cell.boards_recovered > 0,
+            "the crash attack trips recoveries: {v1_cell:?}"
+        );
+        assert!(
+            v1.recoveries_caught > 0,
+            "the harness replays every recovery outage: {v1:?}"
+        );
+        assert!(
+            v1.alt_lost_m > 0.0,
+            "thrust-cut outages cost altitude: {v1:?}"
+        );
+        assert!(v1.alt_lost_per_recovery_m().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn physics_off_report_carries_no_world_keys() {
+        // The physics axis must be invisible when off: no impact columns
+        // on outcome lines, cells, the summary header, or the metrics
+        // plane — the report is the pre-physics engine's, byte for byte.
+        let (report, metrics) = run_campaign_with_metrics(&small_cfg());
+        for text in [report.to_json(), report.to_jsonl(), report.render()] {
+            assert!(!text.contains("peak_alt_err_m"));
+            assert!(!text.contains("physics"));
+        }
+        assert!(!metrics.to_prometheus().contains("campaign_ground_impacts"));
+        assert!(report.outcomes.iter().all(|o| o.world.is_none()));
+    }
+
+    #[test]
+    fn physics_checkpoint_resume_is_byte_identical() {
+        let cfg = physics_cfg();
+        let uninterrupted = run_campaign(&cfg);
+
+        let mut ckpt = Checkpoint::new(&cfg);
+        assert!(run_campaign_resume(&cfg, &mut ckpt, Some(1))
+            .unwrap()
+            .is_none());
+        let blob = ckpt.to_bytes();
+        let mut ckpt2 = Checkpoint::from_bytes(&blob).unwrap();
+        let report = run_campaign_resume(
+            &CampaignConfig {
+                threads: 4,
+                ..cfg.clone()
+            },
+            &mut ckpt2,
+            None,
+        )
+        .unwrap()
+        .expect("all remaining jobs fit in an unbounded budget");
+        assert_eq!(report.to_json(), uninterrupted.to_json());
+
+        // A bare (physics-off) config must refuse a physics checkpoint:
+        // the two result families never mix.
+        let bare = CampaignConfig {
+            physics: false,
+            ..cfg.clone()
+        };
+        assert!(
+            run_campaign_resume(&bare, &mut Checkpoint::from_bytes(&blob).unwrap(), None).is_err()
         );
     }
 }

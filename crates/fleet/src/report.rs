@@ -11,6 +11,26 @@ use mavlink_lite::channel::ChannelStats;
 use mavlink_lite::RouterTotals;
 use telemetry::metrics::{MetricsRegistry, QuantileSketch};
 
+/// Physical-impact numbers from one board's flight in the world arena
+/// (`mavr-world`). Present only when the campaign ran with physics on;
+/// physics-off outcomes carry `None` and render byte-identical JSON to
+/// the engine before the physics axis existed.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WorldMetrics {
+    /// Peak `|altitude − setpoint|` in meters during the observation
+    /// window (reset at attack injection, so it isolates the excursion
+    /// the attack — or its failed attempt — caused).
+    pub peak_alt_err_m: f64,
+    /// Hard ground impacts (descent faster than
+    /// [`mavr_world::CRASH_IMPACT_MPS`] at touchdown).
+    pub ground_impacts: u32,
+    /// Meters of altitude lost across master recoveries (motors dead
+    /// while the reflash runs).
+    pub alt_lost_m: f64,
+    /// Recoveries replayed into the world as dead-motor time.
+    pub recoveries_caught: u32,
+}
+
 /// Everything observed about one board's run in the campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BoardOutcome {
@@ -69,11 +89,20 @@ pub struct BoardOutcome {
     pub up_stats: ChannelStats,
     /// Downlink (UAV → ground) channel accounting.
     pub down_stats: ChannelStats,
+    /// Physical-impact numbers; `Some` only for physics campaigns.
+    pub world: Option<WorldMetrics>,
 }
 
 impl BoardOutcome {
     /// One JSONL record (a single line, no trailing newline).
     pub fn to_json_line(&self) -> String {
+        let world = self.world.map_or_else(String::new, |w| {
+            format!(
+                ",\"peak_alt_err_m\":{:.3},\"ground_impacts\":{},\
+                 \"alt_lost_m\":{:.3},\"recoveries_caught\":{}",
+                w.peak_alt_err_m, w.ground_impacts, w.alt_lost_m, w.recoveries_caught
+            )
+        });
         format!(
             "{{\"scenario\":\"{}\",\"loss\":{:.4},\"fault\":{},\"board\":{},\"seed\":{},\
              \"attack_packets\":{},\"attack_succeeded\":{},\"recoveries\":{},\
@@ -82,7 +111,7 @@ impl BoardOutcome {
              \"packets\":{},\"seq_gaps\":{},\"packets_lost\":{},\
              \"bad_checksums\":{},\"uav_bad_crc\":{},\
              \"up_dropped\":{},\"up_corrupted\":{},\"up_duplicated\":{},\
-             \"down_dropped\":{},\"down_corrupted\":{},\"down_duplicated\":{}}}",
+             \"down_dropped\":{},\"down_corrupted\":{},\"down_duplicated\":{}{}}}",
             self.scenario.name(),
             self.loss,
             self.fault,
@@ -109,6 +138,7 @@ impl BoardOutcome {
             self.down_stats.dropped,
             self.down_stats.corrupted,
             self.down_stats.duplicated,
+            world,
         )
     }
 }
@@ -158,6 +188,37 @@ pub struct CellReport {
     pub boards_degraded: usize,
     /// Boards that ended the run bricked (fail-stop after every retry).
     pub boards_bricked: usize,
+    /// Physical-impact aggregate; `Some` only for physics campaigns.
+    pub world: Option<WorldCellMetrics>,
+}
+
+/// Control-aware impact aggregate over one campaign cell — what the
+/// attacks *did to the aircraft*, not just to its memory.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WorldCellMetrics {
+    /// Worst per-board peak altitude error in the cell, meters.
+    pub peak_alt_err_m: f64,
+    /// Boards that hit the ground hard at least once.
+    pub boards_crashed: usize,
+    /// Total hard ground impacts across the cell.
+    pub ground_impacts: u64,
+    /// Total meters of altitude lost to master recoveries.
+    pub alt_lost_m: f64,
+    /// Total recoveries replayed as dead-motor time.
+    pub recoveries_caught: u64,
+}
+
+impl WorldCellMetrics {
+    /// Fraction of the cell's boards that crashed into the ground.
+    pub fn crash_rate(&self, boards: usize) -> f64 {
+        self.boards_crashed as f64 / boards.max(1) as f64
+    }
+
+    /// Mean meters of altitude lost per recovery — the physical price of
+    /// one master reflash (a recovery-MTTR expressed in altitude).
+    pub fn alt_lost_per_recovery_m(&self) -> Option<f64> {
+        (self.recoveries_caught > 0).then(|| self.alt_lost_m / self.recoveries_caught as f64)
+    }
 }
 
 impl CellReport {
@@ -191,6 +252,16 @@ impl CellReport {
             degraded_boots: outs.iter().map(|o| o.degraded_boots).sum(),
             boards_degraded: outs.iter().filter(|o| o.degraded_boots > 0).count(),
             boards_bricked: outs.iter().filter(|o| o.bricked).count(),
+            world: outs.iter().any(|o| o.world.is_some()).then(|| {
+                let ws: Vec<WorldMetrics> = outs.iter().filter_map(|o| o.world).collect();
+                WorldCellMetrics {
+                    peak_alt_err_m: ws.iter().map(|w| w.peak_alt_err_m).fold(0.0, f64::max),
+                    boards_crashed: ws.iter().filter(|w| w.ground_impacts > 0).count(),
+                    ground_impacts: ws.iter().map(|w| u64::from(w.ground_impacts)).sum(),
+                    alt_lost_m: ws.iter().map(|w| w.alt_lost_m).sum(),
+                    recoveries_caught: ws.iter().map(|w| u64::from(w.recoveries_caught)).sum(),
+                }
+            }),
         }
     }
 
@@ -246,6 +317,19 @@ impl CellReport {
             ),
             _ => ("null".to_string(), "null".to_string()),
         };
+        let world = self.world.map_or_else(String::new, |w| {
+            format!(
+                ",\"peak_alt_err_m\":{:.3},\"boards_crashed\":{},\"crash_rate\":{:.4},\
+                 \"ground_impacts\":{},\"alt_lost_m\":{:.3},\"alt_lost_per_recovery_m\":{}",
+                w.peak_alt_err_m,
+                w.boards_crashed,
+                w.crash_rate(self.boards),
+                w.ground_impacts,
+                w.alt_lost_m,
+                w.alt_lost_per_recovery_m()
+                    .map_or("null".to_string(), |m| format!("{m:.3}")),
+            )
+        });
         format!(
             "{{\"scenario\":\"{}\",\"loss\":{:.4},\"fault\":{},\"boards\":{},\
              \"attack_successes\":{},\"attack_success_rate\":{:.4},\
@@ -256,7 +340,7 @@ impl CellReport {
              \"degraded_rate\":{:.4},\"boards_bricked\":{},\"brick_rate\":{:.4},\
              \"heartbeats\":{},\
              \"seq_gaps\":{},\"packets_lost\":{},\"bad_checksums\":{},\
-             \"bytes_dropped\":{},\"bytes_corrupted\":{}}}",
+             \"bytes_dropped\":{},\"bytes_corrupted\":{}{}}}",
             self.scenario.name(),
             self.loss,
             self.fault,
@@ -280,6 +364,7 @@ impl CellReport {
             self.bad_checksums,
             self.bytes_dropped,
             self.bytes_corrupted,
+            world,
         )
     }
 }
@@ -336,6 +421,20 @@ pub fn fold_outcome_metrics(reg: &mut MetricsRegistry, o: &BoardOutcome) {
         reg.observe_sketch("campaign_detection_latency_cycles", labels, latency);
     }
     reg.observe_histogram("campaign_packets_per_board", labels, o.packets);
+    // Physics counters appear only when the campaign flew in the world
+    // arena, so physics-off expositions stay byte-identical.
+    if let Some(w) = o.world {
+        reg.add_counter(
+            "campaign_ground_impacts_total",
+            labels,
+            u64::from(w.ground_impacts),
+        );
+        reg.add_counter(
+            "campaign_world_recoveries_total",
+            labels,
+            u64::from(w.recoveries_caught),
+        );
+    }
 }
 
 /// Build the complete campaign registry from an outcome list: every
@@ -372,6 +471,8 @@ pub struct CampaignSummary {
     pub attack_cycles: u64,
     /// Application the fleet flies.
     pub app: String,
+    /// Whether the fleet flew in the physical world arena.
+    pub physics: bool,
 }
 
 /// The complete result of a fleet campaign.
@@ -464,7 +565,7 @@ impl CampaignReport {
             "{{\n  \"campaign\": {{\"seed\":{},\"boards_per_cell\":{},\
              \"scenarios\":[{}],\"loss_levels\":[{}],\"fault_levels\":[{}],\
              \"warmup_cycles\":{},\
-             \"attack_cycles\":{},\"app\":\"{}\"}},\n  \"cells\": [\n{}\n  ],\n  \
+             \"attack_cycles\":{},\"app\":\"{}\"{}}},\n  \"cells\": [\n{}\n  ],\n  \
              \"fleet\": {{\"links\":{},\"packets\":{},\"heartbeats\":{},\
              \"bad_checksums\":{},\"seq_gaps\":{},\"packets_lost\":{}}},\n  \
              \"boards\": [\n{}\n  ]\n}}\n",
@@ -476,6 +577,11 @@ impl CampaignReport {
             self.config.warmup_cycles,
             self.config.attack_cycles,
             self.config.app,
+            if self.config.physics {
+                ",\"physics\":true"
+            } else {
+                ""
+            },
             cells,
             self.fleet.links,
             self.fleet.packets,
@@ -529,9 +635,15 @@ impl CampaignReport {
         )
         .unwrap();
         for c in &self.cells {
+            let world = c.world.map_or_else(String::new, |w| {
+                format!(
+                    "  alt_err {:.1}m  crashed {}/{}  alt_lost {:.1}m",
+                    w.peak_alt_err_m, w.boards_crashed, c.boards, w.alt_lost_m
+                )
+            });
             writeln!(
                 out,
-                "{:<14}{:>7.4}{:>9}{:>8}{:>7}/{:<2}{:>8}/{:<2}{:>9.2}{:>15}{:>9}{:>10}{:>9}",
+                "{:<14}{:>7.4}{:>9}{:>8}{:>7}/{:<2}{:>8}/{:<2}{:>9.2}{:>15}{:>9}{:>10}{:>9}{}",
                 c.scenario.name(),
                 c.loss,
                 format!("{}", c.fault),
@@ -546,6 +658,7 @@ impl CampaignReport {
                 c.reflash_retries,
                 c.degraded_boots,
                 c.boards_bricked,
+                world,
             )
             .unwrap();
         }

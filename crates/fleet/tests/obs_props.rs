@@ -63,6 +63,12 @@ fn outcome_strategy() -> impl Strategy<Value = BoardOutcome> {
                 sim_block_count: blocks,
                 up_stats: ChannelStats::default(),
                 down_stats: ChannelStats::default(),
+                world: (tag & 16 != 0).then_some(mavr_fleet::WorldMetrics {
+                    peak_alt_err_m: f64::from(tag) * 0.25,
+                    ground_impacts: u32::from(tag & 1),
+                    alt_lost_m: f64::from(tag & 7),
+                    recoveries_caught: u32::from(tag & 3),
+                }),
             }
         })
 }

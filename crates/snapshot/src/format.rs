@@ -20,8 +20,8 @@
 //! input; every structural problem surfaces as a [`SnapshotError`].
 
 use avr_sim::{
-    EepromState, Fault, HeartbeatState, Machine, MachineState, Timer0State, UartState,
-    WatchdogState, DIRTY_PAGE_SIZE,
+    AdcState, EepromState, Fault, HeartbeatState, Machine, MachineState, Pwm, Timer0State,
+    UartState, WatchdogState, DIRTY_PAGE_SIZE, PORTB_ADDR,
 };
 use mavr_board::BoardState;
 
@@ -31,7 +31,11 @@ pub const MAGIC: &[u8; 8] = b"MAVRSNAP";
 /// Current format version. Bump on any payload layout change.
 /// v2: board payloads carry the fault plan's RNG state and the master's
 /// resilience counters.
-pub const VERSION: u16 = 2;
+/// v3: machine payloads carry the physical-world peripherals — ADC,
+/// PWM compare latches, and the PORTB output latch. v2 blobs still
+/// decode: the new fields default and the PORTB latch is backfilled
+/// from the data image, where v2 encoders stored it.
+pub const VERSION: u16 = 3;
 
 /// What a snapshot blob contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +48,8 @@ pub enum Kind {
     Board,
     /// A fleet campaign checkpoint (payload owned by the `fleet` crate).
     Checkpoint,
+    /// A [`mavr_world::WorldState`]: the physical arena around a board.
+    World,
 }
 
 impl Kind {
@@ -53,6 +59,7 @@ impl Kind {
             Kind::MachineDelta => 2,
             Kind::Board => 3,
             Kind::Checkpoint => 4,
+            Kind::World => 5,
         }
     }
 
@@ -62,6 +69,7 @@ impl Kind {
             2 => Some(Kind::MachineDelta),
             3 => Some(Kind::Board),
             4 => Some(Kind::Checkpoint),
+            5 => Some(Kind::World),
             _ => None,
         }
     }
@@ -230,11 +238,14 @@ impl Writer {
     }
 }
 
-/// Bounds-checked little-endian payload cursor.
+/// Bounds-checked little-endian payload cursor. Carries the blob's
+/// declared format version so payload decoders can gate fields that were
+/// appended in later versions.
 #[derive(Debug)]
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    version: u16,
 }
 
 impl<'a> Reader<'a> {
@@ -285,8 +296,14 @@ impl<'a> Reader<'a> {
             Reader {
                 buf: payload,
                 pos: 0,
+                version,
             },
         ))
+    }
+
+    /// The format version the blob declares (`<=` [`VERSION`]).
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     /// Like [`Reader::open`], additionally requiring the blob's kind.
@@ -443,6 +460,22 @@ fn put_machine_core(w: &mut Writer, s: &MachineState) {
     w.put_u8(s.timer0.timsk);
     w.put_u8(s.timer0.tifr);
     w.put_u64(s.timer0.residual);
+    // ADC (v3+).
+    w.put_u8(s.adc.admux);
+    w.put_u8(s.adc.control);
+    w.put_u8(s.adc.adcsrb);
+    w.put_u16(s.adc.data);
+    w.put_bool(s.adc.converting.is_some());
+    w.put_u64(s.adc.converting.unwrap_or(0));
+    w.put_bool(s.adc.adif);
+    w.put_bool(s.adc.first);
+    for ch in s.adc.channels {
+        w.put_u16(ch);
+    }
+    // PWM compare latches and the PORTB output latch (v3+).
+    w.put_u8(s.pwm.ocr0a);
+    w.put_u8(s.pwm.ocr0b);
+    w.put_u8(s.portb);
 }
 
 fn get_machine_core(r: &mut Reader<'_>, s: &mut MachineState) -> Result<(), SnapshotError> {
@@ -480,6 +513,38 @@ fn get_machine_core(r: &mut Reader<'_>, s: &mut MachineState) -> Result<(), Snap
         tifr: r.u8()?,
         residual: r.u64()?,
     };
+    if r.version() >= 3 {
+        let admux = r.u8()?;
+        let control = r.u8()?;
+        let adcsrb = r.u8()?;
+        let data = r.u16()?;
+        let in_flight = r.bool()?;
+        let left = r.u64()?;
+        let adif = r.bool()?;
+        let first = r.bool()?;
+        let mut channels = [0u16; avr_sim::adc::ADC_CHANNELS];
+        for ch in &mut channels {
+            *ch = r.u16()?;
+        }
+        s.adc = AdcState {
+            admux,
+            control,
+            adcsrb,
+            data,
+            converting: in_flight.then_some(left),
+            adif,
+            first,
+            channels,
+        };
+        s.pwm = Pwm {
+            ocr0a: r.u8()?,
+            ocr0b: r.u8()?,
+        };
+        s.portb = r.u8()?;
+    }
+    // v2 blobs predate the physical-world peripherals: `s` keeps its
+    // defaults (or, for deltas, the keyframe's values). The PORTB latch is
+    // backfilled from the data image by the callers that have one.
     Ok(())
 }
 
@@ -514,6 +579,9 @@ fn empty_machine_state() -> MachineState {
         heartbeat: HeartbeatState::default(),
         watchdog: WatchdogState::default(),
         timer0: Timer0State::default(),
+        adc: AdcState::default(),
+        pwm: Pwm::default(),
+        portb: 0,
         insns_retired: 0,
         interrupts_taken: 0,
     }
@@ -532,6 +600,12 @@ fn get_machine_state(r: &mut Reader<'_>) -> Result<MachineState, SnapshotError> 
     s.flash = r.bytes()?;
     s.data = r.bytes()?;
     s.eeprom = get_eeprom(r)?;
+    if r.version() < 3 {
+        // v2 encoders kept the PORTB latch only in the data image.
+        if let Some(&v) = s.data.get(usize::from(PORTB_ADDR)) {
+            s.portb = v;
+        }
+    }
     Ok(s)
 }
 
@@ -601,6 +675,9 @@ fn core_of(m: &Machine) -> MachineState {
         heartbeat: m.heartbeat.state(),
         watchdog: m.watchdog.state(),
         timer0: m.timer0.state(),
+        adc: m.adc.state(),
+        pwm: m.pwm,
+        portb: m.portb.value,
         insns_retired: m.insns_retired,
         interrupts_taken: m.interrupts_taken,
     }
@@ -640,6 +717,12 @@ pub fn apply_machine_delta(
     }
     if r.bool()? {
         s.eeprom = get_eeprom(&mut r)?;
+    }
+    if r.version() < 3 {
+        // As in full decodes: the v2 latch of record is the data image.
+        if let Some(&v) = s.data.get(usize::from(PORTB_ADDR)) {
+            s.portb = v;
+        }
     }
     r.done()?;
     Ok(s)
@@ -697,6 +780,54 @@ pub fn decode_board(blob: &[u8]) -> Result<BoardState, SnapshotError> {
         },
         reflash_retries: r.u64()?,
         degraded_boots: r.u64()?,
+    };
+    r.done()?;
+    Ok(s)
+}
+
+/// Encode a physical-world state ([`mavr_world::WorldState`]) as one
+/// snapshot blob. Floats are stored as their exact IEEE-754 bit
+/// patterns, so a decoded world resumes bit-identically.
+pub fn encode_world(s: &mavr_world::WorldState) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(s.scenario);
+    for v in s.pos.iter().chain(&s.vel).chain(&s.att).chain(&s.omega) {
+        w.put_u64(v.to_bits());
+    }
+    for word in s.rng {
+        w.put_u64(word);
+    }
+    w.put_u64(s.steps);
+    w.put_u64(s.peak_alt_err.to_bits());
+    w.put_u32(s.ground_impacts);
+    w.put_bool(s.grounded);
+    w.finish(Kind::World)
+}
+
+/// Decode a [`Kind::World`] blob.
+pub fn decode_world(blob: &[u8]) -> Result<mavr_world::WorldState, SnapshotError> {
+    let mut r = Reader::open_expecting(blob, Kind::World)?;
+    let scenario = r.u8()?;
+    let f = |r: &mut Reader| -> Result<f64, SnapshotError> { Ok(f64::from_bits(r.u64()?)) };
+    let pos = [f(&mut r)?, f(&mut r)?, f(&mut r)?];
+    let vel = [f(&mut r)?, f(&mut r)?, f(&mut r)?];
+    let att = [f(&mut r)?, f(&mut r)?, f(&mut r)?, f(&mut r)?];
+    let omega = [f(&mut r)?, f(&mut r)?, f(&mut r)?];
+    let mut rng = [0u64; 4];
+    for word in &mut rng {
+        *word = r.u64()?;
+    }
+    let s = mavr_world::WorldState {
+        scenario,
+        pos,
+        vel,
+        att,
+        omega,
+        rng,
+        steps: r.u64()?,
+        peak_alt_err: f64::from_bits(r.u64()?),
+        ground_impacts: r.u32()?,
+        grounded: r.bool()?,
     };
     r.done()?;
     Ok(s)
@@ -839,6 +970,140 @@ mod tests {
         a.run(50_000);
         b.run(50_000);
         assert_eq!(a.capture_state(), b.capture_state());
+    }
+
+    /// The exact v2 `put_machine_core` layout: everything up to and
+    /// including Timer0, none of the physical-world peripherals.
+    fn put_machine_core_v2(w: &mut Writer, s: &MachineState) {
+        w.put_u32(s.pc);
+        w.put_u64(s.cycles);
+        put_fault(w, s.fault);
+        w.put_bool(s.irq_delay);
+        w.put_u64(s.insns_retired);
+        w.put_u64(s.interrupts_taken);
+        w.put_bytes(&s.uart0.rx);
+        w.put_bytes(&s.uart0.tx);
+        w.put_u64(s.uart0.rx_bytes);
+        w.put_u64(s.uart0.tx_bytes);
+        w.put_u64(s.heartbeat.toggles.len() as u64);
+        for &t in &s.heartbeat.toggles {
+            w.put_u64(t);
+        }
+        w.put_bool(s.heartbeat.last_level);
+        w.put_bool(s.watchdog.timeout.is_some());
+        w.put_u64(s.watchdog.timeout.unwrap_or(0));
+        w.put_u64(s.watchdog.last_reset);
+        w.put_u8(s.timer0.tcnt);
+        w.put_u8(s.timer0.tccr_b);
+        w.put_u8(s.timer0.timsk);
+        w.put_u8(s.timer0.tifr);
+        w.put_u64(s.timer0.residual);
+    }
+
+    /// Stamp a freshly framed blob as an older version. The CRC covers the
+    /// payload only, so rewriting the header version keeps the blob valid.
+    fn stamp_version(mut blob: Vec<u8>, version: u16) -> Vec<u8> {
+        blob[8..10].copy_from_slice(&version.to_le_bytes());
+        blob
+    }
+
+    fn encode_machine_v2(s: &MachineState) -> Vec<u8> {
+        let mut w = Writer::new();
+        put_machine_core_v2(&mut w, s);
+        w.put_bytes(&s.flash);
+        w.put_bytes(&s.data);
+        put_eeprom(&mut w, &s.eeprom);
+        stamp_version(w.finish(Kind::MachineFull), 2)
+    }
+
+    #[test]
+    fn v2_machine_blob_still_round_trips() {
+        let m = busy_machine();
+        let mut state = m.capture_state();
+        // A v2 writer never carried the PORTB latch as its own field; it
+        // lived only in the data image.
+        state.data[usize::from(PORTB_ADDR)] = 0xa5;
+        let got = decode_machine(&encode_machine_v2(&state)).unwrap();
+        assert_eq!(got.portb, 0xa5, "latch backfilled from the data image");
+        assert_eq!(got.adc, AdcState::default());
+        assert_eq!(got.pwm, Pwm::default());
+        let mut expect = state;
+        expect.portb = 0xa5;
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn v2_board_blob_still_round_trips() {
+        use mavr::policy::RandomizationPolicy;
+        use synth_firmware::{apps, build, BuildOptions};
+        let fw = build(&apps::tiny_test_app(), &BuildOptions::safe_mavr()).unwrap();
+        let mut board =
+            mavr_board::MavrBoard::provision(&fw.image, 11, RandomizationPolicy::default())
+                .unwrap();
+        board.run(500_000).unwrap();
+        let state = board.capture_state();
+
+        let mut w = Writer::new();
+        put_machine_core_v2(&mut w, &state.app);
+        w.put_bytes(&state.app.flash);
+        w.put_bytes(&state.app.data);
+        put_eeprom(&mut w, &state.app.eeprom);
+        w.put_bool(state.app_locked);
+        for word in state.master_rng {
+            w.put_u64(word);
+        }
+        w.put_u32(state.boot_count);
+        w.put_u32(state.wear_cycles);
+        w.put_u64(state.watch_since);
+        w.put_u64(state.heartbeat_timeout);
+        for word in state.chaos.rng {
+            w.put_u64(word);
+        }
+        w.put_u64(state.chaos.injected);
+        w.put_u64(state.reflash_retries);
+        w.put_u64(state.degraded_boots);
+        let blob = stamp_version(w.finish(Kind::Board), 2);
+
+        let got = decode_board(&blob).unwrap();
+        // The heartbeat firmware drives PORTB, so the board's latch is
+        // live — the v2 data image must reproduce it exactly.
+        assert_eq!(got.app.portb, state.app.portb);
+        assert_eq!(
+            got.app.portb,
+            state.app.data[usize::from(PORTB_ADDR)],
+            "latch and data image agree"
+        );
+        assert_eq!(got, state);
+    }
+
+    #[test]
+    fn world_state_round_trips_and_resumes_bit_identically() {
+        use mavr_world::{Scenario, World};
+        let mut w = World::new(Scenario::Turbulent, 0x5eed);
+        for i in 0..300u32 {
+            let _ = w.sample();
+            w.step(0.55, if i % 5 == 0 { 0.02 } else { 0.0 });
+        }
+        let state = w.state();
+        let blob = encode_world(&state);
+        assert_eq!(decode_world(&blob).unwrap(), state);
+
+        // A world restored from the decoded blob continues exactly in
+        // step with one restored from the live state.
+        let mut a = World::restore(&state).unwrap();
+        let mut b = World::restore(&decode_world(&blob).unwrap()).unwrap();
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+            a.step(0.5, 0.0);
+            b.step(0.5, 0.0);
+        }
+        assert_eq!(a.state(), b.state());
+
+        // Kind mismatches are rejected before any payload is read.
+        assert!(matches!(
+            decode_board(&blob),
+            Err(SnapshotError::WrongKind { .. })
+        ));
     }
 
     #[test]

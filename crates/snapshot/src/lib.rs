@@ -30,7 +30,8 @@ pub mod format;
 pub mod replay;
 
 pub use format::{
-    apply_machine_delta, crc32, decode_board, decode_machine, encode_board, encode_machine,
-    encode_machine_delta, Kind, Reader, SnapshotError, Writer, MAGIC, VERSION,
+    apply_machine_delta, crc32, decode_board, decode_machine, decode_world, encode_board,
+    encode_machine, encode_machine_delta, encode_world, Kind, Reader, SnapshotError, Writer, MAGIC,
+    VERSION,
 };
 pub use replay::{bisect_divergence, Divergence, Timeline};

@@ -1,0 +1,174 @@
+//! Fixed-timestep rigid-body flight dynamics.
+//!
+//! The model is a single-axis-maneuvering quadrotor: thrust along the
+//! body z axis, one controllable torque axis (pitch, body y), linear and
+//! angular drag, gravity, and a ground plane at z = 0. The integrator is
+//! semi-implicit Euler at a fixed `dt`, which together with the pure
+//! `+ - * / sqrt` math in [`crate::math`] makes every trajectory
+//! bit-reproducible for a given input sequence.
+//!
+//! The constants are calibrated against the synthetic flight firmware's
+//! fixed-point controller (see `synth-firmware`'s `flight_control`):
+//! the controller's hover command is OCR0A = 140 at 50 m, so
+//! `max_thrust` is chosen to make thrust equal weight exactly at duty
+//! 140/255, and the drag terms make both the altitude and pitch loops
+//! overdamped at the firmware's gains.
+
+use crate::math::{Quat, Vec3};
+
+/// Physical parameters of the vehicle and environment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorldParams {
+    /// Vehicle mass, kg.
+    pub mass: f64,
+    /// Gravitational acceleration, m/s².
+    pub gravity: f64,
+    /// Thrust at duty 1.0, newtons. Default puts hover at duty 140/255.
+    pub max_thrust: f64,
+    /// Linear drag coefficient, N·s/m (force = -lin_drag · v).
+    pub lin_drag: f64,
+    /// Angular acceleration at full pitch duty, rad/s².
+    pub torque_per_duty: f64,
+    /// Angular drag coefficient, 1/s (α -= ang_drag · ω).
+    pub ang_drag: f64,
+    /// Integration timestep, seconds.
+    pub dt: f64,
+}
+
+impl Default for WorldParams {
+    fn default() -> Self {
+        WorldParams {
+            mass: 1.0,
+            gravity: 9.8,
+            // Weight / hover-duty: 9.8 / (140/255).
+            max_thrust: 9.8 * 255.0 / 140.0,
+            lin_drag: 1.2,
+            torque_per_duty: 8.0,
+            ang_drag: 1.5,
+            dt: 0.001,
+        }
+    }
+}
+
+/// Rigid-body state: position, velocity, attitude, body angular rate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RigidBody {
+    /// World-frame position, meters. z is altitude above ground.
+    pub pos: Vec3,
+    /// World-frame velocity, m/s.
+    pub vel: Vec3,
+    /// Attitude (body → world).
+    pub att: Quat,
+    /// Body-frame angular rate, rad/s.
+    pub omega: Vec3,
+}
+
+/// What happened at the ground plane during one step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundContact {
+    /// The body is at z = 0 after this step.
+    pub on_ground: bool,
+    /// Vertical speed at the moment of clamping (pre-clamp), m/s.
+    /// Negative means descending into the ground.
+    pub impact_vz: f64,
+}
+
+impl RigidBody {
+    /// Advance one timestep driven by motor duty cycles.
+    ///
+    /// `thrust_duty` ∈ [0, 1] scales `max_thrust` along body z;
+    /// `pitch_duty` ∈ [-1, 1] commands torque about body y. Returns the
+    /// ground-contact outcome so the caller can latch crash events.
+    pub fn step(&mut self, p: &WorldParams, thrust_duty: f64, pitch_duty: f64) -> GroundContact {
+        // Angular dynamics (body y only is actuated; drag on all axes).
+        let alpha = Vec3::new(
+            -p.ang_drag * self.omega.x,
+            p.torque_per_duty * pitch_duty - p.ang_drag * self.omega.y,
+            -p.ang_drag * self.omega.z,
+        );
+        self.omega = self.omega + alpha.scale(p.dt);
+        self.att = self.att.integrate(self.omega, p.dt);
+
+        // Linear dynamics: thrust along the (new) body z, gravity, drag.
+        let thrust_w = self
+            .att
+            .rotate(Vec3::new(0.0, 0.0, 1.0))
+            .scale(thrust_duty * p.max_thrust / p.mass);
+        let acc = thrust_w + Vec3::new(0.0, 0.0, -p.gravity) + self.vel.scale(-p.lin_drag / p.mass);
+        self.vel = self.vel + acc.scale(p.dt);
+        self.pos = self.pos + self.vel.scale(p.dt);
+
+        // Ground plane.
+        let impact_vz = self.vel.z;
+        if self.pos.z <= 0.0 {
+            self.pos = Vec3::new(self.pos.x, self.pos.y, 0.0);
+            if self.vel.z < 0.0 {
+                self.vel = Vec3::new(self.vel.x, self.vel.y, 0.0);
+            }
+            GroundContact {
+                on_ground: true,
+                impact_vz,
+            }
+        } else {
+            GroundContact {
+                on_ground: false,
+                impact_vz,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hover_duty_holds_altitude() {
+        let p = WorldParams::default();
+        let mut b = RigidBody {
+            pos: Vec3::new(0.0, 0.0, 50.0),
+            ..RigidBody::default()
+        };
+        for _ in 0..2000 {
+            b.step(&p, 140.0 / 255.0, 0.0);
+        }
+        // Thrust exactly balances weight: no drift beyond rounding.
+        assert!((b.pos.z - 50.0).abs() < 1e-6, "z = {}", b.pos.z);
+    }
+
+    #[test]
+    fn zero_thrust_falls_and_impacts() {
+        let p = WorldParams::default();
+        let mut b = RigidBody {
+            pos: Vec3::new(0.0, 0.0, 30.0),
+            ..RigidBody::default()
+        };
+        let mut hit = None;
+        for _ in 0..20_000 {
+            let c = b.step(&p, 0.0, 0.0);
+            if c.on_ground {
+                hit = Some(c.impact_vz);
+                break;
+            }
+        }
+        // Falling from 30 m with drag: terminal-ish speed well past the
+        // 2 m/s crash threshold.
+        let vz = hit.expect("never reached the ground");
+        assert!(vz < -2.0, "impact vz = {vz}");
+    }
+
+    #[test]
+    fn pitch_duty_produces_forward_motion() {
+        let p = WorldParams::default();
+        let mut b = RigidBody {
+            pos: Vec3::new(0.0, 0.0, 50.0),
+            ..RigidBody::default()
+        };
+        // Brief nose-down pulse, then hover thrust: tilted lift pulls +x.
+        for i in 0..3000 {
+            let pitch = if i < 200 { 0.3 } else { 0.0 };
+            b.step(&p, 140.0 / 255.0, pitch);
+        }
+        assert!(b.pos.x > 0.5, "x = {}", b.pos.x);
+    }
+}

@@ -1,0 +1,122 @@
+//! Lockstep coupling between the board simulator and the world.
+//!
+//! The firmware runs at 16 MHz; the world integrates at 1 kHz. One
+//! world step therefore spans [`CYCLES_PER_STEP`] = 16 000 machine
+//! cycles. Each step:
+//!
+//! 1. samples the sensor rig into the ADC's analog input channels,
+//! 2. runs the board up to the **next absolute multiple** of
+//!    `CYCLES_PER_STEP` (not "16 000 more cycles" — recoveries may have
+//!    moved the cycle counter, and absolute boundaries are what make
+//!    outer batching irrelevant),
+//! 3. replays any recoveries the master performed during that run as
+//!    dead-motor time in the world (the real reflash takes
+//!    `StartupReport::total_ms` of wall time during which the vehicle
+//!    is falling), accumulating the altitude lost,
+//! 4. reads the PWM duty cycles and advances the world one timestep.
+//!
+//! Because the boundaries are absolute and the board's own `run` is
+//! linear in how cycles are partitioned, `run_steps(a); run_steps(b)`
+//! is bit-identical to `run_steps(a + b)` — the chunking-invariance
+//! property the campaign checkpointing relies on.
+
+use crate::World;
+use mavr_board::{BoardEvent, MasterError, MavrBoard};
+
+/// Machine cycles per world timestep: 16 MHz / 1 kHz.
+pub const CYCLES_PER_STEP: u64 = 16_000;
+
+/// A board flying in a world.
+pub struct FlightHarness {
+    /// The MAVR board under test.
+    pub board: MavrBoard,
+    /// The physical world it flies in.
+    pub world: World,
+    events_seen: usize,
+    next_boundary: u64,
+    recovery_pending: bool,
+    alt_lost_to_recoveries: f64,
+    recoveries_caught: u32,
+}
+
+impl FlightHarness {
+    /// Couple a freshly provisioned board to a world. Events already in
+    /// the board's log (the provisioning boot) are not replayed.
+    pub fn new(board: MavrBoard, world: World) -> FlightHarness {
+        let now = board.app.machine.cycles();
+        FlightHarness {
+            events_seen: board.events.len(),
+            next_boundary: (now / CYCLES_PER_STEP + 1) * CYCLES_PER_STEP,
+            recovery_pending: false,
+            alt_lost_to_recoveries: 0.0,
+            recoveries_caught: 0,
+            board,
+            world,
+        }
+    }
+
+    /// Advance one world timestep (and the board to the matching cycle
+    /// boundary).
+    pub fn step_once(&mut self) -> Result<(), MasterError> {
+        let s = self.world.sample();
+        let m = &mut self.board.app.machine;
+        m.adc.channels[0] = s[0];
+        m.adc.channels[1] = s[1];
+        m.adc.channels[2] = s[2];
+        let now = m.cycles();
+        if now < self.next_boundary {
+            self.board.run(self.next_boundary - now)?;
+        }
+        self.next_boundary += CYCLES_PER_STEP;
+        self.catch_up_recoveries();
+        let pwm = self.board.app.machine.pwm;
+        self.world.step(pwm.thrust_duty(), pwm.pitch_duty());
+        Ok(())
+    }
+
+    /// Advance `n` world timesteps. Any partition of `n` across calls
+    /// yields a bit-identical final state.
+    pub fn run_steps(&mut self, n: u64) -> Result<(), MasterError> {
+        for _ in 0..n {
+            self.step_once()?;
+        }
+        Ok(())
+    }
+
+    /// Replay master recoveries that happened since the last step as
+    /// dead-motor world time: the reflash takes `total_ms` wall
+    /// milliseconds (= world steps at dt 1 ms) during which the PWM is
+    /// reset and the vehicle free-falls.
+    fn catch_up_recoveries(&mut self) {
+        while self.events_seen < self.board.events.len() {
+            match &self.board.events[self.events_seen] {
+                BoardEvent::Recovery { .. } => self.recovery_pending = true,
+                BoardEvent::Boot { report, .. } if self.recovery_pending => {
+                    self.recovery_pending = false;
+                    let alt_before = self.world.altitude();
+                    let dead_steps = report.total_ms.ceil() as u64;
+                    for _ in 0..dead_steps {
+                        self.world.step(0.0, 0.0);
+                    }
+                    let lost = alt_before - self.world.altitude();
+                    if lost > 0.0 {
+                        self.alt_lost_to_recoveries += lost;
+                    }
+                    self.recoveries_caught += 1;
+                }
+                BoardEvent::Boot { .. } => {}
+            }
+            self.events_seen += 1;
+        }
+    }
+
+    /// Total meters of altitude lost across all replayed recoveries.
+    pub fn alt_lost_to_recoveries(&self) -> f64 {
+        self.alt_lost_to_recoveries
+    }
+
+    /// Number of recoveries replayed into the world.
+    pub fn recoveries_caught(&self) -> u32 {
+        self.recoveries_caught
+    }
+}

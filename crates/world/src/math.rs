@@ -1,0 +1,141 @@
+//! Minimal 3-vector and quaternion math for the flight dynamics.
+//!
+//! Every operation here is a finite composition of IEEE-754 `+ - * /`
+//! and `sqrt` — all of which are bit-exact across platforms and build
+//! modes — so trajectories are reproducible wherever the campaign runs.
+//! No transcendental functions: attitude is integrated directly as
+//! `q̇ = ½ q ⊗ (0, ω)` rather than through axis-angle trigonometry.
+
+/// A 3-vector of f64.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component (world: north-ish horizontal).
+    pub x: f64,
+    /// Y component (world: east-ish horizontal).
+    pub y: f64,
+    /// Z component (world: up).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Construct from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Vec3 {
+        Vec3 { x, y, z }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3::new(0.0, 0.0, 0.0);
+
+    /// Scale by a scalar.
+    pub fn scale(self, k: f64) -> Vec3 {
+        Vec3::new(self.x * k, self.y * k, self.z * k)
+    }
+
+    /// Cross product.
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+}
+
+impl std::ops::Add for Vec3 {
+    type Output = Vec3;
+
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+/// A unit quaternion representing attitude (body → world rotation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quat {
+    /// Scalar part.
+    pub w: f64,
+    /// Vector part, x.
+    pub x: f64,
+    /// Vector part, y.
+    pub y: f64,
+    /// Vector part, z.
+    pub z: f64,
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Quat::IDENTITY
+    }
+}
+
+impl Quat {
+    /// The identity rotation (level attitude).
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Rotate a body-frame vector into the world frame:
+    /// `v' = v + 2 (q_v × (q_v × v + w v))`.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        let qv = Vec3::new(self.x, self.y, self.z);
+        let t = qv.cross(qv.cross(v) + v.scale(self.w));
+        v + t.scale(2.0)
+    }
+
+    /// Advance the attitude by the body angular rate `omega` (rad/s) over
+    /// `dt` seconds using first-order integration of `q̇ = ½ q ⊗ (0, ω)`,
+    /// then renormalize. Multiplications and one `sqrt` only.
+    pub fn integrate(self, omega: Vec3, dt: f64) -> Quat {
+        let h = 0.5 * dt;
+        let q = Quat {
+            w: self.w - h * (self.x * omega.x + self.y * omega.y + self.z * omega.z),
+            x: self.x + h * (self.w * omega.x + self.y * omega.z - self.z * omega.y),
+            y: self.y + h * (self.w * omega.y + self.z * omega.x - self.x * omega.z),
+            z: self.z + h * (self.w * omega.z + self.x * omega.y - self.y * omega.x),
+        };
+        let n = (q.w * q.w + q.x * q.x + q.y * q.y + q.z * q.z).sqrt();
+        Quat {
+            w: q.w / n,
+            x: q.x / n,
+            y: q.y / n,
+            z: q.z / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_rotation_is_a_noop() {
+        let v = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(Quat::IDENTITY.rotate(v), v);
+    }
+
+    #[test]
+    fn integration_tilts_the_thrust_axis() {
+        // Pitch forward at 1 rad/s for 0.5 s: body z leans toward +x.
+        let mut q = Quat::IDENTITY;
+        for _ in 0..500 {
+            q = q.integrate(Vec3::new(0.0, 1.0, 0.0), 0.001);
+        }
+        let z = q.rotate(Vec3::new(0.0, 0.0, 1.0));
+        // sin(0.5) ≈ 0.479, cos(0.5) ≈ 0.878.
+        assert!((z.x - 0.479).abs() < 0.01, "z.x = {}", z.x);
+        assert!((z.z - 0.878).abs() < 0.01, "z.z = {}", z.z);
+        // Unit length is preserved by the renormalization.
+        let n = z.x * z.x + z.y * z.y + z.z * z.z;
+        assert!((n - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_product_is_anticommutative() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 0.5, 2.0);
+        assert_eq!(a.cross(b), b.cross(a).scale(-1.0));
+    }
+}

@@ -17,6 +17,7 @@ fn midsize_app() -> AppSpec {
         mavr_size: None,
         seed: 0x150,
         vehicle_type: 2,
+        flight: false,
     }
 }
 

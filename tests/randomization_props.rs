@@ -15,6 +15,7 @@ fn app(functions: usize, seed: u64) -> AppSpec {
         mavr_size: None,
         seed,
         vehicle_type: 1,
+        flight: false,
     }
 }
 
