@@ -25,7 +25,11 @@
 //! exposition cost — and rewrites `BENCH_telemetry.json`, and
 //! `bench-world` (or `bench-world-quick`) measures what closing the
 //! physical loop costs the fused fast path and rewrites
-//! `BENCH_world.json`.
+//! `BENCH_world.json`, and `bench-campaignd` (or
+//! `bench-campaignd-quick`) runs sharded campaigns spanning two orders
+//! of magnitude in size through the campaign service, records peak RSS
+//! per size to prove the service's memory is O(shard) rather than
+//! O(campaign), and rewrites `BENCH_campaignd.json`.
 
 use mavr_bench as exp;
 use synth_firmware::{apps, build, BuildOptions};
@@ -223,6 +227,33 @@ fn main() {
         }
         let path = "BENCH_fleet.json";
         std::fs::write(path, t.to_json()).expect("write BENCH_fleet.json");
+        println!("  wrote {path}\n");
+    }
+
+    // Explicitly requested only (writes a file; excluded from `all`).
+    if args
+        .iter()
+        .any(|a| a == "bench-campaignd" || a == "bench-campaignd-quick")
+    {
+        let quick = args.iter().any(|a| a == "bench-campaignd-quick");
+        println!("== Campaign service memory (sharded benign, streaming merge) ==");
+        let t = exp::campaignd_memory(quick);
+        for r in &t.rows {
+            println!(
+                "  {:>6} boards : {:>8.1} jobs/sec, peak rss {:>7.1} MiB  ({:.2}s)",
+                r.boards,
+                r.jobs_per_sec(),
+                r.peak_rss_mb,
+                r.secs
+            );
+        }
+        println!(
+            "  peak-RSS growth across a {}x campaign-size spread: {:.2}x",
+            t.rows.last().map_or(1, |r| r.boards) / t.rows.first().map_or(1, |r| r.boards).max(1),
+            t.rss_growth()
+        );
+        let path = "BENCH_campaignd.json";
+        std::fs::write(path, t.to_json()).expect("write BENCH_campaignd.json");
         println!("  wrote {path}\n");
     }
 

@@ -491,6 +491,164 @@ pub fn fleet_throughput(quick: bool) -> FleetThroughput {
     }
 }
 
+/// One campaign-size point of the service's constant-memory curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignBenchRow {
+    /// Boards (= jobs; one benign cell) in the campaign.
+    pub boards: usize,
+    /// Wall-clock seconds to run every shard and merge the report.
+    pub secs: f64,
+    /// Process peak RSS (`VmHWM`) after this campaign, in MiB. The
+    /// constant-memory claim is that this column stays flat while the
+    /// boards column grows 100x.
+    pub peak_rss_mb: f64,
+}
+
+impl CampaignBenchRow {
+    /// Jobs completed per wall-clock second, merge included.
+    pub fn jobs_per_sec(&self) -> f64 {
+        self.boards as f64 / self.secs
+    }
+}
+
+/// Measured campaign-service cost at several campaign sizes. See
+/// [`campaignd_memory`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignServiceBench {
+    /// One row per campaign size, smallest first (peak RSS is monotonic,
+    /// so a flat column means the big campaigns added nothing).
+    pub rows: Vec<CampaignBenchRow>,
+    /// Jobs per shard checkpoint.
+    pub shard_jobs: u64,
+    /// Cycles each board flies.
+    pub cycles_per_board: u64,
+}
+
+impl CampaignServiceBench {
+    /// Largest-over-smallest peak-RSS ratio — ~1.0 is the constant-memory
+    /// claim (the job count grows 100x between those rows).
+    pub fn rss_growth(&self) -> f64 {
+        match (self.rows.first(), self.rows.last()) {
+            (Some(a), Some(b)) if a.peak_rss_mb > 0.0 => b.peak_rss_mb / a.peak_rss_mb,
+            _ => 1.0,
+        }
+    }
+
+    /// The `BENCH_campaignd.json` payload.
+    pub fn to_json(&self) -> String {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"boards\": {}, \"secs\": {:.3}, \"jobs_per_sec\": {:.1}, \
+                     \"peak_rss_mb\": {:.1}}}",
+                    r.boards,
+                    r.secs,
+                    r.jobs_per_sec(),
+                    r.peak_rss_mb
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"bench\": \"campaignd/sharded_benign\",\n  \"unit\": \"jobs_per_sec\",\n  \
+             \"shard_jobs\": {},\n  \"cycles_per_board\": {},\n  \"rss_growth\": {:.2},\n  \
+             \"rows\": [\n{}\n  ]\n}}\n",
+            self.shard_jobs,
+            self.cycles_per_board,
+            self.rss_growth(),
+            rows
+        )
+    }
+}
+
+/// Process peak resident set (`VmHWM`) in MiB, from `/proc/self/status`;
+/// 0.0 where the file does not exist (non-Linux).
+pub fn peak_rss_mb() -> f64 {
+    let Ok(text) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+/// Measure the campaign service end to end — shard execution, per-board
+/// JSONL streaming, checkpoint flushes, and the two-pass report merge —
+/// at campaign sizes spanning two orders of magnitude, recording peak RSS
+/// after each. Because shard outcomes stream to disk and metrics fold
+/// through the registry merge, the peak-RSS column stays flat as the
+/// board count grows 100x: the service's memory is O(shard), not
+/// O(campaign). `quick` caps the largest campaign for CI smoke runs.
+/// Sizes run smallest-first because `VmHWM` is monotonic — a flat column
+/// therefore proves the big campaigns allocated no more than the small
+/// ones.
+pub fn campaignd_memory(quick: bool) -> CampaignServiceBench {
+    use mavr_campaignd::{merge_store, CampaignSession, CampaignSpec, CampaignStore};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    let sizes: &[usize] = if quick {
+        &[100, 1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    // Short flights: the point is service overhead and memory, not
+    // simulated-cycle throughput (BENCH_fleet.json covers that).
+    let (warmup, flight) = (40_000u64, 60_000u64);
+    let shard_jobs = 256u64;
+    let root = std::env::temp_dir()
+        .join("mavr-campaignd-bench")
+        .join(std::process::id().to_string());
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("bench scratch dir");
+
+    let rows = sizes
+        .iter()
+        .map(|&boards| {
+            let mut spec = CampaignSpec::named(&format!("bench-{boards}"));
+            spec.boards = boards;
+            spec.scenarios = vec![mavr_fleet::Scenario::Benign];
+            spec.warmup_cycles = warmup;
+            spec.attack_cycles = flight;
+            spec.shard_jobs = shard_jobs;
+            let store = CampaignStore::create(&root, spec).expect("create campaign");
+            let session = CampaignSession::new(
+                store,
+                telemetry::Telemetry::off(),
+                Arc::new(AtomicBool::new(false)),
+            )
+            .expect("session");
+            let t0 = std::time::Instant::now();
+            let outcome = session.run(None, None).expect("run campaign");
+            assert!(outcome.complete, "bench campaign ran to completion");
+            merge_store(&session.store).expect("merge campaign");
+            let secs = t0.elapsed().as_secs_f64();
+            CampaignBenchRow {
+                boards,
+                secs,
+                peak_rss_mb: peak_rss_mb(),
+            }
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&root);
+    CampaignServiceBench {
+        rows,
+        shard_jobs,
+        cycles_per_board: warmup + flight,
+    }
+}
+
 /// One fault-rate point of the chaos-resilience sweep. All counts are
 /// summed over the cell's boards.
 #[derive(Debug, Clone, Copy, PartialEq)]

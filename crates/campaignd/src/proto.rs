@@ -1,0 +1,212 @@
+//! The service's newline-delimited JSON control protocol.
+//!
+//! One request per line, one response line per request — the same framing
+//! over a Unix socket or stdio, so the protocol is testable with plain
+//! strings. Requests are `{"op": ...}` objects:
+//!
+//! ```text
+//! {"op":"submit","spec":{...}}        create/adopt a campaign
+//! {"op":"status"}                     all campaigns
+//! {"op":"status","campaign":"name"}   one campaign
+//! {"op":"run","campaign":"name","max_jobs":N,"max_shards":K}
+//!                                     execute a bounded work slice
+//! {"op":"merge","campaign":"name"}    fold shards into report.json
+//! {"op":"shutdown"}                   stop the server loop
+//! ```
+//!
+//! Every response carries `"ok"`; failures are `{"ok":false,"error":...}`
+//! — a malformed line never kills the service.
+
+use crate::json::Json;
+use crate::runner::{merge_store, CampaignSession};
+use crate::spec::CampaignSpec;
+use crate::store::CampaignStore;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use telemetry::Telemetry;
+
+/// What the transport loop should do after a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep serving.
+    Continue,
+    /// Stop the server loop (a `shutdown` request).
+    Shutdown,
+}
+
+/// Service state: the campaign root plus cached sessions (firmware is
+/// linked once per campaign, not once per work slice).
+pub struct Service {
+    root: PathBuf,
+    interrupt: Arc<AtomicBool>,
+    sessions: HashMap<String, CampaignSession>,
+}
+
+impl Service {
+    /// A service over `root`, stopping cooperatively on `interrupt`.
+    pub fn new(root: PathBuf, interrupt: Arc<AtomicBool>) -> Self {
+        Service {
+            root,
+            interrupt,
+            sessions: HashMap::new(),
+        }
+    }
+
+    /// Handle one request line; returns the response line (no trailing
+    /// newline) and what the transport should do next.
+    pub fn handle_line(&mut self, line: &str) -> (String, Control) {
+        match self.dispatch(line) {
+            Ok((json, control)) => (json.to_text(), control),
+            Err(error) => (
+                Json::Obj(vec![
+                    ("ok".into(), Json::Bool(false)),
+                    ("error".into(), Json::str(error)),
+                ])
+                .to_text(),
+                Control::Continue,
+            ),
+        }
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<(Json, Control), String> {
+        let req = Json::parse(line)?;
+        let op = req
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string `op`")?;
+        match op {
+            "submit" => self.op_submit(&req),
+            "status" => self.op_status(&req),
+            "run" => self.op_run(&req),
+            "merge" => self.op_merge(&req),
+            "shutdown" => Ok((
+                Json::Obj(vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("shutdown".into(), Json::Bool(true)),
+                ]),
+                Control::Shutdown,
+            )),
+            other => Err(format!(
+                "unknown op `{other}` (submit, status, run, merge, shutdown)"
+            )),
+        }
+    }
+
+    fn op_submit(&mut self, req: &Json) -> Result<(Json, Control), String> {
+        let spec_json = req.get("spec").ok_or("submit needs a `spec` object")?;
+        let spec = CampaignSpec::from_json(&spec_json.to_text())?;
+        let store = CampaignStore::create(&self.root, spec)?;
+        let plan = store.plan();
+        let response = Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("campaign".into(), Json::str(&store.spec.name)),
+            ("total_jobs".into(), Json::num(plan.total_jobs)),
+            ("shards".into(), Json::num(plan.shard_count())),
+        ]);
+        Ok((response, Control::Continue))
+    }
+
+    fn op_status(&mut self, req: &Json) -> Result<(Json, Control), String> {
+        let stores = match req.get("campaign").and_then(Json::as_str) {
+            Some(name) => vec![CampaignStore::open(&self.root.join(name))?],
+            None => CampaignStore::list(&self.root)?,
+        };
+        let mut rows = Vec::new();
+        for store in stores {
+            rows.push(store.status()?.to_json());
+        }
+        Ok((
+            Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("campaigns".into(), Json::Arr(rows)),
+            ]),
+            Control::Continue,
+        ))
+    }
+
+    fn op_run(&mut self, req: &Json) -> Result<(Json, Control), String> {
+        let name = req
+            .get("campaign")
+            .and_then(Json::as_str)
+            .ok_or("run needs a `campaign` name")?
+            .to_string();
+        let budget = match req.get("max_jobs") {
+            None => None,
+            Some(j) => Some(j.as_u64().ok_or("`max_jobs` must be a u64")? as usize),
+        };
+        let max_shards = match req.get("max_shards") {
+            None => None,
+            Some(j) => Some(j.as_u64().ok_or("`max_shards` must be a u64")? as usize),
+        };
+        let outcome = self.run_slice(&name, budget, max_shards)?;
+        Ok((
+            Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("campaign".into(), Json::str(name)),
+                ("jobs_run".into(), Json::num(outcome.jobs_run as u64)),
+                ("done_jobs".into(), Json::num(outcome.done_jobs)),
+                ("total_jobs".into(), Json::num(outcome.total_jobs)),
+                ("complete".into(), Json::Bool(outcome.complete)),
+                ("interrupted".into(), Json::Bool(outcome.interrupted)),
+            ]),
+            Control::Continue,
+        ))
+    }
+
+    fn op_merge(&mut self, req: &Json) -> Result<(Json, Control), String> {
+        let name = req
+            .get("campaign")
+            .and_then(Json::as_str)
+            .ok_or("merge needs a `campaign` name")?;
+        let store = CampaignStore::open(&self.root.join(name))?;
+        let (report_path, _metrics) = merge_store(&store)?;
+        Ok((
+            Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("campaign".into(), Json::str(name)),
+                (
+                    "report".into(),
+                    Json::str(report_path.to_string_lossy().into_owned()),
+                ),
+            ]),
+            Control::Continue,
+        ))
+    }
+
+    /// Run one bounded work slice of `name`, creating (and caching) its
+    /// session on first use.
+    pub fn run_slice(
+        &mut self,
+        name: &str,
+        budget_jobs: Option<usize>,
+        max_shards: Option<usize>,
+    ) -> Result<crate::runner::RunOutcome, String> {
+        if !self.sessions.contains_key(name) {
+            let store = CampaignStore::open(&self.root.join(name))?;
+            let session =
+                CampaignSession::new(store, Telemetry::off(), Arc::clone(&self.interrupt))?;
+            self.sessions.insert(name.to_string(), session);
+        }
+        let session = self.sessions.get(name).expect("just inserted");
+        session.run(budget_jobs, max_shards)
+    }
+
+    /// The first campaign with unfinished jobs (service work queue, in
+    /// name order), or None when everything is complete.
+    pub fn pending_campaign(&self) -> Result<Option<String>, String> {
+        for store in CampaignStore::list(&self.root)? {
+            let status = store.status()?;
+            if !status.complete() {
+                return Ok(Some(store.spec.name));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Whether the shared interrupt flag has tripped.
+    pub fn interrupted(&self) -> bool {
+        self.interrupt.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,273 @@
+//! The shard execution loop and the streaming merge.
+//!
+//! The runner is what makes a million-board campaign cost the same RAM as
+//! an 8-board one: it holds exactly one shard's outcomes at a time
+//! (plus the fixed-size cell matrix), streams each board's result to the
+//! shard's JSONL file the moment its prefix completes, and folds metrics
+//! through the associative registry merge instead of accumulating outcome
+//! vectors. The merge step is two O(largest-shard) passes that write the
+//! report **byte-identical** to an unsharded `run_campaign().to_json()` —
+//! the laws behind that identity are proptested in
+//! `mavr-fleet/tests/shard_props.rs`.
+
+use crate::store::{write_file_atomic, CampaignStore};
+use mavr_fleet::{
+    config_fingerprint, json_prelude, run_shard_resume, summarize, CampaignAggregate,
+    CampaignConfig, PreparedCampaign, JSON_EPILOGUE,
+};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use telemetry::metrics::MetricsRegistry;
+use telemetry::{kinds, Telemetry, Value};
+
+/// One campaign, ready to run: its store, the engine config (with the
+/// service's telemetry and interrupt flag wired in), and the prepared
+/// firmware. Building the firmware is the expensive part, so a service
+/// keeps sessions cached across work slices.
+pub struct CampaignSession {
+    /// The campaign's directory and spec.
+    pub store: CampaignStore,
+    /// Engine config derived from the spec.
+    pub cfg: CampaignConfig,
+    prepared: PreparedCampaign,
+}
+
+/// What one work slice did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Jobs executed in this slice.
+    pub jobs_run: usize,
+    /// Jobs checkpointed campaign-wide (including previous slices).
+    pub done_jobs: u64,
+    /// Jobs in the matrix.
+    pub total_jobs: u64,
+    /// Whether the whole campaign is now complete.
+    pub complete: bool,
+    /// Whether the slice stopped on the interrupt flag.
+    pub interrupted: bool,
+}
+
+impl CampaignSession {
+    /// Build a session: derive the engine config, wire in telemetry and
+    /// the shared interrupt flag, link the firmware once.
+    pub fn new(
+        store: CampaignStore,
+        telemetry: Telemetry,
+        interrupt: Arc<AtomicBool>,
+    ) -> Result<Self, String> {
+        let mut cfg = store.spec.to_config()?;
+        cfg.telemetry = telemetry;
+        cfg.interrupt = interrupt;
+        let prepared = PreparedCampaign::new(&cfg);
+        Ok(CampaignSession {
+            store,
+            cfg,
+            prepared,
+        })
+    }
+
+    /// Run a work slice: up to `budget_jobs` jobs across up to
+    /// `max_shards` shards, in shard order, resuming wherever the last
+    /// slice (or process) stopped. Each shard's outcomes stream to its
+    /// `.jsonl.part` file as they complete; the shard checkpoint is
+    /// flushed atomically after the shard's slice, so a kill between
+    /// slices loses nothing and a kill *during* a slice loses only that
+    /// slice's work.
+    pub fn run(
+        &self,
+        budget_jobs: Option<usize>,
+        max_shards: Option<usize>,
+    ) -> Result<RunOutcome, String> {
+        let plan = self.store.plan();
+        let mut budget = budget_jobs;
+        let mut jobs_run = 0usize;
+        let mut done_jobs = 0u64;
+        let mut shards_touched = 0usize;
+        let mut interrupted = false;
+        let mut stopped = false;
+
+        for index in 0..plan.shard_count() {
+            let mut shard = self.store.load_shard(&self.cfg, index)?;
+            if shard.complete() {
+                done_jobs += shard.outcomes.len() as u64;
+                continue;
+            }
+            if stopped
+                || budget == Some(0)
+                || max_shards.is_some_and(|m| shards_touched >= m)
+                || self.cfg.interrupted()
+            {
+                done_jobs += shard.outcomes.len() as u64;
+                stopped = true;
+                continue;
+            }
+
+            let done_before = shard.outcomes.len() as u64;
+            let part_path = self.store.outcomes_part_path(index);
+            let part = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&part_path)
+                .map_err(|e| format!("open {}: {e}", part_path.display()))?;
+            let mut part = std::io::BufWriter::new(part);
+            let mut stream_err: Option<std::io::Error> = None;
+
+            let status = run_shard_resume(
+                &self.cfg,
+                &self.prepared,
+                &mut shard,
+                budget,
+                done_jobs as usize + done_before as usize,
+                |_, outcome| {
+                    if stream_err.is_none() {
+                        stream_err = writeln!(part, "{}", outcome.to_json_line()).err();
+                    }
+                },
+            )?;
+            part.flush()
+                .map_err(|e| format!("flush {}: {e}", part_path.display()))?;
+            if let Some(e) = stream_err {
+                return Err(format!("stream {}: {e}", part_path.display()));
+            }
+
+            // The checkpoint is the authority; flush it atomically before
+            // declaring any progress durable.
+            self.store.save_shard(&shard)?;
+            self.cfg.telemetry.emit(kinds::SHARD_FLUSHED, None, || {
+                vec![
+                    ("shard", Value::U64(shard.shard_index)),
+                    ("jobs_done", Value::U64(shard.outcomes.len() as u64)),
+                    ("jobs_total", Value::U64(shard.jobs())),
+                    ("complete", Value::Bool(status.complete)),
+                ]
+            });
+
+            if status.complete {
+                // Rebuild the finalized stream from the checkpoint (in job
+                // order) so resumed shards still finalize to exactly one
+                // line per job, then drop the advisory .part file.
+                let mut finalized = String::new();
+                for outcome in shard.outcomes.values() {
+                    finalized.push_str(&outcome.to_json_line());
+                    finalized.push('\n');
+                }
+                write_file_atomic(&self.store.outcomes_path(index), finalized.as_bytes())?;
+                let _ = std::fs::remove_file(&part_path);
+            }
+
+            jobs_run += status.ran;
+            done_jobs += done_before + status.ran as u64;
+            shards_touched += 1;
+            if let Some(b) = budget.as_mut() {
+                *b = b.saturating_sub(status.ran);
+            }
+            if status.interrupted {
+                interrupted = true;
+                stopped = true;
+            }
+        }
+
+        if interrupted {
+            self.cfg
+                .telemetry
+                .emit(kinds::CAMPAIGN_INTERRUPTED, None, || {
+                    vec![
+                        ("jobs_done", Value::U64(done_jobs)),
+                        ("jobs_total", Value::U64(plan.total_jobs)),
+                    ]
+                });
+        }
+        Ok(RunOutcome {
+            jobs_run,
+            done_jobs,
+            total_jobs: plan.total_jobs,
+            complete: done_jobs == plan.total_jobs,
+            interrupted,
+        })
+    }
+}
+
+/// Merge a complete campaign's shards into `report.json` — byte-identical
+/// to the unsharded `CampaignReport::to_json()` — and return the folded
+/// metrics registry. Two passes, each holding one shard at a time:
+/// aggregate (cells, fleet totals, metrics), then stream the report text
+/// straight to disk. Refuses incomplete or inconsistent shard sets.
+pub fn merge_store(store: &CampaignStore) -> Result<(PathBuf, MetricsRegistry), String> {
+    let cfg = store.spec.to_config()?;
+    let plan = store.plan();
+    let fingerprint = config_fingerprint(&cfg);
+
+    // Pass 1: validate and fold every aggregate.
+    let mut agg = CampaignAggregate::new(&cfg.scenarios, &cfg.loss_levels, &cfg.fault_levels);
+    let mut expect = 0u64;
+    for index in 0..plan.shard_count() {
+        let shard = self_check(store.load_shard(&cfg, index)?, fingerprint, index, expect)?;
+        expect = shard.job_hi;
+        for outcome in shard.outcomes.values() {
+            agg.fold(outcome)?;
+        }
+    }
+    if expect != plan.total_jobs {
+        return Err(format!("shards cover {expect} of {} jobs", plan.total_jobs));
+    }
+    let (cells, fleet, metrics) = agg.finish();
+
+    // Pass 2: stream the report to disk; no full-campaign string exists.
+    let report_path = store.report_path();
+    let tmp = report_path.with_extension("json.tmp");
+    let fail = |e: std::io::Error| format!("write {}: {e}", tmp.display());
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&tmp).map_err(fail)?);
+    out.write_all(json_prelude(&summarize(&cfg), &cells, &fleet).as_bytes())
+        .map_err(fail)?;
+    let mut first = true;
+    for index in 0..plan.shard_count() {
+        let shard = store.load_shard(&cfg, index)?;
+        for outcome in shard.outcomes.values() {
+            if !first {
+                out.write_all(b",\n").map_err(fail)?;
+            }
+            first = false;
+            out.write_all(b"    ").map_err(fail)?;
+            out.write_all(outcome.to_json_line().as_bytes())
+                .map_err(fail)?;
+        }
+    }
+    out.write_all(JSON_EPILOGUE.as_bytes()).map_err(fail)?;
+    let f = out
+        .into_inner()
+        .map_err(|e| format!("flush {}: {e}", tmp.display()))?;
+    f.sync_all().map_err(fail)?;
+    drop(f);
+    std::fs::rename(&tmp, &report_path)
+        .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), report_path.display()))?;
+    Ok((report_path, metrics))
+}
+
+fn self_check(
+    shard: mavr_fleet::ShardCheckpoint,
+    fingerprint: u64,
+    index: u64,
+    expect_lo: u64,
+) -> Result<mavr_fleet::ShardCheckpoint, String> {
+    if shard.fingerprint != fingerprint {
+        return Err(format!(
+            "shard {index} fingerprints a different campaign — refusing to merge"
+        ));
+    }
+    if shard.job_lo != expect_lo {
+        return Err(format!(
+            "shard {index} starts at job {} (expected {expect_lo})",
+            shard.job_lo
+        ));
+    }
+    if !shard.complete() {
+        return Err(format!(
+            "shard {index} is incomplete ({}/{} jobs) — resume the campaign before merging",
+            shard.outcomes.len(),
+            shard.jobs()
+        ));
+    }
+    Ok(shard)
+}

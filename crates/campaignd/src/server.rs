@@ -1,0 +1,143 @@
+//! Transports for the control protocol: stdio (pipes, tests, CI) and a
+//! Unix domain socket (long-running service).
+//!
+//! Both speak the same line protocol ([`crate::proto`]). The socket server
+//! additionally *does work while idle*: between accept polls it runs one
+//! shard-bounded slice of the first unfinished campaign, so submitted
+//! campaigns make progress without any client attached, while the server
+//! stays responsive at shard granularity. On interrupt (SIGINT/SIGTERM via
+//! [`crate::signal::install`]) the in-flight slice flushes its checkpoint
+//! and the loop exits cleanly.
+
+use crate::proto::{Control, Service};
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+/// Serve the protocol over arbitrary line streams (stdio in production,
+/// strings in tests). Returns when the input ends or a `shutdown` request
+/// arrives. No background work runs in this mode — drive execution with
+/// explicit `run` requests.
+pub fn serve_lines(
+    service: &mut Service,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> Result<(), String> {
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("read request: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, control) = service.handle_line(&line);
+        writeln!(output, "{response}").map_err(|e| format!("write response: {e}"))?;
+        output.flush().map_err(|e| format!("flush response: {e}"))?;
+        if control == Control::Shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serve the protocol on a Unix domain socket at `path`, running pending
+/// campaign work (one shard per idle poll) between connections. Returns
+/// on `shutdown` or when the service's interrupt flag trips.
+#[cfg(unix)]
+pub fn serve_socket(
+    service: &mut Service,
+    path: &std::path::Path,
+    mut log: impl Write,
+) -> Result<(), String> {
+    use std::os::unix::net::UnixListener;
+
+    // A previous unclean exit leaves a stale socket file; binding over it
+    // needs the unlink first.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path).map_err(|e| format!("bind {}: {e}", path.display()))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("nonblocking listener: {e}"))?;
+    let _ = writeln!(log, "campaignd: serving on {}", path.display());
+
+    let mut shutdown = false;
+    while !shutdown && !service.interrupted() {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| format!("stream mode: {e}"))?;
+                // An idle client must not wedge the service forever.
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .map_err(|e| format!("read timeout: {e}"))?;
+                let mut writer = stream
+                    .try_clone()
+                    .map_err(|e| format!("clone stream: {e}"))?;
+                let reader = std::io::BufReader::new(stream);
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let (response, control) = service.handle_line(&line);
+                    if writeln!(writer, "{response}").is_err() {
+                        break;
+                    }
+                    if control == Control::Shutdown {
+                        shutdown = true;
+                        break;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Idle: advance the first unfinished campaign by one shard.
+                match service.pending_campaign()? {
+                    Some(name) => {
+                        let outcome = service.run_slice(&name, None, Some(1))?;
+                        let _ = writeln!(
+                            log,
+                            "campaignd: {name} {}/{} jobs{}",
+                            outcome.done_jobs,
+                            outcome.total_jobs,
+                            if outcome.complete { " (complete)" } else { "" },
+                        );
+                    }
+                    None => std::thread::sleep(Duration::from_millis(25)),
+                }
+            }
+            Err(e) => return Err(format!("accept: {e}")),
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    let _ = writeln!(
+        log,
+        "campaignd: stopped{}",
+        if service.interrupted() {
+            " (interrupted; checkpoints flushed)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+/// Send one request line to a campaign service socket and return its
+/// response line — the client half of the protocol.
+#[cfg(unix)]
+pub fn request(path: &std::path::Path, line: &str) -> Result<String, String> {
+    use std::os::unix::net::UnixStream;
+
+    let stream =
+        UnixStream::connect(path).map_err(|e| format!("connect {}: {e}", path.display()))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .map_err(|e| format!("read timeout: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    writeln!(writer, "{line}").map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    std::io::BufReader::new(stream)
+        .read_line(&mut response)
+        .map_err(|e| format!("receive: {e}"))?;
+    if response.is_empty() {
+        return Err("service closed the connection without responding".into());
+    }
+    Ok(response.trim_end().to_string())
+}

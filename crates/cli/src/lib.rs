@@ -75,6 +75,12 @@ const VALUED: &[&str] = &[
     "--top",
     "--folded",
     "--steps",
+    "--tenant",
+    "--socket",
+    "--spec",
+    "--dir",
+    "--campaign",
+    "--shard-jobs",
 ];
 
 /// Split raw arguments into positionals, options and flags.
@@ -97,16 +103,8 @@ pub fn parse_args(raw: &[String]) -> Result<Args, CliError> {
 }
 
 fn app_by_name(name: &str) -> Result<AppSpec, CliError> {
-    match name {
-        "plane" | "synthplane" => Ok(apps::synth_plane()),
-        "copter" | "synthcopter" => Ok(apps::synth_copter()),
-        "rover" | "synthrover" => Ok(apps::synth_rover()),
-        "tiny" => Ok(apps::tiny_test_app()),
-        "quad" | "synthquadflight" => Ok(apps::synth_quad_flight()),
-        other => Err(CliError::Usage(format!(
-            "unknown app `{other}` (plane, copter, rover, tiny, quad)"
-        ))),
-    }
+    apps::by_name(name)
+        .ok_or_else(|| CliError::Usage(format!("unknown app `{name}` ({})", apps::APP_NAMES)))
 }
 
 /// Load a firmware image from a MAVR container or plain Intel HEX file.
@@ -927,6 +925,253 @@ pub fn cmd_chaos(args: &Args) -> Result<String, CliError> {
     run_campaign_cmd(args, DEFAULT_FAULT_SWEEP.to_vec())
 }
 
+/// The `--dir DIR` campaign root every service subcommand operates under.
+fn campaign_root(args: &Args) -> Result<std::path::PathBuf, CliError> {
+    args.options
+        .get("--dir")
+        .map(std::path::PathBuf::from)
+        .ok_or_else(|| CliError::Usage("needs --dir DIR (the campaign root)".into()))
+}
+
+/// Read a campaign spec file and apply the `--shard-jobs` / `--tenant`
+/// command-line overrides.
+fn load_spec(args: &Args, path: &str) -> Result<mavr_campaignd::CampaignSpec, CliError> {
+    let text = std::fs::read_to_string(path).map_err(fail)?;
+    let mut spec = mavr_campaignd::CampaignSpec::from_json(&text).map_err(CliError::Usage)?;
+    if let Some(v) = args.options.get("--shard-jobs") {
+        spec.shard_jobs = v
+            .parse()
+            .map_err(|_| CliError::Usage("bad --shard-jobs".into()))?;
+    }
+    if let Some(v) = args.options.get("--tenant") {
+        spec.tenant = v
+            .parse()
+            .map_err(|_| CliError::Usage("bad --tenant (u64)".into()))?;
+    }
+    Ok(spec)
+}
+
+/// `mavr serve --dir DIR (--spec FILE | --socket PATH | --stdio)`
+///
+/// The campaign service. `--spec FILE` is the one-shot mode: submit the
+/// spec (idempotently) and run it to completion — or to the `--max-jobs`
+/// budget, or to Ctrl-C, either of which flushes valid shard checkpoints
+/// that the next identical invocation resumes. A completed one-shot run
+/// auto-merges the report. `--socket PATH` serves the ND-JSON control
+/// protocol on a Unix socket and runs pending shards between requests;
+/// `--stdio` serves the same protocol on stdin/stdout (no background
+/// work — drive it with explicit `run` requests).
+pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    use mavr_campaignd::{merge_store, CampaignSession, CampaignStore, Service};
+    let root = campaign_root(args)?;
+    let interrupt = mavr_campaignd::signal::install();
+
+    if let Some(spec_path) = args.options.get("--spec") {
+        let spec = load_spec(args, spec_path)?;
+        let store = CampaignStore::create(&root, spec).map_err(CliError::Failed)?;
+        let telemetry = if args.flags.contains("progress") {
+            telemetry::Telemetry::new(ProgressPrinter::default())
+        } else {
+            telemetry::Telemetry::off()
+        };
+        let session =
+            CampaignSession::new(store, telemetry, interrupt).map_err(CliError::Failed)?;
+        let budget = args
+            .options
+            .get("--max-jobs")
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| CliError::Usage("bad --max-jobs".into()))
+            })
+            .transpose()?;
+        let outcome = session.run(budget, None).map_err(CliError::Failed)?;
+        if outcome.complete {
+            let (report_path, _metrics) = merge_store(&session.store).map_err(CliError::Failed)?;
+            return Ok(format!(
+                "campaign {} complete: {} jobs; report merged to {}\n",
+                session.store.spec.name,
+                outcome.total_jobs,
+                report_path.display(),
+            ));
+        }
+        return Ok(format!(
+            "campaign {} {}: {}/{} jobs done (+{} this run); \
+             rerun the same command to continue\n",
+            session.store.spec.name,
+            if outcome.interrupted {
+                "interrupted"
+            } else {
+                "paused"
+            },
+            outcome.done_jobs,
+            outcome.total_jobs,
+            outcome.jobs_run,
+        ));
+    }
+
+    if let Some(sock) = args.options.get("--socket") {
+        #[cfg(unix)]
+        {
+            let mut service = Service::new(root, interrupt);
+            mavr_campaignd::server::serve_socket(
+                &mut service,
+                std::path::Path::new(sock),
+                std::io::stderr(),
+            )
+            .map_err(CliError::Failed)?;
+            return Ok(String::new());
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = sock;
+            return Err(CliError::Usage("--socket needs a Unix platform".into()));
+        }
+    }
+
+    if args.flags.contains("stdio") {
+        let mut service = Service::new(root, interrupt);
+        let stdin = std::io::stdin();
+        mavr_campaignd::server::serve_lines(&mut service, stdin.lock(), std::io::stdout())
+            .map_err(CliError::Failed)?;
+        return Ok(String::new());
+    }
+
+    Err(CliError::Usage(
+        "serve needs one of --spec FILE, --socket PATH, or --stdio".into(),
+    ))
+}
+
+/// `mavr submit SPEC.json (--socket PATH | --dir DIR)`
+///
+/// Register a campaign: against a running service via its socket, or
+/// directly into a campaign root (the directory a later `serve` run will
+/// execute from). Resubmitting an identical spec is idempotent; changing
+/// a campaign's spec under the same name is refused.
+pub fn cmd_submit(args: &Args) -> Result<String, CliError> {
+    let spec_path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Usage("submit needs a spec file".into()))?;
+    let spec = load_spec(args, spec_path)?;
+
+    if let Some(sock) = args.options.get("--socket") {
+        #[cfg(unix)]
+        {
+            let line = format!(r#"{{"op":"submit","spec":{}}}"#, spec.to_json());
+            let resp = mavr_campaignd::server::request(std::path::Path::new(sock), &line)
+                .map_err(CliError::Failed)?;
+            return Ok(format!("{resp}\n"));
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = sock;
+            return Err(CliError::Usage("--socket needs a Unix platform".into()));
+        }
+    }
+
+    let root = campaign_root(args)?;
+    let store = mavr_campaignd::CampaignStore::create(&root, spec).map_err(CliError::Failed)?;
+    let plan = store.plan();
+    Ok(format!(
+        "submitted campaign {}: {} jobs in {} shards under {}\n",
+        store.spec.name,
+        plan.total_jobs,
+        plan.shard_count(),
+        store.dir.display(),
+    ))
+}
+
+/// `mavr status (--socket PATH | --dir DIR) [--campaign NAME] [--json]`
+///
+/// Campaign progress: jobs done, shards complete, whether the report has
+/// been merged. Reads shard checkpoints directly with `--dir` (works with
+/// no service running); asks a running service with `--socket`.
+pub fn cmd_status(args: &Args) -> Result<String, CliError> {
+    use mavr_campaignd::CampaignStore;
+
+    if let Some(sock) = args.options.get("--socket") {
+        #[cfg(unix)]
+        {
+            let line = match args.options.get("--campaign") {
+                Some(name) => format!(r#"{{"op":"status","campaign":"{name}"}}"#),
+                None => r#"{"op":"status"}"#.to_string(),
+            };
+            let resp = mavr_campaignd::server::request(std::path::Path::new(sock), &line)
+                .map_err(CliError::Failed)?;
+            return Ok(format!("{resp}\n"));
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = sock;
+            return Err(CliError::Usage("--socket needs a Unix platform".into()));
+        }
+    }
+
+    let root = campaign_root(args)?;
+    let stores = match args.options.get("--campaign") {
+        Some(name) => vec![CampaignStore::open(&root.join(name)).map_err(CliError::Failed)?],
+        None => CampaignStore::list(&root).map_err(CliError::Failed)?,
+    };
+    if stores.is_empty() {
+        return Ok(format!("no campaigns under {}\n", root.display()));
+    }
+    let mut out = String::new();
+    for store in stores {
+        let status = store.status().map_err(CliError::Failed)?;
+        if args.flags.contains("json") {
+            out.push_str(&status.to_json().to_text());
+            out.push('\n');
+        } else {
+            out.push_str(&format!(
+                "{}: {}/{} jobs, {}/{} shards complete{}\n",
+                status.name,
+                status.done_jobs,
+                status.total_jobs,
+                status.shards_complete,
+                status.shards_total,
+                if status.report_written {
+                    ", report merged"
+                } else {
+                    ""
+                },
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// `mavr merge --campaign DIR [-o FILE] [--metrics-out FILE]`
+///
+/// Fold a completed campaign's shard checkpoints into `report.json` —
+/// byte-identical to what one uninterrupted, unsharded `fleet --json` run
+/// of the same parameters writes — plus the merged metrics registry.
+/// Holds one shard in memory at a time, so the report of a million-board
+/// campaign streams to disk in constant memory. Refuses incomplete or
+/// inconsistent shard sets.
+pub fn cmd_campaign_merge(args: &Args) -> Result<String, CliError> {
+    use mavr_campaignd::{merge_store, CampaignStore};
+    let dir = args.options.get("--campaign").ok_or_else(|| {
+        CliError::Usage("merge needs --campaign DIR (one campaign's directory)".into())
+    })?;
+    let store = CampaignStore::open(std::path::Path::new(dir)).map_err(CliError::Failed)?;
+    let (report_path, metrics) = merge_store(&store).map_err(CliError::Failed)?;
+    let mut note = String::new();
+    if let Some(out) = args.options.get("-o").or(args.options.get("--out")) {
+        std::fs::copy(&report_path, out).map_err(fail)?;
+        note.push_str(&format!("copied report to {out}\n"));
+    }
+    if let Some(mpath) = args.options.get("--metrics-out") {
+        write_metrics(mpath, &metrics)?;
+        note.push_str(&format!("wrote campaign metrics to {mpath}\n"));
+    }
+    Ok(format!(
+        "merged {} shards of {}: report at {}\n{note}",
+        store.plan().shard_count(),
+        store.spec.name,
+        report_path.display(),
+    ))
+}
+
 /// `mavr fly [--scenario hover|drop|turbulent] [--seed N] [--steps N]
 /// [--json] [-o FILE]`
 ///
@@ -1053,7 +1298,7 @@ impl telemetry::Recorder for ProgressPrinter {
         };
         eprintln!(
             "progress: {}/{} jobs | {:.1} Mcycles at {:.2} Mcyc/s | \
-             {} attacks landed, {} recovered, {} bricked | {:.1}s",
+             {} attacks landed, {} recovered, {} bricked | {:.1}s, eta {:.0}s",
             u("jobs_done"),
             u("jobs_total"),
             u("sim_cycles") as f64 / 1e6,
@@ -1062,6 +1307,7 @@ impl telemetry::Recorder for ProgressPrinter {
             u("recoveries"),
             u("bricked"),
             f("elapsed_ms") / 1000.0,
+            f("eta_s"),
         );
     }
     fn events_emitted(&self) -> u64 {
@@ -1127,14 +1373,24 @@ fn run_campaign_cmd(args: &Args, default_faults: Vec<f64>) -> Result<String, Cli
     if cfg.boards == 0 {
         return Err(CliError::Usage("--boards must be at least 1".into()));
     }
+    cfg.tenant = match args.options.get("--tenant") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| CliError::Usage("bad --tenant (u64)".into()))?,
+        None => 0,
+    };
     cfg.block_fusion = !args.flags.contains("no-fusion");
     cfg.physics = args.flags.contains("physics");
     if args.flags.contains("progress") {
         cfg.telemetry = telemetry::Telemetry::new(ProgressPrinter::default());
     }
 
+    let file_out = args.options.get("-o").or(args.options.get("--out"));
     let (report, metrics) = if let Some(ckpt_path) = args.options.get("--checkpoint") {
         use mavr_fleet::{run_campaign_resume, Checkpoint};
+        // Ctrl-C / SIGTERM trip the cooperative flag: workers finish the
+        // boards they hold and the checkpoint below is flushed valid.
+        cfg.interrupt = mavr_campaignd::signal::install();
         let mut ckpt = match std::fs::read(ckpt_path) {
             Ok(blob) => Checkpoint::from_bytes(&blob).map_err(fail)?,
             Err(_) => Checkpoint::new(&cfg),
@@ -1149,7 +1405,10 @@ fn run_campaign_cmd(args: &Args, default_faults: Vec<f64>) -> Result<String, Cli
             .transpose()?;
         let done_before = ckpt.outcomes.len();
         let result = run_campaign_resume(&cfg, &mut ckpt, budget).map_err(CliError::Failed)?;
-        std::fs::write(ckpt_path, ckpt.to_bytes()).map_err(fail)?;
+        // Write-to-temp + rename: a kill during the flush leaves the
+        // previous checkpoint intact, never a torn file.
+        mavr_campaignd::write_file_atomic(std::path::Path::new(ckpt_path), &ckpt.to_bytes())
+            .map_err(CliError::Failed)?;
         match result {
             // A resumed campaign's metrics are a pure fold over its
             // outcomes, so the stitched registry is byte-identical to an
@@ -1159,18 +1418,60 @@ fn run_campaign_cmd(args: &Args, default_faults: Vec<f64>) -> Result<String, Cli
                 (report, metrics)
             }
             None => {
-                let total = cfg.scenarios.len()
-                    * cfg.loss_levels.len()
-                    * cfg.fault_levels.len()
-                    * cfg.boards;
+                let total = cfg.total_jobs();
                 return Ok(format!(
-                    "campaign checkpointed to {ckpt_path}: {}/{total} jobs done \
+                    "campaign {}checkpointed to {ckpt_path}: {}/{total} jobs done \
                      (+{} this run); rerun with the same arguments to continue\n",
+                    if cfg.interrupted() {
+                        "interrupted; "
+                    } else {
+                        ""
+                    },
                     ckpt.outcomes.len(),
                     ckpt.outcomes.len() - done_before,
                 ));
             }
         }
+    } else if let (true, Some(path)) = (args.flags.contains("jsonl"), file_out) {
+        // Stream outcome lines to the file *as boards finish* (tail -f
+        // friendly); the final bytes are to_jsonl()'s, line for line.
+        use mavr_fleet::{
+            merge_shard_checkpoints, run_shard_resume, PreparedCampaign, ShardCheckpoint, ShardPlan,
+        };
+        let plan = ShardPlan::new(&cfg, cfg.total_jobs().max(1) as u64);
+        let mut shard = ShardCheckpoint::new(&cfg, &plan, 0);
+        let mut sink = std::io::BufWriter::new(std::fs::File::create(path).map_err(fail)?);
+        let mut stream_err = None;
+        run_shard_resume(
+            &cfg,
+            &PreparedCampaign::new(&cfg),
+            &mut shard,
+            None,
+            0,
+            |_, o| {
+                use std::io::Write;
+                if stream_err.is_none() {
+                    stream_err = writeln!(sink, "{}", o.to_json_line()).err();
+                }
+            },
+        )
+        .map_err(CliError::Failed)?;
+        use std::io::Write;
+        sink.flush().map_err(fail)?;
+        if let Some(e) = stream_err {
+            return Err(fail(e));
+        }
+        let (report, metrics) =
+            merge_shard_checkpoints(&cfg, vec![shard]).map_err(CliError::Failed)?;
+        let mut metrics_note = String::new();
+        if let Some(mpath) = args.options.get("--metrics-out") {
+            write_metrics(mpath, &metrics)?;
+            metrics_note = format!("wrote campaign metrics to {mpath}\n");
+        }
+        return Ok(format!(
+            "{}streamed campaign outcomes to {path}\n{metrics_note}",
+            report.render()
+        ));
     } else {
         run_campaign_with_metrics(&cfg)
     };
@@ -1290,6 +1591,31 @@ COMMANDS:
         as an extra matrix axis and reports reflash-retry, degraded-boot
         and brick rates per cell. --fault 0 reproduces `fleet` output
         byte-for-byte; the sweep is deterministic like fleet's.
+  serve --dir DIR (--spec FILE | --socket PATH | --stdio)
+        The campaign service. --spec FILE runs one campaign to completion
+        (or to --max-jobs / Ctrl-C — either flushes valid shard
+        checkpoints that rerunning the same command resumes; a completed
+        run auto-merges its report; --shard-jobs and --tenant override
+        the spec; --progress streams status with ETA). --socket PATH
+        serves the ND-JSON control protocol on a Unix socket, running
+        pending shards between requests; --stdio serves the protocol on
+        stdin/stdout. Campaign results are byte-identical however the run
+        was sliced, sharded or interrupted.
+  submit SPEC.json (--socket PATH | --dir DIR) [--shard-jobs N] [--tenant N]
+        Register a campaign from a JSON spec: with a running service via
+        its socket, or directly into a campaign root directory.
+        Resubmitting an identical spec is idempotent; mutating a
+        campaign's spec under the same name is refused.
+  status (--socket PATH | --dir DIR) [--campaign NAME] [--json]
+        Campaign progress: jobs done, shards complete, report merged.
+        --dir reads shard checkpoints directly (no service needed);
+        --socket asks a running service.
+  merge --campaign DIR [-o FILE] [--metrics-out FILE]
+        Fold a completed campaign's shard checkpoints into report.json —
+        byte-identical to one uninterrupted, unsharded `fleet --json` run
+        — streaming one shard at a time (constant memory at any campaign
+        size). -o copies the report; --metrics-out writes the merged
+        metrics registry.
 ";
 
 /// A subcommand implementation: parsed arguments in, output text out.
@@ -1315,6 +1641,10 @@ pub const COMMANDS: &[(&str, CmdFn)] = &[
     ("fly", cmd_fly),
     ("fleet", cmd_fleet),
     ("chaos", cmd_chaos),
+    ("serve", cmd_serve),
+    ("submit", cmd_submit),
+    ("status", cmd_status),
+    ("merge", cmd_campaign_merge),
 ];
 
 /// Dispatch a command line (without the program name).
@@ -1571,6 +1901,7 @@ halt:
             "jsonl",
             "no-fusion",
             "physics",
+            "stdio",
         ] {
             assert!(
                 HELP.contains(&format!("--{flag}")),
@@ -1804,5 +2135,196 @@ halt:
             Err(CliError::Usage(_))
         ));
         assert!(run(&s(&[])).unwrap().contains("USAGE"));
+        assert!(matches!(
+            run(&s(&["serve", "--dir", "/tmp/x"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(run(&s(&["submit"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&s(&["merge"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn serve_one_shot_resumes_and_merges_byte_identical_to_fleet_json() {
+        let root = tmp("serve-e2e-root");
+        let _ = std::fs::remove_dir_all(&root);
+        let spec_path = tmp("serve-e2e-spec.json");
+        std::fs::write(
+            &spec_path,
+            r#"{
+                "name": "cli-e2e",
+                "boards": 2,
+                "scenarios": ["benign", "v2"],
+                "warmup_cycles": 200000,
+                "attack_cycles": 300000,
+                "shard_jobs": 3
+            }"#,
+        )
+        .unwrap();
+
+        // Slice 1 stops mid-shard: shards hold 3 jobs, the budget is 2.
+        let out = run(&s(&[
+            "serve",
+            "--dir",
+            &root,
+            "--spec",
+            &spec_path,
+            "--max-jobs",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("paused: 2/4 jobs done"), "{out}");
+
+        // Status reads shard checkpoints directly, no service needed.
+        let out = run(&s(&["status", "--dir", &root])).unwrap();
+        assert!(
+            out.contains("cli-e2e: 2/4 jobs, 0/2 shards complete"),
+            "{out}"
+        );
+
+        // Merging an incomplete campaign is refused.
+        let dir = format!("{root}/cli-e2e");
+        assert!(matches!(
+            run(&s(&["merge", "--campaign", &dir])),
+            Err(CliError::Failed(_))
+        ));
+
+        // Slice 2 (same command, no budget) completes and auto-merges.
+        let out = run(&s(&["serve", "--dir", &root, "--spec", &spec_path])).unwrap();
+        assert!(out.contains("complete: 4 jobs"), "{out}");
+
+        // The merged report is byte-identical to one uninterrupted,
+        // unsharded fleet run of the same parameters.
+        let fleet_json = tmp("serve-e2e-fleet.json");
+        let fleet_prom = tmp("serve-e2e-fleet.prom");
+        run(&s(&[
+            "fleet",
+            "tiny",
+            "--boards",
+            "2",
+            "--scenario",
+            "benign,v2",
+            "--cycles",
+            "300000",
+            "--warmup",
+            "200000",
+            "--json",
+            "-o",
+            &fleet_json,
+            "--metrics-out",
+            &fleet_prom,
+        ]))
+        .unwrap();
+        let report = std::fs::read_to_string(format!("{dir}/report.json")).unwrap();
+        assert_eq!(report, std::fs::read_to_string(&fleet_json).unwrap());
+
+        // An explicit `merge` reproduces the same bytes, metrics included.
+        let merged_json = tmp("serve-e2e-merged.json");
+        let merged_prom = tmp("serve-e2e-merged.prom");
+        let out = run(&s(&[
+            "merge",
+            "--campaign",
+            &dir,
+            "-o",
+            &merged_json,
+            "--metrics-out",
+            &merged_prom,
+        ]))
+        .unwrap();
+        assert!(out.contains("merged 2 shards"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&merged_json).unwrap(),
+            std::fs::read_to_string(&fleet_json).unwrap()
+        );
+        assert_eq!(
+            std::fs::read_to_string(&merged_prom).unwrap(),
+            std::fs::read_to_string(&fleet_prom).unwrap()
+        );
+
+        let out = run(&s(&[
+            "status",
+            "--dir",
+            &root,
+            "--campaign",
+            "cli-e2e",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains(r#""complete":true"#) && out.contains(r#""report_written":true"#),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn fleet_jsonl_file_sink_streams_byte_identical_lines() {
+        let streamed = tmp("fleet-stream.jsonl");
+        let base = [
+            "fleet",
+            "tiny",
+            "--boards",
+            "2",
+            "--scenario",
+            "benign",
+            "--cycles",
+            "300000",
+            "--warmup",
+            "200000",
+        ];
+        let mut stream_run: Vec<&str> = base.to_vec();
+        stream_run.extend(["--jsonl", "-o", &streamed]);
+        let out = run(&s(&stream_run)).unwrap();
+        assert!(
+            out.contains(&format!("streamed campaign outcomes to {streamed}")),
+            "{out}"
+        );
+        // The streamed file (written line-by-line as boards finish) is
+        // byte-identical to the accumulated to_jsonl() form.
+        let mut stdout_run: Vec<&str> = base.to_vec();
+        stdout_run.push("--jsonl");
+        let expected = run(&s(&stdout_run)).unwrap();
+        assert_eq!(std::fs::read_to_string(&streamed).unwrap(), expected);
+    }
+
+    #[test]
+    fn submit_is_idempotent_and_tenant_namespaces_change_results() {
+        let root = tmp("submit-root");
+        let _ = std::fs::remove_dir_all(&root);
+        let spec_path = tmp("submit-spec.json");
+        std::fs::write(
+            &spec_path,
+            r#"{"name": "sub", "boards": 1, "scenarios": ["benign"],
+                "warmup_cycles": 200000, "attack_cycles": 300000}"#,
+        )
+        .unwrap();
+        let out = run(&s(&["submit", &spec_path, "--dir", &root])).unwrap();
+        assert!(
+            out.contains("submitted campaign sub: 1 jobs in 1 shards"),
+            "{out}"
+        );
+        // Identical resubmission is idempotent...
+        run(&s(&["submit", &spec_path, "--dir", &root])).unwrap();
+        // ...but a --tenant override mutates the campaign's identity.
+        assert!(run(&s(&["submit", &spec_path, "--dir", &root, "--tenant", "7"])).is_err());
+
+        // Tenant namespaces derive disjoint seed streams: the same campaign
+        // under a different tenant flies different boards.
+        let base = [
+            "fleet",
+            "tiny",
+            "--boards",
+            "1",
+            "--scenario",
+            "v2",
+            "--cycles",
+            "300000",
+            "--warmup",
+            "200000",
+            "--json",
+        ];
+        let t0 = run(&s(&base)).unwrap();
+        let mut with_tenant: Vec<&str> = base.to_vec();
+        with_tenant.extend(["--tenant", "7"]);
+        let t7 = run(&s(&with_tenant)).unwrap();
+        assert_ne!(t0, t7);
     }
 }

@@ -95,9 +95,40 @@ pub fn tiny_test_app() -> AppSpec {
     }
 }
 
+/// The CLI-facing names accepted by [`by_name`], for error messages.
+pub const APP_NAMES: &str = "plane, copter, rover, tiny, quad";
+
+/// Look up a synthesized application by its user-facing name (the same
+/// aliases everywhere: CLI flags, campaign specs, bench tables).
+pub fn by_name(name: &str) -> Option<AppSpec> {
+    match name {
+        "plane" | "synthplane" => Some(synth_plane()),
+        "copter" | "synthcopter" => Some(synth_copter()),
+        "rover" | "synthrover" => Some(synth_rover()),
+        "tiny" => Some(tiny_test_app()),
+        "quad" | "synthquadflight" => Some(synth_quad_flight()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn by_name_resolves_every_published_alias() {
+        for (alias, expect) in [
+            ("plane", "SynthPlane"),
+            ("synthcopter", "SynthCopter"),
+            ("rover", "SynthRover"),
+            ("tiny", "TinyTest"),
+            ("quad", "SynthQuadFlight"),
+        ] {
+            let app = by_name(alias).expect(alias);
+            assert_eq!(app.name, expect);
+        }
+        assert!(by_name("helicopter").is_none());
+    }
 
     #[test]
     fn paper_apps_match_table_values() {

@@ -50,6 +50,12 @@ pub fn config_fingerprint(cfg: &CampaignConfig) -> u64 {
     if cfg.physics {
         canonical.push_str(";physics=1");
     }
+    // Same stability pattern for tenant namespaces: tenant 0 is the
+    // single-tenant engine, so only a nonzero tenant (which re-seeds every
+    // stream) joins the identity.
+    if cfg.tenant != 0 {
+        canonical.push_str(&format!(";tenant={}", cfg.tenant));
+    }
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in canonical.bytes() {
         h ^= u64::from(b);
@@ -206,7 +212,7 @@ fn get_stats(r: &mut Reader<'_>) -> Result<ChannelStats, SnapshotError> {
     })
 }
 
-fn put_outcome(w: &mut Writer, o: &BoardOutcome) {
+pub(crate) fn put_outcome(w: &mut Writer, o: &BoardOutcome) {
     w.put_u8(scenario_tag(o.scenario));
     w.put_u64(o.loss.to_bits());
     w.put_u64(o.fault.to_bits());
@@ -240,7 +246,7 @@ fn put_outcome(w: &mut Writer, o: &BoardOutcome) {
     w.put_u32(wm.recoveries_caught);
 }
 
-fn get_outcome(r: &mut Reader<'_>) -> Result<BoardOutcome, SnapshotError> {
+pub(crate) fn get_outcome(r: &mut Reader<'_>) -> Result<BoardOutcome, SnapshotError> {
     Ok(BoardOutcome {
         scenario: scenario_from_tag(r.u8()?)?,
         loss: f64::from_bits(r.u64()?),
@@ -288,10 +294,12 @@ fn get_outcome(r: &mut Reader<'_>) -> Result<BoardOutcome, SnapshotError> {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
-    fn sample_outcome(job: usize) -> BoardOutcome {
+    /// A fully-populated outcome, shared with the shard checkpoint tests
+    /// so both wire formats round-trip the same payload.
+    pub(crate) fn sample_outcome(job: usize) -> BoardOutcome {
         BoardOutcome {
             scenario: Scenario::V2Stealthy,
             loss: 0.02,
@@ -389,6 +397,9 @@ mod tests {
             // the loop — a physics resume of a bare checkpoint (or vice
             // versa) would silently mix result families.
             |c: &mut CampaignConfig| c.physics = true,
+            // A tenant re-seeds every stream, so a tenant checkpoint can
+            // never resume another tenant's campaign.
+            |c: &mut CampaignConfig| c.tenant = 7,
         ] {
             let mut c = cfg.clone();
             mutate(&mut c);

@@ -38,13 +38,18 @@
 pub mod checkpoint;
 pub mod report;
 pub mod scenario;
+pub mod shard;
 
 pub use checkpoint::{config_fingerprint, totals_from_outcomes, Checkpoint};
+pub use mavlink_lite::RouterTotals;
 pub use report::{
-    fold_outcome_metrics, registry_from_outcomes, BoardOutcome, CampaignReport, CampaignSummary,
-    CellReport, WorldCellMetrics, WorldMetrics,
+    fold_outcome_metrics, json_prelude, registry_from_outcomes, BoardOutcome, CampaignAggregate,
+    CampaignReport, CampaignSummary, CellReport, WorldCellMetrics, WorldMetrics, JSON_EPILOGUE,
 };
 pub use scenario::{parse_scenarios, Scenario};
+pub use shard::{
+    merge_shard_checkpoints, run_shard_resume, ShardCheckpoint, ShardPlan, ShardRunStatus,
+};
 
 use mavlink_lite::channel::{LossConfig, LossyChannel};
 use mavlink_lite::{GroundStation, Router};
@@ -52,8 +57,9 @@ use mavr::policy::RandomizationPolicy;
 use mavr_board::{ChaosConfig, FaultPlan, MasterError, MavrBoard};
 use mavr_world::{FlightHarness, World, CYCLES_PER_STEP};
 use rop::attack::AttackContext;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use synth_firmware::{apps, build, layout, AppSpec, BuildOptions};
 use telemetry::metrics::MetricsRegistry;
@@ -124,6 +130,22 @@ pub struct CampaignConfig {
     /// when `telemetry` is attached; never affects results or the
     /// checkpoint fingerprint.
     pub progress_interval_ms: u64,
+    /// Tenant namespace for multi-tenant campaign services. Tenant `0`
+    /// (the default) leaves every derived stream — board, channel, fault,
+    /// world — exactly where the single-tenant engine put it, so existing
+    /// campaigns and their checkpoints are untouched. A nonzero tenant id
+    /// is splitmix64-mixed into the stream base ([`CampaignConfig::
+    /// stream_base`]), giving each tenant a disjoint seed namespace even
+    /// when two tenants submit the same campaign seed. Part of the
+    /// checkpoint fingerprint (it changes every outcome).
+    pub tenant: u64,
+    /// Cooperative shutdown flag. When set, workers stop *claiming* new
+    /// jobs but finish the ones they hold, so the completed set remains a
+    /// contiguous prefix of the job order and any checkpoint flushed
+    /// afterwards is valid. Shared (`Arc`) so a signal handler or service
+    /// thread can trip it from outside. Never affects results of the jobs
+    /// that do run; excluded from the checkpoint fingerprint.
+    pub interrupt: Arc<AtomicBool>,
 }
 
 impl Default for CampaignConfig {
@@ -144,9 +166,43 @@ impl Default for CampaignConfig {
             physics: false,
             telemetry: Telemetry::off(),
             progress_interval_ms: 500,
+            tenant: 0,
+            interrupt: Arc::new(AtomicBool::new(false)),
         }
     }
 }
+
+impl CampaignConfig {
+    /// The seed every per-job stream derives from. Tenant 0 uses the
+    /// campaign seed directly — byte-compatible with the pre-tenant
+    /// engine. A nonzero tenant xors in a splitmix64 mix of the tenant id
+    /// (on its own reserved stream), so tenants sharing a service — even
+    /// sharing a campaign seed — draw disjoint board/channel/fault/world
+    /// streams.
+    pub fn stream_base(&self) -> u64 {
+        if self.tenant == 0 {
+            self.seed
+        } else {
+            self.seed ^ derive_seed(self.tenant, TENANT_STREAM)
+        }
+    }
+
+    /// Total jobs in the campaign matrix.
+    pub fn total_jobs(&self) -> usize {
+        self.scenarios.len() * self.loss_levels.len() * self.fault_levels.len() * self.boards
+    }
+
+    /// Whether the cooperative shutdown flag has been tripped.
+    pub fn interrupted(&self) -> bool {
+        self.interrupt.load(Ordering::Relaxed)
+    }
+}
+
+/// Stream index reserved for the tenant mix — disjoint from the board/
+/// channel streams at `3b..`, the fault streams at `(1 << 63) | job` and
+/// the world streams at `(1 << 62) | base` (bit 61, and too large for any
+/// realistic `3b + 2`).
+const TENANT_STREAM: u64 = 1 << 61;
 
 /// Splitmix64-style per-job stream derivation: every `(campaign seed,
 /// stream index)` pair yields an independent seed that never depends on
@@ -227,7 +283,7 @@ impl Flyer {
 fn job_fault_plan(cfg: &CampaignConfig, job: Job) -> FaultPlan {
     if job.fault > 0.0 {
         FaultPlan::new(
-            derive_seed(cfg.seed, (1u64 << 63) | job.job_index as u64),
+            derive_seed(cfg.stream_base(), (1u64 << 63) | job.job_index as u64),
             ChaosConfig::uniform(job.fault),
         )
     } else {
@@ -248,7 +304,8 @@ fn run_board(
     payloads: Option<&[Vec<u8>]>,
     job: Job,
 ) -> (BoardOutcome, GroundStation) {
-    let board_seed = derive_seed(cfg.seed, job.base_index as u64 * 3);
+    let stream_base = cfg.stream_base();
+    let board_seed = derive_seed(stream_base, job.base_index as u64 * 3);
     let loss_cfg = LossConfig {
         drop: job.loss,
         corrupt: job.loss,
@@ -257,10 +314,12 @@ fn run_board(
         max_delay: 0,
         seed: 0,
     };
-    let mut up =
-        LossyChannel::new(loss_cfg.with_seed(derive_seed(cfg.seed, job.base_index as u64 * 3 + 1)));
-    let mut down =
-        LossyChannel::new(loss_cfg.with_seed(derive_seed(cfg.seed, job.base_index as u64 * 3 + 2)));
+    let mut up = LossyChannel::new(
+        loss_cfg.with_seed(derive_seed(stream_base, job.base_index as u64 * 3 + 1)),
+    );
+    let mut down = LossyChannel::new(
+        loss_cfg.with_seed(derive_seed(stream_base, job.base_index as u64 * 3 + 2)),
+    );
     let mut gcs = GroundStation::with_capacity(cfg.gcs_capacity);
     let chaos = job_fault_plan(cfg, job);
 
@@ -309,7 +368,7 @@ fn run_board(
     // fault rate) and disjoint from the board/channel streams at `3b..`
     // and the fault streams at `(1 << 63) | job_index`.
     let mut flyer = if cfg.physics {
-        let world_seed = derive_seed(cfg.seed, (1u64 << 62) | job.base_index as u64);
+        let world_seed = derive_seed(stream_base, (1u64 << 62) | job.base_index as u64);
         Flyer::Physics(Box::new(FlightHarness::new(
             board,
             World::new(mavr_world::Scenario::Hover, world_seed),
@@ -414,6 +473,18 @@ struct Prepared {
     payloads: Vec<Option<Vec<Vec<u8>>>>,
 }
 
+/// Per-campaign artifacts, prepared once and shared across shard runs —
+/// an opaque handle so a service running thousands of shards doesn't
+/// rebuild the firmware and re-craft the payload set per shard.
+pub struct PreparedCampaign(Prepared);
+
+impl PreparedCampaign {
+    /// Build the campaign's firmware image and per-scenario payload set.
+    pub fn new(cfg: &CampaignConfig) -> Self {
+        PreparedCampaign(prepare(cfg))
+    }
+}
+
 fn prepare(cfg: &CampaignConfig) -> Prepared {
     let fw = build(&cfg.app, &BuildOptions::vulnerable_mavr()).expect("campaign app builds");
     let ctx = AttackContext::discover(&fw.image).expect("attack discovery on campaign app");
@@ -434,32 +505,35 @@ fn prepare(cfg: &CampaignConfig) -> Prepared {
     }
 }
 
+/// The job at position `index` of the campaign matrix, computed directly
+/// from the index arithmetic (matrix order is scenario-major: scenario,
+/// then loss, then fault, then board). This is the *definition* of the job
+/// order — [`build_jobs`] materializes it, shard runners evaluate it
+/// lazily so a million-job campaign never allocates a million-entry list.
+fn job_at(cfg: &CampaignConfig, index: usize) -> Job {
+    let per_fault = cfg.boards;
+    let per_loss = cfg.fault_levels.len() * per_fault;
+    let per_scenario = cfg.loss_levels.len() * per_loss;
+    let scenario_idx = index / per_scenario;
+    let loss_idx = (index % per_scenario) / per_loss;
+    let fault_idx = (index % per_loss) / per_fault;
+    let board_index = index % per_fault;
+    Job {
+        scenario: cfg.scenarios[scenario_idx],
+        scenario_idx,
+        loss: cfg.loss_levels[loss_idx],
+        fault: cfg.fault_levels[fault_idx],
+        board_index,
+        job_index: index,
+        base_index: (scenario_idx * cfg.loss_levels.len() + loss_idx) * cfg.boards + board_index,
+    }
+}
+
 /// The campaign's full job list, in matrix (scenario-major) order. Job
 /// indices are positions in this list; seeds derive from them, so the list
 /// must be rebuilt identically on resume.
 fn build_jobs(cfg: &CampaignConfig) -> Vec<Job> {
-    let mut jobs = Vec::with_capacity(
-        cfg.scenarios.len() * cfg.loss_levels.len() * cfg.fault_levels.len() * cfg.boards,
-    );
-    for (scenario_idx, &scenario) in cfg.scenarios.iter().enumerate() {
-        for (loss_idx, &loss) in cfg.loss_levels.iter().enumerate() {
-            for &fault in &cfg.fault_levels {
-                for board_index in 0..cfg.boards {
-                    jobs.push(Job {
-                        scenario,
-                        scenario_idx,
-                        loss,
-                        fault,
-                        board_index,
-                        job_index: jobs.len(),
-                        base_index: (scenario_idx * cfg.loss_levels.len() + loss_idx) * cfg.boards
-                            + board_index,
-                    });
-                }
-            }
-        }
-    }
-    jobs
+    (0..cfg.total_jobs()).map(|i| job_at(cfg, i)).collect()
 }
 
 /// Wall-clock-throttled `campaign.progress` heartbeat emitter, shared by
@@ -535,7 +609,22 @@ impl<'a> ProgressMeter<'a> {
         } else {
             0.0
         };
-        let done = (self.done_offset + self.done.load(Ordering::Relaxed)) as u64;
+        let done_here = self.done.load(Ordering::Relaxed);
+        let done = (self.done_offset + done_here) as u64;
+        // Jobs/sec and the ETA derive from *this run's* throughput: a
+        // resume that already holds half the campaign shouldn't claim the
+        // historical average of a machine it may not be running on.
+        let jobs_per_sec = if elapsed > 0.0 {
+            done_here as f64 / elapsed
+        } else {
+            0.0
+        };
+        let remaining = self.grand_total.saturating_sub(done as usize);
+        let eta_s = if jobs_per_sec > 0.0 {
+            remaining as f64 / jobs_per_sec
+        } else {
+            0.0
+        };
         let (attacks, recoveries, bricked) = (
             self.attacks.load(Ordering::Relaxed) as u64,
             self.recoveries.load(Ordering::Relaxed) as u64,
@@ -551,22 +640,42 @@ impl<'a> ProgressMeter<'a> {
                 ("bricked", Value::U64(bricked)),
                 ("elapsed_ms", Value::F64(elapsed * 1000.0)),
                 ("boards_cycles_per_sec", Value::F64(rate)),
+                ("jobs_per_sec", Value::F64(jobs_per_sec)),
+                ("eta_s", Value::F64(eta_s)),
             ]
         });
     }
 }
 
-/// Run `jobs` (any subset of the campaign matrix) over the worker pool.
-/// Results come back positionally aligned with `jobs`, together with the
-/// merged per-worker metrics shards (each worker folds its outcomes into
-/// a private [`MetricsRegistry`]; shard merge is order-insensitive, so
-/// the merged registry is identical at any thread count).
-fn execute_jobs(
+/// Completed-but-not-yet-emitted results, keyed by position in the job
+/// batch. Workers insert out of order; the coordinator drains in order.
+struct Reorder {
+    ready: BTreeMap<usize, (BoardOutcome, GroundStation)>,
+    workers_live: usize,
+}
+
+/// Run `jobs` (any subset of the campaign matrix) over the worker pool,
+/// **streaming** each result to `sink` in batch position order as soon as
+/// its prefix is complete — the campaign never holds more finished boards
+/// in memory than the workers are ahead of the slowest job.
+///
+/// Workers claim batch positions from a shared counter, so the claimed
+/// set is always a contiguous prefix; when `cfg.interrupt` trips, workers
+/// stop claiming but finish what they hold, keeping that prefix property
+/// — which is exactly what makes a post-interrupt checkpoint valid.
+///
+/// Returns the number of jobs that ran (`< jobs.len()` only when
+/// interrupted) and the merged per-worker metrics shards (each worker
+/// folds its outcomes into a private [`MetricsRegistry`]; shard merge is
+/// order-insensitive, so the merged registry is identical at any thread
+/// count).
+fn execute_jobs_streaming(
     cfg: &CampaignConfig,
     prepared: &Prepared,
     jobs: &[Job],
     meter: &ProgressMeter<'_>,
-) -> (Vec<(BoardOutcome, GroundStation)>, MetricsRegistry) {
+    mut sink: impl FnMut(usize, BoardOutcome, GroundStation),
+) -> (usize, MetricsRegistry) {
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -574,18 +683,22 @@ fn execute_jobs(
     }
     .clamp(1, jobs.len().max(1));
 
-    // Shared-queue pool: each worker claims the next unstarted job, so a
-    // slow board never stalls the others; slot-indexed results keep the
-    // output independent of who ran what.
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<(BoardOutcome, GroundStation)>>> =
-        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let reorder = Mutex::new(Reorder {
+        ready: BTreeMap::new(),
+        workers_live: threads,
+    });
+    let ready_cond = Condvar::new();
     let shards: Mutex<Vec<MetricsRegistry>> = Mutex::new(Vec::with_capacity(threads));
+    let mut emitted = 0usize;
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| {
                 let mut shard = MetricsRegistry::new();
                 loop {
+                    if cfg.interrupted() {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(i).copied() else {
                         break;
@@ -598,10 +711,42 @@ fn execute_jobs(
                     );
                     fold_outcome_metrics(&mut shard, &result.0);
                     meter.observe(&result.0);
-                    slots.lock().expect("no poisoned worker")[i] = Some(result);
+                    reorder
+                        .lock()
+                        .expect("no poisoned queue")
+                        .ready
+                        .insert(i, result);
+                    ready_cond.notify_all();
                 }
+                let mut q = reorder.lock().expect("no poisoned queue");
+                q.workers_live -= 1;
+                drop(q);
+                ready_cond.notify_all();
                 shards.lock().expect("no poisoned shard list").push(shard);
             });
+        }
+        // In-order drain, on the caller's thread: emit result `k` only
+        // after `0..k` have been emitted. The sink runs with the queue
+        // unlocked so slow sinks (disk writes) only back-pressure, never
+        // block, the workers.
+        loop {
+            let item = {
+                let mut q = reorder.lock().expect("no poisoned queue");
+                loop {
+                    if let Some(r) = q.ready.remove(&emitted) {
+                        break Some(r);
+                    }
+                    if q.workers_live == 0 {
+                        // All claimed jobs are inserted once every worker
+                        // exits; nothing at `emitted` means nothing left.
+                        break None;
+                    }
+                    q = ready_cond.wait(q).expect("no poisoned queue");
+                }
+            };
+            let Some((outcome, gcs)) = item else { break };
+            sink(emitted, outcome, gcs);
+            emitted += 1;
         }
     });
     meter.emit(true);
@@ -611,16 +756,31 @@ fn execute_jobs(
     for shard in shards.into_inner().expect("workers done") {
         metrics.merge(&shard);
     }
-    let results = slots
-        .into_inner()
-        .expect("workers done")
-        .into_iter()
-        .map(|slot| slot.expect("every job ran"))
-        .collect();
+    (emitted, metrics)
+}
+
+/// [`execute_jobs_streaming`] with a collecting sink: results come back
+/// positionally aligned with `jobs`. The O(jobs)-memory path, used by the
+/// all-in-one [`run_campaign`] (whose report holds every outcome anyway).
+fn execute_jobs(
+    cfg: &CampaignConfig,
+    prepared: &Prepared,
+    jobs: &[Job],
+    meter: &ProgressMeter<'_>,
+) -> (Vec<(BoardOutcome, GroundStation)>, MetricsRegistry) {
+    let mut results = Vec::with_capacity(jobs.len());
+    let (emitted, metrics) =
+        execute_jobs_streaming(cfg, prepared, jobs, meter, |_, outcome, gcs| {
+            results.push((outcome, gcs));
+        });
+    debug_assert_eq!(emitted, results.len());
     (results, metrics)
 }
 
-fn summarize(cfg: &CampaignConfig) -> CampaignSummary {
+/// The report-header echo of a config — what `"config"` serializes to in
+/// the report JSON. Public so external mergers (the campaign service) can
+/// stream [`json_prelude`] without assembling a whole report.
+pub fn summarize(cfg: &CampaignConfig) -> CampaignSummary {
     CampaignSummary {
         seed: cfg.seed,
         boards: cfg.boards,
@@ -723,9 +883,21 @@ pub fn run_campaign_resume(
     }
     let prepared = prepare(cfg);
     let meter = ProgressMeter::new(cfg, done_before, jobs.len());
-    let (results, _shard_metrics) = execute_jobs(cfg, &prepared, &pending, &meter);
-    for (job, (outcome, _gcs)) in pending.iter().zip(results) {
-        checkpoint.insert_outcome(job.job_index as u64, outcome);
+    // Stream each outcome into the checkpoint as its prefix completes, so
+    // an interrupt mid-batch leaves the checkpoint holding exactly the
+    // jobs that ran — nothing in flight is lost, nothing partial is kept.
+    let (ran, _shard_metrics) =
+        execute_jobs_streaming(cfg, &prepared, &pending, &meter, |i, outcome, _gcs| {
+            checkpoint.insert_outcome(pending[i].job_index as u64, outcome);
+        });
+    if cfg.interrupted() {
+        cfg.telemetry.emit(kinds::CAMPAIGN_INTERRUPTED, None, || {
+            vec![
+                ("jobs_done", Value::U64(checkpoint.outcomes.len() as u64)),
+                ("jobs_run_now", Value::U64(ran as u64)),
+                ("jobs_total", Value::U64(jobs.len() as u64)),
+            ]
+        });
     }
     if checkpoint.outcomes.len() < jobs.len() {
         return Ok(None);
@@ -1036,5 +1208,177 @@ mod tests {
         assert!(
             run_campaign_resume(&bare, &mut Checkpoint::from_bytes(&blob).unwrap(), None).is_err()
         );
+    }
+
+    #[test]
+    fn tenants_partition_the_seed_space_without_collisions() {
+        // Tenant 0 is the identity: `stream_base` must be the raw seed, so
+        // every pre-tenant campaign result (and checkpoint fingerprint)
+        // survives unchanged.
+        let cfg = small_cfg();
+        assert_eq!(cfg.stream_base(), cfg.seed);
+
+        // Distinct tenants on the same seed get fully disjoint derived
+        // stream spaces: collect every stream this campaign would draw for
+        // 16 tenants and demand zero collisions.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut count = 0usize;
+        for tenant in 0..16u64 {
+            let base = CampaignConfig {
+                tenant,
+                ..small_cfg()
+            }
+            .stream_base();
+            for job in 0..4u64 {
+                for stream in [
+                    3 * job,
+                    3 * job + 1,
+                    3 * job + 2,
+                    (1 << 63) | job,
+                    (1 << 62) | job,
+                ] {
+                    seen.insert(derive_seed(base, stream));
+                    count += 1;
+                }
+            }
+        }
+        assert_eq!(seen.len(), count, "tenant stream derivation collided");
+
+        // And a tenant actually changes the fleet it flies.
+        let t0 = run_campaign(&cfg);
+        let t7 = run_campaign(&CampaignConfig {
+            tenant: 7,
+            ..small_cfg()
+        });
+        assert_ne!(t0.outcomes[0].board_seed, t7.outcomes[0].board_seed);
+        assert_ne!(t0.to_json(), t7.to_json());
+    }
+
+    /// Flips the campaign's interrupt flag the first time a progress
+    /// heartbeat crosses the bus — a deterministic stand-in for SIGINT
+    /// arriving mid-run.
+    struct Tripwire {
+        interrupt: Arc<AtomicBool>,
+        seen: u64,
+    }
+
+    impl telemetry::Recorder for Tripwire {
+        fn record(&mut self, event: telemetry::Event) {
+            if event.kind == kinds::CAMPAIGN_PROGRESS {
+                self.interrupt.store(true, Ordering::Relaxed);
+            }
+            self.seen += 1;
+        }
+        fn events_emitted(&self) -> u64 {
+            self.seen
+        }
+    }
+
+    #[test]
+    fn interrupt_mid_run_leaves_a_valid_checkpoint_and_resume_is_byte_identical() {
+        let uninterrupted = run_campaign(&small_cfg());
+
+        // Trip the flag from inside the run: with a zero heartbeat
+        // throttle, the first finished job interrupts the campaign.
+        let cfg = small_cfg();
+        let icfg = CampaignConfig {
+            progress_interval_ms: 0,
+            ..cfg.clone()
+        };
+        let icfg = CampaignConfig {
+            telemetry: Telemetry::new(Tripwire {
+                interrupt: Arc::clone(&icfg.interrupt),
+                seen: 0,
+            }),
+            ..icfg
+        };
+        let mut ckpt = Checkpoint::new(&icfg);
+        assert!(
+            run_campaign_resume(&icfg, &mut ckpt, None)
+                .unwrap()
+                .is_none(),
+            "an interrupted campaign reports incomplete, never a partial report"
+        );
+        let ran = ckpt.outcomes.len();
+        assert!(
+            (1..4).contains(&ran),
+            "the tripwire stops the campaign mid-flight, saw {ran}/4"
+        );
+        // Workers claim batch positions from a shared counter and finish
+        // what they claimed, so the checkpoint holds a contiguous prefix —
+        // exactly the shape a resume expects.
+        let keys: Vec<u64> = ckpt.outcomes.keys().copied().collect();
+        assert_eq!(keys, (0..ran as u64).collect::<Vec<_>>());
+
+        // Round-trip through bytes (what the SIGINT handler persists) and
+        // resume in a fresh "process" — `small_cfg()` carries a fresh,
+        // untripped interrupt flag (`cfg`'s Arc is shared with the
+        // tripwire and stays set).
+        let mut ckpt2 = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        let report = run_campaign_resume(&small_cfg(), &mut ckpt2, None)
+            .unwrap()
+            .expect("resume completes the matrix");
+        assert_eq!(report.to_json(), uninterrupted.to_json());
+
+        // A flag already set at entry stops the run before any job starts,
+        // and the (empty) checkpoint is still resumable.
+        let pre = small_cfg();
+        pre.interrupt.store(true, Ordering::Relaxed);
+        let mut empty = Checkpoint::new(&pre);
+        assert!(run_campaign_resume(&pre, &mut empty, None)
+            .unwrap()
+            .is_none());
+        assert_eq!(empty.outcomes.len(), 0);
+    }
+
+    #[test]
+    fn resumed_progress_heartbeats_count_from_the_checkpoint_and_carry_eta() {
+        // Regression guard: a resumed campaign's first heartbeat must
+        // report `done_before + 1` jobs done, not restart from 1 — and
+        // every heartbeat carries this-run throughput and an ETA.
+        let cfg = small_cfg();
+        let mut ckpt = Checkpoint::new(&cfg);
+        assert!(run_campaign_resume(&cfg, &mut ckpt, Some(2))
+            .unwrap()
+            .is_none());
+
+        let resumed = CampaignConfig {
+            telemetry: Telemetry::new(telemetry::RingRecorder::new(64)),
+            progress_interval_ms: 0,
+            threads: 1,
+            ..small_cfg()
+        };
+        run_campaign_resume(&resumed, &mut ckpt, None)
+            .unwrap()
+            .expect("resume completes the matrix");
+        resumed
+            .telemetry
+            .with_recorder::<telemetry::RingRecorder, _>(|r| {
+                let beats: Vec<_> = r
+                    .events()
+                    .filter(|e| e.kind == kinds::CAMPAIGN_PROGRESS)
+                    .collect();
+                assert!(!beats.is_empty());
+                let done_of = |e: &telemetry::Event| match e.field("jobs_done") {
+                    Some(Value::U64(n)) => *n,
+                    other => panic!("heartbeat without jobs_done: {other:?}"),
+                };
+                assert_eq!(
+                    done_of(beats[0]),
+                    3,
+                    "first resumed heartbeat counts from the checkpoint's 2 jobs"
+                );
+                for pair in beats.windows(2) {
+                    assert!(done_of(pair[0]) <= done_of(pair[1]));
+                }
+                for beat in &beats {
+                    assert!(matches!(beat.field("jobs_per_sec"), Some(Value::F64(_))));
+                    match beat.field("eta_s") {
+                        Some(Value::F64(eta)) => assert!(*eta >= 0.0),
+                        other => panic!("heartbeat without eta_s: {other:?}"),
+                    }
+                }
+            })
+            .unwrap();
     }
 }

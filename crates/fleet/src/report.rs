@@ -222,47 +222,72 @@ impl WorldCellMetrics {
 }
 
 impl CellReport {
-    fn from_outcomes(scenario: Scenario, loss: f64, fault: f64, outs: &[&BoardOutcome]) -> Self {
-        let mut latency_sketch = QuantileSketch::new();
-        for l in outs.iter().filter_map(|o| o.time_to_recovery) {
-            latency_sketch.record(l);
-        }
+    /// A zero-board cell at the given matrix coordinates — the identity
+    /// of the [`CellReport::fold`] accumulation.
+    fn empty(scenario: Scenario, loss: f64, fault: f64) -> Self {
         CellReport {
             scenario,
             loss,
             fault,
-            boards: outs.len(),
-            attack_successes: outs.iter().filter(|o| o.attack_succeeded).count(),
-            boards_recovered: outs.iter().filter(|o| o.recoveries > 0).count(),
-            recoveries_total: outs.iter().map(|o| o.recoveries as u64).sum(),
-            latency_sketch,
-            heartbeats: outs.iter().map(|o| o.heartbeats).sum(),
-            seq_gaps: outs.iter().map(|o| o.seq_gaps).sum(),
-            packets_lost: outs.iter().map(|o| o.packets_lost).sum(),
-            bad_checksums: outs.iter().map(|o| o.bad_checksums).sum(),
-            bytes_dropped: outs
-                .iter()
-                .map(|o| o.up_stats.dropped + o.down_stats.dropped)
-                .sum(),
-            bytes_corrupted: outs
-                .iter()
-                .map(|o| o.up_stats.corrupted + o.down_stats.corrupted)
-                .sum(),
-            reflash_retries: outs.iter().map(|o| o.reflash_retries).sum(),
-            degraded_boots: outs.iter().map(|o| o.degraded_boots).sum(),
-            boards_degraded: outs.iter().filter(|o| o.degraded_boots > 0).count(),
-            boards_bricked: outs.iter().filter(|o| o.bricked).count(),
-            world: outs.iter().any(|o| o.world.is_some()).then(|| {
-                let ws: Vec<WorldMetrics> = outs.iter().filter_map(|o| o.world).collect();
-                WorldCellMetrics {
-                    peak_alt_err_m: ws.iter().map(|w| w.peak_alt_err_m).fold(0.0, f64::max),
-                    boards_crashed: ws.iter().filter(|w| w.ground_impacts > 0).count(),
-                    ground_impacts: ws.iter().map(|w| u64::from(w.ground_impacts)).sum(),
-                    alt_lost_m: ws.iter().map(|w| w.alt_lost_m).sum(),
-                    recoveries_caught: ws.iter().map(|w| u64::from(w.recoveries_caught)).sum(),
-                }
-            }),
+            boards: 0,
+            attack_successes: 0,
+            boards_recovered: 0,
+            recoveries_total: 0,
+            latency_sketch: QuantileSketch::new(),
+            heartbeats: 0,
+            seq_gaps: 0,
+            packets_lost: 0,
+            bad_checksums: 0,
+            bytes_dropped: 0,
+            bytes_corrupted: 0,
+            reflash_retries: 0,
+            degraded_boots: 0,
+            boards_degraded: 0,
+            boards_bricked: 0,
+            world: None,
         }
+    }
+
+    /// Fold one outcome (which must belong to this cell's coordinates)
+    /// into the aggregate. Every field is a sum, count, max or sketch
+    /// insert, so folding outcome-by-outcome is exactly the batch
+    /// aggregation — this incrementality is what lets sharded campaigns
+    /// build their cells without ever holding the outcome list.
+    fn fold(&mut self, o: &BoardOutcome) {
+        debug_assert!(o.scenario == self.scenario && o.loss == self.loss && o.fault == self.fault);
+        if let Some(l) = o.time_to_recovery {
+            self.latency_sketch.record(l);
+        }
+        self.boards += 1;
+        self.attack_successes += usize::from(o.attack_succeeded);
+        self.boards_recovered += usize::from(o.recoveries > 0);
+        self.recoveries_total += o.recoveries as u64;
+        self.heartbeats += o.heartbeats;
+        self.seq_gaps += o.seq_gaps;
+        self.packets_lost += o.packets_lost;
+        self.bad_checksums += o.bad_checksums;
+        self.bytes_dropped += o.up_stats.dropped + o.down_stats.dropped;
+        self.bytes_corrupted += o.up_stats.corrupted + o.down_stats.corrupted;
+        self.reflash_retries += o.reflash_retries;
+        self.degraded_boots += o.degraded_boots;
+        self.boards_degraded += usize::from(o.degraded_boots > 0);
+        self.boards_bricked += usize::from(o.bricked);
+        if let Some(w) = o.world {
+            let cell = self.world.get_or_insert_with(WorldCellMetrics::default);
+            cell.peak_alt_err_m = cell.peak_alt_err_m.max(w.peak_alt_err_m);
+            cell.boards_crashed += usize::from(w.ground_impacts > 0);
+            cell.ground_impacts += u64::from(w.ground_impacts);
+            cell.alt_lost_m += w.alt_lost_m;
+            cell.recoveries_caught += u64::from(w.recoveries_caught);
+        }
+    }
+
+    fn from_outcomes(scenario: Scenario, loss: f64, fault: f64, outs: &[&BoardOutcome]) -> Self {
+        let mut cell = CellReport::empty(scenario, loss, fault);
+        for o in outs {
+            cell.fold(o);
+        }
+        cell
     }
 
     /// Mean reflash retries per board — the cell's retry-rate point on
@@ -450,6 +475,94 @@ pub fn registry_from_outcomes(outcomes: &[BoardOutcome]) -> MetricsRegistry {
     reg
 }
 
+/// Streaming campaign aggregation: the cell matrix, fleet totals and the
+/// metrics registry built one outcome at a time, in O(cells) memory —
+/// never O(boards). Folding the outcomes of K shards in job order yields
+/// exactly the state [`CampaignReport::assemble`] + [`registry_from_outcomes`]
+/// compute from the full outcome list (every constituent is a pure,
+/// incrementalizable fold), which is the memory model of the campaign
+/// service: a million-board cell costs what an 8-board cell costs.
+#[derive(Debug)]
+pub struct CampaignAggregate {
+    scenarios: Vec<Scenario>,
+    loss_levels: Vec<f64>,
+    fault_levels: Vec<f64>,
+    cells: Vec<CellReport>,
+    fleet: RouterTotals,
+    metrics: MetricsRegistry,
+}
+
+impl CampaignAggregate {
+    /// An empty aggregate over the campaign matrix, cells pre-created in
+    /// matrix (scenario-major) order.
+    pub fn new(scenarios: &[Scenario], loss_levels: &[f64], fault_levels: &[f64]) -> Self {
+        let mut cells =
+            Vec::with_capacity(scenarios.len() * loss_levels.len() * fault_levels.len());
+        for &s in scenarios {
+            for &l in loss_levels {
+                for &fr in fault_levels {
+                    cells.push(CellReport::empty(s, l, fr));
+                }
+            }
+        }
+        CampaignAggregate {
+            scenarios: scenarios.to_vec(),
+            loss_levels: loss_levels.to_vec(),
+            fault_levels: fault_levels.to_vec(),
+            cells,
+            fleet: RouterTotals::default(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Fold one outcome into its cell, the fleet totals and the metrics
+    /// registry. Fails if the outcome's coordinates aren't on the matrix
+    /// (a shard from a different campaign).
+    pub fn fold(&mut self, o: &BoardOutcome) -> Result<(), String> {
+        let s = self
+            .scenarios
+            .iter()
+            .position(|&s| s == o.scenario)
+            .ok_or_else(|| format!("outcome scenario {} not in campaign", o.scenario.name()))?;
+        let l = self
+            .loss_levels
+            .iter()
+            .position(|&l| l == o.loss)
+            .ok_or_else(|| format!("outcome loss {} not in campaign", o.loss))?;
+        let fr = self
+            .fault_levels
+            .iter()
+            .position(|&f| f == o.fault)
+            .ok_or_else(|| format!("outcome fault {} not in campaign", o.fault))?;
+        let idx = (s * self.loss_levels.len() + l) * self.fault_levels.len() + fr;
+        self.cells[idx].fold(o);
+        // Mirror of `totals_from_outcomes`, one outcome at a time.
+        self.fleet.links += 1;
+        self.fleet.packets += o.packets;
+        self.fleet.heartbeats += o.heartbeats;
+        self.fleet.bad_checksums += o.bad_checksums;
+        self.fleet.seq_gaps += o.seq_gaps;
+        self.fleet.packets_lost += o.packets_lost;
+        fold_outcome_metrics(&mut self.metrics, o);
+        Ok(())
+    }
+
+    /// Outcomes folded so far.
+    pub fn jobs(&self) -> usize {
+        self.fleet.links
+    }
+
+    /// Finish the aggregation: the cell matrix, fleet totals, and the
+    /// complete metrics registry (job-count gauge included) — exactly what
+    /// [`registry_from_outcomes`] builds from the full outcome list.
+    pub fn finish(mut self) -> (Vec<CellReport>, RouterTotals, MetricsRegistry) {
+        let jobs = self.fleet.links;
+        self.metrics
+            .set_gauge("campaign_jobs_total", &[], jobs as f64);
+        (self.cells, self.fleet, self.metrics)
+    }
+}
+
 /// The configuration echo embedded in a report. Deliberately excludes
 /// anything that may legally vary between identical campaigns (worker
 /// thread count, host, wall clock).
@@ -474,6 +587,78 @@ pub struct CampaignSummary {
     /// Whether the fleet flew in the physical world arena.
     pub physics: bool,
 }
+
+/// Everything of a [`CampaignReport::to_json`] document that precedes the
+/// board outcome lines: the campaign header, the cell matrix and the fleet
+/// totals, ending just after `"boards": [` and its newline. A writer that
+/// emits this, then each outcome as `"    " + to_json_line()` joined by
+/// `",\n"`, then [`JSON_EPILOGUE`], reproduces `to_json` byte for byte —
+/// without ever holding the outcome list.
+pub fn json_prelude(
+    config: &CampaignSummary,
+    cells: &[CellReport],
+    fleet: &RouterTotals,
+) -> String {
+    let scenarios = config
+        .scenarios
+        .iter()
+        .map(|s| format!("\"{s}\""))
+        .collect::<Vec<_>>()
+        .join(",");
+    let losses = config
+        .loss_levels
+        .iter()
+        .map(|l| format!("{l:.4}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    // Plain `Display` rather than `{:.4}`: fault rates sweep down to
+    // 1e-5 and below, which a fixed 4-decimal format would flatten
+    // to 0.0000.
+    let faults = config
+        .fault_levels
+        .iter()
+        .map(|fr| format!("{fr}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let cells = cells
+        .iter()
+        .map(|c| format!("    {}", c.to_json()))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"campaign\": {{\"seed\":{},\"boards_per_cell\":{},\
+         \"scenarios\":[{}],\"loss_levels\":[{}],\"fault_levels\":[{}],\
+         \"warmup_cycles\":{},\
+         \"attack_cycles\":{},\"app\":\"{}\"{}}},\n  \"cells\": [\n{}\n  ],\n  \
+         \"fleet\": {{\"links\":{},\"packets\":{},\"heartbeats\":{},\
+         \"bad_checksums\":{},\"seq_gaps\":{},\"packets_lost\":{}}},\n  \
+         \"boards\": [\n",
+        config.seed,
+        config.boards,
+        scenarios,
+        losses,
+        faults,
+        config.warmup_cycles,
+        config.attack_cycles,
+        config.app,
+        if config.physics {
+            ",\"physics\":true"
+        } else {
+            ""
+        },
+        cells,
+        fleet.links,
+        fleet.packets,
+        fleet.heartbeats,
+        fleet.bad_checksums,
+        fleet.seq_gaps,
+        fleet.packets_lost,
+    )
+}
+
+/// What closes a [`CampaignReport::to_json`] document after the last board
+/// line (see [`json_prelude`]).
+pub const JSON_EPILOGUE: &str = "\n  ]\n}\n";
 
 /// The complete result of a fleet campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -524,73 +709,21 @@ impl CampaignReport {
     /// The full report as pretty-stable JSON. Byte-identical for identical
     /// `(seed, boards, scenarios, loss)` campaigns, regardless of worker
     /// thread count.
+    ///
+    /// Structured as [`json_prelude`] + board lines + [`JSON_EPILOGUE`] so
+    /// the campaign service's shard merge can stream the board section to
+    /// disk one shard at a time and still produce these exact bytes.
     pub fn to_json(&self) -> String {
-        let scenarios = self
-            .config
-            .scenarios
-            .iter()
-            .map(|s| format!("\"{s}\""))
-            .collect::<Vec<_>>()
-            .join(",");
-        let losses = self
-            .config
-            .loss_levels
-            .iter()
-            .map(|l| format!("{l:.4}"))
-            .collect::<Vec<_>>()
-            .join(",");
-        // Plain `Display` rather than `{:.4}`: fault rates sweep down to
-        // 1e-5 and below, which a fixed 4-decimal format would flatten
-        // to 0.0000.
-        let faults = self
-            .config
-            .fault_levels
-            .iter()
-            .map(|fr| format!("{fr}"))
-            .collect::<Vec<_>>()
-            .join(",");
-        let cells = self
-            .cells
-            .iter()
-            .map(|c| format!("    {}", c.to_json()))
-            .collect::<Vec<_>>()
-            .join(",\n");
-        let boards = self
-            .outcomes
-            .iter()
-            .map(|o| format!("    {}", o.to_json_line()))
-            .collect::<Vec<_>>()
-            .join(",\n");
-        format!(
-            "{{\n  \"campaign\": {{\"seed\":{},\"boards_per_cell\":{},\
-             \"scenarios\":[{}],\"loss_levels\":[{}],\"fault_levels\":[{}],\
-             \"warmup_cycles\":{},\
-             \"attack_cycles\":{},\"app\":\"{}\"{}}},\n  \"cells\": [\n{}\n  ],\n  \
-             \"fleet\": {{\"links\":{},\"packets\":{},\"heartbeats\":{},\
-             \"bad_checksums\":{},\"seq_gaps\":{},\"packets_lost\":{}}},\n  \
-             \"boards\": [\n{}\n  ]\n}}\n",
-            self.config.seed,
-            self.config.boards,
-            scenarios,
-            losses,
-            faults,
-            self.config.warmup_cycles,
-            self.config.attack_cycles,
-            self.config.app,
-            if self.config.physics {
-                ",\"physics\":true"
-            } else {
-                ""
-            },
-            cells,
-            self.fleet.links,
-            self.fleet.packets,
-            self.fleet.heartbeats,
-            self.fleet.bad_checksums,
-            self.fleet.seq_gaps,
-            self.fleet.packets_lost,
-            boards,
-        )
+        let mut out = json_prelude(&self.config, &self.cells, &self.fleet);
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("    ");
+            out.push_str(&o.to_json_line());
+        }
+        out.push_str(JSON_EPILOGUE);
+        out
     }
 
     /// The campaign's metrics registry, rebuilt from the outcome list.

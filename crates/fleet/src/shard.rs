@@ -1,0 +1,407 @@
+//! Sharded campaigns: split the job space into contiguous, independently
+//! checkpointed segments, run them in any order (or on any machine), and
+//! merge the shards back into the byte-identical [`CampaignReport`] an
+//! unsharded run would have produced.
+//!
+//! Why this is sound: the campaign is a pure function of its config, each
+//! job is independent, and every aggregate the report carries — cell
+//! matrix, fleet totals, metrics registry, latency sketches — is a pure
+//! fold over the outcome list in job order. A partition of `[0, total)`
+//! into contiguous ranges concatenates back into exactly that list, so
+//! merge determinism is inherited, not engineered. The proptests in
+//! `tests/shard_props.rs` enforce it for arbitrary partitions and
+//! mid-shard resumes.
+//!
+//! Memory model: running one shard holds O(shard jobs + cells); merging
+//! streams shard-by-shard and holds O(largest shard + cells). Neither
+//! ever holds the whole campaign, which is what lets a million-board
+//! campaign run in the same RAM as an 8-board one.
+
+use crate::checkpoint::{get_outcome, put_outcome};
+use crate::report::BoardOutcome;
+use crate::{
+    config_fingerprint, summarize, totals_from_outcomes, CampaignConfig, CampaignReport, Job,
+    PreparedCampaign, ProgressMeter,
+};
+use mavr_snapshot::{Kind, Reader, SnapshotError, Writer};
+use std::collections::BTreeMap;
+use telemetry::metrics::MetricsRegistry;
+
+/// How a campaign's job space is cut into shards: contiguous ranges of at
+/// most `shard_jobs` jobs, in job order. The plan is *not* part of the
+/// config fingerprint — re-sharding a campaign never changes its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Total jobs in the campaign matrix.
+    pub total_jobs: u64,
+    /// Jobs per shard (the last shard may be shorter).
+    pub shard_jobs: u64,
+}
+
+impl ShardPlan {
+    /// The plan for `cfg` with `shard_jobs` jobs per shard (clamped to at
+    /// least 1).
+    pub fn new(cfg: &CampaignConfig, shard_jobs: u64) -> Self {
+        ShardPlan {
+            total_jobs: cfg.total_jobs() as u64,
+            shard_jobs: shard_jobs.max(1),
+        }
+    }
+
+    /// Number of shards in the plan.
+    pub fn shard_count(&self) -> u64 {
+        self.total_jobs.div_ceil(self.shard_jobs)
+    }
+
+    /// The job range `[lo, hi)` of shard `index`.
+    pub fn range(&self, index: u64) -> std::ops::Range<u64> {
+        let lo = (index * self.shard_jobs).min(self.total_jobs);
+        let hi = ((index + 1) * self.shard_jobs).min(self.total_jobs);
+        lo..hi
+    }
+}
+
+/// Persistent progress of one shard: its identity (campaign fingerprint,
+/// plan coordinates, job range) and the outcomes of the range's completed
+/// jobs. Serialized as [`Kind::ShardCheckpoint`] — a distinct wire kind
+/// from whole-campaign checkpoints, so the two can never be confused.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardCheckpoint {
+    /// [`config_fingerprint`] of the campaign this shard belongs to.
+    pub fingerprint: u64,
+    /// Position of this shard in its plan.
+    pub shard_index: u64,
+    /// Shards in the plan that produced this shard (metadata; merge
+    /// accepts any set of complete shards that partitions the job space).
+    pub shard_count: u64,
+    /// First job index of the shard's range.
+    pub job_lo: u64,
+    /// One past the last job index of the shard's range.
+    pub job_hi: u64,
+    /// Completed jobs of this range: job index → outcome.
+    pub outcomes: BTreeMap<u64, BoardOutcome>,
+}
+
+impl ShardCheckpoint {
+    /// An empty shard checkpoint for shard `index` of `plan`.
+    pub fn new(cfg: &CampaignConfig, plan: &ShardPlan, index: u64) -> Self {
+        let range = plan.range(index);
+        ShardCheckpoint {
+            fingerprint: config_fingerprint(cfg),
+            shard_index: index,
+            shard_count: plan.shard_count(),
+            job_lo: range.start,
+            job_hi: range.end,
+            outcomes: BTreeMap::new(),
+        }
+    }
+
+    /// Whether this shard belongs to `cfg`.
+    pub fn matches(&self, cfg: &CampaignConfig) -> bool {
+        self.fingerprint == config_fingerprint(cfg)
+    }
+
+    /// Jobs in the shard's range.
+    pub fn jobs(&self) -> u64 {
+        self.job_hi - self.job_lo
+    }
+
+    /// Whether every job in the range has an outcome.
+    pub fn complete(&self) -> bool {
+        self.outcomes.len() as u64 == self.jobs()
+    }
+
+    /// Record a completed job. Panics on a duplicate or out-of-range
+    /// index — both are caller bugs that would corrupt the merge.
+    pub fn insert_outcome(&mut self, job: u64, outcome: BoardOutcome) {
+        assert!(
+            (self.job_lo..self.job_hi).contains(&job),
+            "job {job} outside shard range {}..{}",
+            self.job_lo,
+            self.job_hi
+        );
+        assert!(
+            self.outcomes.insert(job, outcome).is_none(),
+            "job {job} checkpointed twice"
+        );
+    }
+
+    /// Serialize as a CRC-guarded snapshot blob ([`Kind::ShardCheckpoint`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.fingerprint);
+        w.put_u64(self.shard_index);
+        w.put_u64(self.shard_count);
+        w.put_u64(self.job_lo);
+        w.put_u64(self.job_hi);
+        w.put_u64(self.outcomes.len() as u64);
+        for (&job, outcome) in &self.outcomes {
+            w.put_u64(job);
+            put_outcome(&mut w, outcome);
+        }
+        w.finish(Kind::ShardCheckpoint)
+    }
+
+    /// Deserialize a blob written by [`ShardCheckpoint::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader::open_expecting(bytes, Kind::ShardCheckpoint)?;
+        let fingerprint = r.u64()?;
+        let shard_index = r.u64()?;
+        let shard_count = r.u64()?;
+        let job_lo = r.u64()?;
+        let job_hi = r.u64()?;
+        if job_hi < job_lo {
+            return Err(SnapshotError::Malformed(format!(
+                "shard range {job_lo}..{job_hi}"
+            )));
+        }
+        let n = r.u64()?;
+        if n > job_hi - job_lo {
+            return Err(SnapshotError::Malformed(format!(
+                "{n} outcomes in a {}-job shard",
+                job_hi - job_lo
+            )));
+        }
+        let mut outcomes = BTreeMap::new();
+        for _ in 0..n {
+            let job = r.u64()?;
+            if !(job_lo..job_hi).contains(&job) {
+                return Err(SnapshotError::Malformed(format!(
+                    "outcome for job {job} outside shard range {job_lo}..{job_hi}"
+                )));
+            }
+            if outcomes.insert(job, get_outcome(&mut r)?).is_some() {
+                return Err(SnapshotError::Malformed(format!("job {job} twice")));
+            }
+        }
+        r.done()?;
+        Ok(ShardCheckpoint {
+            fingerprint,
+            shard_index,
+            shard_count,
+            job_lo,
+            job_hi,
+            outcomes,
+        })
+    }
+}
+
+/// What one [`run_shard_resume`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRunStatus {
+    /// Jobs that ran in this call.
+    pub ran: usize,
+    /// Whether the shard's whole range is now complete.
+    pub complete: bool,
+    /// Whether the run stopped early on the config's interrupt flag.
+    pub interrupted: bool,
+}
+
+/// Run (or resume) one shard: fly the still-pending jobs of `ckpt`'s
+/// range — at most `budget_jobs` of them — folding each outcome into the
+/// checkpoint as its prefix completes and handing it to `on_outcome` (for
+/// JSONL streaming) in job order. `progress_done_offset` seeds the
+/// heartbeat counter with the jobs completed before this call, campaign-
+/// wide, so a service's progress stream counts monotonically across
+/// shards and restarts.
+///
+/// Jobs are constructed lazily from their indices — a shard run allocates
+/// O(shard jobs), never O(campaign jobs).
+pub fn run_shard_resume(
+    cfg: &CampaignConfig,
+    prepared: &PreparedCampaign,
+    ckpt: &mut ShardCheckpoint,
+    budget_jobs: Option<usize>,
+    progress_done_offset: usize,
+    mut on_outcome: impl FnMut(u64, &BoardOutcome),
+) -> Result<ShardRunStatus, String> {
+    if !ckpt.matches(cfg) {
+        return Err(format!(
+            "shard fingerprint {:#018x} does not match this campaign ({:#018x}) — \
+             refusing to mix results from different configurations",
+            ckpt.fingerprint,
+            config_fingerprint(cfg)
+        ));
+    }
+    if ckpt.job_hi > cfg.total_jobs() as u64 {
+        return Err(format!(
+            "shard range {}..{} exceeds the campaign's {} jobs",
+            ckpt.job_lo,
+            ckpt.job_hi,
+            cfg.total_jobs()
+        ));
+    }
+    let mut pending: Vec<Job> = (ckpt.job_lo..ckpt.job_hi)
+        .filter(|j| !ckpt.outcomes.contains_key(j))
+        .map(|j| crate::job_at(cfg, j as usize))
+        .collect();
+    if let Some(budget) = budget_jobs {
+        pending.truncate(budget);
+    }
+    let meter = ProgressMeter::new(cfg, progress_done_offset, cfg.total_jobs());
+    let outcomes = &mut ckpt.outcomes;
+    let (ran, _shard_metrics) =
+        crate::execute_jobs_streaming(cfg, &prepared.0, &pending, &meter, |i, outcome, _gcs| {
+            let job = pending[i].job_index as u64;
+            on_outcome(job, &outcome);
+            assert!(
+                outcomes.insert(job, outcome).is_none(),
+                "job {job} checkpointed twice"
+            );
+        });
+    Ok(ShardRunStatus {
+        ran,
+        complete: ckpt.complete(),
+        interrupted: cfg.interrupted(),
+    })
+}
+
+/// Fold complete shards back into the campaign's report and metrics —
+/// byte-identical (`to_json`, `to_prometheus`, `to_jsonl`) to an unsharded
+/// [`crate::run_campaign_with_metrics`] at any thread count.
+///
+/// Accepts the shards in any order, from any contiguous partition of the
+/// job space (they need not share a [`ShardPlan`]); fails if a shard
+/// fingerprints a different campaign, is incomplete, or the ranges do not
+/// exactly partition `[0, total_jobs)`.
+pub fn merge_shard_checkpoints(
+    cfg: &CampaignConfig,
+    mut shards: Vec<ShardCheckpoint>,
+) -> Result<(CampaignReport, MetricsRegistry), String> {
+    let fp = config_fingerprint(cfg);
+    for s in &shards {
+        if s.fingerprint != fp {
+            return Err(format!(
+                "shard {} fingerprints a different campaign ({:#018x} != {fp:#018x})",
+                s.shard_index, s.fingerprint
+            ));
+        }
+        if !s.complete() {
+            return Err(format!(
+                "shard {} is incomplete ({}/{} jobs) — finish or resume it before merging",
+                s.shard_index,
+                s.outcomes.len(),
+                s.jobs()
+            ));
+        }
+    }
+    shards.sort_by_key(|s| s.job_lo);
+    let total = cfg.total_jobs() as u64;
+    let mut expect = 0u64;
+    for s in &shards {
+        if s.job_lo != expect {
+            return Err(format!(
+                "shard ranges do not partition the job space: expected a shard starting \
+                 at {expect}, found {}..{}",
+                s.job_lo, s.job_hi
+            ));
+        }
+        expect = s.job_hi;
+    }
+    if expect != total {
+        return Err(format!(
+            "shard ranges cover {expect} of {total} jobs — missing the tail"
+        ));
+    }
+    // Shards are contiguous and sorted, so per-shard job order concatenates
+    // into the campaign's job order — the exact list the unsharded run
+    // stitches.
+    let outcomes: Vec<BoardOutcome> = shards
+        .iter()
+        .flat_map(|s| s.outcomes.values().cloned())
+        .collect();
+    let fleet = totals_from_outcomes(&outcomes);
+    let report = CampaignReport::assemble(
+        summarize(cfg),
+        fleet,
+        outcomes,
+        &cfg.scenarios,
+        &cfg.loss_levels,
+        &cfg.fault_levels,
+    );
+    let metrics = report.metrics();
+    Ok((report, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CampaignConfig {
+        CampaignConfig {
+            boards: 3,
+            scenarios: vec![crate::Scenario::Benign, crate::Scenario::V2Stealthy],
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn plan_partitions_the_job_space() {
+        let plan = ShardPlan::new(&cfg(), 4); // 6 jobs, shards of 4
+        assert_eq!(plan.shard_count(), 2);
+        assert_eq!(plan.range(0), 0..4);
+        assert_eq!(plan.range(1), 4..6);
+        assert_eq!(plan.range(2), 6..6, "past-the-end shards are empty");
+        // Degenerate request still makes progress.
+        assert_eq!(ShardPlan::new(&cfg(), 0).shard_jobs, 1);
+    }
+
+    #[test]
+    fn shard_checkpoint_round_trips_and_rejects_corruption() {
+        let cfg = cfg();
+        let plan = ShardPlan::new(&cfg, 4);
+        let mut s = ShardCheckpoint::new(&cfg, &plan, 1);
+        assert_eq!((s.job_lo, s.job_hi), (4, 6));
+        s.insert_outcome(4, crate::checkpoint::tests::sample_outcome(4));
+        let blob = s.to_bytes();
+        assert_eq!(ShardCheckpoint::from_bytes(&blob).unwrap(), s);
+        let mut bad = blob.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 1;
+        assert!(ShardCheckpoint::from_bytes(&bad).is_err());
+        // A whole-campaign checkpoint blob is a different wire kind.
+        let ckpt = crate::Checkpoint::new(&cfg);
+        assert!(matches!(
+            ShardCheckpoint::from_bytes(&ckpt.to_bytes()),
+            Err(SnapshotError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_gaps_overlaps_and_foreign_shards() {
+        let cfg = cfg();
+        let plan = ShardPlan::new(&cfg, 3); // 6 jobs → 2 shards of 3
+        let fill = |s: &mut ShardCheckpoint| {
+            for j in s.job_lo..s.job_hi {
+                s.insert_outcome(j, crate::checkpoint::tests::sample_outcome(j as usize));
+            }
+        };
+        let mut a = ShardCheckpoint::new(&cfg, &plan, 0);
+        let mut b = ShardCheckpoint::new(&cfg, &plan, 1);
+        fill(&mut a);
+        // Incomplete shard refused.
+        assert!(merge_shard_checkpoints(&cfg, vec![a.clone(), b.clone()])
+            .unwrap_err()
+            .contains("incomplete"));
+        fill(&mut b);
+        // Missing shard refused.
+        assert!(
+            merge_shard_checkpoints(&cfg, vec![a.clone()])
+                .unwrap_err()
+                .contains("partition")
+                || merge_shard_checkpoints(&cfg, vec![a.clone()])
+                    .unwrap_err()
+                    .contains("missing")
+        );
+        // Duplicate shard refused (overlap).
+        assert!(merge_shard_checkpoints(&cfg, vec![a.clone(), a.clone(), b.clone()]).is_err());
+        // Foreign fingerprint refused.
+        let other = CampaignConfig {
+            seed: 0x9999,
+            ..cfg.clone()
+        };
+        assert!(merge_shard_checkpoints(&other, vec![a, b])
+            .unwrap_err()
+            .contains("different campaign"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Shard-merge laws: cutting a campaign's job space into contiguous
+//! shards, running them in any order (with mid-shard kills, serialize/
+//! deserialize cycles, and varying thread counts along the way), and
+//! merging the shard checkpoints must reproduce the unsharded campaign —
+//! report JSON, Prometheus exposition, and JSONL metrics, byte for byte.
+//!
+//! These laws are what let the campaign service scale a campaign across
+//! checkpointed segments without ever holding the whole job space: the
+//! merged artifact is provably the one a single uninterrupted run would
+//! have written.
+
+use mavr_fleet::{
+    config_fingerprint, json_prelude, merge_shard_checkpoints, run_campaign_with_metrics,
+    run_shard_resume, summarize, BoardOutcome, CampaignAggregate, CampaignConfig, PreparedCampaign,
+    Scenario, ShardCheckpoint, JSON_EPILOGUE,
+};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// The fixed campaign the laws are tested against: 2 scenarios × 2 fault
+/// levels × 2 boards = 8 jobs, small enough to rerun per case.
+fn cfg() -> CampaignConfig {
+    CampaignConfig {
+        boards: 2,
+        scenarios: vec![Scenario::Benign, Scenario::V2Stealthy],
+        loss_levels: vec![0.01],
+        fault_levels: vec![0.0, 0.0005],
+        attack_cycles: 2_500_000,
+        ..CampaignConfig::default()
+    }
+}
+
+/// The unsharded oracle, computed once: report JSON, Prometheus text,
+/// metrics JSONL.
+fn oracle() -> &'static (String, String, String) {
+    static ORACLE: OnceLock<(String, String, String)> = OnceLock::new();
+    ORACLE.get_or_init(|| {
+        let (report, metrics) = run_campaign_with_metrics(&cfg());
+        (
+            report.to_json(),
+            metrics.to_prometheus(),
+            metrics.to_jsonl(),
+        )
+    })
+}
+
+/// Deterministic shuffle (Fisher–Yates over a splitmix64 stream) so the
+/// proptest case, not wall-clock entropy, picks the execution order.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..items.len()).rev() {
+        items.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+}
+
+/// Turn arbitrary cut points into a contiguous partition of `[0, total)`.
+fn partition(cuts: &[usize], total: u64) -> Vec<(u64, u64)> {
+    let mut bounds: Vec<u64> = cuts.iter().map(|c| (*c as u64) % (total + 1)).collect();
+    bounds.push(0);
+    bounds.push(total);
+    bounds.sort_unstable();
+    bounds
+        .windows(2)
+        .filter(|w| w[0] < w[1])
+        .map(|w| (w[0], w[1]))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any partition, any execution order, any merge order, any thread
+    /// count, with every shard killed mid-run and resumed from its wire
+    /// bytes: the merged report and metrics equal the unsharded run's.
+    #[test]
+    fn shard_merge_is_byte_identical_to_unsharded_run(
+        cuts in pvec(0usize..9, 0..4),
+        order_seed in any::<u64>(),
+        threads in 1usize..4,
+        budget in 1usize..3,
+    ) {
+        let cfg = CampaignConfig { threads, ..cfg() };
+        let total = cfg.total_jobs() as u64;
+        let ranges = partition(&cuts, total);
+
+        // Build one checkpoint per range. Ranges need not come from a
+        // uniform ShardPlan — merge only demands a partition.
+        let mut shards: Vec<ShardCheckpoint> = ranges
+            .iter()
+            .enumerate()
+            .map(|(i, &(lo, hi))| ShardCheckpoint {
+                fingerprint: config_fingerprint(&cfg),
+                shard_index: i as u64,
+                shard_count: ranges.len() as u64,
+                job_lo: lo,
+                job_hi: hi,
+                outcomes: BTreeMap::new(),
+            })
+            .collect();
+        shuffle(&mut shards, order_seed);
+
+        // Run each shard: first a budgeted slice (a mid-shard kill), then a
+        // serialize/deserialize round trip (the on-disk checkpoint), then
+        // resume to completion. Streamed outcomes must arrive in job order.
+        let prepared = PreparedCampaign::new(&cfg);
+        let mut done_campaign_wide = 0usize;
+        for shard in &mut shards {
+            let first = run_shard_resume(
+                &cfg, &prepared, shard, Some(budget), done_campaign_wide, |_, _| {},
+            ).unwrap();
+            prop_assert!(!first.interrupted);
+            prop_assert_eq!(first.ran, budget.min(shard.jobs() as usize));
+
+            *shard = ShardCheckpoint::from_bytes(&shard.to_bytes()).unwrap();
+
+            let mut streamed: Vec<u64> = Vec::new();
+            let rest = run_shard_resume(
+                &cfg, &prepared, shard, None, done_campaign_wide + first.ran,
+                |job, _| streamed.push(job),
+            ).unwrap();
+            prop_assert!(rest.complete);
+            let expected: Vec<u64> = (shard.job_lo..shard.job_hi).skip(first.ran).collect();
+            prop_assert_eq!(&streamed, &expected, "outcomes stream in job order");
+            done_campaign_wide += shard.jobs() as usize;
+        }
+
+        // Merge in a different arbitrary order.
+        shuffle(&mut shards, order_seed.wrapping_mul(0x5851_f42d_4c95_7f2d));
+        let (report, metrics) = merge_shard_checkpoints(&cfg, shards.clone()).unwrap();
+        let (json, prom, jsonl) = oracle();
+        prop_assert_eq!(&report.to_json(), json);
+        prop_assert_eq!(&metrics.to_prometheus(), prom);
+        prop_assert_eq!(&metrics.to_jsonl(), jsonl);
+
+        // The streaming merge the campaign service uses — an incremental
+        // CampaignAggregate fold plus prelude/lines/epilogue concatenation,
+        // never holding a CampaignReport — writes the same bytes.
+        shards.sort_by_key(|s| s.job_lo);
+        let mut agg = CampaignAggregate::new(&cfg.scenarios, &cfg.loss_levels, &cfg.fault_levels);
+        let mut lines: Vec<String> = Vec::new();
+        for shard in &shards {
+            for outcome in shard.outcomes.values() {
+                agg.fold(outcome).unwrap();
+                lines.push(outcome.to_json_line());
+            }
+        }
+        let (cells, fleet, agg_metrics) = agg.finish();
+        let mut streamed_json = json_prelude(&summarize(&cfg), &cells, &fleet);
+        for (i, line) in lines.iter().enumerate() {
+            if i > 0 {
+                streamed_json.push_str(",\n");
+            }
+            streamed_json.push_str("    ");
+            streamed_json.push_str(line);
+        }
+        streamed_json.push_str(JSON_EPILOGUE);
+        prop_assert_eq!(&streamed_json, json);
+        prop_assert_eq!(&agg_metrics.to_prometheus(), prom);
+        prop_assert_eq!(&agg_metrics.to_jsonl(), jsonl);
+    }
+}
+
+/// The aggregate refuses outcomes from outside the campaign matrix instead
+/// of silently misfiling them.
+#[test]
+fn aggregate_rejects_foreign_outcomes() {
+    let cfg = cfg();
+    let mut agg = CampaignAggregate::new(&cfg.scenarios, &cfg.loss_levels, &cfg.fault_levels);
+    let foreign = BoardOutcome {
+        scenario: Scenario::V3Trampoline,
+        loss: 0.01,
+        fault: 0.0,
+        ..sample()
+    };
+    assert!(agg.fold(&foreign).is_err());
+    let wrong_loss = BoardOutcome {
+        scenario: Scenario::Benign,
+        loss: 0.5,
+        fault: 0.0,
+        ..sample()
+    };
+    assert!(agg.fold(&wrong_loss).is_err());
+}
+
+fn sample() -> BoardOutcome {
+    BoardOutcome {
+        scenario: Scenario::Benign,
+        loss: 0.01,
+        fault: 0.0,
+        board_index: 0,
+        board_seed: 1,
+        attack_packets: 0,
+        attack_succeeded: false,
+        recoveries: 0,
+        reflash_retries: 0,
+        degraded_boots: 0,
+        bricked: false,
+        time_to_recovery: None,
+        final_cycle: 1,
+        heartbeats: 1,
+        packets: 1,
+        seq_gaps: 0,
+        packets_lost: 0,
+        bad_checksums: 0,
+        uav_bad_crc: 0,
+        sim_block_hits: 0,
+        sim_block_invalidations: 0,
+        sim_block_count: 0,
+        up_stats: Default::default(),
+        down_stats: Default::default(),
+        world: None,
+    }
+}

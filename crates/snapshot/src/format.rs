@@ -50,6 +50,11 @@ pub enum Kind {
     Checkpoint,
     /// A [`mavr_world::WorldState`]: the physical arena around a board.
     World,
+    /// One shard of a sharded fleet campaign: a contiguous job range and
+    /// its completed outcomes (payload owned by the `fleet` crate). Kept
+    /// distinct from [`Kind::Checkpoint`] so a shard file can never be
+    /// resumed as a whole-campaign checkpoint or vice versa.
+    ShardCheckpoint,
 }
 
 impl Kind {
@@ -60,6 +65,7 @@ impl Kind {
             Kind::Board => 3,
             Kind::Checkpoint => 4,
             Kind::World => 5,
+            Kind::ShardCheckpoint => 6,
         }
     }
 
@@ -70,6 +76,7 @@ impl Kind {
             3 => Some(Kind::Board),
             4 => Some(Kind::Checkpoint),
             5 => Some(Kind::World),
+            6 => Some(Kind::ShardCheckpoint),
             _ => None,
         }
     }

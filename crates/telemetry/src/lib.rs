@@ -60,6 +60,14 @@ pub mod kinds {
     /// place wall-clock numbers are allowed — metrics snapshots stay
     /// wall-clock-free so same-seed runs diff byte-identical.
     pub const CAMPAIGN_PROGRESS: &str = "campaign.progress";
+    /// A campaign run stopped early on a shutdown request (SIGINT/SIGTERM
+    /// or a service stop): the worker pool drained in-flight jobs and the
+    /// completed prefix was flushed to its checkpoint. Produced by the
+    /// fleet engine, consumed by the CLI and the campaign service.
+    pub const CAMPAIGN_INTERRUPTED: &str = "campaign.interrupted";
+    /// A campaign shard's checkpoint was persisted (complete or partial).
+    /// Produced by the campaign service runner.
+    pub const SHARD_FLUSHED: &str = "campaign.shard_flushed";
 }
 
 pub mod metrics;
