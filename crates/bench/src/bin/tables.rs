@@ -29,7 +29,11 @@
 //! `bench-campaignd-quick`) runs sharded campaigns spanning two orders
 //! of magnitude in size through the campaign service, records peak RSS
 //! per size to prove the service's memory is O(shard) rather than
-//! O(campaign), and rewrites `BENCH_campaignd.json`.
+//! O(campaign), and rewrites `BENCH_campaignd.json`, and `bench-robust`
+//! (or `bench-robust-quick`) measures the service's supervision
+//! machinery — kill-to-checkpointed-progress MTTR under injected disk
+//! faults, and quarantine overhead under a seeded poison-job sweep — and
+//! rewrites `BENCH_robust.json`.
 
 use mavr_bench as exp;
 use synth_firmware::{apps, build, BuildOptions};
@@ -254,6 +258,37 @@ fn main() {
         );
         let path = "BENCH_campaignd.json";
         std::fs::write(path, t.to_json()).expect("write BENCH_campaignd.json");
+        println!("  wrote {path}\n");
+    }
+
+    // Explicitly requested only (writes a file; excluded from `all`).
+    if args
+        .iter()
+        .any(|a| a == "bench-robust" || a == "bench-robust-quick")
+    {
+        let quick = args.iter().any(|a| a == "bench-robust-quick");
+        println!("== Campaign service supervision (MTTR + quarantine overhead) ==");
+        let t = exp::robust_service(quick);
+        for r in &t.recovery {
+            println!(
+                "  disk-fault rate {:>4} : MTTR {:>7.1} ms, {:>3} checkpoints skipped, \
+                 {:>3} slices to finish",
+                r.store_fault_rate, r.mttr_ms, r.checkpoints_skipped, r.slices_to_complete
+            );
+        }
+        for r in &t.quarantine {
+            println!(
+                "  panic rate {:>5} : {:>3} quarantined of {} jobs  ({:.2}s)",
+                r.panic_rate, r.quarantined, t.boards, r.secs
+            );
+        }
+        println!(
+            "  worst MTTR {:.1} ms; quarantine overhead at the top rate: {:.2}x",
+            t.worst_mttr_ms(),
+            t.quarantine_overhead()
+        );
+        let path = "BENCH_robust.json";
+        std::fs::write(path, t.to_json()).expect("write BENCH_robust.json");
         println!("  wrote {path}\n");
     }
 

@@ -649,6 +649,262 @@ pub fn campaignd_memory(quick: bool) -> CampaignServiceBench {
     }
 }
 
+/// One disk-fault-rate point of the service-recovery sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustRecoveryRow {
+    /// Probability each durable-write step (create/write/sync/rename)
+    /// misbehaves: EIO, ENOSPC, or a short write.
+    pub store_fault_rate: f64,
+    /// Milliseconds from "process gone" back to checkpointed progress:
+    /// store reopen + session rebuild (firmware relink) + a one-job
+    /// resume slice, after a run that stopped mid-campaign.
+    pub mttr_ms: f64,
+    /// Checkpoint flushes the resumed session abandoned to injected disk
+    /// faults while driving the campaign to completion (each one re-runs
+    /// its slice — degraded, never lost).
+    pub checkpoints_skipped: u64,
+    /// Resume slices the session needed to finish under this fault rate.
+    pub slices_to_complete: u64,
+}
+
+/// One sabotage-rate point of the quarantine-overhead sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustQuarantineRow {
+    /// Probability a job is a persistent panicker (seeded, per-job fate).
+    pub panic_rate: f64,
+    /// Jobs quarantined — the `quarantine.jsonl` line count after merge.
+    pub quarantined: u64,
+    /// Wall-clock seconds to run every shard and merge the report.
+    pub secs: f64,
+}
+
+/// Measured cost of the service's supervision machinery. See
+/// [`robust_service`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustServiceBench {
+    /// One row per injected disk-fault rate, clean baseline first.
+    pub recovery: Vec<RobustRecoveryRow>,
+    /// One row per sabotage panic rate, clean baseline first.
+    pub quarantine: Vec<RobustQuarantineRow>,
+    /// Boards (= jobs; one benign cell) per campaign.
+    pub boards: usize,
+    /// Cycles each board flies.
+    pub cycles_per_board: u64,
+}
+
+impl RobustServiceBench {
+    /// Slowest recovery across the fault sweep — the MTTR the CI gate
+    /// bounds.
+    pub fn worst_mttr_ms(&self) -> f64 {
+        self.recovery.iter().map(|r| r.mttr_ms).fold(0.0, f64::max)
+    }
+
+    /// Wall-clock ratio of the highest sabotage rate over the clean
+    /// baseline — what retries + quarantine cost an otherwise identical
+    /// campaign.
+    pub fn quarantine_overhead(&self) -> f64 {
+        match (self.quarantine.first(), self.quarantine.last()) {
+            (Some(a), Some(b)) if a.secs > 0.0 => b.secs / a.secs,
+            _ => 1.0,
+        }
+    }
+
+    /// The `BENCH_robust.json` payload.
+    pub fn to_json(&self) -> String {
+        let base_secs = self.quarantine.first().map_or(0.0, |r| r.secs);
+        let recovery = self
+            .recovery
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"store_fault_rate\": {}, \"mttr_ms\": {:.1}, \
+                     \"checkpoints_skipped\": {}, \"slices_to_complete\": {}}}",
+                    r.store_fault_rate, r.mttr_ms, r.checkpoints_skipped, r.slices_to_complete
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let quarantine = self
+            .quarantine
+            .iter()
+            .map(|r| {
+                let overhead = if base_secs > 0.0 {
+                    r.secs / base_secs
+                } else {
+                    1.0
+                };
+                format!(
+                    "    {{\"panic_rate\": {}, \"quarantined\": {}, \"secs\": {:.3}, \
+                     \"overhead\": {overhead:.3}}}",
+                    r.panic_rate, r.quarantined, r.secs
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"bench\": \"campaignd/robust_service\",\n  \"boards\": {},\n  \
+             \"cycles_per_board\": {},\n  \"worst_mttr_ms\": {:.1},\n  \
+             \"quarantine_overhead\": {:.3},\n  \"recovery\": [\n{}\n  ],\n  \
+             \"quarantine\": [\n{}\n  ]\n}}\n",
+            self.boards,
+            self.cycles_per_board,
+            self.worst_mttr_ms(),
+            self.quarantine_overhead(),
+            recovery,
+            quarantine
+        )
+    }
+}
+
+/// Measure the campaign service's supervision machinery end to end.
+///
+/// Two sweeps, both fully deterministic (seeded fault draws, seeded
+/// sabotage fates):
+///
+/// - **Recovery**: run half a campaign, drop the session cold (the
+///   in-process stand-in for SIGKILL — the on-disk state is identical),
+///   then time store reopen + session rebuild + a one-job resume slice.
+///   That is the service's MTTR: how long a supervisor waits between
+///   "process gone" and "campaign making checkpointed progress again".
+///   Swept across injected disk-fault rates, driving each campaign to
+///   completion to count abandoned checkpoint flushes along the way.
+/// - **Quarantine**: sweep the seeded sabotage panic rate through an
+///   otherwise identical campaign and time run + merge. Poison jobs cost
+///   their retries (bounded attempts with millisecond backoff) and a
+///   quarantine-ledger rebuild at merge; the overhead column is that cost
+///   as a ratio over the clean baseline.
+///
+/// `quick` shrinks the campaigns and drops a sweep point for CI smoke.
+pub fn robust_service(quick: bool) -> RobustServiceBench {
+    use mavr_campaignd::{merge_store, CampaignSession, CampaignSpec, CampaignStore, FaultFs};
+    use mavr_fleet::JobChaos;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    let boards = if quick { 16 } else { 64 };
+    let (warmup, flight) = (40_000u64, 60_000u64);
+    let shard_jobs = 4u64;
+    let root = std::env::temp_dir()
+        .join("mavr-robust-bench")
+        .join(std::process::id().to_string());
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("bench scratch dir");
+
+    let spec_named = |name: &str| {
+        let mut spec = CampaignSpec::named(name);
+        spec.boards = boards;
+        spec.scenarios = vec![mavr_fleet::Scenario::Benign];
+        spec.warmup_cycles = warmup;
+        spec.attack_cycles = flight;
+        spec.shard_jobs = shard_jobs;
+        spec
+    };
+    let session = |store: CampaignStore| {
+        CampaignSession::new(
+            store,
+            telemetry::Telemetry::off(),
+            Arc::new(AtomicBool::new(false)),
+        )
+        .expect("session")
+    };
+
+    let fault_rates: &[f64] = if quick {
+        &[0.0, 0.5]
+    } else {
+        &[0.0, 0.25, 0.5]
+    };
+    let recovery = fault_rates
+        .iter()
+        .map(|&rate| {
+            let name = format!("mttr-{}", (rate * 100.0) as u32);
+            let faults = if rate == 0.0 {
+                FaultFs::none()
+            } else {
+                FaultFs::seeded(0x0DD5_EED0 + (rate * 100.0) as u64, rate)
+            };
+            let store = CampaignStore::create(&root, spec_named(&name))
+                .expect("create campaign")
+                .with_faults(faults.clone());
+            // The doomed first process: half the campaign, then gone. A
+            // dropped session and a SIGKILLed one leave the same disk.
+            let doomed = session(store);
+            doomed.run(Some(boards / 2), None).expect("partial run");
+            drop(doomed);
+
+            let t0 = std::time::Instant::now();
+            let store = CampaignStore::open(&root.join(&name))
+                .expect("reopen campaign")
+                .with_faults(faults);
+            let resumed = session(store);
+            resumed.run(Some(1), None).expect("one-job resume slice");
+            let mttr_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            // Drive to completion under the same fault rate: skipped
+            // checkpoints re-run their slices, so this always converges.
+            let mut slices = 1u64;
+            loop {
+                let out = resumed.run(None, None).expect("resume slice");
+                slices += 1;
+                if out.complete {
+                    break;
+                }
+                assert!(slices < 10_000, "campaign failed to converge under faults");
+            }
+            RobustRecoveryRow {
+                store_fault_rate: rate,
+                mttr_ms,
+                checkpoints_skipped: resumed.checkpoints_skipped(),
+                slices_to_complete: slices,
+            }
+        })
+        .collect();
+
+    // Poison jobs panic on purpose (caught by the supervisor); silence
+    // the default hook so the sweep times supervision, not stderr.
+    let prior_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let panic_rates: &[f64] = if quick {
+        &[0.0, 0.1]
+    } else {
+        &[0.0, 0.05, 0.1]
+    };
+    let quarantine = panic_rates
+        .iter()
+        .map(|&rate| {
+            let name = format!("poison-{}", (rate * 1000.0) as u32);
+            let mut spec = spec_named(&name);
+            spec.sabotage = JobChaos {
+                panic_rate: rate,
+                hang_rate: 0.0,
+                flaky_rate: 0.0,
+                seed: 0x0BAD_5EED,
+            };
+            let sess = session(CampaignStore::create(&root, spec).expect("create campaign"));
+            let t0 = std::time::Instant::now();
+            let out = sess.run(None, None).expect("poison campaign");
+            assert!(out.complete, "a poisoned campaign still completes");
+            merge_store(&sess.store).expect("merge campaign");
+            let secs = t0.elapsed().as_secs_f64();
+            let quarantined = std::fs::read_to_string(sess.store.quarantine_path())
+                .map_or(0, |text| text.lines().count() as u64);
+            RobustQuarantineRow {
+                panic_rate: rate,
+                quarantined,
+                secs,
+            }
+        })
+        .collect();
+    std::panic::set_hook(prior_hook);
+
+    let _ = std::fs::remove_dir_all(&root);
+    RobustServiceBench {
+        recovery,
+        quarantine,
+        boards,
+        cycles_per_board: warmup + flight,
+    }
+}
+
 /// One fault-rate point of the chaos-resilience sweep. All counts are
 /// summed over the cell's boards.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -11,20 +11,28 @@
 //! {"op":"run","campaign":"name","max_jobs":N,"max_shards":K}
 //!                                     execute a bounded work slice
 //! {"op":"merge","campaign":"name"}    fold shards into report.json
+//! {"op":"stats"}                      service supervision counters
 //! {"op":"shutdown"}                   stop the server loop
 //! ```
 //!
 //! Every response carries `"ok"`; failures are `{"ok":false,"error":...}`
 //! — a malformed line never kills the service.
+//!
+//! [`Service`] takes `&self` everywhere: the socket server shares one
+//! instance across protocol workers and the background executor thread.
+//! Sessions sit behind a mutex, slice execution is serialized by a
+//! dedicated `exec` lock, and `status`/`submit`/`stats` never touch that
+//! lock — so the service answers `status` while a shard is mid-run.
 
+use crate::faultfs::FaultFs;
 use crate::json::Json;
 use crate::runner::{merge_store, CampaignSession};
 use crate::spec::CampaignSpec;
 use crate::store::CampaignStore;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::AtomicBool;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use telemetry::Telemetry;
 
 /// What the transport loop should do after a response.
@@ -36,12 +44,39 @@ pub enum Control {
     Shutdown,
 }
 
+/// Monotonic supervision counters, exposed by the `stats` op. All relaxed
+/// atomics — they order nothing, they only count.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Protocol requests handled (including ones answered `"ok":false`).
+    pub requests: AtomicU64,
+    /// Requests answered `"ok":false`.
+    pub errors: AtomicU64,
+    /// Connections rejected with the typed `busy` response because the
+    /// in-flight queue was full.
+    pub busy_rejected: AtomicU64,
+    /// Requests rejected for exceeding the line-size cap.
+    pub oversized: AtomicU64,
+    /// Durable writes the degradation ladder skipped (checkpoint or
+    /// finalized stream) — work re-ran instead of aborting.
+    pub checkpoint_skipped: AtomicU64,
+    /// Work slices executed.
+    pub slices: AtomicU64,
+    /// Jobs executed across all slices (re-runs included).
+    pub jobs_run: AtomicU64,
+}
+
 /// Service state: the campaign root plus cached sessions (firmware is
 /// linked once per campaign, not once per work slice).
 pub struct Service {
     root: PathBuf,
     interrupt: Arc<AtomicBool>,
-    sessions: HashMap<String, CampaignSession>,
+    sessions: Mutex<HashMap<String, Arc<CampaignSession>>>,
+    /// Serializes slice execution: one shard runs at a time no matter how
+    /// many protocol workers exist, while read-only ops bypass it.
+    exec: Mutex<()>,
+    fault_fs: FaultFs,
+    stats: ServiceStats,
 }
 
 impl Service {
@@ -50,27 +85,47 @@ impl Service {
         Service {
             root,
             interrupt,
-            sessions: HashMap::new(),
+            sessions: Mutex::new(HashMap::new()),
+            exec: Mutex::new(()),
+            fault_fs: FaultFs::none(),
+            stats: ServiceStats::default(),
         }
+    }
+
+    /// Route every store this service opens through a disk-fault injector
+    /// (chaos harnesses only; the default service never faults).
+    #[must_use]
+    pub fn with_store_faults(mut self, fault_fs: FaultFs) -> Self {
+        self.fault_fs = fault_fs;
+        self
+    }
+
+    /// The service's supervision counters.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
     }
 
     /// Handle one request line; returns the response line (no trailing
     /// newline) and what the transport should do next.
-    pub fn handle_line(&mut self, line: &str) -> (String, Control) {
+    pub fn handle_line(&self, line: &str) -> (String, Control) {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
         match self.dispatch(line) {
             Ok((json, control)) => (json.to_text(), control),
-            Err(error) => (
-                Json::Obj(vec![
-                    ("ok".into(), Json::Bool(false)),
-                    ("error".into(), Json::str(error)),
-                ])
-                .to_text(),
-                Control::Continue,
-            ),
+            Err(error) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                (
+                    Json::Obj(vec![
+                        ("ok".into(), Json::Bool(false)),
+                        ("error".into(), Json::str(error)),
+                    ])
+                    .to_text(),
+                    Control::Continue,
+                )
+            }
         }
     }
 
-    fn dispatch(&mut self, line: &str) -> Result<(Json, Control), String> {
+    fn dispatch(&self, line: &str) -> Result<(Json, Control), String> {
         let req = Json::parse(line)?;
         let op = req
             .get("op")
@@ -81,6 +136,7 @@ impl Service {
             "status" => self.op_status(&req),
             "run" => self.op_run(&req),
             "merge" => self.op_merge(&req),
+            "stats" => self.op_stats(),
             "shutdown" => Ok((
                 Json::Obj(vec![
                     ("ok".into(), Json::Bool(true)),
@@ -89,15 +145,15 @@ impl Service {
                 Control::Shutdown,
             )),
             other => Err(format!(
-                "unknown op `{other}` (submit, status, run, merge, shutdown)"
+                "unknown op `{other}` (submit, status, run, merge, stats, shutdown)"
             )),
         }
     }
 
-    fn op_submit(&mut self, req: &Json) -> Result<(Json, Control), String> {
+    fn op_submit(&self, req: &Json) -> Result<(Json, Control), String> {
         let spec_json = req.get("spec").ok_or("submit needs a `spec` object")?;
         let spec = CampaignSpec::from_json(&spec_json.to_text())?;
-        let store = CampaignStore::create(&self.root, spec)?;
+        let store = CampaignStore::create(&self.root, spec)?.with_faults(self.fault_fs.clone());
         let plan = store.plan();
         let response = Json::Obj(vec![
             ("ok".into(), Json::Bool(true)),
@@ -108,7 +164,7 @@ impl Service {
         Ok((response, Control::Continue))
     }
 
-    fn op_status(&mut self, req: &Json) -> Result<(Json, Control), String> {
+    fn op_status(&self, req: &Json) -> Result<(Json, Control), String> {
         let stores = match req.get("campaign").and_then(Json::as_str) {
             Some(name) => vec![CampaignStore::open(&self.root.join(name))?],
             None => CampaignStore::list(&self.root)?,
@@ -126,7 +182,7 @@ impl Service {
         ))
     }
 
-    fn op_run(&mut self, req: &Json) -> Result<(Json, Control), String> {
+    fn op_run(&self, req: &Json) -> Result<(Json, Control), String> {
         let name = req
             .get("campaign")
             .and_then(Json::as_str)
@@ -141,56 +197,106 @@ impl Service {
             Some(j) => Some(j.as_u64().ok_or("`max_shards` must be a u64")? as usize),
         };
         let outcome = self.run_slice(&name, budget, max_shards)?;
-        Ok((
-            Json::Obj(vec![
-                ("ok".into(), Json::Bool(true)),
-                ("campaign".into(), Json::str(name)),
-                ("jobs_run".into(), Json::num(outcome.jobs_run as u64)),
-                ("done_jobs".into(), Json::num(outcome.done_jobs)),
-                ("total_jobs".into(), Json::num(outcome.total_jobs)),
-                ("complete".into(), Json::Bool(outcome.complete)),
-                ("interrupted".into(), Json::Bool(outcome.interrupted)),
-            ]),
-            Control::Continue,
-        ))
+        let mut fields = vec![
+            ("ok".into(), Json::Bool(true)),
+            ("campaign".into(), Json::str(name)),
+            ("jobs_run".into(), Json::num(outcome.jobs_run as u64)),
+            ("done_jobs".into(), Json::num(outcome.done_jobs)),
+            ("total_jobs".into(), Json::num(outcome.total_jobs)),
+            ("complete".into(), Json::Bool(outcome.complete)),
+            ("interrupted".into(), Json::Bool(outcome.interrupted)),
+        ];
+        if outcome.checkpoints_skipped > 0 {
+            fields.push((
+                "checkpoints_skipped".into(),
+                Json::num(outcome.checkpoints_skipped),
+            ));
+        }
+        Ok((Json::Obj(fields), Control::Continue))
     }
 
-    fn op_merge(&mut self, req: &Json) -> Result<(Json, Control), String> {
+    fn op_merge(&self, req: &Json) -> Result<(Json, Control), String> {
         let name = req
             .get("campaign")
             .and_then(Json::as_str)
             .ok_or("merge needs a `campaign` name")?;
-        let store = CampaignStore::open(&self.root.join(name))?;
+        let store = CampaignStore::open(&self.root.join(name))?.with_faults(self.fault_fs.clone());
         let (report_path, _metrics) = merge_store(&store)?;
+        let mut fields = vec![
+            ("ok".into(), Json::Bool(true)),
+            ("campaign".into(), Json::str(name)),
+            (
+                "report".into(),
+                Json::str(report_path.to_string_lossy().into_owned()),
+            ),
+        ];
+        let quarantined = store.status()?.jobs_quarantined;
+        if quarantined > 0 {
+            fields.push(("quarantined".into(), Json::num(quarantined)));
+        }
+        Ok((Json::Obj(fields), Control::Continue))
+    }
+
+    fn op_stats(&self) -> Result<(Json, Control), String> {
+        let n = |c: &AtomicU64| Json::num(c.load(Ordering::Relaxed));
         Ok((
             Json::Obj(vec![
                 ("ok".into(), Json::Bool(true)),
-                ("campaign".into(), Json::str(name)),
+                ("campaignd_requests".into(), n(&self.stats.requests)),
+                ("campaignd_errors".into(), n(&self.stats.errors)),
                 (
-                    "report".into(),
-                    Json::str(report_path.to_string_lossy().into_owned()),
+                    "campaignd_busy_rejected".into(),
+                    n(&self.stats.busy_rejected),
                 ),
+                ("campaignd_oversized".into(), n(&self.stats.oversized)),
+                (
+                    "campaignd_checkpoint_skipped".into(),
+                    n(&self.stats.checkpoint_skipped),
+                ),
+                ("campaignd_slices".into(), n(&self.stats.slices)),
+                ("campaignd_jobs_run".into(), n(&self.stats.jobs_run)),
             ]),
             Control::Continue,
         ))
     }
 
     /// Run one bounded work slice of `name`, creating (and caching) its
-    /// session on first use.
+    /// session on first use. Slices from concurrent callers serialize on
+    /// the `exec` lock; everything else in the protocol stays responsive
+    /// while one runs.
     pub fn run_slice(
-        &mut self,
+        &self,
         name: &str,
         budget_jobs: Option<usize>,
         max_shards: Option<usize>,
     ) -> Result<crate::runner::RunOutcome, String> {
-        if !self.sessions.contains_key(name) {
-            let store = CampaignStore::open(&self.root.join(name))?;
-            let session =
-                CampaignSession::new(store, Telemetry::off(), Arc::clone(&self.interrupt))?;
-            self.sessions.insert(name.to_string(), session);
-        }
-        let session = self.sessions.get(name).expect("just inserted");
-        session.run(budget_jobs, max_shards)
+        let session = {
+            let mut sessions = lock(&self.sessions);
+            match sessions.get(name) {
+                Some(session) => Arc::clone(session),
+                None => {
+                    let store = CampaignStore::open(&self.root.join(name))?
+                        .with_faults(self.fault_fs.clone());
+                    let session = Arc::new(CampaignSession::new(
+                        store,
+                        Telemetry::off(),
+                        Arc::clone(&self.interrupt),
+                    )?);
+                    sessions.insert(name.to_string(), Arc::clone(&session));
+                    session
+                }
+            }
+        };
+        let _exec = lock(&self.exec);
+        let outcome = session.run(budget_jobs, max_shards)?;
+        self.stats.slices.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .jobs_run
+            .fetch_add(outcome.jobs_run as u64, Ordering::Relaxed);
+        self.stats
+            .checkpoint_skipped
+            .fetch_add(outcome.checkpoints_skipped, Ordering::Relaxed);
+        Ok(outcome)
     }
 
     /// The first campaign with unfinished jobs (service work queue, in
@@ -207,6 +313,13 @@ impl Service {
 
     /// Whether the shared interrupt flag has tripped.
     pub fn interrupted(&self) -> bool {
-        self.interrupt.load(std::sync::atomic::Ordering::Relaxed)
+        self.interrupt.load(Ordering::Relaxed)
     }
+}
+
+/// Lock a mutex, shrugging off poisoning: a panicked worker must not
+/// brick the whole service (the data under every service mutex is valid
+/// at all times — sessions are append-only, `exec` guards nothing).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }

@@ -10,14 +10,14 @@
 //! the laws behind that identity are proptested in
 //! `mavr-fleet/tests/shard_props.rs`.
 
-use crate::store::{write_file_atomic, CampaignStore};
+use crate::store::CampaignStore;
 use mavr_fleet::{
     config_fingerprint, json_prelude, run_shard_resume, summarize, CampaignAggregate,
-    CampaignConfig, PreparedCampaign, JSON_EPILOGUE,
+    CampaignConfig, PreparedCampaign, ShardCheckpoint, JSON_EPILOGUE,
 };
 use std::io::Write;
-use std::path::PathBuf;
-use std::sync::atomic::AtomicBool;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use telemetry::metrics::MetricsRegistry;
 use telemetry::{kinds, Telemetry, Value};
@@ -32,6 +32,9 @@ pub struct CampaignSession {
     /// Engine config derived from the spec.
     pub cfg: CampaignConfig,
     prepared: PreparedCampaign,
+    /// Checkpoint flushes abandoned after the store's bounded retries —
+    /// the `campaignd_checkpoint_skipped` metric, cumulative per session.
+    checkpoints_skipped: AtomicU64,
 }
 
 /// What one work slice did.
@@ -47,6 +50,10 @@ pub struct RunOutcome {
     pub complete: bool,
     /// Whether the slice stopped on the interrupt flag.
     pub interrupted: bool,
+    /// Checkpoint flushes this slice abandoned (disk faults that survived
+    /// every retry). Nonzero means some executed work is not yet durable
+    /// and will re-run — degraded, never lost or corrupted.
+    pub checkpoints_skipped: u64,
 }
 
 impl CampaignSession {
@@ -65,7 +72,14 @@ impl CampaignSession {
             store,
             cfg,
             prepared,
+            checkpoints_skipped: AtomicU64::new(0),
         })
+    }
+
+    /// Checkpoint flushes this session has abandoned to disk faults,
+    /// across all slices.
+    pub fn checkpoints_skipped(&self) -> u64 {
+        self.checkpoints_skipped.load(Ordering::Relaxed)
     }
 
     /// Run a work slice: up to `budget_jobs` jobs across up to
@@ -87,11 +101,21 @@ impl CampaignSession {
         let mut shards_touched = 0usize;
         let mut interrupted = false;
         let mut stopped = false;
+        let mut slice_skips = 0u64;
 
         for index in 0..plan.shard_count() {
             let mut shard = self.store.load_shard(&self.cfg, index)?;
             if shard.complete() {
                 done_jobs += shard.outcomes.len() as u64;
+                // Heal a kill (or skipped write) that landed between the
+                // checkpoint flush and the finalized-stream rename: the
+                // checkpoint is complete but the .jsonl never made it.
+                if !self.store.outcomes_path(index).is_file() {
+                    if let Err(e) = self.finalize_shard(index, &shard) {
+                        slice_skips += 1;
+                        self.skip_durable_write(index, e);
+                    }
+                }
                 continue;
             }
             if stopped
@@ -106,6 +130,10 @@ impl CampaignSession {
 
             let done_before = shard.outcomes.len() as u64;
             let part_path = self.store.outcomes_part_path(index);
+            // A kill mid-write can tear the stream's final line. Drop any
+            // torn tail before appending — the torn job was never
+            // checkpointed, so it simply re-runs below.
+            repair_part_tail(&part_path)?;
             let part = std::fs::OpenOptions::new()
                 .create(true)
                 .append(true)
@@ -133,32 +161,38 @@ impl CampaignSession {
             }
 
             // The checkpoint is the authority; flush it atomically before
-            // declaring any progress durable.
-            self.store.save_shard(&shard)?;
-            self.cfg.telemetry.emit(kinds::SHARD_FLUSHED, None, || {
-                vec![
-                    ("shard", Value::U64(shard.shard_index)),
-                    ("jobs_done", Value::U64(shard.outcomes.len() as u64)),
-                    ("jobs_total", Value::U64(shard.jobs())),
-                    ("complete", Value::Bool(status.complete)),
-                ]
-            });
-
-            if status.complete {
-                // Rebuild the finalized stream from the checkpoint (in job
-                // order) so resumed shards still finalize to exactly one
-                // line per job, then drop the advisory .part file.
-                let mut finalized = String::new();
-                for outcome in shard.outcomes.values() {
-                    finalized.push_str(&outcome.to_json_line());
-                    finalized.push('\n');
+            // declaring any progress durable. If the disk refuses even
+            // after the store's bounded retries, degrade instead of
+            // aborting: skip this checkpoint — the slice's work stays in
+            // the matrix and re-runs after a restart — and keep the
+            // campaign moving.
+            match self.store.save_shard(&shard) {
+                Ok(()) => {
+                    self.cfg.telemetry.emit(kinds::SHARD_FLUSHED, None, || {
+                        vec![
+                            ("shard", Value::U64(shard.shard_index)),
+                            ("jobs_done", Value::U64(shard.outcomes.len() as u64)),
+                            ("jobs_total", Value::U64(shard.jobs())),
+                            ("complete", Value::Bool(status.complete)),
+                        ]
+                    });
+                    if status.complete {
+                        if let Err(e) = self.finalize_shard(index, &shard) {
+                            slice_skips += 1;
+                            self.skip_durable_write(index, e);
+                        }
+                    }
+                    done_jobs += done_before + status.ran as u64;
                 }
-                write_file_atomic(&self.store.outcomes_path(index), finalized.as_bytes())?;
-                let _ = std::fs::remove_file(&part_path);
+                Err(e) => {
+                    slice_skips += 1;
+                    self.skip_durable_write(index, e);
+                    // Only previously checkpointed jobs count as done.
+                    done_jobs += done_before;
+                }
             }
 
             jobs_run += status.ran;
-            done_jobs += done_before + status.ran as u64;
             shards_touched += 1;
             if let Some(b) = budget.as_mut() {
                 *b = b.saturating_sub(status.ran);
@@ -169,6 +203,11 @@ impl CampaignSession {
             }
         }
 
+        // A tripped flag is an interruption no matter where the stop was
+        // detected — mid-shard (run_shard_resume reports it) or between
+        // shards (only the loop guard saw it).
+        let complete = done_jobs == plan.total_jobs;
+        let interrupted = !complete && (interrupted || self.cfg.interrupted());
         if interrupted {
             self.cfg
                 .telemetry
@@ -183,9 +222,82 @@ impl CampaignSession {
             jobs_run,
             done_jobs,
             total_jobs: plan.total_jobs,
-            complete: done_jobs == plan.total_jobs,
+            complete,
             interrupted,
+            checkpoints_skipped: slice_skips,
         })
+    }
+
+    /// Rebuild the finalized outcome stream from the checkpoint (in job
+    /// order) so resumed shards still finalize to exactly one line per
+    /// job, then drop the advisory `.part` file.
+    fn finalize_shard(&self, index: u64, shard: &ShardCheckpoint) -> Result<(), String> {
+        let mut finalized = String::new();
+        for outcome in shard.outcomes.values() {
+            finalized.push_str(&outcome.to_json_line());
+            finalized.push('\n');
+        }
+        self.store
+            .write_durable(&self.store.outcomes_path(index), finalized.as_bytes())?;
+        let _ = std::fs::remove_file(self.store.outcomes_part_path(index));
+        Ok(())
+    }
+
+    /// Record a durable write abandoned after the store's retries: bump
+    /// the session counter and emit the telemetry event. The campaign
+    /// keeps running; the skipped work re-runs on a later slice.
+    fn skip_durable_write(&self, shard_index: u64, error: String) {
+        self.checkpoints_skipped.fetch_add(1, Ordering::Relaxed);
+        self.cfg
+            .telemetry
+            .emit(kinds::CHECKPOINT_SKIPPED, None, || {
+                vec![
+                    ("shard", Value::U64(shard_index)),
+                    ("error", Value::Str(error)),
+                ]
+            });
+    }
+}
+
+/// Truncate a `.part` outcome stream after its last intact line, so a
+/// stream torn by a mid-write kill appends cleanly on resume instead of
+/// surfacing as a parse error downstream. Missing file = nothing to do.
+fn repair_part_tail(path: &Path) -> Result<(), String> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(_) => return Ok(()),
+    };
+    let keep = intact_prefix(&bytes);
+    if keep == bytes.len() {
+        return Ok(());
+    }
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| format!("repair {}: {e}", path.display()))?;
+    f.set_len(keep as u64)
+        .map_err(|e| format!("repair {}: {e}", path.display()))?;
+    Ok(())
+}
+
+/// Length of the longest prefix of `bytes` ending in a newline-terminated
+/// JSON object line. Walks back one line at a time: an unterminated tail
+/// is dropped, and so is a terminated-but-torn line (a kill can land a
+/// flushed prefix right before another writer's newline).
+fn intact_prefix(bytes: &[u8]) -> usize {
+    let mut end = bytes.len();
+    loop {
+        let Some(nl) = bytes[..end].iter().rposition(|&b| b == b'\n') else {
+            return 0;
+        };
+        let start = bytes[..nl]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1);
+        if nl > start && bytes[start] == b'{' && bytes[nl - 1] == b'}' {
+            return nl + 1;
+        }
+        end = start;
     }
 }
 
@@ -199,13 +311,22 @@ pub fn merge_store(store: &CampaignStore) -> Result<(PathBuf, MetricsRegistry), 
     let plan = store.plan();
     let fingerprint = config_fingerprint(&cfg);
 
-    // Pass 1: validate and fold every aggregate.
+    // Pass 1: validate and fold every aggregate. Quarantined jobs are
+    // collected for the explicit ledger — they are *also* folded into the
+    // report like any other outcome, so totals never silently shrink.
     let mut agg = CampaignAggregate::new(&cfg.scenarios, &cfg.loss_levels, &cfg.fault_levels);
     let mut expect = 0u64;
+    let mut quarantine = String::new();
+    let mut quarantined = 0u64;
     for index in 0..plan.shard_count() {
         let shard = self_check(store.load_shard(&cfg, index)?, fingerprint, index, expect)?;
         expect = shard.job_hi;
-        for outcome in shard.outcomes.values() {
+        for (job, outcome) in &shard.outcomes {
+            if outcome.failure.is_some() {
+                let line = outcome.to_json_line();
+                quarantine.push_str(&format!("{{\"job\":{job},{}\n", &line[1..]));
+                quarantined += 1;
+            }
             agg.fold(outcome)?;
         }
     }
@@ -242,6 +363,16 @@ pub fn merge_store(store: &CampaignStore) -> Result<(PathBuf, MetricsRegistry), 
     drop(f);
     std::fs::rename(&tmp, &report_path)
         .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), report_path.display()))?;
+
+    // The quarantine ledger is rebuilt wholesale from the checkpoints on
+    // every merge, so each quarantined job appears exactly once no matter
+    // how many times the campaign is merged. No failures → no file.
+    let quarantine_path = store.quarantine_path();
+    if quarantined == 0 {
+        let _ = std::fs::remove_file(&quarantine_path);
+    } else {
+        store.write_durable(&quarantine_path, quarantine.as_bytes())?;
+    }
     Ok((report_path, metrics))
 }
 

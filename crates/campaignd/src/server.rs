@@ -1,50 +1,223 @@
 //! Transports for the control protocol: stdio (pipes, tests, CI) and a
-//! Unix domain socket (long-running service).
+//! multi-worker Unix domain socket server (long-running service).
 //!
-//! Both speak the same line protocol ([`crate::proto`]). The socket server
-//! additionally *does work while idle*: between accept polls it runs one
-//! shard-bounded slice of the first unfinished campaign, so submitted
-//! campaigns make progress without any client attached, while the server
-//! stays responsive at shard granularity. On interrupt (SIGINT/SIGTERM via
-//! [`crate::signal::install`]) the in-flight slice flushes its checkpoint
-//! and the loop exits cleanly.
+//! Both speak the same line protocol ([`crate::proto`]) with the same
+//! guardrails: a request line longer than [`ServeOptions::max_line`] gets
+//! a typed error (and the connection stays open), and a malformed line
+//! never kills the service. The socket server adds supervision: a pool of
+//! protocol workers drains a *bounded* connection queue (overflow gets a
+//! typed `busy` response instead of an unbounded backlog), every
+//! connection carries a wall-clock deadline so an idle client cannot pin
+//! a worker, and a dedicated executor thread runs pending campaign
+//! shards the whole time — `status` answers mid-shard. On interrupt
+//! (SIGINT/SIGTERM via [`crate::signal::install`]) the in-flight slice
+//! flushes its checkpoint and every thread exits cleanly.
 
 use crate::proto::{Control, Service};
+use std::collections::VecDeque;
 use std::io::{BufRead, Write};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Default cap on one request line; far above any legitimate spec, far
+/// below anything that could pressure memory.
+pub const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// Socket-server tuning knobs. The defaults suit a local workstation
+/// service; tests shrink them to force the guardrails to fire.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Protocol worker threads draining the connection queue.
+    pub workers: usize,
+    /// Connections allowed in flight (queued + being served) before new
+    /// ones get the typed `busy` response.
+    pub queue_depth: usize,
+    /// Wall-clock budget per connection.
+    pub conn_deadline: Duration,
+    /// Request-line size cap in bytes.
+    pub max_line: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 2,
+            queue_depth: 16,
+            conn_deadline: Duration::from_secs(10),
+            max_line: MAX_REQUEST_BYTES,
+        }
+    }
+}
 
 /// Serve the protocol over arbitrary line streams (stdio in production,
 /// strings in tests). Returns when the input ends or a `shutdown` request
 /// arrives. No background work runs in this mode — drive execution with
 /// explicit `run` requests.
 pub fn serve_lines(
-    service: &mut Service,
+    service: &Service,
     input: impl BufRead,
     mut output: impl Write,
 ) -> Result<(), String> {
-    for line in input.lines() {
-        let line = line.map_err(|e| format!("read request: {e}"))?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, control) = service.handle_line(&line);
-        writeln!(output, "{response}").map_err(|e| format!("write response: {e}"))?;
-        output.flush().map_err(|e| format!("flush response: {e}"))?;
-        if control == Control::Shutdown {
-            break;
-        }
-    }
-    Ok(())
+    serve_stream(service, input, &mut output, MAX_REQUEST_BYTES, None).map(|_| ())
 }
 
-/// Serve the protocol on a Unix domain socket at `path`, running pending
-/// campaign work (one shard per idle poll) between connections. Returns
-/// on `shutdown` or when the service's interrupt flag trips.
+/// One typed error line, matching [`Service::handle_line`]'s shape.
+fn error_line(error: &str) -> String {
+    use crate::json::Json;
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::str(error)),
+    ])
+    .to_text()
+}
+
+/// Drive one request/response stream to completion: bounded line reads,
+/// optional wall deadline, timeouts treated as polls. The shared engine
+/// behind both `serve_lines` and each socket connection.
+fn serve_stream(
+    service: &Service,
+    mut reader: impl BufRead,
+    writer: &mut impl Write,
+    max_line: usize,
+    deadline: Option<Instant>,
+) -> Result<Control, String> {
+    let wfail = |e: std::io::Error| format!("write response: {e}");
+    let mut buf: Vec<u8> = Vec::new();
+    // Once a line overflows the cap we answer immediately and discard the
+    // rest of it, so the *next* line parses cleanly.
+    let mut skipping = false;
+    loop {
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            writeln!(writer, "{}", error_line("connection deadline exceeded")).map_err(wfail)?;
+            return Ok(Control::Continue);
+        }
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // poll: re-check the deadline, then read again
+            }
+            Err(e) => return Err(format!("read request: {e}")),
+        };
+        if chunk.is_empty() {
+            return Ok(Control::Continue); // EOF
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !skipping {
+                    buf.extend_from_slice(&chunk[..pos]);
+                }
+                reader.consume(pos + 1);
+                let oversized = !skipping && buf.len() > max_line;
+                let done = std::mem::take(&mut buf);
+                let was_skipping = std::mem::take(&mut skipping);
+                if was_skipping {
+                    continue; // tail of an already-reported oversized line
+                }
+                if oversized {
+                    service.stats().oversized.fetch_add(1, Ordering::Relaxed);
+                    writeln!(
+                        writer,
+                        "{}",
+                        error_line(&format!("request exceeds {max_line} bytes"))
+                    )
+                    .map_err(wfail)?;
+                    continue;
+                }
+                let line = String::from_utf8_lossy(&done);
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let (response, control) = service.handle_line(line);
+                writeln!(writer, "{response}").map_err(wfail)?;
+                writer.flush().map_err(|e| format!("flush response: {e}"))?;
+                if control == Control::Shutdown {
+                    return Ok(Control::Shutdown);
+                }
+            }
+            None => {
+                let n = chunk.len();
+                if !skipping {
+                    buf.extend_from_slice(chunk);
+                    if buf.len() > max_line {
+                        skipping = true;
+                        buf.clear();
+                        service.stats().oversized.fetch_add(1, Ordering::Relaxed);
+                        writeln!(
+                            writer,
+                            "{}",
+                            error_line(&format!("request exceeds {max_line} bytes"))
+                        )
+                        .map_err(wfail)?;
+                    }
+                }
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// The bounded hand-off between the accept loop and protocol workers.
+struct ConnQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    ready: Condvar,
+}
+
+impl<T> ConnQueue<T> {
+    fn new() -> Self {
+        ConnQueue {
+            inner: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueue unless the queue holds `depth` connections already; a full
+    /// queue hands the connection back for the `busy` rejection.
+    fn try_push(&self, item: T, depth: usize) -> Result<(), T> {
+        let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.len() >= depth {
+            return Err(item);
+        }
+        q.push_back(item);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, or None once `stop` is set and the queue has drained.
+    fn pop(&self, stop: &AtomicBool) -> Option<T> {
+        let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(item) = q.pop_front() {
+                return Some(item);
+            }
+            if stop.load(Ordering::Relaxed) {
+                return None;
+            }
+            q = self
+                .ready
+                .wait_timeout(q, Duration::from_millis(100))
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+}
+
+/// Serve the protocol on a Unix domain socket at `path`. Protocol workers
+/// drain the bounded connection queue while a dedicated executor thread
+/// runs pending campaign work one shard at a time. Returns on `shutdown`
+/// or when the service's interrupt flag trips.
 #[cfg(unix)]
 pub fn serve_socket(
-    service: &mut Service,
+    service: &Service,
     path: &std::path::Path,
-    mut log: impl Write,
+    log: impl Write + Send,
+    opts: &ServeOptions,
 ) -> Result<(), String> {
     use std::os::unix::net::UnixListener;
 
@@ -55,68 +228,142 @@ pub fn serve_socket(
     listener
         .set_nonblocking(true)
         .map_err(|e| format!("nonblocking listener: {e}"))?;
-    let _ = writeln!(log, "campaignd: serving on {}", path.display());
+    let log = Mutex::new(log);
+    logln(
+        &log,
+        format_args!("campaignd: serving on {}", path.display()),
+    );
 
-    let mut shutdown = false;
-    while !shutdown && !service.interrupted() {
-        match listener.accept() {
-            Ok((stream, _addr)) => {
-                stream
-                    .set_nonblocking(false)
-                    .map_err(|e| format!("stream mode: {e}"))?;
-                // An idle client must not wedge the service forever.
-                stream
-                    .set_read_timeout(Some(Duration::from_secs(10)))
-                    .map_err(|e| format!("read timeout: {e}"))?;
-                let mut writer = stream
-                    .try_clone()
-                    .map_err(|e| format!("clone stream: {e}"))?;
-                let reader = std::io::BufReader::new(stream);
-                for line in reader.lines() {
-                    let Ok(line) = line else { break };
-                    if line.trim().is_empty() {
-                        continue;
-                    }
-                    let (response, control) = service.handle_line(&line);
-                    if writeln!(writer, "{response}").is_err() {
-                        break;
-                    }
-                    if control == Control::Shutdown {
-                        shutdown = true;
-                        break;
+    let stop = AtomicBool::new(false);
+    let queue = ConnQueue::new();
+    let mut accept_err = None;
+
+    std::thread::scope(|scope| {
+        for _ in 0..opts.workers.max(1) {
+            scope.spawn(|| worker_loop(service, &queue, opts, &stop));
+        }
+        scope.spawn(|| executor_loop(service, &stop, &log));
+
+        while !stop.load(Ordering::Relaxed) && !service.interrupted() {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    if let Err(mut stream) = queue.try_push(stream, opts.queue_depth) {
+                        // Typed rejection, then hang up: better a loud
+                        // `busy` now than an unbounded backlog wedging
+                        // every client later.
+                        service
+                            .stats()
+                            .busy_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.set_nonblocking(false);
+                        let _ = writeln!(stream, "{}", error_line("busy"));
                     }
                 }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                // Idle: advance the first unfinished campaign by one shard.
-                match service.pending_campaign()? {
-                    Some(name) => {
-                        let outcome = service.run_slice(&name, None, Some(1))?;
-                        let _ = writeln!(
-                            log,
-                            "campaignd: {name} {}/{} jobs{}",
-                            outcome.done_jobs,
-                            outcome.total_jobs,
-                            if outcome.complete { " (complete)" } else { "" },
-                        );
-                    }
-                    None => std::thread::sleep(Duration::from_millis(25)),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => {
+                    accept_err = Some(format!("accept: {e}"));
+                    break;
                 }
             }
-            Err(e) => return Err(format!("accept: {e}")),
+        }
+        stop.store(true, Ordering::Relaxed);
+        queue.ready.notify_all();
+    });
+
+    let _ = std::fs::remove_file(path);
+    logln(
+        &log,
+        format_args!(
+            "campaignd: stopped{}",
+            if service.interrupted() {
+                " (interrupted; checkpoints flushed)"
+            } else {
+                ""
+            }
+        ),
+    );
+    accept_err.map_or(Ok(()), Err)
+}
+
+#[cfg(unix)]
+fn logln(log: &Mutex<impl Write>, args: std::fmt::Arguments<'_>) {
+    let mut log = log.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = writeln!(log, "{args}");
+}
+
+/// One protocol worker: serve queued connections until `stop`.
+#[cfg(unix)]
+fn worker_loop(
+    service: &Service,
+    queue: &ConnQueue<std::os::unix::net::UnixStream>,
+    opts: &ServeOptions,
+    stop: &AtomicBool,
+) {
+    while let Some(stream) = queue.pop(stop) {
+        if serve_connection(service, stream, opts) == Control::Shutdown {
+            stop.store(true, Ordering::Relaxed);
+            queue.ready.notify_all();
         }
     }
-    let _ = std::fs::remove_file(path);
-    let _ = writeln!(
-        log,
-        "campaignd: stopped{}",
-        if service.interrupted() {
-            " (interrupted; checkpoints flushed)"
-        } else {
-            ""
+}
+
+/// Serve one connection under the per-connection deadline. Client-side
+/// failures (hangup, dead socket) end the connection, never the server.
+#[cfg(unix)]
+fn serve_connection(
+    service: &Service,
+    stream: std::os::unix::net::UnixStream,
+    opts: &ServeOptions,
+) -> Control {
+    if stream.set_nonblocking(false).is_err() {
+        return Control::Continue;
+    }
+    // Short read timeouts turn a silent client into deadline polls.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let Ok(mut writer) = stream.try_clone() else {
+        return Control::Continue;
+    };
+    let reader = std::io::BufReader::new(stream);
+    let deadline = Instant::now() + opts.conn_deadline;
+    serve_stream(service, reader, &mut writer, opts.max_line, Some(deadline))
+        .unwrap_or(Control::Continue)
+}
+
+/// The background executor: advance the first unfinished campaign one
+/// shard at a time, forever, independent of protocol traffic.
+#[cfg(unix)]
+fn executor_loop(service: &Service, stop: &AtomicBool, log: &Mutex<impl Write>) {
+    while !stop.load(Ordering::Relaxed) && !service.interrupted() {
+        match service.pending_campaign() {
+            Ok(Some(name)) => match service.run_slice(&name, None, Some(1)) {
+                Ok(outcome) => logln(
+                    log,
+                    format_args!(
+                        "campaignd: {name} {}/{} jobs{}{}",
+                        outcome.done_jobs,
+                        outcome.total_jobs,
+                        if outcome.complete { " (complete)" } else { "" },
+                        if outcome.checkpoints_skipped > 0 {
+                            " (checkpoint skipped; will re-run)"
+                        } else {
+                            ""
+                        },
+                    ),
+                ),
+                Err(e) => {
+                    logln(log, format_args!("campaignd: {name}: {e}"));
+                    std::thread::sleep(Duration::from_millis(250));
+                }
+            },
+            Ok(None) => std::thread::sleep(Duration::from_millis(25)),
+            Err(e) => {
+                logln(log, format_args!("campaignd: scan: {e}"));
+                std::thread::sleep(Duration::from_millis(250));
+            }
         }
-    );
-    Ok(())
+    }
 }
 
 /// Send one request line to a campaign service socket and return its

@@ -8,7 +8,7 @@
 //! from `spec.json` after a crash builds the identical campaign.
 
 use crate::json::Json;
-use mavr_fleet::{CampaignConfig, Scenario};
+use mavr_fleet::{CampaignConfig, JobChaos, Scenario};
 
 /// A parsed campaign specification.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +41,10 @@ pub struct CampaignSpec {
     /// Jobs per shard checkpoint. Never affects results — re-sharding a
     /// campaign merges to the same bytes.
     pub shard_jobs: u64,
+    /// Seeded job-sabotage plan (chaos harnesses only). Excluded from the
+    /// config fingerprint, so a sabotaged campaign checkpoints as the
+    /// *same* campaign its clean twin does.
+    pub sabotage: JobChaos,
 }
 
 impl CampaignSpec {
@@ -61,6 +65,7 @@ impl CampaignSpec {
             physics: false,
             threads: 0,
             shard_jobs: 1024,
+            sabotage: JobChaos::none(),
         }
     }
 
@@ -144,6 +149,20 @@ impl CampaignSpec {
         spec.threads = u64_field("threads", spec.threads as u64)? as usize;
         spec.shard_jobs = u64_field("shard_jobs", spec.shard_jobs)?.max(1);
 
+        let prob_field = |key: &str| -> Result<f64, String> {
+            match v.get(key) {
+                None => Ok(0.0),
+                Some(j) => j
+                    .as_f64()
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .ok_or(format!("`{key}` must be a probability in 0..=1")),
+            }
+        };
+        spec.sabotage.panic_rate = prob_field("sabotage_panic")?;
+        spec.sabotage.hang_rate = prob_field("sabotage_hang")?;
+        spec.sabotage.flaky_rate = prob_field("sabotage_flaky")?;
+        spec.sabotage.seed = u64_field("sabotage_seed", 0)?;
+
         const KNOWN: &[&str] = &[
             "name",
             "seed",
@@ -158,6 +177,10 @@ impl CampaignSpec {
             "physics",
             "threads",
             "shard_jobs",
+            "sabotage_panic",
+            "sabotage_hang",
+            "sabotage_flaky",
+            "sabotage_seed",
         ];
         for (key, _) in fields {
             if !KNOWN.contains(&key.as_str()) {
@@ -175,7 +198,7 @@ impl CampaignSpec {
     /// Canonical single-line JSON (every field explicit, fixed order) —
     /// what the service persists as `spec.json`.
     pub fn to_json(&self) -> String {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("name".into(), Json::str(&self.name)),
             ("seed".into(), Json::num(self.seed)),
             ("boards".into(), Json::num(self.boards as u64)),
@@ -198,8 +221,22 @@ impl CampaignSpec {
             ("physics".into(), Json::Bool(self.physics)),
             ("threads".into(), Json::num(self.threads as u64)),
             ("shard_jobs".into(), Json::num(self.shard_jobs)),
-        ])
-        .to_text()
+        ];
+        // Sabotage keys appear only when armed, so fault-free specs render
+        // byte-identically to specs written before job supervision existed.
+        if !self.sabotage.is_none() {
+            fields.push((
+                "sabotage_panic".into(),
+                Json::float(self.sabotage.panic_rate),
+            ));
+            fields.push(("sabotage_hang".into(), Json::float(self.sabotage.hang_rate)));
+            fields.push((
+                "sabotage_flaky".into(),
+                Json::float(self.sabotage.flaky_rate),
+            ));
+            fields.push(("sabotage_seed".into(), Json::num(self.sabotage.seed)));
+        }
+        Json::Obj(fields).to_text()
     }
 
     /// The engine config this spec describes. Telemetry and the interrupt
@@ -222,6 +259,7 @@ impl CampaignSpec {
             app,
             physics: self.physics,
             tenant: self.tenant,
+            sabotage: self.sabotage,
             ..CampaignConfig::default()
         })
     }
@@ -266,6 +304,26 @@ mod tests {
     }
 
     #[test]
+    fn sabotage_keys_round_trip_and_stay_out_of_clean_specs() {
+        let clean = CampaignSpec::named("clean");
+        assert!(
+            !clean.to_json().contains("sabotage"),
+            "the inert plan renders no keys — clean specs stay byte-stable"
+        );
+
+        let text = r#"{"name": "chaos", "sabotage_panic": 0.25,
+                       "sabotage_flaky": 0.5, "sabotage_seed": 99}"#;
+        let spec = CampaignSpec::from_json(text).unwrap();
+        assert_eq!(spec.sabotage.panic_rate, 0.25);
+        assert_eq!(spec.sabotage.hang_rate, 0.0);
+        assert_eq!(spec.sabotage.flaky_rate, 0.5);
+        assert_eq!(spec.sabotage.seed, 99);
+        let rt = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(rt, spec);
+        assert_eq!(spec.to_config().unwrap().sabotage, spec.sabotage);
+    }
+
+    #[test]
     fn spec_rejects_typos_and_bad_values() {
         for (bad, why) in [
             (r#"{"seed": 1}"#, "missing name"),
@@ -277,6 +335,14 @@ mod tests {
             (r#"{"name": "ok", "scenarios": ["v9"]}"#, "unknown scenario"),
             (r#"{"name": "ok", "app": "helicopter"}"#, "unknown app"),
             (r#"{"name": "ok", "seed": -1}"#, "negative seed"),
+            (
+                r#"{"name": "ok", "sabotage_panic": 1.5}"#,
+                "sabotage rate > 1",
+            ),
+            (
+                r#"{"name": "ok", "sabotage_hang": -0.1}"#,
+                "negative sabotage rate",
+            ),
         ] {
             assert!(CampaignSpec::from_json(bad).is_err(), "accepted {why}");
         }

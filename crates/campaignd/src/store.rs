@@ -11,6 +11,8 @@
 //!   outcomes-0000.jsonl.part  in-flight stream of the running shard
 //!   report.json          the merged campaign report (byte-identical to
 //!                        an unsharded run), written by `merge`
+//!   quarantine.jsonl     jobs the supervisor quarantined, one line each
+//!                        (written by `merge`, only when there are any)
 //! ```
 //!
 //! Every durable file lands via [`write_file_atomic`]: write to a `.tmp`
@@ -19,11 +21,25 @@
 //! stream is the one deliberately non-atomic file; it is advisory (live
 //! tailing) and is rebuilt from the authoritative checkpoint when the
 //! shard completes.
+//!
+//! Durable writes go through [`CampaignStore::write_durable`]: the
+//! injectable [`FaultFs`] below (inert in production), wrapped in a
+//! bounded retry loop with exponential backoff — the first rung of the
+//! service's disk-fault degradation ladder. The second rung (skip the
+//! checkpoint, keep the campaign alive) lives in the runner.
 
+use crate::faultfs::FaultFs;
 use crate::spec::CampaignSpec;
 use mavr_fleet::{ShardCheckpoint, ShardPlan};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Attempts a durable write gets before its error escapes to the caller.
+pub(crate) const STORE_WRITE_ATTEMPTS: u32 = 4;
+
+/// First retry backoff for durable writes; doubles per attempt.
+const STORE_BACKOFF_BASE_MS: u64 = 1;
 
 /// Write `bytes` to `path` atomically: temp sibling, fsync, rename. The
 /// rename is atomic on POSIX filesystems, so readers (and a resuming
@@ -52,6 +68,9 @@ pub struct CampaignStore {
     pub dir: PathBuf,
     /// The campaign's identity.
     pub spec: CampaignSpec,
+    /// Fault injector every durable write funnels through. Inert unless
+    /// a chaos harness attached one via [`CampaignStore::with_faults`].
+    fault_fs: FaultFs,
 }
 
 impl CampaignStore {
@@ -75,7 +94,11 @@ impl CampaignStore {
         }
         std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
         write_file_atomic(&spec_path, spec.to_json().as_bytes())?;
-        Ok(CampaignStore { dir, spec })
+        Ok(CampaignStore {
+            dir,
+            spec,
+            fault_fs: FaultFs::none(),
+        })
     }
 
     /// Open an existing campaign directory (one containing `spec.json`).
@@ -86,7 +109,36 @@ impl CampaignStore {
         Ok(CampaignStore {
             dir: dir.to_path_buf(),
             spec: CampaignSpec::from_json(&text)?,
+            fault_fs: FaultFs::none(),
         })
+    }
+
+    /// Route this store's durable writes through a fault injector (chaos
+    /// harnesses only; the default store never faults).
+    #[must_use]
+    pub fn with_faults(mut self, fault_fs: FaultFs) -> Self {
+        self.fault_fs = fault_fs;
+        self
+    }
+
+    /// Write `bytes` durably to `path`: atomic replace via the fault
+    /// injector, retried with exponential backoff. A disk that faults
+    /// transiently costs milliseconds; one that faults persistently
+    /// surfaces a typed error the caller can degrade on.
+    pub fn write_durable(&self, path: &Path, bytes: &[u8]) -> Result<(), String> {
+        let mut last = String::new();
+        for attempt in 0..STORE_WRITE_ATTEMPTS {
+            match self.fault_fs.write_atomic(path, bytes) {
+                Ok(()) => return Ok(()),
+                Err(e) => last = e,
+            }
+            if attempt + 1 < STORE_WRITE_ATTEMPTS {
+                std::thread::sleep(Duration::from_millis(STORE_BACKOFF_BASE_MS << attempt));
+            }
+        }
+        Err(format!(
+            "durable write failed after {STORE_WRITE_ATTEMPTS} attempts: {last}"
+        ))
     }
 
     /// Every campaign directory under `root`, sorted by name.
@@ -134,6 +186,12 @@ impl CampaignStore {
         self.dir.join("report.json")
     }
 
+    /// Path of the quarantine ledger: one JSON line per job the
+    /// supervisor quarantined, written by `merge` (absent when none).
+    pub fn quarantine_path(&self) -> PathBuf {
+        self.dir.join("quarantine.jsonl")
+    }
+
     /// Load shard `index` from disk, or a fresh empty checkpoint if it has
     /// never been flushed. The checkpoint's own fingerprint/range fields
     /// are validated against the spec by the shard runner.
@@ -150,9 +208,10 @@ impl CampaignStore {
         }
     }
 
-    /// Persist a shard checkpoint atomically.
+    /// Persist a shard checkpoint durably (atomic replace, bounded
+    /// retries through the fault injector).
     pub fn save_shard(&self, ckpt: &ShardCheckpoint) -> Result<(), String> {
-        write_file_atomic(&self.shard_path(ckpt.shard_index), &ckpt.to_bytes())
+        self.write_durable(&self.shard_path(ckpt.shard_index), &ckpt.to_bytes())
     }
 
     /// Scan shard files and summarize progress without loading outcome
@@ -163,9 +222,15 @@ impl CampaignStore {
         let plan = self.plan();
         let mut done_jobs = 0u64;
         let mut shards_complete = 0u64;
+        let mut jobs_quarantined = 0u64;
         for index in 0..plan.shard_count() {
             let shard = self.load_shard(&cfg, index)?;
             done_jobs += shard.outcomes.len() as u64;
+            jobs_quarantined += shard
+                .outcomes
+                .values()
+                .filter(|o| o.failure.is_some())
+                .count() as u64;
             if shard.jobs() > 0 && shard.complete() {
                 shards_complete += 1;
             }
@@ -176,6 +241,7 @@ impl CampaignStore {
             done_jobs,
             shards_total: plan.shard_count(),
             shards_complete,
+            jobs_quarantined,
             report_written: self.report_path().is_file(),
         })
     }
@@ -194,6 +260,9 @@ pub struct CampaignStatus {
     pub shards_total: u64,
     /// Shards fully complete.
     pub shards_complete: u64,
+    /// Checkpointed jobs the supervisor quarantined (explicit, so a
+    /// degraded campaign can never pass for a clean one).
+    pub jobs_quarantined: u64,
     /// Whether `report.json` exists.
     pub report_written: bool,
 }
@@ -213,6 +282,7 @@ impl CampaignStatus {
             ("total_jobs".into(), Json::num(self.total_jobs)),
             ("shards_complete".into(), Json::num(self.shards_complete)),
             ("shards_total".into(), Json::num(self.shards_total)),
+            ("jobs_quarantined".into(), Json::num(self.jobs_quarantined)),
             ("complete".into(), Json::Bool(self.complete())),
             ("report_written".into(), Json::Bool(self.report_written)),
         ])

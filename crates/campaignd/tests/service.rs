@@ -39,7 +39,7 @@ fn sliced_interrupted_service_run_merges_byte_identical_to_direct_run() {
 
     // Session 1: submit, then run a 2-job slice — that stops *mid-shard*
     // (shards hold 3 jobs).
-    let mut service = Service::new(root.clone(), Arc::new(AtomicBool::new(false)));
+    let service = Service::new(root.clone(), Arc::new(AtomicBool::new(false)));
     let (resp, _) = service.handle_line(&format!(r#"{{"op":"submit","spec":{}}}"#, spec.to_json()));
     assert!(resp.contains(r#""ok":true"#), "{resp}");
     assert!(resp.contains(r#""shards":3"#), "{resp}");
@@ -54,7 +54,7 @@ fn sliced_interrupted_service_run_merges_byte_identical_to_direct_run() {
 
     // "Process restart": a fresh Service with no cached sessions resumes
     // from the shard checkpoints alone.
-    let mut service = Service::new(root.clone(), Arc::new(AtomicBool::new(false)));
+    let service = Service::new(root.clone(), Arc::new(AtomicBool::new(false)));
     let status = store.status().unwrap();
     assert_eq!(status.done_jobs, 2, "the slice's jobs survived the restart");
     let outcome = service.run_slice("e2e", None, None).unwrap();
@@ -84,9 +84,81 @@ fn sliced_interrupted_service_run_merges_byte_identical_to_direct_run() {
 }
 
 #[test]
+fn protocol_guardrails_answer_typed_errors_and_keep_the_connection_open() {
+    use std::sync::atomic::Ordering;
+    let root = tmp_root("guardrails");
+    let service = Service::new(root, Arc::new(AtomicBool::new(false)));
+
+    // Malformed JSON, unknown op, and an oversized request each get a
+    // typed error on the same connection — which then keeps serving.
+    let oversized = format!(r#"{{"op":"status","pad":"{}"}}"#, "x".repeat(2 << 20));
+    let input = format!(
+        "not json\n{{\"op\":\"frobnicate\"}}\n{oversized}\n{}\n{}\n{}\n",
+        r#"{"op":"status"}"#, r#"{"op":"stats"}"#, r#"{"op":"shutdown"}"#,
+    );
+    let mut output = Vec::new();
+    mavr_campaignd::server::serve_lines(&service, input.as_bytes(), &mut output).unwrap();
+    let output = String::from_utf8(output).unwrap();
+    let lines: Vec<&str> = output.lines().collect();
+    assert_eq!(lines.len(), 6, "{output}");
+    assert!(lines[0].contains(r#""ok":false"#), "{}", lines[0]);
+    assert!(lines[1].contains("unknown op"), "{}", lines[1]);
+    assert!(
+        lines[2].contains(r#""ok":false"#) && lines[2].contains("exceeds"),
+        "{}",
+        lines[2]
+    );
+    assert!(
+        lines[3].contains(r#""ok":true"#),
+        "the connection still serves after garbage: {}",
+        lines[3]
+    );
+    assert!(
+        lines[4].contains(r#""campaignd_oversized":1"#)
+            && lines[4].contains(r#""campaignd_errors":2"#),
+        "{}",
+        lines[4]
+    );
+    assert!(lines[5].contains(r#""shutdown":true"#));
+    assert_eq!(service.stats().oversized.load(Ordering::Relaxed), 1);
+}
+
+#[cfg(unix)]
+#[test]
+fn socket_server_sheds_overload_with_a_typed_busy_response() {
+    use mavr_campaignd::server::{request, serve_socket, ServeOptions};
+    use std::sync::atomic::Ordering;
+
+    let root = tmp_root("busy");
+    let interrupt = Arc::new(AtomicBool::new(false));
+    let service = Service::new(root, Arc::clone(&interrupt));
+    let sock = std::env::temp_dir().join(format!("mavr-busy-{}.sock", std::process::id()));
+    // Queue depth 0: every connection overflows the in-flight queue.
+    let opts = ServeOptions {
+        workers: 1,
+        queue_depth: 0,
+        ..ServeOptions::default()
+    };
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| serve_socket(&service, &sock, std::io::sink(), &opts));
+        for _ in 0..400 {
+            if sock.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let resp = request(&sock, r#"{"op":"status"}"#).unwrap();
+        assert!(resp.contains(r#""error":"busy""#), "{resp}");
+        interrupt.store(true, Ordering::Relaxed);
+        server.join().unwrap().unwrap();
+    });
+    assert!(service.stats().busy_rejected.load(Ordering::Relaxed) >= 1);
+}
+
+#[test]
 fn protocol_answers_status_and_survives_garbage() {
     let root = tmp_root("proto");
-    let mut service = Service::new(root, Arc::new(AtomicBool::new(false)));
+    let service = Service::new(root, Arc::new(AtomicBool::new(false)));
 
     // Garbage never kills the service.
     for bad in [
@@ -111,7 +183,7 @@ fn protocol_answers_status_and_survives_garbage() {
         r#"{"op":"shutdown"}"#,
     );
     let mut output = Vec::new();
-    mavr_campaignd::server::serve_lines(&mut service, input.as_bytes(), &mut output).unwrap();
+    mavr_campaignd::server::serve_lines(&service, input.as_bytes(), &mut output).unwrap();
     let output = String::from_utf8(output).unwrap();
     let lines: Vec<&str> = output.lines().collect();
     assert_eq!(lines.len(), 3, "{output}");

@@ -81,6 +81,9 @@ const VALUED: &[&str] = &[
     "--dir",
     "--campaign",
     "--shard-jobs",
+    "--deadline-s",
+    "--store-fault",
+    "--store-fault-seed",
 ];
 
 /// Split raw arguments into positionals, options and flags.
@@ -961,14 +964,51 @@ fn load_spec(args: &Args, path: &str) -> Result<mavr_campaignd::CampaignSpec, Cl
 /// protocol on a Unix socket and runs pending shards between requests;
 /// `--stdio` serves the same protocol on stdin/stdout (no background
 /// work — drive it with explicit `run` requests).
+///
+/// Supervision knobs (all modes): `--deadline-s N` trips the cooperative
+/// interrupt after a wall-clock budget — checkpoints flush, the run
+/// reports `interrupted`, and the process exits 0, exactly like Ctrl-C.
+/// `--store-fault RATE` (with `--store-fault-seed N`) routes every
+/// durable store write through the seeded disk-fault injector — the
+/// chaos harness behind the robustness CI job.
 pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
-    use mavr_campaignd::{merge_store, CampaignSession, CampaignStore, Service};
+    use mavr_campaignd::{merge_store, CampaignSession, CampaignStore, FaultFs, Service};
     let root = campaign_root(args)?;
     let interrupt = mavr_campaignd::signal::install();
 
+    let fault_fs = match args.options.get("--store-fault") {
+        None => FaultFs::none(),
+        Some(v) => {
+            let rate: f64 = v
+                .parse()
+                .ok()
+                .filter(|r| (0.0..=1.0).contains(r))
+                .ok_or_else(|| CliError::Usage("bad --store-fault (probability 0..=1)".into()))?;
+            let seed: u64 = match args.options.get("--store-fault-seed") {
+                None => 0,
+                Some(s) => s
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --store-fault-seed (u64)".into()))?,
+            };
+            FaultFs::seeded(seed, rate)
+        }
+    };
+    if let Some(v) = args.options.get("--deadline-s") {
+        let secs: u64 = v
+            .parse()
+            .map_err(|_| CliError::Usage("bad --deadline-s (seconds)".into()))?;
+        let flag = std::sync::Arc::clone(&interrupt);
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            flag.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+    }
+
     if let Some(spec_path) = args.options.get("--spec") {
         let spec = load_spec(args, spec_path)?;
-        let store = CampaignStore::create(&root, spec).map_err(CliError::Failed)?;
+        let store = CampaignStore::create(&root, spec)
+            .map_err(CliError::Failed)?
+            .with_faults(fault_fs.clone());
         let telemetry = if args.flags.contains("progress") {
             telemetry::Telemetry::new(ProgressPrinter::default())
         } else {
@@ -1012,11 +1052,12 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
     if let Some(sock) = args.options.get("--socket") {
         #[cfg(unix)]
         {
-            let mut service = Service::new(root, interrupt);
+            let service = Service::new(root, interrupt).with_store_faults(fault_fs);
             mavr_campaignd::server::serve_socket(
-                &mut service,
+                &service,
                 std::path::Path::new(sock),
                 std::io::stderr(),
+                &mavr_campaignd::server::ServeOptions::default(),
             )
             .map_err(CliError::Failed)?;
             return Ok(String::new());
@@ -1029,9 +1070,9 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
     }
 
     if args.flags.contains("stdio") {
-        let mut service = Service::new(root, interrupt);
+        let service = Service::new(root, interrupt).with_store_faults(fault_fs);
         let stdin = std::io::stdin();
-        mavr_campaignd::server::serve_lines(&mut service, stdin.lock(), std::io::stdout())
+        mavr_campaignd::server::serve_lines(&service, stdin.lock(), std::io::stdout())
             .map_err(CliError::Failed)?;
         return Ok(String::new());
     }
@@ -1599,8 +1640,12 @@ COMMANDS:
         the spec; --progress streams status with ETA). --socket PATH
         serves the ND-JSON control protocol on a Unix socket, running
         pending shards between requests; --stdio serves the protocol on
-        stdin/stdout. Campaign results are byte-identical however the run
-        was sliced, sharded or interrupted.
+        stdin/stdout. --deadline-s N trips the cooperative interrupt
+        after N seconds (checkpoints flush, exit 0); --store-fault RATE
+        with --store-fault-seed N injects seeded disk faults into every
+        durable store write (chaos harness). Campaign results are
+        byte-identical however the run was sliced, sharded, interrupted
+        or SIGKILLed.
   submit SPEC.json (--socket PATH | --dir DIR) [--shard-jobs N] [--tenant N]
         Register a campaign from a JSON spec: with a running service via
         its socket, or directly into a campaign root directory.

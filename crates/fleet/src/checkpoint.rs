@@ -17,7 +17,7 @@
 //! [`CampaignReport`]: crate::CampaignReport
 //! [`CampaignConfig`]: crate::CampaignConfig
 
-use crate::report::BoardOutcome;
+use crate::report::{BoardOutcome, JobFailure, JobFailureKind};
 use crate::scenario::Scenario;
 use crate::CampaignConfig;
 use mavlink_lite::channel::ChannelStats;
@@ -244,6 +244,28 @@ pub(crate) fn put_outcome(w: &mut Writer, o: &BoardOutcome) {
     w.put_u32(wm.ground_impacts);
     w.put_u64(wm.alt_lost_m.to_bits());
     w.put_u32(wm.recoveries_caught);
+    w.put_bool(o.failure.is_some());
+    let f = o.failure.unwrap_or(JobFailure {
+        kind: JobFailureKind::Panic,
+        attempts: 0,
+    });
+    w.put_u8(failure_tag(f.kind));
+    w.put_u32(f.attempts);
+}
+
+fn failure_tag(kind: JobFailureKind) -> u8 {
+    match kind {
+        JobFailureKind::Panic => 1,
+        JobFailureKind::Timeout => 2,
+    }
+}
+
+fn failure_from_tag(tag: u8) -> Result<JobFailureKind, SnapshotError> {
+    match tag {
+        1 => Ok(JobFailureKind::Panic),
+        2 => Ok(JobFailureKind::Timeout),
+        _ => Err(SnapshotError::Malformed(format!("job-failure tag {tag}"))),
+    }
 }
 
 pub(crate) fn get_outcome(r: &mut Reader<'_>) -> Result<BoardOutcome, SnapshotError> {
@@ -287,6 +309,23 @@ pub(crate) fn get_outcome(r: &mut Reader<'_>) -> Result<BoardOutcome, SnapshotEr
                 recoveries_caught: r.u32()?,
             };
             present.then_some(wm)
+        } else {
+            None
+        },
+        // v3 checkpoints predate job supervision: nothing the unsupervised
+        // engine ran could have been quarantined.
+        failure: if r.version() >= 4 {
+            let present = r.bool()?;
+            let kind = r.u8()?;
+            let attempts = r.u32()?;
+            if present {
+                Some(JobFailure {
+                    kind: failure_from_tag(kind)?,
+                    attempts,
+                })
+            } else {
+                None
+            }
         } else {
             None
         },
@@ -340,6 +379,10 @@ pub(crate) mod tests {
                     alt_lost_m: 0.5 * job as f64,
                     recoveries_caught: 1,
                 }),
+            failure: (job == 4).then_some(JobFailure {
+                kind: JobFailureKind::Timeout,
+                attempts: 3,
+            }),
         }
     }
 
@@ -385,6 +428,17 @@ pub(crate) mod tests {
         let mut fusion = cfg.clone();
         fusion.block_fusion = false;
         assert_eq!(config_fingerprint(&fusion), base);
+        // Job sabotage is a chaos harness aimed at the *service*, not a
+        // different experiment: a sabotaged campaign must checkpoint and
+        // resume under the same fingerprint as the clean one.
+        let mut sabotaged = cfg.clone();
+        sabotaged.sabotage = crate::JobChaos {
+            panic_rate: 0.5,
+            hang_rate: 0.25,
+            flaky_rate: 0.1,
+            seed: 99,
+        };
+        assert_eq!(config_fingerprint(&sabotaged), base);
         // Anything that alters the outcome must alter the fingerprint.
         for mutate in [
             |c: &mut CampaignConfig| c.seed += 1,

@@ -44,20 +44,22 @@ pub use checkpoint::{config_fingerprint, totals_from_outcomes, Checkpoint};
 pub use mavlink_lite::RouterTotals;
 pub use report::{
     fold_outcome_metrics, json_prelude, registry_from_outcomes, BoardOutcome, CampaignAggregate,
-    CampaignReport, CampaignSummary, CellReport, WorldCellMetrics, WorldMetrics, JSON_EPILOGUE,
+    CampaignReport, CampaignSummary, CellReport, JobFailure, JobFailureKind, WorldCellMetrics,
+    WorldMetrics, JSON_EPILOGUE,
 };
 pub use scenario::{parse_scenarios, Scenario};
 pub use shard::{
     merge_shard_checkpoints, run_shard_resume, ShardCheckpoint, ShardPlan, ShardRunStatus,
 };
 
-use mavlink_lite::channel::{LossConfig, LossyChannel};
+use mavlink_lite::channel::{ChannelStats, LossConfig, LossyChannel};
 use mavlink_lite::{GroundStation, Router};
 use mavr::policy::RandomizationPolicy;
 use mavr_board::{ChaosConfig, FaultPlan, MasterError, MavrBoard};
 use mavr_world::{FlightHarness, World, CYCLES_PER_STEP};
 use rop::attack::AttackContext;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -146,6 +148,16 @@ pub struct CampaignConfig {
     /// thread can trip it from outside. Never affects results of the jobs
     /// that do run; excluded from the checkpoint fingerprint.
     pub interrupt: Arc<AtomicBool>,
+    /// Seeded job sabotage for exercising the supervisor: makes chosen
+    /// jobs panic, hang (non-terminating until the cycle-budget watchdog
+    /// trips) or fail transiently. A chaos-test knob like the `FaultPlan`
+    /// on a board's recovery pipeline, but aimed at the campaign engine
+    /// itself, so it is **excluded from the checkpoint fingerprint**:
+    /// quarantined outcomes are an artifact of the harness, not a
+    /// different experiment. [`JobChaos::none`] (the default) draws
+    /// nothing and leaves every job byte-identical to the unsupervised
+    /// engine.
+    pub sabotage: JobChaos,
 }
 
 impl Default for CampaignConfig {
@@ -168,6 +180,7 @@ impl Default for CampaignConfig {
             progress_interval_ms: 500,
             tenant: 0,
             interrupt: Arc::new(AtomicBool::new(false)),
+            sabotage: JobChaos::none(),
         }
     }
 }
@@ -203,6 +216,52 @@ impl CampaignConfig {
 /// the world streams at `(1 << 62) | base` (bit 61, and too large for any
 /// realistic `3b + 2`).
 const TENANT_STREAM: u64 = 1 << 61;
+
+/// Stream region reserved for job-sabotage draws — bit 60, disjoint from
+/// every engine stream above. Each job owns eight slots (`job << 3 ..`):
+/// slots `0..=5` are per-attempt transient draws, slot 6 the backoff
+/// jitter, slot 7 the persistent panic/hang draw. Sabotage draws are also
+/// keyed off [`JobChaos::seed`], not the campaign seed, so they can never
+/// perturb a board even on a stream collision.
+const SABOTAGE_STREAM: u64 = 1 << 60;
+
+/// Seeded sabotage of campaign jobs — the supervisor's own chaos plan.
+/// Modeled on [`mavr_board::ChaosConfig`]: rates are per-job (or
+/// per-attempt) probabilities, draws are splitmix64 streams, and the
+/// all-zero plan performs no draws at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobChaos {
+    /// Probability a job is a poison job: it panics on **every** attempt
+    /// and ends up quarantined with [`JobFailureKind::Panic`].
+    pub panic_rate: f64,
+    /// Probability a job never terminates: it flies past its cycle budget
+    /// until the watchdog quarantines it with [`JobFailureKind::Timeout`].
+    pub hang_rate: f64,
+    /// Per-attempt probability of a transient panic. Independent draws
+    /// per attempt, so a flaky job usually succeeds within the retry cap
+    /// — this is what exercises retry-then-recover.
+    pub flaky_rate: f64,
+    /// Seed of the sabotage streams (independent of the campaign seed).
+    pub seed: u64,
+}
+
+impl JobChaos {
+    /// The inert plan: no draws, no sabotage, byte-identical engine
+    /// behavior to a build without job supervision.
+    pub fn none() -> Self {
+        JobChaos {
+            panic_rate: 0.0,
+            hang_rate: 0.0,
+            flaky_rate: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Whether this plan can never sabotage anything.
+    pub fn is_none(&self) -> bool {
+        self.panic_rate == 0.0 && self.hang_rate == 0.0 && self.flaky_rate == 0.0
+    }
+}
 
 /// Splitmix64-style per-job stream derivation: every `(campaign seed,
 /// stream index)` pair yields an independent seed that never depends on
@@ -358,6 +417,7 @@ fn run_board(
             up_stats: up.stats,
             down_stats: down.stats,
             world: None,
+            failure: None,
         };
         return (outcome, gcs);
     };
@@ -462,8 +522,220 @@ fn run_board(
         up_stats: up.stats,
         down_stats: down.stats,
         world,
+        failure: None,
     };
     (outcome, gcs)
+}
+
+/// Supervised retry cap: attempts a job gets before quarantine. The cap
+/// is part of the quarantine record on the wire (`attempts`), so changing
+/// it changes sabotaged reports — but never fault-free ones.
+pub(crate) const JOB_RETRY_CAP: u32 = 3;
+
+/// First-retry backoff; doubles per attempt, plus seeded jitter.
+const JOB_BACKOFF_BASE_MS: u64 = 1;
+
+/// Map a derived-seed draw onto the unit interval (53-bit mantissa).
+fn unit_draw(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Hard upper bound on the cycles a well-behaved job may consume — the
+/// supervisor's watchdog. Deliberately loose: the worst-case flight
+/// (warmup, every packet gap an attack scenario can schedule, the attack
+/// window) plus world-step rounding slack per segment. The simulator is
+/// cycle-bounded by construction, so only a sabotaged (or genuinely
+/// non-terminating) firmware can ever reach it.
+fn job_cycle_budget(cfg: &CampaignConfig) -> u64 {
+    cfg.warmup_cycles
+        .saturating_add(cfg.attack_cycles)
+        .saturating_add(cfg.packet_gap_cycles.saturating_mul(14))
+        .saturating_add(CYCLES_PER_STEP * 16)
+}
+
+/// What the sabotage plan does to one attempt at one job.
+enum Sabotage {
+    Pass,
+    Panic,
+    Hang,
+}
+
+fn sabotage_mode(cfg: &CampaignConfig, job: Job, attempt: u32) -> Sabotage {
+    let sb = &cfg.sabotage;
+    if sb.is_none() {
+        return Sabotage::Pass;
+    }
+    let slots = SABOTAGE_STREAM | ((job.job_index as u64) << 3);
+    // Slot 7: the job's persistent fate — the same draw on every attempt,
+    // which is what makes a poison job *persistently* failing and its
+    // quarantine deterministic.
+    let fate = unit_draw(derive_seed(sb.seed, slots | 7));
+    if fate < sb.panic_rate {
+        return Sabotage::Panic;
+    }
+    if fate < sb.panic_rate + sb.hang_rate {
+        return Sabotage::Hang;
+    }
+    // Slots 0..=5: independent per-attempt transient draws.
+    if sb.flaky_rate > 0.0 {
+        let transient = unit_draw(derive_seed(sb.seed, slots | u64::from(attempt.min(5))));
+        if transient < sb.flaky_rate {
+            return Sabotage::Panic;
+        }
+    }
+    Sabotage::Pass
+}
+
+/// A sabotaged non-terminating flight: the board keeps flying until the
+/// cycle-budget watchdog trips. This is the watchdog's proof that it
+/// actually bounds a runaway job — the loop's only exit is the budget.
+fn fly_until_watchdog(
+    cfg: &CampaignConfig,
+    image: &avr_core::image::FirmwareImage,
+    job: Job,
+) -> JobFailureKind {
+    let board_seed = derive_seed(cfg.stream_base(), job.base_index as u64 * 3);
+    let budget = job_cycle_budget(cfg);
+    let Ok(mut board) = MavrBoard::provision_chaos(
+        image,
+        board_seed,
+        RandomizationPolicy::default(),
+        Telemetry::off(),
+        FaultPlan::none(),
+    ) else {
+        return JobFailureKind::Timeout;
+    };
+    board.app.machine.set_block_fusion(cfg.block_fusion);
+    let chunk = (budget / 8).max(4096);
+    while board.app.machine.cycles() <= budget {
+        if board.run(chunk).is_err() {
+            // Bricked mid-hang: it is still never going to finish.
+            break;
+        }
+    }
+    JobFailureKind::Timeout
+}
+
+/// One supervised attempt at a job: apply the sabotage plan, fly, and
+/// check the watchdog. Panics (sabotaged or genuine) are caught one level
+/// up in [`run_board_supervised`].
+fn run_board_attempt(
+    cfg: &CampaignConfig,
+    image: &avr_core::image::FirmwareImage,
+    payloads: Option<&[Vec<u8>]>,
+    job: Job,
+    attempt: u32,
+) -> Result<(BoardOutcome, GroundStation), JobFailureKind> {
+    match sabotage_mode(cfg, job, attempt) {
+        Sabotage::Pass => {}
+        Sabotage::Panic => panic!(
+            "sabotage: poison job {} panicking on attempt {attempt}",
+            job.job_index
+        ),
+        Sabotage::Hang => return Err(fly_until_watchdog(cfg, image, job)),
+    }
+    let done = run_board(cfg, image, payloads, job);
+    if done.0.final_cycle > job_cycle_budget(cfg) {
+        return Err(JobFailureKind::Timeout);
+    }
+    Ok(done)
+}
+
+/// Deterministic exponential backoff before retry `attempt + 1`: base
+/// doubles per attempt, jitter is a seeded draw (slot 6 of the job's
+/// sabotage stream) — wall-clock only, never on the wire, so reports stay
+/// byte-identical however long the retries actually slept.
+fn job_backoff(cfg: &CampaignConfig, job: Job, attempt: u32) -> Duration {
+    let base = JOB_BACKOFF_BASE_MS << attempt;
+    let jitter = derive_seed(
+        cfg.sabotage.seed,
+        SABOTAGE_STREAM | ((job.job_index as u64) << 3) | 6,
+    ) % base.max(1);
+    Duration::from_millis(base + jitter)
+}
+
+/// Run one job inside its fault domain: `catch_unwind` so a panicking
+/// board kills the attempt and not the worker, the cycle-budget watchdog
+/// so a non-terminating board becomes a typed `Timeout`, bounded retries
+/// with deterministic backoff, and — when every attempt fails — a
+/// quarantined outcome that flows through the JSONL/checkpoint wire like
+/// any other result. A failing job therefore *never* aborts a shard and
+/// is never silently dropped.
+fn run_board_supervised(
+    cfg: &CampaignConfig,
+    image: &avr_core::image::FirmwareImage,
+    payloads: Option<&[Vec<u8>]>,
+    job: Job,
+) -> (BoardOutcome, GroundStation) {
+    let mut last = JobFailureKind::Panic;
+    for attempt in 0..JOB_RETRY_CAP {
+        match catch_unwind(AssertUnwindSafe(|| {
+            run_board_attempt(cfg, image, payloads, job, attempt)
+        })) {
+            Ok(Ok(done)) => return done,
+            Ok(Err(kind)) => last = kind,
+            Err(_panic_payload) => last = JobFailureKind::Panic,
+        }
+        cfg.telemetry.emit(kinds::JOB_RETRIED, None, || {
+            vec![
+                ("job", Value::U64(job.job_index as u64)),
+                ("attempt", Value::U64(u64::from(attempt))),
+                ("kind", Value::Str(last.name().to_string())),
+            ]
+        });
+        if attempt + 1 < JOB_RETRY_CAP {
+            std::thread::sleep(job_backoff(cfg, job, attempt));
+        }
+    }
+    cfg.telemetry.emit(kinds::JOB_QUARANTINED, None, || {
+        vec![
+            ("job", Value::U64(job.job_index as u64)),
+            ("kind", Value::Str(last.name().to_string())),
+            ("attempts", Value::U64(u64::from(JOB_RETRY_CAP))),
+        ]
+    });
+    let failure = JobFailure {
+        kind: last,
+        attempts: JOB_RETRY_CAP,
+    };
+    (
+        quarantined_outcome(cfg, job, failure),
+        GroundStation::with_capacity(cfg.gcs_capacity),
+    )
+}
+
+/// The outcome of a quarantined job: real matrix coordinates (so cell
+/// accounting and checkpoint contiguity hold), zeroed observations, and
+/// the typed failure record.
+fn quarantined_outcome(cfg: &CampaignConfig, job: Job, failure: JobFailure) -> BoardOutcome {
+    BoardOutcome {
+        scenario: job.scenario,
+        loss: job.loss,
+        fault: job.fault,
+        board_index: job.board_index,
+        board_seed: derive_seed(cfg.stream_base(), job.base_index as u64 * 3),
+        attack_packets: 0,
+        attack_succeeded: false,
+        recoveries: 0,
+        reflash_retries: 0,
+        degraded_boots: 0,
+        bricked: false,
+        time_to_recovery: None,
+        final_cycle: 0,
+        heartbeats: 0,
+        packets: 0,
+        seq_gaps: 0,
+        packets_lost: 0,
+        bad_checksums: 0,
+        uav_bad_crc: 0,
+        sim_block_hits: 0,
+        sim_block_invalidations: 0,
+        sim_block_count: 0,
+        up_stats: ChannelStats::default(),
+        down_stats: ChannelStats::default(),
+        world: None,
+        failure: Some(failure),
+    }
 }
 
 /// The per-campaign artifacts every job shares: the (unprotected) firmware
@@ -703,7 +975,10 @@ fn execute_jobs_streaming(
                     let Some(job) = jobs.get(i).copied() else {
                         break;
                     };
-                    let result = run_board(
+                    // The job's fault domain: panics, hangs and retries
+                    // all stay inside this call — a poison job yields a
+                    // quarantined outcome, never a dead worker.
+                    let result = run_board_supervised(
                         cfg,
                         &prepared.image,
                         prepared.payloads[job.scenario_idx].as_deref(),
@@ -1025,6 +1300,112 @@ mod tests {
             .outcomes
             .iter()
             .all(|o| !o.bricked && o.reflash_retries == 0 && o.degraded_boots == 0));
+    }
+
+    #[test]
+    fn poison_jobs_are_quarantined_not_fatal() {
+        // Every job is a poison job, yet the campaign completes with a
+        // full outcome list and explicit quarantine accounting — and the
+        // result is thread-count invariant like any other campaign.
+        let cfg = CampaignConfig {
+            sabotage: JobChaos {
+                panic_rate: 1.0,
+                ..JobChaos::none()
+            },
+            threads: 1,
+            ..small_cfg()
+        };
+        let (report, metrics) = run_campaign_with_metrics(&cfg);
+        let (wide, wide_metrics) = run_campaign_with_metrics(&CampaignConfig {
+            threads: 4,
+            ..cfg.clone()
+        });
+        assert_eq!(report.to_json(), wide.to_json());
+        assert_eq!(metrics.to_prometheus(), wide_metrics.to_prometheus());
+
+        assert_eq!(report.outcomes.len(), cfg.total_jobs());
+        for o in &report.outcomes {
+            let f = o.failure.expect("poison job carries a failure record");
+            assert_eq!(f.kind, JobFailureKind::Panic);
+            assert_eq!(f.attempts, JOB_RETRY_CAP);
+            assert_eq!(o.final_cycle, 0);
+            assert!(o.to_json_line().contains("\"failure\":\"panic\""));
+        }
+        for cell in &report.cells {
+            assert_eq!(cell.jobs_quarantined, cell.boards);
+        }
+        assert!(report.to_json().contains("\"jobs_quarantined\":2"));
+        assert!(metrics
+            .to_prometheus()
+            .contains("campaign_jobs_quarantined_total"));
+        // The harness knob is invisible to the checkpoint identity.
+        assert_eq!(
+            config_fingerprint(&cfg),
+            config_fingerprint(&small_cfg()),
+            "sabotage must not change the checkpoint fingerprint"
+        );
+    }
+
+    #[test]
+    fn flaky_jobs_retry_transparently() {
+        // Transient failures burn retries, never results: every job that
+        // eventually succeeded must be byte-identical to the clean run's,
+        // and the quarantined remainder (if any) is explicitly typed.
+        let clean = run_campaign(&small_cfg());
+        let flaky = run_campaign(&CampaignConfig {
+            sabotage: JobChaos {
+                flaky_rate: 0.5,
+                seed: 0xf1a5,
+                ..JobChaos::none()
+            },
+            ..small_cfg()
+        });
+        assert_eq!(clean.outcomes.len(), flaky.outcomes.len());
+        let mut survived = 0;
+        for (c, f) in clean.outcomes.iter().zip(&flaky.outcomes) {
+            if let Some(failure) = f.failure {
+                assert_eq!(failure.attempts, JOB_RETRY_CAP);
+            } else {
+                assert_eq!(c, f, "a retried-then-successful job must be untouched");
+                survived += 1;
+            }
+        }
+        assert!(survived > 0, "flaky rate 0.5 should let some jobs through");
+        // Determinism: the same sabotage seed reproduces the same report.
+        let again = run_campaign(&CampaignConfig {
+            sabotage: JobChaos {
+                flaky_rate: 0.5,
+                seed: 0xf1a5,
+                ..JobChaos::none()
+            },
+            ..small_cfg()
+        });
+        assert_eq!(flaky.to_json(), again.to_json());
+    }
+
+    #[test]
+    fn hanging_jobs_trip_the_cycle_watchdog() {
+        // A non-terminating board must come back as a typed Timeout once
+        // its cycle budget expires — tiny cycle counts keep the sabotaged
+        // overrun cheap.
+        let report = run_campaign(&CampaignConfig {
+            boards: 1,
+            scenarios: vec![Scenario::Benign],
+            warmup_cycles: 40_000,
+            attack_cycles: 80_000,
+            packet_gap_cycles: 10_000,
+            sabotage: JobChaos {
+                hang_rate: 1.0,
+                ..JobChaos::none()
+            },
+            ..CampaignConfig::default()
+        });
+        assert_eq!(report.outcomes.len(), 1);
+        let f = report.outcomes[0].failure.expect("hung job is quarantined");
+        assert_eq!(f.kind, JobFailureKind::Timeout);
+        assert!(report.outcomes[0]
+            .to_json_line()
+            .contains("\"failure\":\"timeout\""));
     }
 
     #[test]

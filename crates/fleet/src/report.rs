@@ -31,6 +31,38 @@ pub struct WorldMetrics {
     pub recoveries_caught: u32,
 }
 
+/// Why a supervised job never produced a real flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobFailureKind {
+    /// The firmware (or the harness around it) panicked on every attempt.
+    Panic,
+    /// The cycle-budget watchdog expired: the job ran past the worst-case
+    /// cycle count its configuration allows, i.e. it was not terminating.
+    Timeout,
+}
+
+impl JobFailureKind {
+    /// Stable lower-case name used on the JSONL wire.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobFailureKind::Panic => "panic",
+            JobFailureKind::Timeout => "timeout",
+        }
+    }
+}
+
+/// Typed record of a job that exhausted its supervised retries and was
+/// quarantined. Carried *inside* the outcome so the checkpoint wire, the
+/// JSONL stream and the merged report all agree on exactly which jobs
+/// failed — a quarantined job is counted, never silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Terminal failure mode of the final attempt.
+    pub kind: JobFailureKind,
+    /// Attempts burned before quarantine (== the supervisor's retry cap).
+    pub attempts: u32,
+}
+
 /// Everything observed about one board's run in the campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BoardOutcome {
@@ -91,6 +123,11 @@ pub struct BoardOutcome {
     pub down_stats: ChannelStats,
     /// Physical-impact numbers; `Some` only for physics campaigns.
     pub world: Option<WorldMetrics>,
+    /// `Some` when the supervisor quarantined this job after exhausting
+    /// retries; every other counter in the outcome is then zero. `None`
+    /// outcomes render byte-identical JSON to the engine before job
+    /// supervision existed.
+    pub failure: Option<JobFailure>,
 }
 
 impl BoardOutcome {
@@ -103,6 +140,13 @@ impl BoardOutcome {
                 w.peak_alt_err_m, w.ground_impacts, w.alt_lost_m, w.recoveries_caught
             )
         });
+        let failure = self.failure.map_or_else(String::new, |f| {
+            format!(
+                ",\"failure\":\"{}\",\"attempts\":{}",
+                f.kind.name(),
+                f.attempts
+            )
+        });
         format!(
             "{{\"scenario\":\"{}\",\"loss\":{:.4},\"fault\":{},\"board\":{},\"seed\":{},\
              \"attack_packets\":{},\"attack_succeeded\":{},\"recoveries\":{},\
@@ -111,7 +155,7 @@ impl BoardOutcome {
              \"packets\":{},\"seq_gaps\":{},\"packets_lost\":{},\
              \"bad_checksums\":{},\"uav_bad_crc\":{},\
              \"up_dropped\":{},\"up_corrupted\":{},\"up_duplicated\":{},\
-             \"down_dropped\":{},\"down_corrupted\":{},\"down_duplicated\":{}{}}}",
+             \"down_dropped\":{},\"down_corrupted\":{},\"down_duplicated\":{}{}{}}}",
             self.scenario.name(),
             self.loss,
             self.fault,
@@ -139,6 +183,7 @@ impl BoardOutcome {
             self.down_stats.corrupted,
             self.down_stats.duplicated,
             world,
+            failure,
         )
     }
 }
@@ -188,6 +233,10 @@ pub struct CellReport {
     pub boards_degraded: usize,
     /// Boards that ended the run bricked (fail-stop after every retry).
     pub boards_bricked: usize,
+    /// Jobs the supervisor quarantined after exhausting retries. Rendered
+    /// (and counted in metrics) only when nonzero, so fault-free reports
+    /// stay byte-identical to the engine before job supervision existed.
+    pub jobs_quarantined: usize,
     /// Physical-impact aggregate; `Some` only for physics campaigns.
     pub world: Option<WorldCellMetrics>,
 }
@@ -244,6 +293,7 @@ impl CellReport {
             degraded_boots: 0,
             boards_degraded: 0,
             boards_bricked: 0,
+            jobs_quarantined: 0,
             world: None,
         }
     }
@@ -272,6 +322,7 @@ impl CellReport {
         self.degraded_boots += o.degraded_boots;
         self.boards_degraded += usize::from(o.degraded_boots > 0);
         self.boards_bricked += usize::from(o.bricked);
+        self.jobs_quarantined += usize::from(o.failure.is_some());
         if let Some(w) = o.world {
             let cell = self.world.get_or_insert_with(WorldCellMetrics::default);
             cell.peak_alt_err_m = cell.peak_alt_err_m.max(w.peak_alt_err_m);
@@ -355,6 +406,11 @@ impl CellReport {
                     .map_or("null".to_string(), |m| format!("{m:.3}")),
             )
         });
+        let quarantined = if self.jobs_quarantined > 0 {
+            format!(",\"jobs_quarantined\":{}", self.jobs_quarantined)
+        } else {
+            String::new()
+        };
         format!(
             "{{\"scenario\":\"{}\",\"loss\":{:.4},\"fault\":{},\"boards\":{},\
              \"attack_successes\":{},\"attack_success_rate\":{:.4},\
@@ -365,7 +421,7 @@ impl CellReport {
              \"degraded_rate\":{:.4},\"boards_bricked\":{},\"brick_rate\":{:.4},\
              \"heartbeats\":{},\
              \"seq_gaps\":{},\"packets_lost\":{},\"bad_checksums\":{},\
-             \"bytes_dropped\":{},\"bytes_corrupted\":{}{}}}",
+             \"bytes_dropped\":{},\"bytes_corrupted\":{}{}{}}}",
             self.scenario.name(),
             self.loss,
             self.fault,
@@ -389,6 +445,7 @@ impl CellReport {
             self.bad_checksums,
             self.bytes_dropped,
             self.bytes_corrupted,
+            quarantined,
             world,
         )
     }
@@ -444,6 +501,12 @@ pub fn fold_outcome_metrics(reg: &mut MetricsRegistry, o: &BoardOutcome) {
     reg.add_counter("campaign_sim_block_count", labels, o.sim_block_count);
     if let Some(latency) = o.time_to_recovery {
         reg.observe_sketch("campaign_detection_latency_cycles", labels, latency);
+    }
+    // Quarantine counters appear only when a job actually failed, so
+    // fault-free expositions stay byte-identical to pre-supervision runs.
+    if let Some(f) = o.failure {
+        reg.add_counter("campaign_jobs_quarantined_total", labels, 1);
+        reg.add_counter("campaign_job_attempts_total", labels, u64::from(f.attempts));
     }
     reg.observe_histogram("campaign_packets_per_board", labels, o.packets);
     // Physics counters appear only when the campaign flew in the world

@@ -69,6 +69,14 @@ fn outcome_strategy() -> impl Strategy<Value = BoardOutcome> {
                     alt_lost_m: f64::from(tag & 7),
                     recoveries_caught: u32::from(tag & 3),
                 }),
+                failure: (tag & 32 != 0).then_some(mavr_fleet::JobFailure {
+                    kind: if tag & 64 != 0 {
+                        mavr_fleet::JobFailureKind::Panic
+                    } else {
+                        mavr_fleet::JobFailureKind::Timeout
+                    },
+                    attempts: 3,
+                }),
             }
         })
 }

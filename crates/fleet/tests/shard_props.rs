@@ -217,5 +217,6 @@ fn sample() -> BoardOutcome {
         up_stats: Default::default(),
         down_stats: Default::default(),
         world: None,
+        failure: None,
     }
 }

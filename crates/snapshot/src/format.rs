@@ -35,7 +35,11 @@ pub const MAGIC: &[u8; 8] = b"MAVRSNAP";
 /// PWM compare latches, and the PORTB output latch. v2 blobs still
 /// decode: the new fields default and the PORTB latch is backfilled
 /// from the data image, where v2 encoders stored it.
-pub const VERSION: u16 = 3;
+/// v4: campaign checkpoint outcomes carry the supervised-job failure
+/// record (quarantine kind + attempts). v3 blobs still decode: no job
+/// the pre-supervision engine ran could have been quarantined, so the
+/// field defaults to "no failure".
+pub const VERSION: u16 = 4;
 
 /// What a snapshot blob contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

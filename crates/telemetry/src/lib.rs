@@ -68,6 +68,16 @@ pub mod kinds {
     /// A campaign shard's checkpoint was persisted (complete or partial).
     /// Produced by the campaign service runner.
     pub const SHARD_FLUSHED: &str = "campaign.shard_flushed";
+    /// A supervised job attempt failed (panic or watchdog timeout) and
+    /// will be retried with backoff. Produced by the fleet worker pool.
+    pub const JOB_RETRIED: &str = "campaign.job_retried";
+    /// A job exhausted its supervised retries and was quarantined: its
+    /// outcome carries a typed failure record instead of a flight.
+    pub const JOB_QUARANTINED: &str = "campaign.job_quarantined";
+    /// A shard checkpoint could not be persisted even after bounded
+    /// retries; the campaign continued and the shard's unpersisted slice
+    /// will re-run. Produced by the campaign service runner.
+    pub const CHECKPOINT_SKIPPED: &str = "campaign.checkpoint_skipped";
 }
 
 pub mod metrics;
